@@ -1,0 +1,36 @@
+//! Backend ablation: the SPMD message-passing driver (mpi-sim, as in the
+//! paper) vs a rayon work-stealing pool computing identical counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use microarray::prelude::*;
+use sprint_bench::maxt_rayon;
+use sprint_core::options::PmaxtOptions;
+use sprint_core::pmaxt::pmaxt;
+
+fn bench_backends(c: &mut Criterion) {
+    let ds = SynthConfig::two_class(120, 38, 38).seed(10).generate();
+    let opts = PmaxtOptions::default().permutations(300);
+    let mut group = c.benchmark_group("backend_120x76_b300");
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("mpi_sim", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(pmaxt(&ds.matrix, &ds.labels, &opts, w).unwrap().result.b_used)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(maxt_rayon(&ds.matrix, &ds.labels, &opts, w).unwrap().b_used)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Future-work item 3 ablation: string-coded vs integer-coded parameter
+//! marshalling (encode + decode of the pmaxT argument list).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sprint::marshal::{decode, encode, options_to_args, Codec};
+use sprint::Value;
+use sprint_core::options::{PmaxtOptions, TestMethod};
+
+fn bench_marshal(c: &mut Criterion) {
+    let opts = PmaxtOptions::default()
+        .test(TestMethod::TEqualVar)
+        .permutations(150_000);
+    let args = options_to_args(&opts).with("classlabel", Value::Bytes(vec![0u8; 76]));
+    let mut group = c.benchmark_group("marshal_pmaxt_args");
+    for (name, codec) in [
+        ("string_coded", Codec::StringCoded),
+        ("int_coded", Codec::IntCoded),
+    ] {
+        group.bench_function(format!("{name}_encode"), |b| {
+            b.iter(|| black_box(encode(black_box(&args), codec)))
+        });
+        let wire = encode(&args, codec);
+        group.bench_function(format!("{name}_round_trip"), |b| {
+            b.iter(|| {
+                let w = encode(black_box(&args), codec);
+                black_box(decode(&w))
+            })
+        });
+        // Also report the wire sizes once per run via a trivial benchmark
+        // label (criterion has no annotation channel).
+        eprintln!("{name}: wire size {} bytes", wire.len());
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_marshal
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Kernel cost scaling in genes and permutations — the mechanism behind
+//! Table VI's "linear in B, slightly superlinear in rows" behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use microarray::prelude::*;
+use sprint_core::labels::ClassLabels;
+use sprint_core::maxt::{CountAccumulator, MaxTContext};
+use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_core::perm::build_generator;
+use sprint_core::stats::prepare_matrix;
+
+fn bench_kernel_vs_genes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_100_perms_by_genes");
+    for genes in [100usize, 200, 400] {
+        let ds = SynthConfig::two_class(genes, 38, 38).seed(5).generate();
+        let labels = ClassLabels::new(ds.labels.clone(), TestMethod::T).unwrap();
+        let opts = PmaxtOptions::default().permutations(100);
+        let prepared = prepare_matrix(&ds.matrix, TestMethod::T, false).into_owned();
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        group.throughput(Throughput::Elements((genes * 100) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(genes), &genes, |b, _| {
+            b.iter(|| {
+                let mut gen = build_generator(&labels, &opts, 100).unwrap();
+                let mut acc = CountAccumulator::new(prepared.rows());
+                ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+                black_box(acc.n_perm)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_vs_perms(c: &mut Criterion) {
+    let ds = SynthConfig::two_class(200, 38, 38).seed(6).generate();
+    let labels = ClassLabels::new(ds.labels.clone(), TestMethod::T).unwrap();
+    let prepared = prepare_matrix(&ds.matrix, TestMethod::T, false).into_owned();
+    let mut group = c.benchmark_group("kernel_200_genes_by_perms");
+    for b_count in [50u64, 100, 200] {
+        let opts = PmaxtOptions::default().permutations(b_count);
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        group.throughput(Throughput::Elements(200 * b_count));
+        group.bench_with_input(BenchmarkId::from_parameter(b_count), &b_count, |b, _| {
+            b.iter(|| {
+                let mut gen = build_generator(&labels, &opts, b_count).unwrap();
+                let mut acc = CountAccumulator::new(prepared.rows());
+                ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+                black_box(acc.n_perm)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel_vs_genes, bench_kernel_vs_perms
+}
+criterion_main!(benches);

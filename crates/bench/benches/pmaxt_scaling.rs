@@ -1,0 +1,33 @@
+//! End-to-end pmaxT wall-clock at 1/2/4/8 ranks — the honest local analogue
+//! of the paper's Table V (quad-core desktop). On a single-core host the
+//! ranks time-share and speedup ≈ 1; the table harness prints the core count
+//! alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use microarray::prelude::*;
+use sprint_core::options::PmaxtOptions;
+use sprint_core::pmaxt::pmaxt;
+
+fn bench_pmaxt_ranks(c: &mut Criterion) {
+    let ds = SynthConfig::two_class(150, 38, 38).seed(9).generate();
+    let opts = PmaxtOptions::default().permutations(400);
+    let mut group = c.benchmark_group("pmaxt_150x76_b400_by_ranks");
+    for ranks in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                let run = pmaxt(&ds.matrix, &ds.labels, &opts, r).unwrap();
+                black_box(run.result.b_used)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pmaxt_ranks
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Per-row cost of the six test statistics — the inner operation of the main
+//! kernel, executed genes × B times per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use microarray::prelude::*;
+use sprint_core::labels::ClassLabels;
+use sprint_core::options::TestMethod;
+use sprint_core::stats::{prepare_matrix, StatComputer};
+
+fn bench_statistics(c: &mut Criterion) {
+    // Rows of the paper's 76-sample layout, one statistic family at a time.
+    let ds = SynthConfig::two_class(8, 38, 38).seed(3).generate();
+    let two_labels = ds.labels.clone();
+    let f_labels: Vec<u8> = (0..76).map(|i| (i % 4) as u8).collect();
+    let pair_labels: Vec<u8> = (0..38).flat_map(|_| [0u8, 1]).collect();
+    let block_labels: Vec<u8> = (0..19).flat_map(|_| [0u8, 1, 2, 3]).collect();
+
+    let mut group = c.benchmark_group("statistics_per_row_76_samples");
+    for method in TestMethod::ALL {
+        let labels: &[u8] = match method {
+            TestMethod::F => &f_labels,
+            TestMethod::PairT => &pair_labels,
+            TestMethod::BlockF => &block_labels,
+            _ => &two_labels,
+        };
+        let class = ClassLabels::new(labels.to_vec(), method).unwrap();
+        let prepared = prepare_matrix(&ds.matrix, method, false).into_owned();
+        let computer = StatComputer::new(method, &class);
+        group.bench_function(method.as_str(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for g in 0..prepared.rows() {
+                    let s = computer.compute(black_box(prepared.row(g)), black_box(labels));
+                    if !s.is_nan() {
+                        acc += s;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_statistics
+}
+criterion_main!(benches);

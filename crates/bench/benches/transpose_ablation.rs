@@ -1,0 +1,33 @@
+//! Future-work item 2 ablation: allocate-new vs in-place non-square
+//! transposition at the paper's dataset shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sprint::transpose::{transpose_copy, transpose_in_place};
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose_by_rows_x76");
+    for rows in [1_000usize, 6_102] {
+        let cols = 76usize;
+        let data: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("copy", rows), &rows, |b, _| {
+            b.iter(|| black_box(transpose_copy(black_box(&data), rows, cols)))
+        });
+        group.bench_with_input(BenchmarkId::new("in_place", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut work = data.clone();
+                transpose_in_place(black_box(&mut work), rows, cols);
+                black_box(work.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transpose
+}
+criterion_main!(benches);

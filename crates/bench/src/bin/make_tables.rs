@@ -1,0 +1,161 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! make_tables table1|table2|table3|table4|table5   simulated profile tables
+//! make_tables table6                               large-workload table (256 procs)
+//! make_tables figure3                              speedup curves (CSV + ASCII)
+//! make_tables compare                              model vs paper, per cell
+//! make_tables whatif                               efficiency/crossover/network analysis
+//! make_tables local [GENES] [B] [MAXPROCS]         real run on this machine
+//! make_tables all                                  everything above
+//! ```
+
+use cluster_sim::platform::{ec2, ecdf, hector, ness, quadcore, PlatformSpec};
+use cluster_sim::{compare, figure, tables, whatif};
+use microarray::prelude::SynthConfig;
+use sprint_bench::{format_local_rows, local_profile_rows};
+use sprint_core::options::PmaxtOptions;
+
+fn platform_table(plat: &PlatformSpec, label: &str) {
+    println!("=== {label} (simulated {}; reference workload 6102x76, B=150000) ===", plat.name);
+    print!("{}", tables::profile_table(plat));
+    println!();
+}
+
+fn run_table6() {
+    println!("=== Table VI (simulated HECToR, 256 processes) ===");
+    let rows = tables::table6(&hector(), 256);
+    print!("{}", tables::format_table6(&rows, 256));
+    println!();
+}
+
+fn run_figure3() {
+    println!("=== Figure 3: pmaxT speed-up on the various systems ===");
+    let series = figure::figure3_series();
+    print!("{}", figure::ascii_plot(&series, 72, 24));
+    println!("--- CSV ---");
+    print!("{}", figure::to_csv(&series));
+    println!();
+}
+
+fn run_compare() {
+    println!("=== Model vs paper (per published cell) ===");
+    for (name, rows) in compare::compare_all() {
+        print!("{}", compare::format_comparison(&name, &rows));
+        println!();
+    }
+    println!("### Table VI");
+    println!("| genes | B | total model (s) | total paper (s) | err |");
+    println!("|---|---|---|---|---|");
+    for c in compare::compare_table6() {
+        println!(
+            "| {} | {} | {:.2} | {:.2} | {:.1}% |",
+            c.genes,
+            c.permutations,
+            c.total_model,
+            c.total_paper,
+            100.0 * c.rel_error()
+        );
+    }
+    println!();
+}
+
+fn run_whatif() {
+    use cluster_sim::{simulate, Workload, REFERENCE};
+    println!("=== What-if analysis (platform models) ===");
+    println!("parallel efficiency at each platform's maximum process count:");
+    for plat in [hector(), ecdf(), ec2(), ness(), quadcore()] {
+        let p = *plat.proc_counts.last().unwrap();
+        let eff = whatif::efficiency(&plat, REFERENCE, p);
+        let half = whatif::max_procs_at_efficiency(&plat, REFERENCE, 0.5);
+        println!(
+            "  {:<12} {:>4} procs: {:>5.1}% efficient; >=50% efficiency up to {:>4} procs",
+            plat.name,
+            p,
+            eff * 100.0,
+            half
+        );
+    }
+    println!();
+    println!("desktop vs cloud crossover (6102 genes):");
+    let quad = quadcore();
+    let cloud = ec2();
+    match whatif::crossover_permutations(&cloud, 32, &quad, 4, 6_102, 100, 1 << 22) {
+        Some(b) => println!(
+            "  32 EC2 processes overtake the quad-core desktop near B = {b}              (at B = {b}: EC2 {:.1} s vs desktop {:.1} s)",
+            simulate(&cloud, Workload::new(6_102, b), 32).total(),
+            simulate(&quad, Workload::new(6_102, b), 4).total()
+        ),
+        None => println!("  no crossover in range"),
+    }
+    println!();
+    println!("EC2 network sensitivity (total time at 32 processes, reference workload):");
+    for factor in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        let plat = whatif::with_network_scaled(&ec2(), factor);
+        println!(
+            "  network cost x{factor:<4}: {:>7.2} s",
+            simulate(&plat, REFERENCE, 32).total()
+        );
+    }
+    println!();
+}
+
+fn run_local(genes: usize, b: u64, max_procs: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== Local measured profile (this machine: {cores} core(s)) ===");
+    println!(
+        "workload: {genes} genes x 76 samples, B = {b}; ranks are threads, so \
+         wall-clock speedup is bounded by the physical core count"
+    );
+    let ds = SynthConfig::two_class(genes, 38, 38)
+        .diff_fraction(0.05)
+        .seed(7)
+        .generate();
+    let opts = PmaxtOptions::default().permutations(b);
+    let mut procs = vec![1usize];
+    while *procs.last().unwrap() * 2 <= max_procs {
+        procs.push(procs.last().unwrap() * 2);
+    }
+    let rows = local_profile_rows(&ds.matrix, &ds.labels, &opts, &procs);
+    print!("{}", format_local_rows(&rows));
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "table1" => platform_table(&hector(), "Table I"),
+        "table2" => platform_table(&ecdf(), "Table II"),
+        "table3" => platform_table(&ec2(), "Table III"),
+        "table4" => platform_table(&ness(), "Table IV"),
+        "table5" => platform_table(&quadcore(), "Table V"),
+        "table6" => run_table6(),
+        "figure3" => run_figure3(),
+        "compare" => run_compare(),
+        "whatif" => run_whatif(),
+        "local" => {
+            let genes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+            let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+            let maxp = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+            run_local(genes, b, maxp);
+        }
+        "all" => {
+            platform_table(&hector(), "Table I");
+            platform_table(&ecdf(), "Table II");
+            platform_table(&ec2(), "Table III");
+            platform_table(&ness(), "Table IV");
+            platform_table(&quadcore(), "Table V");
+            run_table6();
+            run_figure3();
+            run_compare();
+            run_whatif();
+            run_local(600, 2_000, 4);
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|all]");
+            std::process::exit(2);
+        }
+    }
+}

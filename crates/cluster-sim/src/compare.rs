@@ -1,0 +1,223 @@
+//! Model-vs-paper comparison: per-cell relative errors between the simulated
+//! tables and the published measurements. This is the machinery behind
+//! EXPERIMENTS.md.
+
+use crate::model::{sweep, total_speedups};
+use crate::paper_data::{self, PaperRow};
+use crate::platform::{ec2, ecdf, hector, ness, quadcore, PlatformSpec};
+use crate::tables;
+use crate::workload::REFERENCE;
+
+/// Comparison of one process count.
+#[derive(Debug, Clone, Copy)]
+pub struct RowComparison {
+    /// Process count.
+    pub procs: u32,
+    /// Modelled kernel seconds.
+    pub kernel_model: f64,
+    /// Published kernel seconds.
+    pub kernel_paper: f64,
+    /// Modelled total speedup.
+    pub speedup_model: f64,
+    /// Published total speedup.
+    pub speedup_paper: f64,
+}
+
+impl RowComparison {
+    /// Relative kernel error `|model − paper| / paper`.
+    pub fn kernel_rel_error(&self) -> f64 {
+        (self.kernel_model - self.kernel_paper).abs() / self.kernel_paper
+    }
+
+    /// Relative total-speedup error.
+    pub fn speedup_rel_error(&self) -> f64 {
+        (self.speedup_model - self.speedup_paper).abs() / self.speedup_paper
+    }
+}
+
+/// Compare a platform's model against its published table.
+pub fn compare_platform(platform: &PlatformSpec, paper: &[PaperRow]) -> Vec<RowComparison> {
+    let profiles = sweep(platform, REFERENCE);
+    let speedups = total_speedups(&profiles);
+    paper
+        .iter()
+        .zip(profiles.iter().zip(&speedups))
+        .map(|(p, (m, &s))| {
+            assert_eq!(p.procs, m.procs, "row alignment");
+            RowComparison {
+                procs: p.procs,
+                kernel_model: m.kernel,
+                kernel_paper: p.kernel,
+                speedup_model: s,
+                speedup_paper: p.speedup_total,
+            }
+        })
+        .collect()
+}
+
+/// All five table comparisons, keyed by platform name.
+pub fn compare_all() -> Vec<(String, Vec<RowComparison>)> {
+    vec![
+        (
+            "HECToR".into(),
+            compare_platform(&hector(), &paper_data::table1_hector()),
+        ),
+        (
+            "ECDF".into(),
+            compare_platform(&ecdf(), &paper_data::table2_ecdf()),
+        ),
+        (
+            "Amazon EC2".into(),
+            compare_platform(&ec2(), &paper_data::table3_ec2()),
+        ),
+        (
+            "Ness".into(),
+            compare_platform(&ness(), &paper_data::table4_ness()),
+        ),
+        (
+            "Quad-core".into(),
+            compare_platform(&quadcore(), &paper_data::table5_quadcore()),
+        ),
+    ]
+}
+
+/// Comparison of Table VI totals.
+#[derive(Debug, Clone, Copy)]
+pub struct Table6Comparison {
+    /// Matrix rows.
+    pub genes: u64,
+    /// Permutations.
+    pub permutations: u64,
+    /// Modelled total at 256 processes.
+    pub total_model: f64,
+    /// Published total.
+    pub total_paper: f64,
+}
+
+impl Table6Comparison {
+    /// Relative error of the 256-process total.
+    pub fn rel_error(&self) -> f64 {
+        (self.total_model - self.total_paper).abs() / self.total_paper
+    }
+}
+
+/// Compare the Table VI model against the published values.
+pub fn compare_table6() -> Vec<Table6Comparison> {
+    let model = tables::table6(&hector(), 256);
+    paper_data::table6()
+        .iter()
+        .zip(model)
+        .map(|(p, m)| {
+            assert_eq!(p.genes, m.genes);
+            assert_eq!(p.permutations, m.permutations);
+            Table6Comparison {
+                genes: p.genes,
+                permutations: p.permutations,
+                total_model: m.total,
+                total_paper: p.total_256,
+            }
+        })
+        .collect()
+}
+
+/// Render a comparison as a markdown table (used to build EXPERIMENTS.md).
+pub fn format_comparison(name: &str, rows: &[RowComparison]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "### {name}");
+    let _ = writeln!(
+        s,
+        "| procs | kernel model (s) | kernel paper (s) | err | speedup model | speedup paper | err |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {:.3} | {:.3} | {:.1}% | {:.2} | {:.2} | {:.1}% |",
+            r.procs,
+            r.kernel_model,
+            r.kernel_paper,
+            100.0 * r.kernel_rel_error(),
+            r.speedup_model,
+            r.speedup_paper,
+            100.0 * r.speedup_rel_error()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline claim: the model reproduces every published kernel time
+    /// within 10% and every published total speedup within 15%.
+    #[test]
+    fn model_matches_paper_within_tolerance() {
+        for (name, rows) in compare_all() {
+            for r in &rows {
+                assert!(
+                    r.kernel_rel_error() < 0.10,
+                    "{name} p={}: kernel {:.3} vs {:.3} ({:.1}%)",
+                    r.procs,
+                    r.kernel_model,
+                    r.kernel_paper,
+                    100.0 * r.kernel_rel_error()
+                );
+                assert!(
+                    r.speedup_rel_error() < 0.15,
+                    "{name} p={}: speedup {:.2} vs {:.2} ({:.1}%)",
+                    r.procs,
+                    r.speedup_model,
+                    r.speedup_paper,
+                    100.0 * r.speedup_rel_error()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table6_matches_paper_within_tolerance() {
+        for c in compare_table6() {
+            assert!(
+                c.rel_error() < 0.10,
+                "genes={} B={}: {:.2} vs {:.2} ({:.1}%)",
+                c.genes,
+                c.permutations,
+                c.total_model,
+                c.total_paper,
+                100.0 * c.rel_error()
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_of_platforms_preserved() {
+        // Who wins: at every shared process count the paper's platform
+        // ordering by kernel time must be preserved by the model.
+        let all = compare_all();
+        for p in [2u32, 4, 8, 16] {
+            let mut model: Vec<(String, f64)> = Vec::new();
+            let mut paper: Vec<(String, f64)> = Vec::new();
+            for (name, rows) in &all {
+                if let Some(r) = rows.iter().find(|r| r.procs == p) {
+                    model.push((name.clone(), r.kernel_model));
+                    paper.push((name.clone(), r.kernel_paper));
+                }
+            }
+            let sort_names = |mut v: Vec<(String, f64)>| {
+                v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                v.into_iter().map(|(n, _)| n).collect::<Vec<_>>()
+            };
+            assert_eq!(sort_names(model), sort_names(paper), "p={p}");
+        }
+    }
+
+    #[test]
+    fn formatted_comparison_is_markdown() {
+        let all = compare_all();
+        let s = format_comparison(&all[0].0, &all[0].1);
+        assert!(s.starts_with("### HECToR"));
+        assert!(s.contains("| 512 |"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Figure 3: total-time speedup curves of all platforms against the optimal
+//! diagonal, on log-log axes.
+
+use crate::model::{sweep, total_speedups};
+use crate::platform::PlatformSpec;
+use crate::workload::REFERENCE;
+
+/// One platform's speedup series.
+#[derive(Debug, Clone)]
+pub struct SpeedupSeries {
+    /// Platform name.
+    pub name: String,
+    /// `(process count, total speedup)` points.
+    pub points: Vec<(u32, f64)>,
+}
+
+/// Compute the Figure 3 series for every paper platform plus the optimal
+/// diagonal over the widest process range.
+pub fn figure3_series() -> Vec<SpeedupSeries> {
+    let mut out = Vec::new();
+    let mut max_procs = 1u32;
+    for plat in PlatformSpec::all() {
+        let profiles = sweep(&plat, REFERENCE);
+        let speedups = total_speedups(&profiles);
+        max_procs = max_procs.max(*plat.proc_counts.last().unwrap());
+        out.push(SpeedupSeries {
+            name: plat.name.to_string(),
+            points: plat
+                .proc_counts
+                .iter()
+                .copied()
+                .zip(speedups)
+                .collect(),
+        });
+    }
+    let mut optimal = Vec::new();
+    let mut p = 1u32;
+    while p <= max_procs {
+        optimal.push((p, p as f64));
+        p *= 2;
+    }
+    out.insert(
+        0,
+        SpeedupSeries {
+            name: "Optimal".to_string(),
+            points: optimal,
+        },
+    );
+    out
+}
+
+/// Render the series as CSV (`platform,procs,speedup` per line).
+pub fn to_csv(series: &[SpeedupSeries]) -> String {
+    let mut s = String::from("platform,procs,speedup\n");
+    for ser in series {
+        for &(p, v) in &ser.points {
+            s.push_str(&format!("{},{},{:.4}\n", ser.name, p, v));
+        }
+    }
+    s
+}
+
+/// A simple ASCII log-log plot of the speedup curves (processes on x,
+/// speedup on y), for terminal inspection.
+pub fn ascii_plot(series: &[SpeedupSeries], width: usize, height: usize) -> String {
+    let max_x = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(p, _)| p as f64))
+        .fold(1.0f64, f64::max);
+    let max_y = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, v)| v))
+        .fold(1.0f64, f64::max);
+    let lx = max_x.log2();
+    let ly = max_y.log2();
+    let mut grid = vec![vec![b' '; width]; height];
+    let markers = [b'*', b'H', b'E', b'A', b'N', b'Q'];
+    for (si, ser) in series.iter().enumerate() {
+        let mark = markers[si % markers.len()];
+        for &(p, v) in &ser.points {
+            if v <= 0.0 {
+                continue;
+            }
+            let x = ((p as f64).log2() / lx * (width - 1) as f64).round() as usize;
+            let y = (v.log2() / ly * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Speedup (log2, max {max_y:.0}) vs process count (log2, max {max_x:.0})\n"
+    ));
+    for (si, ser) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} = {}\n",
+            markers[si % markers.len()] as char,
+            ser.name
+        ));
+    }
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_cover_all_platforms_plus_optimal() {
+        let s = figure3_series();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0].name, "Optimal");
+        let names: Vec<&str> = s.iter().map(|x| x.name.as_str()).collect();
+        assert!(names.contains(&"HECToR"));
+        assert!(names.contains(&"Amazon EC2"));
+    }
+
+    #[test]
+    fn hector_dominates_other_platforms_at_32() {
+        // Paper Figure 3: HECToR's curve is closest to optimal.
+        let s = figure3_series();
+        let at32 = |name: &str| {
+            s.iter()
+                .find(|x| x.name == name)
+                .unwrap()
+                .points
+                .iter()
+                .find(|&&(p, _)| p == 32)
+                .map(|&(_, v)| v)
+        };
+        let hector = at32("HECToR").unwrap();
+        let ecdf = at32("ECDF").unwrap();
+        let ec2 = at32("Amazon EC2").unwrap();
+        assert!(hector > ecdf, "hector {hector} ecdf {ecdf}");
+        assert!(ecdf > ec2, "ecdf {ecdf} ec2 {ec2}");
+    }
+
+    #[test]
+    fn speedups_monotone_increasing_on_hector() {
+        let s = figure3_series();
+        let h = s.iter().find(|x| x.name == "HECToR").unwrap();
+        for w in h.points.windows(2) {
+            assert!(w[1].1 > w[0].1, "speedup should grow: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn below_optimal_everywhere() {
+        for ser in figure3_series().iter().skip(1) {
+            for &(p, v) in &ser.points {
+                assert!(v <= p as f64 + 1e-9, "{}: {v} at {p}", ser.name);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_well_formed() {
+        let csv = to_csv(&figure3_series());
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "platform,procs,speedup");
+        assert!(lines.len() > 30);
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), 3);
+        }
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let plot = ascii_plot(&figure3_series(), 64, 20);
+        assert!(plot.contains("HECToR"));
+        assert!(plot.lines().count() > 20);
+        assert!(plot.contains('H'));
+    }
+}

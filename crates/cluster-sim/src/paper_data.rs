@@ -1,0 +1,215 @@
+//! The paper's published measurements (Tables I–VI), embedded verbatim for
+//! model validation and the EXPERIMENTS.md comparison.
+
+/// One row of a profile table (Tables I–V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Process count.
+    pub procs: u32,
+    /// Pre-processing (s).
+    pub pre: f64,
+    /// Broadcast parameters (s).
+    pub bcast: f64,
+    /// Create data (s).
+    pub create: f64,
+    /// Main kernel (s).
+    pub kernel: f64,
+    /// Compute p-values (s).
+    pub pvalues: f64,
+    /// Published total speedup.
+    pub speedup_total: f64,
+    /// Published kernel speedup.
+    pub speedup_kernel: f64,
+}
+
+/// Table I — HECToR.
+pub fn table1_hector() -> Vec<PaperRow> {
+    [
+        (1, 0.260, 0.001, 0.010, 795.600, 0.002, 1.00, 1.00),
+        (2, 0.261, 0.004, 0.012, 406.204, 0.884, 1.95, 1.95),
+        (4, 0.259, 0.009, 0.013, 207.776, 0.005, 3.82, 3.82),
+        (8, 0.260, 0.013, 0.013, 104.169, 0.489, 7.58, 7.63),
+        (16, 0.259, 0.015, 0.013, 51.931, 0.713, 15.03, 15.32),
+        (32, 0.259, 0.017, 0.013, 25.993, 0.784, 29.40, 30.60),
+        (64, 0.259, 0.020, 0.013, 13.028, 0.611, 57.11, 61.06),
+        (128, 0.259, 0.023, 0.013, 6.516, 0.662, 106.48, 122.09),
+        (256, 0.260, 0.024, 0.013, 3.257, 0.611, 190.99, 244.27),
+        (512, 0.260, 0.028, 0.013, 1.633, 0.606, 313.09, 487.20),
+    ]
+    .into_iter()
+    .map(to_row)
+    .collect()
+}
+
+/// Table II — ECDF.
+pub fn table2_ecdf() -> Vec<PaperRow> {
+    [
+        (1, 0.157, 0.000, 0.003, 467.273, 0.000, 1.00, 1.00),
+        (2, 0.163, 0.002, 0.003, 234.848, 0.000, 1.99, 1.99),
+        (4, 0.162, 0.003, 0.004, 123.174, 0.000, 3.79, 3.79),
+        (8, 0.159, 0.004, 0.005, 79.576, 1.217, 5.77, 5.87),
+        (16, 0.158, 0.032, 0.005, 39.467, 1.224, 11.43, 11.84),
+        (32, 0.164, 0.072, 0.005, 19.862, 1.235, 21.91, 23.53),
+        (64, 0.157, 0.072, 0.005, 9.935, 1.297, 40.77, 47.03),
+        (128, 0.162, 0.086, 0.007, 5.813, 1.304, 63.40, 80.38),
+    ]
+    .into_iter()
+    .map(to_row)
+    .collect()
+}
+
+/// Table III — Amazon EC2.
+pub fn table3_ec2() -> Vec<PaperRow> {
+    [
+        (1, 0.272, 0.000, 0.006, 539.074, 0.000, 1.00, 1.00),
+        (2, 0.271, 0.004, 0.009, 291.514, 0.005, 1.84, 1.84),
+        (4, 0.273, 0.011, 0.014, 187.342, 0.043, 2.87, 2.87),
+        (8, 0.278, 0.880, 0.014, 90.806, 2.574, 5.70, 5.93),
+        (16, 0.268, 1.735, 0.022, 43.756, 4.983, 10.62, 12.32),
+        (32, 0.270, 2.917, 0.019, 22.308, 3.834, 18.37, 24.16),
+    ]
+    .into_iter()
+    .map(to_row)
+    .collect()
+}
+
+/// Table IV — Ness.
+pub fn table4_ness() -> Vec<PaperRow> {
+    [
+        (1, 0.393, 0.000, 0.010, 852.223, 0.000, 1.00, 1.00),
+        (2, 0.467, 0.007, 0.012, 443.050, 0.001, 1.92, 1.92),
+        (4, 0.398, 0.029, 0.012, 216.595, 0.001, 3.93, 3.93),
+        (8, 0.394, 0.032, 0.014, 117.317, 0.001, 7.24, 7.26),
+        (16, 0.436, 0.109, 0.019, 84.442, 0.001, 10.03, 10.09),
+    ]
+    .into_iter()
+    .map(to_row)
+    .collect()
+}
+
+/// Table V — quad-core desktop.
+pub fn table5_quadcore() -> Vec<PaperRow> {
+    [
+        (1, 0.140, 0.000, 0.007, 566.638, 0.001, 1.00, 1.00),
+        (2, 0.136, 0.003, 0.008, 282.623, 0.085, 2.00, 2.00),
+        (4, 0.135, 0.010, 0.013, 167.439, 0.705, 3.37, 3.38),
+    ]
+    .into_iter()
+    .map(to_row)
+    .collect()
+}
+
+fn to_row(t: (u32, f64, f64, f64, f64, f64, f64, f64)) -> PaperRow {
+    PaperRow {
+        procs: t.0,
+        pre: t.1,
+        bcast: t.2,
+        create: t.3,
+        kernel: t.4,
+        pvalues: t.5,
+        speedup_total: t.6,
+        speedup_kernel: t.7,
+    }
+}
+
+/// One row of Table VI (HECToR, 256 processes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable6Row {
+    /// Matrix rows (genes).
+    pub genes: u64,
+    /// Permutation count.
+    pub permutations: u64,
+    /// Published total run time on 256 cores (s).
+    pub total_256: f64,
+    /// Published serial-R estimate (s).
+    pub serial_estimate: f64,
+}
+
+/// Table VI — large workloads on 256 HECToR cores vs estimated serial R.
+pub fn table6() -> Vec<PaperTable6Row> {
+    [
+        (36_612u64, 500_000u64, 73.18, 20_750.0),
+        (36_612, 1_000_000, 146.64, 41_500.0),
+        (36_612, 2_000_000, 290.22, 83_000.0),
+        (73_224, 500_000, 148.46, 35_000.0),
+        (73_224, 1_000_000, 294.61, 70_000.0),
+        (73_224, 2_000_000, 591.48, 140_000.0),
+    ]
+    .into_iter()
+    .map(|(genes, permutations, total_256, serial_estimate)| PaperTable6Row {
+        genes,
+        permutations,
+        total_256,
+        serial_estimate,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_speedups_are_consistent_with_times() {
+        // The published total speedup must equal total(1)/total(p) within
+        // rounding of the published two-decimal values.
+        for (name, table) in [
+            ("hector", table1_hector()),
+            ("ecdf", table2_ecdf()),
+            ("ec2", table3_ec2()),
+            ("ness", table4_ness()),
+            ("quadcore", table5_quadcore()),
+        ] {
+            let t1: f64 = {
+                let r = table[0];
+                r.pre + r.bcast + r.create + r.kernel + r.pvalues
+            };
+            for r in &table {
+                let total = r.pre + r.bcast + r.create + r.kernel + r.pvalues;
+                let speedup = t1 / total;
+                assert!(
+                    (speedup - r.speedup_total).abs() < 0.03 * r.speedup_total.max(1.0),
+                    "{name} p={}: recomputed {speedup:.2} vs published {}",
+                    r.procs,
+                    r.speedup_total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_speedups_consistent() {
+        for r in table1_hector() {
+            let s = 795.6 / r.kernel;
+            assert!(
+                (s - r.speedup_kernel).abs() < 0.02 * r.speedup_kernel.max(1.0),
+                "p={}",
+                r.procs
+            );
+        }
+    }
+
+    #[test]
+    fn table6_times_scale_linearly_in_b() {
+        let t6 = table6();
+        // Within each dataset the published time is ~linear in B.
+        for base in [0usize, 3] {
+            let r1 = t6[base];
+            let r2 = t6[base + 1];
+            let r4 = t6[base + 2];
+            assert!((r2.total_256 / r1.total_256 - 2.0).abs() < 0.05);
+            assert!((r4.total_256 / r1.total_256 - 4.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn table6_doubling_rows_roughly_doubles_time() {
+        // Paper §4.4: "doubling the input dataset size results in a close to
+        // doubling of the elapsed time".
+        let t6 = table6();
+        for i in 0..3 {
+            let ratio = t6[i + 3].total_256 / t6[i].total_256;
+            assert!(ratio > 1.9 && ratio < 2.15, "ratio {ratio}");
+        }
+    }
+}

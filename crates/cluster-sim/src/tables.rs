@@ -1,0 +1,157 @@
+//! Rendering of simulated tables in the paper's format.
+
+use crate::model::{kernel_speedups, simulate, sweep, total_speedups, SimProfile};
+use crate::platform::PlatformSpec;
+use crate::workload::{Workload, REFERENCE};
+
+/// A rendered profile table (the shape of Tables I–V).
+#[derive(Debug, Clone)]
+pub struct ProfileTable {
+    /// Platform name.
+    pub platform: String,
+    /// The modelled rows.
+    pub profiles: Vec<SimProfile>,
+    /// Total speedups, aligned with `profiles`.
+    pub speedup_total: Vec<f64>,
+    /// Kernel speedups, aligned with `profiles`.
+    pub speedup_kernel: Vec<f64>,
+}
+
+/// Build the profile table of a platform for the reference workload.
+pub fn profile_table(platform: &PlatformSpec) -> ProfileTable {
+    let profiles = sweep(platform, REFERENCE);
+    let speedup_total = total_speedups(&profiles);
+    let speedup_kernel = kernel_speedups(&profiles);
+    ProfileTable {
+        platform: platform.name.to_string(),
+        profiles,
+        speedup_total,
+        speedup_kernel,
+    }
+}
+
+impl std::fmt::Display for ProfileTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Profile of pmaxT implementation ({})", self.platform)?;
+        writeln!(
+            f,
+            "{:>7} {:>12} {:>12} {:>10} {:>12} {:>12} {:>9} {:>9}",
+            "Procs", "Preproc(s)", "Bcast(s)", "Create(s)", "Kernel(s)", "P-values(s)", "Speedup", "Spd(krn)"
+        )?;
+        for (i, p) in self.profiles.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>7} {:>12.3} {:>12.3} {:>10.3} {:>12.3} {:>12.3} {:>9.2} {:>9.2}",
+                p.procs,
+                p.pre,
+                p.bcast,
+                p.create,
+                p.kernel,
+                p.pvalues,
+                self.speedup_total[i],
+                self.speedup_kernel[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of the Table VI reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct Table6Row {
+    /// Matrix rows.
+    pub genes: u64,
+    /// Dataset size in MB.
+    pub megabytes: f64,
+    /// Permutation count.
+    pub permutations: u64,
+    /// Modelled total time on `procs` processes.
+    pub total: f64,
+    /// Modelled serial (1-process) kernel estimate.
+    pub serial_estimate: f64,
+}
+
+/// Reproduce Table VI: large workloads on 256 HECToR processes, with the
+/// 1-process estimate alongside.
+pub fn table6(platform: &PlatformSpec, procs: u32) -> Vec<Table6Row> {
+    let mut rows = Vec::new();
+    for genes in [36_612u64, 73_224] {
+        for b in [500_000u64, 1_000_000, 2_000_000] {
+            let w = Workload::new(genes, b);
+            let prof = simulate(platform, w, procs);
+            let serial = simulate(platform, w, 1);
+            rows.push(Table6Row {
+                genes,
+                megabytes: w.megabytes(),
+                permutations: b,
+                total: prof.total(),
+                serial_estimate: serial.total(),
+            });
+        }
+    }
+    rows
+}
+
+/// Render Table VI.
+pub fn format_table6(rows: &[Table6Row], procs: u32) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Elapsed run times of pmaxT ({procs} processes) vs serial estimate"
+    );
+    let _ = writeln!(
+        s,
+        "{:>10} {:>9} {:>12} {:>12} {:>20}",
+        "Genes", "Size(MB)", "Perms", "Total(s)", "Serial estimate(s)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>10} {:>9.2} {:>12} {:>12.2} {:>20.0}",
+            r.genes, r.megabytes, r.permutations, r.total, r.serial_estimate
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{hector, quadcore};
+
+    #[test]
+    fn profile_table_has_all_proc_counts() {
+        let t = profile_table(&hector());
+        assert_eq!(t.profiles.len(), 10);
+        assert_eq!(t.speedup_total.len(), 10);
+        assert!((t.speedup_total[0] - 1.0).abs() < 1e-12);
+        let rendered = t.to_string();
+        assert!(rendered.contains("HECToR"));
+        assert!(rendered.contains("512"));
+    }
+
+    #[test]
+    fn table6_has_six_rows_and_scales() {
+        let rows = table6(&hector(), 256);
+        assert_eq!(rows.len(), 6);
+        // Linear in B within a dataset.
+        assert!((rows[1].total / rows[0].total - 2.0).abs() < 0.1);
+        assert!((rows[2].total / rows[0].total - 4.0).abs() < 0.2);
+        // Doubling rows ≈ doubles the time.
+        let ratio = rows[3].total / rows[0].total;
+        assert!(ratio > 1.9 && ratio < 2.2, "ratio {ratio}");
+        // Serial estimate is ~hours, parallel ~minutes.
+        assert!(rows[0].serial_estimate > 100.0 * rows[0].total);
+        let rendered = format_table6(&rows, 256);
+        assert!(rendered.contains("36612") || rendered.contains("36 612"));
+    }
+
+    #[test]
+    fn quadcore_table_matches_paper_shape() {
+        let t = profile_table(&quadcore());
+        // Paper Table V: speedups 1.00, 2.00, 3.37.
+        assert!((t.speedup_total[1] - 2.0).abs() < 0.02);
+        assert!((t.speedup_total[2] - 3.37).abs() < 0.1);
+    }
+}

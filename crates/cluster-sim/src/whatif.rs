@@ -1,0 +1,176 @@
+//! What-if analysis on top of the platform models: the questions a life
+//! scientist (or the paper's §5 conclusions) would ask before choosing a
+//! platform — how far does scaling stay efficient, which platform finishes a
+//! given analysis first, and how sensitive is a cloud platform to its network.
+
+use crate::model::simulate;
+use crate::platform::PlatformSpec;
+use crate::workload::Workload;
+
+/// Parallel efficiency at `p` processes: `speedup(p) / p` over total time.
+pub fn efficiency(platform: &PlatformSpec, workload: Workload, p: u32) -> f64 {
+    let t1 = simulate(platform, workload, 1).total();
+    let tp = simulate(platform, workload, p).total();
+    t1 / tp / p as f64
+}
+
+/// The largest reported process count whose efficiency is at least
+/// `min_efficiency` (scanning the platform's own `proc_counts`). Returns 1
+/// when no multi-process point qualifies.
+pub fn max_procs_at_efficiency(
+    platform: &PlatformSpec,
+    workload: Workload,
+    min_efficiency: f64,
+) -> u32 {
+    platform
+        .proc_counts
+        .iter()
+        .copied()
+        .filter(|&p| efficiency(platform, workload, p) >= min_efficiency)
+        .max()
+        .unwrap_or(1)
+}
+
+/// The platform (index into `platforms`) with the smallest total time for
+/// `workload` at each platform's maximum reported process count.
+pub fn fastest_platform(platforms: &[PlatformSpec], workload: Workload) -> usize {
+    platforms
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            let ta = simulate(a, workload, *a.proc_counts.last().unwrap()).total();
+            let tb = simulate(b, workload, *b.proc_counts.last().unwrap()).total();
+            ta.partial_cmp(&tb).expect("finite times")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty platform list")
+}
+
+/// Smallest permutation count (scanning powers of two in
+/// `[b_min, b_max]`) at which platform `a` at `pa` processes beats platform
+/// `b` at `pb` processes on total time. `None` if it never does in range.
+///
+/// This locates the *crossover* the paper's conclusion gestures at: overheads
+/// dominate small analyses (favouring simple platforms), kernels dominate
+/// large ones (favouring parallel machines).
+pub fn crossover_permutations(
+    a: &PlatformSpec,
+    pa: u32,
+    b: &PlatformSpec,
+    pb: u32,
+    genes: u64,
+    b_min: u64,
+    b_max: u64,
+) -> Option<u64> {
+    let mut bb = b_min.max(1);
+    while bb <= b_max {
+        let w = Workload::new(genes, bb);
+        if simulate(a, w, pa).total() < simulate(b, w, pb).total() {
+            return Some(bb);
+        }
+        bb = bb.saturating_mul(2);
+    }
+    None
+}
+
+/// Rescale a platform's inter-node communication constants by `factor`
+/// (> 1 = worse network). Models the paper's EC2 discussion: "instances are
+/// connected using a virtual ethernet network with no guarantees on bandwidth
+/// or latency".
+pub fn with_network_scaled(platform: &PlatformSpec, factor: f64) -> PlatformSpec {
+    let mut p = platform.clone();
+    p.comm.alpha_inter *= factor;
+    p.comm.pv_base *= factor;
+    p.comm.pv_round *= factor;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{ec2, ecdf, hector, ness, quadcore};
+    use crate::workload::REFERENCE;
+
+    #[test]
+    fn efficiency_is_one_at_single_process() {
+        for p in [hector(), ecdf(), ec2(), ness(), quadcore()] {
+            assert!((efficiency(&p, REFERENCE, 1) - 1.0).abs() < 1e-12, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_scale() {
+        let h = hector();
+        let e16 = efficiency(&h, REFERENCE, 16);
+        let e512 = efficiency(&h, REFERENCE, 512);
+        assert!(e16 > e512, "e16={e16} e512={e512}");
+        assert!(e512 > 0.5, "HECToR stays >50% efficient at 512: {e512}");
+    }
+
+    #[test]
+    fn hector_sustains_full_scale_at_half_efficiency() {
+        assert_eq!(max_procs_at_efficiency(&hector(), REFERENCE, 0.5), 512);
+        // EC2's efficiency collapses much earlier (paper Table III: speedup
+        // 18.37 at 32 ⇒ 57%).
+        let ec2_max = max_procs_at_efficiency(&ec2(), REFERENCE, 0.7);
+        assert!(ec2_max <= 16, "EC2 at 70% efficiency: {ec2_max}");
+    }
+
+    #[test]
+    fn fastest_platform_is_hector_for_the_reference_workload() {
+        let platforms = vec![hector(), ecdf(), ec2(), ness(), quadcore()];
+        assert_eq!(fastest_platform(&platforms, REFERENCE), 0);
+    }
+
+    #[test]
+    fn crossover_exists_between_desktop_and_cloud() {
+        // For tiny permutation counts the quad-core desktop (no network)
+        // beats 32 EC2 processes (seconds of collective overhead); for the
+        // paper's B = 150 000 the cloud wins. The crossover is in between.
+        let quad = quadcore();
+        let cloud = ec2();
+        let tiny = Workload::new(6_102, 100);
+        assert!(
+            simulate(&quad, tiny, 4).total() < simulate(&cloud, tiny, 32).total(),
+            "desktop should win at B=100"
+        );
+        assert!(
+            simulate(&quad, REFERENCE, 4).total() > simulate(&cloud, REFERENCE, 32).total(),
+            "cloud should win at B=150000"
+        );
+        let cross = crossover_permutations(&cloud, 32, &quad, 4, 6_102, 100, 1 << 22)
+            .expect("crossover in range");
+        assert!(cross > 100 && cross < 150_000, "crossover at B={cross}");
+    }
+
+    #[test]
+    fn degrading_the_network_hurts_only_communication() {
+        let base = ec2();
+        let bad = with_network_scaled(&base, 10.0);
+        let w = REFERENCE;
+        let b32 = simulate(&base, w, 32);
+        let d32 = simulate(&bad, w, 32);
+        assert_eq!(b32.kernel, d32.kernel, "kernel untouched");
+        assert!(d32.bcast > 5.0 * b32.bcast);
+        assert!(d32.total() > b32.total());
+        // Single process unaffected (no inter rounds).
+        assert!(
+            (simulate(&base, w, 1).total() - simulate(&bad, w, 1).total()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn perfect_network_restores_near_kernel_speedup() {
+        // With free communication, EC2's total speedup approaches its kernel
+        // speedup.
+        let ideal = with_network_scaled(&ec2(), 0.0);
+        let t1 = simulate(&ideal, REFERENCE, 1).total();
+        let t32 = simulate(&ideal, REFERENCE, 32).total();
+        let kernel_speedup = ec2().kernel_t1 / simulate(&ec2(), REFERENCE, 32).kernel;
+        let total_speedup = t1 / t32;
+        assert!(
+            (total_speedup - kernel_speedup).abs() / kernel_speedup < 0.05,
+            "total {total_speedup} vs kernel {kernel_speedup}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Workload description and kernel-cost scaling.
+//!
+//! The paper's reference workload is 6102 genes × 76 samples with 150 000
+//! permutations (Tables I–V). Kernel cost scales linearly in the permutation
+//! count (paper §4.3: serial runs "showed a linear increase in run time as
+//! the permutation count increases") and slightly super-linearly in the row
+//! count (Table VI: doubling the rows slightly more than doubles the time —
+//! the working set outgrows caches), modelled as `(genes/6102)^1.06`.
+
+/// A permutation-testing workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Number of genes (matrix rows).
+    pub genes: u64,
+    /// Number of samples (matrix columns).
+    pub samples: u64,
+    /// Number of permutations (B).
+    pub permutations: u64,
+}
+
+/// The Tables I–V reference workload.
+pub const REFERENCE: Workload = Workload {
+    genes: 6_102,
+    samples: 76,
+    permutations: 150_000,
+};
+
+/// Cache-pressure exponent for the row count (calibrated on Table VI).
+pub const ROW_EXPONENT: f64 = 1.06;
+
+impl Workload {
+    /// Construct a workload with the reference sample count.
+    pub fn new(genes: u64, permutations: u64) -> Self {
+        Workload {
+            genes,
+            samples: REFERENCE.samples,
+            permutations,
+        }
+    }
+
+    /// Dataset size in megabytes (f64 cells), as reported in Table VI.
+    pub fn megabytes(&self) -> f64 {
+        (self.genes * self.samples * 8) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Kernel-cost multiplier relative to the reference workload.
+    pub fn kernel_scale(&self) -> f64 {
+        let rows = (self.genes as f64 / REFERENCE.genes as f64).powf(ROW_EXPONENT);
+        let perms = self.permutations as f64 / REFERENCE.permutations as f64;
+        let cols = self.samples as f64 / REFERENCE.samples as f64;
+        rows * perms * cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_scale_is_one() {
+        assert!((REFERENCE.kernel_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_in_permutations() {
+        let w1 = Workload::new(6_102, 150_000);
+        let w2 = Workload::new(6_102, 300_000);
+        assert!((w2.kernel_scale() / w1.kernel_scale() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superlinear_in_rows() {
+        let w1 = Workload::new(6_102, 150_000);
+        let w2 = Workload::new(12_204, 150_000);
+        let ratio = w2.kernel_scale() / w1.kernel_scale();
+        assert!(ratio > 2.0 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn table6_sizes() {
+        assert!((Workload::new(36_612, 500_000).megabytes() - 21.23).abs() < 0.02);
+        assert!((Workload::new(73_224, 500_000).megabytes() - 42.47).abs() < 0.05);
+    }
+}

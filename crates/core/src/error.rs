@@ -1,0 +1,87 @@
+//! Error type shared across the core library.
+
+use std::fmt;
+
+/// Errors surfaced by dataset validation, option parsing, generator
+/// construction and the parallel driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The input matrix is empty or its dimensions are inconsistent.
+    BadMatrix(String),
+    /// The class-label vector is invalid for the chosen test method.
+    BadLabels(String),
+    /// An option string could not be parsed (mirrors R-level validation).
+    BadOption {
+        /// The parameter name as in the R signature (`test`, `side`, …).
+        param: &'static str,
+        /// The rejected value.
+        value: String,
+    },
+    /// Complete permutation was requested (`B = 0`) but the number of
+    /// arrangements exceeds the allowed limit. The paper: "the user is asked
+    /// to explicitly request a smaller number of permutations".
+    TooManyPermutations {
+        /// Number of complete arrangements (None if it overflows u128).
+        total: Option<u128>,
+        /// The configured cap.
+        max: u64,
+    },
+    /// A parallel run failed inside the message-passing substrate.
+    Comm(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadMatrix(msg) => write!(f, "invalid input matrix: {msg}"),
+            Error::BadLabels(msg) => write!(f, "invalid class labels: {msg}"),
+            Error::BadOption { param, value } => {
+                write!(f, "invalid value {value:?} for parameter '{param}'")
+            }
+            Error::TooManyPermutations { total, max } => match total {
+                Some(t) => write!(
+                    f,
+                    "complete permutation count {t} exceeds the allowed maximum {max}; \
+                     request a smaller number of random permutations (B > 0)"
+                ),
+                None => write!(
+                    f,
+                    "complete permutation count overflows; request random permutations (B > 0)"
+                ),
+            },
+            Error::Comm(msg) => write!(f, "communication failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for core operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        let e = Error::TooManyPermutations {
+            total: Some(123456789),
+            max: 1000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("123456789") && s.contains("1000") && s.contains("B > 0"));
+
+        let e = Error::BadOption {
+            param: "side",
+            value: "sideways".into(),
+        };
+        assert!(e.to_string().contains("side") && e.to_string().contains("sideways"));
+    }
+
+    #[test]
+    fn overflowed_total_has_distinct_message() {
+        let e = Error::TooManyPermutations { total: None, max: 5 };
+        assert!(e.to_string().contains("overflows"));
+    }
+}

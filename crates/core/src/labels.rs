@@ -1,0 +1,298 @@
+//! Class labels and per-method experimental designs.
+//!
+//! `classlabel` assigns each sample column to a group. Its valid shapes depend
+//! on the test statistic, following the `multtest` conventions:
+//!
+//! - two-sample tests (`t`, `t.equalvar`, `wilcoxon`): labels in `{0, 1}`;
+//! - `f`: labels in `{0, …, k−1}` with `k ≥ 2`;
+//! - `pairt`: `n = 2m` columns; columns `2j` and `2j+1` form pair `j` and
+//!   carry labels `{0, 1}` in some order;
+//! - `blockf`: `n = m·k` columns; each consecutive block of `k` columns
+//!   contains every treatment `0, …, k−1` exactly once.
+
+use crate::error::{Error, Result};
+use crate::options::TestMethod;
+
+/// The structural interpretation of a label vector for a given test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Design {
+    /// Two groups with sizes `n0`, `n1`.
+    TwoSample {
+        /// Size of group 0.
+        n0: usize,
+        /// Size of group 1.
+        n1: usize,
+    },
+    /// `k ≥ 2` groups with the given per-class sizes (index = class).
+    MultiClass {
+        /// Per-class column counts.
+        counts: Vec<usize>,
+    },
+    /// `pairs` consecutive (0,1) pairs.
+    Paired {
+        /// Number of pairs `m`.
+        pairs: usize,
+    },
+    /// `blocks` consecutive blocks of `treatments` columns each.
+    Block {
+        /// Number of blocks `m`.
+        blocks: usize,
+        /// Number of treatments `k` per block.
+        treatments: usize,
+    },
+}
+
+/// A validated label vector bound to a test method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassLabels {
+    labels: Vec<u8>,
+    design: Design,
+}
+
+impl ClassLabels {
+    /// Validate `labels` for `method` and construct.
+    pub fn new(labels: Vec<u8>, method: TestMethod) -> Result<Self> {
+        let design = Self::validate(&labels, method)?;
+        Ok(ClassLabels { labels, design })
+    }
+
+    /// Convenience: validate i32 labels as R would supply them.
+    pub fn from_ints(labels: &[i32], method: TestMethod) -> Result<Self> {
+        let mut out = Vec::with_capacity(labels.len());
+        for &l in labels {
+            if !(0..=255).contains(&l) {
+                return Err(Error::BadLabels(format!(
+                    "label {l} outside supported range 0..=255"
+                )));
+            }
+            out.push(l as u8);
+        }
+        Self::new(out, method)
+    }
+
+    fn validate(labels: &[u8], method: TestMethod) -> Result<Design> {
+        if labels.is_empty() {
+            return Err(Error::BadLabels("label vector is empty".into()));
+        }
+        match method {
+            TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+                let mut n = [0usize; 2];
+                for &l in labels {
+                    if l > 1 {
+                        return Err(Error::BadLabels(format!(
+                            "two-sample tests require labels in {{0,1}}, found {l}"
+                        )));
+                    }
+                    n[l as usize] += 1;
+                }
+                // Variance-based statistics need at least two observations per
+                // group; the rank-sum needs at least one in each.
+                let min = if method == TestMethod::Wilcoxon { 1 } else { 2 };
+                if n[0] < min || n[1] < min {
+                    return Err(Error::BadLabels(format!(
+                        "group sizes {}+{} too small for '{}' (need ≥{min} each)",
+                        n[0],
+                        n[1],
+                        method.as_str()
+                    )));
+                }
+                Ok(Design::TwoSample { n0: n[0], n1: n[1] })
+            }
+            TestMethod::F => {
+                let k = labels.iter().copied().max().unwrap() as usize + 1;
+                if k < 2 {
+                    return Err(Error::BadLabels(
+                        "f-test requires at least two classes".into(),
+                    ));
+                }
+                let mut counts = vec![0usize; k];
+                for &l in labels {
+                    counts[l as usize] += 1;
+                }
+                if counts.contains(&0) {
+                    return Err(Error::BadLabels(
+                        "f-test labels must use every class 0..k-1".into(),
+                    ));
+                }
+                if labels.len() <= k {
+                    return Err(Error::BadLabels(
+                        "f-test needs more observations than classes (error df ≥ 1)".into(),
+                    ));
+                }
+                Ok(Design::MultiClass { counts })
+            }
+            TestMethod::PairT => {
+                if !labels.len().is_multiple_of(2) {
+                    return Err(Error::BadLabels(
+                        "paired t requires an even number of columns".into(),
+                    ));
+                }
+                let pairs = labels.len() / 2;
+                if pairs < 2 {
+                    return Err(Error::BadLabels(
+                        "paired t requires at least two pairs".into(),
+                    ));
+                }
+                for j in 0..pairs {
+                    let a = labels[2 * j];
+                    let b = labels[2 * j + 1];
+                    if !((a == 0 && b == 1) || (a == 1 && b == 0)) {
+                        return Err(Error::BadLabels(format!(
+                            "pair {j} has labels ({a},{b}); each consecutive pair must be 0/1"
+                        )));
+                    }
+                }
+                Ok(Design::Paired { pairs })
+            }
+            TestMethod::BlockF => {
+                // Infer k = number of distinct treatments; columns come in m
+                // consecutive blocks of k, each a permutation of 0..k-1.
+                let k = labels.iter().copied().max().unwrap() as usize + 1;
+                if k < 2 {
+                    return Err(Error::BadLabels(
+                        "block f requires at least two treatments".into(),
+                    ));
+                }
+                if !labels.len().is_multiple_of(k) {
+                    return Err(Error::BadLabels(format!(
+                        "column count {} is not a multiple of treatment count {k}",
+                        labels.len()
+                    )));
+                }
+                let blocks = labels.len() / k;
+                if blocks < 2 {
+                    return Err(Error::BadLabels(
+                        "block f requires at least two blocks".into(),
+                    ));
+                }
+                let mut seen = vec![false; k];
+                for b in 0..blocks {
+                    seen.iter_mut().for_each(|s| *s = false);
+                    for &l in &labels[b * k..(b + 1) * k] {
+                        if seen[l as usize] {
+                            return Err(Error::BadLabels(format!(
+                                "block {b} repeats treatment {l}"
+                            )));
+                        }
+                        seen[l as usize] = true;
+                    }
+                    // k labels, no repeats, all < k ⇒ complete.
+                }
+                Ok(Design::Block { blocks, treatments: k })
+            }
+        }
+    }
+
+    /// The label values, one per sample column.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no columns (cannot happen for a validated value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The validated design.
+    #[inline]
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sample_validates_and_counts() {
+        let l = ClassLabels::new(vec![0, 0, 1, 1, 1], TestMethod::T).unwrap();
+        assert_eq!(l.design(), &Design::TwoSample { n0: 2, n1: 3 });
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn two_sample_rejects_bad_labels() {
+        assert!(ClassLabels::new(vec![0, 1, 2], TestMethod::T).is_err());
+        assert!(ClassLabels::new(vec![0, 0, 0], TestMethod::T).is_err());
+        assert!(ClassLabels::new(vec![], TestMethod::T).is_err());
+        // One observation in a group: fine for wilcoxon, not for t.
+        assert!(ClassLabels::new(vec![0, 1, 1], TestMethod::T).is_err());
+        assert!(ClassLabels::new(vec![0, 1, 1], TestMethod::Wilcoxon).is_ok());
+    }
+
+    #[test]
+    fn f_design_counts_classes() {
+        let l = ClassLabels::new(vec![0, 0, 1, 1, 2, 2, 2], TestMethod::F).unwrap();
+        assert_eq!(
+            l.design(),
+            &Design::MultiClass {
+                counts: vec![2, 2, 3]
+            }
+        );
+    }
+
+    #[test]
+    fn f_rejects_gaps_and_tiny_designs() {
+        // Class 1 missing.
+        assert!(ClassLabels::new(vec![0, 0, 2, 2], TestMethod::F).is_err());
+        // Only one class.
+        assert!(ClassLabels::new(vec![0, 0, 0], TestMethod::F).is_err());
+        // No error degrees of freedom (n == k).
+        assert!(ClassLabels::new(vec![0, 1], TestMethod::F).is_err());
+    }
+
+    #[test]
+    fn paired_design() {
+        let l = ClassLabels::new(vec![0, 1, 1, 0, 0, 1], TestMethod::PairT).unwrap();
+        assert_eq!(l.design(), &Design::Paired { pairs: 3 });
+    }
+
+    #[test]
+    fn paired_rejects_malformed() {
+        // Odd length.
+        assert!(ClassLabels::new(vec![0, 1, 0], TestMethod::PairT).is_err());
+        // A pair with equal labels.
+        assert!(ClassLabels::new(vec![0, 0, 1, 1], TestMethod::PairT).is_err());
+        // Single pair.
+        assert!(ClassLabels::new(vec![0, 1], TestMethod::PairT).is_err());
+    }
+
+    #[test]
+    fn block_design() {
+        // Two blocks of three treatments.
+        let l = ClassLabels::new(vec![0, 1, 2, 2, 0, 1], TestMethod::BlockF).unwrap();
+        assert_eq!(
+            l.design(),
+            &Design::Block {
+                blocks: 2,
+                treatments: 3
+            }
+        );
+    }
+
+    #[test]
+    fn block_rejects_malformed() {
+        // Repeated treatment inside a block.
+        assert!(ClassLabels::new(vec![0, 0, 1, 2, 1, 2], TestMethod::BlockF).is_err());
+        // Length not a multiple of k.
+        assert!(ClassLabels::new(vec![0, 1, 2, 0, 1], TestMethod::BlockF).is_err());
+        // Single block.
+        assert!(ClassLabels::new(vec![0, 1, 2], TestMethod::BlockF).is_err());
+    }
+
+    #[test]
+    fn from_ints_rejects_out_of_range() {
+        assert!(ClassLabels::from_ints(&[0, 1, -1, 1], TestMethod::T).is_err());
+        assert!(ClassLabels::from_ints(&[0, 0, 1, 1], TestMethod::T).is_ok());
+        assert!(ClassLabels::from_ints(&[0, 0, 300, 1], TestMethod::T).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Permutation count accumulators — the "partial observations" each process
+//! gathers (paper §3.2 Step 4) before the master reduces them (Step 5).
+//!
+//! Counts are integers, so the parallel sum-reduction is exact and the
+//! parallel run reproduces the serial run bit-for-bit.
+
+/// Per-gene exceedance counts over a set of permutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountAccumulator {
+    /// `count_raw[g]`: permutations whose score for gene `g` (original
+    /// order) reached the observed score.
+    pub count_raw: Vec<u64>,
+    /// `count_adj[i]`: permutations whose successive maximum at ordered
+    /// position `i` reached the observed score at that position.
+    pub count_adj: Vec<u64>,
+    /// Number of permutations accumulated.
+    pub n_perm: u64,
+}
+
+impl CountAccumulator {
+    /// Zero counts for `genes` genes.
+    pub fn new(genes: usize) -> Self {
+        CountAccumulator {
+            count_raw: vec![0; genes],
+            count_adj: vec![0; genes],
+            n_perm: 0,
+        }
+    }
+
+    /// Number of genes.
+    pub fn genes(&self) -> usize {
+        self.count_raw.len()
+    }
+
+    /// Merge another accumulator (element-wise sums).
+    pub fn merge(&mut self, other: &CountAccumulator) {
+        assert_eq!(self.genes(), other.genes(), "gene counts must match");
+        for (a, b) in self.count_raw.iter_mut().zip(&other.count_raw) {
+            *a += *b;
+        }
+        for (a, b) in self.count_adj.iter_mut().zip(&other.count_adj) {
+            *a += *b;
+        }
+        self.n_perm += other.n_perm;
+    }
+
+    /// Flatten to a single vector for transport through a sum-reduction:
+    /// `count_raw ++ count_adj ++ [n_perm]`. Summing flattened vectors
+    /// element-wise is exactly `merge`.
+    pub fn to_flat(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(2 * self.genes() + 1);
+        v.extend_from_slice(&self.count_raw);
+        v.extend_from_slice(&self.count_adj);
+        v.push(self.n_perm);
+        v
+    }
+
+    /// Rebuild from the flattened form.
+    pub fn from_flat(flat: &[u64], genes: usize) -> Self {
+        assert_eq!(flat.len(), 2 * genes + 1, "flat length mismatch");
+        CountAccumulator {
+            count_raw: flat[..genes].to_vec(),
+            count_adj: flat[genes..2 * genes].to_vec(),
+            n_perm: flat[2 * genes],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let a = CountAccumulator::new(3);
+        assert_eq!(a.count_raw, vec![0; 3]);
+        assert_eq!(a.count_adj, vec![0; 3]);
+        assert_eq!(a.n_perm, 0);
+        assert_eq!(a.genes(), 3);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = CountAccumulator {
+            count_raw: vec![1, 2],
+            count_adj: vec![3, 4],
+            n_perm: 5,
+        };
+        let b = CountAccumulator {
+            count_raw: vec![10, 20],
+            count_adj: vec![30, 40],
+            n_perm: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.count_raw, vec![11, 22]);
+        assert_eq!(a.count_adj, vec![33, 44]);
+        assert_eq!(a.n_perm, 55);
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let a = CountAccumulator {
+            count_raw: vec![1, 2, 3],
+            count_adj: vec![4, 5, 6],
+            n_perm: 7,
+        };
+        let flat = a.to_flat();
+        assert_eq!(flat, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(CountAccumulator::from_flat(&flat, 3), a);
+    }
+
+    #[test]
+    fn flat_sum_equals_merge() {
+        let a = CountAccumulator {
+            count_raw: vec![1, 2],
+            count_adj: vec![3, 4],
+            n_perm: 5,
+        };
+        let b = CountAccumulator {
+            count_raw: vec![9, 8],
+            count_adj: vec![7, 6],
+            n_perm: 5,
+        };
+        let summed: Vec<u64> = a
+            .to_flat()
+            .iter()
+            .zip(b.to_flat())
+            .map(|(x, y)| x + y)
+            .collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(CountAccumulator::from_flat(&summed, 2), merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "gene counts must match")]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = CountAccumulator::new(2);
+        let b = CountAccumulator::new(3);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,501 @@
+//! Step-down **minP** adjusted p-values — extension beyond the paper.
+//!
+//! `mt.maxT`'s sibling in `multtest` is `mt.minP` (Ge, Dudoit & Speed 2003,
+//! procedure based on successive *minima of raw p-values* instead of maxima
+//! of statistics). The paper's future work opens with "the addition of more
+//! parallelized functions"; minP is the most natural next one, and the
+//! permutation-distribution machinery (generators with skip-ahead, identity
+//! handled once) is reused unchanged.
+//!
+//! minP is *balanced* across genes with different null distributions —
+//! p-value scale instead of statistic scale — at the cost of materializing
+//! the full genes × B score matrix (the same trade-off `mt.minP` makes). The
+//! implementation refuses workloads above a configurable memory budget
+//! rather than thrashing.
+//!
+//! Algorithm (complete or sampled permutation set, identity at index 0):
+//!
+//! 1. compute the score matrix `z[g][b]`;
+//! 2. per gene, the permutation raw p-value `p[g][b] = #{b': z[g][b'] ≥
+//!    z[g][b]} / B` via a sorted copy of the gene's scores;
+//! 3. order genes by increasing observed raw p (ties: larger observed score
+//!    first);
+//! 4. per permutation, form successive minima of `p[·][b]` from the least
+//!    significant ordered gene upwards and count `q_i,b ≤ p_obs(i)`;
+//! 5. divide by B and enforce step-down monotonicity.
+
+use crate::error::{Error, Result};
+use crate::labels::ClassLabels;
+use crate::matrix::Matrix;
+use crate::maxt::result::MaxTResult;
+use crate::maxt::EPSILON;
+use crate::options::PmaxtOptions;
+use crate::perm::{build_generator, resolve_permutation_count};
+use crate::stats::{prepare_matrix, StatComputer};
+
+/// Default budget for the score matrix: 512 MiB.
+pub const DEFAULT_MINP_BUDGET_BYTES: usize = 512 << 20;
+
+/// Run the step-down minP procedure. The result reuses [`MaxTResult`]
+/// (`teststat`, `rawp`, `adjp`, significance `order`); `rawp` is the
+/// permutation raw p-value of each gene, identical in definition to maxT's.
+///
+/// `budget_bytes` caps the genes × B score matrix (`None` = 512 MiB).
+pub fn mt_minp(
+    data: &Matrix,
+    classlabel: &[u8],
+    opts: &PmaxtOptions,
+    budget_bytes: Option<usize>,
+) -> Result<MaxTResult> {
+    let labels = ClassLabels::new(classlabel.to_vec(), opts.test)?;
+    if labels.len() != data.cols() {
+        return Err(Error::BadLabels(format!(
+            "classlabel length {} does not match {} data columns",
+            labels.len(),
+            data.cols()
+        )));
+    }
+    let owned_na;
+    let data = match opts.na {
+        Some(code) => {
+            owned_na =
+                Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)?;
+            &owned_na
+        }
+        None => data,
+    };
+    let b = resolve_permutation_count(&labels, opts)?;
+    let genes = data.rows();
+    let need = genes
+        .checked_mul(b as usize)
+        .and_then(|n| n.checked_mul(std::mem::size_of::<f64>()))
+        .ok_or_else(|| Error::BadMatrix("minP score matrix size overflows".into()))?;
+    let budget = budget_bytes.unwrap_or(DEFAULT_MINP_BUDGET_BYTES);
+    if need > budget {
+        return Err(Error::TooManyPermutations {
+            total: Some(b as u128),
+            max: (budget / (genes * std::mem::size_of::<f64>())) as u64,
+        });
+    }
+
+    let prepared = prepare_matrix(data, opts.test, opts.nonpara);
+    let computer = StatComputer::new(opts.test, &labels);
+    let side = opts.side;
+
+    // 1. Score matrix, gene-major: scores[g * b + j].
+    let mut gen = build_generator(&labels, opts, b)?;
+    let bu = b as usize;
+    let mut scores = vec![f64::NEG_INFINITY; genes * bu];
+    let mut labels_buf = vec![0u8; data.cols()];
+    let mut obs_stats = vec![f64::NAN; genes];
+    let mut j = 0usize;
+    while gen.next_into(&mut labels_buf) {
+        for g in 0..genes {
+            let stat = computer.compute(prepared.row(g), &labels_buf);
+            if j == 0 {
+                obs_stats[g] = stat;
+            }
+            scores[g * bu + j] = side.score(stat);
+        }
+        j += 1;
+    }
+    debug_assert_eq!(j, bu);
+
+    Ok(minp_from_scores(scores, obs_stats, side, b))
+}
+
+/// Steps 2–5 of the minP procedure, given the full gene-major score matrix
+/// (`scores[g * B + j]`) and the observed statistics. Shared by the serial
+/// [`mt_minp`] and the parallel [`pminp`].
+pub(crate) fn minp_from_scores(
+    scores: Vec<f64>,
+    obs_stats: Vec<f64>,
+    side: crate::side::Side,
+    b: u64,
+) -> MaxTResult {
+    let bu = b as usize;
+    let genes = obs_stats.len();
+    debug_assert_eq!(scores.len(), genes * bu);
+
+    // 2. Permutation raw p-values per gene, via a sorted copy.
+    let bf = b as f64;
+    let mut pmat = vec![1.0f64; genes * bu];
+    let mut sorted = vec![0.0f64; bu];
+    for g in 0..genes {
+        let row = &scores[g * bu..(g + 1) * bu];
+        sorted.copy_from_slice(row);
+        sorted.sort_by(|a, c| a.partial_cmp(c).expect("scores are never NaN"));
+        for (j, &z) in row.iter().enumerate() {
+            // count of scores >= z - EPSILON == bu - lower_bound(z - EPSILON)
+            let t = z - EPSILON;
+            let idx = sorted.partition_point(|&s| s < t);
+            pmat[g * bu + j] = (bu - idx) as f64 / bf;
+        }
+    }
+
+    // 3. Order genes by increasing observed raw p, ties by decreasing
+    // observed score, then by index (stable).
+    let obs_scores: Vec<f64> = (0..genes).map(|g| side.score(obs_stats[g])).collect();
+    let obs_rawp: Vec<f64> = (0..genes).map(|g| pmat[g * bu]).collect();
+    let mut order: Vec<usize> = (0..genes).collect();
+    order.sort_by(|&a, &c| {
+        obs_rawp[a]
+            .partial_cmp(&obs_rawp[c])
+            .expect("raw p-values are finite")
+            .then(
+                obs_scores[c]
+                    .partial_cmp(&obs_scores[a])
+                    .expect("scores are never NaN"),
+            )
+    });
+
+    // 4. Successive minima per permutation; count exceedances.
+    let mut count_adj = vec![0u64; genes];
+    for j in 0..bu {
+        let mut running_min = f64::INFINITY;
+        for i in (0..genes).rev() {
+            let g = order[i];
+            let p = pmat[g * bu + j];
+            if p < running_min {
+                running_min = p;
+            }
+            if running_min <= obs_rawp[g] + EPSILON {
+                count_adj[i] += 1;
+            }
+        }
+    }
+
+    // 5. Adjusted p-values with monotonic enforcement, mapped to gene order.
+    let mut adj_ordered: Vec<f64> = count_adj.iter().map(|&c| c as f64 / bf).collect();
+    for i in 1..genes {
+        if adj_ordered[i] < adj_ordered[i - 1] {
+            adj_ordered[i] = adj_ordered[i - 1];
+        }
+    }
+    let mut rawp = vec![f64::NAN; genes];
+    let mut adjp = vec![f64::NAN; genes];
+    for (i, &g) in order.iter().enumerate() {
+        if obs_scores[g] > f64::NEG_INFINITY {
+            rawp[g] = obs_rawp[g];
+            adjp[g] = adj_ordered[i];
+        }
+    }
+    MaxTResult {
+        teststat: obs_stats,
+        rawp,
+        adjp,
+        order,
+        b_used: b,
+    }
+}
+
+/// Parallel minP: the score-matrix computation (the compute-bound stage) is
+/// distributed over SPMD ranks exactly like `pmaxT` distributes its kernel —
+/// contiguous permutation chunks reached by generator skip-ahead — and the
+/// chunks are gathered on the master, which finishes steps 2–5 serially.
+/// Results are bit-identical to [`mt_minp`].
+pub fn pminp(
+    data: &Matrix,
+    classlabel: &[u8],
+    opts: &PmaxtOptions,
+    budget_bytes: Option<usize>,
+    n_ranks: usize,
+) -> Result<MaxTResult> {
+    use mpi_sim::{Universe, MASTER};
+
+    if n_ranks == 0 {
+        return Err(Error::Comm("at least one rank required".into()));
+    }
+    // Validate and resolve exactly as the serial path does (shares its
+    // memory budget check by construction).
+    let labels = ClassLabels::new(classlabel.to_vec(), opts.test)?;
+    if labels.len() != data.cols() {
+        return Err(Error::BadLabels(format!(
+            "classlabel length {} does not match {} data columns",
+            labels.len(),
+            data.cols()
+        )));
+    }
+    let owned_na;
+    let data = match opts.na {
+        Some(code) => {
+            owned_na =
+                Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)?;
+            &owned_na
+        }
+        None => data,
+    };
+    let b = resolve_permutation_count(&labels, opts)?;
+    let genes = data.rows();
+    let need = genes
+        .checked_mul(b as usize)
+        .and_then(|n| n.checked_mul(std::mem::size_of::<f64>()))
+        .ok_or_else(|| Error::BadMatrix("minP score matrix size overflows".into()))?;
+    let budget = budget_bytes.unwrap_or(DEFAULT_MINP_BUDGET_BYTES);
+    if need > budget {
+        return Err(Error::TooManyPermutations {
+            total: Some(b as u128),
+            max: (budget / (genes * std::mem::size_of::<f64>())) as u64,
+        });
+    }
+
+    let input = std::sync::Arc::new((data.clone(), labels, opts.clone(), b));
+    let outputs = Universe::run(n_ranks, move |comm| {
+        let (data, labels, opts, b) = &*input;
+        let prepared = prepare_matrix(data, opts.test, opts.nonpara);
+        let computer = StatComputer::new(opts.test, labels);
+        let genes = data.rows();
+        // Contiguous permutation chunk for this rank (no identity special
+        // case here: minP needs every column of the score matrix anyway).
+        let size = comm.size() as u64;
+        let rank = comm.rank() as u64;
+        let base = b / size;
+        let extra = b % size;
+        let take = base + u64::from(rank < extra);
+        let start = rank * base + rank.min(extra);
+        let mut gen = build_generator(labels, opts, *b).expect("validated generator");
+        gen.skip(start);
+        // Permutation-major chunk: chunk[j_local * genes + g].
+        let mut chunk = vec![0.0f64; take as usize * genes];
+        let mut labels_buf = vec![0u8; data.cols()];
+        let mut obs_stats = vec![f64::NAN; genes];
+        for j_local in 0..take as usize {
+            assert!(gen.next_into(&mut labels_buf), "chunk within bounds");
+            for g in 0..genes {
+                let stat = computer.compute(prepared.row(g), &labels_buf);
+                if start == 0 && j_local == 0 {
+                    obs_stats[g] = stat;
+                }
+                chunk[j_local * genes + g] = opts.side.score(stat);
+            }
+        }
+        let gathered = comm
+            .gather(MASTER, (start, chunk, obs_stats))
+            .expect("score gather");
+        gathered.map(|parts| {
+            let bu = *b as usize;
+            let mut scores = vec![f64::NEG_INFINITY; genes * bu];
+            let mut obs = vec![f64::NAN; genes];
+            for (part_start, part_chunk, part_obs) in parts {
+                let part_take = part_chunk.len() / genes;
+                for j_local in 0..part_take {
+                    let j = part_start as usize + j_local;
+                    for g in 0..genes {
+                        scores[g * bu + j] = part_chunk[j_local * genes + g];
+                    }
+                }
+                if part_start == 0 {
+                    obs = part_obs;
+                }
+            }
+            minp_from_scores(scores, obs, opts.side, *b)
+        })
+    })
+    .map_err(|e| Error::Comm(e.to_string()))?;
+    Ok(outputs
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("master produces the result"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxt::serial::mt_maxt;
+    use crate::side::Side;
+
+    fn two_class_data() -> (Matrix, Vec<u8>) {
+        let data = Matrix::from_vec(
+            3,
+            6,
+            vec![
+                1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 5.0, 4.0, 6.0, 5.5, 4.5, 5.2, 2.0, 8.0, 3.0, 7.0,
+                2.5, 7.5,
+            ],
+        )
+        .unwrap();
+        (data, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn minp_raw_p_matches_maxt_raw_p() {
+        // The raw (unadjusted) p-values are defined identically.
+        let (data, labels) = two_class_data();
+        let opts = PmaxtOptions::default().permutations(0);
+        let minp = mt_minp(&data, &labels, &opts, None).unwrap();
+        let maxt = mt_maxt(&data, &labels, &opts).unwrap();
+        for g in 0..3 {
+            assert!(
+                (minp.rawp[g] - maxt.rawp[g]).abs() < 1e-12,
+                "gene {g}: {} vs {}",
+                minp.rawp[g],
+                maxt.rawp[g]
+            );
+        }
+        assert_eq!(minp.teststat, maxt.teststat);
+    }
+
+    #[test]
+    fn minp_adjusted_at_least_raw_and_monotone() {
+        let (data, labels) = two_class_data();
+        let opts = PmaxtOptions::default().permutations(60);
+        let r = mt_minp(&data, &labels, &opts, None).unwrap();
+        for g in 0..3 {
+            assert!(r.adjp[g] >= r.rawp[g] - 1e-12);
+            assert!(r.adjp[g] <= 1.0 + 1e-12);
+        }
+        let rows: Vec<_> = r.by_significance().collect();
+        for w in rows.windows(2) {
+            assert!(w[1].adjp >= w[0].adjp - 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_gene_minp_equals_rawp() {
+        let data = Matrix::from_vec(1, 6, vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0]).unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let opts = PmaxtOptions::default().permutations(0);
+        let r = mt_minp(&data, &labels, &opts, None).unwrap();
+        assert!((r.adjp[0] - r.rawp[0]).abs() < 1e-12);
+        assert!((r.rawp[0] - 0.1).abs() < 1e-12); // 2/20 two-sided
+    }
+
+    #[test]
+    fn minp_orders_by_raw_p() {
+        let (data, labels) = two_class_data();
+        let opts = PmaxtOptions::default().permutations(0);
+        let r = mt_minp(&data, &labels, &opts, None).unwrap();
+        let ps: Vec<f64> = r.order.iter().map(|&g| r.rawp[g]).collect();
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "order not by raw p: {ps:?}");
+        }
+        // Gene 0 (strongly differential) first.
+        assert_eq!(r.order[0], 0);
+    }
+
+    #[test]
+    fn memory_budget_is_enforced() {
+        let (data, labels) = two_class_data();
+        let opts = PmaxtOptions::default().permutations(10_000);
+        let err = mt_minp(&data, &labels, &opts, Some(1024)).unwrap_err();
+        assert!(matches!(err, Error::TooManyPermutations { .. }));
+    }
+
+    #[test]
+    fn nan_gene_gets_nan_p_values() {
+        let data = Matrix::from_vec(
+            2,
+            6,
+            vec![1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 7.0, 7.0, 7.0, 7.0, 7.0, 7.0],
+        )
+        .unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let opts = PmaxtOptions::default().permutations(0);
+        let r = mt_minp(&data, &labels, &opts, None).unwrap();
+        assert!(r.rawp[1].is_nan());
+        assert!(r.adjp[1].is_nan());
+        assert!(r.rawp[0].is_finite());
+    }
+
+    #[test]
+    fn minp_and_maxt_agree_for_exchangeable_genes() {
+        // When all genes share the same marginal null (same design, similar
+        // scale), minP and maxT adjusted p-values should be close — for a
+        // single gene they are identical (both equal the raw p).
+        let (data, labels) = two_class_data();
+        let opts = PmaxtOptions::default().permutations(200);
+        let minp = mt_minp(&data, &labels, &opts, None).unwrap();
+        let maxt = mt_maxt(&data, &labels, &opts).unwrap();
+        for g in 0..3 {
+            assert!(
+                (minp.adjp[g] - maxt.adjp[g]).abs() < 0.25,
+                "gene {g}: minP {} vs maxT {}",
+                minp.adjp[g],
+                maxt.adjp[g]
+            );
+        }
+    }
+
+    #[test]
+    fn all_sides_and_methods_run() {
+        use crate::options::TestMethod;
+        let (data, two) = two_class_data();
+        for (method, labels) in [
+            (TestMethod::T, two.clone()),
+            (TestMethod::Wilcoxon, two.clone()),
+            (TestMethod::F, vec![0, 0, 1, 1, 2, 2]),
+            (TestMethod::PairT, vec![0, 1, 0, 1, 0, 1]),
+            (TestMethod::BlockF, vec![0, 1, 0, 1, 0, 1]),
+        ] {
+            for side in [Side::Abs, Side::Upper, Side::Lower] {
+                let opts = PmaxtOptions {
+                    test: method,
+                    side,
+                    b: 40,
+                    ..PmaxtOptions::default()
+                };
+                let r = mt_minp(&data, &labels, &opts, None)
+                    .unwrap_or_else(|e| panic!("{method:?}/{side:?}: {e}"));
+                assert_eq!(r.b_used, 40);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    fn two_class_data() -> (Matrix, Vec<u8>) {
+        let data = Matrix::from_vec(
+            4,
+            6,
+            vec![
+                1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 5.0, 4.0, 6.0, 5.5, 4.5, 5.2, 2.0, 8.0, 3.0, 7.0,
+                2.5, 7.5, 1.0, 1.2, 0.8, 1.1, 0.9, 1.3,
+            ],
+        )
+        .unwrap();
+        (data, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn pminp_equals_serial_for_many_rank_counts() {
+        let (data, labels) = two_class_data();
+        for opts in [
+            PmaxtOptions::default().permutations(37),
+            PmaxtOptions::default().permutations(0), // complete: 20
+            PmaxtOptions::default()
+                .permutations(37)
+                .fixed_seed_sampling("n")
+                .unwrap(),
+        ] {
+            let serial = mt_minp(&data, &labels, &opts, None).unwrap();
+            for ranks in [1usize, 2, 3, 5, 8] {
+                let par = pminp(&data, &labels, &opts, None, ranks).unwrap();
+                assert_eq!(par, serial, "b={} ranks={ranks}", opts.b);
+            }
+        }
+    }
+
+    #[test]
+    fn pminp_respects_budget_and_rank_validation() {
+        let (data, labels) = two_class_data();
+        let opts = PmaxtOptions::default().permutations(10_000);
+        assert!(matches!(
+            pminp(&data, &labels, &opts, Some(64), 2),
+            Err(Error::TooManyPermutations { .. })
+        ));
+        assert!(pminp(&data, &labels, &opts, None, 0).is_err());
+    }
+
+    #[test]
+    fn pminp_more_ranks_than_permutations() {
+        let (data, labels) = two_class_data();
+        let opts = PmaxtOptions::default().permutations(3);
+        let serial = mt_minp(&data, &labels, &opts, None).unwrap();
+        let par = pminp(&data, &labels, &opts, None, 7).unwrap();
+        assert_eq!(par, serial);
+    }
+}

@@ -1,0 +1,328 @@
+//! Westfall–Young step-down maxT adjusted p-values (Ge, Dudoit & Speed 2003;
+//! Westfall & Young 1993) — the computational core shared by the serial
+//! reference (`mt_maxt`) and the parallel driver (`pmaxt`).
+//!
+//! For each permutation *b* the kernel computes every gene's statistic,
+//! transforms it into an extremeness score (see [`crate::side::Side`]), forms
+//! the successive maxima over the significance-ordered genes from the least
+//! extreme upwards, and counts exceedances of the observed scores. The
+//! identity labelling is permutation index 0 and counts exactly once, so
+//! p-values are never zero (they live in `[1/B, 1]`).
+
+pub mod counts;
+pub mod minp;
+pub mod result;
+pub mod sample;
+pub mod sequential;
+pub mod serial;
+
+pub use counts::CountAccumulator;
+pub use result::{MaxTResult, MaxTRow};
+
+use crate::labels::ClassLabels;
+use crate::matrix::Matrix;
+use crate::options::TestMethod;
+use crate::perm::PermutationGenerator;
+use crate::side::Side;
+use crate::stats::StatComputer;
+
+/// Comparison slack absorbing floating-point noise between the observed and
+/// permuted statistics, as in the `multtest` C implementation.
+pub const EPSILON: f64 = 1e-10;
+
+/// Stable significance ordering: gene indices by decreasing score, ties by
+/// index, non-computable (−∞) scores last.
+pub fn significance_order(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores contain no NaN (mapped to -inf)")
+    });
+    order
+}
+
+/// Per-run state binding the prepared data, statistic, side and observed
+/// scores. Both the serial loop and each parallel rank construct one; because
+/// construction is deterministic, every rank derives the identical gene
+/// ordering, which the count reduction relies on.
+#[derive(Debug, Clone)]
+pub struct MaxTContext<'a> {
+    data: &'a Matrix,
+    computer: StatComputer,
+    side: Side,
+    /// Observed statistic per gene (original order).
+    obs_stats: Vec<f64>,
+    /// Observed extremeness score per gene (original order).
+    obs_scores: Vec<f64>,
+    /// Significance ordering.
+    order: Vec<usize>,
+    /// Observed scores in `order` order.
+    obs_scores_ordered: Vec<f64>,
+}
+
+impl<'a> MaxTContext<'a> {
+    /// Build from a **prepared** matrix (see [`crate::stats::prepare_matrix`])
+    /// and validated labels.
+    pub fn new(data: &'a Matrix, labels: &ClassLabels, method: TestMethod, side: Side) -> Self {
+        let computer = StatComputer::new(method, labels);
+        let genes = data.rows();
+        let mut obs_stats = Vec::with_capacity(genes);
+        let mut obs_scores = Vec::with_capacity(genes);
+        for g in 0..genes {
+            let s = computer.compute(data.row(g), labels.as_slice());
+            obs_stats.push(s);
+            obs_scores.push(side.score(s));
+        }
+        let order = significance_order(&obs_scores);
+        let obs_scores_ordered = order.iter().map(|&g| obs_scores[g]).collect();
+        MaxTContext {
+            data,
+            computer,
+            side,
+            obs_stats,
+            obs_scores,
+            order,
+            obs_scores_ordered,
+        }
+    }
+
+    /// The significance ordering (most extreme first).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Observed statistics in original gene order.
+    pub fn observed_stats(&self) -> &[f64] {
+        &self.obs_stats
+    }
+
+    /// Observed extremeness scores in original gene order.
+    pub fn observed_scores(&self) -> &[f64] {
+        &self.obs_scores
+    }
+
+    /// Number of genes.
+    pub fn genes(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Consume up to `take` permutations from `gen`, accumulating exceedance
+    /// counts into `acc`. Returns the number of permutations processed.
+    ///
+    /// This is the paper's "main kernel" section.
+    pub fn accumulate(
+        &self,
+        gen: &mut dyn PermutationGenerator,
+        take: u64,
+        acc: &mut CountAccumulator,
+    ) -> u64 {
+        assert_eq!(acc.genes(), self.genes(), "accumulator size mismatch");
+        let genes = self.genes();
+        let cols = self.data.cols();
+        let mut labels_buf = vec![0u8; cols];
+        let mut scores = vec![0.0f64; genes];
+        let mut done = 0u64;
+        while done < take {
+            if !gen.next_into(&mut labels_buf) {
+                break;
+            }
+            // Scores for every gene under this labelling.
+            for (g, slot) in scores.iter_mut().enumerate() {
+                *slot = self
+                    .side
+                    .score(self.computer.compute(self.data.row(g), &labels_buf));
+            }
+            // Raw counts (original gene order).
+            for (g, &score) in scores.iter().enumerate() {
+                if score >= self.obs_scores[g] - EPSILON {
+                    acc.count_raw[g] += 1;
+                }
+            }
+            // Successive maxima from the least extreme ordered gene upwards.
+            let mut running_max = f64::NEG_INFINITY;
+            for i in (0..genes).rev() {
+                let s = scores[self.order[i]];
+                if s > running_max {
+                    running_max = s;
+                }
+                if running_max >= self.obs_scores_ordered[i] - EPSILON {
+                    acc.count_adj[i] += 1;
+                }
+            }
+            acc.n_perm += 1;
+            done += 1;
+        }
+        done
+    }
+
+    /// Turn reduced counts into p-values: divide by the permutation count and
+    /// enforce step-down monotonicity; genes whose observed statistic was not
+    /// computable get `NaN` p-values (the `mt.maxT` NA behaviour).
+    pub fn finalize(&self, acc: &CountAccumulator) -> MaxTResult {
+        assert!(acc.n_perm > 0, "no permutations accumulated");
+        let b = acc.n_perm as f64;
+        let genes = self.genes();
+        let mut rawp = vec![f64::NAN; genes];
+        for (g, p) in rawp.iter_mut().enumerate() {
+            if self.obs_scores[g] > f64::NEG_INFINITY {
+                *p = acc.count_raw[g] as f64 / b;
+            }
+        }
+        // Adjusted p-values in order, with monotonic step-down enforcement.
+        let mut adj_ordered: Vec<f64> = acc.count_adj.iter().map(|&c| c as f64 / b).collect();
+        for i in 1..genes {
+            if adj_ordered[i] < adj_ordered[i - 1] {
+                adj_ordered[i] = adj_ordered[i - 1];
+            }
+        }
+        let mut adjp = vec![f64::NAN; genes];
+        for (i, &g) in self.order.iter().enumerate() {
+            if self.obs_scores[g] > f64::NEG_INFINITY {
+                adjp[g] = adj_ordered[i];
+            }
+        }
+        MaxTResult {
+            teststat: self.obs_stats.clone(),
+            rawp,
+            adjp,
+            order: self.order.clone(),
+            b_used: acc.n_perm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::PmaxtOptions;
+    use crate::perm::{build_generator, resolve_permutation_count};
+    use crate::stats::prepare_matrix;
+
+    fn run_complete_two_sample(data: Vec<f64>, genes: usize) -> MaxTResult {
+        let m = Matrix::from_vec(genes, 4, data).unwrap();
+        let labels = ClassLabels::new(vec![0, 0, 1, 1], TestMethod::T).unwrap();
+        let opts = PmaxtOptions::default().permutations(0);
+        let b = resolve_permutation_count(&labels, &opts).unwrap();
+        let prepared = prepare_matrix(&m, TestMethod::T, false);
+        let ctx = MaxTContext::new(&prepared, &labels, TestMethod::T, Side::Abs);
+        let mut gen = build_generator(&labels, &opts, b).unwrap();
+        let mut acc = CountAccumulator::new(genes);
+        let done = ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+        assert_eq!(done, b);
+        ctx.finalize(&acc)
+    }
+
+    #[test]
+    fn exact_p_value_single_gene() {
+        // Gene [1,2,3,4] with labels [0,0,1,1]: of the 6 complete splits,
+        // exactly 2 achieve |t| = max (the observed split and its mirror), so
+        // rawp = adjp = 2/6.
+        let r = run_complete_two_sample(vec![1.0, 2.0, 3.0, 4.0], 1);
+        assert_eq!(r.b_used, 6);
+        assert!((r.rawp[0] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((r.adjp[0] - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn significance_order_sorts_descending_with_ties_stable() {
+        let scores = [1.0, 3.0, f64::NEG_INFINITY, 3.0, 2.0];
+        let order = significance_order(&scores);
+        assert_eq!(order, vec![1, 3, 4, 0, 2]);
+    }
+
+    #[test]
+    fn adjp_at_least_rawp_and_monotone() {
+        // Two genes, one strongly differential, one noise.
+        let r = run_complete_two_sample(
+            vec![1.0, 2.0, 30.0, 40.0, 5.0, 1.0, 4.0, 2.0],
+            2,
+        );
+        for g in 0..2 {
+            assert!(
+                r.adjp[g] >= r.rawp[g] - 1e-12,
+                "adjp {} < rawp {}",
+                r.adjp[g],
+                r.rawp[g]
+            );
+        }
+        // Monotone along the significance order.
+        let rows: Vec<_> = r.by_significance().collect();
+        for w in rows.windows(2) {
+            assert!(w[1].adjp >= w[0].adjp - 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_permutation_guarantees_min_p() {
+        // Every p-value is at least 1/B because the identity counts once.
+        let r = run_complete_two_sample(vec![1.0, 2.0, 100.0, 101.0], 1);
+        assert!(r.rawp[0] >= 1.0 / r.b_used as f64 - 1e-12);
+        assert!(r.adjp[0] >= 1.0 / r.b_used as f64 - 1e-12);
+    }
+
+    #[test]
+    fn non_computable_gene_gets_nan() {
+        // Second gene is constant: t undefined -> NaN p-values, but the other
+        // gene is unaffected.
+        let r = run_complete_two_sample(vec![1.0, 2.0, 30.0, 40.0, 7.0, 7.0, 7.0, 7.0], 2);
+        assert!(r.rawp[1].is_nan());
+        assert!(r.adjp[1].is_nan());
+        assert!(r.rawp[0].is_finite());
+        // NaN gene sorts last.
+        assert_eq!(r.order[1], 1);
+    }
+
+    #[test]
+    fn accumulate_respects_take_limit() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let labels = ClassLabels::new(vec![0, 0, 1, 1], TestMethod::T).unwrap();
+        let opts = PmaxtOptions::default().permutations(10);
+        let prepared = prepare_matrix(&m, TestMethod::T, false);
+        let ctx = MaxTContext::new(&prepared, &labels, TestMethod::T, Side::Abs);
+        let mut gen = build_generator(&labels, &opts, 10).unwrap();
+        let mut acc = CountAccumulator::new(1);
+        assert_eq!(ctx.accumulate(&mut *gen, 4, &mut acc), 4);
+        assert_eq!(acc.n_perm, 4);
+        assert_eq!(ctx.accumulate(&mut *gen, 100, &mut acc), 6);
+        assert_eq!(acc.n_perm, 10);
+    }
+
+    #[test]
+    fn split_accumulation_equals_single_pass() {
+        // Accumulating 0..B in one go must equal accumulating in chunks with
+        // skip-ahead — the foundation of the parallel distribution.
+        let m = Matrix::from_vec(2, 6, vec![1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 9.0, 1.0, 8.0, 2.0, 7.0, 3.0]).unwrap();
+        let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], TestMethod::T).unwrap();
+        let opts = PmaxtOptions::default().permutations(25);
+        let prepared = prepare_matrix(&m, TestMethod::T, false);
+        let ctx = MaxTContext::new(&prepared, &labels, TestMethod::T, Side::Abs);
+
+        let mut gen = build_generator(&labels, &opts, 25).unwrap();
+        let mut whole = CountAccumulator::new(2);
+        ctx.accumulate(&mut *gen, u64::MAX, &mut whole);
+
+        let mut merged = CountAccumulator::new(2);
+        let chunks = [(0u64, 7u64), (7, 10), (17, 8)];
+        for (start, take) in chunks {
+            let mut g = build_generator(&labels, &opts, 25).unwrap();
+            g.skip(start);
+            let mut part = CountAccumulator::new(2);
+            ctx.accumulate(&mut *g, take, &mut part);
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(ctx.finalize(&merged), ctx.finalize(&whole));
+    }
+
+    #[test]
+    #[should_panic(expected = "no permutations accumulated")]
+    fn finalize_rejects_empty_accumulator() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let labels = ClassLabels::new(vec![0, 0, 1, 1], TestMethod::T).unwrap();
+        let prepared = prepare_matrix(&m, TestMethod::T, false);
+        let ctx = MaxTContext::new(&prepared, &labels, TestMethod::T, Side::Abs);
+        let acc = CountAccumulator::new(1);
+        let _ = ctx.finalize(&acc);
+    }
+}

@@ -1,0 +1,102 @@
+//! The result of a maxT run, mirroring the data frame `mt.maxT` returns
+//! (`index`, `teststat`, `rawp`, `adjp`).
+
+/// Raw and adjusted p-values plus the observed statistics.
+///
+/// Vectors are indexed by **original gene order**; [`MaxTResult::order`]
+/// gives the significance ordering used by the step-down procedure (most
+/// extreme first), matching the row order of the R data frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxTResult {
+    /// Observed test statistic per gene.
+    pub teststat: Vec<f64>,
+    /// Raw (unadjusted) permutation p-value per gene.
+    pub rawp: Vec<f64>,
+    /// Westfall–Young step-down maxT adjusted p-value per gene.
+    pub adjp: Vec<f64>,
+    /// Gene indices sorted by decreasing extremeness of the observed
+    /// statistic (ties by index; non-computable statistics last).
+    pub order: Vec<usize>,
+    /// Number of permutations actually used (the resolved `B`, identity
+    /// included).
+    pub b_used: u64,
+}
+
+/// One row of the significance-ordered view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxTRow {
+    /// Original gene index (the `index` column of `mt.maxT`).
+    pub index: usize,
+    /// Observed statistic.
+    pub teststat: f64,
+    /// Raw p-value.
+    pub rawp: f64,
+    /// Adjusted p-value.
+    pub adjp: f64,
+}
+
+impl MaxTResult {
+    /// Number of genes.
+    pub fn genes(&self) -> usize {
+        self.teststat.len()
+    }
+
+    /// Rows in significance order — the shape of the `mt.maxT` data frame.
+    pub fn by_significance(&self) -> impl Iterator<Item = MaxTRow> + '_ {
+        self.order.iter().map(move |&g| MaxTRow {
+            index: g,
+            teststat: self.teststat[g],
+            rawp: self.rawp[g],
+            adjp: self.adjp[g],
+        })
+    }
+
+    /// Genes with adjusted p-value at or below `alpha`, in significance
+    /// order.
+    pub fn significant_at(&self, alpha: f64) -> Vec<usize> {
+        self.by_significance()
+            .take_while(|row| row.adjp <= alpha)
+            .map(|row| row.index)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MaxTResult {
+        MaxTResult {
+            teststat: vec![1.0, 5.0, -3.0],
+            rawp: vec![0.8, 0.01, 0.1],
+            adjp: vec![0.9, 0.02, 0.2],
+            order: vec![1, 2, 0],
+            b_used: 100,
+        }
+    }
+
+    #[test]
+    fn by_significance_follows_order() {
+        let r = sample();
+        let rows: Vec<_> = r.by_significance().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].index, 1);
+        assert_eq!(rows[0].teststat, 5.0);
+        assert_eq!(rows[1].index, 2);
+        assert_eq!(rows[2].index, 0);
+    }
+
+    #[test]
+    fn significant_at_thresholds() {
+        let r = sample();
+        assert_eq!(r.significant_at(0.05), vec![1]);
+        assert_eq!(r.significant_at(0.2), vec![1, 2]);
+        assert_eq!(r.significant_at(1.0), vec![1, 2, 0]);
+        assert!(r.significant_at(0.001).is_empty());
+    }
+
+    #[test]
+    fn genes_counts_rows() {
+        assert_eq!(sample().genes(), 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! Test-method and run options, mirroring the R signature
+//!
+//! ```text
+//! pmaxT(X, classlabel, test = "t", side = "abs", fixed.seed.sampling = "y",
+//!       B = 10000, na = .mt.naNUM, nonpara = "n")
+//! ```
+//!
+//! The interface of `pmaxT` is identical to `mt.maxT` (paper §3.2); this
+//! module preserves the parameter names, string forms and defaults.
+
+use crate::error::{Error, Result};
+use crate::side::Side;
+
+/// The six supported test statistics (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestMethod {
+    /// Two-sample Welch t-statistic, unequal variances (`"t"`).
+    T,
+    /// Two-sample t-statistic with pooled variance (`"t.equalvar"`).
+    TEqualVar,
+    /// Standardized rank-sum Wilcoxon statistic (`"wilcoxon"`).
+    Wilcoxon,
+    /// One-way F-statistic over k classes (`"f"`).
+    F,
+    /// Paired t-statistic (`"pairt"`).
+    PairT,
+    /// Block F-statistic adjusting for block differences (`"blockf"`).
+    BlockF,
+}
+
+impl TestMethod {
+    /// All methods, in the paper's order.
+    pub const ALL: [TestMethod; 6] = [
+        TestMethod::T,
+        TestMethod::TEqualVar,
+        TestMethod::Wilcoxon,
+        TestMethod::F,
+        TestMethod::PairT,
+        TestMethod::BlockF,
+    ];
+
+    /// Parse the R string form.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "t" => Ok(TestMethod::T),
+            "t.equalvar" => Ok(TestMethod::TEqualVar),
+            "wilcoxon" => Ok(TestMethod::Wilcoxon),
+            "f" => Ok(TestMethod::F),
+            "pairt" => Ok(TestMethod::PairT),
+            "blockf" => Ok(TestMethod::BlockF),
+            other => Err(Error::BadOption {
+                param: "test",
+                value: other.to_string(),
+            }),
+        }
+    }
+
+    /// The R string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TestMethod::T => "t",
+            TestMethod::TEqualVar => "t.equalvar",
+            TestMethod::Wilcoxon => "wilcoxon",
+            TestMethod::F => "f",
+            TestMethod::PairT => "pairt",
+            TestMethod::BlockF => "blockf",
+        }
+    }
+
+    /// True for the four "similar in nature" methods that share the
+    /// two-sample/multi-class shuffle generators (paper §3.1: t, t.equalvar,
+    /// wilcoxon, f).
+    pub fn uses_shuffle_generator(self) -> bool {
+        !matches!(self, TestMethod::PairT | TestMethod::BlockF)
+    }
+
+    /// True for methods whose permutations are never stored in memory even if
+    /// requested (paper §3.1: block-f always on-the-fly; complete generators
+    /// likewise).
+    pub fn storage_forced_on_the_fly(self) -> bool {
+        matches!(self, TestMethod::BlockF)
+    }
+}
+
+/// How permutations are produced (paper §3.1 "generator/store").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SamplingMode {
+    /// `fixed.seed.sampling = "y"`: the b-th permutation is derived from a
+    /// seed that is a pure function of b; nothing is stored. Default.
+    #[default]
+    FixedSeedOnTheFly,
+    /// `fixed.seed.sampling = "n"`: all permutations are drawn from one
+    /// sequential stream and stored in memory before the kernel runs.
+    Stored,
+}
+
+impl SamplingMode {
+    /// Parse the R `"y"`/`"n"` form.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "y" => Ok(SamplingMode::FixedSeedOnTheFly),
+            "n" => Ok(SamplingMode::Stored),
+            other => Err(Error::BadOption {
+                param: "fixed.seed.sampling",
+                value: other.to_string(),
+            }),
+        }
+    }
+
+    /// The R string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SamplingMode::FixedSeedOnTheFly => "y",
+            SamplingMode::Stored => "n",
+        }
+    }
+}
+
+/// The default maximum number of complete permutations accepted when `B = 0`.
+/// Beyond this the run refuses and asks for Monte-Carlo sampling, as the
+/// paper describes.
+pub const DEFAULT_MAX_COMPLETE: u64 = 100_000_000;
+
+/// Options of `pmaxT`/`mt.maxT` with the R defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmaxtOptions {
+    /// `test`: the statistic (default `"t"`).
+    pub test: TestMethod,
+    /// `side`: the rejection region (default `"abs"`).
+    pub side: Side,
+    /// `fixed.seed.sampling`: generator/store choice (default `"y"`).
+    pub sampling: SamplingMode,
+    /// `B`: requested permutation count; `0` requests complete enumeration
+    /// (default 10 000).
+    pub b: u64,
+    /// `na`: the missing-value code; cells equal to it are excluded. `None`
+    /// means only `NaN` cells are missing (the `.mt.naNUM` default behaves
+    /// this way after canonicalization).
+    pub na: Option<f64>,
+    /// `nonpara`: rank-transform the data before computing the statistic
+    /// (default `"n"`).
+    pub nonpara: bool,
+    /// RNG seed for the permutation streams. The R implementation seeds from
+    /// a fixed constant; we expose it for reproducibility studies.
+    pub seed: u64,
+    /// Cap on complete enumeration (see [`DEFAULT_MAX_COMPLETE`]).
+    pub max_complete: u64,
+}
+
+impl Default for PmaxtOptions {
+    fn default() -> Self {
+        PmaxtOptions {
+            test: TestMethod::T,
+            side: Side::Abs,
+            sampling: SamplingMode::FixedSeedOnTheFly,
+            b: 10_000,
+            na: None,
+            nonpara: false,
+            seed: 44_561, // multtest's historical default RNG seed
+            max_complete: DEFAULT_MAX_COMPLETE,
+        }
+    }
+}
+
+impl PmaxtOptions {
+    /// Start from the R defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `test` from the R string form.
+    pub fn test_str(mut self, s: &str) -> Result<Self> {
+        self.test = TestMethod::parse(s)?;
+        Ok(self)
+    }
+
+    /// Set `test`.
+    pub fn test(mut self, m: TestMethod) -> Self {
+        self.test = m;
+        self
+    }
+
+    /// Set `side` from the R string form.
+    pub fn side_str(mut self, s: &str) -> Result<Self> {
+        self.side = Side::parse(s)?;
+        Ok(self)
+    }
+
+    /// Set `side`.
+    pub fn side(mut self, s: Side) -> Self {
+        self.side = s;
+        self
+    }
+
+    /// Set `fixed.seed.sampling` from `"y"`/`"n"`.
+    pub fn fixed_seed_sampling(mut self, s: &str) -> Result<Self> {
+        self.sampling = SamplingMode::parse(s)?;
+        Ok(self)
+    }
+
+    /// Set the permutation count (`0` = complete enumeration).
+    pub fn permutations(mut self, b: u64) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Set the missing-value code.
+    pub fn na_code(mut self, na: f64) -> Self {
+        self.na = Some(na);
+        self
+    }
+
+    /// Enable/disable the non-parametric rank transform.
+    pub fn nonpara(mut self, yes: bool) -> Self {
+        self.nonpara = yes;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the complete-enumeration cap.
+    pub fn max_complete(mut self, max: u64) -> Self {
+        self.max_complete = max;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_r_signature() {
+        let o = PmaxtOptions::default();
+        assert_eq!(o.test, TestMethod::T);
+        assert_eq!(o.side, Side::Abs);
+        assert_eq!(o.sampling, SamplingMode::FixedSeedOnTheFly);
+        assert_eq!(o.b, 10_000);
+        assert_eq!(o.na, None);
+        assert!(!o.nonpara);
+    }
+
+    #[test]
+    fn method_strings_round_trip() {
+        for m in TestMethod::ALL {
+            assert_eq!(TestMethod::parse(m.as_str()).unwrap(), m);
+        }
+        assert!(TestMethod::parse("ttest").is_err());
+        assert!(TestMethod::parse("").is_err());
+    }
+
+    #[test]
+    fn sampling_mode_round_trips() {
+        assert_eq!(
+            SamplingMode::parse("y").unwrap(),
+            SamplingMode::FixedSeedOnTheFly
+        );
+        assert_eq!(SamplingMode::parse("n").unwrap(), SamplingMode::Stored);
+        assert!(SamplingMode::parse("yes").is_err());
+    }
+
+    #[test]
+    fn builder_composes() {
+        let o = PmaxtOptions::new()
+            .test_str("wilcoxon")
+            .unwrap()
+            .side_str("upper")
+            .unwrap()
+            .fixed_seed_sampling("n")
+            .unwrap()
+            .permutations(500)
+            .na_code(-99.0)
+            .nonpara(true)
+            .seed(7);
+        assert_eq!(o.test, TestMethod::Wilcoxon);
+        assert_eq!(o.side, Side::Upper);
+        assert_eq!(o.sampling, SamplingMode::Stored);
+        assert_eq!(o.b, 500);
+        assert_eq!(o.na, Some(-99.0));
+        assert!(o.nonpara);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn generator_family_classification() {
+        assert!(TestMethod::T.uses_shuffle_generator());
+        assert!(TestMethod::TEqualVar.uses_shuffle_generator());
+        assert!(TestMethod::Wilcoxon.uses_shuffle_generator());
+        assert!(TestMethod::F.uses_shuffle_generator());
+        assert!(!TestMethod::PairT.uses_shuffle_generator());
+        assert!(!TestMethod::BlockF.uses_shuffle_generator());
+        assert!(TestMethod::BlockF.storage_forced_on_the_fly());
+        assert!(!TestMethod::T.storage_forced_on_the_fly());
+    }
+}

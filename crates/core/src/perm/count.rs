@@ -1,0 +1,160 @@
+//! Overflow-checked counting of complete permutation spaces.
+//!
+//! The paper: *"the implementation can execute a permutation count only
+//! limited by the precision of the underlying CPU architecture"* and, when a
+//! complete enumeration is too large, *"the user is asked to explicitly
+//! request a smaller number of permutations"*. All counts here are `u128`
+//! with `None` signalling overflow.
+
+/// `C(n, k)` with overflow checking, via the multiplicative formula.
+pub fn checked_binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) / (i + 1); the division is exact at each step because
+        // acc holds C(n, i+1) * (i+1)! / ... — classic binomial recurrence.
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// Number of distinct arrangements of a multiset with the given per-class
+/// counts: `n! / ∏ cᵢ!`, computed as a product of binomials to avoid
+/// intermediate factorial overflow.
+pub fn multiset_count(counts: &[usize]) -> Option<u128> {
+    let mut remaining: u64 = counts.iter().map(|&c| c as u64).sum();
+    let mut acc: u128 = 1;
+    for &c in counts {
+        acc = acc.checked_mul(checked_binomial(remaining, c as u64)?)?;
+        remaining -= c as u64;
+    }
+    Some(acc)
+}
+
+/// `k!` with overflow checking.
+pub fn checked_factorial(k: u64) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for i in 2..=k as u128 {
+        acc = acc.checked_mul(i)?;
+    }
+    Some(acc)
+}
+
+/// `base^exp` with overflow checking.
+pub fn checked_pow(base: u128, exp: u64) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base)?;
+    }
+    Some(acc)
+}
+
+/// `2^pairs` sign-flip patterns for the paired design.
+pub fn paired_count(pairs: usize) -> Option<u128> {
+    if pairs >= 128 {
+        None
+    } else {
+        Some(1u128 << pairs)
+    }
+}
+
+/// `(k!)^m` within-block arrangements for the block design.
+pub fn block_count(blocks: usize, treatments: usize) -> Option<u128> {
+    let kfact = checked_factorial(treatments as u64)?;
+    checked_pow(kfact, blocks as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(checked_binomial(5, 2), Some(10));
+        assert_eq!(checked_binomial(10, 0), Some(1));
+        assert_eq!(checked_binomial(10, 10), Some(1));
+        assert_eq!(checked_binomial(4, 7), Some(0));
+        assert_eq!(checked_binomial(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn binomial_known_midsize_value() {
+        assert_eq!(checked_binomial(50, 25), Some(126_410_606_437_752));
+    }
+
+    #[test]
+    fn binomial_matches_pascal_triangle() {
+        // Independent check by Pascal's recurrence up to the paper's n = 76.
+        let n_max = 76usize;
+        let mut row: Vec<u128> = vec![1];
+        for n in 1..=n_max {
+            let mut next = vec![1u128; n + 1];
+            for (k, slot) in next.iter_mut().enumerate().take(n).skip(1) {
+                *slot = row[k - 1] + row[k];
+            }
+            row = next;
+        }
+        for k in 0..=n_max {
+            assert_eq!(checked_binomial(76, k as u64), Some(row[k]), "k={k}");
+        }
+    }
+
+    #[test]
+    fn binomial_overflow_detected() {
+        // C(400, 200) far exceeds u128.
+        assert_eq!(checked_binomial(400, 200), None);
+    }
+
+    #[test]
+    fn multiset_matches_binomial_for_two_classes() {
+        assert_eq!(multiset_count(&[3, 2]), checked_binomial(5, 2));
+        assert_eq!(multiset_count(&[38, 38]), checked_binomial(76, 38));
+    }
+
+    #[test]
+    fn multiset_three_classes() {
+        // 6!/(2!2!2!) = 90.
+        assert_eq!(multiset_count(&[2, 2, 2]), Some(90));
+        // 4!/(1!1!2!) = 12.
+        assert_eq!(multiset_count(&[1, 1, 2]), Some(12));
+    }
+
+    #[test]
+    fn factorial_values_and_overflow() {
+        assert_eq!(checked_factorial(0), Some(1));
+        assert_eq!(checked_factorial(5), Some(120));
+        assert_eq!(checked_factorial(12), Some(479_001_600));
+        // 34! still fits in u128; 35! overflows.
+        let f33 = checked_factorial(33).unwrap();
+        assert_eq!(checked_factorial(34), f33.checked_mul(34).map(|_| f33 * 34));
+        assert_eq!(checked_factorial(35), None);
+    }
+
+    #[test]
+    fn paired_counts() {
+        assert_eq!(paired_count(3), Some(8));
+        assert_eq!(paired_count(127), Some(1u128 << 127));
+        assert_eq!(paired_count(128), None);
+    }
+
+    #[test]
+    fn block_counts() {
+        // (3!)^2 = 36; (2!)^10 = 1024.
+        assert_eq!(block_count(2, 3), Some(36));
+        assert_eq!(block_count(10, 2), Some(1024));
+        // Explodes fast: (10!)^20 overflows.
+        assert_eq!(block_count(20, 10), None);
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(checked_pow(2, 10), Some(1024));
+        assert_eq!(checked_pow(1, 1000), Some(1));
+        assert_eq!(checked_pow(u128::MAX, 2), None);
+        assert_eq!(checked_pow(7, 0), Some(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Lexicographic enumeration, ranking and unranking of multiset
+//! permutations.
+//!
+//! A label arrangement for the shuffle-family tests (`t`, `t.equalvar`,
+//! `wilcoxon`, `f`) is a permutation of the label *multiset* (e.g. 38 zeros
+//! and 38 ones). Complete enumeration walks all distinct arrangements in
+//! lexicographic order; **unranking** jumps straight to the arrangement with
+//! a given lex index, which is what lets a parallel rank forward its
+//! generator to its chunk in O(n²k) instead of replaying billions of steps
+//! (paper §3.2: "the generators need to be forwarded to the appropriate
+//! permutation").
+
+use super::count::multiset_count;
+
+/// Advance `a` to the next lexicographic arrangement. Returns `false` (and
+/// leaves `a` as the lex-first arrangement, i.e. sorted) when `a` was the
+/// lex-last arrangement.
+pub fn next_permutation(a: &mut [u8]) -> bool {
+    if a.len() < 2 {
+        return false;
+    }
+    // Standard algorithm: find rightmost ascent, swap with successor, reverse
+    // the suffix.
+    let mut i = a.len() - 1;
+    while i > 0 && a[i - 1] >= a[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        a.reverse();
+        return false;
+    }
+    let pivot = i - 1;
+    let mut j = a.len() - 1;
+    while a[j] <= a[pivot] {
+        j -= 1;
+    }
+    a.swap(pivot, j);
+    a[i..].reverse();
+    true
+}
+
+/// Lexicographic rank of arrangement `a` among all distinct arrangements of
+/// its multiset. `None` if the count overflows u128 (cannot happen for
+/// arrangements whose total count was already validated).
+pub fn rank(a: &[u8], k: usize) -> Option<u128> {
+    let mut counts = vec![0usize; k];
+    for &v in a {
+        counts[v as usize] += 1;
+    }
+    let mut r: u128 = 0;
+    for (i, &v) in a.iter().enumerate() {
+        for c in 0..v as usize {
+            if counts[c] > 0 {
+                counts[c] -= 1;
+                r = r.checked_add(multiset_count(&counts)?)?;
+                counts[c] += 1;
+            }
+        }
+        counts[v as usize] -= 1;
+        let _ = i;
+    }
+    Some(r)
+}
+
+/// Write the arrangement with lexicographic rank `r` of the multiset given by
+/// `counts` into `out`. Panics if `r` is out of range (caller validates
+/// against [`multiset_count`]).
+pub fn unrank(counts: &[usize], mut r: u128, out: &mut [u8]) {
+    let mut counts = counts.to_vec();
+    let n: usize = counts.iter().sum();
+    assert_eq!(out.len(), n, "output length must match multiset size");
+    for slot in out.iter_mut() {
+        let mut placed = false;
+        for c in 0..counts.len() {
+            if counts[c] == 0 {
+                continue;
+            }
+            counts[c] -= 1;
+            let below = multiset_count(&counts).expect("validated multiset count");
+            if r < below {
+                *slot = c as u8;
+                placed = true;
+                break;
+            }
+            r -= below;
+            counts[c] += 1;
+        }
+        assert!(placed, "rank out of range for multiset");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::count::multiset_count;
+
+    fn all_arrangements(start: &[u8]) -> Vec<Vec<u8>> {
+        let mut a = start.to_vec();
+        a.sort_unstable();
+        let mut out = vec![a.clone()];
+        while next_permutation(&mut a) {
+            out.push(a.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_lex_sorted() {
+        let arr = all_arrangements(&[0, 0, 1, 1]);
+        assert_eq!(arr.len(), 6); // C(4,2)
+        let mut sorted = arr.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, arr, "lex order, no duplicates");
+    }
+
+    #[test]
+    fn enumeration_three_classes() {
+        let arr = all_arrangements(&[0, 1, 1, 2]);
+        assert_eq!(arr.len(), 12); // 4!/(1!2!1!)
+        assert_eq!(arr[0], vec![0, 1, 1, 2]);
+        assert_eq!(arr[11], vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn exhausted_enumeration_wraps_to_first() {
+        let mut a = vec![1, 1, 0, 0]; // lex-last of {0,0,1,1}
+        assert!(!next_permutation(&mut a));
+        assert_eq!(a, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn rank_agrees_with_enumeration_order() {
+        for start in [vec![0u8, 0, 1, 1], vec![0, 1, 1, 2], vec![0, 0, 0, 1, 2, 2]] {
+            let k = (*start.iter().max().unwrap() as usize) + 1;
+            for (i, a) in all_arrangements(&start).iter().enumerate() {
+                assert_eq!(rank(a, k), Some(i as u128), "arrangement {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_inverts_rank() {
+        let start = vec![0u8, 1, 1, 2, 2];
+        let k = 3;
+        let mut counts = vec![0usize; k];
+        for &v in &start {
+            counts[v as usize] += 1;
+        }
+        let total = multiset_count(&counts).unwrap();
+        let mut out = vec![0u8; start.len()];
+        for r in 0..total {
+            unrank(&counts, r, &mut out);
+            assert_eq!(rank(&out, k), Some(r));
+        }
+    }
+
+    #[test]
+    fn unrank_matches_enumeration() {
+        let arrangements = all_arrangements(&[0u8, 0, 1, 1, 1]);
+        let counts = [2usize, 3];
+        let mut out = vec![0u8; 5];
+        for (i, a) in arrangements.iter().enumerate() {
+            unrank(&counts, i as u128, &mut out);
+            assert_eq!(&out, a);
+        }
+    }
+
+    #[test]
+    fn singleton_and_empty_edge_cases() {
+        let mut one = [0u8];
+        assert!(!next_permutation(&mut one));
+        let mut empty: [u8; 0] = [];
+        assert!(!next_permutation(&mut empty));
+        assert_eq!(rank(&[], 1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn unrank_out_of_range_panics() {
+        let mut out = [0u8; 2];
+        unrank(&[1, 1], 2, &mut out); // only 2 arrangements: ranks 0, 1
+    }
+
+    #[test]
+    fn large_multiset_rank_unrank_round_trip() {
+        // Spot-check on the paper's scale: 76 columns, two classes.
+        let counts = [38usize, 38];
+        let total = multiset_count(&counts).unwrap();
+        let mut out = vec![0u8; 76];
+        for r in [0u128, 1, 12345, total / 2, total - 1] {
+            unrank(&counts, r, &mut out);
+            assert_eq!(rank(&out, 2), Some(r));
+        }
+    }
+}

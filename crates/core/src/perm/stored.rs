@@ -1,0 +1,119 @@
+//! The "store permutations in memory" mode (`fixed.seed.sampling = "n"`):
+//! all label arrangements are materialized into a B×n matrix before the
+//! kernel runs.
+
+use super::PermutationGenerator;
+
+/// A fully materialized permutation sequence. Construction consumes another
+/// generator from its current position to exhaustion; `skip` is O(1)
+/// afterwards.
+#[derive(Debug, Clone)]
+pub struct StoredMatrix {
+    data: Vec<u8>,
+    cols: usize,
+    cursor: u64,
+    len: u64,
+}
+
+impl StoredMatrix {
+    /// Materialize `source` (typically a sequential on-the-fly generator) for
+    /// `cols` label columns.
+    pub fn materialize(source: &mut dyn PermutationGenerator, cols: usize) -> Self {
+        let len = source.len() - source.position();
+        let mut data = vec![0u8; len as usize * cols];
+        let mut written = 0u64;
+        {
+            let mut chunks = data.chunks_exact_mut(cols);
+            for chunk in &mut chunks {
+                if !source.next_into(chunk) {
+                    break;
+                }
+                written += 1;
+            }
+        }
+        debug_assert_eq!(written, len, "source ended before its declared length");
+        StoredMatrix {
+            data,
+            cols,
+            cursor: 0,
+            len,
+        }
+    }
+
+    /// Bytes held by the stored matrix (the memory the paper's on-the-fly
+    /// mode avoids).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl PermutationGenerator for StoredMatrix {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn position(&self) -> u64 {
+        self.cursor
+    }
+
+    fn next_into(&mut self, out: &mut [u8]) -> bool {
+        if self.cursor >= self.len {
+            return false;
+        }
+        let start = self.cursor as usize * self.cols;
+        out.copy_from_slice(&self.data[start..start + self.cols]);
+        self.cursor += 1;
+        true
+    }
+
+    fn skip(&mut self, n: u64) {
+        self.cursor = self.cursor.saturating_add(n).min(self.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::shuffle::ShuffleSequential;
+    use crate::perm::test_support::collect_all;
+
+    #[test]
+    fn materialized_sequence_matches_source() {
+        let base = vec![0u8, 0, 1, 1, 1];
+        let direct = collect_all(&mut ShuffleSequential::new(base.clone(), 12, 3), 5);
+        let mut src = ShuffleSequential::new(base, 12, 3);
+        let mut stored = StoredMatrix::materialize(&mut src, 5);
+        assert_eq!(collect_all(&mut stored, 5), direct);
+    }
+
+    #[test]
+    fn skip_is_index_jump() {
+        let base = vec![0u8, 1, 0, 1];
+        let mut src = ShuffleSequential::new(base.clone(), 9, 1);
+        let mut stored = StoredMatrix::materialize(&mut src, 4);
+        let all = collect_all(&mut stored.clone(), 4);
+        stored.skip(6);
+        assert_eq!(stored.position(), 6);
+        assert_eq!(collect_all(&mut stored, 4), all[6..]);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let base = vec![0u8; 10];
+        let mut src = ShuffleSequential::new(base, 100, 0);
+        let stored = StoredMatrix::materialize(&mut src, 10);
+        assert_eq!(stored.memory_bytes(), 1000);
+    }
+
+    #[test]
+    fn exhaustion_returns_false() {
+        let base = vec![0u8, 1];
+        let mut src = ShuffleSequential::new(base, 3, 0);
+        let mut stored = StoredMatrix::materialize(&mut src, 2);
+        let mut out = [0u8; 2];
+        for _ in 0..3 {
+            assert!(stored.next_into(&mut out));
+        }
+        assert!(!stored.next_into(&mut out));
+    }
+}

@@ -1,0 +1,502 @@
+//! `pmaxt` — the parallel permutation testing driver (paper §3.2).
+//!
+//! The interface is identical to the serial [`crate::maxt::serial::mt_maxt`];
+//! parallelism distributes the *permutation count* (not the data) over the
+//! ranks of an SPMD universe. The run follows the paper's six steps:
+//!
+//! 1. the master pre-processes and validates the inputs;
+//! 2. parameters are broadcast (lengths first in the C code; here a single
+//!    typed broadcast);
+//! 3. a global reduction synchronizes all ranks after allocation;
+//! 4. each rank computes its share of the permutations, forwarding its
+//!    generator to its chunk with `skip` (Figure 2 — the first/identity
+//!    permutation is handled once, by the master);
+//! 5. the master gathers the partial counts by an exact integer sum-reduction
+//!    and computes raw and adjusted p-values;
+//! 6. buffers are dropped (automatic in Rust).
+//!
+//! Each of the paper's five profiled sections is timed and reported in
+//! [`PmaxtRun::profile`] with the paper's section names.
+
+use std::sync::Arc;
+
+use mpi_sim::{Communicator, SectionProfile, SectionTimer, Universe, MASTER};
+
+use crate::error::{Error, Result};
+use crate::labels::ClassLabels;
+use crate::matrix::Matrix;
+use crate::maxt::{CountAccumulator, MaxTContext, MaxTResult};
+use crate::options::PmaxtOptions;
+use crate::perm::{build_generator, resolve_permutation_count};
+use crate::stats::prepare_matrix;
+
+/// Section names as they appear in the paper's Tables I–V.
+pub mod sections {
+    /// Master-side input validation and option transformation.
+    pub const PRE_PROCESSING: &str = "pre-processing";
+    /// Broadcast of scalar/string parameters and labels.
+    pub const BROADCAST_PARAMETERS: &str = "broadcast parameters";
+    /// Broadcast of the dataset and construction of the local working copy.
+    pub const CREATE_DATA: &str = "create data";
+    /// The permutation loop.
+    pub const MAIN_KERNEL: &str = "main kernel";
+    /// Count reduction and p-value computation.
+    pub const COMPUTE_P_VALUES: &str = "compute p-values";
+}
+
+/// Result of a parallel run: the master's result plus its section profile.
+#[derive(Debug, Clone)]
+pub struct PmaxtRun {
+    /// The p-values (bit-identical to the serial `mt_maxt` output).
+    pub result: MaxTResult,
+    /// Wall-clock time of the five paper sections, measured on the master
+    /// (the view the paper's Tables I–V report).
+    pub profile: SectionProfile,
+    /// Every rank's section profile, in rank order (`rank_profiles[0]` is the
+    /// master's). Exposes kernel load balance — the chunks differ by at most
+    /// one permutation, so big spreads indicate interference, not imbalance.
+    pub rank_profiles: Vec<SectionProfile>,
+    /// Number of ranks used.
+    pub ranks: usize,
+}
+
+impl PmaxtRun {
+    /// Ratio of slowest to fastest per-rank main-kernel time (1.0 = perfectly
+    /// balanced).
+    pub fn kernel_imbalance(&self) -> f64 {
+        let times: Vec<f64> = self
+            .rank_profiles
+            .iter()
+            .map(|p| p.seconds(sections::MAIN_KERNEL))
+            .collect();
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0, f64::max);
+        if min > 0.0 {
+            max / min
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// The contiguous chunk of permutation indices assigned to `rank`:
+/// `(start, take)`. Indices `1..b` (everything but the identity) are split as
+/// evenly as possible; the master's chunk additionally includes index 0.
+pub fn chunk_for_rank(b: u64, size: u64, rank: u64) -> (u64, u64) {
+    debug_assert!(rank < size);
+    let rem = b.saturating_sub(1);
+    let base = rem / size;
+    let extra = rem % size;
+    let take = base + u64::from(rank < extra);
+    let start = 1 + rank * base + rank.min(extra);
+    if rank == 0 {
+        (0, take + 1)
+    } else {
+        (start, take)
+    }
+}
+
+/// Everything the master broadcasts in the "broadcast parameters" section.
+#[derive(Debug, Clone)]
+struct Params {
+    rows: usize,
+    cols: usize,
+    labels: Vec<u8>,
+    opts: PmaxtOptions,
+    b: u64,
+}
+
+/// Run the parallel permutation test on `n_ranks` SPMD ranks.
+///
+/// Produces results bit-identical to [`crate::maxt::serial::mt_maxt`] for
+/// every option combination — the generators are forwarded with `skip` so the
+/// union of the per-rank permutation sequences is exactly the serial
+/// sequence.
+///
+/// ```
+/// use sprint_core::matrix::Matrix;
+/// use sprint_core::options::PmaxtOptions;
+/// use sprint_core::pmaxt::pmaxt;
+///
+/// let data = Matrix::from_vec(1, 6, vec![1.0, 2.0, 1.5, 9.0, 10.0, 9.5]).unwrap();
+/// let run = pmaxt(&data, &[0, 0, 0, 1, 1, 1], &PmaxtOptions::default().permutations(0), 2)
+///     .unwrap();
+/// assert_eq!(run.result.b_used, 20); // complete enumeration of C(6,3)
+/// assert!(run.result.adjp[0] < 0.15);
+/// ```
+pub fn pmaxt(
+    data: &Matrix,
+    classlabel: &[u8],
+    opts: &PmaxtOptions,
+    n_ranks: usize,
+) -> Result<PmaxtRun> {
+    if n_ranks == 0 {
+        return Err(Error::Comm("at least one rank required".into()));
+    }
+    // Validate up front so common errors surface as typed errors rather than
+    // rank panics.
+    let labels = ClassLabels::new(classlabel.to_vec(), opts.test)?;
+    if labels.len() != data.cols() {
+        return Err(Error::BadLabels(format!(
+            "classlabel length {} does not match {} data columns",
+            labels.len(),
+            data.cols()
+        )));
+    }
+    resolve_permutation_count(&labels, opts)?;
+
+    let master_input = Arc::new((data.clone(), classlabel.to_vec(), opts.clone()));
+    let outputs = Universe::run(n_ranks, move |comm| {
+        pmaxt_rank(comm, Some(&master_input))
+    })
+    .map_err(|e| Error::Comm(e.to_string()))?;
+    let (result, profile, rank_profiles) = outputs
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("master rank produces the result");
+    Ok(PmaxtRun {
+        result,
+        profile,
+        rank_profiles,
+        ranks: n_ranks,
+    })
+}
+
+/// The SPMD body executed by every rank (paper §3.2, Steps 1–6).
+///
+/// `master_input` is the `(data, classlabel, options)` triple and must be
+/// `Some` on the master rank; workers may pass `None` — they receive
+/// everything through the broadcasts. Exposed so alternative harnesses (the
+/// `sprint` framework layer) can dispatch the same body over their own
+/// communicator.
+///
+/// Returns `Some((result, master profile, all rank profiles))` on the
+/// master, `None` on workers.
+pub fn pmaxt_rank(
+    comm: &Communicator,
+    master_input: Option<&Arc<(Matrix, Vec<u8>, PmaxtOptions)>>,
+) -> Option<(MaxTResult, SectionProfile, Vec<SectionProfile>)> {
+    let mut timer = SectionTimer::new();
+
+    // Step 1 — pre-processing (master only): canonicalize NA, validate, and
+    // resolve the permutation count.
+    let master_params = timer.time(sections::PRE_PROCESSING, || {
+        if !comm.is_master() {
+            return None;
+        }
+        let (data, classlabel, opts) = &**master_input
+            .expect("master rank must receive the input triple");
+        let labels =
+            ClassLabels::new(classlabel.clone(), opts.test).expect("validated by caller");
+        let b = resolve_permutation_count(&labels, opts).expect("validated by caller");
+        Some(Params {
+            rows: data.rows(),
+            cols: data.cols(),
+            labels: classlabel.clone(),
+            opts: opts.clone(),
+            b,
+        })
+    });
+
+    // Step 2 — broadcast parameters.
+    let params = timer.time(sections::BROADCAST_PARAMETERS, || {
+        comm.bcast(MASTER, master_params).expect("param broadcast")
+    });
+
+    // Step 2/3 — create data: broadcast the (NA-canonicalized) matrix and
+    // build the local prepared copy.
+    let (prepared, labels) = timer.time(sections::CREATE_DATA, || {
+        let payload = if comm.is_master() {
+            let (data, _, opts) = &**master_input
+                .expect("master rank must receive the input triple");
+            let canonical = match opts.na {
+                Some(code) => Matrix::from_vec_with_na(
+                    data.rows(),
+                    data.cols(),
+                    data.as_slice().to_vec(),
+                    code,
+                )
+                .expect("validated dimensions"),
+                None => data.clone(),
+            };
+            Some(canonical.into_vec())
+        } else {
+            None
+        };
+        let raw = comm.bcast(MASTER, payload).expect("data broadcast");
+        let local = Matrix::from_vec(params.rows, params.cols, raw).expect("validated dims");
+        let labels = ClassLabels::new(params.labels.clone(), params.opts.test)
+            .expect("validated by master");
+        let prepared = prepare_matrix(&local, params.opts.test, params.opts.nonpara).into_owned();
+        (prepared, labels)
+    });
+
+    // Step 3 — global sum to synchronize after allocation.
+    comm.allreduce(1u64, |a, b| a + b).expect("sync reduction");
+
+    // Step 4 — main kernel: each rank processes its chunk of permutations.
+    let ctx = MaxTContext::new(&prepared, &labels, params.opts.test, params.opts.side);
+    let local_counts = timer.time(sections::MAIN_KERNEL, || {
+        let (start, take) = chunk_for_rank(params.b, comm.size() as u64, comm.rank() as u64);
+        let mut gen =
+            build_generator(&labels, &params.opts, params.b).expect("validated generator");
+        gen.skip(start);
+        let mut acc = CountAccumulator::new(params.rows);
+        let done = ctx.accumulate(&mut *gen, take, &mut acc);
+        debug_assert_eq!(done, take, "chunk shorter than assigned");
+        acc
+    });
+
+    // Step 5 — gather the partial observations and compute the p-values.
+    let result = timer.time(sections::COMPUTE_P_VALUES, || {
+        let reduced = comm
+            .reduce_sum_u64(MASTER, local_counts.to_flat())
+            .expect("count reduction");
+        reduced.map(|flat| {
+            let total = CountAccumulator::from_flat(&flat, params.rows);
+            debug_assert_eq!(total.n_perm, params.b);
+            ctx.finalize(&total)
+        })
+    });
+
+    // Step 6 — free memory: automatic. Additionally gather every rank's
+    // profile so the master can report load balance.
+    let profile = timer.finish();
+    let all_profiles = comm
+        .gather(MASTER, profile.clone())
+        .expect("profile gather");
+    result.map(|r| {
+        (
+            r,
+            profile,
+            all_profiles.expect("master holds the gathered profiles"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxt::serial::mt_maxt;
+    use crate::options::{SamplingMode, TestMethod};
+    use crate::side::Side;
+
+    fn test_data() -> (Matrix, Vec<u8>) {
+        let data = Matrix::from_vec(
+            4,
+            8,
+            vec![
+                1.0, 2.0, 1.5, 2.5, 9.0, 10.0, 9.5, 10.5, // strong signal
+                5.0, 4.0, 6.0, 5.5, 4.5, 5.2, 5.8, 4.9, // flat
+                2.0, 8.0, 3.0, 7.0, 2.5, 7.5, 3.5, 6.5, // noisy
+                1.0, f64::NAN, 2.0, 1.5, 3.0, 4.0, f64::NAN, 3.5, // missing cells
+            ],
+        )
+        .unwrap();
+        (data, vec![0, 0, 0, 0, 1, 1, 1, 1])
+    }
+
+    #[test]
+    fn chunks_cover_everything_exactly_once() {
+        for b in [1u64, 2, 5, 23, 150] {
+            for size in [1u64, 2, 3, 4, 7, 8] {
+                let mut covered = vec![0u32; b as usize];
+                for rank in 0..size {
+                    let (start, take) = chunk_for_rank(b, size, rank);
+                    for i in start..start + take {
+                        covered[i as usize] += 1;
+                    }
+                }
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "b={b} size={size}: {covered:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        // Paper: "divides the permutation count into equal chunks".
+        let b = 150_001u64;
+        let size = 7u64;
+        let takes: Vec<u64> = (0..size).map(|r| chunk_for_rank(b, size, r).1).collect();
+        let min = *takes.iter().min().unwrap();
+        let max = *takes.iter().max().unwrap();
+        assert!(max - min <= 1 + 1, "master gets at most the identity extra: {takes:?}");
+    }
+
+    #[test]
+    fn master_handles_identity() {
+        let (start, take) = chunk_for_rank(23, 3, 0);
+        assert_eq!(start, 0);
+        assert!(take >= 1);
+        for rank in 1..3 {
+            let (s, _) = chunk_for_rank(23, 3, rank);
+            assert!(s >= 1, "workers skip the identity");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_default_options() {
+        let (data, labels) = test_data();
+        let opts = PmaxtOptions::default().permutations(60);
+        let serial = mt_maxt(&data, &labels, &opts).unwrap();
+        for ranks in [1, 2, 3, 4, 7] {
+            let par = pmaxt(&data, &labels, &opts, ranks).unwrap();
+            assert_eq!(par.result, serial, "ranks={ranks}");
+            assert_eq!(par.ranks, ranks);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_every_option_combination() {
+        let (data, two_labels) = test_data();
+        let f_labels = vec![0u8, 0, 1, 1, 2, 2, 2, 2];
+        let pair_labels = vec![0u8, 1, 0, 1, 1, 0, 0, 1];
+        let block_labels = vec![0u8, 1, 1, 0, 0, 1, 1, 0];
+        for method in TestMethod::ALL {
+            let labels: &[u8] = match method {
+                TestMethod::F => &f_labels,
+                TestMethod::PairT => &pair_labels,
+                TestMethod::BlockF => &block_labels,
+                _ => &two_labels,
+            };
+            for side in [Side::Abs, Side::Upper, Side::Lower] {
+                for sampling in [SamplingMode::FixedSeedOnTheFly, SamplingMode::Stored] {
+                    for b in [0u64, 37] {
+                        let opts = PmaxtOptions {
+                            test: method,
+                            side,
+                            sampling,
+                            b,
+                            ..PmaxtOptions::default()
+                        };
+                        let serial = mt_maxt(&data, labels, &opts).unwrap();
+                        for ranks in [2, 3] {
+                            let par = pmaxt(&data, labels, &opts, ranks).unwrap();
+                            assert_eq!(
+                                par.result, serial,
+                                "method={method:?} side={side:?} sampling={sampling:?} b={b} ranks={ranks}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_contains_all_five_sections() {
+        let (data, labels) = test_data();
+        let opts = PmaxtOptions::default().permutations(40);
+        let run = pmaxt(&data, &labels, &opts, 2).unwrap();
+        let names: Vec<String> = run.profile.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                sections::PRE_PROCESSING,
+                sections::BROADCAST_PARAMETERS,
+                sections::CREATE_DATA,
+                sections::MAIN_KERNEL,
+                sections::COMPUTE_P_VALUES,
+            ]
+        );
+        assert!(run.profile.get(sections::MAIN_KERNEL) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn more_ranks_than_permutations_still_correct() {
+        let (data, labels) = test_data();
+        let opts = PmaxtOptions::default().permutations(3);
+        let serial = mt_maxt(&data, &labels, &opts).unwrap();
+        let par = pmaxt(&data, &labels, &opts, 8).unwrap();
+        assert_eq!(par.result, serial);
+    }
+
+    #[test]
+    fn b_equal_one_only_identity() {
+        let (data, labels) = test_data();
+        let opts = PmaxtOptions::default().permutations(1);
+        let par = pmaxt(&data, &labels, &opts, 3).unwrap();
+        // Only the identity: all computable p-values are exactly 1.
+        for g in 0..3 {
+            assert_eq!(par.result.rawp[g], 1.0);
+            assert_eq!(par.result.adjp[g], 1.0);
+        }
+        assert_eq!(par.result.b_used, 1);
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors() {
+        let (data, _) = test_data();
+        let opts = PmaxtOptions::default();
+        assert!(matches!(
+            pmaxt(&data, &[0, 1], &opts, 2),
+            Err(Error::BadLabels(_))
+        ));
+        assert!(matches!(
+            pmaxt(&data, &[0; 8], &opts, 2),
+            Err(Error::BadLabels(_))
+        ));
+        assert!(pmaxt(&data, &[0, 0, 0, 0, 1, 1, 1, 1], &opts, 0).is_err());
+    }
+
+    #[test]
+    fn nan_gene_propagates_in_parallel() {
+        let (data, labels) = test_data();
+        // Make gene 1 constant → NaN statistic.
+        let mut v = data.as_slice().to_vec();
+        for c in 0..8 {
+            v[8 + c] = 3.3;
+        }
+        let data = Matrix::from_vec(4, 8, v).unwrap();
+        let opts = PmaxtOptions::default().permutations(30);
+        let par = pmaxt(&data, &labels, &opts, 3).unwrap();
+        assert!(par.result.rawp[1].is_nan());
+        assert!(par.result.adjp[1].is_nan());
+        assert!(par.result.rawp[0].is_finite());
+    }
+}
+
+#[cfg(test)]
+mod rank_profile_tests {
+    use super::*;
+
+    #[test]
+    fn every_rank_reports_a_profile() {
+        let data = Matrix::from_vec(
+            2,
+            6,
+            vec![1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 5.0, 4.0, 6.0, 5.5, 4.5, 5.2],
+        )
+        .unwrap();
+        let opts = PmaxtOptions::default().permutations(50);
+        let run = pmaxt(&data, &[0, 0, 0, 1, 1, 1], &opts, 4).unwrap();
+        assert_eq!(run.rank_profiles.len(), 4);
+        // Master's entry matches the top-level profile.
+        assert_eq!(
+            run.rank_profiles[0].seconds(sections::MAIN_KERNEL),
+            run.profile.seconds(sections::MAIN_KERNEL)
+        );
+        // Every rank ran the kernel.
+        for (r, p) in run.rank_profiles.iter().enumerate() {
+            assert!(
+                p.get(sections::MAIN_KERNEL) > std::time::Duration::ZERO,
+                "rank {r} kernel not timed"
+            );
+        }
+        let imb = run.kernel_imbalance();
+        assert!(imb.is_nan() || imb >= 1.0);
+    }
+
+    #[test]
+    fn single_rank_profile_list_has_one_entry() {
+        let data = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let opts = PmaxtOptions::default().permutations(10);
+        let run = pmaxt(&data, &[0, 0, 1, 1], &opts, 1).unwrap();
+        assert_eq!(run.rank_profiles.len(), 1);
+        assert_eq!(run.ranks, 1);
+    }
+}

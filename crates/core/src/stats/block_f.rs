@@ -1,0 +1,171 @@
+//! Block F-statistic (`test = "blockf"`): F adjusting for block differences
+//! in a randomized complete block design.
+//!
+//! Columns form `m` consecutive blocks of `k` treatments; within block `b`
+//! the label vector says which treatment each column received. With one
+//! observation per (block, treatment) cell:
+//!
+//! ```text
+//! SS_treat = m · Σ_t (T̄_t − x̄)²        df = k − 1
+//! SS_block = k · Σ_b (B̄_b − x̄)²        df = m − 1
+//! SS_err   = SS_total − SS_treat − SS_block,  df = (k−1)(m−1)
+//! F = (SS_treat / (k−1)) / (SS_err / ((k−1)(m−1)))
+//! ```
+//!
+//! Missing values: a block containing any missing cell is excluded entirely —
+//! the additive decomposition above requires complete blocks. This is the
+//! documented NA policy for this method (DESIGN.md).
+
+use super::moments::pivot_of;
+
+/// Maximum number of treatments kept in the stack-allocated fast path.
+const STACK_TREATMENTS: usize = 8;
+
+/// Block F over consecutive complete blocks of `k` treatments.
+pub fn block_f(row: &[f64], labels: &[u8], k: usize) -> f64 {
+    debug_assert_eq!(row.len(), labels.len());
+    debug_assert_eq!(row.len() % k, 0);
+    debug_assert!(k >= 2);
+    let blocks = row.len() / k;
+    let pivot = pivot_of(row);
+
+    let mut stack = [0.0f64; STACK_TREATMENTS];
+    let mut heap;
+    let treat_sums: &mut [f64] = if k <= STACK_TREATMENTS {
+        &mut stack[..k]
+    } else {
+        heap = vec![0.0f64; k];
+        &mut heap
+    };
+
+    let mut m_used = 0usize; // complete blocks
+    let mut grand_sum = 0.0;
+    let mut grand_sumsq = 0.0;
+    let mut block_sum_sq = 0.0; // Σ_b (block sum)²
+
+    for b in 0..blocks {
+        let cells = &row[b * k..(b + 1) * k];
+        if cells.iter().any(|v| v.is_nan()) {
+            continue;
+        }
+        let lab = &labels[b * k..(b + 1) * k];
+        let mut bsum = 0.0;
+        for (&v, &t) in cells.iter().zip(lab) {
+            let shifted = v - pivot;
+            treat_sums[t as usize] += shifted;
+            bsum += shifted;
+            grand_sum += shifted;
+            grand_sumsq += shifted * shifted;
+        }
+        block_sum_sq += bsum * bsum;
+        m_used += 1;
+    }
+
+    if m_used < 2 {
+        return f64::NAN;
+    }
+    let m = m_used as f64;
+    let kf = k as f64;
+    let n = m * kf;
+    let correction = grand_sum * grand_sum / n;
+    let ss_total = (grand_sumsq - correction).max(0.0);
+    // SS_treat = Σ_t (treat sum)²/m − C
+    let ss_treat = (treat_sums.iter().map(|s| s * s).sum::<f64>() / m - correction).max(0.0);
+    // SS_block = Σ_b (block sum)²/k − C
+    let ss_block = (block_sum_sq / kf - correction).max(0.0);
+    let ss_err = (ss_total - ss_treat - ss_block).max(0.0);
+    let df_treat = kf - 1.0;
+    let df_err = (kf - 1.0) * (m - 1.0);
+    let ms_err = ss_err / df_err;
+    if ms_err <= 0.0 {
+        return f64::NAN;
+    }
+    (ss_treat / df_treat) / ms_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn hand_computed_three_blocks_two_treatments() {
+        // Blocks (t0,t1): (1,2), (2,4), (3,6).
+        // SS_treat = 6, SS_block = 9, SS_total = 16, SS_err = 1,
+        // F = (6/1)/(1/2) = 12.
+        let row = [1.0, 2.0, 2.0, 4.0, 3.0, 6.0];
+        let labels = [0, 1, 0, 1, 0, 1];
+        assert!((block_f(&row, &labels, 2) - 12.0).abs() < TOL);
+    }
+
+    #[test]
+    fn within_block_label_order_is_respected() {
+        // Same data, but block 2 lists treatment 1 first.
+        let row = [1.0, 2.0, 4.0, 2.0, 3.0, 6.0];
+        let labels = [0, 1, 1, 0, 0, 1];
+        // Equivalent to the hand-computed case above.
+        assert!((block_f(&row, &labels, 2) - 12.0).abs() < TOL);
+    }
+
+    #[test]
+    fn block_with_na_is_excluded() {
+        let row = [1.0, 2.0, f64::NAN, 4.0, 2.0, 4.0, 3.0, 6.0];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1];
+        let clean = block_f(&[1.0, 2.0, 2.0, 4.0, 3.0, 6.0], &[0, 1, 0, 1, 0, 1], 2);
+        assert!((block_f(&row, &labels, 2) - clean).abs() < TOL);
+    }
+
+    #[test]
+    fn fewer_than_two_complete_blocks_gives_nan() {
+        let row = [1.0, 2.0, f64::NAN, 4.0];
+        let labels = [0, 1, 0, 1];
+        assert!(block_f(&row, &labels, 2).is_nan());
+    }
+
+    #[test]
+    fn no_error_variance_gives_nan() {
+        // Perfectly additive data: err SS = 0.
+        let row = [1.0, 2.0, 11.0, 12.0];
+        let labels = [0, 1, 0, 1];
+        assert!(block_f(&row, &labels, 2).is_nan());
+    }
+
+    #[test]
+    fn block_adjustment_removes_block_effects() {
+        // Adding a large constant to one whole block must not change F.
+        let row = [1.0, 2.3, 2.0, 4.1, 3.0, 6.2];
+        let labels = [0, 1, 0, 1, 0, 1];
+        let f0 = block_f(&row, &labels, 2);
+        let mut shifted = row;
+        shifted[2] += 100.0;
+        shifted[3] += 100.0;
+        let f1 = block_f(&shifted, &labels, 2);
+        assert!((f0 - f1).abs() < 1e-6, "f0={f0} f1={f1}");
+    }
+
+    #[test]
+    fn three_treatments() {
+        // Blocks of 3 treatments; verified against the one-way identity when
+        // block effects are absent, F_block ≥ 0.
+        let row = [1.0, 2.0, 4.0, 1.2, 2.1, 3.8, 0.9, 2.2, 4.1];
+        let labels = [0, 1, 2, 0, 1, 2, 0, 1, 2];
+        let f = block_f(&row, &labels, 3);
+        assert!(f.is_finite() && f > 0.0);
+    }
+
+    #[test]
+    fn many_treatments_heap_path() {
+        let k = 10;
+        let mut row = Vec::new();
+        let mut labels = Vec::new();
+        for b in 0..3 {
+            for t in 0..k as u8 {
+                row.push((t as f64) * 1.1 + b as f64 * 0.3 + ((b + t as usize) % 3) as f64 * 0.01);
+                labels.push(t);
+            }
+        }
+        let f = block_f(&row, &labels, k);
+        assert!(f.is_finite() && f > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! One-way ANOVA F-statistic over k classes (`test = "f"`).
+
+use super::moments::{pivot_of, GroupSums};
+
+/// Maximum number of classes kept in the stack-allocated fast path.
+const STACK_CLASSES: usize = 8;
+
+/// One-way F: `(SS_between/(k−1)) / (SS_within/(N−k))`, NA-aware.
+///
+/// `k` is the number of classes in the design (labels are `0..k`). Returns
+/// `NaN` when any class is empty after NA exclusion, when error degrees of
+/// freedom vanish, or when the within-group variance is zero.
+pub fn oneway_f(row: &[f64], labels: &[u8], k: usize) -> f64 {
+    debug_assert_eq!(row.len(), labels.len());
+    debug_assert!(k >= 2);
+    let pivot = pivot_of(row);
+    let mut stack = [GroupSums::default(); STACK_CLASSES];
+    let mut heap;
+    let groups: &mut [GroupSums] = if k <= STACK_CLASSES {
+        &mut stack[..k]
+    } else {
+        heap = vec![GroupSums::default(); k];
+        &mut heap
+    };
+    let mut total = GroupSums::default();
+    for (&v, &l) in row.iter().zip(labels) {
+        if !v.is_nan() {
+            let shifted = v - pivot;
+            groups[l as usize].push(shifted);
+            total.push(shifted);
+        }
+    }
+    let n = total.n;
+    if n <= k {
+        return f64::NAN;
+    }
+    let grand_mean = total.mean();
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups.iter() {
+        if g.n == 0 {
+            return f64::NAN;
+        }
+        let d = g.mean() - grand_mean;
+        ss_between += g.n as f64 * d * d;
+        ss_within += g.ss();
+    }
+    let df_between = (k - 1) as f64;
+    let df_within = (n - k) as f64;
+    let ms_within = ss_within / df_within;
+    if ms_within <= 0.0 {
+        return f64::NAN;
+    }
+    (ss_between / df_between) / ms_within
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn hand_computed_three_groups() {
+        // Groups [1,2], [4,6], [5,9]: SSB = 31, SSW = 10.5,
+        // F = (31/2)/(10.5/3) = 4.428571428…
+        let row = [1.0, 2.0, 4.0, 6.0, 5.0, 9.0];
+        let labels = [0, 0, 1, 1, 2, 2];
+        assert!((oneway_f(&row, &labels, 3) - 31.0 / 7.0).abs() < TOL);
+    }
+
+    #[test]
+    fn two_group_f_equals_equalvar_t_squared() {
+        // Classic identity: F(1, n−2) = t².
+        let row = [1.0, 2.0, 4.0, 5.0, 6.0];
+        let labels = [0, 0, 1, 1, 1];
+        let f = oneway_f(&row, &labels, 2);
+        let t = super::super::two_sample::equalvar_t(&row, &labels);
+        assert!((f - t * t).abs() < 1e-8, "F={f} t²={}", t * t);
+    }
+
+    #[test]
+    fn na_exclusion() {
+        let row = [1.0, 2.0, f64::NAN, 4.0, 6.0, 5.0, 9.0];
+        let labels = [0, 0, 0, 1, 1, 2, 2];
+        let clean = oneway_f(&[1.0, 2.0, 4.0, 6.0, 5.0, 9.0], &[0, 0, 1, 1, 2, 2], 3);
+        assert!((oneway_f(&row, &labels, 3) - clean).abs() < TOL);
+    }
+
+    #[test]
+    fn emptied_class_gives_nan() {
+        // Class 2's only observation is missing.
+        let row = [1.0, 2.0, 4.0, 6.0, f64::NAN];
+        let labels = [0, 0, 1, 1, 2];
+        assert!(oneway_f(&row, &labels, 3).is_nan());
+    }
+
+    #[test]
+    fn zero_within_variance_gives_nan() {
+        let row = [1.0, 1.0, 2.0, 2.0];
+        let labels = [0, 0, 1, 1];
+        assert!(oneway_f(&row, &labels, 2).is_nan());
+    }
+
+    #[test]
+    fn f_is_nonnegative() {
+        let row = [0.5, -1.0, 2.0, 0.0, 3.0, -2.0, 1.0, 4.0];
+        let labels = [0, 1, 2, 3, 0, 1, 2, 3];
+        let f = oneway_f(&row, &labels, 4);
+        assert!(f.is_nan() || f >= 0.0);
+    }
+
+    #[test]
+    fn many_classes_heap_path() {
+        // k > STACK_CLASSES exercises the heap-allocated path.
+        let k = 12;
+        let mut row = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..k as u8 {
+            row.push(c as f64);
+            row.push(c as f64 + 0.5);
+            labels.push(c);
+            labels.push(c);
+        }
+        let f = oneway_f(&row, &labels, k);
+        assert!(f.is_finite() && f > 0.0);
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let row = [1.0, 2.0, 4.0, 6.0, 5.0, 9.0];
+        let shifted: Vec<f64> = row.iter().map(|v| v + 5.0e6).collect();
+        let labels = [0, 0, 1, 1, 2, 2];
+        let a = oneway_f(&row, &labels, 3);
+        let b = oneway_f(&shifted, &labels, 3);
+        assert!((a - b).abs() < 1e-6);
+    }
+}

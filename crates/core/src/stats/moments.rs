@@ -1,0 +1,161 @@
+//! NA-aware first and second moments.
+//!
+//! Statistics run once per gene per permutation — the hot loop of the whole
+//! system — so the accumulators are single-pass. To keep the single-pass
+//! variance numerically safe for data far from zero, values are shifted by a
+//! per-row pivot (the first non-missing value) before squaring; the shift
+//! cancels exactly in variances and in mean *differences*.
+
+/// Running sums for one group: count, Σ(x−pivot), Σ(x−pivot)².
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupSums {
+    /// Number of non-missing observations.
+    pub n: usize,
+    /// Sum of pivot-shifted values.
+    pub sum: f64,
+    /// Sum of squared pivot-shifted values.
+    pub sumsq: f64,
+}
+
+impl GroupSums {
+    /// Add a (pivot-shifted) observation.
+    #[inline]
+    pub fn push(&mut self, shifted: f64) {
+        self.n += 1;
+        self.sum += shifted;
+        self.sumsq += shifted * shifted;
+    }
+
+    /// Mean of the shifted values (add the pivot back for the true mean —
+    /// or don't, when only differences of means are needed).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.sum / self.n as f64
+    }
+
+    /// Unbiased sample variance; `NaN` if `n < 2`. Clamped at zero to absorb
+    /// floating-point cancellation.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        let n = self.n as f64;
+        let v = (self.sumsq - self.sum * self.sum / n) / (n - 1.0);
+        v.max(0.0)
+    }
+
+    /// Sum of squared deviations from the group mean (`(n−1)·s²`), clamped at
+    /// zero.
+    #[inline]
+    pub fn ss(&self) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let n = self.n as f64;
+        (self.sumsq - self.sum * self.sum / n).max(0.0)
+    }
+}
+
+/// Find the pivot for a row: its first non-missing value, or 0.0 when the row
+/// is entirely missing.
+#[inline]
+pub fn pivot_of(row: &[f64]) -> f64 {
+    row.iter().copied().find(|v| !v.is_nan()).unwrap_or(0.0)
+}
+
+/// NA-aware mean of a slice; `NaN` if all values are missing.
+pub fn na_mean(values: &[f64]) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for &v in values {
+        if !v.is_nan() {
+            n += 1;
+            sum += v;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// NA-aware unbiased sample variance; `NaN` if fewer than two present values.
+pub fn na_variance(values: &[f64]) -> f64 {
+    let pivot = pivot_of(values);
+    let mut g = GroupSums::default();
+    for &v in values {
+        if !v.is_nan() {
+            g.push(v - pivot);
+        }
+    }
+    g.variance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((na_mean(&xs) - 2.5).abs() < 1e-12);
+        // var = ((1.5)^2+(0.5)^2+(0.5)^2+(1.5)^2)/3 = 5/3
+        assert!((na_variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn na_cells_are_excluded() {
+        let xs = [1.0, f64::NAN, 3.0];
+        assert!((na_mean(&xs) - 2.0).abs() < 1e-12);
+        assert!((na_variance(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_nan() {
+        assert!(na_mean(&[f64::NAN, f64::NAN]).is_nan());
+        assert!(na_variance(&[5.0]).is_nan());
+        assert!(na_variance(&[f64::NAN]).is_nan());
+        assert!(na_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn pivot_shift_preserves_variance_for_large_offsets() {
+        // Without shifting, 1e8-offset data loses most precision in the
+        // sum-of-squares; with the pivot shift the variance stays exact.
+        let base = 1.0e8;
+        let xs = [base + 1.0, base + 2.0, base + 3.0];
+        assert!((na_variance(&xs) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_sums_push_accumulates() {
+        let mut g = GroupSums::default();
+        for v in [1.0, 2.0, 3.0] {
+            g.push(v);
+        }
+        assert_eq!(g.n, 3);
+        assert!((g.mean() - 2.0).abs() < 1e-12);
+        assert!((g.variance() - 1.0).abs() < 1e-12);
+        assert!((g.ss() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_clamped_nonnegative() {
+        let mut g = GroupSums::default();
+        // Identical values can give tiny negative raw variance via FP error.
+        for _ in 0..10 {
+            g.push(0.1 + 0.2); // 0.30000000000000004
+        }
+        assert!(g.variance() >= 0.0);
+        assert!(g.ss() >= 0.0);
+    }
+
+    #[test]
+    fn pivot_of_skips_leading_nan() {
+        assert_eq!(pivot_of(&[f64::NAN, 7.0, 1.0]), 7.0);
+        assert_eq!(pivot_of(&[f64::NAN]), 0.0);
+        assert_eq!(pivot_of(&[]), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Paired t-statistic (`test = "pairt"`).
+//!
+//! Columns come in consecutive pairs `(2j, 2j+1)` whose labels are `{0,1}` in
+//! some order. The per-pair difference is `value-with-label-1 minus
+//! value-with-label-0`; the statistic is `mean(d) / sqrt(var(d)/m)`. Pairs
+//! with a missing member are excluded entirely (a difference needs both
+//! sides).
+
+use super::moments::GroupSums;
+
+/// Paired t over consecutive pairs. `NaN` when fewer than two complete pairs
+/// remain or the differences have zero variance.
+pub fn paired_t(row: &[f64], labels: &[u8]) -> f64 {
+    debug_assert_eq!(row.len(), labels.len());
+    debug_assert_eq!(row.len() % 2, 0);
+    let mut acc = GroupSums::default();
+    for j in 0..row.len() / 2 {
+        let a = row[2 * j];
+        let b = row[2 * j + 1];
+        if a.is_nan() || b.is_nan() {
+            continue;
+        }
+        // labels[2j] == 0 ⇒ second member carries label 1 ⇒ d = b − a.
+        let d = if labels[2 * j] == 0 { b - a } else { a - b };
+        acc.push(d);
+    }
+    if acc.n < 2 {
+        return f64::NAN;
+    }
+    let var = acc.variance();
+    if var <= 0.0 {
+        return f64::NAN;
+    }
+    acc.mean() / (var / acc.n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn hand_computed() {
+        // Pairs (1,2),(3,5),(2,4),(5,9), all labelled (0,1):
+        // d = [1,2,2,4], mean 2.25, var 19/12,
+        // t = 2.25 / sqrt(19/48) ≈ 3.576237…
+        let row = [1.0, 2.0, 3.0, 5.0, 2.0, 4.0, 5.0, 9.0];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1];
+        let expect = 2.25 / (19.0f64 / 48.0).sqrt();
+        assert!((paired_t(&row, &labels) - expect).abs() < TOL);
+    }
+
+    #[test]
+    fn label_order_flips_difference_sign() {
+        let row = [1.0, 2.0, 3.0, 5.0, 2.0, 4.0, 5.0, 9.0];
+        let fwd = paired_t(&row, &[0, 1, 0, 1, 0, 1, 0, 1]);
+        let rev = paired_t(&row, &[1, 0, 1, 0, 1, 0, 1, 0]);
+        assert!((fwd + rev).abs() < TOL);
+    }
+
+    #[test]
+    fn mixed_pair_orientations() {
+        // Flipping one pair's labels negates that pair's difference only.
+        let row = [1.0, 2.0, 3.0, 5.0, 2.0, 4.0, 5.0, 9.0];
+        let labels = [1, 0, 0, 1, 0, 1, 0, 1]; // d = [-1, 2, 2, 4]
+        let d = [-1.0f64, 2.0, 2.0, 4.0];
+        let mean = d.iter().sum::<f64>() / 4.0;
+        let var = d.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 3.0;
+        let expect = mean / (var / 4.0).sqrt();
+        assert!((paired_t(&row, &labels) - expect).abs() < TOL);
+    }
+
+    #[test]
+    fn incomplete_pairs_are_dropped() {
+        let row = [1.0, 2.0, f64::NAN, 5.0, 2.0, 4.0, 5.0, 9.0];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1];
+        let clean = paired_t(&[1.0, 2.0, 2.0, 4.0, 5.0, 9.0], &[0, 1, 0, 1, 0, 1]);
+        assert!((paired_t(&row, &labels) - clean).abs() < TOL);
+    }
+
+    #[test]
+    fn too_few_pairs_give_nan() {
+        // Only one complete pair remains.
+        let row = [1.0, 2.0, f64::NAN, 5.0];
+        let labels = [0, 1, 0, 1];
+        assert!(paired_t(&row, &labels).is_nan());
+    }
+
+    #[test]
+    fn zero_variance_differences_give_nan() {
+        // All differences identical.
+        let row = [0.0, 1.0, 5.0, 6.0, -3.0, -2.0];
+        let labels = [0, 1, 0, 1, 0, 1];
+        assert!(paired_t(&row, &labels).is_nan());
+    }
+}

@@ -1,0 +1,89 @@
+//! Midranks (ties share the average rank), with missing values preserved.
+//!
+//! Used twice: the Wilcoxon statistic works on per-row ranks, and the
+//! `nonpara = "y"` option rank-transforms every row before any statistic.
+//! Crucially, ranks depend only on the *data*, never on the labels, so the
+//! transform is applied once up front and the per-permutation kernel works on
+//! the transformed matrix — the same optimization the `multtest` C code uses.
+
+/// Replace `row` by the midranks of its non-missing values (1-based).
+/// Missing (`NaN`) cells stay missing and do not consume ranks.
+pub fn midranks_in_place(row: &mut [f64], scratch: &mut Vec<usize>) {
+    scratch.clear();
+    scratch.extend((0..row.len()).filter(|&i| !row[i].is_nan()));
+    // Sort present indices by value; NaNs were excluded so the comparator is
+    // total on this subset.
+    scratch.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("no NaN present"));
+    let mut i = 0;
+    while i < scratch.len() {
+        // Find the tie run [i, j).
+        let mut j = i + 1;
+        while j < scratch.len() && row[scratch[j]] == row[scratch[i]] {
+            j += 1;
+        }
+        // Midrank of positions i..j (1-based ranks i+1 ..= j).
+        let mid = (i + 1 + j) as f64 / 2.0;
+        for &idx in &scratch[i..j] {
+            row[idx] = mid;
+        }
+        i = j;
+    }
+}
+
+/// Convenience: return the midranks of `values` as a new vector.
+pub fn midranks(values: &[f64]) -> Vec<f64> {
+    let mut out = values.to_vec();
+    let mut scratch = Vec::new();
+    midranks_in_place(&mut out, &mut scratch);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_get_ordinal_ranks() {
+        assert_eq!(midranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_share_the_average_rank() {
+        // Values 5,1,5 → ranks for the two 5s are (2+3)/2 = 2.5.
+        assert_eq!(midranks(&[5.0, 1.0, 5.0]), vec![2.5, 1.0, 2.5]);
+        // All equal → everyone gets (1+n)/2.
+        assert_eq!(midranks(&[7.0; 4]), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn nan_preserved_and_skipped() {
+        let r = midranks(&[3.0, f64::NAN, 1.0, 2.0]);
+        assert!(r[1].is_nan());
+        assert_eq!(r[0], 3.0);
+        assert_eq!(r[2], 1.0);
+        assert_eq!(r[3], 2.0);
+    }
+
+    #[test]
+    fn rank_sum_is_preserved() {
+        // Sum of midranks over present values must equal n(n+1)/2.
+        let vals = [2.0, 2.0, 9.0, 1.0, 2.0, 9.0];
+        let r = midranks(&vals);
+        let sum: f64 = r.iter().sum();
+        let n = vals.len() as f64;
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_nan_rows() {
+        assert_eq!(midranks(&[]), Vec::<f64>::new());
+        let r = midranks(&[f64::NAN, f64::NAN]);
+        assert!(r.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn negative_and_subnormal_values_ordered_correctly() {
+        let r = midranks(&[-1.0, -3.0, 0.0, 1e-310]);
+        assert_eq!(r, vec![2.0, 1.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the statistic implementations: invariances that
+//! must hold for *any* data, independent of the permutation machinery.
+
+use proptest::prelude::*;
+
+use sprint_core::stats::block_f::block_f;
+use sprint_core::stats::f_stat::oneway_f;
+use sprint_core::stats::pair_t::paired_t;
+use sprint_core::stats::ranks::midranks;
+use sprint_core::stats::two_sample::{equalvar_t, welch_t};
+use sprint_core::stats::wilcoxon::wilcoxon_from_ranks;
+
+fn finite_row(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn t_statistics_affine_invariance(
+        row in finite_row(10),
+        shift in -1000.0f64..1000.0,
+        scale in 0.1f64..50.0,
+    ) {
+        let labels = [0u8, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let transformed: Vec<f64> = row.iter().map(|v| v * scale + shift).collect();
+        for f in [welch_t, equalvar_t] {
+            let a = f(&row, &labels);
+            let b = f(&transformed, &labels);
+            prop_assert!(
+                (a.is_nan() && b.is_nan()) || (a - b).abs() < 1e-6,
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn t_statistics_antisymmetric_under_group_swap(row in finite_row(9)) {
+        let labels = [0u8, 0, 0, 0, 1, 1, 1, 1, 1];
+        let swapped: Vec<u8> = labels.iter().map(|&l| 1 - l).collect();
+        for f in [welch_t, equalvar_t] {
+            let a = f(&row, &labels);
+            let b = f(&row, &swapped);
+            prop_assert!(
+                (a.is_nan() && b.is_nan()) || (a + b).abs() < 1e-9,
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn f_statistic_invariant_under_class_relabeling(row in finite_row(9)) {
+        // Renaming the classes (0,1,2) -> (2,0,1) must not change F.
+        let labels = [0u8, 0, 0, 1, 1, 1, 2, 2, 2];
+        let renamed: Vec<u8> = labels.iter().map(|&l| (l + 2) % 3).collect();
+        let a = oneway_f(&row, &labels, 3);
+        let b = oneway_f(&row, &renamed, 3);
+        prop_assert!(
+            (a.is_nan() && b.is_nan()) || (a - b).abs() < 1e-6 * a.abs().max(1.0),
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn f_nonnegative(row in finite_row(12)) {
+        let labels = [0u8, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
+        let f = oneway_f(&row, &labels, 3);
+        prop_assert!(f.is_nan() || f >= 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_depends_only_on_order(row in finite_row(8)) {
+        // Any strictly monotone transform preserves ranks, hence the
+        // statistic.
+        let labels = [0u8, 1, 0, 1, 0, 1, 0, 1];
+        let monotone: Vec<f64> = row.iter().map(|v| v.powi(3) + 2.0 * v).collect();
+        let a = wilcoxon_from_ranks(&midranks(&row), &labels);
+        let b = wilcoxon_from_ranks(&midranks(&monotone), &labels);
+        prop_assert!(
+            (a.is_nan() && b.is_nan()) || (a - b).abs() < 1e-9,
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn midranks_are_a_valid_ranking(row in finite_row(12)) {
+        let r = midranks(&row);
+        // Sum preserved and every rank in [1, n].
+        let n = row.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        for &v in &r {
+            prop_assert!((1.0..=n).contains(&v));
+        }
+        // Order-consistency: x_i < x_j ⇒ rank_i < rank_j.
+        for i in 0..row.len() {
+            for j in 0..row.len() {
+                if row[i] < row[j] {
+                    prop_assert!(r[i] < r[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_t_flips_with_all_labels(row in finite_row(12)) {
+        let fwd = [0u8, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let rev = [1u8, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0];
+        let a = paired_t(&row, &fwd);
+        let b = paired_t(&row, &rev);
+        prop_assert!(
+            (a.is_nan() && b.is_nan()) || (a + b).abs() < 1e-9,
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn paired_t_ignores_constant_pair_offsets(
+        row in finite_row(12),
+        offsets in proptest::collection::vec(-500.0f64..500.0, 6),
+    ) {
+        // Adding a constant to BOTH members of a pair leaves differences
+        // unchanged.
+        let labels = [0u8, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let mut shifted = row.clone();
+        for (j, &o) in offsets.iter().enumerate() {
+            shifted[2 * j] += o;
+            shifted[2 * j + 1] += o;
+        }
+        let a = paired_t(&row, &labels);
+        let b = paired_t(&shifted, &labels);
+        prop_assert!(
+            (a.is_nan() && b.is_nan()) || (a - b).abs() < 1e-5,
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn block_f_invariant_to_block_level_shifts(
+        row in finite_row(12),
+        offsets in proptest::collection::vec(-500.0f64..500.0, 4),
+    ) {
+        // Block F adjusts for block differences: shifting a whole block must
+        // not change the statistic (this is the method's defining property).
+        let labels = [0u8, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
+        let mut shifted = row.clone();
+        for (b, &o) in offsets.iter().enumerate() {
+            for t in 0..3 {
+                shifted[b * 3 + t] += o;
+            }
+        }
+        let a = block_f(&row, &labels, 3);
+        let b = block_f(&shifted, &labels, 3);
+        prop_assert!(
+            (a.is_nan() && b.is_nan()) || (a - b).abs() < 1e-4 * a.abs().max(1.0),
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn welch_equals_equalvar_for_balanced_equal_variance_shape(
+        half in finite_row(6),
+        delta in -10.0f64..10.0,
+    ) {
+        // With equal group sizes AND mirrored within-group values the two
+        // pooled estimates coincide, so the statistics must agree.
+        let mut row: Vec<f64> = half.clone();
+        row.extend(half.iter().map(|v| v + delta)); // same shape, shifted
+        let labels = [0u8, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let a = welch_t(&row, &labels);
+        let b = equalvar_t(&row, &labels);
+        prop_assert!(
+            (a.is_nan() && b.is_nan()) || (a - b).abs() < 1e-7 * a.abs().max(1.0),
+            "{a} vs {b}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Named datasets with the paper's exact dimensions, reproducible from fixed
+//! seeds.
+//!
+//! | Constructor | Shape | Used for |
+//! |---|---|---|
+//! | [`benchmark_6102x76`] | 6102 × 76 | Tables I–V, Figure 3 workload |
+//! | [`table6_36612x76`] | 36 612 × 76 (21.22 MB) | Table VI row group 1 |
+//! | [`table6_73224x76`] | 73 224 × 76 (42.45 MB) | Table VI row group 2 |
+//! | [`exon_array`] | 280 000 × 76 | §5: Affymetrix Exon Array minimum feature count |
+//!
+//! All use the 38 + 38 two-class design (76 samples, as in the paper) and a
+//! 5% planted differential fraction.
+
+use crate::design::LabelDesign;
+use crate::synth::{SynthConfig, SyntheticDataset};
+
+fn paper_config(genes: usize, seed: u64) -> SynthConfig {
+    SynthConfig::new(genes, LabelDesign::TwoClass { n0: 38, n1: 38 })
+        .diff_fraction(0.05)
+        .effect_size(1.5)
+        .seed(seed)
+}
+
+/// The Tables I–V benchmark workload: 6102 genes × 76 samples.
+pub fn benchmark_6102x76() -> SyntheticDataset {
+    paper_config(6_102, 610_276).generate()
+}
+
+/// Table VI's smaller array: 36 612 genes × 76 samples (21.22 MB).
+pub fn table6_36612x76() -> SyntheticDataset {
+    paper_config(36_612, 3_661_276).generate()
+}
+
+/// Table VI's larger array: 73 224 genes × 76 samples (42.45 MB).
+pub fn table6_73224x76() -> SyntheticDataset {
+    paper_config(73_224, 7_322_476).generate()
+}
+
+/// An Affymetrix Exon Array-scale workload (the paper's §5: "a minimum
+/// feature count of around 280 000").
+pub fn exon_array() -> SyntheticDataset {
+    paper_config(280_000, 28_000_076).generate()
+}
+
+/// A small smoke-test dataset for examples and quick runs: 200 × 12.
+pub fn smoke_200x12() -> SyntheticDataset {
+    SynthConfig::two_class(200, 6, 6)
+        .diff_fraction(0.1)
+        .effect_size(2.5)
+        .seed(20_012)
+        .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_dataset_shape() {
+        let ds = benchmark_6102x76();
+        assert_eq!(ds.matrix.rows(), 6_102);
+        assert_eq!(ds.matrix.cols(), 76);
+        assert_eq!(ds.labels.iter().filter(|&&l| l == 0).count(), 38);
+        assert_eq!(ds.labels.iter().filter(|&&l| l == 1).count(), 38);
+    }
+
+    #[test]
+    fn table6_sizes_match_paper() {
+        let small = table6_36612x76();
+        assert_eq!(small.matrix.rows(), 36_612);
+        assert!((small.megabytes() - 21.22).abs() < 0.05);
+        let large = table6_73224x76();
+        assert_eq!(large.matrix.rows(), 73_224);
+        assert!((large.megabytes() - 42.45).abs() < 0.1);
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = smoke_200x12();
+        let b = smoke_200x12();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn smoke_dataset_has_planted_signal() {
+        let ds = smoke_200x12();
+        assert_eq!(ds.truth.iter().filter(|&&t| t).count(), 20);
+    }
+}

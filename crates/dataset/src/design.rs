@@ -1,0 +1,171 @@
+//! Label designs: helpers producing `classlabel` vectors in the `multtest`
+//! conventions for each test family.
+
+/// An experimental design for the sample columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelDesign {
+    /// `n0` columns of class 0 followed by `n1` of class 1.
+    TwoClass {
+        /// Size of class 0.
+        n0: usize,
+        /// Size of class 1.
+        n1: usize,
+    },
+    /// Consecutive runs of each class with the given sizes.
+    MultiClass {
+        /// Per-class column counts, class index = position.
+        counts: Vec<usize>,
+    },
+    /// `pairs` consecutive (0,1) pairs (e.g. before/after samples).
+    Paired {
+        /// Number of pairs.
+        pairs: usize,
+    },
+    /// `blocks` consecutive blocks, each containing treatments `0..k` in
+    /// order.
+    Block {
+        /// Number of blocks.
+        blocks: usize,
+        /// Treatments per block.
+        treatments: usize,
+    },
+}
+
+impl LabelDesign {
+    /// Total number of sample columns.
+    pub fn columns(&self) -> usize {
+        match self {
+            LabelDesign::TwoClass { n0, n1 } => n0 + n1,
+            LabelDesign::MultiClass { counts } => counts.iter().sum(),
+            LabelDesign::Paired { pairs } => 2 * pairs,
+            LabelDesign::Block { blocks, treatments } => blocks * treatments,
+        }
+    }
+
+    /// Materialize the `classlabel` vector.
+    pub fn labels(&self) -> Vec<u8> {
+        match self {
+            LabelDesign::TwoClass { n0, n1 } => {
+                let mut v = vec![0u8; *n0];
+                v.extend(std::iter::repeat_n(1u8, *n1));
+                v
+            }
+            LabelDesign::MultiClass { counts } => {
+                let mut v = Vec::with_capacity(self.columns());
+                for (class, &count) in counts.iter().enumerate() {
+                    v.extend(std::iter::repeat_n(class as u8, count));
+                }
+                v
+            }
+            LabelDesign::Paired { pairs } => (0..*pairs).flat_map(|_| [0u8, 1]).collect(),
+            LabelDesign::Block { blocks, treatments } => (0..*blocks)
+                .flat_map(|_| (0..*treatments as u8).collect::<Vec<u8>>())
+                .collect(),
+        }
+    }
+
+    /// The class (or treatment) of column `c` — the group whose effect the
+    /// synthesizer applies to that column.
+    pub fn class_of(&self, c: usize) -> u8 {
+        match self {
+            LabelDesign::TwoClass { n0, .. } => u8::from(c >= *n0),
+            LabelDesign::MultiClass { counts } => {
+                let mut acc = 0usize;
+                for (class, &count) in counts.iter().enumerate() {
+                    acc += count;
+                    if c < acc {
+                        return class as u8;
+                    }
+                }
+                panic!("column {c} out of range");
+            }
+            LabelDesign::Paired { .. } => (c % 2) as u8,
+            LabelDesign::Block { treatments, .. } => (c % treatments) as u8,
+        }
+    }
+
+    /// For paired/block designs, the pair or block a column belongs to
+    /// (`None` for unstructured designs). The synthesizer adds a shared
+    /// random effect per unit to induce the within-unit correlation those
+    /// tests exploit.
+    pub fn unit_of(&self, c: usize) -> Option<usize> {
+        match self {
+            LabelDesign::Paired { .. } => Some(c / 2),
+            LabelDesign::Block { treatments, .. } => Some(c / treatments),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_class_layout() {
+        let d = LabelDesign::TwoClass { n0: 2, n1: 3 };
+        assert_eq!(d.columns(), 5);
+        assert_eq!(d.labels(), vec![0, 0, 1, 1, 1]);
+        assert_eq!(d.class_of(0), 0);
+        assert_eq!(d.class_of(2), 1);
+        assert_eq!(d.unit_of(0), None);
+    }
+
+    #[test]
+    fn multi_class_layout() {
+        let d = LabelDesign::MultiClass {
+            counts: vec![2, 1, 2],
+        };
+        assert_eq!(d.labels(), vec![0, 0, 1, 2, 2]);
+        assert_eq!(d.class_of(3), 2);
+        assert_eq!(d.class_of(2), 1);
+    }
+
+    #[test]
+    fn paired_layout() {
+        let d = LabelDesign::Paired { pairs: 3 };
+        assert_eq!(d.labels(), vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(d.unit_of(4), Some(2));
+        assert_eq!(d.class_of(5), 1);
+    }
+
+    #[test]
+    fn block_layout() {
+        let d = LabelDesign::Block {
+            blocks: 2,
+            treatments: 3,
+        };
+        assert_eq!(d.labels(), vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(d.unit_of(5), Some(1));
+        assert_eq!(d.class_of(4), 1);
+    }
+
+    #[test]
+    fn labels_validate_in_core() {
+        use sprint_core::labels::ClassLabels;
+        use sprint_core::options::TestMethod;
+        let cases = [
+            (LabelDesign::TwoClass { n0: 38, n1: 38 }, TestMethod::T),
+            (
+                LabelDesign::MultiClass {
+                    counts: vec![25, 25, 26],
+                },
+                TestMethod::F,
+            ),
+            (LabelDesign::Paired { pairs: 38 }, TestMethod::PairT),
+            (
+                LabelDesign::Block {
+                    blocks: 19,
+                    treatments: 4,
+                },
+                TestMethod::BlockF,
+            ),
+        ];
+        for (design, method) in cases {
+            assert!(
+                ClassLabels::new(design.labels(), method).is_ok(),
+                "{design:?}"
+            );
+        }
+    }
+}

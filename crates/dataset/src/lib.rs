@@ -1,0 +1,44 @@
+//! # microarray — synthetic gene-expression data for permutation testing
+//!
+//! The paper benchmarks `pmaxT` on "a reasonably sized gene expression
+//! microarray after pre-processing to remove non-expressed genes" — 6102
+//! genes × 76 samples — plus two larger arrays (36 612 × 76 and 73 224 × 76)
+//! for its Table VI. Those datasets are not published, so this crate builds
+//! the documented substitute (DESIGN.md): a synthetic log-normal expression
+//! model with *planted* differentially-expressed genes, reproducible from a
+//! seed.
+//!
+//! The kernel cost of the permutation test depends only on the matrix shape
+//! and permutation count, so the performance reproduction is unaffected by
+//! the substitution; statistical behaviour is *more* checkable, because the
+//! ground truth (which genes are differential) is known by construction.
+//!
+//! ```
+//! use microarray::prelude::*;
+//!
+//! let ds = SynthConfig::two_class(200, 8, 8)
+//!     .diff_fraction(0.1)
+//!     .effect_size(2.0)
+//!     .seed(7)
+//!     .generate();
+//! assert_eq!(ds.matrix.rows(), 200);
+//! assert_eq!(ds.matrix.cols(), 16);
+//! assert_eq!(ds.truth.iter().filter(|&&t| t).count(), 20);
+//! ```
+
+pub mod datasets;
+pub mod design;
+pub mod filter;
+pub mod io;
+pub mod normalize;
+pub mod rng;
+pub mod synth;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::datasets;
+    pub use crate::design::LabelDesign;
+    pub use crate::filter::filter_non_expressed;
+    pub use crate::normalize::quantile_normalize;
+    pub use crate::synth::{SynthConfig, SyntheticDataset};
+}

@@ -1,0 +1,248 @@
+//! Normalization — the step between raw arrays and the matrix `pmaxT`
+//! consumes ("a reasonably sized gene expression microarray **after
+//! pre-processing**").
+//!
+//! [`quantile_normalize`] is the standard microarray method (Bolstad et al.
+//! 2003): force every sample column to share one reference distribution (the
+//! across-column mean of the sorted values), destroying array-wide intensity
+//! biases while preserving within-array ranks. Missing cells are left missing
+//! and excluded from the reference.
+
+use sprint_core::matrix::Matrix;
+
+/// Quantile-normalize the sample columns of `data` in place.
+///
+/// Columns with missing cells are normalized against the quantiles of their
+/// present values (the "partial quantile" variant: each present value maps to
+/// the reference quantile at its within-column rank fraction).
+///
+/// ```
+/// use sprint_core::matrix::Matrix;
+/// use microarray::normalize::quantile_normalize;
+///
+/// // Column 1 is column 0 shifted by +10; normalization equalizes them.
+/// let mut m = Matrix::from_vec(3, 2, vec![1.0, 11.0, 2.0, 12.0, 3.0, 13.0]).unwrap();
+/// quantile_normalize(&mut m);
+/// for r in 0..3 {
+///     assert!((m.get(r, 0) - m.get(r, 1)).abs() < 1e-12);
+/// }
+/// ```
+pub fn quantile_normalize(data: &mut Matrix) {
+    let rows = data.rows();
+    let cols = data.cols();
+    // Collect each column's present values, sorted, remembering row indices.
+    let mut col_sorted: Vec<Vec<(f64, usize)>> = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let mut v: Vec<(f64, usize)> = (0..rows)
+            .map(|r| (data.get(r, c), r))
+            .filter(|(x, _)| !x.is_nan())
+            .collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN kept"));
+        col_sorted.push(v);
+    }
+    // Reference distribution on a common grid of `rows` quantiles: the mean
+    // across columns of each column's interpolated quantile.
+    let grid = rows.max(1);
+    let mut reference = vec![0.0f64; grid];
+    for (q, slot) in reference.iter_mut().enumerate() {
+        let frac = if grid == 1 {
+            0.0
+        } else {
+            q as f64 / (grid - 1) as f64
+        };
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for sorted in &col_sorted {
+            if sorted.is_empty() {
+                continue;
+            }
+            sum += quantile_of(sorted, frac);
+            n += 1;
+        }
+        *slot = if n == 0 { f64::NAN } else { sum / n as f64 };
+    }
+    // Map every present cell to the reference value at its rank fraction.
+    for (c, sorted) in col_sorted.iter().enumerate() {
+        let m = sorted.len();
+        for (i, &(_, r)) in sorted.iter().enumerate() {
+            let frac = if m == 1 {
+                0.0
+            } else {
+                i as f64 / (m - 1) as f64
+            };
+            let target = reference_at(&reference, frac);
+            data.row_mut(r)[c] = target;
+        }
+    }
+}
+
+fn quantile_of(sorted: &[(f64, usize)], frac: f64) -> f64 {
+    let m = sorted.len();
+    if m == 1 {
+        return sorted[0].0;
+    }
+    let pos = frac * (m - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let t = pos - lo as f64;
+    sorted[lo].0 * (1.0 - t) + sorted[hi].0 * t
+}
+
+fn reference_at(reference: &[f64], frac: f64) -> f64 {
+    let g = reference.len();
+    if g == 1 {
+        return reference[0];
+    }
+    let pos = frac * (g - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let t = pos - lo as f64;
+    reference[lo] * (1.0 - t) + reference[hi] * t
+}
+
+/// Add a per-sample *batch* shift to `data` (in place): sample `c` gets
+/// `shifts[batch_of[c]]` added to every present cell. Models scanner/site
+/// batch effects; quantile normalization must undo constant shifts exactly.
+pub fn apply_batch_shifts(data: &mut Matrix, batch_of: &[usize], shifts: &[f64]) {
+    assert_eq!(batch_of.len(), data.cols(), "one batch id per column");
+    for r in 0..data.rows() {
+        let row = data.row_mut(r);
+        for (c, v) in row.iter_mut().enumerate() {
+            if !v.is_nan() {
+                *v += shifts[batch_of[c]];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn column(data: &Matrix, c: usize) -> Vec<f64> {
+        (0..data.rows()).map(|r| data.get(r, c)).collect()
+    }
+
+    fn sorted_present(v: &[f64]) -> Vec<f64> {
+        let mut out: Vec<f64> = v.iter().copied().filter(|x| !x.is_nan()).collect();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    #[test]
+    fn columns_share_a_distribution_afterwards() {
+        let mut ds = SynthConfig::two_class(200, 4, 4).seed(21).generate().matrix;
+        quantile_normalize(&mut ds);
+        let ref_col = sorted_present(&column(&ds, 0));
+        for c in 1..8 {
+            let col = sorted_present(&column(&ds, c));
+            for (a, b) in ref_col.iter().zip(&col) {
+                assert!((a - b).abs() < 1e-9, "col {c}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_column_order_is_preserved() {
+        let mut m = Matrix::from_vec(4, 2, vec![5.0, 1.0, 1.0, 9.0, 9.0, 4.0, 2.0, 2.0]).unwrap();
+        let before: Vec<Vec<f64>> = (0..2).map(|c| column(&m, c)).collect();
+        quantile_normalize(&mut m);
+        for c in 0..2 {
+            let after = column(&m, c);
+            for i in 0..4 {
+                for j in 0..4 {
+                    if before[c][i] < before[c][j] {
+                        assert!(after[i] <= after[j] + 1e-12, "order violated in col {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_batch_shift_is_removed() {
+        let base = SynthConfig::two_class(300, 5, 5).seed(22).generate().matrix;
+        let mut shifted = base.clone();
+        // Batch 1 = class-1 samples, shifted by +3 (a worst case: batch
+        // confounded with class).
+        let batch_of = [0usize, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        apply_batch_shifts(&mut shifted, &batch_of, &[0.0, 3.0]);
+        let mut normalized_base = base.clone();
+        let mut normalized_shifted = shifted.clone();
+        quantile_normalize(&mut normalized_base);
+        quantile_normalize(&mut normalized_shifted);
+        // Constant shifts preserve within-column ranks, so normalization maps
+        // both datasets to the same shape; the reference itself moves by the
+        // average shift (+1.5), so the normalized values differ by exactly
+        // that global constant — batch 0 and batch 1 are no longer
+        // distinguishable.
+        let expected_offset = 1.5;
+        for c in 0..10 {
+            for r in 0..300 {
+                let a = normalized_base.get(r, c);
+                let b = normalized_shifted.get(r, c);
+                assert!(
+                    (b - a - expected_offset).abs() < 1e-9,
+                    "({r},{c}): {a} vs {b}"
+                );
+            }
+        }
+        // The batch effect itself is gone: batch means now agree.
+        let batch_mean = |m: &Matrix, batch: usize| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for r in 0..m.rows() {
+                for c in 0..10 {
+                    if batch_of[c] == batch {
+                        sum += m.get(r, c);
+                        n += 1;
+                    }
+                }
+            }
+            sum / n as f64
+        };
+        let gap_before = batch_mean(&shifted, 1) - batch_mean(&shifted, 0);
+        let gap_after =
+            batch_mean(&normalized_shifted, 1) - batch_mean(&normalized_shifted, 0);
+        assert!(gap_before > 2.9, "injected gap {gap_before}");
+        assert!(gap_after.abs() < 0.05, "residual batch gap {gap_after}");
+    }
+
+    #[test]
+    fn missing_cells_stay_missing() {
+        let mut m = Matrix::from_vec(
+            3,
+            2,
+            vec![1.0, 4.0, f64::NAN, 5.0, 3.0, 6.0],
+        )
+        .unwrap();
+        quantile_normalize(&mut m);
+        assert!(m.get(1, 0).is_nan());
+        assert_eq!(m.na_count(), 1);
+    }
+
+    #[test]
+    fn single_column_is_mapped_to_itself() {
+        let mut m = Matrix::from_vec(3, 1, vec![3.0, 1.0, 2.0]).unwrap();
+        quantile_normalize(&mut m);
+        let col = sorted_present(&column(&m, 0));
+        assert!((col[0] - 1.0).abs() < 1e-12);
+        assert!((col[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_shift_validates_lengths() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0; 4]).unwrap();
+        apply_batch_shifts(&mut m, &[0, 1], &[0.5, -0.5]);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(0, 1), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one batch id per column")]
+    fn batch_shift_rejects_wrong_length() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0; 4]).unwrap();
+        apply_batch_shifts(&mut m, &[0], &[0.5]);
+    }
+}

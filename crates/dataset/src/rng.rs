@@ -1,0 +1,79 @@
+//! Normal variate generation on top of `rand`.
+//!
+//! `rand` alone has no Gaussian distribution (that lives in `rand_distr`,
+//! which is outside the approved dependency set), so the polar Box–Muller
+//! method is implemented here — eight lines, and it keeps the dependency
+//! footprint to the approved list.
+
+use rand::Rng;
+
+/// Draw one standard-normal variate using the polar (Marsaglia) method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draw a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_approximately_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn tail_mass_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let beyond2 = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        // P(|Z|>2) ≈ 0.0455.
+        let frac = beyond2 as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.005, "frac {frac}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+        assert!((var - 9.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

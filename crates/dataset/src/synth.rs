@@ -1,0 +1,277 @@
+//! The synthetic expression model.
+//!
+//! Values live on a log2-intensity scale, as microarray data does after
+//! normalization: gene baselines ~ N(`baseline_mean`, `baseline_sd`),
+//! per-gene noise SD ~ |N(`noise_sd`, `noise_sd/2`)| + 0.05, and a planted
+//! fraction of genes carries a class effect of ± `effect_size` (alternating
+//! sign). Paired/block designs add a shared per-unit random effect, giving
+//! the within-unit correlation that `pairt`/`blockf` are designed to remove.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sprint_core::matrix::Matrix;
+
+use crate::design::LabelDesign;
+use crate::rng::normal;
+
+/// Configuration for the synthesizer (builder style).
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of genes (matrix rows).
+    pub genes: usize,
+    /// Sample design (matrix columns).
+    pub design: LabelDesign,
+    /// Fraction of genes carrying a real effect (0.0–1.0).
+    pub diff_fraction: f64,
+    /// Effect magnitude on the log2 scale (e.g. 1.0 = two-fold change).
+    pub effect_size: f64,
+    /// Mean of the per-gene baseline intensity.
+    pub baseline_mean: f64,
+    /// SD of the per-gene baseline intensity.
+    pub baseline_sd: f64,
+    /// Typical within-gene noise SD.
+    pub noise_sd: f64,
+    /// SD of the shared per-unit (pair/block) effect.
+    pub unit_sd: f64,
+    /// Probability that any cell is missing.
+    pub na_rate: f64,
+    /// RNG seed (full determinism).
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A design-agnostic starting point.
+    pub fn new(genes: usize, design: LabelDesign) -> Self {
+        SynthConfig {
+            genes,
+            design,
+            diff_fraction: 0.05,
+            effect_size: 1.5,
+            baseline_mean: 8.0,
+            baseline_sd: 2.0,
+            noise_sd: 0.7,
+            unit_sd: 0.8,
+            na_rate: 0.0,
+            seed: 20100621, // HPDC 2010 workshop date
+        }
+    }
+
+    /// Two-class design with `n0` + `n1` samples.
+    pub fn two_class(genes: usize, n0: usize, n1: usize) -> Self {
+        Self::new(genes, LabelDesign::TwoClass { n0, n1 })
+    }
+
+    /// Set the differential fraction.
+    pub fn diff_fraction(mut self, f: f64) -> Self {
+        self.diff_fraction = f;
+        self
+    }
+
+    /// Set the effect size (log2 scale).
+    pub fn effect_size(mut self, e: f64) -> Self {
+        self.effect_size = e;
+        self
+    }
+
+    /// Set the missing-cell rate.
+    pub fn na_rate(mut self, r: f64) -> Self {
+        self.na_rate = r;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> SyntheticDataset {
+        let cols = self.design.columns();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_diff = (self.genes as f64 * self.diff_fraction).round() as usize;
+        // Planted genes are the first n_diff rows: simplest layout, and the
+        // truth vector records it either way.
+        let truth: Vec<bool> = (0..self.genes).map(|g| g < n_diff).collect();
+
+        // Per-unit shared effects (pairs/blocks), per gene refreshed below.
+        let n_units = (0..cols)
+            .filter_map(|c| self.design.unit_of(c))
+            .max()
+            .map_or(0, |m| m + 1);
+
+        let mut data = Vec::with_capacity(self.genes * cols);
+        let mut unit_effects = vec![0.0f64; n_units];
+        for g in 0..self.genes {
+            let baseline = normal(&mut rng, self.baseline_mean, self.baseline_sd);
+            let sd = normal(&mut rng, self.noise_sd, self.noise_sd / 2.0).abs() + 0.05;
+            // Alternate up/down regulation across planted genes.
+            let effect = if truth[g] {
+                if g % 2 == 0 {
+                    self.effect_size
+                } else {
+                    -self.effect_size
+                }
+            } else {
+                0.0
+            };
+            for effect in unit_effects.iter_mut() {
+                *effect = normal(&mut rng, 0.0, self.unit_sd);
+            }
+            for c in 0..cols {
+                let mut v = baseline + normal(&mut rng, 0.0, sd);
+                if let Some(u) = self.design.unit_of(c) {
+                    v += unit_effects[u];
+                }
+                if self.design.class_of(c) != 0 {
+                    // Multi-class: scale the effect by the class index so
+                    // classes separate progressively.
+                    v += effect * self.design.class_of(c) as f64;
+                }
+                if self.na_rate > 0.0 && rng.random_range(0.0..1.0) < self.na_rate {
+                    v = f64::NAN;
+                }
+                data.push(v);
+            }
+        }
+        let matrix = Matrix::from_vec(self.genes, cols, data).expect("consistent dimensions");
+        SyntheticDataset {
+            matrix,
+            labels: self.design.labels(),
+            truth,
+            config: self.clone(),
+        }
+    }
+}
+
+/// A generated dataset with its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// genes × samples expression matrix (missing cells are NaN).
+    pub matrix: Matrix,
+    /// `classlabel` vector matching the design.
+    pub labels: Vec<u8>,
+    /// `truth[g]` is true iff gene `g` carries a planted effect.
+    pub truth: Vec<bool>,
+    /// The generating configuration (for provenance).
+    pub config: SynthConfig,
+}
+
+impl SyntheticDataset {
+    /// Size of the matrix in megabytes (as the paper reports dataset sizes).
+    pub fn megabytes(&self) -> f64 {
+        (self.matrix.rows() * self.matrix.cols() * std::mem::size_of::<f64>()) as f64
+            / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_truth_count() {
+        let ds = SynthConfig::two_class(100, 5, 7)
+            .diff_fraction(0.2)
+            .seed(1)
+            .generate();
+        assert_eq!(ds.matrix.rows(), 100);
+        assert_eq!(ds.matrix.cols(), 12);
+        assert_eq!(ds.labels.len(), 12);
+        assert_eq!(ds.truth.iter().filter(|&&t| t).count(), 20);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = SynthConfig::two_class(50, 4, 4).seed(9).generate();
+        let b = SynthConfig::two_class(50, 4, 4).seed(9).generate();
+        assert_eq!(a.matrix, b.matrix);
+        let c = SynthConfig::two_class(50, 4, 4).seed(10).generate();
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn planted_genes_separate_classes() {
+        let ds = SynthConfig::two_class(200, 10, 10)
+            .diff_fraction(0.1)
+            .effect_size(3.0)
+            .seed(3)
+            .generate();
+        // Mean |class difference| over planted genes should exceed that of
+        // null genes by a wide margin.
+        let diff_of = |g: usize| {
+            let row = ds.matrix.row(g);
+            let m0: f64 = row[..10].iter().sum::<f64>() / 10.0;
+            let m1: f64 = row[10..].iter().sum::<f64>() / 10.0;
+            (m1 - m0).abs()
+        };
+        let planted: f64 = (0..20).map(diff_of).sum::<f64>() / 20.0;
+        let null: f64 = (20..200).map(diff_of).sum::<f64>() / 180.0;
+        assert!(
+            planted > null + 1.5,
+            "planted mean diff {planted}, null {null}"
+        );
+    }
+
+    #[test]
+    fn na_rate_is_respected() {
+        let ds = SynthConfig::two_class(100, 10, 10)
+            .na_rate(0.1)
+            .seed(2)
+            .generate();
+        let nas = ds.matrix.na_count();
+        let total = 100 * 20;
+        let frac = nas as f64 / total as f64;
+        assert!((frac - 0.1).abs() < 0.03, "NA fraction {frac}");
+    }
+
+    #[test]
+    fn zero_na_rate_gives_complete_matrix() {
+        let ds = SynthConfig::two_class(50, 5, 5).seed(4).generate();
+        assert_eq!(ds.matrix.na_count(), 0);
+    }
+
+    #[test]
+    fn paired_design_has_unit_correlation() {
+        let ds = SynthConfig::new(300, LabelDesign::Paired { pairs: 10 })
+            .diff_fraction(0.0)
+            .seed(8)
+            .generate();
+        // Correlation between pair members (same unit effect) should clearly
+        // exceed correlation between unrelated columns.
+        let corr = |a: usize, b: usize| {
+            let n = ds.matrix.rows() as f64;
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for g in 0..ds.matrix.rows() {
+                let x = ds.matrix.get(g, a);
+                let y = ds.matrix.get(g, b);
+                sa += x;
+                sb += y;
+                saa += x * x;
+                sbb += y * y;
+                sab += x * y;
+            }
+            let cov = sab / n - sa / n * (sb / n);
+            let va = saa / n - (sa / n) * (sa / n);
+            let vb = sbb / n - (sb / n) * (sb / n);
+            cov / (va * vb).sqrt()
+        };
+        let within = corr(0, 1); // same pair
+        let c_across = corr(0, 2); // different pairs
+        // Baseline variance dominates both, but within-pair must be higher.
+        assert!(
+            within > c_across + 0.01,
+            "within {within}, across {c_across}"
+        );
+    }
+
+    #[test]
+    fn megabytes_matches_paper_arithmetic() {
+        // Paper Table VI: 36 612 × 76 ⇒ 21.22 MB.
+        let ds = SynthConfig::two_class(36_612, 38, 38)
+            .diff_fraction(0.0)
+            .seed(0)
+            .generate();
+        assert!((ds.megabytes() - 21.22).abs() < 0.05, "{}", ds.megabytes());
+    }
+}

@@ -1,0 +1,68 @@
+//! Type-erased message envelopes.
+//!
+//! Point-to-point channels carry [`Envelope`]s: a tag plus a boxed `Any`
+//! payload. The receiving side downcasts back to the concrete type. This
+//! mirrors MPI's untyped byte buffers while staying memory-safe.
+
+use std::any::Any;
+
+/// A single in-flight message.
+pub(crate) struct Envelope {
+    /// User- or collective-assigned tag used for matching.
+    pub tag: u64,
+    /// The boxed payload; receivers downcast to the expected type.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("tag", &self.tag)
+            .field("payload", &"<opaque>")
+            .finish()
+    }
+}
+
+impl Envelope {
+    /// Wrap `value` with `tag`.
+    pub fn new<T: Send + 'static>(tag: u64, value: T) -> Self {
+        Envelope {
+            tag,
+            payload: Box::new(value),
+        }
+    }
+
+    /// Attempt to take the payload as `T`, returning the envelope unchanged on
+    /// type mismatch so it can be reported.
+    pub fn open<T: 'static>(self) -> Result<T, Envelope> {
+        match self.payload.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(payload) => Err(Envelope {
+                tag: self.tag,
+                payload,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_value_and_tag() {
+        let env = Envelope::new(7, vec![1u32, 2, 3]);
+        assert_eq!(env.tag, 7);
+        let v: Vec<u32> = env.open().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wrong_type_downcast_returns_envelope() {
+        let env = Envelope::new(9, 42u64);
+        let back = env.open::<String>().unwrap_err();
+        assert_eq!(back.tag, 9);
+        // The payload is still intact and can be opened with the right type.
+        assert_eq!(back.open::<u64>().unwrap(), 42);
+    }
+}

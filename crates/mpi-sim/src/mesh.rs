@@ -1,0 +1,86 @@
+//! Construction of the all-pairs channel mesh.
+//!
+//! For a universe of `p` ranks we build `p * p` unbounded channels; rank `r`
+//! owns the receiving ends of column `r` and the sending ends of row `r`
+//! (including a self-loop, which lets collectives treat the root uniformly).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::envelope::Envelope;
+
+/// The per-rank view of the mesh: senders to every rank, receivers from every
+/// rank.
+pub(crate) struct Endpoints {
+    /// `senders[d]` delivers to rank `d`.
+    pub senders: Vec<Sender<Envelope>>,
+    /// `receivers[s]` receives what rank `s` sent to us.
+    pub receivers: Vec<Receiver<Envelope>>,
+}
+
+/// Build endpoints for all `size` ranks.
+pub(crate) fn build_mesh(size: usize) -> Vec<Endpoints> {
+    assert!(size > 0, "universe must have at least one rank");
+    // txs[s][d] sends from s to d; rxs[d][s] receives at d from s.
+    let mut txs: Vec<Vec<Option<Sender<Envelope>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    for (s, row) in txs.iter_mut().enumerate() {
+        for (d, slot) in row.iter_mut().enumerate() {
+            let (tx, rx) = unbounded();
+            *slot = Some(tx);
+            rxs[d][s] = Some(rx);
+        }
+    }
+    txs.into_iter()
+        .zip(rxs)
+        .map(|(tx_row, rx_row)| Endpoints {
+            senders: tx_row.into_iter().map(Option::unwrap).collect(),
+            receivers: rx_row.into_iter().map(Option::unwrap).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_has_full_connectivity() {
+        let size = 4;
+        let eps = build_mesh(size);
+        assert_eq!(eps.len(), size);
+        for ep in &eps {
+            assert_eq!(ep.senders.len(), size);
+            assert_eq!(ep.receivers.len(), size);
+        }
+    }
+
+    #[test]
+    fn message_travels_along_correct_edge() {
+        let mut eps = build_mesh(3);
+        let ep2 = eps.pop().unwrap();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        // 0 -> 2
+        ep0.senders[2].send(Envelope::new(5, 123u32)).unwrap();
+        let env = ep2.receivers[0].recv().unwrap();
+        assert_eq!(env.tag, 5);
+        assert_eq!(env.open::<u32>().unwrap(), 123);
+        // 1's channels saw nothing.
+        assert!(ep1.receivers[0].try_recv().is_err());
+    }
+
+    #[test]
+    fn self_loop_works() {
+        let eps = build_mesh(1);
+        eps[0].senders[0].send(Envelope::new(1, 9i64)).unwrap();
+        assert_eq!(eps[0].receivers[0].recv().unwrap().open::<i64>().unwrap(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = build_mesh(0);
+    }
+}

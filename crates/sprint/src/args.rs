@@ -1,0 +1,156 @@
+//! Typed argument values passed from the master's script to parallel
+//! functions — the framework-level analogue of the R argument list that
+//! `pmaxT` receives.
+
+use std::collections::BTreeMap;
+
+/// A single argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer scalar.
+    Int(i64),
+    /// Floating scalar.
+    Float(f64),
+    /// String option (e.g. `test = "t"`).
+    Str(String),
+    /// Byte vector (e.g. class labels).
+    Bytes(Vec<u8>),
+    /// Float vector (e.g. the flattened expression matrix).
+    Floats(Vec<f64>),
+}
+
+impl Value {
+    /// Extract an integer, if that is what this value holds.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a float.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract a byte slice.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract a float slice.
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match self {
+            Value::Floats(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered name → value map (deterministic iteration keeps broadcasts and
+/// encodings reproducible).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Args {
+    map: BTreeMap<String, Value>,
+}
+
+impl Args {
+    /// Empty argument list.
+    pub fn new() -> Self {
+        Args::default()
+    }
+
+    /// Insert (builder style).
+    pub fn with(mut self, name: &str, value: Value) -> Self {
+        self.map.insert(name.to_string(), value);
+        self
+    }
+
+    /// Insert.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.map.insert(name.to_string(), value);
+    }
+
+    /// Look up.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.map.get(name)
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let args = Args::new()
+            .with("b", Value::Int(10_000))
+            .with("test", Value::Str("t".into()))
+            .with("data", Value::Floats(vec![1.0, 2.0]));
+        assert_eq!(args.len(), 3);
+        assert_eq!(args.get("b").unwrap().as_int(), Some(10_000));
+        assert_eq!(args.get("test").unwrap().as_str(), Some("t"));
+        assert_eq!(args.get("data").unwrap().as_floats(), Some(&[1.0, 2.0][..]));
+        assert!(args.get("missing").is_none());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let args = Args::new()
+            .with("zeta", Value::Int(1))
+            .with("alpha", Value::Int(2));
+        let names: Vec<&str> = args.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn typed_extractors_reject_wrong_types() {
+        let v = Value::Str("x".into());
+        assert!(v.as_int().is_none());
+        assert!(v.as_float().is_none());
+        assert!(v.as_bytes().is_none());
+        assert!(v.as_floats().is_none());
+        assert_eq!(v.as_str(), Some("x"));
+        let b = Value::Bytes(vec![1, 2]);
+        assert_eq!(b.as_bytes(), Some(&[1u8, 2][..]));
+        assert!(b.as_str().is_none());
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut args = Args::new();
+        args.set("k", Value::Int(1));
+        args.set("k", Value::Int(2));
+        assert_eq!(args.get("k").unwrap().as_int(), Some(2));
+        assert_eq!(args.len(), 1);
+    }
+}

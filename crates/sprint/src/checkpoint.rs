@@ -1,0 +1,362 @@
+//! Checkpoint/restart for long permutation runs — the paper's future-work
+//! item 1: "Better support for fault tolerance and checkpointing; … this may
+//! be of increasing importance as life scientists wish to perform even more
+//! tests on ever larger datasets."
+//!
+//! A checkpoint is the pair (permutation cursor, partial counts): because
+//! every generator supports `skip`, resuming is exactly "forward the
+//! generator to the cursor and keep counting". The final p-values are
+//! **bit-identical** to an uninterrupted run — asserted by the tests.
+//!
+//! The file format is a self-describing text format with an input digest, so
+//! a checkpoint can never be resumed against different data or options.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use sprint_core::error::{Error, Result};
+use sprint_core::labels::ClassLabels;
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
+use sprint_core::options::PmaxtOptions;
+use sprint_core::perm::{build_generator, resolve_permutation_count};
+use sprint_core::stats::prepare_matrix;
+
+/// A saved checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// Digest of (data, labels, options) the run was started with.
+    pub digest: u64,
+    /// Next permutation index to process.
+    pub cursor: u64,
+    /// Total permutation count of the run.
+    pub b: u64,
+    /// Partial counts accumulated so far.
+    pub counts: CountAccumulator,
+}
+
+/// FNV-1a over the run inputs: dimensions, every data bit, labels and the
+/// option encoding. Changing anything invalidates old checkpoints.
+pub fn digest_run(data: &Matrix, labels: &[u8], opts: &PmaxtOptions) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(data.rows() as u64).to_le_bytes());
+    eat(&(data.cols() as u64).to_le_bytes());
+    for v in data.as_slice() {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    eat(labels);
+    eat(format!("{opts:?}").as_bytes());
+    h
+}
+
+/// Write a checkpoint atomically (write to `.tmp`, then rename).
+pub fn save(path: &Path, state: &CheckpointState) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+        writeln!(w, "pmaxt-checkpoint-v1")?;
+        writeln!(w, "digest {}", state.digest)?;
+        writeln!(w, "cursor {}", state.cursor)?;
+        writeln!(w, "b {}", state.b)?;
+        writeln!(w, "n_perm {}", state.counts.n_perm)?;
+        writeln!(w, "genes {}", state.counts.genes())?;
+        write!(w, "count_raw")?;
+        for c in &state.counts.count_raw {
+            write!(w, " {c}")?;
+        }
+        writeln!(w)?;
+        write!(w, "count_adj")?;
+        for c in &state.counts.count_adj {
+            write!(w, " {c}")?;
+        }
+        writeln!(w)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a checkpoint; `Ok(None)` when the file does not exist.
+pub fn load(path: &Path) -> io::Result<Option<CheckpointState>> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut lines = io::BufReader::new(file).lines();
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut next_line = || -> io::Result<String> {
+        lines.next().ok_or_else(|| bad("truncated checkpoint"))?
+    };
+    if next_line()? != "pmaxt-checkpoint-v1" {
+        return Err(bad("bad magic"));
+    }
+    let mut field = |name: &str| -> io::Result<String> {
+        let line = next_line()?;
+        line.strip_prefix(&format!("{name} "))
+            .map(str::to_string)
+            .ok_or_else(|| bad(&format!("expected field {name}")))
+    };
+    let parse_u64 =
+        |s: &str| -> io::Result<u64> { s.parse().map_err(|_| bad(&format!("bad number {s:?}"))) };
+    let digest = parse_u64(&field("digest")?)?;
+    let cursor = parse_u64(&field("cursor")?)?;
+    let b = parse_u64(&field("b")?)?;
+    let n_perm = parse_u64(&field("n_perm")?)?;
+    let genes = parse_u64(&field("genes")?)? as usize;
+    let parse_counts = |line: String, tag: &str| -> io::Result<Vec<u64>> {
+        let rest = line
+            .strip_prefix(tag)
+            .ok_or_else(|| bad(&format!("expected {tag}")))?;
+        let v: Vec<u64> = rest
+            .split_whitespace()
+            .map(|t| t.parse::<u64>().map_err(|_| bad("bad count")))
+            .collect::<io::Result<_>>()?;
+        if v.len() != genes {
+            return Err(bad("count length mismatch"));
+        }
+        Ok(v)
+    };
+    let count_raw = parse_counts(next_line()?, "count_raw")?;
+    let count_adj = parse_counts(next_line()?, "count_adj")?;
+    Ok(Some(CheckpointState {
+        digest,
+        cursor,
+        b,
+        counts: CountAccumulator {
+            count_raw,
+            count_adj,
+            n_perm,
+        },
+    }))
+}
+
+/// Outcome metadata of a checkpointed session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Cursor the session resumed from (0 for a fresh start).
+    pub resumed_from: u64,
+    /// Checkpoints written during the session.
+    pub checkpoints_written: u64,
+}
+
+/// Run (or resume) a checkpointed serial permutation test.
+///
+/// Processes at most `session_limit` permutations if given, checkpointing to
+/// `path` every `every` permutations. Returns `(None, info)` when the run is
+/// incomplete (resume later with the same arguments) or `(Some(result),
+/// info)` when finished — in which case the checkpoint file is removed.
+pub fn run_with_checkpoints(
+    data: &Matrix,
+    classlabel: &[u8],
+    opts: &PmaxtOptions,
+    path: &Path,
+    every: u64,
+    session_limit: Option<u64>,
+) -> Result<(Option<MaxTResult>, SessionInfo)> {
+    assert!(every > 0, "checkpoint interval must be positive");
+    let labels = ClassLabels::new(classlabel.to_vec(), opts.test)?;
+    if labels.len() != data.cols() {
+        return Err(Error::BadLabels(format!(
+            "classlabel length {} does not match {} data columns",
+            labels.len(),
+            data.cols()
+        )));
+    }
+    let owned_na;
+    let data = match opts.na {
+        Some(code) => {
+            owned_na =
+                Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)?;
+            &owned_na
+        }
+        None => data,
+    };
+    let digest = digest_run(data, classlabel, opts);
+    let b = resolve_permutation_count(&labels, opts)?;
+    let prepared = prepare_matrix(data, opts.test, opts.nonpara);
+    let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+    let mut gen = build_generator(&labels, opts, b)?;
+    let mut acc = CountAccumulator::new(data.rows());
+
+    let resumed_from = match load(path).map_err(|e| Error::Comm(e.to_string()))? {
+        Some(state) if state.digest == digest && state.b == b => {
+            gen.skip(state.cursor);
+            acc = state.counts;
+            state.cursor
+        }
+        Some(_) => {
+            // Stale checkpoint for different inputs: start over.
+            0
+        }
+        None => 0,
+    };
+
+    let mut remaining_session = session_limit.unwrap_or(u64::MAX);
+    let mut checkpoints_written = 0u64;
+    while gen.position() < b && remaining_session > 0 {
+        let take = every.min(b - gen.position()).min(remaining_session);
+        let done = ctx.accumulate(&mut *gen, take, &mut acc);
+        remaining_session -= done;
+        let state = CheckpointState {
+            digest,
+            cursor: gen.position(),
+            b,
+            counts: acc.clone(),
+        };
+        save(path, &state).map_err(|e| Error::Comm(e.to_string()))?;
+        checkpoints_written += 1;
+    }
+
+    let info = SessionInfo {
+        resumed_from,
+        checkpoints_written,
+    };
+    if gen.position() >= b {
+        std::fs::remove_file(path).ok();
+        Ok((Some(ctx.finalize(&acc)), info))
+    } else {
+        Ok((None, info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_core::maxt::serial::mt_maxt;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sprint-ckpt-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn data_and_labels() -> (Matrix, Vec<u8>) {
+        let data = Matrix::from_vec(
+            3,
+            6,
+            vec![
+                1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 5.0, 4.0, 6.0, 5.5, 4.5, 5.2, 2.0, 8.0, 3.0, 7.0,
+                2.5, 7.5,
+            ],
+        )
+        .unwrap();
+        (data, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn uninterrupted_checkpointed_run_matches_mt_maxt() {
+        let (data, labels) = data_and_labels();
+        let opts = PmaxtOptions::default().permutations(50);
+        let path = tmp("uninterrupted");
+        let (result, info) =
+            run_with_checkpoints(&data, &labels, &opts, &path, 7, None).unwrap();
+        let direct = mt_maxt(&data, &labels, &opts).unwrap();
+        assert_eq!(result.unwrap(), direct);
+        assert_eq!(info.resumed_from, 0);
+        assert_eq!(info.checkpoints_written, 8); // ceil(50/7)
+        assert!(!path.exists(), "checkpoint removed after completion");
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically() {
+        let (data, labels) = data_and_labels();
+        let opts = PmaxtOptions::default().permutations(60);
+        let path = tmp("interrupted");
+        // Session 1: only 25 permutations, then "crash".
+        let (partial, info1) =
+            run_with_checkpoints(&data, &labels, &opts, &path, 10, Some(25)).unwrap();
+        assert!(partial.is_none());
+        assert!(path.exists());
+        assert_eq!(info1.resumed_from, 0);
+        // Session 2: resume and finish.
+        let (result, info2) = run_with_checkpoints(&data, &labels, &opts, &path, 10, None).unwrap();
+        assert_eq!(info2.resumed_from, 25);
+        let direct = mt_maxt(&data, &labels, &opts).unwrap();
+        assert_eq!(result.unwrap(), direct);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn resume_works_for_stored_sampling_and_complete() {
+        let (data, labels) = data_and_labels();
+        for opts in [
+            PmaxtOptions::default()
+                .permutations(40)
+                .fixed_seed_sampling("n")
+                .unwrap(),
+            PmaxtOptions::default().permutations(0), // complete: C(6,3)=20
+        ] {
+            let path = tmp(&format!("mode-{:?}-{}", opts.sampling, opts.b));
+            let (p1, _) = run_with_checkpoints(&data, &labels, &opts, &path, 6, Some(13)).unwrap();
+            assert!(p1.is_none());
+            let (p2, _) = run_with_checkpoints(&data, &labels, &opts, &path, 6, None).unwrap();
+            let direct = mt_maxt(&data, &labels, &opts).unwrap();
+            assert_eq!(p2.unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn stale_checkpoint_for_different_inputs_is_ignored() {
+        let (data, labels) = data_and_labels();
+        let opts_a = PmaxtOptions::default().permutations(30).seed(1);
+        let opts_b = PmaxtOptions::default().permutations(30).seed(2);
+        let path = tmp("stale");
+        let (_, _) = run_with_checkpoints(&data, &labels, &opts_a, &path, 5, Some(10)).unwrap();
+        assert!(path.exists());
+        // Different options: the old checkpoint must not be resumed.
+        let (result, info) = run_with_checkpoints(&data, &labels, &opts_b, &path, 5, None).unwrap();
+        assert_eq!(info.resumed_from, 0);
+        assert_eq!(result.unwrap(), mt_maxt(&data, &labels, &opts_b).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let state = CheckpointState {
+            digest: 0xDEADBEEF,
+            cursor: 123,
+            b: 1000,
+            counts: CountAccumulator {
+                count_raw: vec![1, 2, 3],
+                count_adj: vec![4, 5, 6],
+                n_perm: 123,
+            },
+        };
+        let path = tmp("roundtrip");
+        save(&path, &state).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, state);
+    }
+
+    #[test]
+    fn missing_file_loads_none_and_corrupt_errors() {
+        let path = tmp("missing");
+        assert!(load(&path).unwrap().is_none());
+        std::fs::write(&path, "garbage").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_inputs() {
+        let (data, labels) = data_and_labels();
+        let opts = PmaxtOptions::default();
+        let base = digest_run(&data, &labels, &opts);
+        assert_ne!(base, digest_run(&data, &labels, &opts.clone().seed(1)));
+        let mut labels2 = labels.clone();
+        labels2.swap(0, 3);
+        assert_ne!(base, digest_run(&data, &labels2, &opts));
+        let mut v = data.as_slice().to_vec();
+        v[0] += 1.0;
+        let data2 = Matrix::from_vec(3, 6, v).unwrap();
+        assert_ne!(base, digest_run(&data2, &labels, &opts));
+    }
+}

@@ -1,0 +1,154 @@
+//! The `pmaxT` entry in the SPRINT function library, plus a typed script-side
+//! wrapper — the last piece of Figure 1: an R user's `pmaxT(X, classlabel,
+//! …)` call becomes a function-code broadcast that wakes the workers, which
+//! then collectively evaluate the C-level implementation.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::MaxTResult;
+use sprint_core::options::PmaxtOptions;
+use sprint_core::pmaxt::pmaxt_rank;
+
+use crate::args::Value;
+use crate::framework::Master;
+use crate::marshal;
+use crate::registry::Registry;
+
+/// Payload key under which the master's script stages the dataset.
+pub const PMAXT_INPUT_KEY: &str = "pmaxt:input";
+
+/// Register the `pmaxt` parallel function. Returns its function code.
+///
+/// The command broadcast carries only the (integer-codable) options and the
+/// class labels; the expression matrix is staged master-side and distributed
+/// by `pmaxt`'s own "create data" broadcast, exactly as in the paper.
+pub fn register_pmaxt(registry: &mut Registry) -> u32 {
+    registry.register("pmaxt", |ctx, args| {
+        let input: Option<Arc<(Matrix, Vec<u8>, PmaxtOptions)>> = if ctx.comm.is_master() {
+            let matrix: Matrix = ctx
+                .payload
+                .take(PMAXT_INPUT_KEY)
+                .expect("script must stage the dataset before calling pmaxt");
+            let labels = args
+                .get("classlabel")
+                .and_then(Value::as_bytes)
+                .expect("classlabel argument")
+                .to_vec();
+            let opts = marshal::args_to_options(args).expect("validated options");
+            Some(Arc::new((matrix, labels, opts)))
+        } else {
+            None
+        };
+        pmaxt_rank(ctx.comm, input.as_ref())
+            .map(|(result, _profile, _ranks)| Box::new(result) as Box<dyn Any + Send>)
+    })
+}
+
+/// A registry pre-loaded with the full SPRINT function library of this
+/// reproduction: `pmaxt` (this paper) and `pcor` (the framework's original
+/// correlation function).
+pub fn standard_registry() -> Registry {
+    let mut reg = Registry::new();
+    register_pmaxt(&mut reg);
+    crate::pcor::register_pcor(&mut reg);
+    reg
+}
+
+/// Script-side typed wrapper: run `pmaxT` through the framework.
+///
+/// This is the Rust spelling of the R call
+/// `pmaxT(X, classlabel, test=…, side=…, fixed.seed.sampling=…, B=…)`.
+pub fn call_pmaxt(
+    master: &Master<'_>,
+    data: Matrix,
+    classlabel: &[u8],
+    opts: &PmaxtOptions,
+) -> MaxTResult {
+    master.stage(PMAXT_INPUT_KEY, data);
+    let args = marshal::options_to_args(opts)
+        .with("classlabel", Value::Bytes(classlabel.to_vec()));
+    *master
+        .call("pmaxt", args)
+        .downcast::<MaxTResult>()
+        .expect("pmaxt returns a MaxTResult")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Sprint;
+    use sprint_core::maxt::serial::mt_maxt;
+    use sprint_core::options::TestMethod;
+
+    fn data_and_labels() -> (Matrix, Vec<u8>) {
+        let data = Matrix::from_vec(
+            3,
+            6,
+            vec![
+                1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 5.0, 4.0, 6.0, 5.5, 4.5, 5.2, 2.0, 8.0, 3.0, 7.0,
+                2.5, 7.5,
+            ],
+        )
+        .unwrap();
+        (data, vec![0u8, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn framework_pmaxt_equals_serial() {
+        let (data, labels) = data_and_labels();
+        let opts = PmaxtOptions::default().permutations(40);
+        let serial = mt_maxt(&data, &labels, &opts).unwrap();
+        for ranks in [1usize, 2, 4] {
+            let d = data.clone();
+            let l = labels.clone();
+            let o = opts.clone();
+            let result = Sprint::new(standard_registry())
+                .run(ranks, move |master| call_pmaxt(master, d, &l, &o))
+                .unwrap();
+            assert_eq!(result, serial, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn script_can_run_multiple_analyses() {
+        let (data, labels) = data_and_labels();
+        let out = Sprint::new(standard_registry())
+            .run(3, move |master| {
+                let a = call_pmaxt(
+                    master,
+                    data.clone(),
+                    &labels,
+                    &PmaxtOptions::default().permutations(20),
+                );
+                let b = call_pmaxt(
+                    master,
+                    data.clone(),
+                    &labels,
+                    &PmaxtOptions::default()
+                        .test(TestMethod::Wilcoxon)
+                        .permutations(20),
+                );
+                (a, b)
+            })
+            .unwrap();
+        assert_eq!(out.0.b_used, 20);
+        assert_eq!(out.1.b_used, 20);
+        assert_ne!(out.0.teststat, out.1.teststat);
+    }
+
+    #[test]
+    fn complete_enumeration_through_framework() {
+        let (data, labels) = data_and_labels();
+        let opts = PmaxtOptions::default().permutations(0);
+        let serial = mt_maxt(&data, &labels, &opts).unwrap();
+        let d = data;
+        let l = labels;
+        let result = Sprint::new(standard_registry())
+            .run(2, move |master| call_pmaxt(master, d, &l, &opts))
+            .unwrap();
+        assert_eq!(result, serial);
+        assert_eq!(result.b_used, 20);
+    }
+}

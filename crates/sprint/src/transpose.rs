@@ -1,0 +1,159 @@
+//! In-place non-square matrix transposition — the paper's future-work
+//! item 2: "The current implementation performs an array transposition on the
+//! input dataset. For this transformation, a new array is allocated.
+//! Algorithms for in-place non-square array transposition exist that are able
+//! to perform this step without the need for additional memory."
+//!
+//! Relevant here because R stores matrices column-major while the kernel
+//! wants gene rows contiguous: ingesting an R matrix is exactly one
+//! transposition. [`transpose_in_place`] is the cycle-following algorithm
+//! with a bit-set of visited positions (n bits ≪ n·8 bytes of a copy);
+//! [`transpose_copy`] is the allocate-new baseline. The `transpose_ablation`
+//! bench compares them.
+
+use sprint_core::error::Result;
+use sprint_core::matrix::Matrix;
+
+/// Out-of-place transpose of a `rows × cols` row-major buffer (the baseline
+/// that allocates a full second array).
+pub fn transpose_copy(data: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(data.len(), rows * cols);
+    let mut out = vec![0.0; data.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = data[r * cols + c];
+        }
+    }
+    out
+}
+
+/// In-place transpose of a `rows × cols` row-major buffer by following the
+/// permutation cycles of the index map `i → (i·rows) mod (n−1)`. Extra memory
+/// is one bit per element.
+pub fn transpose_in_place(data: &mut [f64], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols);
+    let n = data.len();
+    if n <= 1 || rows == 1 || cols == 1 {
+        // Degenerate shapes transpose to themselves (as flat buffers).
+        return;
+    }
+    let last = n - 1;
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    visited[last] = true;
+    for start in 1..last {
+        if visited[start] {
+            continue;
+        }
+        // Follow the cycle: the element that must move *into* `pos` lives at
+        // `(pos * cols) % last` in the original layout; walking with
+        // predecessor indices lets us move values with simple swaps.
+        let mut pos = start;
+        let mut carried = data[start];
+        loop {
+            // Destination of `carried` (source index `pos` in row-major,
+            // target index in column-major layout).
+            let dest = (pos % cols) * rows + pos / cols;
+            let next = std::mem::replace(&mut data[dest], carried);
+            visited[dest] = true;
+            if dest == start {
+                break;
+            }
+            carried = next;
+            pos = dest;
+        }
+    }
+}
+
+/// Build a row-major [`Matrix`] from R's column-major data using the
+/// in-place algorithm (no second array).
+pub fn matrix_from_column_major(rows: usize, cols: usize, mut data: Vec<f64>) -> Result<Matrix> {
+    // Column-major rows×cols is the row-major layout of the cols×rows
+    // transpose; transposing it in place yields row-major rows×cols.
+    transpose_in_place(&mut data, cols, rows);
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> Vec<f64> {
+        (0..rows * cols).map(|i| i as f64 * 1.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn copy_transpose_small() {
+        // [[0,1,2],[3,4,5]] → [[0,3],[1,4],[2,5]]
+        let data = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let t = transpose_copy(&data, 2, 3);
+        assert_eq!(t, vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn in_place_matches_copy_for_many_shapes() {
+        for (rows, cols) in [
+            (2, 3),
+            (3, 2),
+            (1, 7),
+            (7, 1),
+            (4, 4),
+            (5, 8),
+            (8, 5),
+            (6102 / 100, 76),
+            (13, 29),
+        ] {
+            let data = sample(rows, cols);
+            let expect = transpose_copy(&data, rows, cols);
+            let mut in_place = data.clone();
+            transpose_in_place(&mut in_place, rows, cols);
+            assert_eq!(in_place, expect, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        for (rows, cols) in [(3, 5), (5, 3), (2, 8), (9, 4)] {
+            let data = sample(rows, cols);
+            let mut work = data.clone();
+            transpose_in_place(&mut work, rows, cols);
+            transpose_in_place(&mut work, cols, rows);
+            assert_eq!(work, data, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn square_matrices_work_too() {
+        let data = sample(6, 6);
+        let mut in_place = data.clone();
+        transpose_in_place(&mut in_place, 6, 6);
+        assert_eq!(in_place, transpose_copy(&data, 6, 6));
+    }
+
+    #[test]
+    fn column_major_ingestion() {
+        // R-style column-major for [[1,2,3],[4,5,6]] is [1,4,2,5,3,6].
+        let cm = vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let m = matrix_from_column_major(2, 3, cm).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn single_row_and_column_are_noops() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        transpose_in_place(&mut v, 1, 3);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        transpose_in_place(&mut v, 3, 1);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<f64> = vec![];
+        transpose_in_place(&mut empty, 0, 0);
+        let mut one = vec![42.0];
+        transpose_in_place(&mut one, 1, 1);
+        assert_eq!(one, vec![42.0]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduce the paper's platform study: Tables I–V, Table VI and Figure 3
+//! from the calibrated platform models, plus the model-vs-paper error
+//! summary.
+//!
+//! This is the "life scientist chooses a platform" story of §5: exercise the
+//! workflow on a cheap platform, then scale the same analysis to a
+//! supercomputer — the simulator shows what each platform would deliver.
+
+use cluster_sim::figure::{ascii_plot, figure3_series};
+use cluster_sim::platform::{ec2, ecdf, hector, ness, quadcore};
+use cluster_sim::tables::{format_table6, profile_table, table6};
+use cluster_sim::{compare, simulate, Workload, REFERENCE};
+
+fn main() {
+    for (label, plat) in [
+        ("Table I", hector()),
+        ("Table II", ecdf()),
+        ("Table III", ec2()),
+        ("Table IV", ness()),
+        ("Table V", quadcore()),
+    ] {
+        println!("=== {label}: {} ===", plat.name);
+        print!("{}", profile_table(&plat));
+        println!();
+    }
+
+    println!("=== Table VI: large workloads on 256 HECToR processes ===");
+    print!("{}", format_table6(&table6(&hector(), 256), 256));
+    println!();
+
+    println!("=== Figure 3 ===");
+    print!("{}", ascii_plot(&figure3_series(), 72, 22));
+    println!();
+
+    // The decision the paper's conclusion describes: how long would *your*
+    // analysis take on each platform at its maximum size?
+    println!("=== 'Scale up your workflow': 1M permutations on 36,612 genes ===");
+    let w = Workload::new(36_612, 1_000_000);
+    for plat in [quadcore(), ness(), ec2(), ecdf(), hector()] {
+        let p = *plat.proc_counts.last().unwrap();
+        let t = simulate(&plat, w, p).total();
+        let t1 = simulate(&plat, w, 1).total();
+        println!(
+            "{:<12} {:>4} procs: {:>9.1} s  (serial estimate {:>9.0} s, {:>5.1}x)",
+            plat.name,
+            p,
+            t,
+            t1,
+            t1 / t
+        );
+    }
+    println!();
+
+    // Model fidelity summary.
+    let mut worst_kernel = 0.0f64;
+    let mut worst_speedup = 0.0f64;
+    let mut cells = 0usize;
+    for (_, rows) in compare::compare_all() {
+        for r in rows {
+            worst_kernel = worst_kernel.max(r.kernel_rel_error());
+            worst_speedup = worst_speedup.max(r.speedup_rel_error());
+            cells += 1;
+        }
+    }
+    println!(
+        "model vs paper over {cells} published cells (reference workload {}x{}, B={}):",
+        REFERENCE.genes, REFERENCE.samples, REFERENCE.permutations
+    );
+    println!(
+        "  worst kernel-time error {:.1}%, worst total-speedup error {:.1}%",
+        100.0 * worst_kernel,
+        100.0 * worst_speedup
+    );
+}

@@ -1,0 +1,365 @@
+//! `pmaxt` — command-line permutation testing over TSV datasets.
+//!
+//! The CLI equivalent of the paper's
+//! `mpiexec -n NSLOTS R --no-save -f SPRINT_SCRIPT_NAME`:
+//!
+//! ```text
+//! # make a demo dataset (600 genes, 8 + 8 samples)
+//! pmaxt generate demo.tsv --genes 600 --n0 8 --n1 8 --seed 1
+//!
+//! # run the permutation test on 4 ranks and write the result table
+//! pmaxt run demo.tsv --ranks 4 -B 10000 --test t --side abs --out result.tsv
+//!
+//! # step-down minP instead of maxT
+//! pmaxt run demo.tsv -B 2000 --minp
+//! ```
+//!
+//! Dataset format: the `microarray::io` TSV (`#classlabel` header + one row
+//! per gene, `NA` for missing cells).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use microarray::io::{read_dataset, write_dataset};
+use microarray::prelude::*;
+use sprint_core::maxt::minp::pminp;
+use sprint_core::maxt::MaxTResult;
+use sprint_core::options::{PmaxtOptions, SamplingMode, TestMethod};
+use sprint_core::pmaxt::pmaxt;
+use sprint_core::side::Side;
+
+/// Parsed command line for `pmaxt run`.
+#[derive(Debug, Clone, PartialEq)]
+struct RunConfig {
+    input: PathBuf,
+    opts: PmaxtOptions,
+    ranks: usize,
+    minp: bool,
+    out: Option<PathBuf>,
+    top: usize,
+}
+
+/// Parsed command line for `pmaxt generate`.
+#[derive(Debug, Clone, PartialEq)]
+struct GenerateConfig {
+    output: PathBuf,
+    genes: usize,
+    n0: usize,
+    n1: usize,
+    diff: f64,
+    effect: f64,
+    na_rate: f64,
+    seed: u64,
+}
+
+fn usage() -> &'static str {
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]"
+}
+
+fn parse_run(args: &[String]) -> Result<RunConfig, String> {
+    let mut input = None;
+    let mut opts = PmaxtOptions::default();
+    let mut ranks = 1usize;
+    let mut minp = false;
+    let mut out = None;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--test" => opts.test = TestMethod::parse(take("--test")?).map_err(|e| e.to_string())?,
+            "--side" => opts.side = Side::parse(take("--side")?).map_err(|e| e.to_string())?,
+            "--fixed-seed" => {
+                opts.sampling =
+                    SamplingMode::parse(take("--fixed-seed")?).map_err(|e| e.to_string())?
+            }
+            "-B" | "--permutations" => {
+                opts.b = take("-B")?.parse().map_err(|e| format!("bad -B: {e}"))?
+            }
+            "--nonpara" => opts.nonpara = take("--nonpara")? == "y",
+            "--na" => {
+                opts.na = Some(take("--na")?.parse().map_err(|e| format!("bad --na: {e}"))?)
+            }
+            "--seed" => {
+                opts.seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--ranks" => {
+                ranks = take("--ranks")?.parse().map_err(|e| format!("bad --ranks: {e}"))?
+            }
+            "--minp" => minp = true,
+            "--out" => out = Some(PathBuf::from(take("--out")?)),
+            "--top" => top = take("--top")?.parse().map_err(|e| format!("bad --top: {e}"))?,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(RunConfig {
+        input: input.ok_or("missing input dataset path")?,
+        opts,
+        ranks: ranks.max(1),
+        minp,
+        out,
+        top,
+    })
+}
+
+fn parse_generate(args: &[String]) -> Result<GenerateConfig, String> {
+    let mut cfg = GenerateConfig {
+        output: PathBuf::new(),
+        genes: 600,
+        n0: 8,
+        n1: 8,
+        diff: 0.05,
+        effect: 2.0,
+        na_rate: 0.0,
+        seed: 1,
+    };
+    let mut have_out = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        macro_rules! num {
+            ($flag:literal, $field:expr) => {{
+                let v = take($flag)?;
+                $field = v.parse().map_err(|e| format!("bad {}: {e}", $flag))?;
+            }};
+        }
+        match a.as_str() {
+            "--genes" => num!("--genes", cfg.genes),
+            "--n0" => num!("--n0", cfg.n0),
+            "--n1" => num!("--n1", cfg.n1),
+            "--diff" => num!("--diff", cfg.diff),
+            "--effect" => num!("--effect", cfg.effect),
+            "--na-rate" => num!("--na-rate", cfg.na_rate),
+            "--seed" => num!("--seed", cfg.seed),
+            other if !other.starts_with('-') && !have_out => {
+                cfg.output = PathBuf::from(other);
+                have_out = true;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !have_out {
+        return Err("missing output path".into());
+    }
+    Ok(cfg)
+}
+
+fn write_result_table(path: &std::path::Path, result: &MaxTResult) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "index\tteststat\trawp\tadjp")?;
+    for row in result.by_significance() {
+        writeln!(
+            w,
+            "{}\t{:.6}\t{:.6}\t{:.6}",
+            row.index, row.teststat, row.rawp, row.adjp
+        )?;
+    }
+    w.flush()
+}
+
+fn cmd_run(cfg: &RunConfig) -> Result<(), String> {
+    let (data, labels) =
+        read_dataset(&cfg.input).map_err(|e| format!("reading {:?}: {e}", cfg.input))?;
+    eprintln!(
+        "loaded {} genes x {} samples; test={} side={} B={} ranks={}{}",
+        data.rows(),
+        data.cols(),
+        cfg.opts.test.as_str(),
+        cfg.opts.side.as_str(),
+        cfg.opts.b,
+        cfg.ranks,
+        if cfg.minp { " (minP)" } else { "" }
+    );
+    let t0 = std::time::Instant::now();
+    let result = if cfg.minp {
+        pminp(&data, &labels, &cfg.opts, None, cfg.ranks).map_err(|e| e.to_string())?
+    } else {
+        pmaxt(&data, &labels, &cfg.opts, cfg.ranks)
+            .map_err(|e| e.to_string())?
+            .result
+    };
+    eprintln!(
+        "done: B = {} permutations in {:.2?}",
+        result.b_used,
+        t0.elapsed()
+    );
+    println!("{:>6} {:>12} {:>9} {:>9}", "index", "teststat", "rawp", "adjp");
+    for row in result.by_significance().take(cfg.top) {
+        println!(
+            "{:>6} {:>12.4} {:>9.5} {:>9.5}",
+            row.index, row.teststat, row.rawp, row.adjp
+        );
+    }
+    if let Some(out) = &cfg.out {
+        write_result_table(out, &result).map_err(|e| format!("writing {out:?}: {e}"))?;
+        eprintln!("full table written to {out:?}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(cfg: &GenerateConfig) -> Result<(), String> {
+    let ds = SynthConfig::two_class(cfg.genes, cfg.n0, cfg.n1)
+        .diff_fraction(cfg.diff)
+        .effect_size(cfg.effect)
+        .na_rate(cfg.na_rate)
+        .seed(cfg.seed)
+        .generate();
+    write_dataset(&cfg.output, &ds.matrix, &ds.labels)
+        .map_err(|e| format!("writing {:?}: {e}", cfg.output))?;
+    eprintln!(
+        "wrote {} genes x {} samples ({} planted differential) to {:?}",
+        ds.matrix.rows(),
+        ds.matrix.cols(),
+        ds.truth.iter().filter(|&&t| t).count(),
+        cfg.output
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("run") => parse_run(&args[1..]).and_then(|cfg| cmd_run(&cfg)),
+        Some("generate") => parse_generate(&args[1..]).and_then(|cfg| cmd_generate(&cfg)),
+        _ => Err(usage().to_string()),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_run_defaults() {
+        let cfg = parse_run(&strs(&["data.tsv"])).unwrap();
+        assert_eq!(cfg.input, PathBuf::from("data.tsv"));
+        assert_eq!(cfg.opts, PmaxtOptions::default());
+        assert_eq!(cfg.ranks, 1);
+        assert!(!cfg.minp);
+        assert_eq!(cfg.top, 10);
+    }
+
+    #[test]
+    fn parse_run_full_flags() {
+        let cfg = parse_run(&strs(&[
+            "d.tsv", "--test", "wilcoxon", "--side", "upper", "--fixed-seed", "n", "-B", "500",
+            "--nonpara", "y", "--na", "-999", "--seed", "7", "--ranks", "4", "--minp", "--out",
+            "r.tsv", "--top", "25",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.opts.test, TestMethod::Wilcoxon);
+        assert_eq!(cfg.opts.side, Side::Upper);
+        assert_eq!(cfg.opts.sampling, SamplingMode::Stored);
+        assert_eq!(cfg.opts.b, 500);
+        assert!(cfg.opts.nonpara);
+        assert_eq!(cfg.opts.na, Some(-999.0));
+        assert_eq!(cfg.opts.seed, 7);
+        assert_eq!(cfg.ranks, 4);
+        assert!(cfg.minp);
+        assert_eq!(cfg.out, Some(PathBuf::from("r.tsv")));
+        assert_eq!(cfg.top, 25);
+    }
+
+    #[test]
+    fn parse_run_rejects_garbage() {
+        assert!(parse_run(&strs(&["--test"])).is_err());
+        assert!(parse_run(&strs(&["d.tsv", "--bogus"])).is_err());
+        assert!(parse_run(&strs(&["d.tsv", "--test", "zzz"])).is_err());
+        assert!(parse_run(&strs(&[])).is_err());
+    }
+
+    #[test]
+    fn parse_generate_round_trip() {
+        let cfg = parse_generate(&strs(&[
+            "out.tsv", "--genes", "100", "--n0", "5", "--n1", "6", "--diff", "0.2", "--effect",
+            "3.0", "--na-rate", "0.1", "--seed", "9",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.genes, 100);
+        assert_eq!(cfg.n0, 5);
+        assert_eq!(cfg.n1, 6);
+        assert_eq!(cfg.diff, 0.2);
+        assert_eq!(cfg.effect, 3.0);
+        assert_eq!(cfg.na_rate, 0.1);
+        assert_eq!(cfg.seed, 9);
+        assert!(parse_generate(&strs(&["--genes", "5"])).is_err());
+    }
+
+    #[test]
+    fn generate_then_run_end_to_end() {
+        let dir = std::env::temp_dir();
+        let data = dir.join(format!("pmaxt-cli-{}.tsv", std::process::id()));
+        let out = dir.join(format!("pmaxt-cli-{}-result.tsv", std::process::id()));
+        cmd_generate(&GenerateConfig {
+            output: data.clone(),
+            genes: 50,
+            n0: 5,
+            n1: 5,
+            diff: 0.1,
+            effect: 3.0,
+            na_rate: 0.02,
+            seed: 3,
+        })
+        .unwrap();
+        let cfg = RunConfig {
+            input: data.clone(),
+            opts: PmaxtOptions::default().permutations(100),
+            ranks: 2,
+            minp: false,
+            out: Some(out.clone()),
+            top: 5,
+        };
+        cmd_run(&cfg).unwrap();
+        let table = std::fs::read_to_string(&out).unwrap();
+        assert!(table.starts_with("index\tteststat\trawp\tadjp"));
+        assert_eq!(table.lines().count(), 51); // header + 50 genes
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn run_minp_path_works() {
+        let dir = std::env::temp_dir();
+        let data = dir.join(format!("pmaxt-cli-minp-{}.tsv", std::process::id()));
+        cmd_generate(&GenerateConfig {
+            output: data.clone(),
+            genes: 20,
+            n0: 4,
+            n1: 4,
+            diff: 0.1,
+            effect: 3.0,
+            na_rate: 0.0,
+            seed: 4,
+        })
+        .unwrap();
+        let cfg = RunConfig {
+            input: data.clone(),
+            opts: PmaxtOptions::default().permutations(60),
+            ranks: 1,
+            minp: true,
+            out: None,
+            top: 3,
+        };
+        cmd_run(&cfg).unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+}

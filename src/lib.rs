@@ -1,0 +1,21 @@
+//! # sprint-repro — umbrella crate
+//!
+//! Re-exports the whole workspace of the SPRINT `pmaxT` reproduction (see
+//! `README.md` and `DESIGN.md` at the repository root):
+//!
+//! - [`sprint_core`] — statistics, permutation generators, maxT, `pmaxT`;
+//! - [`mpi_sim`] — the SPMD message-passing substrate;
+//! - [`sprint`] — the framework layer (dispatch, marshalling, checkpointing,
+//!   in-place transpose);
+//! - [`microarray`] — synthetic gene-expression datasets;
+//! - [`cluster_sim`] — the platform performance models behind Tables I–VI
+//!   and Figure 3.
+//!
+//! The integration tests in `tests/` and the runnable examples in
+//! `examples/` live against this crate.
+
+pub use cluster_sim;
+pub use microarray;
+pub use mpi_sim;
+pub use sprint;
+pub use sprint_core;

@@ -1,0 +1,119 @@
+//! Cross-crate integration: the headline correctness claim of the paper —
+//! `pmaxT` reproduces `mt.maxT` exactly — checked on realistic synthetic
+//! microarray data over the full option grid and many rank counts,
+//! including the Figure 2 distribution scheme at awkward chunk boundaries.
+
+use microarray::design::LabelDesign;
+use microarray::prelude::*;
+use sprint_core::prelude::*;
+
+fn dataset_for(method: TestMethod, genes: usize, seed: u64) -> (SyntheticDataset, TestMethod) {
+    let design = match method {
+        TestMethod::F => LabelDesign::MultiClass {
+            counts: vec![4, 3, 5],
+        },
+        TestMethod::PairT => LabelDesign::Paired { pairs: 6 },
+        TestMethod::BlockF => LabelDesign::Block {
+            blocks: 4,
+            treatments: 3,
+        },
+        _ => LabelDesign::TwoClass { n0: 6, n1: 6 },
+    };
+    let ds = SynthConfig::new(genes, design)
+        .diff_fraction(0.1)
+        .effect_size(1.8)
+        .na_rate(0.02)
+        .seed(seed)
+        .generate();
+    (ds, method)
+}
+
+#[test]
+fn full_option_grid_with_na_data() {
+    for method in TestMethod::ALL {
+        let (ds, method) = dataset_for(method, 40, 1_000 + method as u64);
+        for side in [Side::Abs, Side::Upper, Side::Lower] {
+            for sampling in [SamplingMode::FixedSeedOnTheFly, SamplingMode::Stored] {
+                let opts = PmaxtOptions {
+                    test: method,
+                    side,
+                    sampling,
+                    b: 41, // awkward: 40 non-identity permutations over 3 ranks
+                    ..PmaxtOptions::default()
+                };
+                let serial = mt_maxt(&ds.matrix, &ds.labels, &opts)
+                    .unwrap_or_else(|e| panic!("{method:?}/{side:?}/{sampling:?}: {e}"));
+                let par = pmaxt(&ds.matrix, &ds.labels, &opts, 3).unwrap();
+                assert_eq!(
+                    par.result, serial,
+                    "mismatch for {method:?}/{side:?}/{sampling:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn complete_enumeration_all_families() {
+    for method in TestMethod::ALL {
+        let (ds, method) = dataset_for(method, 25, 2_000 + method as u64);
+        let opts = PmaxtOptions::default().test(method).permutations(0);
+        let serial = mt_maxt(&ds.matrix, &ds.labels, &opts).unwrap();
+        assert!(serial.b_used > 1);
+        for ranks in [2usize, 5] {
+            let par = pmaxt(&ds.matrix, &ds.labels, &opts, ranks).unwrap();
+            assert_eq!(par.result, serial, "{method:?} ranks={ranks}");
+        }
+    }
+}
+
+#[test]
+fn every_rank_count_up_to_twelve() {
+    let ds = SynthConfig::two_class(60, 8, 8)
+        .diff_fraction(0.1)
+        .seed(3_000)
+        .generate();
+    let opts = PmaxtOptions::default().permutations(100);
+    let serial = mt_maxt(&ds.matrix, &ds.labels, &opts).unwrap();
+    for ranks in 1..=12usize {
+        let par = pmaxt(&ds.matrix, &ds.labels, &opts, ranks).unwrap();
+        assert_eq!(par.result, serial, "ranks={ranks}");
+    }
+}
+
+#[test]
+fn awkward_b_values_and_rank_combinations() {
+    let ds = SynthConfig::two_class(20, 5, 5).seed(4_000).generate();
+    // B values chosen to stress the chunking: primes, B < ranks, B == ranks.
+    for b in [1u64, 2, 3, 7, 11, 13] {
+        let opts = PmaxtOptions::default().permutations(b);
+        let serial = mt_maxt(&ds.matrix, &ds.labels, &opts).unwrap();
+        for ranks in [2usize, 4, 7, 9] {
+            let par = pmaxt(&ds.matrix, &ds.labels, &opts, ranks).unwrap();
+            assert_eq!(par.result, serial, "b={b} ranks={ranks}");
+        }
+    }
+}
+
+#[test]
+fn nonpara_mode_parallel_agreement() {
+    let ds = SynthConfig::two_class(30, 6, 6).na_rate(0.05).seed(5_000).generate();
+    let opts = PmaxtOptions::default().permutations(60).nonpara(true);
+    let serial = mt_maxt(&ds.matrix, &ds.labels, &opts).unwrap();
+    let par = pmaxt(&ds.matrix, &ds.labels, &opts, 4).unwrap();
+    assert_eq!(par.result, serial);
+}
+
+#[test]
+fn na_code_canonicalization_in_parallel() {
+    // Use an explicit NA code instead of NaN cells.
+    let mut ds = SynthConfig::two_class(20, 5, 5).seed(6_000).generate();
+    let mut v = ds.matrix.as_slice().to_vec();
+    v[7] = -999.0;
+    v[33] = -999.0;
+    ds.matrix = Matrix::from_vec(20, 10, v).unwrap();
+    let opts = PmaxtOptions::default().permutations(50).na_code(-999.0);
+    let serial = mt_maxt(&ds.matrix, &ds.labels, &opts).unwrap();
+    let par = pmaxt(&ds.matrix, &ds.labels, &opts, 3).unwrap();
+    assert_eq!(par.result, serial);
+}

@@ -1,0 +1,232 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! permutation test and its parallel distribution.
+
+use proptest::prelude::*;
+
+use sprint_core::prelude::*;
+
+/// Strategy: a small random two-class dataset plus run options.
+fn dataset_strategy() -> impl Strategy<
+    Value = (
+        usize,      // genes
+        usize,      // n0
+        usize,      // n1
+        Vec<f64>,   // data
+        u64,        // B
+        u64,        // seed
+    ),
+> {
+    (2usize..8, 2usize..5, 2usize..5, 2u64..40, 0u64..1000).prop_flat_map(
+        |(genes, n0, n1, b, seed)| {
+            let cells = genes * (n0 + n1);
+            (
+                Just(genes),
+                Just(n0),
+                Just(n1),
+                proptest::collection::vec(-50.0f64..50.0, cells),
+                Just(b),
+                Just(seed),
+            )
+        },
+    )
+}
+
+fn run(
+    genes: usize,
+    n0: usize,
+    n1: usize,
+    data: Vec<f64>,
+    b: u64,
+    seed: u64,
+    side: Side,
+    sampling: SamplingMode,
+) -> (Matrix, Vec<u8>, PmaxtOptions, MaxTResult) {
+    let cols = n0 + n1;
+    let matrix = Matrix::from_vec(genes, cols, data).unwrap();
+    let mut labels = vec![0u8; n0];
+    labels.extend(vec![1u8; n1]);
+    let opts = PmaxtOptions {
+        side,
+        sampling,
+        b,
+        seed,
+        ..PmaxtOptions::default()
+    };
+    let result = mt_maxt(&matrix, &labels, &opts).unwrap();
+    (matrix, labels, opts, result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn p_values_live_in_unit_interval_with_floor(
+        (genes, n0, n1, data, b, seed) in dataset_strategy()
+    ) {
+        let (_, _, _, result) = run(
+            genes, n0, n1, data, b, seed, Side::Abs, SamplingMode::FixedSeedOnTheFly,
+        );
+        let floor = 1.0 / result.b_used as f64;
+        for g in 0..genes {
+            let (raw, adj) = (result.rawp[g], result.adjp[g]);
+            if raw.is_nan() {
+                prop_assert!(adj.is_nan(), "raw NaN implies adj NaN");
+                continue;
+            }
+            prop_assert!(raw >= floor - 1e-12 && raw <= 1.0 + 1e-12, "raw {raw}");
+            prop_assert!(adj >= floor - 1e-12 && adj <= 1.0 + 1e-12, "adj {adj}");
+            prop_assert!(adj >= raw - 1e-12, "adj {adj} < raw {raw}");
+        }
+    }
+
+    #[test]
+    fn adjusted_p_monotone_along_significance_order(
+        (genes, n0, n1, data, b, seed) in dataset_strategy()
+    ) {
+        let (_, _, _, result) = run(
+            genes, n0, n1, data, b, seed, Side::Abs, SamplingMode::FixedSeedOnTheFly,
+        );
+        let rows: Vec<_> = result.by_significance().collect();
+        for w in rows.windows(2) {
+            if w[0].adjp.is_nan() || w[1].adjp.is_nan() {
+                continue;
+            }
+            prop_assert!(w[1].adjp >= w[0].adjp - 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_everywhere(
+        (genes, n0, n1, data, b, seed) in dataset_strategy(),
+        ranks in 1usize..7,
+        stored in any::<bool>(),
+    ) {
+        let sampling = if stored { SamplingMode::Stored } else { SamplingMode::FixedSeedOnTheFly };
+        let (matrix, labels, opts, serial) = run(
+            genes, n0, n1, data, b, seed, Side::Abs, sampling,
+        );
+        let par = pmaxt(&matrix, &labels, &opts, ranks).unwrap();
+        prop_assert_eq!(par.result, serial);
+    }
+
+    #[test]
+    fn sides_relate_consistently(
+        (genes, n0, n1, data, b, seed) in dataset_strategy()
+    ) {
+        // For every gene the two-sided test is at most as significant as the
+        // better of the two one-sided tests at the same permutations (the
+        // |t| distribution dominates each tail's).
+        let (_, _, _, abs_r) = run(
+            genes, n0, n1, data.clone(), b, seed, Side::Abs, SamplingMode::FixedSeedOnTheFly,
+        );
+        let (_, _, _, up_r) = run(
+            genes, n0, n1, data.clone(), b, seed, Side::Upper, SamplingMode::FixedSeedOnTheFly,
+        );
+        let (_, _, _, lo_r) = run(
+            genes, n0, n1, data, b, seed, Side::Lower, SamplingMode::FixedSeedOnTheFly,
+        );
+        for g in 0..genes {
+            let (a, u, l) = (abs_r.rawp[g], up_r.rawp[g], lo_r.rawp[g]);
+            if a.is_nan() || u.is_nan() || l.is_nan() {
+                continue;
+            }
+            prop_assert!(
+                a >= u.min(l) - 1e-12,
+                "gene {g}: abs {a} < min(upper {u}, lower {l})"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_statistics_independent_of_b_and_seed(
+        (genes, n0, n1, data, b, seed) in dataset_strategy()
+    ) {
+        let (_, _, _, r1) = run(
+            genes, n0, n1, data.clone(), b, seed, Side::Abs, SamplingMode::FixedSeedOnTheFly,
+        );
+        let (_, _, _, r2) = run(
+            genes, n0, n1, data, b.max(2) * 2, seed + 1, Side::Abs, SamplingMode::Stored,
+        );
+        for g in 0..genes {
+            let (a, b2) = (r1.teststat[g], r2.teststat[g]);
+            prop_assert!(
+                (a.is_nan() && b2.is_nan()) || a == b2,
+                "gene {g}: {a} vs {b2}"
+            );
+        }
+    }
+
+    #[test]
+    fn column_permutation_with_labels_is_invariant(
+        (genes, n0, n1, data, b, seed) in dataset_strategy()
+    ) {
+        // Permuting columns together with their labels leaves every
+        // statistic unchanged (two-sample statistics only see groups).
+        let cols = n0 + n1;
+        let (matrix, labels, opts, base) = run(
+            genes, n0, n1, data, b, seed, Side::Abs, SamplingMode::FixedSeedOnTheFly,
+        );
+        // Rotate columns by 1.
+        let mut rotated = Vec::with_capacity(genes * cols);
+        for g in 0..genes {
+            let row = matrix.row(g);
+            for c in 0..cols {
+                rotated.push(row[(c + 1) % cols]);
+            }
+        }
+        let mut rot_labels = labels.clone();
+        rot_labels.rotate_left(1);
+        let rot_matrix = Matrix::from_vec(genes, cols, rotated).unwrap();
+        let rotated_result = mt_maxt(&rot_matrix, &rot_labels, &opts).unwrap();
+        for g in 0..genes {
+            let (a, b2) = (base.teststat[g], rotated_result.teststat[g]);
+            prop_assert!(
+                (a.is_nan() && b2.is_nan()) || (a - b2).abs() < 1e-9,
+                "gene {g}: {a} vs {b2}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_skip_equals_iterate_for_random_configs(
+        n0 in 2usize..6,
+        n1 in 2usize..6,
+        b in 1u64..60,
+        seed in 0u64..500,
+        start in 0u64..60,
+        stored in any::<bool>(),
+    ) {
+        use sprint_core::labels::ClassLabels;
+        use sprint_core::perm::build_generator;
+        let mut labels = vec![0u8; n0];
+        labels.extend(vec![1u8; n1]);
+        let class = ClassLabels::new(labels, TestMethod::T).unwrap();
+        let opts = PmaxtOptions {
+            b,
+            seed,
+            sampling: if stored { SamplingMode::Stored } else { SamplingMode::FixedSeedOnTheFly },
+            ..PmaxtOptions::default()
+        };
+        let cols = n0 + n1;
+        // Reference: iterate everything.
+        let mut reference = Vec::new();
+        let mut gen = build_generator(&class, &opts, b).unwrap();
+        let mut buf = vec![0u8; cols];
+        while gen.next_into(&mut buf) {
+            reference.push(buf.clone());
+        }
+        // Skip to `start` and compare the tail.
+        let mut gen2 = build_generator(&class, &opts, b).unwrap();
+        gen2.skip(start);
+        let mut tail = Vec::new();
+        while gen2.next_into(&mut buf) {
+            tail.push(buf.clone());
+        }
+        let start = (start as usize).min(reference.len());
+        prop_assert_eq!(&tail[..], &reference[start..]);
+    }
+}

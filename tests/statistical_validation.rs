@@ -1,0 +1,220 @@
+//! Statistical validation on synthetic data with known ground truth: the
+//! permutation test must (a) recover planted differential genes, (b) produce
+//! ~uniform raw p-values on null genes, and (c) control the family-wise
+//! error rate through the maxT adjustment.
+
+use microarray::prelude::*;
+use sprint_core::prelude::*;
+
+#[test]
+fn planted_genes_surface_with_small_adjusted_p() {
+    let ds = SynthConfig::two_class(400, 12, 12)
+        .diff_fraction(0.05) // 20 planted genes
+        .effect_size(3.0) // strong signal
+        .seed(11)
+        .generate();
+    let result = mt_maxt(
+        &ds.matrix,
+        &ds.labels,
+        &PmaxtOptions::default().permutations(2_000),
+    )
+    .unwrap();
+    let hits = result.significant_at(0.05);
+    let true_hits = hits.iter().filter(|&&g| ds.truth[g]).count();
+    assert!(
+        true_hits >= 15,
+        "expected most of the 20 planted genes, found {true_hits} (of {} hits)",
+        hits.len()
+    );
+    // With maxT control, false hits should be rare.
+    let false_hits = hits.len() - true_hits;
+    assert!(false_hits <= 2, "too many false positives: {false_hits}");
+}
+
+#[test]
+fn null_raw_p_values_are_roughly_uniform() {
+    // No planted effects at all: raw p-values should be ~Uniform(0,1].
+    let ds = SynthConfig::two_class(500, 10, 10)
+        .diff_fraction(0.0)
+        .seed(12)
+        .generate();
+    let result = mt_maxt(
+        &ds.matrix,
+        &ds.labels,
+        &PmaxtOptions::default().permutations(1_000),
+    )
+    .unwrap();
+    let mut ps: Vec<f64> = result.rawp.iter().copied().filter(|p| !p.is_nan()).collect();
+    assert!(ps.len() >= 490);
+    ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Kolmogorov–Smirnov style bound: sup |F_n(p) − p| small. Gene-level
+    // statistics are exchangeable but not independent, so use a generous
+    // threshold; gross miscalibration (e.g. doubled or halved p-values)
+    // would exceed it by far.
+    let n = ps.len() as f64;
+    let mut dmax = 0.0f64;
+    for (i, &p) in ps.iter().enumerate() {
+        let fn_above = (i + 1) as f64 / n;
+        dmax = dmax.max((fn_above - p).abs());
+    }
+    assert!(dmax < 0.12, "KS distance from uniform: {dmax}");
+    // Mean should be near 0.5.
+    let mean = ps.iter().sum::<f64>() / n;
+    assert!((mean - 0.5).abs() < 0.06, "mean raw p {mean}");
+}
+
+#[test]
+fn maxt_controls_family_wise_error_on_null_data() {
+    // Across several independent null datasets, the chance that ANY gene
+    // gets adjusted p <= 0.05 should be about 5%. With 12 datasets, seeing
+    // more than 4 such events is overwhelming evidence of broken control.
+    let mut family_errors = 0;
+    for seed in 0..12u64 {
+        let ds = SynthConfig::two_class(200, 8, 8)
+            .diff_fraction(0.0)
+            .seed(100 + seed)
+            .generate();
+        let result = mt_maxt(
+            &ds.matrix,
+            &ds.labels,
+            &PmaxtOptions::default().permutations(500).seed(seed),
+        )
+        .unwrap();
+        if !result.significant_at(0.05).is_empty() {
+            family_errors += 1;
+        }
+    }
+    assert!(
+        family_errors <= 4,
+        "maxT FWER control broken: {family_errors}/12 null datasets had a hit"
+    );
+}
+
+#[test]
+fn stronger_effects_get_smaller_p_values() {
+    // Three planted tiers; their median adjusted p-values must be ordered.
+    let base = SynthConfig::two_class(300, 10, 10)
+        .diff_fraction(0.0)
+        .seed(13)
+        .generate();
+    let mut v = base.matrix.as_slice().to_vec();
+    let cols = 20;
+    // Tier A (genes 0..10): effect 3.0, tier B (10..20): 1.5, C: null.
+    for g in 0..10 {
+        for c in 10..20 {
+            v[g * cols + c] += 3.0;
+        }
+    }
+    for g in 10..20 {
+        for c in 10..20 {
+            v[g * cols + c] += 1.5;
+        }
+    }
+    let data = Matrix::from_vec(300, cols, v).unwrap();
+    let result = mt_maxt(
+        &data,
+        &base.labels,
+        &PmaxtOptions::default().permutations(1_000),
+    )
+    .unwrap();
+    let median = |range: std::ops::Range<usize>| {
+        let mut ps: Vec<f64> = range.map(|g| result.adjp[g]).collect();
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ps[ps.len() / 2]
+    };
+    let (a, b, c) = (median(0..10), median(10..20), median(20..300));
+    assert!(a <= b, "tier A ({a}) should beat tier B ({b})");
+    assert!(b < c, "tier B ({b}) should beat null ({c})");
+    assert!(a < 0.05, "strong tier should be significant, got {a}");
+}
+
+#[test]
+fn wilcoxon_robust_to_heavy_outliers() {
+    // Corrupt one sample of a planted gene with a huge outlier: the t-test
+    // loses it, the rank-based Wilcoxon keeps it.
+    let ds = SynthConfig::two_class(200, 10, 10)
+        .diff_fraction(0.05)
+        .effect_size(2.5)
+        .seed(14)
+        .generate();
+    let mut v = ds.matrix.as_slice().to_vec();
+    let planted: Vec<usize> = (0..200).filter(|&g| ds.truth[g]).collect();
+    for &g in &planted {
+        v[g * 20] += 1.0e4; // absurd outlier in class 0
+    }
+    let data = Matrix::from_vec(200, 20, v).unwrap();
+    let t_res = mt_maxt(&data, &ds.labels, &PmaxtOptions::default().permutations(800)).unwrap();
+    let w_res = mt_maxt(
+        &data,
+        &ds.labels,
+        &PmaxtOptions::default()
+            .test(TestMethod::Wilcoxon)
+            .permutations(800),
+    )
+    .unwrap();
+    // Recovery metric: planted genes among the top-10 of the significance
+    // order (the adjusted-p threshold is very conservative at these group
+    // sizes, so ranks are the robust comparison).
+    let top_planted = |r: &MaxTResult| {
+        r.by_significance()
+            .take(10)
+            .filter(|row| ds.truth[row.index])
+            .count()
+    };
+    let t_hits = top_planted(&t_res);
+    let w_hits = top_planted(&w_res);
+    assert!(
+        w_hits > t_hits,
+        "wilcoxon ({w_hits}) should beat t ({t_hits}) under outliers"
+    );
+    assert!(
+        w_hits >= 7,
+        "wilcoxon should keep planted genes at the top, found {w_hits}/10"
+    );
+}
+
+#[test]
+fn paired_test_beats_unpaired_under_strong_pairing() {
+    use microarray::design::LabelDesign;
+    // Strong per-pair effects make the unpaired t noisy while the paired t
+    // cancels them.
+    let ds = SynthConfig::new(250, LabelDesign::Paired { pairs: 10 })
+        .diff_fraction(0.08)
+        .effect_size(1.2)
+        .seed(15)
+        .generate();
+    let paired = mt_maxt(
+        &ds.matrix,
+        &ds.labels,
+        &PmaxtOptions::default()
+            .test(TestMethod::PairT)
+            .permutations(1_000),
+    )
+    .unwrap();
+    let unpaired = mt_maxt(
+        &ds.matrix,
+        &ds.labels,
+        &PmaxtOptions::default().permutations(1_000),
+    )
+    .unwrap();
+    // The per-pair random effects (unit_sd) are noise to the unpaired test
+    // but cancel exactly in the paired differences, so the paired test must
+    // rank the planted genes far better. Use top-20 recovery (20 genes are
+    // planted) rather than the very conservative adjusted-p threshold.
+    let top_planted = |r: &MaxTResult| {
+        r.by_significance()
+            .take(20)
+            .filter(|row| ds.truth[row.index])
+            .count()
+    };
+    let p_hits = top_planted(&paired);
+    let u_hits = top_planted(&unpaired);
+    assert!(
+        p_hits >= u_hits,
+        "paired {p_hits} vs unpaired {u_hits}"
+    );
+    assert!(
+        p_hits >= 14,
+        "paired should rank most planted genes on top, found {p_hits}/20"
+    );
+}
