@@ -16,13 +16,16 @@ fn bench_backends(c: &mut Criterion) {
     for workers in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("mpi_sim", workers), &workers, |b, &w| {
             b.iter(|| {
-                black_box(pmaxt(&ds.matrix, &ds.labels, &opts, w).unwrap().result.b_used)
+                black_box(
+                    pmaxt(&ds.matrix, &ds.labels, &opts, w)
+                        .unwrap()
+                        .result
+                        .b_used,
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("rayon", workers), &workers, |b, &w| {
-            b.iter(|| {
-                black_box(maxt_rayon(&ds.matrix, &ds.labels, &opts, w).unwrap().b_used)
-            })
+            b.iter(|| black_box(maxt_rayon(&ds.matrix, &ds.labels, &opts, w).unwrap().b_used))
         });
     }
     group.finish();

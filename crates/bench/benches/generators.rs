@@ -64,7 +64,10 @@ fn bench_skip(c: &mut Criterion) {
     let mut group = c.benchmark_group("generator_skip_to_middle_of_150k");
     let b_total = 150_000u64;
     let cases = [
-        ("fixed_seed_o1", PmaxtOptions::default().permutations(b_total)),
+        (
+            "fixed_seed_o1",
+            PmaxtOptions::default().permutations(b_total),
+        ),
         (
             "sequential_replay",
             PmaxtOptions::default()

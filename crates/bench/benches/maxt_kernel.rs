@@ -1,5 +1,7 @@
 //! Kernel cost scaling in genes and permutations — the mechanism behind
-//! Table VI's "linear in B, slightly superlinear in rows" behaviour.
+//! Table VI's "linear in B, slightly superlinear in rows" behaviour — plus
+//! the scalar-vs-fast kernel strategy comparison on the paper's reference
+//! workload shape (6102 genes × 76 samples).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -7,7 +9,7 @@ use std::hint::black_box;
 use microarray::prelude::*;
 use sprint_core::labels::ClassLabels;
 use sprint_core::maxt::{CountAccumulator, MaxTContext};
-use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_core::options::{KernelChoice, PmaxtOptions, TestMethod};
 use sprint_core::perm::build_generator;
 use sprint_core::stats::prepare_matrix;
 
@@ -53,9 +55,45 @@ fn bench_kernel_vs_perms(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_strategies(c: &mut Criterion) {
+    // The acceptance workload: 6102 genes × 76 samples, NA-free, B = 100 per
+    // iteration (per-permutation cost is independent of B, so a moderate B
+    // keeps criterion calibration fast while measuring the same loop that a
+    // B = 150 000 production run spends its time in).
+    const B: u64 = 100;
+    for method in [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon] {
+        let ds = SynthConfig::two_class(6_102, 38, 38)
+            .diff_fraction(0.05)
+            .seed(11)
+            .generate();
+        let labels = ClassLabels::new(ds.labels.clone(), method).unwrap();
+        let opts = PmaxtOptions::default().test(method).permutations(B);
+        let prepared = prepare_matrix(&ds.matrix, method, false).into_owned();
+        let mut group = c.benchmark_group(format!("kernel_strategy_6102x76_{}", method.as_str()));
+        group.sample_size(10);
+        for kernel in [KernelChoice::Scalar, KernelChoice::Fast] {
+            let ctx = MaxTContext::with_kernel(&prepared, &labels, method, opts.side, kernel);
+            group.throughput(Throughput::Elements(6_102 * B));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kernel.as_str()),
+                &kernel,
+                |b, _| {
+                    b.iter(|| {
+                        let mut gen = build_generator(&labels, &opts, B).unwrap();
+                        let mut acc = CountAccumulator::new(prepared.rows());
+                        ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+                        black_box(acc.n_perm)
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_kernel_vs_genes, bench_kernel_vs_perms
+    targets = bench_kernel_vs_genes, bench_kernel_vs_perms, bench_kernel_strategies
 }
 criterion_main!(benches);

@@ -7,17 +7,21 @@
 //! make_tables compare                              model vs paper, per cell
 //! make_tables whatif                               efficiency/crossover/network analysis
 //! make_tables local [GENES] [B] [MAXPROCS]         real run on this machine
+//! make_tables kernel [OUT.json]                    scalar vs fast kernel grid
 //! make_tables all                                  everything above
 //! ```
 
 use cluster_sim::platform::{ec2, ecdf, hector, ness, quadcore, PlatformSpec};
 use cluster_sim::{compare, figure, tables, whatif};
 use microarray::prelude::SynthConfig;
-use sprint_bench::{format_local_rows, local_profile_rows};
-use sprint_core::options::PmaxtOptions;
+use sprint_bench::{format_local_rows, kernel_cells_to_json, kernel_grid, local_profile_rows};
+use sprint_core::options::{PmaxtOptions, TestMethod};
 
 fn platform_table(plat: &PlatformSpec, label: &str) {
-    println!("=== {label} (simulated {}; reference workload 6102x76, B=150000) ===", plat.name);
+    println!(
+        "=== {label} (simulated {}; reference workload 6102x76, B=150000) ===",
+        plat.name
+    );
     print!("{}", tables::profile_table(plat));
     println!();
 }
@@ -121,6 +125,37 @@ fn run_local(genes: usize, b: u64, max_procs: usize) {
     println!();
 }
 
+fn run_kernel(out: Option<&str>) {
+    println!("=== Kernel ablation: scalar vs sufficient-statistic fast kernel ===");
+    println!("(serial accumulate loop, two-class 38+38 samples, NA-free)");
+    // The 6102-gene row is the paper's reference workload shape; B is kept
+    // moderate so the grid completes in seconds — per-permutation cost is
+    // what's being compared, and it does not depend on B.
+    let test = TestMethod::T;
+    let cells = kernel_grid(&[600, 2_000, 6_102], &[200, 1_000], test);
+    println!(
+        "{:>6} {:>8} {:>6} {:>12} {:>12} {:>9}",
+        "genes", "samples", "B", "scalar(s)", "fast(s)", "speedup"
+    );
+    for c in &cells {
+        println!(
+            "{:>6} {:>8} {:>6} {:>12.4} {:>12.4} {:>8.2}x",
+            c.genes,
+            c.samples,
+            c.b,
+            c.scalar_secs,
+            c.fast_secs,
+            c.speedup()
+        );
+    }
+    let json = kernel_cells_to_json(test, &cells);
+    let path = out.unwrap_or("BENCH_kernel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\ngrid written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -140,6 +175,7 @@ fn main() {
             let maxp = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
             run_local(genes, b, maxp);
         }
+        "kernel" => run_kernel(args.get(1).map(String::as_str)),
         "all" => {
             platform_table(&hector(), "Table I");
             platform_table(&ecdf(), "Table II");
@@ -151,10 +187,11 @@ fn main() {
             run_compare();
             run_whatif();
             run_local(600, 2_000, 4);
+            run_kernel(None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|all]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|all]");
             std::process::exit(2);
         }
     }

@@ -25,12 +25,7 @@ pub fn figure3_series() -> Vec<SpeedupSeries> {
         max_procs = max_procs.max(*plat.proc_counts.last().unwrap());
         out.push(SpeedupSeries {
             name: plat.name.to_string(),
-            points: plat
-                .proc_counts
-                .iter()
-                .copied()
-                .zip(speedups)
-                .collect(),
+            points: plat.proc_counts.iter().copied().zip(speedups).collect(),
         });
     }
     let mut optimal = Vec::new();

@@ -136,12 +136,14 @@ pub fn table6() -> Vec<PaperTable6Row> {
         (73_224, 2_000_000, 591.48, 140_000.0),
     ]
     .into_iter()
-    .map(|(genes, permutations, total_256, serial_estimate)| PaperTable6Row {
-        genes,
-        permutations,
-        total_256,
-        serial_estimate,
-    })
+    .map(
+        |(genes, permutations, total_256, serial_estimate)| PaperTable6Row {
+            genes,
+            permutations,
+            total_256,
+            serial_estimate,
+        },
+    )
     .collect()
 }
 

@@ -89,7 +89,11 @@ impl PlatformSpec {
 
     /// Collective-tree rounds at `p` processes, split into (intra, inter).
     pub fn tree_rounds(&self, p: u32) -> (u32, u32) {
-        let total = if p <= 1 { 0 } else { 32 - (p - 1).leading_zeros() };
+        let total = if p <= 1 {
+            0
+        } else {
+            32 - (p - 1).leading_zeros()
+        };
         let intra_cap = if self.cores_per_node <= 1 {
             0
         } else {

@@ -36,7 +36,14 @@ impl std::fmt::Display for ProfileTable {
         writeln!(
             f,
             "{:>7} {:>12} {:>12} {:>10} {:>12} {:>12} {:>9} {:>9}",
-            "Procs", "Preproc(s)", "Bcast(s)", "Create(s)", "Kernel(s)", "P-values(s)", "Speedup", "Spd(krn)"
+            "Procs",
+            "Preproc(s)",
+            "Bcast(s)",
+            "Create(s)",
+            "Kernel(s)",
+            "P-values(s)",
+            "Speedup",
+            "Spd(krn)"
         )?;
         for (i, p) in self.profiles.iter().enumerate() {
             writeln!(

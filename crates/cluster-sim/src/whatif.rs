@@ -94,7 +94,11 @@ mod tests {
     #[test]
     fn efficiency_is_one_at_single_process() {
         for p in [hector(), ecdf(), ec2(), ness(), quadcore()] {
-            assert!((efficiency(&p, REFERENCE, 1) - 1.0).abs() < 1e-12, "{}", p.name);
+            assert!(
+                (efficiency(&p, REFERENCE, 1) - 1.0).abs() < 1e-12,
+                "{}",
+                p.name
+            );
         }
     }
 
@@ -154,9 +158,7 @@ mod tests {
         assert!(d32.bcast > 5.0 * b32.bcast);
         assert!(d32.total() > b32.total());
         // Single process unaffected (no inter rounds).
-        assert!(
-            (simulate(&base, w, 1).total() - simulate(&bad, w, 1).total()).abs() < 1e-9
-        );
+        assert!((simulate(&base, w, 1).total() - simulate(&bad, w, 1).total()).abs() < 1e-9);
     }
 
     #[test]

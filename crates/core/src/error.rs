@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn overflowed_total_has_distinct_message() {
-        let e = Error::TooManyPermutations { total: None, max: 5 };
+        let e = Error::TooManyPermutations {
+            total: None,
+            max: 5,
+        };
         assert!(e.to_string().contains("overflows"));
     }
 }

@@ -178,7 +178,10 @@ impl ClassLabels {
                     }
                     // k labels, no repeats, all < k ⇒ complete.
                 }
-                Ok(Design::Block { blocks, treatments: k })
+                Ok(Design::Block {
+                    blocks,
+                    treatments: k,
+                })
             }
         }
     }

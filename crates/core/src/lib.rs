@@ -62,7 +62,7 @@ pub mod prelude {
     pub use crate::matrix::Matrix;
     pub use crate::maxt::serial::mt_maxt;
     pub use crate::maxt::{MaxTResult, MaxTRow};
-    pub use crate::options::{PmaxtOptions, SamplingMode, TestMethod};
+    pub use crate::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
     pub use crate::pmaxt::{pmaxt, PmaxtRun};
     pub use crate::side::Side;
 }

@@ -21,9 +21,10 @@ pub use result::{MaxTResult, MaxTRow};
 
 use crate::labels::ClassLabels;
 use crate::matrix::Matrix;
-use crate::options::TestMethod;
+use crate::options::{KernelChoice, TestMethod};
 use crate::perm::PermutationGenerator;
 use crate::side::Side;
+use crate::stats::kernel::FastKernel;
 use crate::stats::StatComputer;
 
 /// Comparison slack absorbing floating-point noise between the observed and
@@ -51,6 +52,10 @@ pub struct MaxTContext<'a> {
     data: &'a Matrix,
     computer: StatComputer,
     side: Side,
+    /// Sufficient-statistic fast kernel for the NA-free rows; `None` when the
+    /// method has no fast form, every row has NAs, or the scalar kernel was
+    /// requested explicitly.
+    kernel: Option<FastKernel>,
     /// Observed statistic per gene (original order).
     obs_stats: Vec<f64>,
     /// Observed extremeness score per gene (original order).
@@ -63,27 +68,87 @@ pub struct MaxTContext<'a> {
 
 impl<'a> MaxTContext<'a> {
     /// Build from a **prepared** matrix (see [`crate::stats::prepare_matrix`])
-    /// and validated labels.
+    /// and validated labels, with automatic kernel selection.
     pub fn new(data: &'a Matrix, labels: &ClassLabels, method: TestMethod, side: Side) -> Self {
+        Self::with_kernel(data, labels, method, side, KernelChoice::Auto)
+    }
+
+    /// Build with an explicit kernel choice. `Auto` and `Fast` engage the
+    /// sufficient-statistic kernel when the method supports it (`Fast` is not
+    /// an override — unsupported methods silently keep the scalar path, which
+    /// is always correct). The `SPRINT_KERNEL` environment variable, when set
+    /// to a valid choice, takes precedence over `choice`.
+    pub fn with_kernel(
+        data: &'a Matrix,
+        labels: &ClassLabels,
+        method: TestMethod,
+        side: Side,
+        choice: KernelChoice,
+    ) -> Self {
         let computer = StatComputer::new(method, labels);
+        let kernel = match choice.env_override() {
+            KernelChoice::Scalar => None,
+            KernelChoice::Auto | KernelChoice::Fast => FastKernel::build(data, method),
+        };
         let genes = data.rows();
-        let mut obs_stats = Vec::with_capacity(genes);
-        let mut obs_scores = Vec::with_capacity(genes);
-        for g in 0..genes {
-            let s = computer.compute(data.row(g), labels.as_slice());
-            obs_stats.push(s);
-            obs_scores.push(side.score(s));
-        }
+        // Observed statistics go through the same dispatch as the permuted
+        // ones so the identity permutation always counts exactly once,
+        // whichever kernel is active.
+        let mut obs_stats = vec![f64::NAN; genes];
+        let mut idx_buf = Vec::with_capacity(data.cols());
+        Self::stats_into_parts(
+            data,
+            &computer,
+            kernel.as_ref(),
+            labels.as_slice(),
+            &mut idx_buf,
+            &mut obs_stats,
+        );
+        let obs_scores: Vec<f64> = obs_stats.iter().map(|&s| side.score(s)).collect();
         let order = significance_order(&obs_scores);
         let obs_scores_ordered = order.iter().map(|&g| obs_scores[g]).collect();
         MaxTContext {
             data,
             computer,
             side,
+            kernel,
             obs_stats,
             obs_scores,
             order,
             obs_scores_ordered,
+        }
+    }
+
+    /// Whether the sufficient-statistic fast kernel is active for this run.
+    pub fn uses_fast_kernel(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    /// Compute every gene's statistic under `labels` into `out`, routing
+    /// NA-free rows through the fast kernel when one is active and the rest
+    /// through the scalar computer. Free function over the parts so the
+    /// constructor can use it before `self` exists.
+    fn stats_into_parts(
+        data: &Matrix,
+        computer: &StatComputer,
+        kernel: Option<&FastKernel>,
+        labels: &[u8],
+        idx_buf: &mut Vec<usize>,
+        out: &mut [f64],
+    ) {
+        match kernel {
+            Some(k) => {
+                FastKernel::group1_indices(labels, idx_buf);
+                k.stats_into(idx_buf, out);
+                for &g in k.scalar_genes() {
+                    out[g] = computer.compute(data.row(g), labels);
+                }
+            }
+            None => {
+                for (g, slot) in out.iter_mut().enumerate() {
+                    *slot = computer.compute(data.row(g), labels);
+                }
+            }
         }
     }
 
@@ -121,17 +186,26 @@ impl<'a> MaxTContext<'a> {
         let genes = self.genes();
         let cols = self.data.cols();
         let mut labels_buf = vec![0u8; cols];
+        let mut idx_buf = Vec::with_capacity(cols);
         let mut scores = vec![0.0f64; genes];
         let mut done = 0u64;
         while done < take {
             if !gen.next_into(&mut labels_buf) {
                 break;
             }
-            // Scores for every gene under this labelling.
-            for (g, slot) in scores.iter_mut().enumerate() {
-                *slot = self
-                    .side
-                    .score(self.computer.compute(self.data.row(g), &labels_buf));
+            // Statistics for every gene under this labelling (fast kernel for
+            // NA-free rows when active, scalar otherwise), then scores in
+            // place.
+            Self::stats_into_parts(
+                self.data,
+                &self.computer,
+                self.kernel.as_ref(),
+                &labels_buf,
+                &mut idx_buf,
+                &mut scores,
+            );
+            for slot in scores.iter_mut() {
+                *slot = self.side.score(*slot);
             }
             // Raw counts (original gene order).
             for (g, &score) in scores.iter().enumerate() {
@@ -234,10 +308,7 @@ mod tests {
     #[test]
     fn adjp_at_least_rawp_and_monotone() {
         // Two genes, one strongly differential, one noise.
-        let r = run_complete_two_sample(
-            vec![1.0, 2.0, 30.0, 40.0, 5.0, 1.0, 4.0, 2.0],
-            2,
-        );
+        let r = run_complete_two_sample(vec![1.0, 2.0, 30.0, 40.0, 5.0, 1.0, 4.0, 2.0], 2);
         for g in 0..2 {
             assert!(
                 r.adjp[g] >= r.rawp[g] - 1e-12,
@@ -292,7 +363,12 @@ mod tests {
     fn split_accumulation_equals_single_pass() {
         // Accumulating 0..B in one go must equal accumulating in chunks with
         // skip-ahead — the foundation of the parallel distribution.
-        let m = Matrix::from_vec(2, 6, vec![1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 9.0, 1.0, 8.0, 2.0, 7.0, 3.0]).unwrap();
+        let m = Matrix::from_vec(
+            2,
+            6,
+            vec![1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 9.0, 1.0, 8.0, 2.0, 7.0, 3.0],
+        )
+        .unwrap();
         let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], TestMethod::T).unwrap();
         let opts = PmaxtOptions::default().permutations(25);
         let prepared = prepare_matrix(&m, TestMethod::T, false);
@@ -313,6 +389,100 @@ mod tests {
         }
         assert_eq!(merged, whole);
         assert_eq!(ctx.finalize(&merged), ctx.finalize(&whole));
+    }
+
+    #[test]
+    fn kernel_dispatch_flags_follow_choice_and_method() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let labels = ClassLabels::new(vec![0, 0, 1, 1], TestMethod::T).unwrap();
+        let auto =
+            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Auto);
+        assert!(auto.uses_fast_kernel());
+        let scalar =
+            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
+        assert!(!scalar.uses_fast_kernel());
+        // Paired t has no fast form even when requested.
+        let p_labels = ClassLabels::new(vec![0, 1, 0, 1], TestMethod::PairT).unwrap();
+        let pt = MaxTContext::with_kernel(
+            &m,
+            &p_labels,
+            TestMethod::PairT,
+            Side::Abs,
+            KernelChoice::Fast,
+        );
+        assert!(!pt.uses_fast_kernel());
+    }
+
+    #[test]
+    fn fast_and_scalar_kernels_produce_identical_counts() {
+        // Mixed NA / NA-free rows: raw and adjusted exceedance counts must be
+        // byte-identical between kernels for every two-sample method.
+        let data = vec![
+            1.0,
+            5.0,
+            2.0,
+            6.0,
+            3.0,
+            7.0, // clean
+            9.0,
+            f64::NAN,
+            8.0,
+            2.0,
+            7.0,
+            3.0, // NA → scalar fallback row
+            0.5,
+            0.4,
+            0.6,
+            0.55,
+            0.45,
+            0.62, // clean, weak signal
+        ];
+        let m = Matrix::from_vec(3, 6, data).unwrap();
+        for method in [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon] {
+            let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], method).unwrap();
+            let opts = PmaxtOptions::default().permutations(64);
+            let prepared = prepare_matrix(&m, method, false);
+            for side in [Side::Abs, Side::Upper, Side::Lower] {
+                let fast =
+                    MaxTContext::with_kernel(&prepared, &labels, method, side, KernelChoice::Fast);
+                let scalar = MaxTContext::with_kernel(
+                    &prepared,
+                    &labels,
+                    method,
+                    side,
+                    KernelChoice::Scalar,
+                );
+                assert!(fast.uses_fast_kernel());
+                assert!(!scalar.uses_fast_kernel());
+                let mut acc_f = CountAccumulator::new(3);
+                let mut acc_s = CountAccumulator::new(3);
+                let mut gen = build_generator(&labels, &opts, 64).unwrap();
+                fast.accumulate(&mut *gen, u64::MAX, &mut acc_f);
+                let mut gen = build_generator(&labels, &opts, 64).unwrap();
+                scalar.accumulate(&mut *gen, u64::MAX, &mut acc_s);
+                assert_eq!(acc_f, acc_s, "{method:?} {side:?}");
+                assert_eq!(fast.finalize(&acc_f), scalar.finalize(&acc_s));
+            }
+        }
+    }
+
+    #[test]
+    fn observed_stats_match_scalar_path() {
+        let m = Matrix::from_vec(
+            2,
+            6,
+            vec![1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 9.0, 1.0, 8.0, 2.0, 7.0, 3.0],
+        )
+        .unwrap();
+        let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], TestMethod::T).unwrap();
+        let fast =
+            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Fast);
+        let scalar =
+            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
+        for (a, b) in fast.observed_stats().iter().zip(scalar.observed_stats()) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+        assert_eq!(fast.order(), scalar.order());
     }
 
     #[test]

@@ -63,8 +63,12 @@ mod tests {
 
     fn data() -> (Matrix, Vec<u8>) {
         (
-            Matrix::from_vec(2, 6, vec![1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 5.0, 1.0, 4.0, 2.0, 3.0, 6.0])
-                .unwrap(),
+            Matrix::from_vec(
+                2,
+                6,
+                vec![1.0, 2.0, 1.5, 9.0, 10.0, 9.5, 5.0, 1.0, 4.0, 2.0, 3.0, 6.0],
+            )
+            .unwrap(),
             vec![0, 0, 0, 1, 1, 1],
         )
     }

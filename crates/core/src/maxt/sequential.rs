@@ -96,7 +96,10 @@ pub fn sequential_rawp(
 
     // Observed scores (identity labelling).
     let obs_scores: Vec<f64> = (0..genes)
-        .map(|g| opts.side.score(computer.compute(prepared.row(g), labels.as_slice())))
+        .map(|g| {
+            opts.side
+                .score(computer.compute(prepared.row(g), labels.as_slice()))
+        })
         .collect();
     // Non-computable genes can never resolve; exclude them from the stopping
     // condition up front.
@@ -275,7 +278,10 @@ mod tests {
         let data = Matrix::from_vec(5, 10, v).unwrap();
         let opts = PmaxtOptions::default();
         let r = sequential_rawp(&data, &labels, &opts, 8, 100_000).unwrap();
-        assert!(r.stopped_early, "NaN gene must not block the stop condition");
+        assert!(
+            r.stopped_early,
+            "NaN gene must not block the stop condition"
+        );
         assert!(r.rawp[2].is_nan());
     }
 }

@@ -27,6 +27,25 @@ use crate::stats::prepare_matrix;
 /// assert!(result.rawp[0] < result.rawp[1]);
 /// ```
 pub fn mt_maxt(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> Result<MaxTResult> {
+    let (labels, b, prepared) = prepare_run(data, classlabel, opts)?;
+    let ctx = MaxTContext::with_kernel(&prepared, &labels, opts.test, opts.side, opts.kernel);
+    let mut gen = build_generator(&labels, opts, b)?;
+    let mut acc = CountAccumulator::new(prepared.rows());
+    let done = ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+    debug_assert_eq!(done, b);
+    Ok(ctx.finalize(&acc))
+}
+
+/// The shared front half of every maxT driver: validate the labels against
+/// the matrix, canonicalize the NA code, resolve the permutation count and
+/// prepare (rank-transform) the data. Returns an owned prepared matrix so
+/// alternative backends (e.g. the bench crate's rayon driver) can run the
+/// same pipeline without re-implementing any of it.
+pub fn prepare_run(
+    data: &Matrix,
+    classlabel: &[u8],
+    opts: &PmaxtOptions,
+) -> Result<(ClassLabels, u64, Matrix)> {
     let labels = ClassLabels::new(classlabel.to_vec(), opts.test)?;
     if labels.len() != data.cols() {
         return Err(Error::BadLabels(format!(
@@ -39,24 +58,15 @@ pub fn mt_maxt(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> Result<
     let owned_na;
     let data = match opts.na {
         Some(code) => {
-            owned_na = Matrix::from_vec_with_na(
-                data.rows(),
-                data.cols(),
-                data.as_slice().to_vec(),
-                code,
-            )?;
+            owned_na =
+                Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)?;
             &owned_na
         }
         None => data,
     };
     let b = resolve_permutation_count(&labels, opts)?;
-    let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
-    let mut gen = build_generator(&labels, opts, b)?;
-    let mut acc = CountAccumulator::new(data.rows());
-    let done = ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
-    debug_assert_eq!(done, b);
-    Ok(ctx.finalize(&acc))
+    let prepared = prepare_matrix(data, opts.test, opts.nonpara).into_owned();
+    Ok((labels, b, prepared))
 }
 
 #[cfg(test)]
@@ -104,12 +114,15 @@ mod tests {
             (TestMethod::BlockF, vec![0, 1, 0, 1, 0, 1]),
         ] {
             let opts = PmaxtOptions::default().test(method).permutations(50);
-            let r = mt_maxt(&data, &labels, &opts)
-                .unwrap_or_else(|e| panic!("{method:?} failed: {e}"));
+            let r =
+                mt_maxt(&data, &labels, &opts).unwrap_or_else(|e| panic!("{method:?} failed: {e}"));
             assert_eq!(r.b_used, 50);
             for g in 0..3 {
                 let p = r.rawp[g];
-                assert!(p.is_nan() || (0.0 < p && p <= 1.0), "{method:?} gene {g} p={p}");
+                assert!(
+                    p.is_nan() || (0.0 < p && p <= 1.0),
+                    "{method:?} gene {g} p={p}"
+                );
             }
         }
     }
@@ -136,12 +149,7 @@ mod tests {
 
     #[test]
     fn na_code_is_applied() {
-        let data = Matrix::from_vec(
-            1,
-            6,
-            vec![1.0, 2.0, -999.0, 9.0, 10.0, 9.5],
-        )
-        .unwrap();
+        let data = Matrix::from_vec(1, 6, vec![1.0, 2.0, -999.0, 9.0, 10.0, 9.5]).unwrap();
         let labels = vec![0, 0, 0, 1, 1, 1];
         let with_code = mt_maxt(
             &data,
@@ -149,9 +157,9 @@ mod tests {
             &PmaxtOptions::default().na_code(-999.0).permutations(0),
         )
         .unwrap();
-        let data_nan =
-            Matrix::from_vec(1, 6, vec![1.0, 2.0, f64::NAN, 9.0, 10.0, 9.5]).unwrap();
-        let with_nan = mt_maxt(&data_nan, &labels, &PmaxtOptions::default().permutations(0)).unwrap();
+        let data_nan = Matrix::from_vec(1, 6, vec![1.0, 2.0, f64::NAN, 9.0, 10.0, 9.5]).unwrap();
+        let with_nan =
+            mt_maxt(&data_nan, &labels, &PmaxtOptions::default().permutations(0)).unwrap();
         assert_eq!(with_code.rawp, with_nan.rawp);
         assert_eq!(with_code.teststat, with_nan.teststat);
     }

@@ -116,6 +116,62 @@ impl SamplingMode {
     }
 }
 
+/// Which scoring kernel the permutation loop uses (see
+/// `crate::stats::kernel`).
+///
+/// The fast kernel caches per-gene sufficient statistics (S = Σx, Q = Σx²)
+/// and reduces each permutation to an O(n₁) indexed gather per gene. It is
+/// available for the two-sample methods (`t`, `t.equalvar`, `wilcoxon`) on
+/// NA-free rows; everything else always uses the scalar per-column path.
+/// The `SPRINT_KERNEL` environment variable (`auto`/`scalar`/`fast`)
+/// overrides this option — the debugging escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelChoice {
+    /// Use the fast kernel wherever it applies, scalar elsewhere. Default.
+    #[default]
+    Auto,
+    /// Force the scalar per-column path everywhere.
+    Scalar,
+    /// Synonym of `Auto` kept distinct for reporting: the fast kernel still
+    /// only covers the rows/methods it supports.
+    Fast,
+}
+
+impl KernelChoice {
+    /// Parse the string form (`auto`/`scalar`/`fast`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "auto" => Ok(KernelChoice::Auto),
+            "scalar" => Ok(KernelChoice::Scalar),
+            "fast" => Ok(KernelChoice::Fast),
+            other => Err(Error::BadOption {
+                param: "kernel",
+                value: other.to_string(),
+            }),
+        }
+    }
+
+    /// The string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelChoice::Auto => "auto",
+            KernelChoice::Scalar => "scalar",
+            KernelChoice::Fast => "fast",
+        }
+    }
+
+    /// Apply the `SPRINT_KERNEL` environment override, if set to a valid
+    /// value. Every context construction consults this, so `SPRINT_KERNEL=
+    /// scalar` forces the scalar path through any driver without touching
+    /// options plumbing.
+    pub fn env_override(self) -> Self {
+        match std::env::var("SPRINT_KERNEL") {
+            Ok(v) => Self::parse(&v).unwrap_or(self),
+            Err(_) => self,
+        }
+    }
+}
+
 /// The default maximum number of complete permutations accepted when `B = 0`.
 /// Beyond this the run refuses and asks for Monte-Carlo sampling, as the
 /// paper describes.
@@ -145,6 +201,10 @@ pub struct PmaxtOptions {
     pub seed: u64,
     /// Cap on complete enumeration (see [`DEFAULT_MAX_COMPLETE`]).
     pub max_complete: u64,
+    /// Scoring kernel selection (see [`KernelChoice`]). Not part of the R
+    /// signature — both kernels produce the same counts, this only selects
+    /// the implementation.
+    pub kernel: KernelChoice,
 }
 
 impl Default for PmaxtOptions {
@@ -158,6 +218,7 @@ impl Default for PmaxtOptions {
             nonpara: false,
             seed: 44_561, // multtest's historical default RNG seed
             max_complete: DEFAULT_MAX_COMPLETE,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -227,6 +288,18 @@ impl PmaxtOptions {
         self.max_complete = max;
         self
     }
+
+    /// Set the scoring kernel.
+    pub fn kernel(mut self, k: KernelChoice) -> Self {
+        self.kernel = k;
+        self
+    }
+
+    /// Set the scoring kernel from the string form.
+    pub fn kernel_str(mut self, s: &str) -> Result<Self> {
+        self.kernel = KernelChoice::parse(s)?;
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +356,18 @@ mod tests {
         assert_eq!(o.na, Some(-99.0));
         assert!(o.nonpara);
         assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn kernel_choice_round_trips_and_defaults_to_auto() {
+        assert_eq!(PmaxtOptions::default().kernel, KernelChoice::Auto);
+        for k in [KernelChoice::Auto, KernelChoice::Scalar, KernelChoice::Fast] {
+            assert_eq!(KernelChoice::parse(k.as_str()).unwrap(), k);
+        }
+        assert!(KernelChoice::parse("simd").is_err());
+        let o = PmaxtOptions::new().kernel_str("scalar").unwrap();
+        assert_eq!(o.kernel, KernelChoice::Scalar);
+        assert_eq!(o.kernel(KernelChoice::Fast).kernel, KernelChoice::Fast);
     }
 
     #[test]

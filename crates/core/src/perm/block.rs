@@ -14,10 +14,10 @@ pub(crate) fn lehmer_unrank(mut idx: u64, perm: &mut [u8]) {
     let mut avail: Vec<u8> = (0..k as u8).collect();
     // fact starts at (k−1)! and is divided down to 0! as positions fill.
     let mut fact: u64 = (1..k as u64).product::<u64>().max(1);
-    for i in 0..k {
+    for (i, slot) in perm.iter_mut().enumerate() {
         let d = (idx / fact) as usize;
         idx %= fact;
-        perm[i] = avail.remove(d);
+        *slot = avail.remove(d);
         fact = fact.checked_div((k - 1 - i) as u64).unwrap_or(1);
     }
 }
@@ -276,7 +276,10 @@ mod tests {
 
     #[test]
     fn sequential_skip_equals_iterate() {
-        let all = collect_all(&mut BlockShuffleSequential::new(BASE.to_vec(), 3, 20, 11), 6);
+        let all = collect_all(
+            &mut BlockShuffleSequential::new(BASE.to_vec(), 3, 20, 11),
+            6,
+        );
         assert_eq!(all[0], BASE.to_vec());
         for labels in &all {
             blocks_valid(labels, 3);
@@ -284,7 +287,11 @@ mod tests {
         for start in [0u64, 1, 9, 19] {
             let mut g = BlockShuffleSequential::new(BASE.to_vec(), 3, 20, 11);
             g.skip(start);
-            assert_eq!(collect_all(&mut g, 6), all[start as usize..], "start={start}");
+            assert_eq!(
+                collect_all(&mut g, 6),
+                all[start as usize..],
+                "start={start}"
+            );
         }
     }
 

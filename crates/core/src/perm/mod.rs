@@ -95,8 +95,7 @@ pub fn build_generator(
                         Box::new(shuffle::ShuffleFixedSeed::new(base, b_resolved, opts.seed))
                     }
                     SamplingMode::Stored => {
-                        let mut seq =
-                            shuffle::ShuffleSequential::new(base, b_resolved, opts.seed);
+                        let mut seq = shuffle::ShuffleSequential::new(base, b_resolved, opts.seed);
                         Box::new(stored::StoredMatrix::materialize(&mut seq, labels.len()))
                     }
                 }
@@ -111,8 +110,7 @@ pub fn build_generator(
                         Box::new(paired::PairFlipFixedSeed::new(base, b_resolved, opts.seed))
                     }
                     SamplingMode::Stored => {
-                        let mut seq =
-                            paired::PairFlipSequential::new(base, b_resolved, opts.seed);
+                        let mut seq = paired::PairFlipSequential::new(base, b_resolved, opts.seed);
                         Box::new(stored::StoredMatrix::materialize(&mut seq, labels.len()))
                     }
                 }
@@ -124,9 +122,9 @@ pub fn build_generator(
                 Box::new(block::CompleteBlock::new(base, k, b_resolved))
             } else {
                 match opts.sampling {
-                    SamplingMode::FixedSeedOnTheFly => Box::new(
-                        block::BlockShuffleFixedSeed::new(base, k, b_resolved, opts.seed),
-                    ),
+                    SamplingMode::FixedSeedOnTheFly => Box::new(block::BlockShuffleFixedSeed::new(
+                        base, k, b_resolved, opts.seed,
+                    )),
                     // blockf is never stored: serve the request on-the-fly
                     // from the sequential stream (paper §3.1).
                     SamplingMode::Stored => Box::new(block::BlockShuffleSequential::new(
@@ -280,7 +278,8 @@ mod tests {
         let labels = ClassLabels::new(vec![0, 0, 1, 1, 1], TestMethod::T).unwrap();
         let o_stored = opts().permutations(10).fixed_seed_sampling("n").unwrap();
         let mut g_stored = build_generator(&labels, &o_stored, 10).unwrap();
-        let mut g_seq = shuffle::ShuffleSequential::new(labels.as_slice().to_vec(), 10, o_stored.seed);
+        let mut g_seq =
+            shuffle::ShuffleSequential::new(labels.as_slice().to_vec(), 10, o_stored.seed);
         assert_eq!(collect_all(&mut *g_stored, 5), collect_all(&mut g_seq, 5));
     }
 

@@ -232,7 +232,11 @@ mod tests {
         for start in [0u64, 1, 2, 10, 19] {
             let mut g = PairFlipSequential::new(BASE.to_vec(), 20, 5);
             g.skip(start);
-            assert_eq!(collect_all(&mut g, 6), all[start as usize..], "start={start}");
+            assert_eq!(
+                collect_all(&mut g, 6),
+                all[start as usize..],
+                "start={start}"
+            );
         }
     }
 
@@ -254,7 +258,10 @@ mod tests {
         for start in 0..8u64 {
             let mut g = CompletePaired::new(BASE.to_vec(), 8);
             g.skip(start);
-            assert_eq!(collect_range(&mut g, 6, 2), all[start as usize..(start as usize + 2).min(8)]);
+            assert_eq!(
+                collect_range(&mut g, 6, 2),
+                all[start as usize..(start as usize + 2).min(8)]
+            );
         }
     }
 

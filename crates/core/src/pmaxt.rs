@@ -146,10 +146,8 @@ pub fn pmaxt(
     resolve_permutation_count(&labels, opts)?;
 
     let master_input = Arc::new((data.clone(), classlabel.to_vec(), opts.clone()));
-    let outputs = Universe::run(n_ranks, move |comm| {
-        pmaxt_rank(comm, Some(&master_input))
-    })
-    .map_err(|e| Error::Comm(e.to_string()))?;
+    let outputs = Universe::run(n_ranks, move |comm| pmaxt_rank(comm, Some(&master_input)))
+        .map_err(|e| Error::Comm(e.to_string()))?;
     let (result, profile, rank_profiles) = outputs
         .into_iter()
         .next()
@@ -185,10 +183,9 @@ pub fn pmaxt_rank(
         if !comm.is_master() {
             return None;
         }
-        let (data, classlabel, opts) = &**master_input
-            .expect("master rank must receive the input triple");
-        let labels =
-            ClassLabels::new(classlabel.clone(), opts.test).expect("validated by caller");
+        let (data, classlabel, opts) =
+            &**master_input.expect("master rank must receive the input triple");
+        let labels = ClassLabels::new(classlabel.clone(), opts.test).expect("validated by caller");
         let b = resolve_permutation_count(&labels, opts).expect("validated by caller");
         Some(Params {
             rows: data.rows(),
@@ -208,8 +205,8 @@ pub fn pmaxt_rank(
     // build the local prepared copy.
     let (prepared, labels) = timer.time(sections::CREATE_DATA, || {
         let payload = if comm.is_master() {
-            let (data, _, opts) = &**master_input
-                .expect("master rank must receive the input triple");
+            let (data, _, opts) =
+                &**master_input.expect("master rank must receive the input triple");
             let canonical = match opts.na {
                 Some(code) => Matrix::from_vec_with_na(
                     data.rows(),
@@ -226,8 +223,8 @@ pub fn pmaxt_rank(
         };
         let raw = comm.bcast(MASTER, payload).expect("data broadcast");
         let local = Matrix::from_vec(params.rows, params.cols, raw).expect("validated dims");
-        let labels = ClassLabels::new(params.labels.clone(), params.opts.test)
-            .expect("validated by master");
+        let labels =
+            ClassLabels::new(params.labels.clone(), params.opts.test).expect("validated by master");
         let prepared = prepare_matrix(&local, params.opts.test, params.opts.nonpara).into_owned();
         (prepared, labels)
     });
@@ -236,7 +233,13 @@ pub fn pmaxt_rank(
     comm.allreduce(1u64, |a, b| a + b).expect("sync reduction");
 
     // Step 4 — main kernel: each rank processes its chunk of permutations.
-    let ctx = MaxTContext::new(&prepared, &labels, params.opts.test, params.opts.side);
+    let ctx = MaxTContext::with_kernel(
+        &prepared,
+        &labels,
+        params.opts.test,
+        params.opts.side,
+        params.opts.kernel,
+    );
     let local_counts = timer.time(sections::MAIN_KERNEL, || {
         let (start, take) = chunk_for_rank(params.b, comm.size() as u64, comm.rank() as u64);
         let mut gen =
@@ -287,10 +290,38 @@ mod tests {
             4,
             8,
             vec![
-                1.0, 2.0, 1.5, 2.5, 9.0, 10.0, 9.5, 10.5, // strong signal
-                5.0, 4.0, 6.0, 5.5, 4.5, 5.2, 5.8, 4.9, // flat
-                2.0, 8.0, 3.0, 7.0, 2.5, 7.5, 3.5, 6.5, // noisy
-                1.0, f64::NAN, 2.0, 1.5, 3.0, 4.0, f64::NAN, 3.5, // missing cells
+                1.0,
+                2.0,
+                1.5,
+                2.5,
+                9.0,
+                10.0,
+                9.5,
+                10.5, // strong signal
+                5.0,
+                4.0,
+                6.0,
+                5.5,
+                4.5,
+                5.2,
+                5.8,
+                4.9, // flat
+                2.0,
+                8.0,
+                3.0,
+                7.0,
+                2.5,
+                7.5,
+                3.5,
+                6.5, // noisy
+                1.0,
+                f64::NAN,
+                2.0,
+                1.5,
+                3.0,
+                4.0,
+                f64::NAN,
+                3.5, // missing cells
             ],
         )
         .unwrap();
@@ -324,7 +355,10 @@ mod tests {
         let takes: Vec<u64> = (0..size).map(|r| chunk_for_rank(b, size, r).1).collect();
         let min = *takes.iter().min().unwrap();
         let max = *takes.iter().max().unwrap();
-        assert!(max - min <= 1 + 1, "master gets at most the identity extra: {takes:?}");
+        assert!(
+            max - min <= 1 + 1,
+            "master gets at most the identity extra: {takes:?}"
+        );
     }
 
     #[test]

@@ -199,7 +199,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..76).collect::<Vec<_>>());
-        assert_ne!(v, (0..76).collect::<Vec<_>>(), "shuffle of 76 left input unchanged");
+        assert_ne!(
+            v,
+            (0..76).collect::<Vec<_>>(),
+            "shuffle of 76 left input unchanged"
+        );
     }
 
     #[test]

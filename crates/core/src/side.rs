@@ -65,7 +65,10 @@ mod tests {
             assert_eq!(Side::parse(s).unwrap().as_str(), s);
         }
         assert!(Side::parse("two-sided").is_err());
-        assert!(Side::parse("ABS").is_err(), "parsing is case-sensitive like R");
+        assert!(
+            Side::parse("ABS").is_err(),
+            "parsing is case-sensitive like R"
+        );
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Sufficient-statistic fast kernel for the two-sample permutation hot loop.
+//!
+//! The scalar path recomputes every statistic from a full O(n) sweep over the
+//! gene row for each permutation, branching on the label of every column. For
+//! the two-sample statistics this is redundant: the per-row totals
+//! S = Σ(x−pivot) and Q = Σ(x−pivot)² never change across permutations, so
+//! they are cached once here, and each permutation only needs the group-1
+//! partials s₁ = Σ_{j∈G₁} x_j and q₁ = Σ_{j∈G₁} x_j² — an O(n₁) branch-free
+//! indexed gather — with the group-0 side recovered as s₀ = S−s₁, q₀ = Q−q₁.
+//! The statistic then follows in O(1) from the four moments. For Wilcoxon the
+//! rows are already midranks, so s₁ *is* the rank sum W and no squares are
+//! needed.
+//!
+//! ## Numerical-equivalence policy
+//!
+//! The fast path is not asked to be approximately right — it is constructed
+//! so that exceedance *counts* (the integers the p-values are made of) match
+//! the scalar path:
+//!
+//! - group-1 partials are gathered in ascending column order, which is the
+//!   exact order the scalar path pushes group-1 values, so `s₁`/`q₁` are
+//!   **bitwise identical** to the scalar accumulators, and the Wilcoxon
+//!   statistic (a pure function of `s₁` and the group sizes) is bitwise
+//!   identical end to end;
+//! - only the subtraction `S−s₁`/`Q−q₁` re-associates the group-0 sums, an
+//!   error of a few ulps; the statistic formulas below mirror the scalar
+//!   operation sequence (same literals, same clamps, same guards) so the
+//!   final score differs from the scalar score by ulps at most;
+//! - the maxT count comparisons carry an absolute slack of
+//!   [`crate::maxt::EPSILON`] = 1e-10, orders of magnitude above ulp noise on
+//!   t-scale statistics, so the counts agree;
+//! - observed statistics are computed through the *same* dispatch as the
+//!   permuted ones, so the identity permutation compares a value against
+//!   itself and always counts, whichever kernel is active.
+//!
+//! Rows containing missing values change their group sizes under
+//! permutation and keep the scalar path (see [`FastKernel::scalar_genes`]);
+//! the f/pairt/blockf methods have no fast form and [`FastKernel::build`]
+//! returns `None` for them.
+
+use crate::matrix::Matrix;
+use crate::options::TestMethod;
+
+/// Precomputed sufficient statistics for the NA-free rows of a prepared
+/// matrix, plus the row partition into fast and scalar-fallback genes.
+#[derive(Debug, Clone)]
+pub struct FastKernel {
+    method: TestMethod,
+    cols: usize,
+    /// Gene indices served by the fast path, ascending.
+    fast_genes: Vec<usize>,
+    /// Gene indices that must stay on the scalar path (rows with NA).
+    scalar_genes: Vec<usize>,
+    /// Pivot-shifted row values (raw midranks for Wilcoxon), row-major over
+    /// `fast_genes`.
+    values: Vec<f64>,
+    /// Per fast row: S = Σ values.
+    total_sum: Vec<f64>,
+    /// Per fast row: Q = Σ values² (t statistics only; empty for Wilcoxon).
+    total_sumsq: Vec<f64>,
+}
+
+impl FastKernel {
+    /// Cache sufficient statistics for `data` (a **prepared** matrix — ranks
+    /// already applied for Wilcoxon/nonpara). Returns `None` when `method`
+    /// has no fast form or when no row is NA-free.
+    pub fn build(data: &Matrix, method: TestMethod) -> Option<FastKernel> {
+        let needs_moments = match method {
+            TestMethod::T | TestMethod::TEqualVar => true,
+            TestMethod::Wilcoxon => false,
+            TestMethod::F | TestMethod::PairT | TestMethod::BlockF => return None,
+        };
+        let cols = data.cols();
+        if cols == 0 {
+            return None;
+        }
+        let mut fast_genes = Vec::new();
+        let mut scalar_genes = Vec::new();
+        for g in 0..data.rows() {
+            if data.row(g).iter().any(|v| v.is_nan()) {
+                scalar_genes.push(g);
+            } else {
+                fast_genes.push(g);
+            }
+        }
+        if fast_genes.is_empty() {
+            return None;
+        }
+        let mut values = Vec::with_capacity(fast_genes.len() * cols);
+        let mut total_sum = Vec::with_capacity(fast_genes.len());
+        let mut total_sumsq = Vec::with_capacity(if needs_moments { fast_genes.len() } else { 0 });
+        for &g in &fast_genes {
+            let row = data.row(g);
+            // The scalar path shifts every value by the row's first
+            // non-missing value (`pivot_of`) before squaring; for an NA-free
+            // row that is row[0]. Wilcoxon rows are midranks summed
+            // unshifted, exactly as `wilcoxon_from_ranks` does.
+            let pivot = if needs_moments { row[0] } else { 0.0 };
+            let mut s = 0.0;
+            let mut q = 0.0;
+            for &v in row {
+                let x = v - pivot;
+                values.push(x);
+                s += x;
+                if needs_moments {
+                    q += x * x;
+                }
+            }
+            total_sum.push(s);
+            if needs_moments {
+                total_sumsq.push(q);
+            }
+        }
+        Some(FastKernel {
+            method,
+            cols,
+            fast_genes,
+            scalar_genes,
+            values,
+            total_sum,
+            total_sumsq,
+        })
+    }
+
+    /// Genes the fast path serves.
+    pub fn fast_genes(&self) -> &[usize] {
+        &self.fast_genes
+    }
+
+    /// Genes left to the scalar path (rows with missing values).
+    pub fn scalar_genes(&self) -> &[usize] {
+        &self.scalar_genes
+    }
+
+    /// Collect the group-1 column indices of a label arrangement into `idx`,
+    /// ascending — the once-per-permutation O(n) step.
+    pub fn group1_indices(labels: &[u8], idx: &mut Vec<usize>) {
+        idx.clear();
+        for (j, &l) in labels.iter().enumerate() {
+            if l == 1 {
+                idx.push(j);
+            }
+        }
+    }
+
+    /// Compute the statistics of every fast gene for the permutation whose
+    /// group-1 columns are `idx` (from [`FastKernel::group1_indices`]),
+    /// writing into `out` (indexed by gene). Scalar-path genes are left
+    /// untouched.
+    pub fn stats_into(&self, idx: &[usize], out: &mut [f64]) {
+        let cols = self.cols;
+        let n1 = idx.len();
+        let n0 = cols - n1;
+        match self.method {
+            TestMethod::T | TestMethod::TEqualVar => {
+                // Mirrors the scalar guard `g0.n < 2 || g1.n < 2`; for
+                // NA-free rows the group counts equal the label counts, so
+                // one check covers every fast gene.
+                if n0 < 2 || n1 < 2 {
+                    for &g in &self.fast_genes {
+                        out[g] = f64::NAN;
+                    }
+                    return;
+                }
+                let n0f = n0 as f64;
+                let n1f = n1 as f64;
+                let welch = self.method == TestMethod::T;
+                for (fi, &g) in self.fast_genes.iter().enumerate() {
+                    let row = &self.values[fi * cols..(fi + 1) * cols];
+                    let mut s1 = 0.0;
+                    let mut q1 = 0.0;
+                    for &j in idx {
+                        let v = row[j];
+                        s1 += v;
+                        q1 += v * v;
+                    }
+                    let s0 = self.total_sum[fi] - s1;
+                    let q0 = self.total_sumsq[fi] - q1;
+                    out[g] = if welch {
+                        welch_from_moments(n0f, s0, q0, n1f, s1, q1)
+                    } else {
+                        equalvar_from_moments(n0f, s0, q0, n1f, s1, q1)
+                    };
+                }
+            }
+            TestMethod::Wilcoxon => {
+                // Mirrors the scalar guard `n0 == 0 || n1 == 0`.
+                if n0 == 0 || n1 == 0 {
+                    for &g in &self.fast_genes {
+                        out[g] = f64::NAN;
+                    }
+                    return;
+                }
+                let n = (n0 + n1) as f64;
+                let expect = n1 as f64 * (n + 1.0) / 2.0;
+                let var = n0 as f64 * n1 as f64 * (n + 1.0) / 12.0;
+                if var <= 0.0 {
+                    for &g in &self.fast_genes {
+                        out[g] = f64::NAN;
+                    }
+                    return;
+                }
+                let sd = var.sqrt();
+                for (fi, &g) in self.fast_genes.iter().enumerate() {
+                    let row = &self.values[fi * cols..(fi + 1) * cols];
+                    let mut w = 0.0;
+                    for &j in idx {
+                        w += row[j];
+                    }
+                    out[g] = (w - expect) / sd;
+                }
+            }
+            TestMethod::F | TestMethod::PairT | TestMethod::BlockF => {
+                unreachable!("FastKernel::build rejects methods without a fast form")
+            }
+        }
+    }
+}
+
+/// Welch t from group moments, mirroring `two_sample::welch_t` +
+/// `GroupSums::variance` operation for operation (same clamps and guards).
+#[inline]
+fn welch_from_moments(n0: f64, s0: f64, q0: f64, n1: f64, s1: f64, q1: f64) -> f64 {
+    let v1 = ((q1 - s1 * s1 / n1) / (n1 - 1.0)).max(0.0);
+    let v0 = ((q0 - s0 * s0 / n0) / (n0 - 1.0)).max(0.0);
+    let se2 = v1 / n1 + v0 / n0;
+    if se2 <= 0.0 {
+        return f64::NAN;
+    }
+    (s1 / n1 - s0 / n0) / se2.sqrt()
+}
+
+/// Pooled-variance t from group moments, mirroring `two_sample::equalvar_t` +
+/// `GroupSums::ss` operation for operation.
+#[inline]
+fn equalvar_from_moments(n0: f64, s0: f64, q0: f64, n1: f64, s1: f64, q1: f64) -> f64 {
+    let ss0 = (q0 - s0 * s0 / n0).max(0.0);
+    let ss1 = (q1 - s1 * s1 / n1).max(0.0);
+    let pooled = (ss0 + ss1) / (n0 + n1 - 2.0);
+    let se2 = pooled * (1.0 / n0 + 1.0 / n1);
+    if se2 <= 0.0 {
+        return f64::NAN;
+    }
+    (s1 / n1 - s0 / n0) / se2.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ranks::midranks;
+    use crate::stats::two_sample::{equalvar_t, welch_t};
+    use crate::stats::wilcoxon::wilcoxon_from_ranks;
+
+    fn stats_for(k: &FastKernel, labels: &[u8], genes: usize) -> Vec<f64> {
+        let mut idx = Vec::new();
+        FastKernel::group1_indices(labels, &mut idx);
+        let mut out = vec![f64::NAN; genes];
+        k.stats_into(&idx, &mut out);
+        out
+    }
+
+    #[test]
+    fn rejects_methods_without_fast_form() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        for method in [TestMethod::F, TestMethod::PairT, TestMethod::BlockF] {
+            assert!(FastKernel::build(&m, method).is_none());
+        }
+        assert!(FastKernel::build(&m, TestMethod::T).is_some());
+    }
+
+    #[test]
+    fn partitions_na_rows_to_scalar() {
+        let m = Matrix::from_vec(
+            3,
+            4,
+            vec![
+                1.0,
+                2.0,
+                3.0,
+                4.0,
+                1.0,
+                f64::NAN,
+                3.0,
+                4.0,
+                5.0,
+                6.0,
+                7.0,
+                8.0,
+            ],
+        )
+        .unwrap();
+        let k = FastKernel::build(&m, TestMethod::T).unwrap();
+        assert_eq!(k.fast_genes(), &[0, 2]);
+        assert_eq!(k.scalar_genes(), &[1]);
+    }
+
+    #[test]
+    fn all_na_rows_disable_the_kernel() {
+        let m = Matrix::from_vec(1, 4, vec![f64::NAN, 1.0, 2.0, 3.0]).unwrap();
+        assert!(FastKernel::build(&m, TestMethod::T).is_none());
+    }
+
+    #[test]
+    fn welch_matches_scalar_bit_for_bit_on_group1_sums() {
+        // The full statistic agrees with the scalar one to ulp level; the
+        // shared exact part (s1-derived) makes differences ≤ a few ulps.
+        let row = vec![3.5, -1.25, 7.0, 0.5, 2.25, -4.0, 9.5, 1.0];
+        let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
+        let k = FastKernel::build(&m, TestMethod::T).unwrap();
+        for labels in [
+            [0u8, 0, 0, 0, 1, 1, 1, 1],
+            [1, 0, 1, 0, 1, 0, 1, 0],
+            [1, 1, 0, 0, 0, 0, 1, 1],
+        ] {
+            let fast = stats_for(&k, &labels, 1)[0];
+            let scalar = welch_t(&row, &labels);
+            assert!(
+                (fast - scalar).abs() <= 1e-12 * scalar.abs().max(1.0),
+                "{fast} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn equalvar_matches_scalar() {
+        let row = vec![10.5, 11.25, 9.0, 10.0, 14.25, 13.0, 15.5, 14.0];
+        let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
+        let k = FastKernel::build(&m, TestMethod::TEqualVar).unwrap();
+        let labels = [0u8, 0, 0, 0, 1, 1, 1, 1];
+        let fast = stats_for(&k, &labels, 1)[0];
+        let scalar = equalvar_t(&row, &labels);
+        assert!(
+            (fast - scalar).abs() <= 1e-12 * scalar.abs().max(1.0),
+            "{fast} vs {scalar}"
+        );
+    }
+
+    #[test]
+    fn wilcoxon_is_bitwise_identical_to_scalar() {
+        let data = [0.3, 2.0, -1.0, 7.0, 0.5, 4.0, 2.0, -3.5];
+        let ranks = midranks(&data);
+        let m = Matrix::from_vec(1, 8, ranks.clone()).unwrap();
+        let k = FastKernel::build(&m, TestMethod::Wilcoxon).unwrap();
+        for labels in [
+            [0u8, 0, 0, 0, 1, 1, 1, 1],
+            [1, 0, 1, 0, 1, 0, 1, 0],
+            [0, 1, 1, 1, 1, 1, 1, 1],
+        ] {
+            let fast = stats_for(&k, &labels, 1)[0];
+            let scalar = wilcoxon_from_ranks(&ranks, &labels);
+            assert_eq!(fast.to_bits(), scalar.to_bits(), "{fast} vs {scalar}");
+        }
+    }
+
+    #[test]
+    fn constant_row_gives_nan_like_scalar() {
+        let row = vec![5.0; 6];
+        let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
+        let k = FastKernel::build(&m, TestMethod::T).unwrap();
+        let labels = [0u8, 0, 0, 1, 1, 1];
+        assert!(stats_for(&k, &labels, 1)[0].is_nan());
+        assert!(welch_t(&row, &labels).is_nan());
+    }
+
+    #[test]
+    fn degenerate_group_sizes_give_nan() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let k = FastKernel::build(&m, TestMethod::T).unwrap();
+        // One group-1 column: t undefined.
+        assert!(stats_for(&k, &[0, 0, 0, 1], 1)[0].is_nan());
+        // Wilcoxon allows 1 but not 0.
+        let kw = FastKernel::build(&m, TestMethod::Wilcoxon).unwrap();
+        assert!(stats_for(&kw, &[0, 0, 0, 0], 1)[0].is_nan());
+        assert!(stats_for(&kw, &[0, 0, 0, 1], 1)[0].is_finite());
+    }
+
+    #[test]
+    fn pivot_shift_keeps_large_offsets_stable() {
+        // The cached moments inherit the scalar path's pivot-shift safety:
+        // data at offset 1e8 still produces an accurate t.
+        let base = 1.0e8;
+        let row: Vec<f64> = [1.0, 2.0, 3.0, 7.0, 8.0, 9.5]
+            .iter()
+            .map(|v| v + base)
+            .collect();
+        let centered: Vec<f64> = row.iter().map(|v| v - base).collect();
+        let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
+        let k = FastKernel::build(&m, TestMethod::T).unwrap();
+        let labels = [0u8, 0, 0, 1, 1, 1];
+        let fast = stats_for(&k, &labels, 1)[0];
+        let reference = welch_t(&centered, &labels);
+        assert!((fast - reference).abs() < 1e-9, "{fast} vs {reference}");
+    }
+}

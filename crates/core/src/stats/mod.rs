@@ -4,6 +4,7 @@
 
 pub mod block_f;
 pub mod f_stat;
+pub mod kernel;
 pub mod moments;
 pub mod pair_t;
 pub mod ranks;
@@ -147,8 +148,7 @@ mod tests {
         let prepared = prepare_matrix(&m, TestMethod::Wilcoxon, false);
         let c = StatComputer::new(TestMethod::Wilcoxon, &labels);
         let via_pipeline = c.compute(prepared.row(0), labels.as_slice());
-        let manual =
-            wilcoxon::wilcoxon_from_ranks(&ranks::midranks(m.row(0)), labels.as_slice());
+        let manual = wilcoxon::wilcoxon_from_ranks(&ranks::midranks(m.row(0)), labels.as_slice());
         assert_eq!(via_pipeline, manual);
     }
 }

@@ -98,7 +98,13 @@ mod tests {
         // over label arrangements of the same sizes.
         let ranks = midranks(&[10.0, 20.0, 30.0, 40.0]);
         let max = wilcoxon_from_ranks(&ranks, &[0, 0, 1, 1]);
-        for labels in [[0, 1, 0, 1], [0, 1, 1, 0], [1, 0, 0, 1], [1, 0, 1, 0], [1, 1, 0, 0]] {
+        for labels in [
+            [0, 1, 0, 1],
+            [0, 1, 1, 0],
+            [1, 0, 0, 1],
+            [1, 0, 1, 0],
+            [1, 1, 0, 0],
+        ] {
             assert!(wilcoxon_from_ranks(&ranks, &labels) <= max + TOL);
         }
     }

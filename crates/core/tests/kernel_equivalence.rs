@@ -1,0 +1,93 @@
+//! Property-based equivalence of the sufficient-statistic fast kernel and
+//! the scalar kernel: across random matrices, NA patterns, sides and
+//! permutation counts, the exceedance **counts** (`count_raw`/`count_adj` —
+//! the integers every p-value is built from) must be identical. The fast
+//! path is allowed ulp-level drift in the statistics themselves (absorbed by
+//! the maxT EPSILON), but never a different count.
+
+use proptest::prelude::*;
+
+use sprint_core::labels::ClassLabels;
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::{CountAccumulator, MaxTContext};
+use sprint_core::options::{KernelChoice, PmaxtOptions, TestMethod};
+use sprint_core::perm::build_generator;
+use sprint_core::side::Side;
+use sprint_core::stats::prepare_matrix;
+
+/// A random two-class dataset: genes×(n0+n1) values in a range that
+/// stresses cancellation (means far from zero), plus an independent NA mask
+/// sprinkled over the cells.
+fn dataset() -> impl Strategy<Value = (usize, usize, usize, Vec<f64>, Vec<bool>, u8, u8, u64)> {
+    (2usize..6, 2usize..5, 2usize..5).prop_flat_map(|(genes, n0, n1)| {
+        let cells = genes * (n0 + n1);
+        (
+            Just(genes),
+            Just(n0),
+            Just(n1),
+            proptest::collection::vec(-50.0f64..150.0, cells),
+            proptest::collection::vec(proptest::bool::weighted(0.12), cells),
+            0u8..3,    // side selector
+            0u8..3,    // method selector
+            16u64..80, // permutation count
+        )
+    })
+}
+
+fn accumulate_with(
+    prepared: &Matrix,
+    labels: &ClassLabels,
+    opts: &PmaxtOptions,
+    b: u64,
+    kernel: KernelChoice,
+) -> (bool, CountAccumulator) {
+    let ctx = MaxTContext::with_kernel(prepared, labels, opts.test, opts.side, kernel);
+    let mut gen = build_generator(labels, opts, b).unwrap();
+    let mut acc = CountAccumulator::new(prepared.rows());
+    ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+    (ctx.uses_fast_kernel(), acc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_and_scalar_counts_are_identical(
+        (genes, n0, n1, mut values, na_mask, side_sel, method_sel, b) in dataset()
+    ) {
+        for (v, &is_na) in values.iter_mut().zip(&na_mask) {
+            if is_na {
+                *v = f64::NAN;
+            }
+        }
+        let cols = n0 + n1;
+        let method = [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon]
+            [method_sel as usize];
+        let side = [Side::Abs, Side::Upper, Side::Lower][side_sel as usize];
+        let m = Matrix::from_vec(genes, cols, values).unwrap();
+        let mut raw_labels = vec![0u8; n0];
+        raw_labels.extend(std::iter::repeat_n(1u8, n1));
+        let labels = ClassLabels::new(raw_labels, method).unwrap();
+        let opts = PmaxtOptions::default()
+            .test(method)
+            .side(side)
+            .permutations(b);
+        let prepared = prepare_matrix(&m, method, false);
+
+        let (_, scalar) =
+            accumulate_with(&prepared, &labels, &opts, b, KernelChoice::Scalar);
+        let (fast_active, fast) =
+            accumulate_with(&prepared, &labels, &opts, b, KernelChoice::Fast);
+
+        // Unless every row drew an NA, the fast kernel must actually engage —
+        // otherwise this test silently degrades to scalar-vs-scalar.
+        let all_rows_na = (0..genes).all(|g| prepared.row(g).iter().any(|v| v.is_nan()));
+        prop_assert_eq!(fast_active, !all_rows_na);
+
+        prop_assert_eq!(&scalar.count_raw, &fast.count_raw,
+            "raw counts differ: {method:?} {side:?} B={b}");
+        prop_assert_eq!(&scalar.count_adj, &fast.count_adj,
+            "adjusted counts differ: {method:?} {side:?} B={b}");
+        prop_assert_eq!(scalar.n_perm, fast.n_perm);
+    }
+}

@@ -83,12 +83,7 @@ mod tests {
 
     #[test]
     fn all_nan_rows_are_dropped() {
-        let m = Matrix::from_vec(
-            2,
-            2,
-            vec![f64::NAN, f64::NAN, 5.0, 6.0],
-        )
-        .unwrap();
+        let m = Matrix::from_vec(2, 2, vec![f64::NAN, f64::NAN, 5.0, 6.0]).unwrap();
         let r = filter_non_expressed(&m, 0.0, 0.0);
         assert_eq!(r.kept, vec![1]);
     }

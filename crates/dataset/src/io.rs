@@ -59,8 +59,9 @@ pub fn read_dataset(path: &Path) -> io::Result<(Matrix, Vec<u8>)> {
     }
     let labels: Vec<u8> = parts
         .map(|p| {
-            p.parse::<u8>()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad label {p:?}: {e}")))
+            p.parse::<u8>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad label {p:?}: {e}"))
+            })
         })
         .collect::<io::Result<_>>()?;
     let cols = labels.len();
@@ -77,7 +78,10 @@ pub fn read_dataset(path: &Path) -> io::Result<(Matrix, Vec<u8>)> {
                 f64::NAN
             } else {
                 cell.parse::<f64>().map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, format!("bad value {cell:?}: {e}"))
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad value {cell:?}: {e}"),
+                    )
                 })?
             };
             values.push(v);
@@ -108,12 +112,8 @@ mod tests {
 
     #[test]
     fn round_trip_exact() {
-        let m = Matrix::from_vec(
-            2,
-            3,
-            vec![1.5, -2.25e-17, 8.0, f64::NAN, 0.1 + 0.2, 6.0],
-        )
-        .unwrap();
+        let m =
+            Matrix::from_vec(2, 3, vec![1.5, -2.25e-17, 8.0, f64::NAN, 0.1 + 0.2, 6.0]).unwrap();
         let labels = vec![0u8, 0, 1];
         let path = tmp("roundtrip.tsv");
         write_dataset(&path, &m, &labels).unwrap();
@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn synthetic_round_trip() {
         use crate::synth::SynthConfig;
-        let ds = SynthConfig::two_class(30, 4, 4).na_rate(0.05).seed(5).generate();
+        let ds = SynthConfig::two_class(30, 4, 4)
+            .na_rate(0.05)
+            .seed(5)
+            .generate();
         let path = tmp("synth.tsv");
         write_dataset(&path, &ds.matrix, &ds.labels).unwrap();
         let (m2, l2) = read_dataset(&path).unwrap();

@@ -148,11 +148,11 @@ mod tests {
         let mut m = Matrix::from_vec(4, 2, vec![5.0, 1.0, 1.0, 9.0, 9.0, 4.0, 2.0, 2.0]).unwrap();
         let before: Vec<Vec<f64>> = (0..2).map(|c| column(&m, c)).collect();
         quantile_normalize(&mut m);
-        for c in 0..2 {
+        for (c, before_col) in before.iter().enumerate() {
             let after = column(&m, c);
             for i in 0..4 {
                 for j in 0..4 {
-                    if before[c][i] < before[c][j] {
+                    if before_col[i] < before_col[j] {
                         assert!(after[i] <= after[j] + 1e-12, "order violated in col {c}");
                     }
                 }
@@ -193,8 +193,8 @@ mod tests {
             let mut sum = 0.0;
             let mut n = 0usize;
             for r in 0..m.rows() {
-                for c in 0..10 {
-                    if batch_of[c] == batch {
+                for (c, &b) in batch_of.iter().enumerate() {
+                    if b == batch {
                         sum += m.get(r, c);
                         n += 1;
                     }
@@ -203,20 +203,14 @@ mod tests {
             sum / n as f64
         };
         let gap_before = batch_mean(&shifted, 1) - batch_mean(&shifted, 0);
-        let gap_after =
-            batch_mean(&normalized_shifted, 1) - batch_mean(&normalized_shifted, 0);
+        let gap_after = batch_mean(&normalized_shifted, 1) - batch_mean(&normalized_shifted, 0);
         assert!(gap_before > 2.9, "injected gap {gap_before}");
         assert!(gap_after.abs() < 0.05, "residual batch gap {gap_after}");
     }
 
     #[test]
     fn missing_cells_stay_missing() {
-        let mut m = Matrix::from_vec(
-            3,
-            2,
-            vec![1.0, 4.0, f64::NAN, 5.0, 3.0, 6.0],
-        )
-        .unwrap();
+        let mut m = Matrix::from_vec(3, 2, vec![1.0, 4.0, f64::NAN, 5.0, 3.0, 6.0]).unwrap();
         quantile_normalize(&mut m);
         assert!(m.get(1, 0).is_nan());
         assert_eq!(m.na_count(), 1);

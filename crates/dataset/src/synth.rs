@@ -102,11 +102,11 @@ impl SynthConfig {
 
         let mut data = Vec::with_capacity(self.genes * cols);
         let mut unit_effects = vec![0.0f64; n_units];
-        for g in 0..self.genes {
+        for (g, &planted) in truth.iter().enumerate() {
             let baseline = normal(&mut rng, self.baseline_mean, self.baseline_sd);
             let sd = normal(&mut rng, self.noise_sd, self.noise_sd / 2.0).abs() + 0.05;
             // Alternate up/down regulation across planted genes.
-            let effect = if truth[g] {
+            let effect = if planted {
                 if g % 2 == 0 {
                     self.effect_size
                 } else {
@@ -258,7 +258,7 @@ mod tests {
         };
         let within = corr(0, 1); // same pair
         let c_across = corr(0, 2); // different pairs
-        // Baseline variance dominates both, but within-pair must be higher.
+                                   // Baseline variance dominates both, but within-pair must be higher.
         assert!(
             within > c_across + 0.01,
             "within {within}, across {c_across}"

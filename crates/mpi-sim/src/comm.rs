@@ -123,7 +123,11 @@ impl Communicator {
 
     /// Send `value` to rank `dst` with a user `tag` (must not set the top bit).
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) -> CommResult<()> {
-        assert_eq!(tag & COLL_BIT, 0, "user tags must not set the collective bit");
+        assert_eq!(
+            tag & COLL_BIT,
+            0,
+            "user tags must not set the collective bit"
+        );
         self.send_tagged(dst, tag, value)
     }
 
@@ -138,7 +142,11 @@ impl Communicator {
     /// Receive a `T` from rank `src` with the given user `tag`, blocking until
     /// it arrives. Messages from `src` with other tags are buffered.
     pub fn recv<T: 'static>(&self, src: usize, tag: u64) -> CommResult<T> {
-        assert_eq!(tag & COLL_BIT, 0, "user tags must not set the collective bit");
+        assert_eq!(
+            tag & COLL_BIT,
+            0,
+            "user tags must not set the collective bit"
+        );
         self.recv_tagged(src, tag)
     }
 
@@ -196,11 +204,7 @@ impl Communicator {
 
     /// Binomial-tree broadcast from `root`. The root passes `Some(value)`,
     /// everyone else `None`; all ranks return the value.
-    pub fn bcast<T: Clone + Send + 'static>(
-        &self,
-        root: usize,
-        value: Option<T>,
-    ) -> CommResult<T> {
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> CommResult<T> {
         self.check_rank(root)?;
         let tag = self.next_coll_tag(CollKind::Bcast);
         let vr = (self.rank + self.size - root) % self.size; // virtual rank, root at 0
@@ -241,9 +245,9 @@ impl Communicator {
         if self.rank == root {
             let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv_tagged::<T>(src, tag)?);
+                    *slot = Some(self.recv_tagged::<T>(src, tag)?);
                 }
             }
             Ok(Some(out.into_iter().map(Option::unwrap).collect()))
@@ -304,11 +308,7 @@ impl Communicator {
 
     /// Flat scatter from `root`: the root supplies one `T` per rank (in rank
     /// order); every rank returns its element.
-    pub fn scatter<T: Send + 'static>(
-        &self,
-        root: usize,
-        values: Option<Vec<T>>,
-    ) -> CommResult<T> {
+    pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> CommResult<T> {
         self.check_rank(root)?;
         let tag = self.next_coll_tag(CollKind::Scatter);
         if self.rank == root {
@@ -352,7 +352,10 @@ impl Communicator {
                 out[recv_origin] = Some(received);
             }
         }
-        Ok(out.into_iter().map(|o| o.expect("all pieces gathered")).collect())
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("all pieces gathered"))
+            .collect())
     }
 
     /// All-to-all personalized exchange: rank `i` supplies one `T` per rank;
@@ -370,12 +373,15 @@ impl Communicator {
                 self.send_tagged(dst, tag, v)?;
             }
         }
-        for src in 0..self.size {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
-                out[src] = Some(self.recv_tagged::<T>(src, tag)?);
+                *slot = Some(self.recv_tagged::<T>(src, tag)?);
             }
         }
-        Ok(out.into_iter().map(|o| o.expect("piece received")).collect())
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("piece received"))
+            .collect())
     }
 
     /// Combined send-to-`dst` / receive-from-`src` with the same tag, as
@@ -557,8 +563,12 @@ mod tests {
     #[test]
     fn successive_collectives_do_not_cross_talk() {
         let out = Universe::run(3, |c| {
-            let a = c.bcast(0, if c.is_master() { Some(1u8) } else { None }).unwrap();
-            let b = c.bcast(1, if c.rank() == 1 { Some(2u8) } else { None }).unwrap();
+            let a = c
+                .bcast(0, if c.is_master() { Some(1u8) } else { None })
+                .unwrap();
+            let b = c
+                .bcast(1, if c.rank() == 1 { Some(2u8) } else { None })
+                .unwrap();
             let s = c.allreduce(1u32, |x, y| x + y).unwrap();
             (a, b, s)
         })
@@ -713,8 +723,7 @@ mod extended_coll_tests {
         for size in [1usize, 2, 4, 6] {
             let out = Universe::run(size, |c| {
                 // Rank i sends (i, j) to rank j.
-                let values: Vec<(usize, usize)> =
-                    (0..c.size()).map(|j| (c.rank(), j)).collect();
+                let values: Vec<(usize, usize)> = (0..c.size()).map(|j| (c.rank(), j)).collect();
                 c.alltoall(values).unwrap()
             })
             .unwrap();

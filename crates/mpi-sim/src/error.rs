@@ -36,10 +36,16 @@ impl fmt::Display for CommError {
                 write!(f, "peer rank {peer} disconnected")
             }
             CommError::TypeMismatch { src, tag } => {
-                write!(f, "payload type mismatch on message from rank {src} tag {tag}")
+                write!(
+                    f,
+                    "payload type mismatch on message from rank {src} tag {tag}"
+                )
             }
             CommError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
         }
     }

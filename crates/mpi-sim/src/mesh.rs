@@ -21,10 +21,12 @@ pub(crate) struct Endpoints {
 pub(crate) fn build_mesh(size: usize) -> Vec<Endpoints> {
     assert!(size > 0, "universe must have at least one rank");
     // txs[s][d] sends from s to d; rxs[d][s] receives at d from s.
-    let mut txs: Vec<Vec<Option<Sender<Envelope>>>> =
-        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
-    let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> =
-        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    let mut txs: Vec<Vec<Option<Sender<Envelope>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
+    let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
     for (s, row) in txs.iter_mut().enumerate() {
         for (d, slot) in row.iter_mut().enumerate() {
             let (tx, rx) = unbounded();
@@ -75,7 +77,10 @@ mod tests {
     fn self_loop_works() {
         let eps = build_mesh(1);
         eps[0].senders[0].send(Envelope::new(1, 9i64)).unwrap();
-        assert_eq!(eps[0].receivers[0].recv().unwrap().open::<i64>().unwrap(), 9);
+        assert_eq!(
+            eps[0].receivers[0].recv().unwrap().open::<i64>().unwrap(),
+            9
+        );
     }
 
     #[test]

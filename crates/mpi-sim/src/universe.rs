@@ -120,10 +120,8 @@ mod tests {
     #[test]
     fn many_ranks_oversubscribe_cores() {
         // More ranks than cores must still complete (threads block on recv).
-        let out = Universe::run(32, |c| {
-            c.allreduce(c.rank() as u64, |a, b| a + b).unwrap()
-        })
-        .unwrap();
+        let out =
+            Universe::run(32, |c| c.allreduce(c.rank() as u64, |a, b| a + b).unwrap()).unwrap();
         assert!(out.iter().all(|&v| v == (0..32).sum::<u64>()));
     }
 }

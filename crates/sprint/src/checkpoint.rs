@@ -92,9 +92,8 @@ pub fn load(path: &Path) -> io::Result<Option<CheckpointState>> {
     };
     let mut lines = io::BufReader::new(file).lines();
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    let mut next_line = || -> io::Result<String> {
-        lines.next().ok_or_else(|| bad("truncated checkpoint"))?
-    };
+    let mut next_line =
+        || -> io::Result<String> { lines.next().ok_or_else(|| bad("truncated checkpoint"))? };
     if next_line()? != "pmaxt-checkpoint-v1" {
         return Err(bad("bad magic"));
     }
@@ -182,7 +181,7 @@ pub fn run_with_checkpoints(
     let digest = digest_run(data, classlabel, opts);
     let b = resolve_permutation_count(&labels, opts)?;
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+    let ctx = MaxTContext::with_kernel(&prepared, &labels, opts.test, opts.side, opts.kernel);
     let mut gen = build_generator(&labels, opts, b)?;
     let mut acc = CountAccumulator::new(data.rows());
 
@@ -256,8 +255,7 @@ mod tests {
         let (data, labels) = data_and_labels();
         let opts = PmaxtOptions::default().permutations(50);
         let path = tmp("uninterrupted");
-        let (result, info) =
-            run_with_checkpoints(&data, &labels, &opts, &path, 7, None).unwrap();
+        let (result, info) = run_with_checkpoints(&data, &labels, &opts, &path, 7, None).unwrap();
         let direct = mt_maxt(&data, &labels, &opts).unwrap();
         assert_eq!(result.unwrap(), direct);
         assert_eq!(info.resumed_from, 0);

@@ -67,8 +67,7 @@ pub fn call_pmaxt(
     opts: &PmaxtOptions,
 ) -> MaxTResult {
     master.stage(PMAXT_INPUT_KEY, data);
-    let args = marshal::options_to_args(opts)
-        .with("classlabel", Value::Bytes(classlabel.to_vec()));
+    let args = marshal::options_to_args(opts).with("classlabel", Value::Bytes(classlabel.to_vec()));
     *master
         .call("pmaxt", args)
         .downcast::<MaxTResult>()

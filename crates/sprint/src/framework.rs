@@ -159,7 +159,10 @@ mod tests {
         reg.register("scale", |ctx, args| {
             let factor = args.get("factor").and_then(Value::as_int).unwrap_or(1);
             let local = (ctx.comm.rank() as i64 + 1) * factor;
-            let total = ctx.comm.reduce(MASTER, local, |a, b| a + b).expect("reduce");
+            let total = ctx
+                .comm
+                .reduce(MASTER, local, |a, b| a + b)
+                .expect("reduce");
             total.map(|t| Box::new(t) as Box<dyn Any + Send>)
         });
         reg

@@ -14,7 +14,7 @@
 //!
 //! The `marshal_ablation` bench quantifies the difference.
 
-use sprint_core::options::{PmaxtOptions, SamplingMode, TestMethod};
+use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
 use sprint_core::side::Side;
 
 use crate::args::{Args, Value};
@@ -52,6 +52,10 @@ const CODED_STRINGS: &[&str] = &[
     "lower",
     "y",
     "n",
+    // Kernel choices (appended — existing codes must stay stable on the wire).
+    "auto",
+    "scalar",
+    "fast",
 ];
 
 fn push_u64(out: &mut Vec<u8>, v: u64) {
@@ -181,7 +185,8 @@ pub fn options_to_args(opts: &PmaxtOptions) -> Args {
             Value::Str(if opts.nonpara { "y" } else { "n" }.to_string()),
         )
         .with("seed", Value::Int(opts.seed as i64))
-        .with("max.complete", Value::Int(opts.max_complete as i64));
+        .with("max.complete", Value::Int(opts.max_complete as i64))
+        .with("kernel", Value::Str(opts.kernel.as_str().to_string()));
     if let Some(na) = opts.na {
         args.set("na", Value::Float(na));
     }
@@ -211,6 +216,9 @@ pub fn args_to_options(args: &Args) -> sprint_core::error::Result<PmaxtOptions> 
     }
     if let Some(v) = args.get("max.complete") {
         opts.max_complete = v.as_int().unwrap_or(0) as u64;
+    }
+    if let Some(v) = args.get("kernel") {
+        opts.kernel = KernelChoice::parse(v.as_str().unwrap_or_default())?;
     }
     if let Some(v) = args.get("na") {
         opts.na = v.as_float();

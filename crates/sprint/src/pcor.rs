@@ -144,7 +144,10 @@ pub fn register_pcor(registry: &mut Registry) -> u32 {
 pub fn call_pcor(master: &Master<'_>, data: Matrix) -> Vec<f64> {
     master.stage(PCOR_INPUT_KEY, data);
     *master
-        .call("pcor", crate::args::Args::new().with("use", Value::Str("pairwise".into())))
+        .call(
+            "pcor",
+            crate::args::Args::new().with("use", Value::Str("pairwise".into())),
+        )
         .downcast::<Vec<f64>>()
         .expect("pcor returns the correlation matrix")
 }
@@ -213,8 +216,8 @@ mod tests {
                 let mut covered = vec![0u32; rows];
                 for rank in 0..size {
                     let (start, len) = row_block(rows, size, rank);
-                    for r in start..start + len {
-                        covered[r] += 1;
+                    for slot in covered.iter_mut().skip(start).take(len) {
+                        *slot += 1;
                     }
                 }
                 assert!(covered.iter().all(|&c| c == 1), "rows={rows} size={size}");

@@ -23,7 +23,11 @@ fn main() {
     // differently balanced adjustments.
     let maxt = mt_maxt(&ds.matrix, &ds.labels, &opts).expect("maxT");
     let minp = mt_minp(&ds.matrix, &ds.labels, &opts, None).expect("minP");
-    println!("maxT vs minP on {} genes (B = {}):", ds.matrix.rows(), opts.b);
+    println!(
+        "maxT vs minP on {} genes (B = {}):",
+        ds.matrix.rows(),
+        opts.b
+    );
     println!(
         "{:>6} {:>10} {:>9} {:>11} {:>11} {:>8}",
         "gene", "teststat", "rawp", "adjp(maxT)", "adjp(minP)", "planted"
@@ -45,7 +49,10 @@ fn main() {
         .zip(&minp.rawp)
         .filter(|(a, b)| (*a - *b).abs() < 1e-12)
         .count();
-    println!("raw p-values agree on {agree}/{} genes (identical by definition)\n", ds.matrix.rows());
+    println!(
+        "raw p-values agree on {agree}/{} genes (identical by definition)\n",
+        ds.matrix.rows()
+    );
 
     // Sequential early stopping: same answer for the boring genes at a
     // fraction of the permutations.

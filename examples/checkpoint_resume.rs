@@ -22,15 +22,9 @@ fn main() {
     );
 
     // Session 1: process 3500 permutations, then "crash".
-    let (partial, info) = run_with_checkpoints(
-        &ds.matrix,
-        &ds.labels,
-        &opts,
-        &path,
-        1_000,
-        Some(3_500),
-    )
-    .expect("session 1");
+    let (partial, info) =
+        run_with_checkpoints(&ds.matrix, &ds.labels, &opts, &path, 1_000, Some(3_500))
+            .expect("session 1");
     assert!(partial.is_none());
     println!(
         "session 1: processed 3500 permutations, wrote {} checkpoints, then 'crashed'",

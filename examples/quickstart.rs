@@ -46,12 +46,13 @@ fn main() {
         parallel.result, serial,
         "pmaxT reproduces mt.maxT bit-for-bit"
     );
-    println!(
-        "serial {serial_time:?}, parallel(4 ranks) {parallel_time:?} — results identical\n"
-    );
+    println!("serial {serial_time:?}, parallel(4 ranks) {parallel_time:?} — results identical\n");
 
     println!("top 10 genes by adjusted p-value (the mt.maxT data frame):");
-    println!("{:>6} {:>10} {:>9} {:>9} {:>8}", "index", "teststat", "rawp", "adjp", "planted");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>8}",
+        "index", "teststat", "rawp", "adjp", "planted"
+    );
     for row in serial.by_significance().take(10) {
         println!(
             "{:>6} {:>10.4} {:>9.5} {:>9.5} {:>8}",
@@ -59,7 +60,11 @@ fn main() {
             row.teststat,
             row.rawp,
             row.adjp,
-            if dataset.truth[row.index] { "yes" } else { "no" }
+            if dataset.truth[row.index] {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 

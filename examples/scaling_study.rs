@@ -53,18 +53,27 @@ fn main() {
         opts.b
     );
     let reference = mt_maxt(&ds.matrix, &ds.labels, &opts).expect("serial");
-    println!("{:>6} {:>12} {:>10} {:>12}", "ranks", "kernel(s)", "total(s)", "identical?");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12}",
+        "ranks", "kernel(s)", "total(s)", "identical?"
+    );
     for ranks in [1usize, 2, 3, 4, 6, 8] {
         let t0 = std::time::Instant::now();
         let run = pmaxt(&ds.matrix, &ds.labels, &opts, ranks).expect("parallel");
         let total = t0.elapsed().as_secs_f64();
-        let kernel = run.profile.seconds(sprint_core::pmaxt::sections::MAIN_KERNEL);
+        let kernel = run
+            .profile
+            .seconds(sprint_core::pmaxt::sections::MAIN_KERNEL);
         println!(
             "{:>6} {:>12.3} {:>10.3} {:>12}",
             ranks,
             kernel,
             total,
-            if run.result == reference { "yes" } else { "NO!" }
+            if run.result == reference {
+                "yes"
+            } else {
+                "NO!"
+            }
         );
         assert_eq!(run.result, reference);
     }

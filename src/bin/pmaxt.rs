@@ -24,7 +24,7 @@ use microarray::io::{read_dataset, write_dataset};
 use microarray::prelude::*;
 use sprint_core::maxt::minp::pminp;
 use sprint_core::maxt::MaxTResult;
-use sprint_core::options::{PmaxtOptions, SamplingMode, TestMethod};
+use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
 use sprint_core::pmaxt::pmaxt;
 use sprint_core::side::Side;
 
@@ -53,7 +53,7 @@ struct GenerateConfig {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]"
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast] [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]"
 }
 
 fn parse_run(args: &[String]) -> Result<RunConfig, String> {
@@ -69,7 +69,9 @@ fn parse_run(args: &[String]) -> Result<RunConfig, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
-            "--test" => opts.test = TestMethod::parse(take("--test")?).map_err(|e| e.to_string())?,
+            "--test" => {
+                opts.test = TestMethod::parse(take("--test")?).map_err(|e| e.to_string())?
+            }
             "--side" => opts.side = Side::parse(take("--side")?).map_err(|e| e.to_string())?,
             "--fixed-seed" => {
                 opts.sampling =
@@ -80,17 +82,32 @@ fn parse_run(args: &[String]) -> Result<RunConfig, String> {
             }
             "--nonpara" => opts.nonpara = take("--nonpara")? == "y",
             "--na" => {
-                opts.na = Some(take("--na")?.parse().map_err(|e| format!("bad --na: {e}"))?)
+                opts.na = Some(
+                    take("--na")?
+                        .parse()
+                        .map_err(|e| format!("bad --na: {e}"))?,
+                )
             }
             "--seed" => {
-                opts.seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--ranks" => {
-                ranks = take("--ranks")?.parse().map_err(|e| format!("bad --ranks: {e}"))?
+                ranks = take("--ranks")?
+                    .parse()
+                    .map_err(|e| format!("bad --ranks: {e}"))?
+            }
+            "--kernel" => {
+                opts.kernel = KernelChoice::parse(take("--kernel")?).map_err(|e| e.to_string())?
             }
             "--minp" => minp = true,
             "--out" => out = Some(PathBuf::from(take("--out")?)),
-            "--top" => top = take("--top")?.parse().map_err(|e| format!("bad --top: {e}"))?,
+            "--top" => {
+                top = take("--top")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?
+            }
             other if !other.starts_with('-') && input.is_none() => {
                 input = Some(PathBuf::from(other))
             }
@@ -191,7 +208,10 @@ fn cmd_run(cfg: &RunConfig) -> Result<(), String> {
         result.b_used,
         t0.elapsed()
     );
-    println!("{:>6} {:>12} {:>9} {:>9}", "index", "teststat", "rawp", "adjp");
+    println!(
+        "{:>6} {:>12} {:>9} {:>9}",
+        "index", "teststat", "rawp", "adjp"
+    );
     for row in result.by_significance().take(cfg.top) {
         println!(
             "{:>6} {:>12.4} {:>9.5} {:>9.5}",
@@ -261,12 +281,34 @@ mod tests {
     #[test]
     fn parse_run_full_flags() {
         let cfg = parse_run(&strs(&[
-            "d.tsv", "--test", "wilcoxon", "--side", "upper", "--fixed-seed", "n", "-B", "500",
-            "--nonpara", "y", "--na", "-999", "--seed", "7", "--ranks", "4", "--minp", "--out",
-            "r.tsv", "--top", "25",
+            "d.tsv",
+            "--test",
+            "wilcoxon",
+            "--side",
+            "upper",
+            "--fixed-seed",
+            "n",
+            "-B",
+            "500",
+            "--nonpara",
+            "y",
+            "--na",
+            "-999",
+            "--seed",
+            "7",
+            "--ranks",
+            "4",
+            "--minp",
+            "--kernel",
+            "scalar",
+            "--out",
+            "r.tsv",
+            "--top",
+            "25",
         ]))
         .unwrap();
         assert_eq!(cfg.opts.test, TestMethod::Wilcoxon);
+        assert_eq!(cfg.opts.kernel, KernelChoice::Scalar);
         assert_eq!(cfg.opts.side, Side::Upper);
         assert_eq!(cfg.opts.sampling, SamplingMode::Stored);
         assert_eq!(cfg.opts.b, 500);
@@ -290,8 +332,21 @@ mod tests {
     #[test]
     fn parse_generate_round_trip() {
         let cfg = parse_generate(&strs(&[
-            "out.tsv", "--genes", "100", "--n0", "5", "--n1", "6", "--diff", "0.2", "--effect",
-            "3.0", "--na-rate", "0.1", "--seed", "9",
+            "out.tsv",
+            "--genes",
+            "100",
+            "--n0",
+            "5",
+            "--n1",
+            "6",
+            "--diff",
+            "0.2",
+            "--effect",
+            "3.0",
+            "--na-rate",
+            "0.1",
+            "--seed",
+            "9",
         ]))
         .unwrap();
         assert_eq!(cfg.genes, 100);

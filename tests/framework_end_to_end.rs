@@ -70,8 +70,7 @@ fn checkpointed_run_agrees_with_framework_run() {
 
     // Interrupted + resumed checkpoint run.
     let path = tmp("agree.ckpt");
-    let (p1, _) =
-        run_with_checkpoints(&ds.matrix, &ds.labels, &opts, &path, 25, Some(60)).unwrap();
+    let (p1, _) = run_with_checkpoints(&ds.matrix, &ds.labels, &opts, &path, 25, Some(60)).unwrap();
     assert!(p1.is_none());
     let (p2, info) = run_with_checkpoints(&ds.matrix, &ds.labels, &opts, &path, 25, None).unwrap();
     assert_eq!(info.resumed_from, 60);

@@ -8,7 +8,7 @@ use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
 use sprint_core::maxt::serial::mt_maxt;
 use sprint_core::maxt::EPSILON;
-use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_core::options::{KernelChoice, PmaxtOptions, TestMethod};
 use sprint_core::perm::iter::Permutations;
 use sprint_core::perm::{build_generator, resolve_permutation_count};
 use sprint_core::side::Side;
@@ -19,11 +19,7 @@ use sprint_core::stats::{prepare_matrix, StatComputer};
 /// 2. order genes by decreasing observed score;
 /// 3. `adjp(s_i) = (1/B) Σ_b 1[ max_{j ≥ i} z_{s_j, b} ≥ z_{s_i, obs} ]`;
 /// 4. enforce monotonicity.
-fn oracle_maxt(
-    data: &Matrix,
-    classlabel: &[u8],
-    opts: &PmaxtOptions,
-) -> (Vec<f64>, Vec<f64>) {
+fn oracle_maxt(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> (Vec<f64>, Vec<f64>) {
     let labels = ClassLabels::new(classlabel.to_vec(), opts.test).unwrap();
     let b = resolve_permutation_count(&labels, opts).unwrap();
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
@@ -31,14 +27,12 @@ fn oracle_maxt(
     let genes = data.rows();
 
     // Full score matrix, the naive way.
-    let perms: Vec<Vec<u8>> = Permutations::new(
-        build_generator(&labels, opts, b).unwrap(),
-        data.cols(),
-    )
-    .collect();
+    let perms: Vec<Vec<u8>> =
+        Permutations::new(build_generator(&labels, opts, b).unwrap(), data.cols()).collect();
     assert_eq!(perms.len(), b as usize);
     let score = |g: usize, arrangement: &[u8]| -> f64 {
-        opts.side.score(computer.compute(prepared.row(g), arrangement))
+        opts.side
+            .score(computer.compute(prepared.row(g), arrangement))
     };
     let z: Vec<Vec<f64>> = (0..genes)
         .map(|g| perms.iter().map(|p| score(g, p)).collect())
@@ -66,16 +60,15 @@ fn oracle_maxt(
     let mut adj_ordered = vec![0.0f64; genes];
     for (i, slot) in adj_ordered.iter_mut().enumerate() {
         let obs = z[order[i]][0];
-        let mut count = 0usize;
-        for bi in 0..b as usize {
-            let tail_max = order[i..]
-                .iter()
-                .map(|&g| z[g][bi])
-                .fold(f64::NEG_INFINITY, f64::max);
-            if tail_max >= obs - EPSILON {
-                count += 1;
-            }
-        }
+        let count = (0..b as usize)
+            .filter(|&bi| {
+                let tail_max = order[i..]
+                    .iter()
+                    .map(|&g| z[g][bi])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                tail_max >= obs - EPSILON
+            })
+            .count();
         *slot = count as f64 / b as f64;
     }
     for i in 1..genes {
@@ -124,7 +117,10 @@ fn oracle_agrees_on_complete_two_sample() {
     let labels = vec![0u8, 0, 0, 1, 1, 1];
     for side in [Side::Abs, Side::Upper, Side::Lower] {
         for method in [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon] {
-            let opts = PmaxtOptions::default().test(method).side(side).permutations(0);
+            let opts = PmaxtOptions::default()
+                .test(method)
+                .side(side)
+                .permutations(0);
             compare_against_oracle(&data, &labels, &opts);
         }
     }
@@ -143,11 +139,15 @@ fn oracle_agrees_on_complete_paired_and_block() {
     )
     .unwrap();
     let paired_labels = vec![0u8, 1, 0, 1, 0, 1, 0, 1];
-    let opts = PmaxtOptions::default().test(TestMethod::PairT).permutations(0);
+    let opts = PmaxtOptions::default()
+        .test(TestMethod::PairT)
+        .permutations(0);
     compare_against_oracle(&data, &paired_labels, &opts); // 2^4 = 16 perms
 
     let block_labels = vec![0u8, 1, 1, 0, 0, 1, 1, 0];
-    let opts = PmaxtOptions::default().test(TestMethod::BlockF).permutations(0);
+    let opts = PmaxtOptions::default()
+        .test(TestMethod::BlockF)
+        .permutations(0);
     compare_against_oracle(&data, &block_labels, &opts); // (2!)^4 = 16 perms
 }
 
@@ -167,6 +167,59 @@ fn oracle_agrees_on_complete_multiclass_f() {
     // 6!/(2!2!2!) = 90 complete arrangements.
     let opts = PmaxtOptions::default().test(TestMethod::F).permutations(0);
     compare_against_oracle(&data, &labels, &opts);
+}
+
+#[test]
+fn oracle_agrees_with_both_kernels_explicitly() {
+    // The oracle computes its score matrix with the scalar `StatComputer`
+    // only; running `mt_maxt` once per explicit kernel choice pins the
+    // sufficient-statistic fast path against that independent reference to
+    // 1e-12, not merely against the scalar path. NA rows force the mixed
+    // fast/scalar dispatch inside a single run.
+    let data = Matrix::from_vec(
+        4,
+        6,
+        vec![
+            1.0,
+            2.0,
+            1.5,
+            9.0,
+            10.0,
+            9.5, // clean strong
+            5.0,
+            f64::NAN,
+            6.0,
+            5.5,
+            4.5,
+            5.2, // NA → scalar fallback row
+            2.0,
+            8.0,
+            3.0,
+            7.0,
+            2.5,
+            7.5, // clean noisy
+            3.0,
+            3.0,
+            3.0,
+            3.0,
+            3.0,
+            3.0, // constant (NaN statistic)
+        ],
+    )
+    .unwrap();
+    let labels = vec![0u8, 0, 0, 1, 1, 1];
+    for kernel in [KernelChoice::Scalar, KernelChoice::Fast] {
+        for method in [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon] {
+            for side in [Side::Abs, Side::Upper, Side::Lower] {
+                let opts = PmaxtOptions::default()
+                    .test(method)
+                    .side(side)
+                    .kernel(kernel)
+                    .permutations(0);
+                compare_against_oracle(&data, &labels, &opts);
+            }
+        }
+    }
 }
 
 #[test]

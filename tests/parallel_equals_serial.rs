@@ -97,7 +97,10 @@ fn awkward_b_values_and_rank_combinations() {
 
 #[test]
 fn nonpara_mode_parallel_agreement() {
-    let ds = SynthConfig::two_class(30, 6, 6).na_rate(0.05).seed(5_000).generate();
+    let ds = SynthConfig::two_class(30, 6, 6)
+        .na_rate(0.05)
+        .seed(5_000)
+        .generate();
     let opts = PmaxtOptions::default().permutations(60).nonpara(true);
     let serial = mt_maxt(&ds.matrix, &ds.labels, &opts).unwrap();
     let par = pmaxt(&ds.matrix, &ds.labels, &opts, 4).unwrap();

@@ -8,12 +8,12 @@ use sprint_core::prelude::*;
 /// Strategy: a small random two-class dataset plus run options.
 fn dataset_strategy() -> impl Strategy<
     Value = (
-        usize,      // genes
-        usize,      // n0
-        usize,      // n1
-        Vec<f64>,   // data
-        u64,        // B
-        u64,        // seed
+        usize,    // genes
+        usize,    // n0
+        usize,    // n1
+        Vec<f64>, // data
+        u64,      // B
+        u64,      // seed
     ),
 > {
     (2usize..8, 2usize..5, 2usize..5, 2u64..40, 0u64..1000).prop_flat_map(
@@ -31,6 +31,7 @@ fn dataset_strategy() -> impl Strategy<
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     genes: usize,
     n0: usize,

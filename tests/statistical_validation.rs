@@ -44,7 +44,12 @@ fn null_raw_p_values_are_roughly_uniform() {
         &PmaxtOptions::default().permutations(1_000),
     )
     .unwrap();
-    let mut ps: Vec<f64> = result.rawp.iter().copied().filter(|p| !p.is_nan()).collect();
+    let mut ps: Vec<f64> = result
+        .rawp
+        .iter()
+        .copied()
+        .filter(|p| !p.is_nan())
+        .collect();
     assert!(ps.len() >= 490);
     ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // Kolmogorov–Smirnov style bound: sup |F_n(p) − p| small. Gene-level
@@ -143,7 +148,12 @@ fn wilcoxon_robust_to_heavy_outliers() {
         v[g * 20] += 1.0e4; // absurd outlier in class 0
     }
     let data = Matrix::from_vec(200, 20, v).unwrap();
-    let t_res = mt_maxt(&data, &ds.labels, &PmaxtOptions::default().permutations(800)).unwrap();
+    let t_res = mt_maxt(
+        &data,
+        &ds.labels,
+        &PmaxtOptions::default().permutations(800),
+    )
+    .unwrap();
     let w_res = mt_maxt(
         &data,
         &ds.labels,
@@ -209,10 +219,7 @@ fn paired_test_beats_unpaired_under_strong_pairing() {
     };
     let p_hits = top_planted(&paired);
     let u_hits = top_planted(&unpaired);
-    assert!(
-        p_hits >= u_hits,
-        "paired {p_hits} vs unpaired {u_hits}"
-    );
+    assert!(p_hits >= u_hits, "paired {p_hits} vs unpaired {u_hits}");
     assert!(
         p_hits >= 14,
         "paired should rank most planted genes on top, found {p_hits}/20"

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `criterion_group!`/`criterion_main!`) over a plain `Instant` harness:
+//! each benchmark is auto-batched until a sample takes ≳10 ms, then
+//! `sample_size` samples are timed and the mean/min per-iteration times (and
+//! throughput when declared) are printed. No statistics beyond that — the
+//! numbers are honest wall-clock means, good enough to compare kernels on one
+//! machine, and the repo's JSON perf artifacts come from `make_tables`, not
+//! from this harness.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to print throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id with both a name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Id carrying only the parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(&name.into(), None, sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure given by name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (printing is incremental; this is a no-op bookend).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, auto-batched so one sample is long enough to measure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut F,
+) {
+    // Calibrate: grow the batch until one batch costs at least ~10 ms, so
+    // nanosecond-scale routines are not swamped by timer overhead.
+    let mut batch = 1u64;
+    loop {
+        let mut probe = Bencher {
+            batch,
+            samples: Vec::with_capacity(1),
+        };
+        f(&mut probe);
+        let elapsed = probe.samples.first().copied().unwrap_or_default();
+        if elapsed >= Duration::from_millis(10) || batch >= 1 << 20 {
+            break;
+        }
+        // At least double; overshoot toward the target using the measurement.
+        let scale = (Duration::from_millis(12).as_nanos() as u64)
+            .checked_div(elapsed.as_nanos().max(1) as u64)
+            .unwrap_or(2);
+        batch = batch.saturating_mul(scale.clamp(2, 1024)).min(1 << 20);
+    }
+
+    let mut bencher = Bencher {
+        batch,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut bencher);
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / batch as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("  {label:<40} (no samples: closure never called iter)");
+        return;
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "  {label:<40} mean {:>12}  min {:>12}{rate}",
+        fmt_time(mean),
+        fmt_time(min)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, _| b.iter(|| 0));
+        group.finish();
+    }
+
+    #[test]
+    fn id_renderings() {
+        assert_eq!(BenchmarkId::new("copy", 76).label, "copy/76");
+        assert_eq!(BenchmarkId::from_parameter(512).label, "512");
+    }
+}

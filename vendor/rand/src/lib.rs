@@ -1,0 +1,197 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors the
+//! slice of `rand` it uses: the `Rng` trait with `random_range` over float and
+//! integer ranges, `SeedableRng::seed_from_u64`, and a deterministic
+//! `rngs::StdRng`. The generator is xoshiro256** seeded via splitmix64 — a
+//! high-quality, well-published construction; it is *not* the upstream ChaCha
+//! StdRng, so streams differ from crates.io `rand`, but every consumer in this
+//! workspace only requires determinism per seed and sound distributions.
+
+use std::ops::Range;
+
+/// Types that can be sampled from uniformly over a half-open range.
+///
+/// Implemented for the primitive types this workspace draws: `f64`, `u64`,
+/// `usize`, `i64`, `u32`, `i32`.
+pub trait SampleUniform: Sized {
+    /// Draw a value uniformly from `range` using `rng`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range in random_range");
+        // 53 random bits → uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + unit * (range.end - range.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v < range.end {
+            v
+        } else {
+            range.start
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<$ty>) -> $ty {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = range.end.abs_diff(range.start) as u64;
+                // Debiased multiply-shift (Lemire); span == 0 cannot happen for
+                // a non-empty Range of these widths except the full u64 span,
+                // where abs_diff wraps to 0 — fall back to a raw draw there.
+                let draw = if span == 0 {
+                    rng.next_u64()
+                } else {
+                    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                    loop {
+                        let r = rng.next_u64();
+                        if r <= zone {
+                            break r % span;
+                        }
+                    }
+                };
+                range.start.wrapping_add(draw as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u64, usize, i64, u32, i32);
+
+/// Random number generator trait (the `rand 0.9` methods this repo uses).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// A uniformly random `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_range(self, 0.0..1.0) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Deterministic standard generator: xoshiro256** seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden xoshiro state; splitmix64
+            // cannot produce four zeros from any seed, but keep the guard.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut n = [s0, s1, s2, s3];
+            n[2] ^= n[0];
+            n[3] ^= n[1];
+            n[1] ^= n[2];
+            n[0] ^= n[3];
+            n[2] ^= t;
+            n[3] = n[3].rotate_left(45);
+            self.s = n;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_range_in_bounds_and_uses_span() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let v = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            if v < 0.0 {
+                lo_half += 1;
+            }
+        }
+        // Roughly balanced halves.
+        assert!((3_500..=6_500).contains(&lo_half), "lo_half={lo_half}");
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn works_through_unsized_ref() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynrng: &mut StdRng = &mut rng;
+        let _ = draw(dynrng);
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the slice of rayon used by this workspace — `ThreadPoolBuilder`,
+//! `ThreadPool::install`, and `slice.par_iter().map(f).collect::<Vec<_>>()` —
+//! with genuine parallelism via `std::thread::scope`. Each `map` closure runs
+//! on one of N OS threads (N = the installed pool's size, default = available
+//! parallelism), and `collect` preserves input order, so results are
+//! positionally identical to the sequential evaluation.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static CURRENT_POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; this shim never produces one, the
+/// type exists so callers can keep their `Result` handling.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count; 0 means "use available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Construct the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: it carries a thread budget that `install` makes current.
+/// Worker threads are spawned per parallel operation (scoped), not kept alive,
+/// which keeps the shim simple while preserving the degree of parallelism.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads this pool represents.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool as the ambient pool for `par_iter` calls.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        CURRENT_POOL_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+}
+
+fn ambient_threads() -> usize {
+    let n = CURRENT_POOL_THREADS.with(|c| c.get());
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Parallel-iterator adaptor over a slice (produced by `par_iter`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// `ParIter` followed by a `map`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Evaluate the map on the ambient pool's threads, preserving order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        let n = self.items.len();
+        let workers = ambient_threads().min(n).max(1);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        if workers <= 1 {
+            for (slot, item) in out.iter_mut().zip(self.items) {
+                *slot = Some((self.f)(item));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let items = self.items;
+            let f = &self.f;
+            // Hand each worker a striped view of the output slots; claims go
+            // through an atomic cursor so threads steal work, not fixed chunks.
+            let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+                out.iter_mut().map(std::sync::Mutex::new).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let value = f(&items[i]);
+                        **slots[i].lock().unwrap() = Some(value);
+                    });
+                }
+            });
+            drop(slots);
+        }
+        C::from_ordered(
+            out.into_iter()
+                .map(|slot| slot.expect("parallel map produced every slot")),
+        )
+    }
+}
+
+/// Collection types `ParMap::collect` can build.
+pub trait FromParallel<R> {
+    /// Build from results in input order.
+    fn from_ordered(iter: impl Iterator<Item = R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered(iter: impl Iterator<Item = R>) -> Self {
+        iter.collect()
+    }
+}
+
+/// Traits that give slices/Vecs the `par_iter` entry point.
+pub mod prelude {
+    use super::ParIter;
+
+    /// Conversion into a parallel iterator over `&T`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type yielded by reference.
+        type Item: Sync + 'a;
+        /// Create the parallel iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..97).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..97).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: Vec<()> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+                .collect()
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let input = vec![1, 2, 3];
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<i32> = pool.install(|| input.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn works_without_install() {
+        let input = vec![5u8, 6, 7];
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert_eq!(out, input);
+    }
+}
