@@ -1,0 +1,73 @@
+//! Thread scaling of the batched engine: the same workload driven through
+//! `maxt_with_config` at increasing thread counts and batch sizes.
+//!
+//! Results are bit-identical across every configuration (the determinism
+//! suite proves it); this bench only asks what the geometry costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use microarray::prelude::*;
+use sprint_core::prelude::*;
+
+fn bench_threads(c: &mut Criterion) {
+    let ds = SynthConfig::two_class(600, 38, 38)
+        .diff_fraction(0.05)
+        .seed(21)
+        .generate();
+    let b = 400u64;
+    let opts = PmaxtOptions::default().permutations(b);
+    let mut group = c.benchmark_group("threads_600x76_b400");
+    group.throughput(Throughput::Elements(b));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| {
+                    black_box(
+                        maxt_with_config(
+                            &ds.matrix,
+                            &ds.labels,
+                            &opts,
+                            EngineConfig::explicit(t, 0),
+                        )
+                        .unwrap()
+                        .b_used,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let ds = SynthConfig::two_class(600, 38, 38)
+        .diff_fraction(0.05)
+        .seed(21)
+        .generate();
+    let b = 400u64;
+    let opts = PmaxtOptions::default().permutations(b);
+    let mut group = c.benchmark_group("batch_600x76_b400_1thread");
+    group.throughput(Throughput::Elements(b));
+    for batch in [1usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |bench, &k| {
+            bench.iter(|| {
+                black_box(
+                    maxt_with_config(&ds.matrix, &ds.labels, &opts, EngineConfig::explicit(1, k))
+                        .unwrap()
+                        .b_used,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_threads, bench_batch
+}
+criterion_main!(benches);

@@ -8,13 +8,17 @@
 //! make_tables whatif                               efficiency/crossover/network analysis
 //! make_tables local [GENES] [B] [MAXPROCS]         real run on this machine
 //! make_tables kernel [OUT.json]                    scalar vs fast kernel grid
+//! make_tables threads [OUT.json]                   hybrid ranks x threads grid
 //! make_tables all                                  everything above
 //! ```
 
 use cluster_sim::platform::{ec2, ecdf, hector, ness, quadcore, PlatformSpec};
 use cluster_sim::{compare, figure, tables, whatif};
 use microarray::prelude::SynthConfig;
-use sprint_bench::{format_local_rows, kernel_cells_to_json, kernel_grid, local_profile_rows};
+use sprint_bench::{
+    format_local_rows, kernel_cells_to_json, kernel_grid, local_profile_rows, thread_cells_to_json,
+    thread_grid,
+};
 use sprint_core::options::{PmaxtOptions, TestMethod};
 
 fn platform_table(plat: &PlatformSpec, label: &str) {
@@ -156,6 +160,47 @@ fn run_kernel(out: Option<&str>) {
     }
 }
 
+fn run_threads(out: Option<&str>) {
+    println!("=== Hybrid scaling: simulated ranks x engine threads ===");
+    println!(
+        "(reference workload shape 6102x76; per-worker busy times measured in \
+         isolation, wall-clock modelled as the critical path — see the JSON note)"
+    );
+    let ds = SynthConfig::two_class(6_102, 38, 38)
+        .diff_fraction(0.05)
+        .seed(7)
+        .generate();
+    // B is kept moderate: per-permutation cost is what the grid compares and
+    // it does not depend on B, while 12 cells each process the full B.
+    let opts = PmaxtOptions::default().permutations(2_000);
+    let cells = thread_grid(&ds.matrix, &ds.labels, &opts, &[1, 2, 4], &[1, 2, 4, 8], 32);
+    let baseline = cells
+        .iter()
+        .find(|c| c.ranks == 1 && c.threads == 1)
+        .map_or(f64::NAN, |c| c.critical_path_secs);
+    println!(
+        "{:>6} {:>8} {:>6} {:>10} {:>14} {:>9}",
+        "ranks", "threads", "B", "busy(s)", "critical(s)", "speedup"
+    );
+    for c in &cells {
+        println!(
+            "{:>6} {:>8} {:>6} {:>10.3} {:>14.3} {:>8.2}x",
+            c.ranks,
+            c.threads,
+            c.b,
+            c.total_busy_secs,
+            c.critical_path_secs,
+            baseline / c.critical_path_secs
+        );
+    }
+    let json = thread_cells_to_json(ds.matrix.rows(), ds.matrix.cols(), &cells);
+    let path = out.unwrap_or("BENCH_threads.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\ngrid written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -176,6 +221,7 @@ fn main() {
             run_local(genes, b, maxp);
         }
         "kernel" => run_kernel(args.get(1).map(String::as_str)),
+        "threads" => run_threads(args.get(1).map(String::as_str)),
         "all" => {
             platform_table(&hector(), "Table I");
             platform_table(&ecdf(), "Table II");
@@ -188,10 +234,11 @@ fn main() {
             run_whatif();
             run_local(600, 2_000, 4);
             run_kernel(None);
+            run_threads(None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|all]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|threads [OUT.json]|all]");
             std::process::exit(2);
         }
     }

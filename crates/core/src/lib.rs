@@ -18,6 +18,9 @@
 //!   all supporting skip-ahead so parallel ranks can jump to their chunk;
 //! - [`maxt`] — the step-down maxT kernel, count accumulators and the serial
 //!   reference [`maxt::serial::mt_maxt`];
+//! - [`maxt::engine`] — the batched, gene-tiled, multi-threaded execution
+//!   engine every driver dispatches through (deterministic for any
+//!   thread/batch geometry);
 //! - [`pmaxt`] — the parallel driver over the `mpi-sim` SPMD substrate,
 //!   with the paper's five-section wall-clock profile.
 //!
@@ -61,6 +64,7 @@ pub mod prelude {
     pub use crate::labels::{ClassLabels, Design};
     pub use crate::matrix::Matrix;
     pub use crate::maxt::serial::mt_maxt;
+    pub use crate::maxt::{maxt_threaded, maxt_with_config, EngineConfig};
     pub use crate::maxt::{MaxTResult, MaxTRow};
     pub use crate::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
     pub use crate::pmaxt::{pmaxt, PmaxtRun};

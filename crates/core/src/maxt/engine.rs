@@ -1,0 +1,658 @@
+//! The production execution engine: batched, gene-tiled, multi-threaded
+//! evaluation of a rank's permutation chunk.
+//!
+//! The paper parallelizes `mt.maxT` across MPI processes only; this module
+//! extends the same Figure-2 chunking one level down the hardware hierarchy.
+//! A chunk is split contiguously over a thread pool ([`split_chunk`]), each
+//! worker forwards its own generator with `skip` (exactly like a rank does),
+//! and evaluates its sub-chunk in **batches of K permutations** with
+//! **gene-tiled** inner loops ([`MaxTContext::accumulate_batched`]) so each
+//! matrix row streams through L1 once per batch instead of once per
+//! permutation.
+//!
+//! ## Determinism
+//!
+//! Results are bitwise identical for any thread count and any batch size:
+//!
+//! - the statistic of (gene g, permutation j) is computed by the same float
+//!   operation sequence whether permutations are evaluated one at a time or
+//!   in a batch — batching reorders *which* (g, j) pair is computed when,
+//!   never the operations inside one pair;
+//! - exceedance counts are integers, derived pointwise from those scores, so
+//!   per-worker partial counts are exact;
+//! - partial counts are combined by [`tree_merge`], a fixed pairwise
+//!   reduction over the worker order (worker = chunk position, not OS-thread
+//!   completion order). `u64` addition is associative and commutative, so
+//!   any merge order would give the same sums — fixing the tree shape makes
+//!   the pipeline auditable end to end and keeps the guarantee independent
+//!   of that argument.
+//!
+//! Thread/batch geometry is configured by [`EngineConfig`], with
+//! `SPRINT_THREADS` / `SPRINT_BATCH` environment overrides mirroring the
+//! `SPRINT_KERNEL` escape hatch.
+
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use crate::error::{Error, Result};
+use crate::labels::ClassLabels;
+use crate::matrix::Matrix;
+use crate::maxt::serial::prepare_run;
+use crate::maxt::{CountAccumulator, MaxTContext, MaxTResult, EPSILON};
+use crate::options::PmaxtOptions;
+use crate::perm::{build_generator, PermutationGenerator};
+use crate::stats::kernel::FastKernel;
+
+/// Default permutations per batch when `batch = 0` (auto). Large enough to
+/// amortize the per-batch label/index setup and give the tiled loop a hot
+/// row, small enough that the gene-major score buffer stays modest.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// Genes per tile of the batched inner loop. 256 rows × 8 bytes × a typical
+/// sample count keeps a tile's working set within L2 while the row being
+/// scored stays in L1 across the batch.
+pub const GENE_TILE: usize = 256;
+
+/// Resolved thread/batch geometry for one engine invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads per rank (≥ 1).
+    pub threads: usize,
+    /// Permutations per batch (≥ 1).
+    pub batch: usize,
+}
+
+impl EngineConfig {
+    /// Geometry from explicit values; `0` means "auto" for either field
+    /// (threads → available parallelism, batch → [`DEFAULT_BATCH`]).
+    /// Environment variables are **not** consulted — benches use this to pin
+    /// a configuration.
+    pub fn explicit(threads: usize, batch: usize) -> Self {
+        EngineConfig {
+            threads: if threads == 0 {
+                available_threads()
+            } else {
+                threads
+            },
+            batch: if batch == 0 { DEFAULT_BATCH } else { batch },
+        }
+    }
+
+    /// Single-threaded geometry with the default batch size.
+    pub fn serial() -> Self {
+        EngineConfig {
+            threads: 1,
+            batch: DEFAULT_BATCH,
+        }
+    }
+
+    /// Geometry for a run: start from the options' `threads`/`batch`, apply
+    /// the `SPRINT_THREADS` / `SPRINT_BATCH` environment overrides when set
+    /// to valid numbers, then resolve `0` (auto) as in
+    /// [`EngineConfig::explicit`]. Every driver (serial, SPMD, checkpoint)
+    /// resolves through here, so the environment reaches all of them without
+    /// options plumbing.
+    pub fn resolve(opts: &PmaxtOptions) -> Self {
+        let threads = env_usize("SPRINT_THREADS").unwrap_or(opts.threads);
+        let batch = env_usize("SPRINT_BATCH").unwrap_or(opts.batch);
+        Self::explicit(threads, batch)
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `total` items into `parts` contiguous runs differing by at most one
+/// item: the run at `index` is `(offset, count)`. The single even-split rule
+/// shared by rank chunking ([`crate::pmaxt::chunk_for_rank`]) and thread
+/// sub-chunking ([`split_chunk`]).
+pub fn split_evenly(total: u64, parts: u64, index: u64) -> (u64, u64) {
+    debug_assert!(parts > 0 && index < parts);
+    let base = total / parts;
+    let extra = total % parts;
+    let count = base + u64::from(index < extra);
+    let offset = index * base + index.min(extra);
+    (offset, count)
+}
+
+/// Split a rank's chunk `[start, start + take)` over up to `threads` workers:
+/// contiguous sub-chunks in worker order, never more workers than
+/// permutations, empty when `take == 0`.
+pub fn split_chunk(start: u64, take: u64, threads: usize) -> Vec<(u64, u64)> {
+    if take == 0 {
+        return Vec::new();
+    }
+    let workers = (threads.max(1) as u64).min(take);
+    (0..workers)
+        .map(|w| {
+            let (off, count) = split_evenly(take, workers, w);
+            (start + off, count)
+        })
+        .collect()
+}
+
+/// Deterministic pairwise reduction of per-worker partial counts, in worker
+/// order: round after round, neighbour pairs merge until one accumulator
+/// remains. Returns `None` for an empty input.
+pub fn tree_merge(mut parts: Vec<CountAccumulator>) -> Option<CountAccumulator> {
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(mut left) = it.next() {
+            if let Some(right) = it.next() {
+                left.merge(&right);
+            }
+            next.push(left);
+        }
+        parts = next;
+    }
+    parts.pop()
+}
+
+/// What one worker did: its sub-chunk and the wall-clock time it spent in
+/// the batched kernel. Feeds the `make_tables threads` scaling table.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerStat {
+    /// Worker position within the chunk (also the merge-tree leaf order).
+    pub worker: usize,
+    /// First permutation index of the sub-chunk.
+    pub start: u64,
+    /// Number of permutations processed.
+    pub take: u64,
+    /// Time spent generating and scoring the sub-chunk.
+    pub busy: Duration,
+}
+
+/// Result of [`accumulate_chunk`]: the merged counts plus per-worker timing.
+#[derive(Debug, Clone)]
+pub struct ChunkRun {
+    /// Exceedance counts for the whole chunk (tree-merged).
+    pub counts: CountAccumulator,
+    /// One entry per worker, in worker order.
+    pub workers: Vec<WorkerStat>,
+}
+
+/// Process the permutation chunk `[start, start + take)` of a `b`-permutation
+/// run: fan the chunk over `cfg.threads` workers, each evaluating its
+/// sub-chunk in `cfg.batch`-sized batches, and tree-merge the partial counts.
+///
+/// Every worker builds its own generator from `(labels, opts, b)` and
+/// forwards it with `skip`, exactly as a rank does, so the union of worker
+/// sub-sequences is the chunk's slice of the serial permutation sequence.
+pub fn accumulate_chunk(
+    ctx: &MaxTContext<'_>,
+    labels: &ClassLabels,
+    opts: &PmaxtOptions,
+    b: u64,
+    start: u64,
+    take: u64,
+    cfg: EngineConfig,
+) -> Result<ChunkRun> {
+    let genes = ctx.genes();
+    let jobs = split_chunk(start, take, cfg.threads);
+    if jobs.is_empty() {
+        return Ok(ChunkRun {
+            counts: CountAccumulator::new(genes),
+            workers: Vec::new(),
+        });
+    }
+    let run_worker = |worker: usize, sub_start: u64, sub_take: u64| {
+        let begin = Instant::now();
+        let mut gen = build_generator(labels, opts, b).expect("validated generator");
+        gen.skip(sub_start);
+        let mut acc = CountAccumulator::new(genes);
+        let done = ctx.accumulate_batched(&mut *gen, sub_take, cfg.batch, &mut acc);
+        debug_assert_eq!(done, sub_take, "sub-chunk shorter than assigned");
+        (
+            acc,
+            WorkerStat {
+                worker,
+                start: sub_start,
+                take: sub_take,
+                busy: begin.elapsed(),
+            },
+        )
+    };
+    let parts: Vec<(CountAccumulator, WorkerStat)> = if jobs.len() == 1 {
+        let (s, t) = jobs[0];
+        vec![run_worker(0, s, t)]
+    } else {
+        let indexed: Vec<(usize, u64, u64)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(w, &(s, t))| (w, s, t))
+            .collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs.len())
+            .build()
+            .map_err(|e| Error::Comm(format!("thread pool: {e}")))?;
+        pool.install(|| {
+            indexed
+                .par_iter()
+                .map(|&(w, s, t)| run_worker(w, s, t))
+                .collect()
+        })
+    };
+    let mut workers = Vec::with_capacity(parts.len());
+    let mut counts = Vec::with_capacity(parts.len());
+    for (acc, stat) in parts {
+        counts.push(acc);
+        workers.push(stat);
+    }
+    let counts = tree_merge(counts).expect("at least one worker ran");
+    Ok(ChunkRun { counts, workers })
+}
+
+/// Full maxT run on the calling process with an explicit engine geometry —
+/// the thread-pool analogue of `pmaxt` (and the promoted form of the bench
+/// crate's former `maxt_rayon`). Environment overrides are not consulted;
+/// use [`maxt_threaded`] for the resolving entry point.
+pub fn maxt_with_config(
+    data: &Matrix,
+    classlabel: &[u8],
+    opts: &PmaxtOptions,
+    cfg: EngineConfig,
+) -> Result<MaxTResult> {
+    let (labels, b, prepared) = prepare_run(data, classlabel, opts)?;
+    let ctx = MaxTContext::with_kernel(&prepared, &labels, opts.test, opts.side, opts.kernel);
+    let run = accumulate_chunk(&ctx, &labels, opts, b, 0, b, cfg)?;
+    debug_assert_eq!(run.counts.n_perm, b);
+    Ok(ctx.finalize(&run.counts))
+}
+
+/// Full maxT run with the geometry resolved from the options and the
+/// `SPRINT_THREADS` / `SPRINT_BATCH` environment.
+pub fn maxt_threaded(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> Result<MaxTResult> {
+    maxt_with_config(data, classlabel, opts, EngineConfig::resolve(opts))
+}
+
+impl MaxTContext<'_> {
+    /// Batched, gene-tiled variant of [`MaxTContext::accumulate`]: consume up
+    /// to `take` permutations from `gen` in batches of `batch`, accumulating
+    /// exceedance counts into `acc`. Returns the number of permutations
+    /// processed.
+    ///
+    /// Per batch, the label arrangements and their group-1 index lists are
+    /// materialized up front; the matrix is then walked **gene-outer,
+    /// permutation-inner** in tiles of [`GENE_TILE`] rows, so each row is
+    /// loaded once per batch and scored against every arrangement while hot.
+    /// Scores land gene-major in a `genes × batch` buffer; raw counts fuse
+    /// into the tile pass, and the step-down (successive-maxima) pass runs
+    /// per permutation afterwards. Counts are identical to `accumulate` for
+    /// every batch size — see the module docs.
+    pub fn accumulate_batched(
+        &self,
+        gen: &mut dyn PermutationGenerator,
+        take: u64,
+        batch: usize,
+        acc: &mut CountAccumulator,
+    ) -> u64 {
+        assert_eq!(acc.genes(), self.genes(), "accumulator size mismatch");
+        let batch = batch.max(1);
+        let genes = self.genes();
+        let cols = self.data.cols();
+        let mut labels_bufs: Vec<Vec<u8>> = vec![vec![0u8; cols]; batch];
+        let mut idx_bufs: Vec<Vec<usize>> = vec![Vec::with_capacity(cols); batch];
+        let mut scores = vec![0.0f64; genes * batch];
+        let mut done = 0u64;
+        while done < take {
+            let want = (take - done).min(batch as u64) as usize;
+            let mut k = 0usize;
+            while k < want && gen.next_into(&mut labels_bufs[k]) {
+                k += 1;
+            }
+            if k == 0 {
+                break;
+            }
+            self.score_batch(&labels_bufs[..k], &mut idx_bufs[..k], &mut scores, batch);
+            self.count_batch(&scores, batch, k, acc);
+            done += k as u64;
+        }
+        done
+    }
+
+    /// Fill `scores[g * stride + j]` with the extremeness score of gene `g`
+    /// under arrangement `j`, walking genes tile by tile.
+    fn score_batch(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        idx_bufs: &mut [Vec<usize>],
+        scores: &mut [f64],
+        stride: usize,
+    ) {
+        let genes = self.genes();
+        let k = labels_bufs.len();
+        if self.kernel.is_some() {
+            for (idx, labels) in idx_bufs.iter_mut().zip(labels_bufs) {
+                FastKernel::group1_indices(labels, idx);
+            }
+        }
+        // Cursors into the kernel's ascending fast/scalar gene lists, advanced
+        // tile by tile.
+        let mut fast_lo = 0usize;
+        let mut scalar_lo = 0usize;
+        let mut tile_start = 0usize;
+        while tile_start < genes {
+            let tile_end = (tile_start + GENE_TILE).min(genes);
+            match self.kernel.as_ref() {
+                Some(kern) => {
+                    let fast = kern.fast_genes();
+                    let fast_hi = fast_lo + fast[fast_lo..].partition_point(|&g| g < tile_end);
+                    kern.stats_batch_into(&idx_bufs[..k], fast_lo..fast_hi, scores, stride);
+                    fast_lo = fast_hi;
+                    let scalar = kern.scalar_genes();
+                    let scalar_hi =
+                        scalar_lo + scalar[scalar_lo..].partition_point(|&g| g < tile_end);
+                    for &g in &scalar[scalar_lo..scalar_hi] {
+                        let row = self.data.row(g);
+                        for (j, labels) in labels_bufs.iter().enumerate() {
+                            scores[g * stride + j] = self.computer.compute(row, labels);
+                        }
+                    }
+                    scalar_lo = scalar_hi;
+                }
+                None => {
+                    for g in tile_start..tile_end {
+                        let row = self.data.row(g);
+                        for (j, labels) in labels_bufs.iter().enumerate() {
+                            scores[g * stride + j] = self.computer.compute(row, labels);
+                        }
+                    }
+                }
+            }
+            // Statistic → extremeness score, fused with the raw-count
+            // comparison while the tile is hot.
+            for g in tile_start..tile_end {
+                let slots = &mut scores[g * stride..g * stride + k];
+                for slot in slots.iter_mut() {
+                    *slot = self.side.score(*slot);
+                }
+            }
+            tile_start = tile_end;
+        }
+    }
+
+    /// Raw and step-down (successive-maxima) exceedance counts over a scored
+    /// batch of `k` arrangements.
+    fn count_batch(&self, scores: &[f64], stride: usize, k: usize, acc: &mut CountAccumulator) {
+        let genes = self.genes();
+        for g in 0..genes {
+            let observed = self.obs_scores[g] - EPSILON;
+            for &score in &scores[g * stride..g * stride + k] {
+                if score >= observed {
+                    acc.count_raw[g] += 1;
+                }
+            }
+        }
+        for j in 0..k {
+            let mut running_max = f64::NEG_INFINITY;
+            for i in (0..genes).rev() {
+                let s = scores[self.order[i] * stride + j];
+                if s > running_max {
+                    running_max = s;
+                }
+                if running_max >= self.obs_scores_ordered[i] - EPSILON {
+                    acc.count_adj[i] += 1;
+                }
+            }
+        }
+        acc.n_perm += k as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxt::serial::mt_maxt;
+    use crate::options::{KernelChoice, SamplingMode, TestMethod};
+    use crate::side::Side;
+    use crate::stats::prepare_matrix;
+
+    /// Bitwise result equality: `MaxTResult`'s derived `PartialEq` treats
+    /// NaN ≠ NaN, but the engine's guarantee is bit-for-bit — including the
+    /// NaN p-values of non-computable genes.
+    fn assert_bitwise_eq(a: &MaxTResult, b: &MaxTResult, what: &str) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(a.order, b.order, "{what}: order");
+        assert_eq!(a.b_used, b.b_used, "{what}: b_used");
+        assert_eq!(bits(&a.teststat), bits(&b.teststat), "{what}: teststat");
+        assert_eq!(bits(&a.rawp), bits(&b.rawp), "{what}: rawp");
+        assert_eq!(bits(&a.adjp), bits(&b.adjp), "{what}: adjp");
+    }
+
+    fn test_data() -> (Matrix, Vec<u8>) {
+        let data = Matrix::from_vec(
+            5,
+            8,
+            vec![
+                1.0,
+                2.0,
+                1.5,
+                2.5,
+                9.0,
+                10.0,
+                9.5,
+                10.5, // strong signal
+                5.0,
+                4.0,
+                6.0,
+                5.5,
+                4.5,
+                5.2,
+                5.8,
+                4.9, // flat
+                2.0,
+                8.0,
+                3.0,
+                7.0,
+                2.5,
+                7.5,
+                3.5,
+                6.5, // noisy
+                1.0,
+                f64::NAN,
+                2.0,
+                1.5,
+                3.0,
+                4.0,
+                f64::NAN,
+                3.5, // missing cells → scalar fallback
+                7.7,
+                7.7,
+                7.7,
+                7.7,
+                7.7,
+                7.7,
+                7.7,
+                7.7, // constant → NaN statistic
+            ],
+        )
+        .unwrap();
+        (data, vec![0, 0, 0, 0, 1, 1, 1, 1])
+    }
+
+    #[test]
+    fn split_evenly_covers_and_balances() {
+        for total in [0u64, 1, 5, 23, 150] {
+            for parts in [1u64, 2, 3, 7] {
+                let runs: Vec<(u64, u64)> =
+                    (0..parts).map(|i| split_evenly(total, parts, i)).collect();
+                let mut expect = 0u64;
+                for &(off, count) in &runs {
+                    assert_eq!(off, expect);
+                    expect += count;
+                }
+                assert_eq!(expect, total);
+                let counts: Vec<u64> = runs.iter().map(|r| r.1).collect();
+                let min = counts.iter().min().unwrap();
+                let max = counts.iter().max().unwrap();
+                assert!(max - min <= 1, "total={total} parts={parts}: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_chunk_clamps_workers_to_take() {
+        assert!(split_chunk(5, 0, 4).is_empty());
+        let subs = split_chunk(10, 3, 8);
+        assert_eq!(subs, vec![(10, 1), (11, 1), (12, 1)]);
+        let subs = split_chunk(0, 10, 3);
+        assert_eq!(subs, vec![(0, 4), (4, 3), (7, 3)]);
+    }
+
+    #[test]
+    fn tree_merge_equals_sequential_merge() {
+        let mk = |r: u64| CountAccumulator {
+            count_raw: vec![r, 2 * r],
+            count_adj: vec![3 * r, r],
+            n_perm: r,
+        };
+        for n in 1..=9usize {
+            let parts: Vec<CountAccumulator> = (1..=n as u64).map(mk).collect();
+            let mut sequential = CountAccumulator::new(2);
+            for p in &parts {
+                sequential.merge(p);
+            }
+            assert_eq!(tree_merge(parts).unwrap(), sequential, "n={n}");
+        }
+        assert!(tree_merge(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn explicit_config_resolves_auto_values() {
+        let cfg = EngineConfig::explicit(0, 0);
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.batch, DEFAULT_BATCH);
+        let cfg = EngineConfig::explicit(3, 7);
+        assert_eq!(
+            cfg,
+            EngineConfig {
+                threads: 3,
+                batch: 7
+            }
+        );
+        assert_eq!(EngineConfig::serial().threads, 1);
+    }
+
+    #[test]
+    fn batched_accumulate_matches_reference_for_every_batch_size() {
+        let (data, classlabel) = test_data();
+        for method in [TestMethod::T, TestMethod::Wilcoxon] {
+            for choice in [KernelChoice::Fast, KernelChoice::Scalar] {
+                let labels = ClassLabels::new(classlabel.clone(), method).unwrap();
+                let opts = PmaxtOptions::default().test(method).permutations(40);
+                let prepared = prepare_matrix(&data, method, false);
+                let ctx = MaxTContext::with_kernel(&prepared, &labels, method, Side::Abs, choice);
+                let mut reference = CountAccumulator::new(5);
+                let mut gen = build_generator(&labels, &opts, 40).unwrap();
+                ctx.accumulate(&mut *gen, u64::MAX, &mut reference);
+                for batch in [1usize, 2, 3, 7, 32, 64] {
+                    let mut acc = CountAccumulator::new(5);
+                    let mut gen = build_generator(&labels, &opts, 40).unwrap();
+                    let done = ctx.accumulate_batched(&mut *gen, u64::MAX, batch, &mut acc);
+                    assert_eq!(done, 40);
+                    assert_eq!(acc, reference, "{method:?} {choice:?} batch={batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_batched_respects_take_limit() {
+        let (data, classlabel) = test_data();
+        let labels = ClassLabels::new(classlabel, TestMethod::T).unwrap();
+        let opts = PmaxtOptions::default().permutations(10);
+        let prepared = prepare_matrix(&data, TestMethod::T, false);
+        let ctx = MaxTContext::new(&prepared, &labels, TestMethod::T, Side::Abs);
+        let mut gen = build_generator(&labels, &opts, 10).unwrap();
+        let mut acc = CountAccumulator::new(5);
+        assert_eq!(ctx.accumulate_batched(&mut *gen, 4, 3, &mut acc), 4);
+        assert_eq!(acc.n_perm, 4);
+        assert_eq!(ctx.accumulate_batched(&mut *gen, 100, 3, &mut acc), 6);
+        assert_eq!(acc.n_perm, 10);
+    }
+
+    #[test]
+    fn chunked_threaded_run_matches_serial_reference() {
+        // Ground truth from the one-permutation-at-a-time loop, not from
+        // `mt_maxt` (which itself dispatches through this engine).
+        let (data, classlabel) = test_data();
+        let opts = PmaxtOptions::default().permutations(50);
+        let (labels, b, prepared) = prepare_run(&data, &classlabel, &opts).unwrap();
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        let mut gen = build_generator(&labels, &opts, b).unwrap();
+        let mut acc = CountAccumulator::new(5);
+        ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+        let serial = ctx.finalize(&acc);
+        for threads in [1usize, 2, 3, 8] {
+            for batch in [1usize, 4, 16] {
+                let cfg = EngineConfig { threads, batch };
+                let run = maxt_with_config(&data, &classlabel, &opts, cfg).unwrap();
+                assert_bitwise_eq(&run, &serial, &format!("threads={threads} batch={batch}"));
+            }
+        }
+    }
+
+    #[test]
+    fn worker_stats_cover_the_chunk_in_order() {
+        let (data, classlabel) = test_data();
+        let opts = PmaxtOptions::default().permutations(30);
+        let (labels, b, prepared) = prepare_run(&data, &classlabel, &opts).unwrap();
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        let cfg = EngineConfig {
+            threads: 4,
+            batch: 8,
+        };
+        let run = accumulate_chunk(&ctx, &labels, &opts, b, 5, 20, cfg).unwrap();
+        assert_eq!(run.counts.n_perm, 20);
+        assert_eq!(run.workers.len(), 4);
+        let mut expect = 5u64;
+        for (w, stat) in run.workers.iter().enumerate() {
+            assert_eq!(stat.worker, w);
+            assert_eq!(stat.start, expect);
+            expect += stat.take;
+        }
+        assert_eq!(expect, 25);
+    }
+
+    #[test]
+    fn empty_chunk_yields_empty_run() {
+        let (data, classlabel) = test_data();
+        let opts = PmaxtOptions::default().permutations(10);
+        let (labels, b, prepared) = prepare_run(&data, &classlabel, &opts).unwrap();
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        let run = accumulate_chunk(&ctx, &labels, &opts, b, 3, 0, EngineConfig::serial()).unwrap();
+        assert_eq!(run.counts.n_perm, 0);
+        assert!(run.workers.is_empty());
+    }
+
+    #[test]
+    fn stored_sampling_mode_agrees_across_geometries() {
+        let (data, classlabel) = test_data();
+        let opts = PmaxtOptions {
+            sampling: SamplingMode::Stored,
+            b: 33,
+            ..PmaxtOptions::default()
+        };
+        let serial = mt_maxt(&data, &classlabel, &opts).unwrap();
+        let threaded = maxt_with_config(
+            &data,
+            &classlabel,
+            &opts,
+            EngineConfig {
+                threads: 3,
+                batch: 5,
+            },
+        )
+        .unwrap();
+        assert_bitwise_eq(&threaded, &serial, "stored sampling");
+    }
+}

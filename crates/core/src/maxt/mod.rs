@@ -10,6 +10,7 @@
 //! p-values are never zero (they live in `[1/B, 1]`).
 
 pub mod counts;
+pub mod engine;
 pub mod minp;
 pub mod result;
 pub mod sample;
@@ -17,6 +18,7 @@ pub mod sequential;
 pub mod serial;
 
 pub use counts::CountAccumulator;
+pub use engine::{maxt_threaded, maxt_with_config, EngineConfig};
 pub use result::{MaxTResult, MaxTRow};
 
 use crate::labels::ClassLabels;

@@ -5,9 +5,10 @@
 use crate::error::{Error, Result};
 use crate::labels::ClassLabels;
 use crate::matrix::Matrix;
-use crate::maxt::{CountAccumulator, MaxTContext, MaxTResult};
+use crate::maxt::engine::{self, EngineConfig};
+use crate::maxt::{MaxTContext, MaxTResult};
 use crate::options::PmaxtOptions;
-use crate::perm::{build_generator, resolve_permutation_count};
+use crate::perm::resolve_permutation_count;
 use crate::stats::prepare_matrix;
 
 /// Run the full serial permutation test.
@@ -27,13 +28,15 @@ use crate::stats::prepare_matrix;
 /// assert!(result.rawp[0] < result.rawp[1]);
 /// ```
 pub fn mt_maxt(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> Result<MaxTResult> {
+    // Dispatch through the batched multi-threaded engine with the geometry
+    // resolved from the options and environment. Any geometry produces
+    // bit-identical results (see `crate::maxt::engine`), so this stays the
+    // serial *reference* in the semantic sense while using the hardware.
     let (labels, b, prepared) = prepare_run(data, classlabel, opts)?;
     let ctx = MaxTContext::with_kernel(&prepared, &labels, opts.test, opts.side, opts.kernel);
-    let mut gen = build_generator(&labels, opts, b)?;
-    let mut acc = CountAccumulator::new(prepared.rows());
-    let done = ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
-    debug_assert_eq!(done, b);
-    Ok(ctx.finalize(&acc))
+    let run = engine::accumulate_chunk(&ctx, &labels, opts, b, 0, b, EngineConfig::resolve(opts))?;
+    debug_assert_eq!(run.counts.n_perm, b);
+    Ok(ctx.finalize(&run.counts))
 }
 
 /// The shared front half of every maxT driver: validate the labels against

@@ -205,6 +205,15 @@ pub struct PmaxtOptions {
     /// signature — both kernels produce the same counts, this only selects
     /// the implementation.
     pub kernel: KernelChoice,
+    /// Worker threads per rank for the permutation engine; `0` (default)
+    /// means "use available parallelism". The `SPRINT_THREADS` environment
+    /// variable overrides this. Any value produces identical results — the
+    /// engine's count reduction is exact.
+    pub threads: usize,
+    /// Permutations per engine batch; `0` (default) selects the built-in
+    /// batch size. The `SPRINT_BATCH` environment variable overrides this.
+    /// Any value produces identical results.
+    pub batch: usize,
 }
 
 impl Default for PmaxtOptions {
@@ -219,6 +228,8 @@ impl Default for PmaxtOptions {
             seed: 44_561, // multtest's historical default RNG seed
             max_complete: DEFAULT_MAX_COMPLETE,
             kernel: KernelChoice::Auto,
+            threads: 0,
+            batch: 0,
         }
     }
 }
@@ -300,6 +311,18 @@ impl PmaxtOptions {
         self.kernel = KernelChoice::parse(s)?;
         Ok(self)
     }
+
+    /// Set the per-rank worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the engine batch size (`0` = built-in default).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +391,16 @@ mod tests {
         let o = PmaxtOptions::new().kernel_str("scalar").unwrap();
         assert_eq!(o.kernel, KernelChoice::Scalar);
         assert_eq!(o.kernel(KernelChoice::Fast).kernel, KernelChoice::Fast);
+    }
+
+    #[test]
+    fn thread_and_batch_builders_default_to_auto() {
+        let o = PmaxtOptions::default();
+        assert_eq!(o.threads, 0);
+        assert_eq!(o.batch, 0);
+        let o = PmaxtOptions::new().threads(4).batch(16);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.batch, 16);
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! 2. parameters are broadcast (lengths first in the C code; here a single
 //!    typed broadcast);
 //! 3. a global reduction synchronizes all ranks after allocation;
-//! 4. each rank computes its share of the permutations, forwarding its
-//!    generator to its chunk with `skip` (Figure 2 — the first/identity
-//!    permutation is handled once, by the master);
+//! 4. each rank computes its share of the permutations through the batched
+//!    multi-threaded engine ([`crate::maxt::engine`]), whose workers forward
+//!    their generators with `skip` (Figure 2 — the first/identity permutation
+//!    is handled once, by the master, whose chunk starts at index 0);
 //! 5. the master gathers the partial counts by an exact integer sum-reduction
 //!    and computes raw and adjusted p-values;
 //! 6. buffers are dropped (automatic in Rust).
@@ -25,9 +26,10 @@ use mpi_sim::{Communicator, SectionProfile, SectionTimer, Universe, MASTER};
 use crate::error::{Error, Result};
 use crate::labels::ClassLabels;
 use crate::matrix::Matrix;
+use crate::maxt::engine::{self, EngineConfig};
 use crate::maxt::{CountAccumulator, MaxTContext, MaxTResult};
 use crate::options::PmaxtOptions;
-use crate::perm::{build_generator, resolve_permutation_count};
+use crate::perm::resolve_permutation_count;
 use crate::stats::prepare_matrix;
 
 /// Section names as they appear in the paper's Tables I–V.
@@ -80,20 +82,30 @@ impl PmaxtRun {
 }
 
 /// The contiguous chunk of permutation indices assigned to `rank`:
-/// `(start, take)`. Indices `1..b` (everything but the identity) are split as
-/// evenly as possible; the master's chunk additionally includes index 0.
-pub fn chunk_for_rank(b: u64, size: u64, rank: u64) -> (u64, u64) {
-    debug_assert!(rank < size);
-    let rem = b.saturating_sub(1);
-    let base = rem / size;
-    let extra = rem % size;
-    let take = base + u64::from(rank < extra);
-    let start = 1 + rank * base + rank.min(extra);
-    if rank == 0 {
-        (0, take + 1)
-    } else {
-        (start, take)
+/// `(start, take)`. The `b` indices are split as evenly as possible (chunks
+/// differ by at most one); the master's chunk starts at index 0, so the
+/// identity permutation is handled exactly once, by the master (Figure 2).
+///
+/// Returns an error when `size > b` — that distribution would hand at least
+/// one rank an empty chunk, which is a resource-allocation mistake, not a
+/// degenerate success. Drivers that tolerate surplus ranks (e.g. `pmaxt`)
+/// must clamp the active rank count to `min(size, b)` *before* chunking.
+pub fn chunk_for_rank(b: u64, size: u64, rank: u64) -> Result<(u64, u64)> {
+    if size == 0 {
+        return Err(Error::Comm("at least one rank required".into()));
     }
+    if rank >= size {
+        return Err(Error::Comm(format!(
+            "rank {rank} out of range for {size} ranks"
+        )));
+    }
+    if size > b {
+        return Err(Error::Comm(format!(
+            "cannot distribute {b} permutation(s) over {size} ranks: every \
+             rank needs at least one permutation; use at most {b} ranks"
+        )));
+    }
+    Ok(crate::maxt::engine::split_evenly(b, size, rank))
 }
 
 /// Everything the master broadcasts in the "broadcast parameters" section.
@@ -232,7 +244,10 @@ pub fn pmaxt_rank(
     // Step 3 — global sum to synchronize after allocation.
     comm.allreduce(1u64, |a, b| a + b).expect("sync reduction");
 
-    // Step 4 — main kernel: each rank processes its chunk of permutations.
+    // Step 4 — main kernel: each rank processes its chunk of permutations
+    // through the batched multi-threaded engine. Ranks beyond the number of
+    // permutations contribute an (explicitly) empty accumulator — the strict
+    // `chunk_for_rank` is only consulted for active ranks.
     let ctx = MaxTContext::with_kernel(
         &prepared,
         &labels,
@@ -241,14 +256,17 @@ pub fn pmaxt_rank(
         params.opts.kernel,
     );
     let local_counts = timer.time(sections::MAIN_KERNEL, || {
-        let (start, take) = chunk_for_rank(params.b, comm.size() as u64, comm.rank() as u64);
-        let mut gen =
-            build_generator(&labels, &params.opts, params.b).expect("validated generator");
-        gen.skip(start);
-        let mut acc = CountAccumulator::new(params.rows);
-        let done = ctx.accumulate(&mut *gen, take, &mut acc);
-        debug_assert_eq!(done, take, "chunk shorter than assigned");
-        acc
+        let active = (comm.size() as u64).min(params.b);
+        let rank = comm.rank() as u64;
+        if rank >= active {
+            return CountAccumulator::new(params.rows);
+        }
+        let (start, take) =
+            chunk_for_rank(params.b, active, rank).expect("active ranks have chunks");
+        let cfg = EngineConfig::resolve(&params.opts);
+        let run = engine::accumulate_chunk(&ctx, &labels, &params.opts, params.b, start, take, cfg)
+            .expect("engine chunk");
+        run.counts
     });
 
     // Step 5 — gather the partial observations and compute the p-values.
@@ -332,9 +350,13 @@ mod tests {
     fn chunks_cover_everything_exactly_once() {
         for b in [1u64, 2, 5, 23, 150] {
             for size in [1u64, 2, 3, 4, 7, 8] {
+                if size > b {
+                    continue; // strict: no silent empty chunks, see below
+                }
                 let mut covered = vec![0u32; b as usize];
                 for rank in 0..size {
-                    let (start, take) = chunk_for_rank(b, size, rank);
+                    let (start, take) = chunk_for_rank(b, size, rank).unwrap();
+                    assert!(take >= 1, "b={b} size={size} rank={rank}: empty chunk");
                     for i in start..start + take {
                         covered[i as usize] += 1;
                     }
@@ -352,24 +374,40 @@ mod tests {
         // Paper: "divides the permutation count into equal chunks".
         let b = 150_001u64;
         let size = 7u64;
-        let takes: Vec<u64> = (0..size).map(|r| chunk_for_rank(b, size, r).1).collect();
+        let takes: Vec<u64> = (0..size)
+            .map(|r| chunk_for_rank(b, size, r).unwrap().1)
+            .collect();
         let min = *takes.iter().min().unwrap();
         let max = *takes.iter().max().unwrap();
-        assert!(
-            max - min <= 1 + 1,
-            "master gets at most the identity extra: {takes:?}"
-        );
+        assert!(max - min <= 1, "chunks differ by at most one: {takes:?}");
     }
 
     #[test]
     fn master_handles_identity() {
-        let (start, take) = chunk_for_rank(23, 3, 0);
+        let (start, take) = chunk_for_rank(23, 3, 0).unwrap();
         assert_eq!(start, 0);
         assert!(take >= 1);
         for rank in 1..3 {
-            let (s, _) = chunk_for_rank(23, 3, rank);
+            let (s, _) = chunk_for_rank(23, 3, rank).unwrap();
             assert!(s >= 1, "workers skip the identity");
         }
+    }
+
+    #[test]
+    fn oversubscribed_distribution_is_an_explicit_error() {
+        // size > b used to return silent empty chunks; now every degenerate
+        // request is a typed error.
+        for (b, size) in [(1u64, 2u64), (3, 8), (0, 1), (5, 100)] {
+            for rank in 0..size {
+                assert!(
+                    chunk_for_rank(b, size, rank).is_err(),
+                    "b={b} size={size} rank={rank} should be rejected"
+                );
+            }
+        }
+        assert!(chunk_for_rank(10, 0, 0).is_err(), "zero ranks rejected");
+        assert!(chunk_for_rank(10, 3, 3).is_err(), "rank out of range");
+        assert!(chunk_for_rank(10, 3, 7).is_err(), "rank out of range");
     }
 
     #[test]
@@ -442,11 +480,17 @@ mod tests {
 
     #[test]
     fn more_ranks_than_permutations_still_correct() {
+        // b < size: surplus ranks contribute empty accumulators rather than
+        // consulting the (now strict) chunk_for_rank; the run must still be
+        // bit-identical to serial for every degenerate combination.
         let (data, labels) = test_data();
-        let opts = PmaxtOptions::default().permutations(3);
-        let serial = mt_maxt(&data, &labels, &opts).unwrap();
-        let par = pmaxt(&data, &labels, &opts, 8).unwrap();
-        assert_eq!(par.result, serial);
+        for (b, ranks) in [(3u64, 8usize), (1, 2), (1, 5), (2, 3), (5, 6), (7, 12)] {
+            let opts = PmaxtOptions::default().permutations(b);
+            let serial = mt_maxt(&data, &labels, &opts).unwrap();
+            let par = pmaxt(&data, &labels, &opts, ranks).unwrap();
+            assert_eq!(par.result, serial, "b={b} ranks={ranks}");
+            assert_eq!(par.result.b_used, b);
+        }
     }
 
     #[test]

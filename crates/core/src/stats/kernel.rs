@@ -143,6 +143,93 @@ impl FastKernel {
         }
     }
 
+    /// Batched variant of [`FastKernel::stats_into`] for the engine's
+    /// gene-tiled hot loop: compute the statistics of the fast genes at
+    /// positions `fast_range` (indices into [`FastKernel::fast_genes`]) for
+    /// **every** permutation in `idx_lists`, writing gene-major into
+    /// `out[g * stride + j]` for permutation `j`.
+    ///
+    /// Iterating genes in the outer loop keeps each cached row hot in L1
+    /// across the whole batch. Per (gene, permutation) the operation sequence
+    /// — gather order, guards, formula literals — is exactly that of
+    /// `stats_into`, so the produced values are bitwise identical to a
+    /// one-permutation-at-a-time evaluation.
+    pub fn stats_batch_into(
+        &self,
+        idx_lists: &[Vec<usize>],
+        fast_range: std::ops::Range<usize>,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(idx_lists.len() <= stride);
+        let cols = self.cols;
+        match self.method {
+            TestMethod::T | TestMethod::TEqualVar => {
+                let welch = self.method == TestMethod::T;
+                for fi in fast_range {
+                    let g = self.fast_genes[fi];
+                    let row = &self.values[fi * cols..(fi + 1) * cols];
+                    let s = self.total_sum[fi];
+                    let q = self.total_sumsq[fi];
+                    let slots = &mut out[g * stride..g * stride + idx_lists.len()];
+                    for (slot, idx) in slots.iter_mut().zip(idx_lists) {
+                        let n1 = idx.len();
+                        let n0 = cols - n1;
+                        if n0 < 2 || n1 < 2 {
+                            *slot = f64::NAN;
+                            continue;
+                        }
+                        let mut s1 = 0.0;
+                        let mut q1 = 0.0;
+                        for &j in idx {
+                            let v = row[j];
+                            s1 += v;
+                            q1 += v * v;
+                        }
+                        let s0 = s - s1;
+                        let q0 = q - q1;
+                        *slot = if welch {
+                            welch_from_moments(n0 as f64, s0, q0, n1 as f64, s1, q1)
+                        } else {
+                            equalvar_from_moments(n0 as f64, s0, q0, n1 as f64, s1, q1)
+                        };
+                    }
+                }
+            }
+            TestMethod::Wilcoxon => {
+                for fi in fast_range {
+                    let g = self.fast_genes[fi];
+                    let row = &self.values[fi * cols..(fi + 1) * cols];
+                    let slots = &mut out[g * stride..g * stride + idx_lists.len()];
+                    for (slot, idx) in slots.iter_mut().zip(idx_lists) {
+                        let n1 = idx.len();
+                        let n0 = cols - n1;
+                        if n0 == 0 || n1 == 0 {
+                            *slot = f64::NAN;
+                            continue;
+                        }
+                        let n = (n0 + n1) as f64;
+                        let expect = n1 as f64 * (n + 1.0) / 2.0;
+                        let var = n0 as f64 * n1 as f64 * (n + 1.0) / 12.0;
+                        if var <= 0.0 {
+                            *slot = f64::NAN;
+                            continue;
+                        }
+                        let sd = var.sqrt();
+                        let mut w = 0.0;
+                        for &j in idx {
+                            w += row[j];
+                        }
+                        *slot = (w - expect) / sd;
+                    }
+                }
+            }
+            TestMethod::F | TestMethod::PairT | TestMethod::BlockF => {
+                unreachable!("FastKernel::build rejects methods without a fast form")
+            }
+        }
+    }
+
     /// Compute the statistics of every fast gene for the permutation whose
     /// group-1 columns are `idx` (from [`FastKernel::group1_indices`]),
     /// writing into `out` (indexed by gene). Scalar-path genes are left
@@ -372,6 +459,47 @@ mod tests {
         let kw = FastKernel::build(&m, TestMethod::Wilcoxon).unwrap();
         assert!(stats_for(&kw, &[0, 0, 0, 0], 1)[0].is_nan());
         assert!(stats_for(&kw, &[0, 0, 0, 1], 1)[0].is_finite());
+    }
+
+    #[test]
+    fn batch_entry_is_bitwise_identical_to_one_at_a_time() {
+        let data = vec![
+            3.5, -1.25, 7.0, 0.5, 2.25, -4.0, 9.5, 1.0, // gene 0
+            10.5, 11.25, 9.0, 10.0, 14.25, 13.0, 15.5, 14.0, // gene 1
+            0.3, 2.0, -1.0, 7.0, 0.5, 4.0, 2.0, -3.5, // gene 2
+        ];
+        let m = Matrix::from_vec(3, 8, data).unwrap();
+        let arrangements: [[u8; 8]; 4] = [
+            [0, 0, 0, 0, 1, 1, 1, 1],
+            [1, 0, 1, 0, 1, 0, 1, 0],
+            [1, 1, 0, 0, 0, 0, 1, 1],
+            [0, 0, 0, 1, 1, 1, 1, 1], // degenerate for t (n1=5, n0=3 fine) — vary sizes
+        ];
+        for method in [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon] {
+            let k = FastKernel::build(&m, method).unwrap();
+            let idx_lists: Vec<Vec<usize>> = arrangements
+                .iter()
+                .map(|labels| {
+                    let mut idx = Vec::new();
+                    FastKernel::group1_indices(labels, &mut idx);
+                    idx
+                })
+                .collect();
+            let stride = idx_lists.len();
+            let mut batched = vec![f64::NAN; 3 * stride];
+            k.stats_batch_into(&idx_lists, 0..k.fast_genes().len(), &mut batched, stride);
+            for (j, idx) in idx_lists.iter().enumerate() {
+                let mut single = vec![f64::NAN; 3];
+                k.stats_into(idx, &mut single);
+                for g in 0..3 {
+                    assert_eq!(
+                        batched[g * stride + j].to_bits(),
+                        single[g].to_bits(),
+                        "{method:?} gene {g} perm {j}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

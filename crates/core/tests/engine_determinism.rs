@@ -1,0 +1,118 @@
+//! Property-based determinism of the batched multi-threaded engine: for any
+//! random dataset, NA mask, test method, side and permutation count, the
+//! engine must produce **bitwise-identical** results for every thread count
+//! and batch size — `threads = 1, batch = 1` (the one-permutation-at-a-time
+//! reference geometry) versus multi-threaded, large-batch runs.
+//!
+//! This is the contract that lets `pmaxt`, checkpoint resume and the CLI all
+//! dispatch through the same engine regardless of `SPRINT_THREADS`: geometry
+//! may change the schedule, never the answer.
+
+use proptest::prelude::*;
+
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::MaxTResult;
+use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_core::prelude::{maxt_with_config, EngineConfig};
+use sprint_core::side::Side;
+
+/// Build a label vector satisfying `method`'s design rules from two small
+/// size knobs, returning `(labels, samples)`.
+fn labels_for(method: TestMethod, a: usize, b: usize) -> Vec<u8> {
+    match method {
+        // Two-sample designs: a samples of class 0, b of class 1.
+        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+            let mut l = vec![0u8; a];
+            l.extend(std::iter::repeat_n(1u8, b));
+            l
+        }
+        // Multi-class F: three classes of a samples each.
+        TestMethod::F => (0..3u8).flat_map(|c| std::iter::repeat_n(c, a)).collect(),
+        // Paired t: a pairs, each one (0, 1).
+        TestMethod::PairT => std::iter::repeat_n([0u8, 1u8], a).flatten().collect(),
+        // Block F: a blocks, each containing treatments 0, 1, 2 once.
+        TestMethod::BlockF => std::iter::repeat_n([0u8, 1u8, 2u8], a).flatten().collect(),
+    }
+}
+
+/// Random workload: method/side selectors, design size knobs, a permutation
+/// count and enough cell values + NA mask for the largest possible design.
+fn workload() -> impl Strategy<Value = (u8, u8, usize, usize, usize, u64, Vec<f64>, Vec<bool>)> {
+    (0u8..6, 0u8..3, 2usize..5, 2usize..5, 2usize..6, 8u64..48).prop_flat_map(
+        |(method_sel, side_sel, a, b, genes, perms)| {
+            let method = METHODS[method_sel as usize];
+            let cells = genes * labels_for(method, a, b).len();
+            (
+                Just(method_sel),
+                Just(side_sel),
+                Just(a),
+                Just(b),
+                Just(genes),
+                Just(perms),
+                proptest::collection::vec(-40.0f64..120.0, cells),
+                proptest::collection::vec(proptest::bool::weighted(0.10), cells),
+            )
+        },
+    )
+}
+
+const METHODS: [TestMethod; 6] = [
+    TestMethod::T,
+    TestMethod::TEqualVar,
+    TestMethod::Wilcoxon,
+    TestMethod::F,
+    TestMethod::PairT,
+    TestMethod::BlockF,
+];
+
+/// Bitwise equality of two results (`==` on floats would treat the NaN
+/// p-values of degenerate genes as unequal; `to_bits` is stricter and
+/// NaN-safe).
+fn bitwise_eq(x: &MaxTResult, y: &MaxTResult) -> bool {
+    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<u64>>();
+    x.b_used == y.b_used
+        && x.order == y.order
+        && bits(&x.teststat) == bits(&y.teststat)
+        && bits(&x.rawp) == bits(&y.rawp)
+        && bits(&x.adjp) == bits(&y.adjp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_thread_and_batch_geometry_is_bit_identical(
+        (method_sel, side_sel, a, b, genes, perms, mut values, na_mask) in workload()
+    ) {
+        let method = METHODS[method_sel as usize];
+        let side = [Side::Abs, Side::Upper, Side::Lower][side_sel as usize];
+        let labels = labels_for(method, a, b);
+        for (v, &is_na) in values.iter_mut().zip(&na_mask) {
+            if is_na {
+                *v = f64::NAN;
+            }
+        }
+        let m = Matrix::from_vec(genes, labels.len(), values).unwrap();
+        let opts = PmaxtOptions::default()
+            .test(method)
+            .side(side)
+            .permutations(perms);
+
+        // Reference geometry: one thread, one permutation per batch — the
+        // engine degenerates to the classic serial accumulate loop.
+        let reference = maxt_with_config(&m, &labels, &opts, EngineConfig::explicit(1, 1))
+            .unwrap();
+        prop_assert_eq!(reference.b_used, perms);
+
+        for (threads, batch) in [(1, 7), (1, 64), (2, 1), (3, 5), (8, 16), (4, 64)] {
+            let run = maxt_with_config(
+                &m, &labels, &opts, EngineConfig::explicit(threads, batch),
+            ).unwrap();
+            prop_assert!(
+                bitwise_eq(&reference, &run),
+                "geometry divergence: {:?} {:?} threads={} batch={} B={}",
+                method, side, threads, batch, perms
+            );
+        }
+    }
+}

@@ -17,9 +17,10 @@ use std::path::Path;
 use sprint_core::error::{Error, Result};
 use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
+use sprint_core::maxt::engine::{self, EngineConfig};
 use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
 use sprint_core::options::PmaxtOptions;
-use sprint_core::perm::{build_generator, resolve_permutation_count};
+use sprint_core::perm::resolve_permutation_count;
 use sprint_core::stats::prepare_matrix;
 
 /// A saved checkpoint.
@@ -36,7 +37,10 @@ pub struct CheckpointState {
 }
 
 /// FNV-1a over the run inputs: dimensions, every data bit, labels and the
-/// option encoding. Changing anything invalidates old checkpoints.
+/// option encoding. Changing anything that affects the result invalidates
+/// old checkpoints; the engine geometry (`threads`/`batch`) is canonicalized
+/// away first, because any geometry produces bit-identical counts — a run
+/// checkpointed on 1 thread may resume on 8.
 pub fn digest_run(data: &Matrix, labels: &[u8], opts: &PmaxtOptions) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -53,7 +57,12 @@ pub fn digest_run(data: &Matrix, labels: &[u8], opts: &PmaxtOptions) -> u64 {
         eat(&v.to_bits().to_le_bytes());
     }
     eat(labels);
-    eat(format!("{opts:?}").as_bytes());
+    let canonical = PmaxtOptions {
+        threads: 0,
+        batch: 0,
+        ..opts.clone()
+    };
+    eat(format!("{canonical:?}").as_bytes());
     h
 }
 
@@ -182,12 +191,12 @@ pub fn run_with_checkpoints(
     let b = resolve_permutation_count(&labels, opts)?;
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
     let ctx = MaxTContext::with_kernel(&prepared, &labels, opts.test, opts.side, opts.kernel);
-    let mut gen = build_generator(&labels, opts, b)?;
     let mut acc = CountAccumulator::new(data.rows());
+    let mut cursor = 0u64;
 
     let resumed_from = match load(path).map_err(|e| Error::Comm(e.to_string()))? {
         Some(state) if state.digest == digest && state.b == b => {
-            gen.skip(state.cursor);
+            cursor = state.cursor;
             acc = state.counts;
             state.cursor
         }
@@ -198,15 +207,22 @@ pub fn run_with_checkpoints(
         None => 0,
     };
 
+    // Each inter-checkpoint span is one engine chunk: the engine's workers
+    // build their own skip-forwarded generators, so a plain cursor is the
+    // whole resumable state — exactly what the checkpoint stores.
+    let cfg = EngineConfig::resolve(opts);
     let mut remaining_session = session_limit.unwrap_or(u64::MAX);
     let mut checkpoints_written = 0u64;
-    while gen.position() < b && remaining_session > 0 {
-        let take = every.min(b - gen.position()).min(remaining_session);
-        let done = ctx.accumulate(&mut *gen, take, &mut acc);
-        remaining_session -= done;
+    while cursor < b && remaining_session > 0 {
+        let take = every.min(b - cursor).min(remaining_session);
+        let run = engine::accumulate_chunk(&ctx, &labels, opts, b, cursor, take, cfg)?;
+        debug_assert_eq!(run.counts.n_perm, take, "chunk shorter than assigned");
+        acc.merge(&run.counts);
+        cursor += take;
+        remaining_session -= take;
         let state = CheckpointState {
             digest,
-            cursor: gen.position(),
+            cursor,
             b,
             counts: acc.clone(),
         };
@@ -218,7 +234,7 @@ pub fn run_with_checkpoints(
         resumed_from,
         checkpoints_written,
     };
-    if gen.position() >= b {
+    if cursor >= b {
         std::fs::remove_file(path).ok();
         Ok((Some(ctx.finalize(&acc)), info))
     } else {
@@ -299,6 +315,28 @@ mod tests {
             let direct = mt_maxt(&data, &labels, &opts).unwrap();
             assert_eq!(p2.unwrap(), direct);
         }
+    }
+
+    #[test]
+    fn resume_with_different_thread_geometry_is_bit_identical() {
+        // The digest canonicalizes threads/batch away: a run checkpointed
+        // under one engine geometry resumes under another, bit-identically.
+        let (data, labels) = data_and_labels();
+        let opts1 = PmaxtOptions::default().permutations(60).threads(1).batch(4);
+        let opts2 = PmaxtOptions::default()
+            .permutations(60)
+            .threads(3)
+            .batch(16);
+        assert_eq!(
+            digest_run(&data, &labels, &opts1),
+            digest_run(&data, &labels, &opts2)
+        );
+        let path = tmp("geometry");
+        let (p1, _) = run_with_checkpoints(&data, &labels, &opts1, &path, 10, Some(25)).unwrap();
+        assert!(p1.is_none());
+        let (result, info) = run_with_checkpoints(&data, &labels, &opts2, &path, 10, None).unwrap();
+        assert_eq!(info.resumed_from, 25);
+        assert_eq!(result.unwrap(), mt_maxt(&data, &labels, &opts1).unwrap());
     }
 
     #[test]

@@ -186,7 +186,9 @@ pub fn options_to_args(opts: &PmaxtOptions) -> Args {
         )
         .with("seed", Value::Int(opts.seed as i64))
         .with("max.complete", Value::Int(opts.max_complete as i64))
-        .with("kernel", Value::Str(opts.kernel.as_str().to_string()));
+        .with("kernel", Value::Str(opts.kernel.as_str().to_string()))
+        .with("threads", Value::Int(opts.threads as i64))
+        .with("batch", Value::Int(opts.batch as i64));
     if let Some(na) = opts.na {
         args.set("na", Value::Float(na));
     }
@@ -219,6 +221,12 @@ pub fn args_to_options(args: &Args) -> sprint_core::error::Result<PmaxtOptions> 
     }
     if let Some(v) = args.get("kernel") {
         opts.kernel = KernelChoice::parse(v.as_str().unwrap_or_default())?;
+    }
+    if let Some(v) = args.get("threads") {
+        opts.threads = v.as_int().unwrap_or(0) as usize;
+    }
+    if let Some(v) = args.get("batch") {
+        opts.batch = v.as_int().unwrap_or(0) as usize;
     }
     if let Some(v) = args.get("na") {
         opts.na = v.as_float();
@@ -288,7 +296,9 @@ mod tests {
             .permutations(77)
             .nonpara(true)
             .na_code(-1.0)
-            .seed(99);
+            .seed(99)
+            .threads(6)
+            .batch(48);
         for codec in [Codec::StringCoded, Codec::IntCoded] {
             let wire = encode(&options_to_args(&opts), codec);
             let back = args_to_options(&decode(&wire)).unwrap();

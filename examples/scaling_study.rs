@@ -14,7 +14,7 @@ fn print_figure2(b: u64, procs: u64) {
     println!("Figure 2 layout: B = {b} permutations over {procs} processes");
     println!("(permutation 1 is the observed labelling; only the master counts it)");
     for rank in 0..procs {
-        let (start, take) = chunk_for_rank(b, procs, rank);
+        let (start, take) = chunk_for_rank(b, procs, rank).expect("procs <= B in the figure");
         let role = if rank == 0 { "master" } else { "worker" };
         // Present 1-based indices as the figure does.
         if rank == 0 {

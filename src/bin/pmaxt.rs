@@ -53,7 +53,7 @@ struct GenerateConfig {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast] [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]"
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast] [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]"
 }
 
 fn parse_run(args: &[String]) -> Result<RunConfig, String> {
@@ -100,6 +100,16 @@ fn parse_run(args: &[String]) -> Result<RunConfig, String> {
             }
             "--kernel" => {
                 opts.kernel = KernelChoice::parse(take("--kernel")?).map_err(|e| e.to_string())?
+            }
+            "--threads" => {
+                opts.threads = take("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--batch" => {
+                opts.batch = take("--batch")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch: {e}"))?
             }
             "--minp" => minp = true,
             "--out" => out = Some(PathBuf::from(take("--out")?)),
@@ -301,6 +311,10 @@ mod tests {
             "--minp",
             "--kernel",
             "scalar",
+            "--threads",
+            "3",
+            "--batch",
+            "16",
             "--out",
             "r.tsv",
             "--top",
@@ -315,6 +329,8 @@ mod tests {
         assert!(cfg.opts.nonpara);
         assert_eq!(cfg.opts.na, Some(-999.0));
         assert_eq!(cfg.opts.seed, 7);
+        assert_eq!(cfg.opts.threads, 3);
+        assert_eq!(cfg.opts.batch, 16);
         assert_eq!(cfg.ranks, 4);
         assert!(cfg.minp);
         assert_eq!(cfg.out, Some(PathBuf::from("r.tsv")));

@@ -96,6 +96,35 @@ fn awkward_b_values_and_rank_combinations() {
 }
 
 #[test]
+fn hybrid_thread_geometries_through_pmaxt_match_serial() {
+    // The hybrid SPMD x threads mode: every rank fans out over an in-rank
+    // thread pool. Any (ranks, threads, batch) geometry must reproduce the
+    // serial answer exactly.
+    let ds = SynthConfig::two_class(50, 7, 7)
+        .diff_fraction(0.1)
+        .na_rate(0.03)
+        .seed(7_000)
+        .generate();
+    let serial = mt_maxt(
+        &ds.matrix,
+        &ds.labels,
+        &PmaxtOptions::default().permutations(90),
+    )
+    .unwrap();
+    for (ranks, threads, batch) in [(1, 4, 1), (2, 2, 8), (3, 8, 16), (4, 3, 64), (2, 1, 7)] {
+        let opts = PmaxtOptions::default()
+            .permutations(90)
+            .threads(threads)
+            .batch(batch);
+        let par = pmaxt(&ds.matrix, &ds.labels, &opts, ranks).unwrap();
+        assert_eq!(
+            par.result, serial,
+            "ranks={ranks} threads={threads} batch={batch}"
+        );
+    }
+}
+
+#[test]
 fn nonpara_mode_parallel_agreement() {
     let ds = SynthConfig::two_class(30, 6, 6)
         .na_rate(0.05)

@@ -8,7 +8,10 @@
 //! throughput when declared) are printed. No statistics beyond that — the
 //! numbers are honest wall-clock means, good enough to compare kernels on one
 //! machine, and the repo's JSON perf artifacts come from `make_tables`, not
-//! from this harness.
+//! from this harness. Passing `--test` (as `cargo bench -- --test` does)
+//! switches to a smoke mode that runs every benchmark body once without
+//! calibration, so CI can prove the benches execute without paying for
+//! timed samples.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -153,12 +156,34 @@ impl Bencher {
     }
 }
 
+/// True when the binary was invoked with `--test` (cargo's bench smoke
+/// mode): run every benchmark body exactly once to prove it executes,
+/// skipping calibration and sampling entirely.
+fn smoke_mode() -> bool {
+    use std::sync::OnceLock;
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     label: &str,
     throughput: Option<Throughput>,
     sample_size: usize,
     f: &mut F,
 ) {
+    if smoke_mode() {
+        let mut probe = Bencher {
+            batch: 1,
+            samples: Vec::with_capacity(1),
+        };
+        let start = Instant::now();
+        f(&mut probe);
+        println!(
+            "  {label:<40} smoke ok ({} elapsed)",
+            fmt_time(start.elapsed().as_secs_f64())
+        );
+        return;
+    }
     // Calibrate: grow the batch until one batch costs at least ~10 ms, so
     // nanosecond-scale routines are not swamped by timer overhead.
     let mut batch = 1u64;
