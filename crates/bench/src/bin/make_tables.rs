@@ -9,6 +9,7 @@
 //! make_tables local [GENES] [B] [MAXPROCS]         real run on this machine
 //! make_tables kernel [OUT.json]                    scalar vs fast kernel grid
 //! make_tables threads [OUT.json]                   hybrid ranks x threads grid
+//! make_tables serve [JOBS] [B] [OUT.json]          jobd throughput + cache latency
 //! make_tables all                                  everything above
 //! ```
 
@@ -201,6 +202,34 @@ fn run_threads(out: Option<&str>) {
     }
 }
 
+fn run_serve(jobs: usize, b: u64, out: Option<&str>) {
+    println!("=== jobd service: throughput, cache-hit latency, extension ===");
+    println!(
+        "(reference workload shape 6102x76; {jobs} distinct jobs at B = {b} \
+         through a 2-worker pool, then the same requests as cache hits, then \
+         one incremental extension to 3B/2)"
+    );
+    let r = sprint_bench::serve_bench(6_102, 76, b, jobs);
+    println!(
+        "  cold:   {jobs} jobs in {:>8.3} s  ({:.2} jobs/s)",
+        r.cold_secs, r.jobs_per_sec
+    );
+    println!(
+        "  hits:   {:>8.3} ms mean submit-to-result latency",
+        r.hit_latency_secs * 1e3
+    );
+    println!(
+        "  extend: B -> 3B/2 in {:>8.3} s  (fresh 3B/2 run: {:.3} s)",
+        r.extend_secs, r.fresh_secs
+    );
+    let json = sprint_bench::serve_bench_to_json(&r);
+    let path = out.unwrap_or("BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -222,6 +251,11 @@ fn main() {
         }
         "kernel" => run_kernel(args.get(1).map(String::as_str)),
         "threads" => run_threads(args.get(1).map(String::as_str)),
+        "serve" => {
+            let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+            run_serve(jobs, b, args.get(3).map(String::as_str));
+        }
         "all" => {
             platform_table(&hector(), "Table I");
             platform_table(&ecdf(), "Table II");
@@ -235,10 +269,11 @@ fn main() {
             run_local(600, 2_000, 4);
             run_kernel(None);
             run_threads(None);
+            run_serve(4, 400, None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|threads [OUT.json]|all]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|threads [OUT.json]|serve [JOBS B OUT.json]|all]");
             std::process::exit(2);
         }
     }

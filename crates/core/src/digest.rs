@@ -1,0 +1,177 @@
+//! Content digests of run inputs — the identity layer under checkpointing
+//! (`sprint::checkpoint`) and the job service's content-addressed result
+//! cache (`jobd`).
+//!
+//! Three digests with three invalidation scopes:
+//!
+//! - [`dataset_digest`]: dimensions, every data bit, and the class labels —
+//!   anything that changes a statistic changes this;
+//! - [`options_digest`]: the result-relevant option fields *including* the
+//!   permutation count. Two runs with equal dataset and options digests
+//!   produce bitwise-identical results, so this is the checkpoint key;
+//! - [`stream_digest`]: like [`options_digest`] but with `b` canonicalized
+//!   to its *stream class* (complete vs Monte-Carlo). Every generator's
+//!   `j`-th arrangement is independent of the total count, so two
+//!   Monte-Carlo runs differing only in `B` share one permutation stream —
+//!   a `B`-permutation result is a reusable prefix of any `B′ > B` run.
+//!   This is the cache key that makes incremental extension possible.
+//!
+//! Implementation-selection fields (`kernel`, `threads`, `batch`) never
+//! enter any digest: every kernel and every engine geometry produces
+//! bitwise-identical counts (asserted by the engine/kernel test suites), so
+//! a run started under one configuration may resume or extend under another.
+
+use crate::matrix::Matrix;
+use crate::options::PmaxtOptions;
+
+/// Incremental FNV-1a over byte slices.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Start from the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Digest of the data a run computes on: dimensions, every matrix bit
+/// (NaN patterns included) and the raw class-label vector.
+pub fn dataset_digest(data: &Matrix, classlabel: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(data.rows() as u64);
+    h.write_u64(data.cols() as u64);
+    for v in data.as_slice() {
+        h.write_u64(v.to_bits());
+    }
+    h.write(classlabel);
+    h.finish()
+}
+
+/// Absorb the result-relevant option fields. `canonical_b` lets the two
+/// public digests differ only in how they treat the permutation count.
+fn eat_options(h: &mut Fnv1a, opts: &PmaxtOptions, canonical_b: u64) {
+    h.write(opts.test.as_str().as_bytes());
+    h.write(opts.side.as_str().as_bytes());
+    h.write(opts.sampling.as_str().as_bytes());
+    h.write_u64(canonical_b);
+    match opts.na {
+        Some(code) => {
+            h.write(&[1]);
+            h.write_u64(code.to_bits());
+        }
+        None => h.write(&[0]),
+    }
+    h.write(&[opts.nonpara as u8]);
+    h.write_u64(opts.seed);
+}
+
+/// Digest of the result-relevant options, `B` included. Equal
+/// `(dataset_digest, options_digest)` pairs identify runs with
+/// bitwise-identical results regardless of kernel or engine geometry.
+pub fn options_digest(opts: &PmaxtOptions) -> u64 {
+    let mut h = Fnv1a::new();
+    eat_options(&mut h, opts, opts.b);
+    h.finish()
+}
+
+/// Digest of the permutation *stream* a run consumes: like
+/// [`options_digest`] but `b` collapses to `0` (complete enumeration) vs
+/// `1` (Monte-Carlo). Monte-Carlo runs differing only in `B` draw prefixes
+/// of one stream, so they share this digest — the content address under
+/// which a result cache can extend a `B`-permutation run to `B′ > B`
+/// without recomputing the shared prefix.
+pub fn stream_digest(opts: &PmaxtOptions) -> u64 {
+    let mut h = Fnv1a::new();
+    eat_options(&mut h, opts, u64::from(opts.b > 0));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{KernelChoice, TestMethod};
+    use crate::side::Side;
+
+    fn data() -> (Matrix, Vec<u8>) {
+        let m = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        (m, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn dataset_digest_sensitive_to_values_and_labels() {
+        let (m, labels) = data();
+        let base = dataset_digest(&m, &labels);
+        let mut v = m.as_slice().to_vec();
+        v[3] += 0.5;
+        let m2 = Matrix::from_vec(2, 4, v).unwrap();
+        assert_ne!(base, dataset_digest(&m2, &labels));
+        assert_ne!(base, dataset_digest(&m, &[0, 1, 0, 1]));
+        assert_eq!(base, dataset_digest(&m, &labels));
+    }
+
+    #[test]
+    fn options_digest_tracks_result_relevant_fields_only() {
+        let o = PmaxtOptions::default();
+        let base = options_digest(&o);
+        assert_ne!(base, options_digest(&o.clone().test(TestMethod::Wilcoxon)));
+        assert_ne!(base, options_digest(&o.clone().side(Side::Upper)));
+        assert_ne!(base, options_digest(&o.clone().seed(1)));
+        assert_ne!(base, options_digest(&o.clone().permutations(99)));
+        assert_ne!(base, options_digest(&o.clone().na_code(-9.0)));
+        assert_ne!(base, options_digest(&o.clone().nonpara(true)));
+        // Implementation selection never invalidates.
+        assert_eq!(base, options_digest(&o.clone().threads(7).batch(3)));
+        assert_eq!(
+            base,
+            options_digest(&o.clone().kernel(KernelChoice::Scalar))
+        );
+        assert_eq!(base, options_digest(&o.clone().max_complete(42)));
+    }
+
+    #[test]
+    fn stream_digest_collapses_b_but_separates_complete() {
+        let o = PmaxtOptions::default();
+        assert_eq!(
+            stream_digest(&o.clone().permutations(100)),
+            stream_digest(&o.clone().permutations(100_000)),
+            "Monte-Carlo runs share one stream"
+        );
+        assert_ne!(
+            stream_digest(&o.clone().permutations(0)),
+            stream_digest(&o.clone().permutations(20)),
+            "complete enumeration is a different stream"
+        );
+        assert_ne!(
+            stream_digest(&o.clone().permutations(100).seed(1)),
+            stream_digest(&o.clone().permutations(100).seed(2))
+        );
+    }
+}

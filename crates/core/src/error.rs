@@ -28,6 +28,18 @@ pub enum Error {
     },
     /// A parallel run failed inside the message-passing substrate.
     Comm(String),
+    /// A permutation distribution would hand at least one rank an empty
+    /// chunk (`ranks > B`) — a resource-allocation mistake, kept distinct so
+    /// callers (the CLI exit-code mapping, the job service) can tell it from
+    /// infrastructure failures.
+    RanksExceedPermutations {
+        /// Total permutation count of the run.
+        b: u64,
+        /// Requested rank count.
+        ranks: u64,
+    },
+    /// The run was cancelled cooperatively (engine cancellation hook).
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -50,6 +62,12 @@ impl fmt::Display for Error {
                 ),
             },
             Error::Comm(msg) => write!(f, "communication failure: {msg}"),
+            Error::RanksExceedPermutations { b, ranks } => write!(
+                f,
+                "cannot distribute {b} permutation(s) over {ranks} ranks: every \
+                 rank needs at least one permutation; use at most {b} ranks"
+            ),
+            Error::Cancelled => write!(f, "run cancelled"),
         }
     }
 }

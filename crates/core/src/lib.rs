@@ -47,6 +47,7 @@
 //! assert!(serial.adjp[0] < serial.adjp[1]);
 //! ```
 
+pub mod digest;
 pub mod error;
 pub mod labels;
 pub mod matrix;

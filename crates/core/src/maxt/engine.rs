@@ -100,8 +100,15 @@ impl EngineConfig {
     }
 }
 
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
+fn env_usize(name: &'static str) -> Option<usize> {
+    let v = std::env::var(name).ok()?;
+    match v.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            crate::options::warn_bad_env(name, &v, "a non-negative integer (0 = auto)");
+            None
+        }
+    }
 }
 
 fn available_threads() -> usize {
@@ -180,6 +187,35 @@ pub struct ChunkRun {
     pub workers: Vec<WorkerStat>,
 }
 
+/// Cooperative hooks observed by every engine worker between batches.
+///
+/// `cancel` is polled before each batch: once set, [`accumulate_chunk_hooked`]
+/// abandons the chunk and returns [`Error::Cancelled`] — partial counts are
+/// discarded, because a chunk interrupted mid-way is not a permutation-index
+/// prefix and could never be resumed from a cursor. Callers that need
+/// resumability (the `jobd` job service) process runs as a sequence of modest
+/// chunks and checkpoint between them; the hook bounds cancellation latency
+/// to one batch rather than one chunk.
+///
+/// `progress` is called after each batch with the number of permutations just
+/// completed (concurrently from every worker — keep it cheap and atomic).
+#[derive(Clone, Copy, Default)]
+pub struct ChunkHooks<'a> {
+    /// Cooperative cancellation flag, polled between batches.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    /// Per-batch progress callback: receives permutations-just-finished.
+    pub progress: Option<&'a (dyn Fn(u64) + Sync)>,
+}
+
+impl std::fmt::Debug for ChunkHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkHooks")
+            .field("cancel", &self.cancel.map(|_| "AtomicBool"))
+            .field("progress", &self.progress.map(|_| "Fn"))
+            .finish()
+    }
+}
+
 /// Process the permutation chunk `[start, start + take)` of a `b`-permutation
 /// run: fan the chunk over `cfg.threads` workers, each evaluating its
 /// sub-chunk in `cfg.batch`-sized batches, and tree-merge the partial counts.
@@ -196,6 +232,33 @@ pub fn accumulate_chunk(
     take: u64,
     cfg: EngineConfig,
 ) -> Result<ChunkRun> {
+    accumulate_chunk_hooked(
+        ctx,
+        labels,
+        opts,
+        b,
+        start,
+        take,
+        cfg,
+        ChunkHooks::default(),
+    )
+}
+
+/// [`accumulate_chunk`] with cooperative cancellation and progress reporting
+/// (see [`ChunkHooks`]). Counts are bitwise-identical to the hook-free path:
+/// workers evaluate the same batches in the same order, the hooks only
+/// observe the boundaries between them.
+#[allow(clippy::too_many_arguments)]
+pub fn accumulate_chunk_hooked(
+    ctx: &MaxTContext<'_>,
+    labels: &ClassLabels,
+    opts: &PmaxtOptions,
+    b: u64,
+    start: u64,
+    take: u64,
+    cfg: EngineConfig,
+    hooks: ChunkHooks<'_>,
+) -> Result<ChunkRun> {
     let genes = ctx.genes();
     let jobs = split_chunk(start, take, cfg.threads);
     if jobs.is_empty() {
@@ -204,14 +267,45 @@ pub fn accumulate_chunk(
             workers: Vec::new(),
         });
     }
-    let run_worker = |worker: usize, sub_start: u64, sub_take: u64| {
+    let cancelled = || -> bool {
+        matches!(hooks.cancel, Some(f) if f.load(std::sync::atomic::Ordering::Relaxed))
+    };
+    let run_worker = |worker: usize, sub_start: u64, sub_take: u64| -> Result<_> {
         let begin = Instant::now();
         let mut gen = build_generator(labels, opts, b).expect("validated generator");
         gen.skip(sub_start);
         let mut acc = CountAccumulator::new(genes);
-        let done = ctx.accumulate_batched(&mut *gen, sub_take, cfg.batch, &mut acc);
-        debug_assert_eq!(done, sub_take, "sub-chunk shorter than assigned");
-        (
+        if hooks.cancel.is_none() && hooks.progress.is_none() {
+            // Hook-free fast path: one call, batch buffers allocated once.
+            let done = ctx.accumulate_batched(&mut *gen, sub_take, cfg.batch, &mut acc);
+            debug_assert_eq!(done, sub_take, "sub-chunk shorter than assigned");
+            return Ok((
+                acc,
+                WorkerStat {
+                    worker,
+                    start: sub_start,
+                    take: sub_take,
+                    busy: begin.elapsed(),
+                },
+            ));
+        }
+        // Batch-at-a-time outer loop so the hooks run between batches; each
+        // `accumulate_batched` call scores exactly one batch, so the inner
+        // arithmetic is the same sequence as one whole-sub-chunk call.
+        let mut done = 0u64;
+        while done < sub_take {
+            if cancelled() {
+                return Err(Error::Cancelled);
+            }
+            let step = (sub_take - done).min(cfg.batch.max(1) as u64);
+            let did = ctx.accumulate_batched(&mut *gen, step, cfg.batch, &mut acc);
+            debug_assert_eq!(did, step, "sub-chunk shorter than assigned");
+            done += did;
+            if let Some(progress) = hooks.progress {
+                progress(did);
+            }
+        }
+        Ok((
             acc,
             WorkerStat {
                 worker,
@@ -219,9 +313,9 @@ pub fn accumulate_chunk(
                 take: sub_take,
                 busy: begin.elapsed(),
             },
-        )
+        ))
     };
-    let parts: Vec<(CountAccumulator, WorkerStat)> = if jobs.len() == 1 {
+    let parts: Vec<Result<(CountAccumulator, WorkerStat)>> = if jobs.len() == 1 {
         let (s, t) = jobs[0];
         vec![run_worker(0, s, t)]
     } else {
@@ -243,7 +337,8 @@ pub fn accumulate_chunk(
     };
     let mut workers = Vec::with_capacity(parts.len());
     let mut counts = Vec::with_capacity(parts.len());
-    for (acc, stat) in parts {
+    for part in parts {
+        let (acc, stat) = part?;
         counts.push(acc);
         workers.push(stat);
     }
@@ -632,6 +727,49 @@ mod tests {
         let run = accumulate_chunk(&ctx, &labels, &opts, b, 3, 0, EngineConfig::serial()).unwrap();
         assert_eq!(run.counts.n_perm, 0);
         assert!(run.workers.is_empty());
+    }
+
+    #[test]
+    fn hooked_chunk_matches_hookless_and_reports_progress() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let (data, classlabel) = test_data();
+        let opts = PmaxtOptions::default().permutations(40);
+        let (labels, b, prepared) = prepare_run(&data, &classlabel, &opts).unwrap();
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        let cfg = EngineConfig {
+            threads: 3,
+            batch: 7,
+        };
+        let plain = accumulate_chunk(&ctx, &labels, &opts, b, 2, 30, cfg).unwrap();
+        let progressed = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let hooks = ChunkHooks {
+            cancel: Some(&cancel),
+            progress: Some(&|n| {
+                progressed.fetch_add(n, Ordering::Relaxed);
+            }),
+        };
+        let hooked = accumulate_chunk_hooked(&ctx, &labels, &opts, b, 2, 30, cfg, hooks).unwrap();
+        assert_eq!(hooked.counts, plain.counts, "hooks must not change counts");
+        assert_eq!(progressed.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_aborts_with_typed_error() {
+        use std::sync::atomic::AtomicBool;
+        let (data, classlabel) = test_data();
+        let opts = PmaxtOptions::default().permutations(40);
+        let (labels, b, prepared) = prepare_run(&data, &classlabel, &opts).unwrap();
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        let cancel = AtomicBool::new(true);
+        let hooks = ChunkHooks {
+            cancel: Some(&cancel),
+            progress: None,
+        };
+        let err =
+            accumulate_chunk_hooked(&ctx, &labels, &opts, b, 0, b, EngineConfig::serial(), hooks)
+                .unwrap_err();
+        assert!(matches!(err, Error::Cancelled));
     }
 
     #[test]

@@ -163,12 +163,33 @@ impl KernelChoice {
     /// Apply the `SPRINT_KERNEL` environment override, if set to a valid
     /// value. Every context construction consults this, so `SPRINT_KERNEL=
     /// scalar` forces the scalar path through any driver without touching
-    /// options plumbing.
+    /// options plumbing. An invalid value is ignored with a single stderr
+    /// warning naming the accepted forms — never silently.
     pub fn env_override(self) -> Self {
         match std::env::var("SPRINT_KERNEL") {
-            Ok(v) => Self::parse(&v).unwrap_or(self),
+            Ok(v) => match Self::parse(&v) {
+                Ok(choice) => choice,
+                Err(_) => {
+                    warn_bad_env("SPRINT_KERNEL", &v, "\"auto\", \"scalar\" or \"fast\"");
+                    self
+                }
+            },
             Err(_) => self,
         }
+    }
+}
+
+/// Warn (once per variable per process) that an environment override is
+/// being ignored because its value does not parse. Silent swallowing made
+/// `SPRINT_KERNEL=Fast` or `SPRINT_THREADS=4x` run the default configuration
+/// with no indication anything was wrong.
+pub(crate) fn warn_bad_env(name: &'static str, value: &str, accepted: &str) {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static WARNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(HashSet::new()));
+    if warned.lock().unwrap().insert(name) {
+        eprintln!("warning: ignoring invalid {name}={value:?}: accepted values are {accepted}");
     }
 }
 

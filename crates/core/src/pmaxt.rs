@@ -100,10 +100,7 @@ pub fn chunk_for_rank(b: u64, size: u64, rank: u64) -> Result<(u64, u64)> {
         )));
     }
     if size > b {
-        return Err(Error::Comm(format!(
-            "cannot distribute {b} permutation(s) over {size} ranks: every \
-             rank needs at least one permutation; use at most {b} ranks"
-        )));
+        return Err(Error::RanksExceedPermutations { b, ranks: size });
     }
     Ok(crate::maxt::engine::split_evenly(b, size, rank))
 }
@@ -405,6 +402,13 @@ mod tests {
                 );
             }
         }
+        assert!(
+            matches!(
+                chunk_for_rank(3, 8, 0),
+                Err(Error::RanksExceedPermutations { b: 3, ranks: 8 })
+            ),
+            "oversubscription is the typed variant, not a generic Comm error"
+        );
         assert!(chunk_for_rank(10, 0, 0).is_err(), "zero ranks rejected");
         assert!(chunk_for_rank(10, 3, 3).is_err(), "rank out of range");
         assert!(chunk_for_rank(10, 3, 7).is_err(), "rank out of range");

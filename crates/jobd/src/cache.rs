@@ -1,0 +1,199 @@
+//! Content-addressed result cache backed by the checkpoint format.
+//!
+//! A cache entry **is** a checkpoint file (`pmaxt-checkpoint-v1`, see
+//! [`sprint::checkpoint`]): the pair (cursor, partial counts) of one
+//! deterministic permutation stream. The entry's identity — its file name —
+//! is the pair of digests that pin that stream down:
+//!
+//! - [`sprint_core::digest::dataset_digest`] over every data bit and label,
+//! - [`sprint_core::digest::stream_digest`] over the result-relevant options
+//!   with `B` collapsed to a complete-vs-Monte-Carlo flag.
+//!
+//! Collapsing `B` is what makes **incremental extension** a cache hit: runs
+//! that differ only in their Monte-Carlo permutation count share one stream
+//! prefix (`len` is only a cap — the j-th arrangement never depends on the
+//! total), so an entry computed for `B` is a valid prefix state for any
+//! `B′ > B`. Implementation knobs (kernel, threads, batch) are canonicalized
+//! away entirely: any geometry produces bitwise-identical counts.
+//!
+//! Because every entry is a prefix state of one deterministic stream, *any*
+//! consistent entry is reusable — concurrent writers can only replace one
+//! valid prefix with another. The probe logic is therefore a pure function of
+//! the stored cursor versus the requested count.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sprint::checkpoint::{self, CheckpointState};
+use sprint_core::digest::{self, Fnv1a};
+use sprint_core::matrix::Matrix;
+use sprint_core::options::PmaxtOptions;
+
+/// Identity of a permutation stream: which data, which result-relevant
+/// options (minus the permutation count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Digest of the (NA-canonicalized) data matrix and class labels.
+    pub dataset: u64,
+    /// Digest of the options with `B` collapsed (see module docs).
+    pub stream: u64,
+}
+
+impl CacheKey {
+    /// Key for a run. `data` must already be NA-canonicalized (the manager
+    /// canonicalizes before digesting, so differently-encoded but identical
+    /// datasets share entries).
+    pub fn new(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> CacheKey {
+        CacheKey {
+            dataset: digest::dataset_digest(data, classlabel),
+            stream: digest::stream_digest(opts),
+        }
+    }
+
+    /// Hex form used as the entry file stem and the wire-visible key.
+    pub fn hex(&self) -> String {
+        format!("{:016x}-{:016x}", self.dataset, self.stream)
+    }
+
+    /// The digest written into the checkpoint file's `digest` field, so an
+    /// entry self-validates even if renamed.
+    pub fn check_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.dataset);
+        h.write_u64(self.stream);
+        h.finish()
+    }
+}
+
+/// What a cache probe found for a requested permutation count `b`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheProbe {
+    /// No (valid) entry: compute from scratch, store spans as they finish.
+    Miss,
+    /// Entry with `cursor == b`: the result is fully determined by the stored
+    /// counts — finalize without computing anything.
+    Hit(CheckpointState),
+    /// Entry with `cursor < b`: resume/extend from the stored prefix and
+    /// compute only permutations `cursor..b`.
+    Partial(CheckpointState),
+    /// Entry with `cursor > b`: the stored counts cover *more* permutations
+    /// than requested and integer counts cannot be truncated. Compute fresh
+    /// and do **not** write spans, so the longer cached prefix survives.
+    Beyond,
+}
+
+/// A directory of checkpoint-format cache entries, one per [`CacheKey`].
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.ckpt", key.hex()))
+    }
+
+    /// Probe the cache for a run of `b` permutations on `key`'s stream.
+    /// Unreadable, corrupt or digest-mismatched entries degrade to a miss —
+    /// the cache is an accelerator, never a correctness dependency.
+    pub fn probe(&self, key: &CacheKey, b: u64) -> CacheProbe {
+        let state = match checkpoint::load(&self.entry_path(key)) {
+            Ok(Some(state)) if state.digest == key.check_digest() => state,
+            _ => return CacheProbe::Miss,
+        };
+        match state.cursor.cmp(&b) {
+            std::cmp::Ordering::Equal => CacheProbe::Hit(state),
+            std::cmp::Ordering::Less => CacheProbe::Partial(state),
+            std::cmp::Ordering::Greater => CacheProbe::Beyond,
+        }
+    }
+
+    /// Write (atomically replace) the entry for `key`.
+    pub fn store(&self, key: &CacheKey, state: &CheckpointState) -> io::Result<()> {
+        debug_assert_eq!(state.digest, key.check_digest(), "entry digest mismatch");
+        checkpoint::save(&self.entry_path(key), state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_core::maxt::CountAccumulator;
+
+    fn tmp_cache(name: &str) -> ResultCache {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("sprint-jobd-cache-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ResultCache::open(dir).unwrap()
+    }
+
+    fn sample_key() -> CacheKey {
+        let data = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0]).unwrap();
+        CacheKey::new(&data, &[0, 0, 1, 1], &PmaxtOptions::default())
+    }
+
+    fn state_at(key: &CacheKey, cursor: u64, b: u64) -> CheckpointState {
+        CheckpointState {
+            digest: key.check_digest(),
+            cursor,
+            b,
+            counts: CountAccumulator {
+                count_raw: vec![cursor, 0],
+                count_adj: vec![0, cursor],
+                n_perm: cursor,
+            },
+        }
+    }
+
+    #[test]
+    fn key_collapses_permutation_count_but_not_seed() {
+        let data = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0]).unwrap();
+        let labels = [0u8, 0, 1, 1];
+        let base = CacheKey::new(&data, &labels, &PmaxtOptions::default().permutations(100));
+        let longer = CacheKey::new(&data, &labels, &PmaxtOptions::default().permutations(5000));
+        assert_eq!(base, longer, "B must not enter the key (extension)");
+        let reseeded = CacheKey::new(&data, &labels, &PmaxtOptions::default().seed(9));
+        assert_ne!(base, reseeded);
+        let complete = CacheKey::new(&data, &labels, &PmaxtOptions::default().permutations(0));
+        assert_ne!(base, complete, "complete enumeration is a distinct stream");
+    }
+
+    #[test]
+    fn probe_classifies_by_cursor() {
+        let cache = tmp_cache("classify");
+        let key = sample_key();
+        assert_eq!(cache.probe(&key, 50), CacheProbe::Miss);
+        cache.store(&key, &state_at(&key, 30, 50)).unwrap();
+        assert!(matches!(cache.probe(&key, 50), CacheProbe::Partial(s) if s.cursor == 30));
+        assert!(matches!(cache.probe(&key, 30), CacheProbe::Hit(s) if s.cursor == 30));
+        assert_eq!(cache.probe(&key, 10), CacheProbe::Beyond);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_entries_degrade_to_miss() {
+        let cache = tmp_cache("corrupt");
+        let key = sample_key();
+        std::fs::write(cache.entry_path(&key), "not a checkpoint").unwrap();
+        assert_eq!(cache.probe(&key, 10), CacheProbe::Miss);
+        // Valid file, wrong digest (e.g. renamed from another key).
+        let mut state = state_at(&key, 5, 10);
+        state.digest ^= 1;
+        checkpoint::save(&cache.entry_path(&key), &state).unwrap();
+        assert_eq!(cache.probe(&key, 10), CacheProbe::Miss);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+}

@@ -1,0 +1,102 @@
+//! Client side of the line protocol: connect, send a request line, read
+//! response lines. Used by the `pmaxt submit|status|result|cancel`
+//! subcommands and the integration tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use crate::json::Json;
+use crate::server::BindAddr;
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn reader(&self) -> io::Result<Box<dyn io::Read + Send>> {
+        Ok(match self {
+            Stream::Unix(s) => Box::new(s.try_clone()?),
+            Stream::Tcp(s) => Box::new(s.try_clone()?),
+        })
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A connection to a jobd server.
+pub struct Client {
+    writer: Stream,
+    reader: BufReader<Box<dyn io::Read + Send>>,
+}
+
+impl Client {
+    /// Connect to `addr` (same syntax as the server's bind address).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = match BindAddr::parse(addr) {
+            BindAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            BindAddr::Tcp(spec) => Stream::Tcp(TcpStream::connect(spec)?),
+        };
+        let reader = BufReader::new(stream.reader()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one request line and read one response line.
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        let mut line = request.to_json();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Read the next response/event line (for `watch` streams).
+    pub fn read_response(&mut self) -> io::Result<Json> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(line.trim_end()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Split a response into `Ok(response)` / `Err((message, code))` on the
+/// protocol's `ok` field.
+pub fn expect_ok(resp: Json) -> Result<Json, (String, String)> {
+    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(resp)
+    } else {
+        let msg = resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed response")
+            .to_string();
+        let code = resp
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("runtime")
+            .to_string();
+        Err((msg, code))
+    }
+}

@@ -1,0 +1,39 @@
+//! `jobd` — a persistent permutation-testing job service.
+//!
+//! The paper's `pmaxT` is a batch function: one dataset, one `B`, one
+//! blocking call. This crate wraps the same deterministic engine in a
+//! long-lived service, which changes what repeated use costs:
+//!
+//! - **Job orchestration** ([`manager`]): a bounded queue and worker pool
+//!   drive the batched engine span by span — round-robin across jobs for
+//!   fairness, per-job thread budgets, cooperative cancellation at batch
+//!   granularity, and progress events with a critical-path ETA.
+//! - **Content-addressed result cache** ([`cache`]): entries are checkpoint
+//!   files keyed by (dataset digest, permutation-stream digest). A repeated
+//!   request finalizes from stored counts without computing; a crashed or
+//!   cancelled job resumes from its last completed span.
+//! - **Incremental extension**: the stream digest collapses the Monte-Carlo
+//!   permutation count, and the skip-ahead generators make run prefixes
+//!   independent of the total — so raising `B` to `B′` computes only
+//!   permutations `B..B′` and is bitwise-identical to a fresh `B′` run.
+//! - **Wire protocol** ([`json`], [`protocol`], [`server`], [`client`]):
+//!   line-delimited JSON over a Unix-domain socket or TCP, exposed by the
+//!   `pmaxt serve` / `submit` / `status` / `result` / `cancel` subcommands.
+//!
+//! Every layer preserves the repo's core invariant: a jobd-served result is
+//! bitwise-identical to a direct `mt_maxt` call, whatever the scheduling,
+//! geometry, caching or interruption history.
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod manager;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, CacheProbe, ResultCache};
+pub use manager::{
+    CacheDisposition, JobError, JobEvent, JobManager, JobSpec, JobState, JobStatus, ManagerConfig,
+    SubmitInfo,
+};
+pub use server::{BindAddr, Server};

@@ -1,0 +1,1132 @@
+//! The job manager: a bounded queue and worker pool driving the batched
+//! permutation engine, with span-sliced fair scheduling, cooperative
+//! cancellation, checkpoint-backed caching and progress events.
+//!
+//! ## Scheduling
+//!
+//! A job is not run to completion by one worker. Each time a worker pops a
+//! job it processes **one span** (`ManagerConfig::span` permutations) through
+//! [`accumulate_chunk_hooked`], merges the span's counts into the job, writes
+//! the cache entry, and re-enqueues the job at the back of the queue. With
+//! more runnable jobs than workers this interleaves them round-robin, so a
+//! short job never starves behind a long one; with fewer, each job still gets
+//! its own engine thread budget per span.
+//!
+//! ## Determinism
+//!
+//! A span is an engine chunk: counts are bitwise-identical to a serial run
+//! regardless of span size, worker interleaving, per-job thread budget or
+//! batch size (see `sprint_core::maxt::engine`). The manager only ever
+//! partitions the permutation index range `0..B` into consecutive spans and
+//! sums integer counts, so a jobd-served result equals `mt_maxt` bit for bit.
+//!
+//! ## Cancellation and resumability
+//!
+//! Cancellation sets a per-job [`AtomicBool`] polled by every engine worker
+//! between batches. A span interrupted mid-way is discarded — its partial
+//! counts are not an index prefix — so the job's durable state remains the
+//! last completed span's checkpoint, which a later submit resumes from.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sprint::checkpoint::CheckpointState;
+use sprint_core::error::Error as CoreError;
+use sprint_core::labels::ClassLabels;
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::engine::{accumulate_chunk_hooked, ChunkHooks, EngineConfig};
+use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
+use sprint_core::options::PmaxtOptions;
+use sprint_core::perm::resolve_permutation_count;
+use sprint_core::stats::prepare_matrix;
+
+use crate::cache::{CacheKey, CacheProbe, ResultCache};
+
+/// Configuration of a [`JobManager`].
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Worker threads servicing the job queue (each drives one span at a
+    /// time); `0` resolves to 2.
+    pub workers: usize,
+    /// Maximum runnable jobs queued at once; further submissions are
+    /// rejected with [`JobError::QueueFull`].
+    pub queue_cap: usize,
+    /// Permutations per span — the checkpoint / fairness / cancellation
+    /// granule.
+    pub span: u64,
+    /// Engine threads for jobs that leave `opts.threads = 0` (auto); `0`
+    /// resolves to available parallelism divided by the worker count, so a
+    /// fully busy pool does not oversubscribe the machine.
+    pub job_threads: usize,
+    /// Cache directory; `None` disables caching (every submit computes).
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            workers: 2,
+            queue_cap: 64,
+            span: 4096,
+            job_threads: 0,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A submitted unit of work: the dataset and the full `pmaxT` options.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Expression matrix (genes × samples).
+    pub data: Matrix,
+    /// Class labels, one per sample column.
+    pub classlabel: Vec<u8>,
+    /// Run options; `opts.threads`/`opts.batch` set this job's engine budget.
+    pub opts: PmaxtOptions,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue for a worker.
+    Queued,
+    /// A worker is processing a span right now.
+    Running,
+    /// All permutations accumulated; the result is available.
+    Finished,
+    /// Cancelled; the last completed span remains cached for resumption.
+    Cancelled,
+    /// The engine reported an error (see [`JobStatus::error`]).
+    Failed,
+}
+
+impl JobState {
+    /// Wire string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Finished => "finished",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// True when the job will never make further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Finished | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// How the cache served a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// No entry; computed from scratch (and cached).
+    Miss,
+    /// Entry covered the full request: no permutations computed.
+    Hit,
+    /// Entry for the same `B` with a partial cursor: crash/cancel recovery.
+    Resume {
+        /// Cursor the job resumed from.
+        from: u64,
+    },
+    /// Entry for a smaller `B`: incremental extension of a finished run.
+    Extend {
+        /// Cursor (the previous run's `B`) the job extended from.
+        from: u64,
+    },
+    /// Not cached: caching disabled, or the entry covers more permutations
+    /// than requested (computing fresh must not clobber it).
+    Uncached,
+}
+
+impl CacheDisposition {
+    /// Wire string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Resume { .. } => "resume",
+            CacheDisposition::Extend { .. } => "extend",
+            CacheDisposition::Uncached => "uncached",
+        }
+    }
+
+    /// The cursor this submission started from (0 unless resuming/extending).
+    pub fn resumed_from(self) -> u64 {
+        match self {
+            CacheDisposition::Resume { from } | CacheDisposition::Extend { from } => from,
+            _ => 0,
+        }
+    }
+}
+
+/// Point-in-time view of a job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id (unique within the manager's lifetime).
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Permutations accounted for, including live intra-span progress.
+    pub done: u64,
+    /// Total permutations of the run (the resolved `B`).
+    pub total: u64,
+    /// Permutations actually computed by this submission (0 for a cache hit).
+    pub computed: u64,
+    /// How the cache served this submission.
+    pub cache: CacheDisposition,
+    /// Estimated seconds to completion, from the critical-path rate of the
+    /// spans processed so far; `None` before the first span (or when done).
+    pub eta_secs: Option<f64>,
+    /// Failure message when `state == Failed`.
+    pub error: Option<String>,
+}
+
+/// Outcome of [`JobManager::submit`].
+#[derive(Debug, Clone)]
+pub struct SubmitInfo {
+    /// Job id to poll/await/cancel.
+    pub id: u64,
+    /// State right after submission (`Finished` for an instant cache hit).
+    pub state: JobState,
+    /// How the cache served the submission.
+    pub cache: CacheDisposition,
+    /// Total permutations of the run (the resolved `B`).
+    pub total: u64,
+    /// True when an identical live job already existed and was returned
+    /// instead of a new one.
+    pub deduped: bool,
+    /// Hex cache key of the run's permutation stream.
+    pub key: String,
+}
+
+/// Progress/lifecycle event streamed to subscribers.
+#[derive(Debug, Clone)]
+pub struct JobEvent {
+    /// Job id.
+    pub job: u64,
+    /// State at the time of the event.
+    pub state: JobState,
+    /// Permutations accounted for.
+    pub done: u64,
+    /// Total permutations.
+    pub total: u64,
+    /// ETA estimate, when one exists.
+    pub eta_secs: Option<f64>,
+}
+
+/// Errors surfaced by the manager API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The submission failed validation (bad labels, options, matrix…).
+    Invalid(CoreError),
+    /// The queue is at capacity.
+    QueueFull {
+        /// The configured capacity.
+        cap: usize,
+    },
+    /// No job with that id.
+    UnknownJob(u64),
+    /// The job has not finished yet (non-waiting result fetch).
+    NotFinished(u64),
+    /// The job was cancelled before finishing.
+    Cancelled(u64),
+    /// The job failed; the message is the engine error.
+    Failed(String),
+    /// A bounded wait elapsed.
+    Timeout(u64),
+    /// The manager is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Invalid(e) => write!(f, "invalid job: {e}"),
+            JobError::QueueFull { cap } => write!(f, "job queue full ({cap} jobs)"),
+            JobError::UnknownJob(id) => write!(f, "no such job {id}"),
+            JobError::NotFinished(id) => write!(f, "job {id} has not finished"),
+            JobError::Cancelled(id) => write!(f, "job {id} was cancelled"),
+            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+            JobError::Timeout(id) => write!(f, "timed out waiting for job {id}"),
+            JobError::ShuttingDown => write!(f, "job manager is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl JobError {
+    /// Wire error code: `usage` for caller mistakes, `busy` for back-pressure,
+    /// `runtime` for everything else.
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobError::Invalid(_) | JobError::UnknownJob(_) | JobError::NotFinished(_) => "usage",
+            JobError::QueueFull { .. } => "busy",
+            _ => "runtime",
+        }
+    }
+}
+
+/// Everything a worker needs to process spans of one job. Immutable after
+/// submission.
+struct JobWork {
+    prepared: Matrix,
+    labels: ClassLabels,
+    opts: PmaxtOptions,
+    b: u64,
+    cfg: EngineConfig,
+    check_digest: u64,
+    cached: bool,
+}
+
+/// Mutable per-job state, guarded by one mutex.
+struct JobProgress {
+    state: JobState,
+    cursor: u64,
+    counts: CountAccumulator,
+    computed: u64,
+    cache: CacheDisposition,
+    secs_per_perm: Option<f64>,
+    result: Option<MaxTResult>,
+    error: Option<String>,
+}
+
+struct Job {
+    id: u64,
+    key: CacheKey,
+    work: JobWork,
+    cancel: AtomicBool,
+    /// Cursor plus live intra-span progress, updated lock-free by engine
+    /// workers for cheap status/ETA reads.
+    live_done: AtomicU64,
+    prog: Mutex<JobProgress>,
+    subs: Mutex<Vec<mpsc::Sender<JobEvent>>>,
+}
+
+struct Inner {
+    cfg: ManagerConfig,
+    cache: Option<ResultCache>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    /// (stream key hex, resolved B) → live job id, for submission dedup.
+    dedup: Mutex<HashMap<(String, u64), u64>>,
+    next_id: AtomicU64,
+    /// Generation counter bumped on every state change; waiters re-check
+    /// after each bump. Never locked while holding a job's `prog` mutex.
+    change: Mutex<u64>,
+    change_cv: Condvar,
+}
+
+/// The job service: owns the queue, the worker pool and the cache.
+pub struct JobManager {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for JobManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobManager")
+            .field("cfg", &self.inner.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobManager {
+    /// Start a manager: open the cache (if configured) and spawn the worker
+    /// pool.
+    pub fn new(mut cfg: ManagerConfig) -> std::io::Result<JobManager> {
+        if cfg.workers == 0 {
+            cfg.workers = 2;
+        }
+        if cfg.span == 0 {
+            cfg.span = ManagerConfig::default().span;
+        }
+        if cfg.job_threads == 0 {
+            let avail = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            cfg.job_threads = (avail / cfg.workers).max(1);
+        }
+        let cache = match &cfg.cache_dir {
+            Some(dir) => Some(ResultCache::open(dir.clone())?),
+            None => None,
+        };
+        let inner = Arc::new(Inner {
+            cfg,
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            jobs: Mutex::new(HashMap::new()),
+            dedup: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            change: Mutex::new(0),
+            change_cv: Condvar::new(),
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(JobManager {
+            inner,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Submit a run. Validates like `mt_maxt`, consults the cache, dedups
+    /// against identical live jobs, and enqueues whatever remains to compute.
+    pub fn submit(&self, spec: JobSpec) -> Result<SubmitInfo, JobError> {
+        if self.inner.shutdown.load(Ordering::Relaxed) {
+            return Err(JobError::ShuttingDown);
+        }
+        let JobSpec {
+            data,
+            classlabel,
+            opts,
+        } = spec;
+        // Validation and NA canonicalization, exactly as `prepare_run` does —
+        // inlined because the canonical matrix is also the digest input.
+        let labels = ClassLabels::new(classlabel.clone(), opts.test).map_err(JobError::Invalid)?;
+        if labels.len() != data.cols() {
+            return Err(JobError::Invalid(CoreError::BadLabels(format!(
+                "classlabel length {} does not match {} data columns",
+                labels.len(),
+                data.cols()
+            ))));
+        }
+        let data = match opts.na {
+            Some(code) => {
+                Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)
+                    .map_err(JobError::Invalid)?
+            }
+            None => data,
+        };
+        let b = resolve_permutation_count(&labels, &opts).map_err(JobError::Invalid)?;
+        let key = CacheKey::new(&data, &classlabel, &opts);
+        let key_hex = key.hex();
+
+        // Dedup: an identical live submission is the same job.
+        if let Some(&id) = self.inner.dedup.lock().unwrap().get(&(key_hex.clone(), b)) {
+            if let Some(job) = self.inner.jobs.lock().unwrap().get(&id) {
+                let prog = job.prog.lock().unwrap();
+                if !matches!(prog.state, JobState::Cancelled | JobState::Failed) {
+                    return Ok(SubmitInfo {
+                        id,
+                        state: prog.state,
+                        cache: prog.cache,
+                        total: b,
+                        deduped: true,
+                        key: key_hex,
+                    });
+                }
+            }
+        }
+
+        let prepared = prepare_matrix(&data, opts.test, opts.nonpara).into_owned();
+        let genes = prepared.rows();
+        let mut cursor = 0u64;
+        let mut counts = CountAccumulator::new(genes);
+        let mut cache_note = CacheDisposition::Uncached;
+        let mut cached = false;
+        if let Some(cache) = &self.inner.cache {
+            cached = true;
+            match cache.probe(&key, b) {
+                CacheProbe::Hit(state) => {
+                    // The stored counts fully determine the result: finalize
+                    // without queueing.
+                    let ctx = MaxTContext::with_kernel(
+                        &prepared,
+                        &labels,
+                        opts.test,
+                        opts.side,
+                        opts.kernel,
+                    );
+                    let result = ctx.finalize(&state.counts);
+                    let id = self.register(
+                        key,
+                        key_hex.clone(),
+                        JobWork {
+                            prepared,
+                            labels,
+                            opts,
+                            b,
+                            cfg: EngineConfig::serial(),
+                            check_digest: key.check_digest(),
+                            cached: false,
+                        },
+                        JobProgress {
+                            state: JobState::Finished,
+                            cursor: b,
+                            counts: state.counts,
+                            computed: 0,
+                            cache: CacheDisposition::Hit,
+                            secs_per_perm: None,
+                            result: Some(result),
+                            error: None,
+                        },
+                        false,
+                    )?;
+                    self.bump_change();
+                    return Ok(SubmitInfo {
+                        id,
+                        state: JobState::Finished,
+                        cache: CacheDisposition::Hit,
+                        total: b,
+                        deduped: false,
+                        key: key_hex,
+                    });
+                }
+                CacheProbe::Partial(state) => {
+                    cache_note = if state.b == b {
+                        CacheDisposition::Resume { from: state.cursor }
+                    } else {
+                        CacheDisposition::Extend { from: state.cursor }
+                    };
+                    cursor = state.cursor;
+                    counts = state.counts;
+                }
+                CacheProbe::Beyond => {
+                    cached = false;
+                }
+                CacheProbe::Miss => {
+                    cache_note = CacheDisposition::Miss;
+                }
+            }
+        }
+
+        let threads = if opts.threads == 0 {
+            self.inner.cfg.job_threads
+        } else {
+            opts.threads
+        };
+        let cfg = EngineConfig::explicit(threads, opts.batch);
+        let work = JobWork {
+            prepared,
+            labels,
+            opts,
+            b,
+            cfg,
+            check_digest: key.check_digest(),
+            cached,
+        };
+        let prog = JobProgress {
+            state: JobState::Queued,
+            cursor,
+            counts,
+            computed: 0,
+            cache: cache_note,
+            secs_per_perm: None,
+            result: None,
+            error: None,
+        };
+        let id = self.register(key, key_hex.clone(), work, prog, true)?;
+        Ok(SubmitInfo {
+            id,
+            state: JobState::Queued,
+            cache: cache_note,
+            total: b,
+            deduped: false,
+            key: key_hex,
+        })
+    }
+
+    /// Insert a job into the maps (and, when `enqueue`, the run queue —
+    /// enforcing the queue cap).
+    fn register(
+        &self,
+        key: CacheKey,
+        key_hex: String,
+        work: JobWork,
+        prog: JobProgress,
+        enqueue: bool,
+    ) -> Result<u64, JobError> {
+        let b = work.b;
+        let live_done = prog.cursor;
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(Job {
+            id,
+            key,
+            work,
+            cancel: AtomicBool::new(false),
+            live_done: AtomicU64::new(live_done),
+            prog: Mutex::new(prog),
+            subs: Mutex::new(Vec::new()),
+        });
+        if enqueue {
+            let mut queue = self.inner.queue.lock().unwrap();
+            if queue.len() >= self.inner.cfg.queue_cap {
+                return Err(JobError::QueueFull {
+                    cap: self.inner.cfg.queue_cap,
+                });
+            }
+            queue.push_back(Arc::clone(&job));
+            self.inner.queue_cv.notify_one();
+        }
+        self.inner.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+        self.inner.dedup.lock().unwrap().insert((key_hex, b), id);
+        Ok(id)
+    }
+
+    fn get(&self, id: u64) -> Result<Arc<Job>, JobError> {
+        self.inner
+            .jobs
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or(JobError::UnknownJob(id))
+    }
+
+    /// Snapshot a job's status.
+    pub fn status(&self, id: u64) -> Result<JobStatus, JobError> {
+        let job = self.get(id)?;
+        Ok(status_of(&job))
+    }
+
+    /// Status of every known job, by ascending id.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let mut all: Vec<JobStatus> = self
+            .inner
+            .jobs
+            .lock()
+            .unwrap()
+            .values()
+            .map(|j| status_of(j))
+            .collect();
+        all.sort_by_key(|s| s.id);
+        all
+    }
+
+    /// The finished result, or [`JobError::NotFinished`] (terminal failure
+    /// states map to their own errors).
+    pub fn result(&self, id: u64) -> Result<MaxTResult, JobError> {
+        let job = self.get(id)?;
+        let prog = job.prog.lock().unwrap();
+        match prog.state {
+            JobState::Finished => Ok(prog.result.clone().expect("finished job has result")),
+            JobState::Cancelled => Err(JobError::Cancelled(id)),
+            JobState::Failed => Err(JobError::Failed(
+                prog.error.clone().unwrap_or_else(|| "unknown".into()),
+            )),
+            _ => Err(JobError::NotFinished(id)),
+        }
+    }
+
+    /// Block until the job reaches a terminal state (or `timeout` elapses)
+    /// and return its result.
+    pub fn wait_result(&self, id: u64, timeout: Option<Duration>) -> Result<MaxTResult, JobError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            // Read the generation *before* checking state: any transition
+            // after the check bumps it, so the wait below cannot miss it.
+            let seen = *self.inner.change.lock().unwrap();
+            match self.result(id) {
+                Err(JobError::NotFinished(_)) => {}
+                other => return other,
+            }
+            if self.inner.shutdown.load(Ordering::Relaxed) {
+                return Err(JobError::ShuttingDown);
+            }
+            let mut gen = self.inner.change.lock().unwrap();
+            while *gen == seen {
+                match deadline {
+                    None => gen = self.inner.change_cv.wait(gen).unwrap(),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(JobError::Timeout(id));
+                        }
+                        let (g, _) = self.inner.change_cv.wait_timeout(gen, d - now).unwrap();
+                        gen = g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Request cancellation. Queued jobs cancel immediately; running jobs
+    /// abort at the next batch boundary and keep their last completed span's
+    /// checkpoint. Idempotent; terminal jobs are unaffected.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, JobError> {
+        let job = self.get(id)?;
+        job.cancel.store(true, Ordering::Relaxed);
+        let became_terminal = {
+            let mut prog = job.prog.lock().unwrap();
+            if prog.state == JobState::Queued {
+                prog.state = JobState::Cancelled;
+                true
+            } else {
+                false
+            }
+        };
+        if became_terminal {
+            self.emit(&job);
+            self.bump_change();
+        }
+        Ok(status_of(&job))
+    }
+
+    /// Subscribe to a job's progress events. The current status is delivered
+    /// immediately as the first event, so a subscriber to an already-terminal
+    /// job still observes its outcome.
+    pub fn subscribe(&self, id: u64) -> Result<mpsc::Receiver<JobEvent>, JobError> {
+        let job = self.get(id)?;
+        let (tx, rx) = mpsc::channel();
+        let snapshot = event_of(&job);
+        // Register before snapshotting delivery so no transition between the
+        // two is lost; a duplicate event is harmless, a missing terminal one
+        // would wedge watchers.
+        job.subs.lock().unwrap().push(tx.clone());
+        let _ = tx.send(snapshot);
+        Ok(rx)
+    }
+
+    /// Stop the worker pool: no further spans are started (in-flight spans
+    /// finish and checkpoint), waiters are released with
+    /// [`JobError::ShuttingDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.queue_cv.notify_all();
+        self.bump_change();
+        for handle in self.workers.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn emit(&self, job: &Job) {
+        emit_event(job);
+    }
+
+    fn bump_change(&self) {
+        bump_change(&self.inner);
+    }
+}
+
+impl Drop for JobManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn status_of(job: &Job) -> JobStatus {
+    let prog = job.prog.lock().unwrap();
+    let done = job.live_done.load(Ordering::Relaxed).max(prog.cursor);
+    let eta_secs = match prog.state {
+        JobState::Queued | JobState::Running => prog
+            .secs_per_perm
+            .map(|per| (job.work.b.saturating_sub(done)) as f64 * per),
+        _ => None,
+    };
+    JobStatus {
+        id: job.id,
+        state: prog.state,
+        done,
+        total: job.work.b,
+        computed: prog.computed,
+        cache: prog.cache,
+        eta_secs,
+        error: prog.error.clone(),
+    }
+}
+
+fn event_of(job: &Job) -> JobEvent {
+    let st = status_of(job);
+    JobEvent {
+        job: st.id,
+        state: st.state,
+        done: st.done,
+        total: st.total,
+        eta_secs: st.eta_secs,
+    }
+}
+
+fn emit_event(job: &Job) {
+    let event = event_of(job);
+    job.subs
+        .lock()
+        .unwrap()
+        .retain(|tx| tx.send(event.clone()).is_ok());
+}
+
+fn bump_change(inner: &Inner) {
+    *inner.change.lock().unwrap() += 1;
+    inner.change_cv.notify_all();
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = inner.queue_cv.wait(queue).unwrap();
+            }
+        };
+        if run_span(inner, &job) {
+            let mut queue = inner.queue.lock().unwrap();
+            queue.push_back(job);
+            drop(queue);
+            inner.queue_cv.notify_one();
+        }
+    }
+}
+
+/// Process one span of `job`. Returns true when the job should be
+/// re-enqueued (more spans remain).
+fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
+    let work = &job.work;
+    // Claim the job; bail out if it was cancelled while queued.
+    let start = {
+        let mut prog = job.prog.lock().unwrap();
+        if prog.state != JobState::Queued {
+            return false;
+        }
+        if job.cancel.load(Ordering::Relaxed) {
+            prog.state = JobState::Cancelled;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+            return false;
+        }
+        prog.state = JobState::Running;
+        prog.cursor
+    };
+    let take = inner.cfg.span.min(work.b - start);
+    let ctx = MaxTContext::with_kernel(
+        &work.prepared,
+        &work.labels,
+        work.opts.test,
+        work.opts.side,
+        work.opts.kernel,
+    );
+    if take == 0 {
+        // Degenerate B = cursor (e.g. resumed entry already complete but not
+        // classified as a hit because caching raced): finalize in place.
+        let mut prog = job.prog.lock().unwrap();
+        prog.result = Some(ctx.finalize(&prog.counts));
+        prog.state = JobState::Finished;
+        drop(prog);
+        emit_event(job);
+        bump_change(inner);
+        return false;
+    }
+    let progress = |n: u64| {
+        job.live_done.fetch_add(n, Ordering::Relaxed);
+    };
+    let hooks = ChunkHooks {
+        cancel: Some(&job.cancel),
+        progress: Some(&progress),
+    };
+    let outcome = accumulate_chunk_hooked(
+        &ctx,
+        &work.labels,
+        &work.opts,
+        work.b,
+        start,
+        take,
+        work.cfg,
+        hooks,
+    );
+    match outcome {
+        Err(CoreError::Cancelled) => {
+            let mut prog = job.prog.lock().unwrap();
+            // The interrupted span's partial counts were discarded; roll the
+            // live counter back to the last durable cursor.
+            job.live_done.store(prog.cursor, Ordering::Relaxed);
+            prog.state = JobState::Cancelled;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+            false
+        }
+        Err(e) => {
+            let mut prog = job.prog.lock().unwrap();
+            job.live_done.store(prog.cursor, Ordering::Relaxed);
+            prog.state = JobState::Failed;
+            prog.error = Some(e.to_string());
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+            false
+        }
+        Ok(run) => {
+            // ETA model: the span's wall time is its slowest worker (the
+            // critical path), matching the bench crate's scaling model.
+            let critical = run
+                .workers
+                .iter()
+                .map(|w| w.busy.as_secs_f64())
+                .fold(0.0_f64, f64::max);
+            let per_perm = critical / take as f64;
+            let mut prog = job.prog.lock().unwrap();
+            prog.counts.merge(&run.counts);
+            prog.cursor += take;
+            prog.computed += take;
+            job.live_done.store(prog.cursor, Ordering::Relaxed);
+            prog.secs_per_perm = Some(match prog.secs_per_perm {
+                Some(old) => 0.6 * old + 0.4 * per_perm,
+                None => per_perm,
+            });
+            if work.cached {
+                if let Some(cache) = &inner.cache {
+                    let state = CheckpointState {
+                        digest: work.check_digest,
+                        cursor: prog.cursor,
+                        b: work.b,
+                        counts: prog.counts.clone(),
+                    };
+                    if let Err(e) = cache.store(&job.key, &state) {
+                        eprintln!(
+                            "jobd: warning: failed to write cache entry {}: {e}",
+                            job.key.hex()
+                        );
+                    }
+                }
+            }
+            let finished = prog.cursor >= work.b;
+            if finished {
+                prog.result = Some(ctx.finalize(&prog.counts));
+                prog.state = JobState::Finished;
+            } else {
+                prog.state = JobState::Queued;
+            }
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+            !finished
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_core::maxt::serial::mt_maxt;
+
+    fn small_dataset() -> (Matrix, Vec<u8>) {
+        let data = Matrix::from_vec(
+            4,
+            6,
+            vec![
+                1.0, 2.0, 1.5, 9.0, 10.0, 9.5, //
+                5.0, 4.0, 6.0, 5.5, 4.5, 5.2, //
+                2.0, 8.0, 3.0, 7.0, 2.5, 7.5, //
+                3.3, 3.1, 3.2, 3.4, 3.0, 3.5,
+            ],
+        )
+        .unwrap();
+        (data, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    fn manager(span: u64) -> JobManager {
+        JobManager::new(ManagerConfig {
+            workers: 2,
+            span,
+            cache_dir: None,
+            ..ManagerConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn single_job_matches_mt_maxt_bitwise() {
+        let (data, labels) = small_dataset();
+        let opts = PmaxtOptions::default().permutations(97);
+        let mgr = manager(16);
+        let info = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone(),
+            })
+            .unwrap();
+        assert_eq!(info.total, 97);
+        assert_eq!(info.cache, CacheDisposition::Uncached);
+        let served = mgr
+            .wait_result(info.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        let direct = mt_maxt(&data, &labels, &opts).unwrap();
+        assert_eq!(served, direct);
+        let status = mgr.status(info.id).unwrap();
+        assert_eq!(status.state, JobState::Finished);
+        assert_eq!(status.done, 97);
+        assert_eq!(status.computed, 97);
+    }
+
+    #[test]
+    fn invalid_submissions_are_rejected_up_front() {
+        let (data, _) = small_dataset();
+        let mgr = manager(16);
+        let err = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: vec![0, 1], // wrong length
+                opts: PmaxtOptions::default(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, JobError::Invalid(_)));
+        assert_eq!(err.code(), "usage");
+        assert!(matches!(
+            mgr.status(999).unwrap_err(),
+            JobError::UnknownJob(999)
+        ));
+    }
+
+    #[test]
+    fn identical_live_submissions_dedup_to_one_job() {
+        let (data, labels) = small_dataset();
+        let opts = PmaxtOptions::default().permutations(500);
+        let mgr = manager(8);
+        let a = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone(),
+            })
+            .unwrap();
+        let b = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts,
+            })
+            .unwrap();
+        assert_eq!(a.id, b.id);
+        assert!(!a.deduped);
+        assert!(b.deduped);
+        assert_eq!(a.key, b.key);
+        mgr.wait_result(a.id, Some(Duration::from_secs(30)))
+            .unwrap();
+    }
+
+    #[test]
+    fn queue_cap_rejects_with_busy_code() {
+        let (data, labels) = small_dataset();
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            queue_cap: 1,
+            span: 4,
+            cache_dir: None,
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        // Fill the queue with distinct long jobs (different seeds).
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        for seed in 0..12u64 {
+            let spec = JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: PmaxtOptions::default().permutations(50_000).seed(seed),
+            };
+            match mgr.submit(spec) {
+                Ok(_) => accepted += 1,
+                Err(e @ JobError::QueueFull { .. }) => {
+                    assert_eq!(e.code(), "busy");
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(accepted >= 1, "at least one job must be accepted");
+        assert!(rejected >= 1, "the cap must reject at least one job");
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn round_robin_interleaves_two_jobs_on_one_worker() {
+        let (data, labels) = small_dataset();
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 32,
+            cache_dir: None,
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let submit = |seed: u64| {
+            mgr.submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: PmaxtOptions::default().permutations(256).seed(seed),
+            })
+            .unwrap()
+        };
+        let a = submit(1);
+        let b = submit(2);
+        let rx_a = mgr.subscribe(a.id).unwrap();
+        mgr.wait_result(a.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        mgr.wait_result(b.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        // Fairness: job B must have made progress before job A finished —
+        // with span-sliced round-robin on one worker, A's progress events
+        // cannot all precede B's first span.
+        let b_status = mgr.status(b.id).unwrap();
+        assert_eq!(b_status.state, JobState::Finished);
+        let events: Vec<JobEvent> = rx_a.try_iter().collect();
+        assert!(
+            events.iter().any(|e| e.state == JobState::Finished),
+            "subscriber must observe the terminal event"
+        );
+        let mut last = 0u64;
+        for e in &events {
+            assert!(e.done >= last, "progress must be monotone");
+            last = e.done;
+        }
+    }
+
+    #[test]
+    fn eta_appears_after_first_span() {
+        let (data, labels) = small_dataset();
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 64,
+            cache_dir: None,
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let info = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts: PmaxtOptions::default().permutations(100_000),
+            })
+            .unwrap();
+        let rx = mgr.subscribe(info.id).unwrap();
+        // Wait for a post-first-span event; it must carry an ETA.
+        let mut saw_eta = false;
+        for _ in 0..200 {
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(e) if e.done > 0 && !e.state.is_terminal() => {
+                    assert!(e.eta_secs.is_some(), "running event after a span has ETA");
+                    assert!(e.eta_secs.unwrap() >= 0.0);
+                    saw_eta = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        assert!(saw_eta, "never observed a progress event with an ETA");
+        mgr.cancel(info.id).unwrap();
+    }
+}

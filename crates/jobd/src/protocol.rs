@@ -1,0 +1,291 @@
+//! Wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line (the `watch` command streams
+//! multiple event lines and ends with a terminal-state event). Conventions:
+//!
+//! - every request is an object with a `cmd` field;
+//! - every response carries `ok: true` or `ok: false` plus `error`/`code`
+//!   (`usage` | `busy` | `runtime`);
+//! - `u64` fields that may exceed f64 precision (`seed`) ride as strings;
+//! - non-finite floats (NaN p-values of non-computable genes) ride as
+//!   `null` and decode back to NaN.
+
+use sprint_core::maxt::MaxTResult;
+use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
+use sprint_core::side::Side;
+
+use crate::json::Json;
+use crate::manager::{JobError, JobEvent, JobStatus, SubmitInfo};
+
+/// Build a `submit` request for a dataset file on the server's filesystem.
+pub fn submit_request(path: &str, opts: &PmaxtOptions) -> Json {
+    let mut pairs = vec![
+        ("cmd".to_string(), Json::str("submit")),
+        ("path".to_string(), Json::str(path)),
+    ];
+    pairs.extend(opts_to_pairs(opts));
+    Json::Obj(pairs)
+}
+
+/// Options → wire fields, mirroring the `pmaxt run` flag set.
+fn opts_to_pairs(opts: &PmaxtOptions) -> Vec<(String, Json)> {
+    let mut pairs = vec![
+        ("test".to_string(), Json::str(opts.test.as_str())),
+        ("side".to_string(), Json::str(opts.side.as_str())),
+        ("sampling".to_string(), Json::str(opts.sampling.as_str())),
+        ("b".to_string(), Json::Num(opts.b as f64)),
+        ("nonpara".to_string(), Json::Bool(opts.nonpara)),
+        ("seed".to_string(), Json::u64_str(opts.seed)),
+        ("kernel".to_string(), Json::str(opts.kernel.as_str())),
+        ("threads".to_string(), Json::Num(opts.threads as f64)),
+        ("batch".to_string(), Json::Num(opts.batch as f64)),
+    ];
+    if let Some(na) = opts.na {
+        pairs.push(("na".to_string(), Json::Num(na)));
+    }
+    pairs
+}
+
+/// Wire fields → options. Absent fields keep their defaults; malformed ones
+/// are usage errors.
+pub fn opts_from_request(req: &Json) -> Result<PmaxtOptions, String> {
+    let mut opts = PmaxtOptions::default();
+    if let Some(v) = req.get("test") {
+        let s = v.as_str().ok_or("test must be a string")?;
+        opts.test = TestMethod::parse(s).map_err(|e| e.to_string())?;
+    }
+    if let Some(v) = req.get("side") {
+        let s = v.as_str().ok_or("side must be a string")?;
+        opts.side = Side::parse(s).map_err(|e| e.to_string())?;
+    }
+    if let Some(v) = req.get("sampling") {
+        let s = v.as_str().ok_or("sampling must be a string")?;
+        opts.sampling = SamplingMode::parse(s).map_err(|e| e.to_string())?;
+    }
+    if let Some(v) = req.get("b") {
+        opts.b = v.as_u64().ok_or("b must be a non-negative integer")?;
+    }
+    if let Some(v) = req.get("nonpara") {
+        opts.nonpara = v.as_bool().ok_or("nonpara must be a boolean")?;
+    }
+    if let Some(v) = req.get("seed") {
+        opts.seed = v.as_u64().ok_or("seed must be an unsigned integer")?;
+    }
+    if let Some(v) = req.get("kernel") {
+        let s = v.as_str().ok_or("kernel must be a string")?;
+        opts.kernel = KernelChoice::parse(s).map_err(|e| e.to_string())?;
+    }
+    if let Some(v) = req.get("threads") {
+        opts.threads = v.as_u64().ok_or("threads must be a non-negative integer")? as usize;
+    }
+    if let Some(v) = req.get("batch") {
+        opts.batch = v.as_u64().ok_or("batch must be a non-negative integer")? as usize;
+    }
+    if let Some(v) = req.get("na") {
+        opts.na = Some(v.as_f64().ok_or("na must be a number")?);
+    }
+    Ok(opts)
+}
+
+/// Build a request that addresses a job by id.
+pub fn job_request(cmd: &str, job: u64) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::str(cmd)),
+        ("job", Json::Num(job as f64)),
+    ])
+}
+
+/// Build a `result` request; `wait` blocks server-side until terminal.
+pub fn result_request(job: u64, wait: bool) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::str("result")),
+        ("job", Json::Num(job as f64)),
+        ("wait", Json::Bool(wait)),
+    ])
+}
+
+/// A successful response with extra fields.
+pub fn ok_response(mut fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.append(&mut fields);
+    Json::obj(pairs)
+}
+
+/// A failure response: message plus machine-readable code.
+pub fn err_response(message: &str, code: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+        ("code", Json::str(code)),
+    ])
+}
+
+/// A failure response from a manager error.
+pub fn err_from(e: &JobError) -> Json {
+    err_response(&e.to_string(), e.code())
+}
+
+/// Submission outcome → response fields.
+pub fn submit_to_json(info: &SubmitInfo) -> Json {
+    ok_response(vec![
+        ("job", Json::Num(info.id as f64)),
+        ("state", Json::str(info.state.as_str())),
+        ("cache", Json::str(info.cache.as_str())),
+        ("resumed_from", Json::Num(info.cache.resumed_from() as f64)),
+        ("total", Json::Num(info.total as f64)),
+        ("deduped", Json::Bool(info.deduped)),
+        ("key", Json::str(info.key.clone())),
+    ])
+}
+
+/// Status snapshot → response fields.
+pub fn status_to_json(st: &JobStatus) -> Json {
+    let mut fields = vec![
+        ("job", Json::Num(st.id as f64)),
+        ("state", Json::str(st.state.as_str())),
+        ("done", Json::Num(st.done as f64)),
+        ("total", Json::Num(st.total as f64)),
+        ("computed", Json::Num(st.computed as f64)),
+        ("cache", Json::str(st.cache.as_str())),
+        ("resumed_from", Json::Num(st.cache.resumed_from() as f64)),
+    ];
+    if let Some(eta) = st.eta_secs {
+        fields.push(("eta_secs", Json::Num(eta)));
+    }
+    if let Some(err) = &st.error {
+        fields.push(("error", Json::str(err.clone())));
+    }
+    ok_response(fields)
+}
+
+/// Progress event → one stream line.
+pub fn event_to_json(e: &JobEvent) -> Json {
+    let mut fields = vec![
+        ("event", Json::str("progress")),
+        ("job", Json::Num(e.job as f64)),
+        ("state", Json::str(e.state.as_str())),
+        ("done", Json::Num(e.done as f64)),
+        ("total", Json::Num(e.total as f64)),
+    ];
+    if let Some(eta) = e.eta_secs {
+        fields.push(("eta_secs", Json::Num(eta)));
+    }
+    ok_response(fields)
+}
+
+/// Result → response fields. NaNs serialize as `null` (see module docs).
+pub fn result_to_json(job: u64, r: &MaxTResult) -> Json {
+    let nums = |v: &[f64]| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect());
+    ok_response(vec![
+        ("job", Json::Num(job as f64)),
+        ("b_used", Json::Num(r.b_used as f64)),
+        ("teststat", nums(&r.teststat)),
+        ("rawp", nums(&r.rawp)),
+        ("adjp", nums(&r.adjp)),
+        (
+            "order",
+            Json::Arr(r.order.iter().map(|&i| Json::Num(i as f64)).collect()),
+        ),
+    ])
+}
+
+/// Response fields → result. `null` entries decode to NaN.
+pub fn result_from_json(resp: &Json) -> Result<MaxTResult, String> {
+    let floats = |field: &str| -> Result<Vec<f64>, String> {
+        resp.get(field)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing array {field}"))?
+            .iter()
+            .map(|v| match v {
+                Json::Null => Ok(f64::NAN),
+                Json::Num(n) => Ok(*n),
+                _ => Err(format!("non-numeric entry in {field}")),
+            })
+            .collect()
+    };
+    let order = resp
+        .get("order")
+        .and_then(Json::as_arr)
+        .ok_or("missing array order")?
+        .iter()
+        .map(|v| v.as_u64().map(|n| n as usize).ok_or("bad order entry"))
+        .collect::<Result<Vec<usize>, _>>()?;
+    Ok(MaxTResult {
+        teststat: floats("teststat")?,
+        rawp: floats("rawp")?,
+        adjp: floats("adjp")?,
+        order,
+        b_used: resp
+            .get("b_used")
+            .and_then(Json::as_u64)
+            .ok_or("missing b_used")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_round_trip_through_a_submit_request() {
+        let opts = PmaxtOptions::default()
+            .test_str("wilcoxon")
+            .unwrap()
+            .side_str("upper")
+            .unwrap()
+            .fixed_seed_sampling("n")
+            .unwrap()
+            .permutations(1234)
+            .na_code(-99.5)
+            .nonpara(true)
+            .seed(u64::MAX - 3)
+            .kernel(KernelChoice::Scalar)
+            .threads(3)
+            .batch(17);
+        let req = submit_request("/data/set.tsv", &opts);
+        let wire = Json::parse(&req.to_json()).unwrap();
+        assert_eq!(wire.get("cmd").unwrap().as_str(), Some("submit"));
+        assert_eq!(wire.get("path").unwrap().as_str(), Some("/data/set.tsv"));
+        let decoded = opts_from_request(&wire).unwrap();
+        assert_eq!(decoded, opts, "options must survive the wire");
+    }
+
+    #[test]
+    fn absent_option_fields_default() {
+        let req = Json::obj(vec![("cmd", Json::str("submit"))]);
+        assert_eq!(opts_from_request(&req).unwrap(), PmaxtOptions::default());
+        let bad = Json::obj(vec![("test", Json::str("ttest"))]);
+        assert!(opts_from_request(&bad).is_err());
+        let bad = Json::obj(vec![("b", Json::Num(-3.0))]);
+        assert!(opts_from_request(&bad).is_err());
+    }
+
+    #[test]
+    fn results_round_trip_including_nan() {
+        let r = MaxTResult {
+            teststat: vec![2.5, f64::NAN, -1.0],
+            rawp: vec![0.01, f64::NAN, 0.5],
+            adjp: vec![0.02, f64::NAN, 0.5],
+            order: vec![0, 2, 1],
+            b_used: 1000,
+        };
+        let wire = Json::parse(&result_to_json(7, &r).to_json()).unwrap();
+        assert_eq!(wire.get("ok").unwrap().as_bool(), Some(true));
+        let back = result_from_json(&wire).unwrap();
+        assert_eq!(back.order, r.order);
+        assert_eq!(back.b_used, r.b_used);
+        for (a, b) in back.teststat.iter().zip(&r.teststat) {
+            assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()));
+        }
+        assert!(back.rawp[1].is_nan());
+    }
+
+    #[test]
+    fn error_responses_carry_code() {
+        let e = JobError::UnknownJob(42);
+        let wire = Json::parse(&err_from(&e).to_json()).unwrap();
+        assert_eq!(wire.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(wire.get("code").unwrap().as_str(), Some("usage"));
+        assert!(wire.get("error").unwrap().as_str().unwrap().contains("42"));
+    }
+}

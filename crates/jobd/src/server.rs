@@ -1,0 +1,331 @@
+//! The socket front end: accept connections, speak the line protocol, drive
+//! the [`JobManager`].
+//!
+//! The server listens on a Unix-domain socket (`unix:/path/to.sock`, or any
+//! address containing `/`) or a TCP address (`host:port`); each connection is
+//! handled on its own thread so a client blocked in `result --wait` or
+//! streaming `watch` events never stalls the others. The `shutdown` command
+//! stops the accept loop (a self-connection unblocks it) and then stops the
+//! worker pool; running spans finish and checkpoint first, so every
+//! unfinished job is resumable.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use microarray::io::read_dataset;
+use sprint_core::options::PmaxtOptions;
+
+use crate::json::Json;
+use crate::manager::{JobManager, JobSpec};
+use crate::protocol;
+
+/// A parsed listen/connect address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP `host:port`.
+    Tcp(String),
+}
+
+impl BindAddr {
+    /// Parse an address: `unix:` prefix or any string containing `/` is a
+    /// socket path; everything else is TCP `host:port`.
+    pub fn parse(addr: &str) -> BindAddr {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            BindAddr::Unix(PathBuf::from(path))
+        } else if addr.contains('/') {
+            BindAddr::Unix(PathBuf::from(addr))
+        } else {
+            BindAddr::Tcp(addr.to_string())
+        }
+    }
+
+    /// Display form (round-trips through [`BindAddr::parse`]).
+    pub fn to_addr_string(&self) -> String {
+        match self {
+            BindAddr::Unix(p) => format!("unix:{}", p.display()),
+            BindAddr::Tcp(a) => a.clone(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: Listener,
+    addr: BindAddr,
+    manager: Arc<JobManager>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (removing a stale Unix socket file first). For TCP,
+    /// port 0 binds an ephemeral port — read the real one back with
+    /// [`Server::local_addr`].
+    pub fn bind(addr: &str, manager: JobManager) -> io::Result<Server> {
+        let parsed = BindAddr::parse(addr);
+        let (listener, addr) = match &parsed {
+            BindAddr::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                (Listener::Unix(UnixListener::bind(path)?), parsed.clone())
+            }
+            BindAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec)?;
+                let actual = listener.local_addr()?.to_string();
+                (Listener::Tcp(listener), BindAddr::Tcp(actual))
+            }
+        };
+        Ok(Server {
+            listener,
+            addr,
+            manager: Arc::new(manager),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (with the real port for TCP port-0 binds).
+    pub fn local_addr(&self) -> BindAddr {
+        self.addr.clone()
+    }
+
+    /// Serve until a `shutdown` command arrives. Consumes the server; on
+    /// return the worker pool has stopped and all unfinished jobs are
+    /// checkpointed.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let conn: Box<dyn Conn> = match &self.listener {
+                Listener::Unix(l) => match l.accept() {
+                    Ok((stream, _)) => Box::new(stream),
+                    Err(e) => return Err(e),
+                },
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((stream, _)) => Box::new(stream),
+                    Err(e) => return Err(e),
+                },
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let manager = Arc::clone(&self.manager);
+            let stop = Arc::clone(&self.stop);
+            let addr = self.addr.clone();
+            std::thread::spawn(move || {
+                if let Err(e) = handle_connection(conn, &manager, &stop, &addr) {
+                    if e.kind() != io::ErrorKind::BrokenPipe {
+                        eprintln!("jobd: connection error: {e}");
+                    }
+                }
+            });
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        if let BindAddr::Unix(path) = &self.addr {
+            std::fs::remove_file(path).ok();
+        }
+        self.manager.shutdown();
+        Ok(())
+    }
+}
+
+/// Wake a server blocked in `accept` after its stop flag was set.
+fn wake_acceptor(addr: &BindAddr) {
+    match addr {
+        BindAddr::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+        BindAddr::Tcp(spec) => {
+            let _ = TcpStream::connect(spec);
+        }
+    }
+}
+
+/// Both stream types, unified for the handler.
+trait Conn: Read2 + Send {}
+impl Conn for UnixStream {}
+impl Conn for TcpStream {}
+
+/// Object-safe clone-the-stream trait: the handler needs one reader and one
+/// writer over the same socket.
+trait Read2: io::Read + io::Write {
+    fn split(&self) -> io::Result<Box<dyn io::Read + Send>>;
+}
+
+impl Read2 for UnixStream {
+    fn split(&self) -> io::Result<Box<dyn io::Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl Read2 for TcpStream {
+    fn split(&self) -> io::Result<Box<dyn io::Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+fn handle_connection(
+    mut conn: Box<dyn Conn>,
+    manager: &JobManager,
+    stop: &AtomicBool,
+    addr: &BindAddr,
+) -> io::Result<()> {
+    let reader = BufReader::new(conn.split()?);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                respond(&mut conn, &protocol::err_response(&e, "usage"))?;
+                continue;
+            }
+        };
+        let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or("");
+        match cmd {
+            "ping" => respond(&mut conn, &protocol::ok_response(vec![]))?,
+            "submit" => {
+                let resp = handle_submit(&request, manager);
+                respond(&mut conn, &resp)?;
+            }
+            "status" => {
+                let resp = match job_id(&request) {
+                    Ok(id) => match manager.status(id) {
+                        Ok(st) => protocol::status_to_json(&st),
+                        Err(e) => protocol::err_from(&e),
+                    },
+                    Err(resp) => resp,
+                };
+                respond(&mut conn, &resp)?;
+            }
+            "result" => {
+                let resp = match job_id(&request) {
+                    Ok(id) => {
+                        let wait = request.get("wait").and_then(Json::as_bool).unwrap_or(true);
+                        let outcome = if wait {
+                            manager.wait_result(id, None)
+                        } else {
+                            manager.result(id)
+                        };
+                        match outcome {
+                            Ok(result) => protocol::result_to_json(id, &result),
+                            Err(e) => protocol::err_from(&e),
+                        }
+                    }
+                    Err(resp) => resp,
+                };
+                respond(&mut conn, &resp)?;
+            }
+            "cancel" => {
+                let resp = match job_id(&request) {
+                    Ok(id) => match manager.cancel(id) {
+                        Ok(st) => protocol::status_to_json(&st),
+                        Err(e) => protocol::err_from(&e),
+                    },
+                    Err(resp) => resp,
+                };
+                respond(&mut conn, &resp)?;
+            }
+            "watch" => match job_id(&request) {
+                Ok(id) => match manager.subscribe(id) {
+                    Ok(rx) => {
+                        for event in rx {
+                            let terminal = event.state.is_terminal();
+                            respond(&mut conn, &protocol::event_to_json(&event))?;
+                            if terminal {
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => respond(&mut conn, &protocol::err_from(&e))?,
+                },
+                Err(resp) => respond(&mut conn, &resp)?,
+            },
+            "shutdown" => {
+                respond(&mut conn, &protocol::ok_response(vec![]))?;
+                stop.store(true, Ordering::SeqCst);
+                wake_acceptor(addr);
+                return Ok(());
+            }
+            other => {
+                let msg = format!("unknown command {other:?}");
+                respond(&mut conn, &protocol::err_response(&msg, "usage"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle_submit(request: &Json, manager: &JobManager) -> Json {
+    let path = match request.get("path").and_then(Json::as_str) {
+        Some(p) => p,
+        None => return protocol::err_response("submit requires a path field", "usage"),
+    };
+    let opts: PmaxtOptions = match protocol::opts_from_request(request) {
+        Ok(o) => o,
+        Err(e) => return protocol::err_response(&e, "usage"),
+    };
+    let (data, classlabel) = match read_dataset(std::path::Path::new(path)) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return protocol::err_response(&format!("cannot read dataset {path:?}: {e}"), "runtime")
+        }
+    };
+    match manager.submit(JobSpec {
+        data,
+        classlabel,
+        opts,
+    }) {
+        Ok(info) => protocol::submit_to_json(&info),
+        Err(e) => protocol::err_from(&e),
+    }
+}
+
+fn job_id(request: &Json) -> Result<u64, Json> {
+    request
+        .get("job")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| protocol::err_response("request requires a job id", "usage"))
+}
+
+fn respond(conn: &mut Box<dyn Conn>, resp: &Json) -> io::Result<()> {
+    let mut line = resp.to_json();
+    line.push('\n');
+    conn.write_all(line.as_bytes())?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_addr_parsing() {
+        assert_eq!(
+            BindAddr::parse("unix:/tmp/x.sock"),
+            BindAddr::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            BindAddr::parse("/tmp/x.sock"),
+            BindAddr::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            BindAddr::parse("127.0.0.1:8080"),
+            BindAddr::Tcp("127.0.0.1:8080".into())
+        );
+        let a = BindAddr::parse("unix:/a/b");
+        assert_eq!(BindAddr::parse(&a.to_addr_string()), a);
+    }
+}

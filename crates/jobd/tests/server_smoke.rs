@@ -1,0 +1,152 @@
+//! Full-stack smoke test: a real server on a Unix socket in a temp dir,
+//! driven through the wire protocol — submit → result → extend → cancel →
+//! shutdown.
+
+use std::time::Duration;
+
+use microarray::io::write_dataset;
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::serial::mt_maxt;
+use sprint_core::options::PmaxtOptions;
+use sprint_jobd::client::{expect_ok, Client};
+use sprint_jobd::json::Json;
+use sprint_jobd::{protocol, JobManager, ManagerConfig, Server};
+
+fn synth(rows: usize, cols: usize) -> Matrix {
+    let mut v = Vec::with_capacity(rows * cols);
+    let mut x = 88172645463325252u64;
+    for _ in 0..rows * cols {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.push((x >> 11) as f64 / (1u64 << 53) as f64 * 6.0 - 3.0);
+    }
+    Matrix::from_vec(rows, cols, v).unwrap()
+}
+
+fn ok(resp: Json) -> Json {
+    expect_ok(resp).expect("server error response")
+}
+
+fn u(resp: &Json, key: &str) -> u64 {
+    resp.get(key).and_then(Json::as_u64).unwrap_or_else(|| {
+        panic!("missing field {key} in {}", resp.to_json());
+    })
+}
+
+fn s(resp: &Json, key: &str) -> String {
+    resp.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing field {key} in {}", resp.to_json()))
+        .to_string()
+}
+
+#[test]
+fn server_smoke_submit_result_extend_cancel_shutdown() {
+    let dir = std::env::temp_dir().join(format!("jobd-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("jobd.sock");
+    let cache = dir.join("cache");
+    let dataset = dir.join("data.tsv");
+
+    let data = synth(50, 10);
+    let labels = vec![0u8, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+    write_dataset(&dataset, &data, &labels).unwrap();
+
+    let manager = JobManager::new(ManagerConfig {
+        workers: 2,
+        span: 16,
+        cache_dir: Some(cache.clone()),
+        ..ManagerConfig::default()
+    })
+    .unwrap();
+    let addr = format!("unix:{}", sock.display());
+    let server = Server::bind(&addr, manager).unwrap();
+    let server_addr = server.local_addr().to_addr_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&server_addr).unwrap();
+    ok(client.request(&protocol::job_request("ping", 0)).unwrap());
+
+    // Submit B = 50 and read the result back over the wire.
+    let opts = PmaxtOptions::default().permutations(50);
+    let resp = ok(client
+        .request(&protocol::submit_request(dataset.to_str().unwrap(), &opts))
+        .unwrap());
+    let job = u(&resp, "job");
+    assert_eq!(s(&resp, "cache"), "miss");
+    let resp = ok(client
+        .request(&protocol::result_request(job, true))
+        .unwrap());
+    let served = protocol::result_from_json(&resp).unwrap();
+    let direct = mt_maxt(&data, &labels, &opts).unwrap();
+    assert_eq!(served, direct, "wire round-trip must preserve the result");
+
+    // Extend to B′ = 90: the server reuses the cached 50 and computes 40.
+    let extended = PmaxtOptions::default().permutations(90);
+    let resp = ok(client
+        .request(&protocol::submit_request(
+            dataset.to_str().unwrap(),
+            &extended,
+        ))
+        .unwrap());
+    let ext_job = u(&resp, "job");
+    assert_eq!(s(&resp, "cache"), "extend");
+    assert_eq!(u(&resp, "resumed_from"), 50);
+    let resp = ok(client
+        .request(&protocol::result_request(ext_job, true))
+        .unwrap());
+    let served_ext = protocol::result_from_json(&resp).unwrap();
+    let fresh = mt_maxt(&data, &labels, &extended).unwrap();
+    assert_eq!(served_ext, fresh, "extension must match a fresh B' run");
+
+    // Cancel a long-running job.
+    let long = PmaxtOptions::default()
+        .permutations(500_000)
+        .seed(99)
+        .threads(1);
+    let resp = ok(client
+        .request(&protocol::submit_request(dataset.to_str().unwrap(), &long))
+        .unwrap());
+    let long_job = u(&resp, "job");
+    let resp = ok(client
+        .request(&protocol::job_request("cancel", long_job))
+        .unwrap());
+    assert_eq!(u(&resp, "job"), long_job);
+    // Cancellation is cooperative; poll status until terminal.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = ok(client
+            .request(&protocol::job_request("status", long_job))
+            .unwrap());
+        let state = s(&resp, "state");
+        if state == "cancelled" {
+            break;
+        }
+        assert_ne!(state, "finished", "cancel should land before completion");
+        assert!(std::time::Instant::now() < deadline, "cancel never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Unknown command and bad job ids produce typed errors, not hangups.
+    let err = expect_ok(
+        client
+            .request(&protocol::job_request("frobnicate", 1))
+            .unwrap(),
+    );
+    assert_eq!(err.unwrap_err().1, "usage");
+    let err = expect_ok(
+        client
+            .request(&protocol::job_request("status", 424242))
+            .unwrap(),
+    );
+    assert_eq!(err.unwrap_err().1, "usage");
+
+    // Shutdown stops the accept loop and the worker pool.
+    ok(client
+        .request(&protocol::job_request("shutdown", 0))
+        .unwrap());
+    handle.join().unwrap().unwrap();
+    assert!(!sock.exists(), "socket file should be removed on shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}

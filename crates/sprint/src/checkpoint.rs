@@ -14,6 +14,7 @@
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
+use sprint_core::digest;
 use sprint_core::error::{Error, Result};
 use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
@@ -36,34 +37,17 @@ pub struct CheckpointState {
     pub counts: CountAccumulator,
 }
 
-/// FNV-1a over the run inputs: dimensions, every data bit, labels and the
-/// option encoding. Changing anything that affects the result invalidates
-/// old checkpoints; the engine geometry (`threads`/`batch`) is canonicalized
-/// away first, because any geometry produces bit-identical counts — a run
-/// checkpointed on 1 thread may resume on 8.
+/// Digest of the run inputs: every data bit, the labels and the
+/// result-relevant option fields (see [`sprint_core::digest`]). Changing
+/// anything that affects the result invalidates old checkpoints;
+/// implementation selection (`threads`/`batch`/`kernel`) is canonicalized
+/// away, because any configuration produces bit-identical counts — a run
+/// checkpointed on 1 thread under one kernel may resume on 8 under another.
 pub fn digest_run(data: &Matrix, labels: &[u8], opts: &PmaxtOptions) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(&(data.rows() as u64).to_le_bytes());
-    eat(&(data.cols() as u64).to_le_bytes());
-    for v in data.as_slice() {
-        eat(&v.to_bits().to_le_bytes());
-    }
-    eat(labels);
-    let canonical = PmaxtOptions {
-        threads: 0,
-        batch: 0,
-        ..opts.clone()
-    };
-    eat(format!("{canonical:?}").as_bytes());
-    h
+    let mut h = digest::Fnv1a::new();
+    h.write_u64(digest::dataset_digest(data, labels));
+    h.write_u64(digest::options_digest(opts));
+    h.finish()
 }
 
 /// Write a checkpoint atomically (write to `.tmp`, then rename).

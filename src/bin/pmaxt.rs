@@ -12,21 +12,77 @@
 //!
 //! # step-down minP instead of maxT
 //! pmaxt run demo.tsv -B 2000 --minp
+//!
+//! # long-lived job service with a result cache
+//! pmaxt serve unix:/tmp/pmaxt.sock --cache /var/cache/pmaxt &
+//! pmaxt submit unix:/tmp/pmaxt.sock demo.tsv -B 100000   # returns a job id
+//! pmaxt result unix:/tmp/pmaxt.sock 1                     # blocks, prints table
+//! pmaxt submit unix:/tmp/pmaxt.sock demo.tsv -B 200000   # extends the cached run
 //! ```
 //!
 //! Dataset format: the `microarray::io` TSV (`#classlabel` header + one row
 //! per gene, `NA` for missing cells).
+//!
+//! Exit codes: `0` success, `1` runtime failure (I/O, server, engine), `2`
+//! usage error (bad flags or option values), `3` resource-allocation error
+//! (`--ranks` exceeds the permutation count).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use microarray::io::{read_dataset, write_dataset};
 use microarray::prelude::*;
+use sprint_core::error::Error as CoreError;
+use sprint_core::labels::ClassLabels;
 use sprint_core::maxt::minp::pminp;
 use sprint_core::maxt::MaxTResult;
 use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
-use sprint_core::pmaxt::pmaxt;
+use sprint_core::perm::resolve_permutation_count;
+use sprint_core::pmaxt::{chunk_for_rank, pmaxt};
 use sprint_core::side::Side;
+use sprint_jobd::client::{expect_ok, Client};
+use sprint_jobd::json::Json;
+use sprint_jobd::{protocol, JobManager, ManagerConfig, Server};
+
+/// CLI failure, carrying the process exit code.
+#[derive(Debug, Clone, PartialEq)]
+enum CliError {
+    /// Bad flags or option values → exit 2.
+    Usage(String),
+    /// I/O, server or engine failure → exit 1.
+    Runtime(String),
+    /// `ranks > B` resource-allocation rejection → exit 3.
+    Ranks(String),
+}
+
+impl CliError {
+    fn from_core(e: CoreError) -> CliError {
+        match e {
+            CoreError::RanksExceedPermutations { .. } => CliError::Ranks(e.to_string()),
+            CoreError::BadOption { .. }
+            | CoreError::BadLabels(_)
+            | CoreError::BadMatrix(_)
+            | CoreError::TooManyPermutations { .. } => CliError::Usage(e.to_string()),
+            CoreError::Comm(_) | CoreError::Cancelled => CliError::Runtime(e.to_string()),
+        }
+    }
+
+    /// Map a server error response by its wire code.
+    fn from_wire((msg, code): (String, String)) -> CliError {
+        match code.as_str() {
+            "usage" => CliError::Usage(msg),
+            _ => CliError::Runtime(msg),
+        }
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime(msg: impl ToString) -> CliError {
+    CliError::Runtime(msg.to_string())
+}
 
 /// Parsed command line for `pmaxt run`.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,8 +108,83 @@ struct GenerateConfig {
     seed: u64,
 }
 
-fn usage() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast] [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]"
+/// Parsed command line for `pmaxt serve`.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeConfig {
+    addr: String,
+    workers: usize,
+    span: u64,
+    queue: usize,
+    job_threads: usize,
+    cache: Option<PathBuf>,
+}
+
+/// Parsed command line for the client subcommands.
+#[derive(Debug, Clone, PartialEq)]
+struct ClientConfig {
+    addr: String,
+    /// Dataset path for `submit`, unused otherwise.
+    data: Option<PathBuf>,
+    /// Job id for `status`/`result`/`cancel`/`watch`.
+    job: Option<u64>,
+    opts: PmaxtOptions,
+    wait: bool,
+    out: Option<PathBuf>,
+    top: usize,
+}
+
+fn usage_text() -> &'static str {
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast] [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations."
+}
+
+/// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
+/// `Ok(false)` when `a` is not an options flag (caller handles it).
+fn parse_opts_flag(
+    opts: &mut PmaxtOptions,
+    a: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<bool, String> {
+    let mut take = |name: &str| -> Result<&String, String> {
+        it.next().ok_or_else(|| format!("{name} needs a value"))
+    };
+    match a {
+        "--test" => opts.test = TestMethod::parse(take("--test")?).map_err(|e| e.to_string())?,
+        "--side" => opts.side = Side::parse(take("--side")?).map_err(|e| e.to_string())?,
+        "--fixed-seed" => {
+            opts.sampling = SamplingMode::parse(take("--fixed-seed")?).map_err(|e| e.to_string())?
+        }
+        "-B" | "--permutations" => {
+            opts.b = take("-B")?.parse().map_err(|e| format!("bad -B: {e}"))?
+        }
+        "--nonpara" => opts.nonpara = take("--nonpara")? == "y",
+        "--na" => {
+            opts.na = Some(
+                take("--na")?
+                    .parse()
+                    .map_err(|e| format!("bad --na: {e}"))?,
+            )
+        }
+        "--seed" => {
+            opts.seed = take("--seed")?
+                .parse()
+                .map_err(|e| format!("bad --seed: {e}"))?
+        }
+        "--kernel" => {
+            opts.kernel = KernelChoice::parse(take("--kernel")?).map_err(|e| e.to_string())?
+        }
+        "--threads" => {
+            opts.threads = take("--threads")?
+                .parse()
+                .map_err(|e| format!("bad --threads: {e}"))?
+        }
+        "--batch" => {
+            opts.batch = take("--batch")?
+                .parse()
+                .map_err(|e| format!("bad --batch: {e}"))?
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn parse_run(args: &[String]) -> Result<RunConfig, String> {
@@ -65,51 +196,17 @@ fn parse_run(args: &[String]) -> Result<RunConfig, String> {
     let mut top = 10usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if parse_opts_flag(&mut opts, a, &mut it)? {
+            continue;
+        }
         let mut take = |name: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
-            "--test" => {
-                opts.test = TestMethod::parse(take("--test")?).map_err(|e| e.to_string())?
-            }
-            "--side" => opts.side = Side::parse(take("--side")?).map_err(|e| e.to_string())?,
-            "--fixed-seed" => {
-                opts.sampling =
-                    SamplingMode::parse(take("--fixed-seed")?).map_err(|e| e.to_string())?
-            }
-            "-B" | "--permutations" => {
-                opts.b = take("-B")?.parse().map_err(|e| format!("bad -B: {e}"))?
-            }
-            "--nonpara" => opts.nonpara = take("--nonpara")? == "y",
-            "--na" => {
-                opts.na = Some(
-                    take("--na")?
-                        .parse()
-                        .map_err(|e| format!("bad --na: {e}"))?,
-                )
-            }
-            "--seed" => {
-                opts.seed = take("--seed")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?
-            }
             "--ranks" => {
                 ranks = take("--ranks")?
                     .parse()
                     .map_err(|e| format!("bad --ranks: {e}"))?
-            }
-            "--kernel" => {
-                opts.kernel = KernelChoice::parse(take("--kernel")?).map_err(|e| e.to_string())?
-            }
-            "--threads" => {
-                opts.threads = take("--threads")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?
-            }
-            "--batch" => {
-                opts.batch = take("--batch")?
-                    .parse()
-                    .map_err(|e| format!("bad --batch: {e}"))?
             }
             "--minp" => minp = true,
             "--out" => out = Some(PathBuf::from(take("--out")?)),
@@ -178,6 +275,110 @@ fn parse_generate(args: &[String]) -> Result<GenerateConfig, String> {
     Ok(cfg)
 }
 
+fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig {
+        addr: String::new(),
+        workers: 2,
+        span: 4096,
+        queue: 64,
+        job_threads: 0,
+        cache: Some(PathBuf::from(".pmaxt-cache")),
+    };
+    let mut have_addr = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        macro_rules! num {
+            ($flag:literal, $field:expr) => {{
+                let v = take($flag)?;
+                $field = v.parse().map_err(|e| format!("bad {}: {e}", $flag))?;
+            }};
+        }
+        match a.as_str() {
+            "--workers" => num!("--workers", cfg.workers),
+            "--span" => num!("--span", cfg.span),
+            "--queue" => num!("--queue", cfg.queue),
+            "--job-threads" => num!("--job-threads", cfg.job_threads),
+            "--cache" => cfg.cache = Some(PathBuf::from(take("--cache")?)),
+            "--no-cache" => cfg.cache = None,
+            other if !other.starts_with('-') && !have_addr => {
+                cfg.addr = other.to_string();
+                have_addr = true;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !have_addr {
+        return Err("missing listen address".into());
+    }
+    if cfg.span == 0 {
+        return Err("--span must be positive".into());
+    }
+    Ok(cfg)
+}
+
+/// Parse the client subcommands. `needs_data` for `submit`, `needs_job` for
+/// the job-addressing commands.
+fn parse_client(
+    args: &[String],
+    needs_data: bool,
+    needs_job: bool,
+) -> Result<ClientConfig, String> {
+    let mut cfg = ClientConfig {
+        addr: String::new(),
+        data: None,
+        job: None,
+        opts: PmaxtOptions::default(),
+        wait: false,
+        out: None,
+        top: 10,
+    };
+    let mut positional = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if needs_data && parse_opts_flag(&mut cfg.opts, a, &mut it)? {
+            continue;
+        }
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--wait" => cfg.wait = true,
+            "--no-wait" => cfg.wait = false,
+            "--out" => cfg.out = Some(PathBuf::from(take("--out")?)),
+            "--top" => {
+                cfg.top = take("--top")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?
+            }
+            other if !other.starts_with('-') || other.parse::<u64>().is_ok() => {
+                match positional {
+                    0 => cfg.addr = other.to_string(),
+                    1 if needs_data => cfg.data = Some(PathBuf::from(other)),
+                    1 if needs_job => {
+                        cfg.job = Some(other.parse().map_err(|e| format!("bad job id: {e}"))?)
+                    }
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        return Err("missing server address".into());
+    }
+    if needs_data && cfg.data.is_none() {
+        return Err("missing dataset path".into());
+    }
+    if needs_job && cfg.job.is_none() {
+        return Err("missing job id".into());
+    }
+    Ok(cfg)
+}
+
 fn write_result_table(path: &std::path::Path, result: &MaxTResult) -> std::io::Result<()> {
     use std::io::Write as _;
     let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -192,9 +393,33 @@ fn write_result_table(path: &std::path::Path, result: &MaxTResult) -> std::io::R
     w.flush()
 }
 
-fn cmd_run(cfg: &RunConfig) -> Result<(), String> {
+fn print_result(result: &MaxTResult, top: usize, out: Option<&PathBuf>) -> Result<(), CliError> {
+    println!(
+        "{:>6} {:>12} {:>9} {:>9}",
+        "index", "teststat", "rawp", "adjp"
+    );
+    for row in result.by_significance().take(top) {
+        println!(
+            "{:>6} {:>12.4} {:>9.5} {:>9.5}",
+            row.index, row.teststat, row.rawp, row.adjp
+        );
+    }
+    if let Some(out) = out {
+        write_result_table(out, result).map_err(|e| runtime(format!("writing {out:?}: {e}")))?;
+        eprintln!("full table written to {out:?}");
+    }
+    Ok(())
+}
+
+fn cmd_run(cfg: &RunConfig) -> Result<(), CliError> {
     let (data, labels) =
-        read_dataset(&cfg.input).map_err(|e| format!("reading {:?}: {e}", cfg.input))?;
+        read_dataset(&cfg.input).map_err(|e| runtime(format!("reading {:?}: {e}", cfg.input)))?;
+    // Validate the rank allocation up front: handing a rank zero permutations
+    // is a resource-allocation mistake with its own exit code (3), distinct
+    // from usage and runtime failures.
+    let class = ClassLabels::new(labels.clone(), cfg.opts.test).map_err(CliError::from_core)?;
+    let b = resolve_permutation_count(&class, &cfg.opts).map_err(CliError::from_core)?;
+    chunk_for_rank(b, cfg.ranks as u64, 0).map_err(CliError::from_core)?;
     eprintln!(
         "loaded {} genes x {} samples; test={} side={} B={} ranks={}{}",
         data.rows(),
@@ -207,10 +432,10 @@ fn cmd_run(cfg: &RunConfig) -> Result<(), String> {
     );
     let t0 = std::time::Instant::now();
     let result = if cfg.minp {
-        pminp(&data, &labels, &cfg.opts, None, cfg.ranks).map_err(|e| e.to_string())?
+        pminp(&data, &labels, &cfg.opts, None, cfg.ranks).map_err(CliError::from_core)?
     } else {
         pmaxt(&data, &labels, &cfg.opts, cfg.ranks)
-            .map_err(|e| e.to_string())?
+            .map_err(CliError::from_core)?
             .result
     };
     eprintln!(
@@ -218,24 +443,10 @@ fn cmd_run(cfg: &RunConfig) -> Result<(), String> {
         result.b_used,
         t0.elapsed()
     );
-    println!(
-        "{:>6} {:>12} {:>9} {:>9}",
-        "index", "teststat", "rawp", "adjp"
-    );
-    for row in result.by_significance().take(cfg.top) {
-        println!(
-            "{:>6} {:>12.4} {:>9.5} {:>9.5}",
-            row.index, row.teststat, row.rawp, row.adjp
-        );
-    }
-    if let Some(out) = &cfg.out {
-        write_result_table(out, &result).map_err(|e| format!("writing {out:?}: {e}"))?;
-        eprintln!("full table written to {out:?}");
-    }
-    Ok(())
+    print_result(&result, cfg.top, cfg.out.as_ref())
 }
 
-fn cmd_generate(cfg: &GenerateConfig) -> Result<(), String> {
+fn cmd_generate(cfg: &GenerateConfig) -> Result<(), CliError> {
     let ds = SynthConfig::two_class(cfg.genes, cfg.n0, cfg.n1)
         .diff_fraction(cfg.diff)
         .effect_size(cfg.effect)
@@ -243,7 +454,7 @@ fn cmd_generate(cfg: &GenerateConfig) -> Result<(), String> {
         .seed(cfg.seed)
         .generate();
     write_dataset(&cfg.output, &ds.matrix, &ds.labels)
-        .map_err(|e| format!("writing {:?}: {e}", cfg.output))?;
+        .map_err(|e| runtime(format!("writing {:?}: {e}", cfg.output)))?;
     eprintln!(
         "wrote {} genes x {} samples ({} planted differential) to {:?}",
         ds.matrix.rows(),
@@ -254,18 +465,214 @@ fn cmd_generate(cfg: &GenerateConfig) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(cfg: &ServeConfig) -> Result<(), CliError> {
+    let manager = JobManager::new(ManagerConfig {
+        workers: cfg.workers,
+        queue_cap: cfg.queue,
+        span: cfg.span,
+        job_threads: cfg.job_threads,
+        cache_dir: cfg.cache.clone(),
+    })
+    .map_err(|e| runtime(format!("starting job manager: {e}")))?;
+    let server = Server::bind(&cfg.addr, manager)
+        .map_err(|e| runtime(format!("binding {}: {e}", cfg.addr)))?;
+    eprintln!(
+        "jobd: listening on {} ({} workers, span {}, cache {})",
+        server.local_addr().to_addr_string(),
+        cfg.workers,
+        cfg.span,
+        cfg.cache
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "disabled".into()),
+    );
+    server.run().map_err(|e| runtime(format!("serving: {e}")))
+}
+
+fn connect(addr: &str) -> Result<Client, CliError> {
+    Client::connect(addr).map_err(|e| runtime(format!("connecting to {addr}: {e}")))
+}
+
+fn request(client: &mut Client, req: &Json) -> Result<Json, CliError> {
+    let resp = client.request(req).map_err(runtime)?;
+    expect_ok(resp).map_err(CliError::from_wire)
+}
+
+fn print_status_line(resp: &Json) {
+    let field = |k: &str| resp.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let text = |k: &str| {
+        resp.get(k)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let mut line = format!(
+        "job {} {}: {}/{} permutations (cache {}",
+        field("job"),
+        text("state"),
+        field("done"),
+        field("total"),
+        text("cache"),
+    );
+    let resumed = field("resumed_from");
+    if resumed > 0 {
+        line.push_str(&format!(", resumed from {resumed}"));
+    }
+    line.push(')');
+    if let Some(eta) = resp.get("eta_secs").and_then(Json::as_f64) {
+        line.push_str(&format!(", eta {eta:.1}s"));
+    }
+    if let Some(err) = resp.get("error").and_then(Json::as_str) {
+        line.push_str(&format!(", error: {err}"));
+    }
+    println!("{line}");
+}
+
+fn fetch_and_print_result(
+    client: &mut Client,
+    job: u64,
+    wait: bool,
+    top: usize,
+    out: Option<&PathBuf>,
+) -> Result<(), CliError> {
+    let resp = request(client, &protocol::result_request(job, wait))?;
+    let result = protocol::result_from_json(&resp).map_err(usage)?;
+    eprintln!("job {job}: B = {} permutations", result.b_used);
+    print_result(&result, top, out)
+}
+
+fn cmd_submit(cfg: &ClientConfig) -> Result<(), CliError> {
+    let data = cfg.data.as_ref().expect("parser enforces data");
+    // The server reads the dataset from its own filesystem; send an absolute
+    // path so client and server working directories need not agree.
+    let path =
+        std::fs::canonicalize(data).map_err(|e| runtime(format!("resolving {data:?}: {e}")))?;
+    let mut client = connect(&cfg.addr)?;
+    let req = protocol::submit_request(&path.display().to_string(), &cfg.opts);
+    let resp = request(&mut client, &req)?;
+    let job = resp
+        .get("job")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| usage("malformed submit response"))?;
+    let text = |k: &str| {
+        resp.get(k)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let mut note = format!(
+        "job {} {} (cache {}, {} permutations",
+        job,
+        text("state"),
+        text("cache"),
+        resp.get("total").and_then(Json::as_u64).unwrap_or(0),
+    );
+    let resumed = resp.get("resumed_from").and_then(Json::as_u64).unwrap_or(0);
+    if resumed > 0 {
+        note.push_str(&format!(", resumed from {resumed}"));
+    }
+    if resp.get("deduped").and_then(Json::as_bool) == Some(true) {
+        note.push_str(", deduplicated");
+    }
+    note.push(')');
+    eprintln!("{note}");
+    if cfg.wait {
+        fetch_and_print_result(&mut client, job, true, cfg.top, cfg.out.as_ref())
+    } else {
+        println!("{job}");
+        Ok(())
+    }
+}
+
+fn cmd_status(cfg: &ClientConfig) -> Result<(), CliError> {
+    let mut client = connect(&cfg.addr)?;
+    let job = cfg.job.expect("parser enforces job");
+    let resp = request(&mut client, &protocol::job_request("status", job))?;
+    print_status_line(&resp);
+    Ok(())
+}
+
+fn cmd_result(cfg: &ClientConfig) -> Result<(), CliError> {
+    let mut client = connect(&cfg.addr)?;
+    let job = cfg.job.expect("parser enforces job");
+    fetch_and_print_result(&mut client, job, cfg.wait, cfg.top, cfg.out.as_ref())
+}
+
+fn cmd_cancel(cfg: &ClientConfig) -> Result<(), CliError> {
+    let mut client = connect(&cfg.addr)?;
+    let job = cfg.job.expect("parser enforces job");
+    let resp = request(&mut client, &protocol::job_request("cancel", job))?;
+    print_status_line(&resp);
+    Ok(())
+}
+
+fn cmd_watch(cfg: &ClientConfig) -> Result<(), CliError> {
+    let mut client = connect(&cfg.addr)?;
+    let job = cfg.job.expect("parser enforces job");
+    // Send one request, then keep reading event lines until a terminal state.
+    let mut resp = client
+        .request(&protocol::job_request("watch", job))
+        .map_err(runtime)?;
+    loop {
+        let ok = expect_ok(resp).map_err(CliError::from_wire)?;
+        print_status_line(&ok);
+        let state = ok.get("state").and_then(Json::as_str).unwrap_or("");
+        if matches!(state, "finished" | "cancelled" | "failed") {
+            return Ok(());
+        }
+        resp = client.read_response().map_err(runtime)?;
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.first().map(String::as_str) {
-        Some("run") => parse_run(&args[1..]).and_then(|cfg| cmd_run(&cfg)),
-        Some("generate") => parse_generate(&args[1..]).and_then(|cfg| cmd_generate(&cfg)),
-        _ => Err(usage().to_string()),
+        Some("run") => parse_run(&args[1..])
+            .map_err(usage)
+            .and_then(|cfg| cmd_run(&cfg)),
+        Some("generate") => parse_generate(&args[1..])
+            .map_err(usage)
+            .and_then(|cfg| cmd_generate(&cfg)),
+        Some("serve") => parse_serve(&args[1..])
+            .map_err(usage)
+            .and_then(|cfg| cmd_serve(&cfg)),
+        Some("submit") => parse_client(&args[1..], true, false)
+            .map_err(usage)
+            .and_then(|cfg| cmd_submit(&cfg)),
+        Some("status") => parse_client(&args[1..], false, true)
+            .map_err(usage)
+            .and_then(|cfg| cmd_status(&cfg)),
+        Some("result") => parse_client(&args[1..], false, true)
+            .map(|mut cfg| {
+                // `result` waits by default; `--no-wait` polls.
+                if !args[1..].iter().any(|a| a == "--no-wait") {
+                    cfg.wait = true;
+                }
+                cfg
+            })
+            .map_err(usage)
+            .and_then(|cfg| cmd_result(&cfg)),
+        Some("cancel") => parse_client(&args[1..], false, true)
+            .map_err(usage)
+            .and_then(|cfg| cmd_cancel(&cfg)),
+        Some("watch") => parse_client(&args[1..], false, true)
+            .map_err(usage)
+            .and_then(|cfg| cmd_watch(&cfg)),
+        _ => Err(usage(usage_text())),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
             eprintln!("{msg}");
             ExitCode::from(2)
+        }
+        Err(CliError::Ranks(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
         }
     }
 }
@@ -376,6 +783,75 @@ mod tests {
     }
 
     #[test]
+    fn parse_serve_flags() {
+        let cfg = parse_serve(&strs(&[
+            "unix:/tmp/x.sock",
+            "--workers",
+            "4",
+            "--span",
+            "1000",
+            "--queue",
+            "8",
+            "--job-threads",
+            "2",
+            "--cache",
+            "/tmp/cachedir",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.addr, "unix:/tmp/x.sock");
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.span, 1000);
+        assert_eq!(cfg.queue, 8);
+        assert_eq!(cfg.job_threads, 2);
+        assert_eq!(cfg.cache, Some(PathBuf::from("/tmp/cachedir")));
+        let no_cache = parse_serve(&strs(&["127.0.0.1:0", "--no-cache"])).unwrap();
+        assert_eq!(no_cache.cache, None);
+        assert!(parse_serve(&strs(&[])).is_err());
+        assert!(parse_serve(&strs(&["a:1", "--span", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_client_submit_and_job_forms() {
+        let cfg = parse_client(
+            &strs(&["unix:/s.sock", "d.tsv", "-B", "500", "--wait", "--top", "3"]),
+            true,
+            false,
+        )
+        .unwrap();
+        assert_eq!(cfg.addr, "unix:/s.sock");
+        assert_eq!(cfg.data, Some(PathBuf::from("d.tsv")));
+        assert_eq!(cfg.opts.b, 500);
+        assert!(cfg.wait);
+        assert_eq!(cfg.top, 3);
+
+        let cfg = parse_client(&strs(&["127.0.0.1:9000", "17"]), false, true).unwrap();
+        assert_eq!(cfg.job, Some(17));
+        assert!(parse_client(&strs(&["addr:1"]), false, true).is_err());
+        assert!(parse_client(&strs(&[]), true, false).is_err());
+    }
+
+    #[test]
+    fn exit_code_mapping_from_core_errors() {
+        let ranks = CoreError::RanksExceedPermutations { b: 5, ranks: 9 };
+        assert!(matches!(CliError::from_core(ranks), CliError::Ranks(_)));
+        let opt = CoreError::BadOption {
+            param: "side",
+            value: "x".into(),
+        };
+        assert!(matches!(CliError::from_core(opt), CliError::Usage(_)));
+        let comm = CoreError::Comm("boom".into());
+        assert!(matches!(CliError::from_core(comm), CliError::Runtime(_)));
+        assert!(matches!(
+            CliError::from_wire(("m".into(), "usage".into())),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            CliError::from_wire(("m".into(), "busy".into())),
+            CliError::Runtime(_)
+        ));
+    }
+
+    #[test]
     fn generate_then_run_end_to_end() {
         let dir = std::env::temp_dir();
         let data = dir.join(format!("pmaxt-cli-{}.tsv", std::process::id()));
@@ -405,6 +881,34 @@ mod tests {
         assert_eq!(table.lines().count(), 51); // header + 50 genes
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn run_rejects_oversubscribed_ranks_with_typed_error() {
+        let dir = std::env::temp_dir();
+        let data = dir.join(format!("pmaxt-cli-ranks-{}.tsv", std::process::id()));
+        cmd_generate(&GenerateConfig {
+            output: data.clone(),
+            genes: 10,
+            n0: 4,
+            n1: 4,
+            diff: 0.0,
+            effect: 2.0,
+            na_rate: 0.0,
+            seed: 5,
+        })
+        .unwrap();
+        let cfg = RunConfig {
+            input: data.clone(),
+            opts: PmaxtOptions::default().permutations(3),
+            ranks: 8,
+            minp: false,
+            out: None,
+            top: 3,
+        };
+        let err = cmd_run(&cfg).unwrap_err();
+        assert!(matches!(err, CliError::Ranks(_)), "got {err:?}");
+        std::fs::remove_file(&data).ok();
     }
 
     #[test]
