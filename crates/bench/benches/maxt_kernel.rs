@@ -61,18 +61,18 @@ fn bench_kernel_strategies(c: &mut Criterion) {
     // keeps criterion calibration fast while measuring the same loop that a
     // B = 150 000 production run spends its time in).
     const B: u64 = 100;
-    for method in [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon] {
+    for method in TestMethod::ALL {
         let ds = SynthConfig::two_class(6_102, 38, 38)
             .diff_fraction(0.05)
             .seed(11)
             .generate();
-        let labels = ClassLabels::new(ds.labels.clone(), method).unwrap();
+        let labels = ClassLabels::new(sprint_bench::kernel_labels(method), method).unwrap();
         let opts = PmaxtOptions::default().test(method).permutations(B);
         let prepared = prepare_matrix(&ds.matrix, method, false).into_owned();
         let mut group = c.benchmark_group(format!("kernel_strategy_6102x76_{}", method.as_str()));
         group.sample_size(10);
         for kernel in [KernelChoice::Scalar, KernelChoice::Fast] {
-            let ctx = MaxTContext::with_kernel(&prepared, &labels, method, opts.side, kernel);
+            let ctx = MaxTContext::with_scorer(&prepared, &labels, method, opts.side, kernel);
             group.throughput(Throughput::Elements(6_102 * B));
             group.bench_with_input(
                 BenchmarkId::from_parameter(kernel.as_str()),

@@ -131,29 +131,33 @@ fn run_local(genes: usize, b: u64, max_procs: usize) {
 }
 
 fn run_kernel(out: Option<&str>) {
-    println!("=== Kernel ablation: scalar vs sufficient-statistic fast kernel ===");
-    println!("(serial accumulate loop, two-class 38+38 samples, NA-free)");
+    println!("=== Scorer ablation: scalar vs sufficient-statistic fast scorer ===");
+    println!("(serial accumulate loop, 76-sample workloads, NA-free, all six statistics)");
     // The 6102-gene row is the paper's reference workload shape; B is kept
     // moderate so the grid completes in seconds — per-permutation cost is
     // what's being compared, and it does not depend on B.
-    let test = TestMethod::T;
-    let cells = kernel_grid(&[600, 2_000, 6_102], &[200, 1_000], test);
-    println!(
-        "{:>6} {:>8} {:>6} {:>12} {:>12} {:>9}",
-        "genes", "samples", "B", "scalar(s)", "fast(s)", "speedup"
-    );
-    for c in &cells {
+    let mut results = Vec::new();
+    for test in TestMethod::ALL {
+        println!("\n--- test = {} ---", test.as_str());
+        let cells = kernel_grid(&[600, 2_000, 6_102], &[200, 1_000], test);
         println!(
-            "{:>6} {:>8} {:>6} {:>12.4} {:>12.4} {:>8.2}x",
-            c.genes,
-            c.samples,
-            c.b,
-            c.scalar_secs,
-            c.fast_secs,
-            c.speedup()
+            "{:>6} {:>8} {:>6} {:>12} {:>12} {:>9}",
+            "genes", "samples", "B", "scalar(s)", "fast(s)", "speedup"
         );
+        for c in &cells {
+            println!(
+                "{:>6} {:>8} {:>6} {:>12.4} {:>12.4} {:>8.2}x",
+                c.genes,
+                c.samples,
+                c.b,
+                c.scalar_secs,
+                c.fast_secs,
+                c.speedup()
+            );
+        }
+        results.push((test, cells));
     }
-    let json = kernel_cells_to_json(test, &cells);
+    let json = kernel_cells_to_json(&results);
     let path = out.unwrap_or("BENCH_kernel.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\ngrid written to {path}"),

@@ -42,7 +42,7 @@ use crate::maxt::serial::prepare_run;
 use crate::maxt::{CountAccumulator, MaxTContext, MaxTResult, EPSILON};
 use crate::options::PmaxtOptions;
 use crate::perm::{build_generator, PermutationGenerator};
-use crate::stats::kernel::FastKernel;
+use crate::stats::scorer::ScorerScratch;
 
 /// Default permutations per batch when `batch = 0` (auto). Large enough to
 /// amortize the per-batch label/index setup and give the tiled loop a hot
@@ -275,9 +275,13 @@ pub fn accumulate_chunk_hooked(
         let mut gen = build_generator(labels, opts, b).expect("validated generator");
         gen.skip(sub_start);
         let mut acc = CountAccumulator::new(genes);
+        // Batch buffers (labels, gene-major scores, scorer scratch) are
+        // allocated once per worker and reused across every batch of the
+        // sub-chunk — the hooked path below included.
+        let mut bufs = ctx.batch_buffers(cfg.batch);
         if hooks.cancel.is_none() && hooks.progress.is_none() {
-            // Hook-free fast path: one call, batch buffers allocated once.
-            let done = ctx.accumulate_batched(&mut *gen, sub_take, cfg.batch, &mut acc);
+            // Hook-free fast path: one call over the whole sub-chunk.
+            let done = ctx.accumulate_batched_with(&mut *gen, sub_take, &mut acc, &mut bufs);
             debug_assert_eq!(done, sub_take, "sub-chunk shorter than assigned");
             return Ok((
                 acc,
@@ -290,15 +294,15 @@ pub fn accumulate_chunk_hooked(
             ));
         }
         // Batch-at-a-time outer loop so the hooks run between batches; each
-        // `accumulate_batched` call scores exactly one batch, so the inner
-        // arithmetic is the same sequence as one whole-sub-chunk call.
+        // call scores exactly one batch with the same reused buffers, so the
+        // inner arithmetic is the same sequence as one whole-sub-chunk call.
         let mut done = 0u64;
         while done < sub_take {
             if cancelled() {
                 return Err(Error::Cancelled);
             }
             let step = (sub_take - done).min(cfg.batch.max(1) as u64);
-            let did = ctx.accumulate_batched(&mut *gen, step, cfg.batch, &mut acc);
+            let did = ctx.accumulate_batched_with(&mut *gen, step, &mut acc, &mut bufs);
             debug_assert_eq!(did, step, "sub-chunk shorter than assigned");
             done += did;
             if let Some(progress) = hooks.progress {
@@ -357,7 +361,7 @@ pub fn maxt_with_config(
     cfg: EngineConfig,
 ) -> Result<MaxTResult> {
     let (labels, b, prepared) = prepare_run(data, classlabel, opts)?;
-    let ctx = MaxTContext::with_kernel(&prepared, &labels, opts.test, opts.side, opts.kernel);
+    let ctx = MaxTContext::with_scorer(&prepared, &labels, opts.test, opts.side, opts.kernel);
     let run = accumulate_chunk(&ctx, &labels, opts, b, 0, b, cfg)?;
     debug_assert_eq!(run.counts.n_perm, b);
     Ok(ctx.finalize(&run.counts))
@@ -369,20 +373,34 @@ pub fn maxt_threaded(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> R
     maxt_with_config(data, classlabel, opts, EngineConfig::resolve(opts))
 }
 
+/// Reusable per-worker buffers for the batched accumulation loop: the label
+/// arrangements, the gene-major score buffer and the scorer's scratch.
+/// Allocated once per worker (via [`MaxTContext::batch_buffers`]) and reused
+/// across every batch, so the hot loop performs no allocation.
+#[derive(Debug)]
+pub struct BatchBuffers {
+    labels_bufs: Vec<Vec<u8>>,
+    scores: Vec<f64>,
+    scratch: ScorerScratch,
+}
+
 impl MaxTContext<'_> {
+    /// Allocate batch buffers for this context sized for `batch`
+    /// arrangements per batch (`0` selects [`DEFAULT_BATCH`]).
+    pub fn batch_buffers(&self, batch: usize) -> BatchBuffers {
+        let batch = if batch == 0 { DEFAULT_BATCH } else { batch };
+        BatchBuffers {
+            labels_bufs: vec![vec![0u8; self.cols]; batch],
+            scores: vec![0.0f64; self.genes * batch],
+            scratch: self.scorer.make_scratch(),
+        }
+    }
+
     /// Batched, gene-tiled variant of [`MaxTContext::accumulate`]: consume up
     /// to `take` permutations from `gen` in batches of `batch`, accumulating
     /// exceedance counts into `acc`. Returns the number of permutations
-    /// processed.
-    ///
-    /// Per batch, the label arrangements and their group-1 index lists are
-    /// materialized up front; the matrix is then walked **gene-outer,
-    /// permutation-inner** in tiles of [`GENE_TILE`] rows, so each row is
-    /// loaded once per batch and scored against every arrangement while hot.
-    /// Scores land gene-major in a `genes × batch` buffer; raw counts fuse
-    /// into the tile pass, and the step-down (successive-maxima) pass runs
-    /// per permutation afterwards. Counts are identical to `accumulate` for
-    /// every batch size — see the module docs.
+    /// processed. Allocating convenience over
+    /// [`MaxTContext::accumulate_batched_with`].
     pub fn accumulate_batched(
         &self,
         gen: &mut dyn PermutationGenerator,
@@ -390,81 +408,73 @@ impl MaxTContext<'_> {
         batch: usize,
         acc: &mut CountAccumulator,
     ) -> u64 {
+        let mut bufs = self.batch_buffers(batch);
+        self.accumulate_batched_with(gen, take, acc, &mut bufs)
+    }
+
+    /// Core of the batched path, reusing caller-owned [`BatchBuffers`] (the
+    /// buffers' capacity is the batch size).
+    ///
+    /// Per batch, the scorer derives its per-arrangement structures once
+    /// ([`crate::stats::scorer::Scorer::begin_batch`]); the matrix is then
+    /// walked **gene-outer, permutation-inner** in tiles of [`GENE_TILE`]
+    /// rows, so each cached row is loaded once per batch and scored against
+    /// every arrangement while hot. Scores land gene-major in a
+    /// `genes × batch` buffer; the statistic → extremeness transform fuses
+    /// into the tile pass, and the step-down (successive-maxima) pass runs
+    /// per permutation afterwards. Counts are identical to `accumulate` for
+    /// every batch size — see the module docs.
+    pub fn accumulate_batched_with(
+        &self,
+        gen: &mut dyn PermutationGenerator,
+        take: u64,
+        acc: &mut CountAccumulator,
+        bufs: &mut BatchBuffers,
+    ) -> u64 {
         assert_eq!(acc.genes(), self.genes(), "accumulator size mismatch");
-        let batch = batch.max(1);
-        let genes = self.genes();
-        let cols = self.data.cols();
-        let mut labels_bufs: Vec<Vec<u8>> = vec![vec![0u8; cols]; batch];
-        let mut idx_bufs: Vec<Vec<usize>> = vec![Vec::with_capacity(cols); batch];
-        let mut scores = vec![0.0f64; genes * batch];
+        let batch = bufs.labels_bufs.len();
+        debug_assert_eq!(bufs.scores.len(), self.genes * batch, "buffer mismatch");
         let mut done = 0u64;
         while done < take {
             let want = (take - done).min(batch as u64) as usize;
             let mut k = 0usize;
-            while k < want && gen.next_into(&mut labels_bufs[k]) {
+            while k < want && gen.next_into(&mut bufs.labels_bufs[k]) {
                 k += 1;
             }
             if k == 0 {
                 break;
             }
-            self.score_batch(&labels_bufs[..k], &mut idx_bufs[..k], &mut scores, batch);
-            self.count_batch(&scores, batch, k, acc);
+            self.score_batch(
+                &bufs.labels_bufs[..k],
+                &mut bufs.scratch,
+                &mut bufs.scores,
+                batch,
+            );
+            self.count_batch(&bufs.scores, batch, k, acc);
             done += k as u64;
         }
         done
     }
 
     /// Fill `scores[g * stride + j]` with the extremeness score of gene `g`
-    /// under arrangement `j`, walking genes tile by tile.
+    /// under arrangement `j`, walking genes tile by tile through the run's
+    /// scorer.
     fn score_batch(
         &self,
         labels_bufs: &[Vec<u8>],
-        idx_bufs: &mut [Vec<usize>],
+        scratch: &mut ScorerScratch,
         scores: &mut [f64],
         stride: usize,
     ) {
-        let genes = self.genes();
+        let genes = self.genes;
         let k = labels_bufs.len();
-        if self.kernel.is_some() {
-            for (idx, labels) in idx_bufs.iter_mut().zip(labels_bufs) {
-                FastKernel::group1_indices(labels, idx);
-            }
-        }
-        // Cursors into the kernel's ascending fast/scalar gene lists, advanced
-        // tile by tile.
-        let mut fast_lo = 0usize;
-        let mut scalar_lo = 0usize;
+        self.scorer.begin_batch(labels_bufs, scratch);
         let mut tile_start = 0usize;
         while tile_start < genes {
             let tile_end = (tile_start + GENE_TILE).min(genes);
-            match self.kernel.as_ref() {
-                Some(kern) => {
-                    let fast = kern.fast_genes();
-                    let fast_hi = fast_lo + fast[fast_lo..].partition_point(|&g| g < tile_end);
-                    kern.stats_batch_into(&idx_bufs[..k], fast_lo..fast_hi, scores, stride);
-                    fast_lo = fast_hi;
-                    let scalar = kern.scalar_genes();
-                    let scalar_hi =
-                        scalar_lo + scalar[scalar_lo..].partition_point(|&g| g < tile_end);
-                    for &g in &scalar[scalar_lo..scalar_hi] {
-                        let row = self.data.row(g);
-                        for (j, labels) in labels_bufs.iter().enumerate() {
-                            scores[g * stride + j] = self.computer.compute(row, labels);
-                        }
-                    }
-                    scalar_lo = scalar_hi;
-                }
-                None => {
-                    for g in tile_start..tile_end {
-                        let row = self.data.row(g);
-                        for (j, labels) in labels_bufs.iter().enumerate() {
-                            scores[g * stride + j] = self.computer.compute(row, labels);
-                        }
-                    }
-                }
-            }
-            // Statistic → extremeness score, fused with the raw-count
-            // comparison while the tile is hot.
+            self.scorer
+                .score_tile(labels_bufs, tile_start..tile_end, scratch, scores, stride);
+            // Statistic → extremeness score while the tile is hot.
             for g in tile_start..tile_end {
                 let slots = &mut scores[g * stride..g * stride + k];
                 for slot in slots.iter_mut() {
@@ -559,7 +569,7 @@ mod tests {
                 3.0,
                 4.0,
                 f64::NAN,
-                3.5, // missing cells → scalar fallback
+                3.5, // missing cells → NA-adjusted fast path
                 7.7,
                 7.7,
                 7.7,
@@ -645,7 +655,7 @@ mod tests {
                 let labels = ClassLabels::new(classlabel.clone(), method).unwrap();
                 let opts = PmaxtOptions::default().test(method).permutations(40);
                 let prepared = prepare_matrix(&data, method, false);
-                let ctx = MaxTContext::with_kernel(&prepared, &labels, method, Side::Abs, choice);
+                let ctx = MaxTContext::with_scorer(&prepared, &labels, method, Side::Abs, choice);
                 let mut reference = CountAccumulator::new(5);
                 let mut gen = build_generator(&labels, &opts, 40).unwrap();
                 ctx.accumulate(&mut *gen, u64::MAX, &mut reference);

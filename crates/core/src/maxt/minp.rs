@@ -27,11 +27,13 @@
 use crate::error::{Error, Result};
 use crate::labels::ClassLabels;
 use crate::matrix::Matrix;
+use crate::maxt::engine::DEFAULT_BATCH;
 use crate::maxt::result::MaxTResult;
 use crate::maxt::EPSILON;
 use crate::options::PmaxtOptions;
 use crate::perm::{build_generator, resolve_permutation_count};
-use crate::stats::{prepare_matrix, StatComputer};
+use crate::stats::prepare_matrix;
+use crate::stats::scorer::build_scorer;
 
 /// Default budget for the score matrix: 512 MiB.
 pub const DEFAULT_MINP_BUDGET_BYTES: usize = 512 << 20;
@@ -79,25 +81,51 @@ pub fn mt_minp(
     }
 
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let computer = StatComputer::new(opts.test, &labels);
+    let scorer = build_scorer(&prepared, &labels, opts.test, opts.kernel);
     let side = opts.side;
 
-    // 1. Score matrix, gene-major: scores[g * b + j].
+    // 1. Score matrix, gene-major: scores[g * b + j], filled batch by batch
+    // through the run's scorer. Statistics are written at a column offset via
+    // an `&mut scores[j..]` window with stride `b`, so `score_tile`'s
+    // `g·stride + j_local` lands on the global `g·b + j + j_local` cell.
     let mut gen = build_generator(&labels, opts, b)?;
     let bu = b as usize;
     let mut scores = vec![f64::NEG_INFINITY; genes * bu];
-    let mut labels_buf = vec![0u8; data.cols()];
+    let batch = DEFAULT_BATCH.min(bu).max(1);
+    let mut labels_bufs: Vec<Vec<u8>> = vec![vec![0u8; data.cols()]; batch];
+    let mut scratch = scorer.make_scratch();
     let mut obs_stats = vec![f64::NAN; genes];
     let mut j = 0usize;
-    while gen.next_into(&mut labels_buf) {
-        for g in 0..genes {
-            let stat = computer.compute(prepared.row(g), &labels_buf);
-            if j == 0 {
-                obs_stats[g] = stat;
-            }
-            scores[g * bu + j] = side.score(stat);
+    while j < bu {
+        let want = (bu - j).min(batch);
+        let mut k = 0usize;
+        while k < want && gen.next_into(&mut labels_bufs[k]) {
+            k += 1;
         }
-        j += 1;
+        if k == 0 {
+            break;
+        }
+        scorer.begin_batch(&labels_bufs[..k], &mut scratch);
+        scorer.score_tile(
+            &labels_bufs[..k],
+            0..genes,
+            &mut scratch,
+            &mut scores[j..],
+            bu,
+        );
+        if j == 0 {
+            // Raw observed statistics: the identity permutation's column,
+            // before the in-place extremeness transform below.
+            for g in 0..genes {
+                obs_stats[g] = scores[g * bu];
+            }
+        }
+        for g in 0..genes {
+            for slot in &mut scores[g * bu + j..g * bu + j + k] {
+                *slot = side.score(*slot);
+            }
+        }
+        j += k;
     }
     debug_assert_eq!(j, bu);
 
@@ -243,7 +271,7 @@ pub fn pminp(
     let outputs = Universe::run(n_ranks, move |comm| {
         let (data, labels, opts, b) = &*input;
         let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-        let computer = StatComputer::new(opts.test, labels);
+        let scorer = build_scorer(&prepared, labels, opts.test, opts.kernel);
         let genes = data.rows();
         // Contiguous permutation chunk for this rank (no identity special
         // case here: minP needs every column of the score matrix anyway).
@@ -258,11 +286,14 @@ pub fn pminp(
         // Permutation-major chunk: chunk[j_local * genes + g].
         let mut chunk = vec![0.0f64; take as usize * genes];
         let mut labels_buf = vec![0u8; data.cols()];
+        let mut stats = vec![f64::NAN; genes];
+        let mut scratch = scorer.make_scratch();
         let mut obs_stats = vec![f64::NAN; genes];
         for j_local in 0..take as usize {
             assert!(gen.next_into(&mut labels_buf), "chunk within bounds");
+            scorer.stats_into(&labels_buf, &mut scratch, &mut stats);
             for g in 0..genes {
-                let stat = computer.compute(prepared.row(g), &labels_buf);
+                let stat = stats[g];
                 if start == 0 && j_local == 0 {
                     obs_stats[g] = stat;
                 }

@@ -26,8 +26,7 @@ use crate::matrix::Matrix;
 use crate::options::{KernelChoice, TestMethod};
 use crate::perm::PermutationGenerator;
 use crate::side::Side;
-use crate::stats::kernel::FastKernel;
-use crate::stats::StatComputer;
+use crate::stats::scorer::{build_scorer, Scorer};
 
 /// Comparison slack absorbing floating-point noise between the observed and
 /// permuted statistics, as in the `multtest` C implementation.
@@ -49,15 +48,14 @@ pub fn significance_order(scores: &[f64]) -> Vec<usize> {
 /// scores. Both the serial loop and each parallel rank construct one; because
 /// construction is deterministic, every rank derives the identical gene
 /// ordering, which the count reduction relies on.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MaxTContext<'a> {
-    data: &'a Matrix,
-    computer: StatComputer,
+    /// The run's statistic evaluator: the method's fast sufficient-statistic
+    /// scorer, or the reference scalar scorer under a debug override.
+    scorer: Box<dyn Scorer + 'a>,
     side: Side,
-    /// Sufficient-statistic fast kernel for the NA-free rows; `None` when the
-    /// method has no fast form, every row has NAs, or the scalar kernel was
-    /// requested explicitly.
-    kernel: Option<FastKernel>,
+    genes: usize,
+    cols: usize,
     /// Observed statistic per gene (original order).
     obs_stats: Vec<f64>,
     /// Observed extremeness score per gene (original order).
@@ -70,50 +68,39 @@ pub struct MaxTContext<'a> {
 
 impl<'a> MaxTContext<'a> {
     /// Build from a **prepared** matrix (see [`crate::stats::prepare_matrix`])
-    /// and validated labels, with automatic kernel selection.
+    /// and validated labels, with automatic scorer selection.
     pub fn new(data: &'a Matrix, labels: &ClassLabels, method: TestMethod, side: Side) -> Self {
-        Self::with_kernel(data, labels, method, side, KernelChoice::Auto)
+        Self::with_scorer(data, labels, method, side, KernelChoice::Auto)
     }
 
-    /// Build with an explicit kernel choice. `Auto` and `Fast` engage the
-    /// sufficient-statistic kernel when the method supports it (`Fast` is not
-    /// an override — unsupported methods silently keep the scalar path, which
-    /// is always correct). The `SPRINT_KERNEL` environment variable, when set
-    /// to a valid choice, takes precedence over `choice`.
-    pub fn with_kernel(
+    /// Build with an explicit scorer choice. `Auto` and `Fast` select the
+    /// method's fast sufficient-statistic scorer; `Scalar` forces the
+    /// reference per-column scorer (the equivalence-testing override). The
+    /// `SPRINT_KERNEL` environment variable, when set to a valid choice,
+    /// takes precedence over `choice`.
+    pub fn with_scorer(
         data: &'a Matrix,
         labels: &ClassLabels,
         method: TestMethod,
         side: Side,
         choice: KernelChoice,
     ) -> Self {
-        let computer = StatComputer::new(method, labels);
-        let kernel = match choice.env_override() {
-            KernelChoice::Scalar => None,
-            KernelChoice::Auto | KernelChoice::Fast => FastKernel::build(data, method),
-        };
+        let scorer = build_scorer(data, labels, method, choice);
         let genes = data.rows();
-        // Observed statistics go through the same dispatch as the permuted
+        // Observed statistics go through the same scorer as the permuted
         // ones so the identity permutation always counts exactly once,
-        // whichever kernel is active.
+        // whichever scorer is active.
         let mut obs_stats = vec![f64::NAN; genes];
-        let mut idx_buf = Vec::with_capacity(data.cols());
-        Self::stats_into_parts(
-            data,
-            &computer,
-            kernel.as_ref(),
-            labels.as_slice(),
-            &mut idx_buf,
-            &mut obs_stats,
-        );
+        let mut scratch = scorer.make_scratch();
+        scorer.stats_into(labels.as_slice(), &mut scratch, &mut obs_stats);
         let obs_scores: Vec<f64> = obs_stats.iter().map(|&s| side.score(s)).collect();
         let order = significance_order(&obs_scores);
         let obs_scores_ordered = order.iter().map(|&g| obs_scores[g]).collect();
         MaxTContext {
-            data,
-            computer,
+            scorer,
             side,
-            kernel,
+            genes,
+            cols: data.cols(),
             obs_stats,
             obs_scores,
             order,
@@ -121,37 +108,14 @@ impl<'a> MaxTContext<'a> {
         }
     }
 
-    /// Whether the sufficient-statistic fast kernel is active for this run.
-    pub fn uses_fast_kernel(&self) -> bool {
-        self.kernel.is_some()
+    /// Whether a fast sufficient-statistic scorer is active for this run.
+    pub fn uses_fast_scorer(&self) -> bool {
+        self.scorer.path() != "scalar"
     }
 
-    /// Compute every gene's statistic under `labels` into `out`, routing
-    /// NA-free rows through the fast kernel when one is active and the rest
-    /// through the scalar computer. Free function over the parts so the
-    /// constructor can use it before `self` exists.
-    fn stats_into_parts(
-        data: &Matrix,
-        computer: &StatComputer,
-        kernel: Option<&FastKernel>,
-        labels: &[u8],
-        idx_buf: &mut Vec<usize>,
-        out: &mut [f64],
-    ) {
-        match kernel {
-            Some(k) => {
-                FastKernel::group1_indices(labels, idx_buf);
-                k.stats_into(idx_buf, out);
-                for &g in k.scalar_genes() {
-                    out[g] = computer.compute(data.row(g), labels);
-                }
-            }
-            None => {
-                for (g, slot) in out.iter_mut().enumerate() {
-                    *slot = computer.compute(data.row(g), labels);
-                }
-            }
-        }
+    /// The active scorer's path name (`"scalar"`, `"two-sample"`, …).
+    pub fn scorer_path(&self) -> &'static str {
+        self.scorer.path()
     }
 
     /// The significance ordering (most extreme first).
@@ -171,7 +135,7 @@ impl<'a> MaxTContext<'a> {
 
     /// Number of genes.
     pub fn genes(&self) -> usize {
-        self.data.rows()
+        self.genes
     }
 
     /// Consume up to `take` permutations from `gen`, accumulating exceedance
@@ -186,26 +150,18 @@ impl<'a> MaxTContext<'a> {
     ) -> u64 {
         assert_eq!(acc.genes(), self.genes(), "accumulator size mismatch");
         let genes = self.genes();
-        let cols = self.data.cols();
-        let mut labels_buf = vec![0u8; cols];
-        let mut idx_buf = Vec::with_capacity(cols);
+        let mut labels_buf = vec![0u8; self.cols];
+        let mut scratch = self.scorer.make_scratch();
         let mut scores = vec![0.0f64; genes];
         let mut done = 0u64;
         while done < take {
             if !gen.next_into(&mut labels_buf) {
                 break;
             }
-            // Statistics for every gene under this labelling (fast kernel for
-            // NA-free rows when active, scalar otherwise), then scores in
-            // place.
-            Self::stats_into_parts(
-                self.data,
-                &self.computer,
-                self.kernel.as_ref(),
-                &labels_buf,
-                &mut idx_buf,
-                &mut scores,
-            );
+            // Statistics for every gene under this labelling through the
+            // run's scorer, then scores in place.
+            self.scorer
+                .stats_into(&labels_buf, &mut scratch, &mut scores);
             for slot in scores.iter_mut() {
                 *slot = self.side.score(*slot);
             }
@@ -394,31 +350,34 @@ mod tests {
     }
 
     #[test]
-    fn kernel_dispatch_flags_follow_choice_and_method() {
+    fn scorer_dispatch_follows_choice_and_method() {
         let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let labels = ClassLabels::new(vec![0, 0, 1, 1], TestMethod::T).unwrap();
         let auto =
-            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Auto);
-        assert!(auto.uses_fast_kernel());
+            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Auto);
+        assert!(auto.uses_fast_scorer());
+        assert_eq!(auto.scorer_path(), "two-sample");
         let scalar =
-            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
-        assert!(!scalar.uses_fast_kernel());
-        // Paired t has no fast form even when requested.
+            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
+        assert!(!scalar.uses_fast_scorer());
+        assert_eq!(scalar.scorer_path(), "scalar");
+        // Every method has a fast form now, paired t included.
         let p_labels = ClassLabels::new(vec![0, 1, 0, 1], TestMethod::PairT).unwrap();
-        let pt = MaxTContext::with_kernel(
+        let pt = MaxTContext::with_scorer(
             &m,
             &p_labels,
             TestMethod::PairT,
             Side::Abs,
             KernelChoice::Fast,
         );
-        assert!(!pt.uses_fast_kernel());
+        assert!(pt.uses_fast_scorer());
+        assert_eq!(pt.scorer_path(), "pairt");
     }
 
     #[test]
-    fn fast_and_scalar_kernels_produce_identical_counts() {
+    fn fast_and_scalar_scorers_produce_identical_counts() {
         // Mixed NA / NA-free rows: raw and adjusted exceedance counts must be
-        // byte-identical between kernels for every two-sample method.
+        // byte-identical between scorers for every method.
         let data = vec![
             1.0,
             5.0,
@@ -440,22 +399,34 @@ mod tests {
             0.62, // clean, weak signal
         ];
         let m = Matrix::from_vec(3, 6, data).unwrap();
-        for method in [TestMethod::T, TestMethod::TEqualVar, TestMethod::Wilcoxon] {
-            let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], method).unwrap();
+        for method in [
+            TestMethod::T,
+            TestMethod::TEqualVar,
+            TestMethod::Wilcoxon,
+            TestMethod::F,
+            TestMethod::PairT,
+            TestMethod::BlockF,
+        ] {
+            let raw = if method == TestMethod::F {
+                vec![0, 0, 1, 1, 2, 2]
+            } else {
+                vec![0, 1, 0, 1, 0, 1]
+            };
+            let labels = ClassLabels::new(raw, method).unwrap();
             let opts = PmaxtOptions::default().permutations(64);
             let prepared = prepare_matrix(&m, method, false);
             for side in [Side::Abs, Side::Upper, Side::Lower] {
                 let fast =
-                    MaxTContext::with_kernel(&prepared, &labels, method, side, KernelChoice::Fast);
-                let scalar = MaxTContext::with_kernel(
+                    MaxTContext::with_scorer(&prepared, &labels, method, side, KernelChoice::Fast);
+                let scalar = MaxTContext::with_scorer(
                     &prepared,
                     &labels,
                     method,
                     side,
                     KernelChoice::Scalar,
                 );
-                assert!(fast.uses_fast_kernel());
-                assert!(!scalar.uses_fast_kernel());
+                assert!(fast.uses_fast_scorer());
+                assert!(!scalar.uses_fast_scorer());
                 let mut acc_f = CountAccumulator::new(3);
                 let mut acc_s = CountAccumulator::new(3);
                 let mut gen = build_generator(&labels, &opts, 64).unwrap();
@@ -463,7 +434,33 @@ mod tests {
                 let mut gen = build_generator(&labels, &opts, 64).unwrap();
                 scalar.accumulate(&mut *gen, u64::MAX, &mut acc_s);
                 assert_eq!(acc_f, acc_s, "{method:?} {side:?}");
-                assert_eq!(fast.finalize(&acc_f), scalar.finalize(&acc_s));
+                // Non-computable genes carry NaN statistics and p-values, so
+                // compare field-wise with NaN-aware equality. p-values derive
+                // from the (identical) counts and must match exactly; the
+                // statistics may ulp-drift on NA rows.
+                let rf = fast.finalize(&acc_f);
+                let rs = scalar.finalize(&acc_s);
+                let same = |a: f64, b: f64, tol: f64| {
+                    (a.is_nan() && b.is_nan()) || (a - b).abs() <= tol * b.abs().max(1.0)
+                };
+                assert_eq!(rf.order, rs.order, "{method:?} {side:?}");
+                assert_eq!(rf.b_used, rs.b_used);
+                for g in 0..3 {
+                    assert!(
+                        same(rf.rawp[g], rs.rawp[g], 0.0),
+                        "{method:?} {side:?} rawp {g}"
+                    );
+                    assert!(
+                        same(rf.adjp[g], rs.adjp[g], 0.0),
+                        "{method:?} {side:?} adjp {g}"
+                    );
+                    assert!(
+                        same(rf.teststat[g], rs.teststat[g], 1e-12),
+                        "{method:?} {side:?} teststat {g}: {} vs {}",
+                        rf.teststat[g],
+                        rs.teststat[g]
+                    );
+                }
             }
         }
     }
@@ -478,9 +475,9 @@ mod tests {
         .unwrap();
         let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], TestMethod::T).unwrap();
         let fast =
-            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Fast);
+            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Fast);
         let scalar =
-            MaxTContext::with_kernel(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
+            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
         for (a, b) in fast.observed_stats().iter().zip(scalar.observed_stats()) {
             assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
         }

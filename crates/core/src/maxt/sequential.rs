@@ -22,7 +22,8 @@ use crate::matrix::Matrix;
 use crate::options::PmaxtOptions;
 use crate::perm::build_generator;
 
-use crate::stats::{prepare_matrix, StatComputer};
+use crate::stats::prepare_matrix;
+use crate::stats::scorer::build_scorer;
 
 /// Result of an adaptive raw-p run.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,16 +92,14 @@ pub fn sequential_rawp(
         ..opts.clone()
     };
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let computer = StatComputer::new(opts.test, &labels);
+    let scorer = build_scorer(&prepared, &labels, opts.test, opts.kernel);
+    let mut scratch = scorer.make_scratch();
     let genes = data.rows();
 
     // Observed scores (identity labelling).
-    let obs_scores: Vec<f64> = (0..genes)
-        .map(|g| {
-            opts.side
-                .score(computer.compute(prepared.row(g), labels.as_slice()))
-        })
-        .collect();
+    let mut stats = vec![0.0f64; genes];
+    scorer.stats_into(labels.as_slice(), &mut scratch, &mut stats);
+    let obs_scores: Vec<f64> = stats.iter().map(|&s| opts.side.score(s)).collect();
     // Non-computable genes can never resolve; exclude them from the stopping
     // condition up front.
     let computable = obs_scores
@@ -115,13 +114,12 @@ pub fn sequential_rawp(
     let mut b_done = 0u64;
     while gen.next_into(&mut labels_buf) {
         b_done += 1;
+        scorer.stats_into(&labels_buf, &mut scratch, &mut stats);
         for g in 0..genes {
             if obs_scores[g] == f64::NEG_INFINITY {
                 continue;
             }
-            let z = opts
-                .side
-                .score(computer.compute(prepared.row(g), &labels_buf));
+            let z = opts.side.score(stats[g]);
             if z >= obs_scores[g] - crate::maxt::EPSILON {
                 counts[g] += 1;
                 if counts[g] == h {

@@ -116,24 +116,25 @@ impl SamplingMode {
     }
 }
 
-/// Which scoring kernel the permutation loop uses (see
-/// `crate::stats::kernel`).
+/// Which [`Scorer`](crate::stats::scorer::Scorer) implementation the
+/// permutation loop uses.
 ///
-/// The fast kernel caches per-gene sufficient statistics (S = Σx, Q = Σx²)
-/// and reduces each permutation to an O(n₁) indexed gather per gene. It is
-/// available for the two-sample methods (`t`, `t.equalvar`, `wilcoxon`) on
-/// NA-free rows; everything else always uses the scalar per-column path.
-/// The `SPRINT_KERNEL` environment variable (`auto`/`scalar`/`fast`)
-/// overrides this option — the debugging escape hatch.
+/// Every statistic has a fast scorer that caches per-gene sufficient
+/// statistics once (class sums, pair differences, per-block partials) and
+/// reduces each permutation to an indexed gather per gene — NA rows
+/// included, via per-permutation group-count adjustment. This knob is a
+/// debug override: `Scalar` forces the reference per-column scalar scorer
+/// everywhere; `Auto`/`Fast` select the per-method fast scorer. The
+/// `SPRINT_KERNEL` environment variable (`auto`/`scalar`/`fast`) overrides
+/// this option — the debugging escape hatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelChoice {
-    /// Use the fast kernel wherever it applies, scalar elsewhere. Default.
+    /// Use the per-method fast scorer. Default.
     #[default]
     Auto,
-    /// Force the scalar per-column path everywhere.
+    /// Force the reference scalar per-column scorer everywhere.
     Scalar,
-    /// Synonym of `Auto` kept distinct for reporting: the fast kernel still
-    /// only covers the rows/methods it supports.
+    /// Synonym of `Auto` kept for compatibility with existing scripts.
     Fast,
 }
 
@@ -222,8 +223,8 @@ pub struct PmaxtOptions {
     pub seed: u64,
     /// Cap on complete enumeration (see [`DEFAULT_MAX_COMPLETE`]).
     pub max_complete: u64,
-    /// Scoring kernel selection (see [`KernelChoice`]). Not part of the R
-    /// signature — both kernels produce the same counts, this only selects
+    /// Scorer selection (see [`KernelChoice`]). Not part of the R
+    /// signature — all scorers produce the same counts, this only selects
     /// the implementation.
     pub kernel: KernelChoice,
     /// Worker threads per rank for the permutation engine; `0` (default)

@@ -245,7 +245,7 @@ pub fn pmaxt_rank(
     // through the batched multi-threaded engine. Ranks beyond the number of
     // permutations contribute an (explicitly) empty accumulator — the strict
     // `chunk_for_rank` is only consulted for active ranks.
-    let ctx = MaxTContext::with_kernel(
+    let ctx = MaxTContext::with_scorer(
         &prepared,
         &labels,
         params.opts.test,

@@ -4,10 +4,10 @@
 
 pub mod block_f;
 pub mod f_stat;
-pub mod kernel;
 pub mod moments;
 pub mod pair_t;
 pub mod ranks;
+pub mod scorer;
 pub mod two_sample;
 pub mod wilcoxon;
 
@@ -60,6 +60,12 @@ impl StatComputer {
     /// The bound method.
     pub fn method(&self) -> TestMethod {
         self.method
+    }
+
+    /// Classes for `f` / treatments for `blockf`; 2 for the two-sample and
+    /// paired designs.
+    pub fn classes(&self) -> usize {
+        self.k
     }
 
     /// Compute the statistic of one (prepared) row under a label arrangement.

@@ -1,0 +1,1243 @@
+//! The unified scoring plane: one `Scorer` trait behind which every
+//! execution layer (serial reference, batched engine, minP, pmaxt ranks,
+//! jobd spans, bench backends) evaluates test statistics.
+//!
+//! A scorer has a two-phase contract:
+//!
+//! 1. **prepare** (the constructor): cache per-gene sufficient statistics
+//!    once — S = Σ(x−pivot), Q = Σ(x−pivot)², per-class/per-block partial
+//!    sums, per-row non-missing counts — everything that does not change
+//!    across permutations.
+//! 2. **score** ([`Scorer::begin_batch`] + [`Scorer::score_tile`]): for a
+//!    K-permutation batch, derive the per-arrangement structures (group-1
+//!    column lists, class-major column lists, pair signs) once in
+//!    `begin_batch`, then score gene tiles gene-major so each cached row
+//!    stays hot in L1 across the whole batch.
+//!
+//! All six `mt.maxT` statistics have fast implementations here:
+//!
+//! - `t` / `t.equalvar`: group-1 gather s₁, q₁; group 0 recovered as S−s₁,
+//!   Q−q₁; statistic in O(1) from the four moments.
+//! - `wilcoxon`: rows are midranks, so the group-1 gather *is* the rank sum.
+//! - `f`: per-class gathers (n_c, s_c, q_c) give SS_between via
+//!   Σ n_c·(s_c/n_c − x̄)² and SS_within via Σ (q_c − s_c²/n_c) — the exact
+//!   scalar decomposition, never the cancellation-prone SS_total − SS_between.
+//! - `pairt`: per-pair base differences d⁰_p = x_{2p+1} − x_{2p} and
+//!   Σ(d⁰)² are permutation-invariant; an arrangement only flips signs, so
+//!   the sum of differences is Σ ±d⁰_p and the variance follows from the
+//!   cached square sum.
+//! - `blockf`: block sums, the grand sum/square sum, the correction term and
+//!   SS_block are permutation-invariant (complete-block exclusion depends
+//!   only on the data); a permutation only reshuffles which treatment each
+//!   cell feeds, so scoring is one add per cell into k treatment sums.
+//!
+//! ## Missing values
+//!
+//! NA rows stay on the fast path. The caches keep `NaN` cells in place and
+//! remember each row's non-missing count; dirty rows take a gather variant
+//! that skips `NaN` cells and adjusts the group counts per permutation
+//! (n₀ = n_row − n₁ for the two-sample family, per-class counts for F,
+//! complete-pair/complete-block exclusion for the paired designs — the
+//! latter two are permutation-invariant, so their corrections are cached).
+//! Degenerate arrangements (empty class, too few complete pairs/blocks,
+//! zero variance) hit the same guards as the scalar functions and yield
+//! `NaN`.
+//!
+//! ## Numerical-equivalence policy
+//!
+//! The fast path is constructed so that exceedance *counts* (the integers
+//! the p-values are made of) match the reference scalar scorer:
+//!
+//! - every gather walks columns in ascending order — the exact order the
+//!   scalar statistic pushes values into its accumulators — so the gathered
+//!   sums are **bitwise identical** to the scalar ones, and Wilcoxon,
+//!   paired t and block F are bitwise identical end to end;
+//! - only the two-sample subtraction S−s₁ / Q−q₁ re-associates a sum, an
+//!   error of a few ulps; the combining formulas mirror the scalar
+//!   operation sequence (same literals, clamps and guards) so the final
+//!   statistic differs by ulps at most;
+//! - the maxT count comparisons carry an absolute slack of
+//!   [`crate::maxt::EPSILON`] = 1e-10, orders of magnitude above ulp noise,
+//!   so the counts agree;
+//! - observed statistics are computed through the *same* scorer as the
+//!   permuted ones, so the identity permutation compares a value against
+//!   itself and always counts, whichever scorer is active.
+
+use crate::labels::ClassLabels;
+use crate::matrix::Matrix;
+use crate::options::{KernelChoice, TestMethod};
+use crate::stats::moments::pivot_of;
+use crate::stats::StatComputer;
+
+/// Reusable per-thread scratch owned by the caller and shaped by the scorer:
+/// permutation-derived index lists, pair signs and treatment-sum temporaries
+/// live here so the batch loop performs no allocation.
+#[derive(Debug, Default, Clone)]
+pub struct ScorerScratch {
+    /// Flattened per-arrangement column-index lists (group-1 lists for the
+    /// two-sample family, class-major lists for F).
+    idx: Vec<usize>,
+    /// Boundaries into `idx`: `arrangements + 1` entries for the two-sample
+    /// family, `arrangements·k + 1` class-major entries for F.
+    offsets: Vec<usize>,
+    /// Per-arrangement pair signs (±1.0) for paired t, `vals[j·pairs + p]`.
+    vals: Vec<f64>,
+    /// Treatment-sum temporary for block F (≥ k slots).
+    tmp: Vec<f64>,
+}
+
+/// A prepared statistic evaluator: sufficient statistics cached at
+/// construction, per-batch scoring through [`Scorer::begin_batch`] +
+/// [`Scorer::score_tile`], one-shot scoring through [`Scorer::stats_into`].
+pub trait Scorer: std::fmt::Debug + Send + Sync {
+    /// Which implementation is active: `"scalar"` for the reference
+    /// per-column path, otherwise the statistic's fast path name.
+    fn path(&self) -> &'static str;
+
+    /// Allocate scratch for this scorer (callers keep one per thread).
+    fn make_scratch(&self) -> ScorerScratch {
+        ScorerScratch::default()
+    }
+
+    /// Derive the per-arrangement structures for a batch of label buffers.
+    /// Must be called before [`Scorer::score_tile`] whenever the batch
+    /// changes; the derivations live in `scratch`.
+    fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch);
+
+    /// Score the genes in `genes` for **every** arrangement of the current
+    /// batch, writing raw statistics gene-major into `out[g·stride + j]`
+    /// for arrangement `j`. Per (gene, arrangement) the operation sequence
+    /// is batch-size-invariant, so results are bitwise identical across any
+    /// batch/tile geometry.
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    );
+
+    /// Score every gene under a single label arrangement into `out`
+    /// (indexed by gene). Convenience for the non-batched paths (observed
+    /// statistics, the serial reference loop, sequential estimation).
+    fn stats_into(&self, labels: &[u8], scratch: &mut ScorerScratch, out: &mut [f64]) {
+        let bufs = [labels.to_vec()];
+        self.begin_batch(&bufs, scratch);
+        let genes = out.len();
+        self.score_tile(&bufs, 0..genes, scratch, out, 1);
+    }
+}
+
+/// Build the scorer for a run: the method's fast sufficient-statistic
+/// implementation under `Auto`/`Fast`, the reference scalar scorer under
+/// `Scalar` (the `SPRINT_KERNEL` debug override is applied first). Emits a
+/// once-per-process stderr note naming the chosen path per method, so a
+/// forced scalar run is never silent.
+pub fn build_scorer<'a>(
+    data: &'a Matrix,
+    labels: &ClassLabels,
+    method: TestMethod,
+    choice: KernelChoice,
+) -> Box<dyn Scorer + 'a> {
+    let computer = StatComputer::new(method, labels);
+    let scorer: Box<dyn Scorer + 'a> = match choice.env_override() {
+        KernelChoice::Scalar => Box::new(ScalarScorer { data, computer }),
+        KernelChoice::Auto | KernelChoice::Fast => match method {
+            TestMethod::T => Box::new(TwoSampleScorer::new(data, true)),
+            TestMethod::TEqualVar => Box::new(TwoSampleScorer::new(data, false)),
+            TestMethod::Wilcoxon => Box::new(WilcoxonScorer::new(data)),
+            TestMethod::F => Box::new(FScorer::new(data, computer.classes())),
+            TestMethod::PairT => Box::new(PairTScorer::new(data)),
+            TestMethod::BlockF => Box::new(BlockFScorer::new(data, computer.classes())),
+        },
+    };
+    note_scorer_path(method, scorer.path());
+    scorer
+}
+
+/// Note (once per method/path pair per process) which scorer a run uses.
+/// Mirrors the once-per-var `SPRINT_*` env warnings: a debug override or an
+/// unexpected path is visible on stderr instead of silently changing the
+/// performance profile.
+fn note_scorer_path(method: TestMethod, path: &'static str) {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static NOTED: OnceLock<Mutex<HashSet<(&'static str, &'static str)>>> = OnceLock::new();
+    let noted = NOTED.get_or_init(|| Mutex::new(HashSet::new()));
+    if noted.lock().unwrap().insert((method.as_str(), path)) {
+        eprintln!(
+            "note: scoring test \"{}\" via the {} scorer",
+            method.as_str(),
+            path
+        );
+    }
+}
+
+/// Collect the group-1 column lists of each arrangement into
+/// `scratch.idx`/`scratch.offsets`, ascending — the once-per-batch O(n)
+/// step shared by the two-sample family.
+fn group1_lists(labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
+    scratch.idx.clear();
+    scratch.offsets.clear();
+    scratch.offsets.push(0);
+    for labels in labels_bufs {
+        for (j, &l) in labels.iter().enumerate() {
+            if l == 1 {
+                scratch.idx.push(j);
+            }
+        }
+        scratch.offsets.push(scratch.idx.len());
+    }
+}
+
+/// The reference scalar scorer: one full O(n) per-column sweep per (gene,
+/// arrangement) through [`StatComputer::compute`]. Always correct, never
+/// fast — kept as the equivalence oracle behind `SPRINT_KERNEL=scalar`.
+#[derive(Debug)]
+pub struct ScalarScorer<'a> {
+    data: &'a Matrix,
+    computer: StatComputer,
+}
+
+impl<'a> ScalarScorer<'a> {
+    /// Wrap a prepared matrix and its per-run dispatcher.
+    pub fn new(data: &'a Matrix, computer: StatComputer) -> Self {
+        ScalarScorer { data, computer }
+    }
+}
+
+impl Scorer for ScalarScorer<'_> {
+    fn path(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn begin_batch(&self, _labels_bufs: &[Vec<u8>], _scratch: &mut ScorerScratch) {}
+
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        _scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(labels_bufs.len() <= stride);
+        for g in genes {
+            let row = self.data.row(g);
+            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
+            for (slot, labels) in slots.iter_mut().zip(labels_bufs) {
+                *slot = self.computer.compute(row, labels);
+            }
+        }
+    }
+
+    fn stats_into(&self, labels: &[u8], _scratch: &mut ScorerScratch, out: &mut [f64]) {
+        for (g, slot) in out.iter_mut().enumerate() {
+            *slot = self.computer.compute(self.data.row(g), labels);
+        }
+    }
+}
+
+/// Fast scorer for `t` (Welch) and `t.equalvar`: cached pivot-shifted rows
+/// with per-row totals S, Q; each arrangement needs only the group-1 gather.
+#[derive(Debug)]
+pub struct TwoSampleScorer {
+    welch: bool,
+    cols: usize,
+    /// Pivot-shifted row values, row-major; `NaN` cells preserved.
+    values: Vec<f64>,
+    /// Per row: S = Σ shifted non-missing values (ascending column order).
+    total_sum: Vec<f64>,
+    /// Per row: Q = Σ shifted² non-missing values.
+    total_sumsq: Vec<f64>,
+    /// Per row: non-missing cell count.
+    row_n: Vec<usize>,
+    /// Per row: no missing cells (enables the check-free gather).
+    clean: Vec<bool>,
+}
+
+impl TwoSampleScorer {
+    /// Cache sufficient statistics for a prepared matrix.
+    pub fn new(data: &Matrix, welch: bool) -> Self {
+        let cols = data.cols();
+        let rows = data.rows();
+        let mut values = Vec::with_capacity(rows * cols);
+        let mut total_sum = Vec::with_capacity(rows);
+        let mut total_sumsq = Vec::with_capacity(rows);
+        let mut row_n = Vec::with_capacity(rows);
+        let mut clean = Vec::with_capacity(rows);
+        for g in 0..rows {
+            let row = data.row(g);
+            let pivot = pivot_of(row);
+            let mut s = 0.0;
+            let mut q = 0.0;
+            let mut n = 0usize;
+            for &v in row {
+                if v.is_nan() {
+                    values.push(f64::NAN);
+                } else {
+                    let x = v - pivot;
+                    values.push(x);
+                    s += x;
+                    q += x * x;
+                    n += 1;
+                }
+            }
+            total_sum.push(s);
+            total_sumsq.push(q);
+            row_n.push(n);
+            clean.push(n == cols);
+        }
+        TwoSampleScorer {
+            welch,
+            cols,
+            values,
+            total_sum,
+            total_sumsq,
+            row_n,
+            clean,
+        }
+    }
+}
+
+impl Scorer for TwoSampleScorer {
+    fn path(&self) -> &'static str {
+        "two-sample"
+    }
+
+    fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
+        group1_lists(labels_bufs, scratch);
+    }
+
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(labels_bufs.len() <= stride);
+        let cols = self.cols;
+        for g in genes {
+            let row = &self.values[g * cols..(g + 1) * cols];
+            let s = self.total_sum[g];
+            let q = self.total_sumsq[g];
+            let clean = self.clean[g];
+            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
+            for (j, slot) in slots.iter_mut().enumerate() {
+                let idx = &scratch.idx[scratch.offsets[j]..scratch.offsets[j + 1]];
+                let (n1, n0, s1, q1) = if clean {
+                    let n1 = idx.len();
+                    let mut s1 = 0.0;
+                    let mut q1 = 0.0;
+                    for &jc in idx {
+                        let v = row[jc];
+                        s1 += v;
+                        q1 += v * v;
+                    }
+                    (n1, cols - n1, s1, q1)
+                } else {
+                    let mut n1 = 0usize;
+                    let mut s1 = 0.0;
+                    let mut q1 = 0.0;
+                    for &jc in idx {
+                        let v = row[jc];
+                        if !v.is_nan() {
+                            n1 += 1;
+                            s1 += v;
+                            q1 += v * v;
+                        }
+                    }
+                    (n1, self.row_n[g] - n1, s1, q1)
+                };
+                // Mirrors the scalar guard `g0.n < 2 || g1.n < 2` on the
+                // post-NA-exclusion counts.
+                if n0 < 2 || n1 < 2 {
+                    *slot = f64::NAN;
+                    continue;
+                }
+                let s0 = s - s1;
+                let q0 = q - q1;
+                *slot = if self.welch {
+                    welch_from_moments(n0 as f64, s0, q0, n1 as f64, s1, q1)
+                } else {
+                    equalvar_from_moments(n0 as f64, s0, q0, n1 as f64, s1, q1)
+                };
+            }
+        }
+    }
+}
+
+/// Fast scorer for `wilcoxon`: rows are cached midranks, the group-1 gather
+/// is the rank sum W, and the statistic is a pure function of W and the
+/// group sizes — bitwise identical to the scalar path end to end.
+#[derive(Debug)]
+pub struct WilcoxonScorer {
+    cols: usize,
+    /// Midrank rows, row-major; `NaN` cells preserved.
+    values: Vec<f64>,
+    /// Per row: non-missing cell count.
+    row_n: Vec<usize>,
+    /// Per row: no missing cells.
+    clean: Vec<bool>,
+}
+
+impl WilcoxonScorer {
+    /// Cache the (already rank-transformed) rows.
+    pub fn new(data: &Matrix) -> Self {
+        let cols = data.cols();
+        let rows = data.rows();
+        let mut values = Vec::with_capacity(rows * cols);
+        let mut row_n = Vec::with_capacity(rows);
+        let mut clean = Vec::with_capacity(rows);
+        for g in 0..rows {
+            let row = data.row(g);
+            let n = row.iter().filter(|v| !v.is_nan()).count();
+            values.extend_from_slice(row);
+            row_n.push(n);
+            clean.push(n == cols);
+        }
+        WilcoxonScorer {
+            cols,
+            values,
+            row_n,
+            clean,
+        }
+    }
+}
+
+impl Scorer for WilcoxonScorer {
+    fn path(&self) -> &'static str {
+        "wilcoxon"
+    }
+
+    fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
+        group1_lists(labels_bufs, scratch);
+    }
+
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(labels_bufs.len() <= stride);
+        let cols = self.cols;
+        for g in genes {
+            let row = &self.values[g * cols..(g + 1) * cols];
+            let clean = self.clean[g];
+            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
+            for (j, slot) in slots.iter_mut().enumerate() {
+                let idx = &scratch.idx[scratch.offsets[j]..scratch.offsets[j + 1]];
+                let (n1, n0, w) = if clean {
+                    let mut w = 0.0;
+                    for &jc in idx {
+                        w += row[jc];
+                    }
+                    (idx.len(), cols - idx.len(), w)
+                } else {
+                    let mut n1 = 0usize;
+                    let mut w = 0.0;
+                    for &jc in idx {
+                        let v = row[jc];
+                        if !v.is_nan() {
+                            n1 += 1;
+                            w += v;
+                        }
+                    }
+                    (n1, self.row_n[g] - n1, w)
+                };
+                if n0 == 0 || n1 == 0 {
+                    *slot = f64::NAN;
+                    continue;
+                }
+                let n = (n0 + n1) as f64;
+                let expect = n1 as f64 * (n + 1.0) / 2.0;
+                let var = n0 as f64 * n1 as f64 * (n + 1.0) / 12.0;
+                if var <= 0.0 {
+                    *slot = f64::NAN;
+                    continue;
+                }
+                *slot = (w - expect) / var.sqrt();
+            }
+        }
+    }
+}
+
+/// Fast scorer for the one-way `f` statistic over k classes: per-class
+/// gathers (n_c, s_c, q_c) from cached pivot-shifted rows reproduce the
+/// scalar between/within decomposition bitwise.
+#[derive(Debug)]
+pub struct FScorer {
+    k: usize,
+    cols: usize,
+    /// Pivot-shifted rows, row-major; `NaN` cells preserved.
+    values: Vec<f64>,
+    /// Per row: Σ shifted non-missing values (= the scalar grand total).
+    total_sum: Vec<f64>,
+    /// Per row: non-missing cell count.
+    row_n: Vec<usize>,
+    /// Per row: no missing cells.
+    clean: Vec<bool>,
+}
+
+impl FScorer {
+    /// Cache sufficient statistics; `k` is the class count of the design.
+    pub fn new(data: &Matrix, k: usize) -> Self {
+        let cols = data.cols();
+        let rows = data.rows();
+        let mut values = Vec::with_capacity(rows * cols);
+        let mut total_sum = Vec::with_capacity(rows);
+        let mut row_n = Vec::with_capacity(rows);
+        let mut clean = Vec::with_capacity(rows);
+        for g in 0..rows {
+            let row = data.row(g);
+            let pivot = pivot_of(row);
+            let mut s = 0.0;
+            let mut n = 0usize;
+            for &v in row {
+                if v.is_nan() {
+                    values.push(f64::NAN);
+                } else {
+                    let x = v - pivot;
+                    values.push(x);
+                    s += x;
+                    n += 1;
+                }
+            }
+            total_sum.push(s);
+            row_n.push(n);
+            clean.push(n == cols);
+        }
+        FScorer {
+            k,
+            cols,
+            values,
+            total_sum,
+            row_n,
+            clean,
+        }
+    }
+}
+
+impl Scorer for FScorer {
+    fn path(&self) -> &'static str {
+        "f"
+    }
+
+    fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
+        // Class-major column lists: for arrangement j and class c the list is
+        // `idx[offsets[j·k + c]..offsets[j·k + c + 1]]`, ascending — the
+        // order the scalar path pushes class-c values.
+        scratch.idx.clear();
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
+        for labels in labels_bufs {
+            for c in 0..self.k {
+                for (j, &l) in labels.iter().enumerate() {
+                    if l as usize == c {
+                        scratch.idx.push(j);
+                    }
+                }
+                scratch.offsets.push(scratch.idx.len());
+            }
+        }
+    }
+
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(labels_bufs.len() <= stride);
+        let cols = self.cols;
+        let k = self.k;
+        for g in genes {
+            let row = &self.values[g * cols..(g + 1) * cols];
+            let n = self.row_n[g];
+            let clean = self.clean[g];
+            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
+            for (j, slot) in slots.iter_mut().enumerate() {
+                // Mirrors the scalar `n <= k` degrees-of-freedom guard; the
+                // non-missing count is permutation-invariant.
+                if n <= k {
+                    *slot = f64::NAN;
+                    continue;
+                }
+                let grand_mean = self.total_sum[g] / n as f64;
+                let mut ss_between = 0.0;
+                let mut ss_within = 0.0;
+                let mut empty_class = false;
+                for c in 0..k {
+                    let cls =
+                        &scratch.idx[scratch.offsets[j * k + c]..scratch.offsets[j * k + c + 1]];
+                    let (nc, sc, qc) = if clean {
+                        let mut sc = 0.0;
+                        let mut qc = 0.0;
+                        for &jc in cls {
+                            let v = row[jc];
+                            sc += v;
+                            qc += v * v;
+                        }
+                        (cls.len(), sc, qc)
+                    } else {
+                        let mut nc = 0usize;
+                        let mut sc = 0.0;
+                        let mut qc = 0.0;
+                        for &jc in cls {
+                            let v = row[jc];
+                            if !v.is_nan() {
+                                nc += 1;
+                                sc += v;
+                                qc += v * v;
+                            }
+                        }
+                        (nc, sc, qc)
+                    };
+                    if nc == 0 {
+                        empty_class = true;
+                        break;
+                    }
+                    let ncf = nc as f64;
+                    // Scalar sequence: d = mean − grand_mean, SSB += n·d²,
+                    // SSW += (q − s²/n).max(0).
+                    let d = sc / ncf - grand_mean;
+                    ss_between += ncf * d * d;
+                    ss_within += (qc - sc * sc / ncf).max(0.0);
+                }
+                if empty_class {
+                    *slot = f64::NAN;
+                    continue;
+                }
+                let df_between = (k - 1) as f64;
+                let df_within = (n - k) as f64;
+                let ms_within = ss_within / df_within;
+                *slot = if ms_within <= 0.0 {
+                    f64::NAN
+                } else {
+                    (ss_between / df_between) / ms_within
+                };
+            }
+        }
+    }
+}
+
+/// Fast scorer for `pairt`: per-pair base differences d⁰ = x₂ₚ₊₁ − x₂ₚ and
+/// their square sum are cached; an arrangement only flips signs, so each
+/// (gene, arrangement) is one ±-signed sum over the complete pairs.
+#[derive(Debug)]
+pub struct PairTScorer {
+    pairs: usize,
+    /// Base differences, row-major (`pairs` per gene); `NaN` marks an
+    /// incomplete pair (excluded whatever the arrangement).
+    diffs: Vec<f64>,
+    /// Per row: Σ d⁰² over complete pairs (sign-invariant, so equal to the
+    /// scalar accumulator's square sum bitwise).
+    sumsq: Vec<f64>,
+    /// Per row: complete-pair count (permutation-invariant).
+    n: Vec<usize>,
+    /// Per row: every pair complete.
+    clean: Vec<bool>,
+}
+
+impl PairTScorer {
+    /// Cache pair differences for a prepared matrix.
+    pub fn new(data: &Matrix) -> Self {
+        let pairs = data.cols() / 2;
+        let rows = data.rows();
+        let mut diffs = Vec::with_capacity(rows * pairs);
+        let mut sumsq = Vec::with_capacity(rows);
+        let mut n_vec = Vec::with_capacity(rows);
+        let mut clean = Vec::with_capacity(rows);
+        for g in 0..rows {
+            let row = data.row(g);
+            let mut q = 0.0;
+            let mut n = 0usize;
+            for p in 0..pairs {
+                let a = row[2 * p];
+                let b = row[2 * p + 1];
+                if a.is_nan() || b.is_nan() {
+                    diffs.push(f64::NAN);
+                } else {
+                    let d = b - a;
+                    diffs.push(d);
+                    q += d * d;
+                    n += 1;
+                }
+            }
+            sumsq.push(q);
+            n_vec.push(n);
+            clean.push(n == pairs);
+        }
+        PairTScorer {
+            pairs,
+            diffs,
+            sumsq,
+            n: n_vec,
+            clean,
+        }
+    }
+}
+
+impl Scorer for PairTScorer {
+    fn path(&self) -> &'static str {
+        "pairt"
+    }
+
+    fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
+        // Pair signs: labels[2p] == 0 means the second member carries label 1
+        // and the scalar difference is d⁰ = b − a (sign +1); otherwise −1.
+        scratch.vals.clear();
+        scratch.vals.reserve(labels_bufs.len() * self.pairs);
+        for labels in labels_bufs {
+            for p in 0..self.pairs {
+                scratch
+                    .vals
+                    .push(if labels[2 * p] == 0 { 1.0 } else { -1.0 });
+            }
+        }
+    }
+
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(labels_bufs.len() <= stride);
+        let pairs = self.pairs;
+        for g in genes {
+            let drow = &self.diffs[g * pairs..(g + 1) * pairs];
+            let n = self.n[g];
+            let clean = self.clean[g];
+            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
+            for (j, slot) in slots.iter_mut().enumerate() {
+                if n < 2 {
+                    *slot = f64::NAN;
+                    continue;
+                }
+                let signs = &scratch.vals[j * pairs..(j + 1) * pairs];
+                // ±1·d⁰ is bitwise the scalar's per-pair difference, and the
+                // pair-order sum matches the scalar accumulator exactly.
+                let mut s = 0.0;
+                if clean {
+                    for p in 0..pairs {
+                        s += signs[p] * drow[p];
+                    }
+                } else {
+                    for p in 0..pairs {
+                        let d = drow[p];
+                        if !d.is_nan() {
+                            s += signs[p] * d;
+                        }
+                    }
+                }
+                let nf = n as f64;
+                let var = ((self.sumsq[g] - s * s / nf) / (nf - 1.0)).max(0.0);
+                *slot = if var <= 0.0 {
+                    f64::NAN
+                } else {
+                    (s / nf) / (var / nf).sqrt()
+                };
+            }
+        }
+    }
+}
+
+/// Fast scorer for `blockf`: block sums, the grand totals, the correction
+/// term, SS_total and SS_block depend only on the data (complete-block
+/// exclusion is label-free), so they are cached; scoring an arrangement is
+/// one add per cell into k treatment sums plus an O(k) combine.
+#[derive(Debug)]
+pub struct BlockFScorer {
+    k: usize,
+    cols: usize,
+    /// Pivot-shifted rows, row-major; `NaN` cells preserved (never read:
+    /// incomplete blocks are excluded below).
+    values: Vec<f64>,
+    /// Flattened complete-block indices per gene.
+    complete: Vec<usize>,
+    /// Boundaries into `complete` (`rows + 1` entries).
+    complete_off: Vec<usize>,
+    /// Per row: complete-block count m.
+    m_used: Vec<usize>,
+    /// Per row: C = (grand sum)²/(m·k). Garbage when `m_used == 0` — the
+    /// `m_used < 2` guard keeps it unread.
+    correction: Vec<f64>,
+    /// Per row: SS_total = (grand Σx² − C).max(0).
+    ss_total: Vec<f64>,
+    /// Per row: SS_block = (Σ_b (block sum)²/k − C).max(0).
+    ss_block: Vec<f64>,
+}
+
+impl BlockFScorer {
+    /// Cache block partials; `k` is the treatment count of the design.
+    pub fn new(data: &Matrix, k: usize) -> Self {
+        let cols = data.cols();
+        let rows = data.rows();
+        let blocks = cols / k;
+        let mut values = Vec::with_capacity(rows * cols);
+        let mut complete = Vec::new();
+        let mut complete_off = Vec::with_capacity(rows + 1);
+        complete_off.push(0);
+        let mut m_used = Vec::with_capacity(rows);
+        let mut correction = Vec::with_capacity(rows);
+        let mut ss_total = Vec::with_capacity(rows);
+        let mut ss_block = Vec::with_capacity(rows);
+        for g in 0..rows {
+            let row = data.row(g);
+            let pivot = pivot_of(row);
+            for &v in row {
+                values.push(if v.is_nan() { f64::NAN } else { v - pivot });
+            }
+            let shifted = &values[g * cols..(g + 1) * cols];
+            let mut m = 0usize;
+            let mut grand_sum = 0.0;
+            let mut grand_sumsq = 0.0;
+            let mut block_sum_sq = 0.0;
+            for b in 0..blocks {
+                let cells = &row[b * k..(b + 1) * k];
+                if cells.iter().any(|v| v.is_nan()) {
+                    continue;
+                }
+                complete.push(b);
+                let mut bsum = 0.0;
+                // The scalar path accumulates per cell in block order; the
+                // shifted values here are the same fl(v − pivot) bits.
+                for &x in &shifted[b * k..(b + 1) * k] {
+                    bsum += x;
+                    grand_sum += x;
+                    grand_sumsq += x * x;
+                }
+                block_sum_sq += bsum * bsum;
+                m += 1;
+            }
+            complete_off.push(complete.len());
+            m_used.push(m);
+            let mf = m as f64;
+            let kf = k as f64;
+            let n = mf * kf;
+            let c = grand_sum * grand_sum / n;
+            correction.push(c);
+            ss_total.push((grand_sumsq - c).max(0.0));
+            ss_block.push((block_sum_sq / kf - c).max(0.0));
+        }
+        BlockFScorer {
+            k,
+            cols,
+            values,
+            complete,
+            complete_off,
+            m_used,
+            correction,
+            ss_total,
+            ss_block,
+        }
+    }
+}
+
+impl Scorer for BlockFScorer {
+    fn path(&self) -> &'static str {
+        "blockf"
+    }
+
+    fn begin_batch(&self, _labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
+        if scratch.tmp.len() < self.k {
+            scratch.tmp.resize(self.k, 0.0);
+        }
+    }
+
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(labels_bufs.len() <= stride);
+        let cols = self.cols;
+        let k = self.k;
+        let kf = k as f64;
+        let treat_sums = &mut scratch.tmp[..k];
+        for g in genes {
+            let m_used = self.m_used[g];
+            let slots_len = labels_bufs.len();
+            if m_used < 2 {
+                for slot in &mut out[g * stride..g * stride + slots_len] {
+                    *slot = f64::NAN;
+                }
+                continue;
+            }
+            let row = &self.values[g * cols..(g + 1) * cols];
+            let blocks = &self.complete[self.complete_off[g]..self.complete_off[g + 1]];
+            let m = m_used as f64;
+            for (j, labels) in labels_bufs.iter().enumerate() {
+                treat_sums.fill(0.0);
+                // One add per cell, in the scalar's exact block-by-block cell
+                // order; each treatment accumulator sees the same sequence.
+                for &b in blocks {
+                    for col in b * k..(b + 1) * k {
+                        treat_sums[labels[col] as usize] += row[col];
+                    }
+                }
+                let ss_treat = (treat_sums.iter().map(|s| s * s).sum::<f64>() / m
+                    - self.correction[g])
+                    .max(0.0);
+                let ss_err = (self.ss_total[g] - ss_treat - self.ss_block[g]).max(0.0);
+                let df_treat = kf - 1.0;
+                let df_err = (kf - 1.0) * (m - 1.0);
+                let ms_err = ss_err / df_err;
+                out[g * stride + j] = if ms_err <= 0.0 {
+                    f64::NAN
+                } else {
+                    (ss_treat / df_treat) / ms_err
+                };
+            }
+        }
+    }
+}
+
+/// Welch t from group moments, mirroring `two_sample::welch_t` +
+/// `GroupSums::variance` operation for operation (same clamps and guards).
+#[inline]
+fn welch_from_moments(n0: f64, s0: f64, q0: f64, n1: f64, s1: f64, q1: f64) -> f64 {
+    let v1 = ((q1 - s1 * s1 / n1) / (n1 - 1.0)).max(0.0);
+    let v0 = ((q0 - s0 * s0 / n0) / (n0 - 1.0)).max(0.0);
+    let se2 = v1 / n1 + v0 / n0;
+    if se2 <= 0.0 {
+        return f64::NAN;
+    }
+    (s1 / n1 - s0 / n0) / se2.sqrt()
+}
+
+/// Pooled-variance t from group moments, mirroring `two_sample::equalvar_t`
+/// + `GroupSums::ss` operation for operation.
+#[inline]
+fn equalvar_from_moments(n0: f64, s0: f64, q0: f64, n1: f64, s1: f64, q1: f64) -> f64 {
+    let ss0 = (q0 - s0 * s0 / n0).max(0.0);
+    let ss1 = (q1 - s1 * s1 / n1).max(0.0);
+    let pooled = (ss0 + ss1) / (n0 + n1 - 2.0);
+    let se2 = pooled * (1.0 / n0 + 1.0 / n1);
+    if se2 <= 0.0 {
+        return f64::NAN;
+    }
+    (s1 / n1 - s0 / n0) / se2.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ranks::midranks;
+    use crate::stats::two_sample::{equalvar_t, welch_t};
+    use crate::stats::wilcoxon::wilcoxon_from_ranks;
+
+    fn labels_of(method: TestMethod, raw: Vec<u8>) -> ClassLabels {
+        ClassLabels::new(raw, method).unwrap()
+    }
+
+    fn stats_for(scorer: &dyn Scorer, labels: &[u8], genes: usize) -> Vec<f64> {
+        let mut scratch = scorer.make_scratch();
+        let mut out = vec![f64::NAN; genes];
+        scorer.stats_into(labels, &mut scratch, &mut out);
+        out
+    }
+
+    fn assert_same_stat(fast: f64, scalar: f64, what: &str) {
+        if scalar.is_nan() {
+            assert!(fast.is_nan(), "{what}: fast {fast} vs scalar NaN");
+        } else {
+            assert!(
+                (fast - scalar).abs() <= 1e-12 * scalar.abs().max(1.0),
+                "{what}: fast {fast} vs scalar {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_selects_fast_path_per_method_and_scalar_override() {
+        let m = Matrix::from_vec(1, 6, vec![1.0, 2.0, 3.0, 4.0, 5.0, 7.0]).unwrap();
+        let cases = [
+            (TestMethod::T, vec![0u8, 0, 0, 1, 1, 1], "two-sample"),
+            (TestMethod::TEqualVar, vec![0, 0, 0, 1, 1, 1], "two-sample"),
+            (TestMethod::Wilcoxon, vec![0, 0, 0, 1, 1, 1], "wilcoxon"),
+            (TestMethod::F, vec![0, 0, 1, 1, 2, 2], "f"),
+            (TestMethod::PairT, vec![0, 1, 0, 1, 0, 1], "pairt"),
+            (TestMethod::BlockF, vec![0, 1, 0, 1, 0, 1], "blockf"),
+        ];
+        for (method, raw, path) in cases {
+            let labels = labels_of(method, raw);
+            let fast = build_scorer(&m, &labels, method, KernelChoice::Auto);
+            assert_eq!(fast.path(), path, "{method:?}");
+            let scalar = build_scorer(&m, &labels, method, KernelChoice::Scalar);
+            assert_eq!(scalar.path(), "scalar", "{method:?}");
+        }
+    }
+
+    #[test]
+    fn welch_and_equalvar_match_scalar() {
+        let row = vec![3.5, -1.25, 7.0, 0.5, 2.25, -4.0, 9.5, 1.0];
+        let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
+        for welch in [true, false] {
+            let scorer = TwoSampleScorer::new(&m, welch);
+            for labels in [
+                [0u8, 0, 0, 0, 1, 1, 1, 1],
+                [1, 0, 1, 0, 1, 0, 1, 0],
+                [1, 1, 0, 0, 0, 0, 1, 1],
+            ] {
+                let fast = stats_for(&scorer, &labels, 1)[0];
+                let scalar = if welch {
+                    welch_t(&row, &labels)
+                } else {
+                    equalvar_t(&row, &labels)
+                };
+                assert_same_stat(fast, scalar, "two-sample");
+            }
+        }
+    }
+
+    #[test]
+    fn na_rows_stay_on_the_fast_path_with_adjusted_counts() {
+        let row = vec![3.5, f64::NAN, 7.0, 0.5, f64::NAN, -4.0, 9.5, 1.0];
+        let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
+        for welch in [true, false] {
+            let scorer = TwoSampleScorer::new(&m, welch);
+            for labels in [
+                [0u8, 0, 0, 0, 1, 1, 1, 1],
+                [1, 0, 1, 0, 1, 0, 1, 0],
+                [1, 1, 1, 0, 0, 0, 0, 1],
+            ] {
+                let fast = stats_for(&scorer, &labels, 1)[0];
+                let scalar = if welch {
+                    welch_t(&row, &labels)
+                } else {
+                    equalvar_t(&row, &labels)
+                };
+                assert_same_stat(fast, scalar, "two-sample NA");
+            }
+        }
+    }
+
+    #[test]
+    fn wilcoxon_is_bitwise_identical_to_scalar() {
+        let data = [0.3, 2.0, -1.0, 7.0, 0.5, 4.0, 2.0, -3.5];
+        let mut ranks = midranks(&data);
+        ranks[3] = f64::NAN; // a missing cell after ranking exercises the dirty gather
+        let m = Matrix::from_vec(1, 8, ranks.clone()).unwrap();
+        let scorer = WilcoxonScorer::new(&m);
+        for labels in [
+            [0u8, 0, 0, 0, 1, 1, 1, 1],
+            [1, 0, 1, 0, 1, 0, 1, 0],
+            [0, 1, 1, 1, 1, 1, 1, 1],
+        ] {
+            let fast = stats_for(&scorer, &labels, 1)[0];
+            let scalar = wilcoxon_from_ranks(&ranks, &labels);
+            assert_eq!(fast.to_bits(), scalar.to_bits(), "{fast} vs {scalar}");
+        }
+    }
+
+    #[test]
+    fn f_matches_scalar_bitwise_with_and_without_na() {
+        use crate::stats::f_stat::oneway_f;
+        let rows = [
+            vec![1.0, 2.0, 4.0, 6.0, 5.0, 9.0],
+            vec![1.0, f64::NAN, 4.0, 6.0, 5.0, 9.0],
+            vec![7.0; 6],
+        ];
+        for row in &rows {
+            let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
+            let scorer = FScorer::new(&m, 3);
+            for labels in [[0u8, 0, 1, 1, 2, 2], [2, 1, 0, 2, 1, 0], [0, 1, 2, 0, 1, 2]] {
+                let fast = stats_for(&scorer, &labels, 1)[0];
+                let scalar = oneway_f(row, &labels, 3);
+                if scalar.is_nan() {
+                    assert!(fast.is_nan());
+                } else {
+                    assert_eq!(fast.to_bits(), scalar.to_bits(), "{fast} vs {scalar}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairt_matches_scalar_bitwise_with_and_without_na() {
+        use crate::stats::pair_t::paired_t;
+        let rows = [
+            vec![1.0, 2.0, 3.0, 5.0, 2.0, 4.0, 5.0, 9.0],
+            vec![1.0, 2.0, f64::NAN, 5.0, 2.0, 4.0, 5.0, 9.0],
+            vec![0.0, 1.0, 5.0, 6.0, -3.0, -2.0, 1.0, 2.0],
+        ];
+        for row in &rows {
+            let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
+            let scorer = PairTScorer::new(&m);
+            for labels in [
+                [0u8, 1, 0, 1, 0, 1, 0, 1],
+                [1, 0, 1, 0, 1, 0, 1, 0],
+                [1, 0, 0, 1, 0, 1, 1, 0],
+            ] {
+                let fast = stats_for(&scorer, &labels, 1)[0];
+                let scalar = paired_t(row, &labels);
+                if scalar.is_nan() {
+                    assert!(fast.is_nan());
+                } else {
+                    assert_eq!(fast.to_bits(), scalar.to_bits(), "{fast} vs {scalar}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blockf_matches_scalar_bitwise_with_and_without_na() {
+        use crate::stats::block_f::block_f;
+        let rows = [
+            vec![1.0, 2.3, 2.0, 4.1, 3.0, 6.2],
+            vec![1.0, f64::NAN, 2.0, 4.1, 3.0, 6.2],
+            vec![1.0, 2.0, 11.0, 12.0, 21.0, 22.0],
+        ];
+        for row in &rows {
+            let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
+            let scorer = BlockFScorer::new(&m, 2);
+            for labels in [[0u8, 1, 0, 1, 0, 1], [1, 0, 1, 0, 1, 0], [0, 1, 1, 0, 0, 1]] {
+                let fast = stats_for(&scorer, &labels, 1)[0];
+                let scalar = block_f(row, &labels, 2);
+                if scalar.is_nan() {
+                    assert!(fast.is_nan());
+                } else {
+                    assert_eq!(fast.to_bits(), scalar.to_bits(), "{fast} vs {scalar}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_tile_is_bitwise_identical_to_one_at_a_time() {
+        let data = vec![
+            3.5,
+            -1.25,
+            7.0,
+            0.5,
+            2.25,
+            -4.0,
+            9.5,
+            1.0, // gene 0: clean
+            10.5,
+            f64::NAN,
+            9.0,
+            10.0,
+            14.25,
+            13.0,
+            15.5,
+            14.0, // gene 1: NA
+            0.3,
+            2.0,
+            -1.0,
+            7.0,
+            0.5,
+            4.0,
+            2.0,
+            -3.5, // gene 2: clean
+        ];
+        let m = Matrix::from_vec(3, 8, data).unwrap();
+        let arrangements: [[u8; 8]; 4] = [
+            [0, 0, 0, 0, 1, 1, 1, 1],
+            [1, 0, 1, 0, 1, 0, 1, 0],
+            [1, 1, 0, 0, 0, 0, 1, 1],
+            [0, 1, 1, 0, 1, 0, 0, 1],
+        ];
+        let scorers: Vec<Box<dyn Scorer>> = vec![
+            Box::new(TwoSampleScorer::new(&m, true)),
+            Box::new(TwoSampleScorer::new(&m, false)),
+            Box::new(WilcoxonScorer::new(&m)),
+            Box::new(FScorer::new(&m, 2)),
+            Box::new(PairTScorer::new(&m)),
+            Box::new(BlockFScorer::new(&m, 2)),
+        ];
+        let bufs: Vec<Vec<u8>> = arrangements.iter().map(|a| a.to_vec()).collect();
+        for scorer in &scorers {
+            let stride = bufs.len();
+            let mut scratch = scorer.make_scratch();
+            scorer.begin_batch(&bufs, &mut scratch);
+            let mut batched = vec![f64::NAN; 3 * stride];
+            // Two tiles to exercise tile boundaries.
+            scorer.score_tile(&bufs, 0..2, &mut scratch, &mut batched, stride);
+            scorer.score_tile(&bufs, 2..3, &mut scratch, &mut batched, stride);
+            for (j, labels) in arrangements.iter().enumerate() {
+                let single = stats_for(scorer.as_ref(), labels, 3);
+                for g in 0..3 {
+                    assert_eq!(
+                        batched[g * stride + j].to_bits(),
+                        single[g].to_bits(),
+                        "{} gene {g} perm {j}",
+                        scorer.path()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_row_gives_nan_like_scalar() {
+        let row = vec![5.0; 6];
+        let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
+        let scorer = TwoSampleScorer::new(&m, true);
+        let labels = [0u8, 0, 0, 1, 1, 1];
+        assert!(stats_for(&scorer, &labels, 1)[0].is_nan());
+        assert!(welch_t(&row, &labels).is_nan());
+    }
+
+    #[test]
+    fn degenerate_group_sizes_give_nan() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let t = TwoSampleScorer::new(&m, true);
+        // One group-1 column: t undefined.
+        assert!(stats_for(&t, &[0, 0, 0, 1], 1)[0].is_nan());
+        // Wilcoxon allows 1 but not 0.
+        let w = WilcoxonScorer::new(&m);
+        assert!(stats_for(&w, &[0, 0, 0, 0], 1)[0].is_nan());
+        assert!(stats_for(&w, &[0, 0, 0, 1], 1)[0].is_finite());
+    }
+
+    #[test]
+    fn all_na_row_scores_nan_on_the_fast_path() {
+        let m = Matrix::from_vec(1, 4, vec![f64::NAN; 4]).unwrap();
+        let labels = [0u8, 0, 1, 1];
+        for scorer in [
+            Box::new(TwoSampleScorer::new(&m, true)) as Box<dyn Scorer>,
+            Box::new(WilcoxonScorer::new(&m)),
+            Box::new(FScorer::new(&m, 2)),
+            Box::new(PairTScorer::new(&m)),
+            Box::new(BlockFScorer::new(&m, 2)),
+        ] {
+            assert!(
+                stats_for(scorer.as_ref(), &labels, 1)[0].is_nan(),
+                "{}",
+                scorer.path()
+            );
+        }
+    }
+
+    #[test]
+    fn pivot_shift_keeps_large_offsets_stable() {
+        let base = 1.0e8;
+        let row: Vec<f64> = [1.0, 2.0, 3.0, 7.0, 8.0, 9.5]
+            .iter()
+            .map(|v| v + base)
+            .collect();
+        let centered: Vec<f64> = row.iter().map(|v| v - base).collect();
+        let m = Matrix::from_vec(1, 6, row).unwrap();
+        let scorer = TwoSampleScorer::new(&m, true);
+        let labels = [0u8, 0, 0, 1, 1, 1];
+        let fast = stats_for(&scorer, &labels, 1)[0];
+        let reference = welch_t(&centered, &labels);
+        assert!((fast - reference).abs() < 1e-9, "{fast} vs {reference}");
+    }
+}

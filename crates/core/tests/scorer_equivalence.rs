@@ -1,0 +1,129 @@
+//! Property-based equivalence of every fast `Scorer` implementation and the
+//! reference scalar scorer: across all six test methods, all three sides,
+//! random matrices, random NA masks and the nonparametric rank transform on
+//! or off, the exceedance **counts** (`count_raw`/`count_adj` — the integers
+//! every p-value is built from) must be identical. The fast scorers are
+//! allowed ulp-level drift in the statistics themselves (absorbed by the
+//! maxT EPSILON), but never a different ordering decision.
+
+use proptest::prelude::*;
+
+use sprint_core::labels::ClassLabels;
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::{CountAccumulator, MaxTContext};
+use sprint_core::options::{KernelChoice, PmaxtOptions, TestMethod};
+use sprint_core::perm::build_generator;
+use sprint_core::side::Side;
+use sprint_core::stats::prepare_matrix;
+
+/// Identity labelling for a method: two groups for the two-sample family,
+/// three classes for `f`, alternating pairs for `pairt`, and three-treatment
+/// blocks for `blockf`.
+fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
+    match method {
+        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+            let mut v = vec![0u8; a];
+            v.extend(std::iter::repeat_n(1u8, b));
+            v
+        }
+        TestMethod::F => {
+            let mut v = vec![0u8; a];
+            v.extend(std::iter::repeat_n(1u8, b));
+            v.extend(std::iter::repeat_n(2u8, c));
+            v
+        }
+        TestMethod::PairT => (0..a + b).flat_map(|_| [0u8, 1u8]).collect(),
+        TestMethod::BlockF => (0..a + b).flat_map(|_| [0u8, 1u8, 2u8]).collect(),
+    }
+}
+
+/// A random dataset for one (method, side, nonpara) cell: genes×cols values
+/// in a range that stresses cancellation (means far from zero), plus an
+/// independent NA mask sprinkled over the cells.
+#[allow(clippy::type_complexity)]
+fn dataset() -> impl Strategy<Value = (usize, usize, u8, bool, Vec<f64>, Vec<bool>, Vec<u8>, u64)> {
+    (0usize..6, 2usize..5, 2usize..5, 2usize..4, 2usize..6).prop_flat_map(
+        |(method_sel, a, b, c, genes)| {
+            let labels = labels_for(TestMethod::ALL[method_sel], a, b, c);
+            let cells = genes * labels.len();
+            (
+                Just(method_sel),
+                Just(genes),
+                0u8..3, // side selector
+                proptest::bool::weighted(0.5),
+                proptest::collection::vec(-50.0f64..150.0, cells),
+                proptest::collection::vec(proptest::bool::weighted(0.12), cells),
+                Just(labels),
+                16u64..64, // permutation count
+            )
+        },
+    )
+}
+
+fn accumulate_with(
+    prepared: &Matrix,
+    labels: &ClassLabels,
+    opts: &PmaxtOptions,
+    b: u64,
+    kernel: KernelChoice,
+) -> (bool, CountAccumulator) {
+    let ctx = MaxTContext::with_scorer(prepared, labels, opts.test, opts.side, kernel);
+    let mut gen = build_generator(labels, opts, b).unwrap();
+    let mut acc = CountAccumulator::new(prepared.rows());
+    ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+    (ctx.uses_fast_scorer(), acc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fast_and_scalar_counts_are_identical(
+        (method_sel, genes, side_sel, nonpara, mut values, na_mask, raw_labels, b) in dataset()
+    ) {
+        for (v, &is_na) in values.iter_mut().zip(&na_mask) {
+            if is_na {
+                *v = f64::NAN;
+            }
+        }
+        let method = TestMethod::ALL[method_sel];
+        let side = [Side::Abs, Side::Upper, Side::Lower][side_sel as usize];
+        let cols = raw_labels.len();
+        let m = Matrix::from_vec(genes, cols, values).unwrap();
+        let labels = ClassLabels::new(raw_labels, method).unwrap();
+        let opts = PmaxtOptions::default()
+            .test(method)
+            .side(side)
+            .nonpara(nonpara)
+            .permutations(b);
+        let prepared = prepare_matrix(&m, method, nonpara);
+
+        let (scalar_active, scalar) =
+            accumulate_with(&prepared, &labels, &opts, b, KernelChoice::Scalar);
+        let (fast_active, fast) =
+            accumulate_with(&prepared, &labels, &opts, b, KernelChoice::Fast);
+
+        // Every method now has a fast scorer; NA rows never force a
+        // downgrade, so this test can never silently degrade to
+        // scalar-vs-scalar — unless `SPRINT_KERNEL` deliberately pins one
+        // path (the CI scalar leg does exactly that to exercise the
+        // override plumbing).
+        match std::env::var("SPRINT_KERNEL").ok().as_deref() {
+            Some("scalar") => prop_assert!(!fast_active),
+            Some("fast") | Some("auto") => {
+                prop_assert!(scalar_active);
+                prop_assert!(fast_active);
+            }
+            _ => {
+                prop_assert!(!scalar_active);
+                prop_assert!(fast_active);
+            }
+        }
+
+        prop_assert_eq!(&scalar.count_raw, &fast.count_raw,
+            "raw counts differ: {:?} {:?} nonpara={} B={}", method, side, nonpara, b);
+        prop_assert_eq!(&scalar.count_adj, &fast.count_adj,
+            "adjusted counts differ: {:?} {:?} nonpara={} B={}", method, side, nonpara, b);
+        prop_assert_eq!(scalar.n_perm, fast.n_perm);
+    }
+}

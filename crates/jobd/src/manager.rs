@@ -446,14 +446,16 @@ impl JobManager {
                 CacheProbe::Hit(state) => {
                     // The stored counts fully determine the result: finalize
                     // without queueing.
-                    let ctx = MaxTContext::with_kernel(
-                        &prepared,
-                        &labels,
-                        opts.test,
-                        opts.side,
-                        opts.kernel,
-                    );
-                    let result = ctx.finalize(&state.counts);
+                    let result = {
+                        let ctx = MaxTContext::with_scorer(
+                            &prepared,
+                            &labels,
+                            opts.test,
+                            opts.side,
+                            opts.kernel,
+                        );
+                        ctx.finalize(&state.counts)
+                    };
                     let id = self.register(
                         key,
                         key_hex.clone(),
@@ -811,7 +813,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
         prog.cursor
     };
     let take = inner.cfg.span.min(work.b - start);
-    let ctx = MaxTContext::with_kernel(
+    let ctx = MaxTContext::with_scorer(
         &work.prepared,
         &work.labels,
         work.opts.test,

@@ -174,7 +174,7 @@ pub fn run_with_checkpoints(
     let digest = digest_run(data, classlabel, opts);
     let b = resolve_permutation_count(&labels, opts)?;
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let ctx = MaxTContext::with_kernel(&prepared, &labels, opts.test, opts.side, opts.kernel);
+    let ctx = MaxTContext::with_scorer(&prepared, &labels, opts.test, opts.side, opts.kernel);
     let mut acc = CountAccumulator::new(data.rows());
     let mut cursor = 0u64;
 

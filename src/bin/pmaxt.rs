@@ -134,7 +134,7 @@ struct ClientConfig {
 }
 
 fn usage_text() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast] [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations."
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations."
 }
 
 /// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
