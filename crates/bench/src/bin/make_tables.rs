@@ -10,6 +10,7 @@
 //! make_tables kernel [OUT.json]                    scalar vs fast kernel grid
 //! make_tables threads [OUT.json]                   hybrid ranks x threads grid
 //! make_tables serve [JOBS] [B] [OUT.json]          jobd throughput + cache latency
+//! make_tables faults [JOBS] [B] [OUT.json]         fault-hook overhead + soak recovery
 //! make_tables all                                  everything above
 //! ```
 
@@ -234,6 +235,35 @@ fn run_serve(jobs: usize, b: u64, out: Option<&str>) {
     }
 }
 
+fn run_faults(jobs: usize, b: u64, out: Option<&str>) {
+    println!("=== fault injection: idle-hook overhead and soak recovery cost ===");
+    println!(
+        "(reference workload shape 6102x76; {jobs} jobs at B = {b}, run three \
+         times: injection disabled, armed at probability zero, and a 3% \
+         worker-fault soak with resubmit recovery)"
+    );
+    let r = sprint_bench::faults_bench(6_102, 76, b, jobs);
+    println!("  disabled:   {:>8.3} s", r.disabled_secs);
+    println!(
+        "  armed zero: {:>8.3} s  ({:+.2}% vs disabled, target < 2%)",
+        r.armed_zero_secs,
+        r.armed_zero_overhead_pct()
+    );
+    println!(
+        "  soak 3%:    {:>8.3} s  ({} resubmits)",
+        r.soak_secs, r.soak_retries
+    );
+    for (class, checked, fired) in &r.soak_report {
+        println!("    {class:>14}: {fired:>4} fired / {checked} drawn");
+    }
+    let json = sprint_bench::faults_bench_to_json(&r);
+    let path = out.unwrap_or("BENCH_faults.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -260,6 +290,11 @@ fn main() {
             let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
             run_serve(jobs, b, args.get(3).map(String::as_str));
         }
+        "faults" => {
+            let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+            run_faults(jobs, b, args.get(3).map(String::as_str));
+        }
         "all" => {
             platform_table(&hector(), "Table I");
             platform_table(&ecdf(), "Table II");
@@ -274,10 +309,11 @@ fn main() {
             run_kernel(None);
             run_threads(None);
             run_serve(4, 400, None);
+            run_faults(4, 400, None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|threads [OUT.json]|serve [JOBS B OUT.json]|all]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|all]");
             std::process::exit(2);
         }
     }

@@ -306,7 +306,17 @@ pub fn accumulate_chunk_hooked(
             debug_assert_eq!(did, step, "sub-chunk shorter than assigned");
             done += did;
             if let Some(progress) = hooks.progress {
-                progress(did);
+                // The hook is caller code running inside every engine worker.
+                // A panic there must not unwind through the thread-pool scope
+                // (which would tear down sibling workers and poison the pool);
+                // contain it at the boundary and surface a typed error — the
+                // chunk's counts are discarded either way.
+                let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    progress(did);
+                }));
+                if guarded.is_err() {
+                    return Err(Error::Comm("progress hook panicked".to_string()));
+                }
             }
         }
         Ok((
@@ -762,6 +772,33 @@ mod tests {
         let hooked = accumulate_chunk_hooked(&ctx, &labels, &opts, b, 2, 30, cfg, hooks).unwrap();
         assert_eq!(hooked.counts, plain.counts, "hooks must not change counts");
         assert_eq!(progressed.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn panicking_progress_hook_surfaces_typed_error_not_panic() {
+        let (data, classlabel) = test_data();
+        let opts = PmaxtOptions::default().permutations(40);
+        let (labels, b, prepared) = prepare_run(&data, &classlabel, &opts).unwrap();
+        let ctx = MaxTContext::new(&prepared, &labels, opts.test, opts.side);
+        let cfg = EngineConfig {
+            threads: 2,
+            batch: 7,
+        };
+        let hooks = ChunkHooks {
+            cancel: None,
+            progress: Some(&|_| panic!("hook bug")),
+        };
+        // Silence the default panic hook's backtrace spam for the expected
+        // per-worker panics; restore it before asserting.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = accumulate_chunk_hooked(&ctx, &labels, &opts, b, 0, 30, cfg, hooks);
+        std::panic::set_hook(prev);
+        let err = outcome.unwrap_err();
+        assert!(
+            matches!(&err, Error::Comm(m) if m.contains("progress hook panicked")),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -29,6 +29,12 @@ use sprint_core::digest::{self, Fnv1a};
 use sprint_core::matrix::Matrix;
 use sprint_core::options::PmaxtOptions;
 
+use crate::faults::{FaultKind, Faults};
+
+/// Name of the subdirectory corrupt entries are moved into by the startup
+/// scan (see [`ResultCache::open_with`]).
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 /// Identity of a permutation stream: which data, which result-relevant
 /// options (minus the permutation count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,14 +92,79 @@ pub enum CacheProbe {
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    faults: Faults,
 }
 
 impl ResultCache {
-    /// Open (creating if needed) a cache directory.
+    /// Open (creating if needed) a cache directory with fault injection
+    /// disabled. Runs the startup quarantine scan (see [`open_with`]).
+    ///
+    /// [`open_with`]: ResultCache::open_with
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        Self::open_with(dir, Faults::disabled())
+    }
+
+    /// Open a cache directory with an injection registry attached, then scan
+    /// it: every `*.ckpt` entry whose stored digest does not match the digest
+    /// implied by its file name (or which fails to parse at all) is moved
+    /// into `quarantine/` rather than deleted — corruption is survivable but
+    /// worth a post-mortem, so the evidence is preserved. Probes then see the
+    /// key as a miss and the job recomputes from scratch.
+    pub fn open_with(dir: impl Into<PathBuf>, faults: Faults) -> io::Result<ResultCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        let cache = ResultCache { dir, faults };
+        let quarantined = cache.quarantine_scan()?;
+        if quarantined > 0 {
+            eprintln!(
+                "jobd: quarantined {quarantined} corrupt cache entr{} into {}",
+                if quarantined == 1 { "y" } else { "ies" },
+                cache.dir.join(QUARANTINE_DIR).display()
+            );
+        }
+        Ok(cache)
+    }
+
+    /// Move every invalid entry into `quarantine/`; returns how many moved.
+    /// An entry is invalid when its name is not `{dataset:016x}-{stream:016x}`,
+    /// it fails to parse as a checkpoint, or its self-check digest disagrees
+    /// with the digests its name claims.
+    fn quarantine_scan(&self) -> io::Result<usize> {
+        let mut moved = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("ckpt") || !path.is_file() {
+                continue;
+            }
+            if self.entry_is_valid(&path) {
+                continue;
+            }
+            let qdir = self.dir.join(QUARANTINE_DIR);
+            std::fs::create_dir_all(&qdir)?;
+            // file_name() is Some: read_dir never yields `..`-style paths.
+            let dest = qdir.join(path.file_name().unwrap_or_default());
+            std::fs::rename(&path, &dest)?;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    /// Does `path` hold a checkpoint whose digest matches its file name?
+    fn entry_is_valid(&self, path: &Path) -> bool {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            return false;
+        };
+        let Some((dataset_hex, stream_hex)) = stem.split_once('-') else {
+            return false;
+        };
+        let (Ok(dataset), Ok(stream)) = (
+            u64::from_str_radix(dataset_hex, 16),
+            u64::from_str_radix(stream_hex, 16),
+        ) else {
+            return false;
+        };
+        let expect = CacheKey { dataset, stream }.check_digest();
+        matches!(checkpoint::load(path), Ok(Some(state)) if state.digest == expect)
     }
 
     /// The directory backing this cache.
@@ -124,7 +195,17 @@ impl ResultCache {
     /// Write (atomically replace) the entry for `key`.
     pub fn store(&self, key: &CacheKey, state: &CheckpointState) -> io::Result<()> {
         debug_assert_eq!(state.digest, key.check_digest(), "entry digest mismatch");
-        checkpoint::save(&self.entry_path(key), state)
+        let path = self.entry_path(key);
+        checkpoint::save(&path, state)?;
+        if self.faults.fire(FaultKind::CacheCorrupt) {
+            // Injected torn write: truncate the just-written entry to half.
+            // The parse then fails, so the next probe degrades the key to a
+            // miss (or the next startup scan quarantines the file) — the
+            // corruption is detectable, like a real partial write.
+            let bytes = std::fs::read(&path)?;
+            std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+        }
+        Ok(())
     }
 }
 
@@ -181,6 +262,63 @@ mod tests {
         assert!(matches!(cache.probe(&key, 30), CacheProbe::Hit(s) if s.cursor == 30));
         assert_eq!(cache.probe(&key, 10), CacheProbe::Beyond);
         std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn startup_scan_quarantines_corrupt_entries_and_keeps_valid_ones() {
+        let cache = tmp_cache("quarantine");
+        let key = sample_key();
+        cache.store(&key, &state_at(&key, 30, 50)).unwrap();
+        // A second, corrupt entry under a well-formed name.
+        let other = CacheKey {
+            dataset: key.dataset ^ 0xff,
+            stream: key.stream,
+        };
+        std::fs::write(cache.entry_path(&other), "torn write").unwrap();
+        // And a parseable entry whose digest disagrees with its file name.
+        let renamed = CacheKey {
+            dataset: key.dataset,
+            stream: key.stream ^ 0xff,
+        };
+        let mut bogus = state_at(&key, 5, 10);
+        bogus.digest ^= 1;
+        checkpoint::save(&cache.entry_path(&renamed), &bogus).unwrap();
+
+        let dir = cache.dir().to_path_buf();
+        drop(cache);
+        let cache = ResultCache::open(&dir).unwrap();
+        // The valid entry survived in place; the two bad ones moved.
+        assert!(matches!(cache.probe(&key, 50), CacheProbe::Partial(s) if s.cursor == 30));
+        assert!(!cache.entry_path(&other).exists());
+        assert!(!cache.entry_path(&renamed).exists());
+        let qdir = cache.dir().join(QUARANTINE_DIR);
+        assert_eq!(std::fs::read_dir(&qdir).unwrap().count(), 2);
+        // Re-opening is idempotent: nothing further to quarantine.
+        drop(cache);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.entry_path(&key).exists());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn injected_corruption_is_detectable_and_degrades_to_miss() {
+        use crate::faults::{FaultKind, Faults};
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("sprint-jobd-cache-{}-inject", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let faults = Faults::builder().prob(FaultKind::CacheCorrupt, 1.0).build();
+        let cache = ResultCache::open_with(&dir, faults.clone()).unwrap();
+        let key = sample_key();
+        cache.store(&key, &state_at(&key, 30, 50)).unwrap();
+        assert_eq!(faults.fired(FaultKind::CacheCorrupt), 1);
+        // The torn entry must never be served as a partial prefix.
+        assert_eq!(cache.probe(&key, 50), CacheProbe::Miss);
+        // A fresh open quarantines it.
+        drop(cache);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(!cache.entry_path(&key).exists());
+        assert!(dir.join(QUARANTINE_DIR).read_dir().unwrap().count() >= 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

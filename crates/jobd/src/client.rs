@@ -1,13 +1,113 @@
 //! Client side of the line protocol: connect, send a request line, read
 //! response lines. Used by the `pmaxt submit|status|result|cancel`
 //! subcommands and the integration tests.
+//!
+//! ## Retry
+//!
+//! A jobd conversation is safe to retry from scratch: every request is
+//! idempotent by construction. `submit` is keyed on the content digest —
+//! resubmitting a request whose first attempt actually reached the daemon
+//! dedups onto the live job, or becomes a cache hit / checkpoint resume if
+//! the job meanwhile finished or failed, bitwise-identical either way. So the
+//! client's answer to a torn frame, a dropped connection or a read timeout is
+//! [`request_retried`]: reconnect fresh and resend, under a [`RetryPolicy`]
+//! with deterministic jittered exponential backoff.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 use crate::json::Json;
 use crate::server::BindAddr;
+
+/// Client-side retry: how many attempts, how long between them.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max: Duration,
+    /// Seed for the jitter stream, so a given client's retry timing is
+    /// reproducible in tests and soak runs.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(100),
+            max: Duration::from_secs(5),
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retry: one attempt, fail fast.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before attempt `attempt` (1-based; attempt 1 has none):
+    /// exponential doubling from `base`, capped at `max`, scaled by a
+    /// deterministic jitter factor in `[0.5, 1.5)` so a fleet of retrying
+    /// clients does not stampede the daemon in lockstep.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32 << (attempt - 2).min(16))
+            .min(self.max);
+        // splitmix64 over (seed, attempt) — stateless, so concurrent callers
+        // sharing a policy need no locks.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(jitter).min(self.max)
+    }
+}
+
+/// Run one request under `policy`, reconnecting fresh for every attempt (a
+/// failed attempt's connection may be wedged mid-frame, so it is never
+/// reused). Returns the last error when every attempt fails.
+///
+/// `timeout` bounds each attempt's socket reads; `None` waits forever. Pass
+/// a generous value for requests that legitimately block server-side
+/// (`result` with `wait`) — a timeout there aborts a healthy wait.
+pub fn request_retried(
+    addr: &str,
+    request: &Json,
+    policy: &RetryPolicy,
+    timeout: Option<Duration>,
+) -> io::Result<Json> {
+    let mut last_err = None;
+    for attempt in 1..=policy.attempts.max(1) {
+        let backoff = policy.backoff(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        let outcome = Client::connect_with(addr, timeout).and_then(|mut c| c.request(request));
+        match outcome {
+            Ok(resp) => return Ok(resp),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::other("retry policy made no attempts")))
+}
 
 enum Stream {
     Unix(UnixStream),
@@ -48,9 +148,25 @@ pub struct Client {
 impl Client {
     /// Connect to `addr` (same syntax as the server's bind address).
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Self::connect_with(addr, None)
+    }
+
+    /// Connect with a read timeout on the socket: any single response (or
+    /// `watch` event) taking longer than `timeout` to arrive errors out with
+    /// `WouldBlock`/`TimedOut` instead of hanging the caller forever on a
+    /// stalled or dead server.
+    pub fn connect_with(addr: &str, timeout: Option<Duration>) -> io::Result<Client> {
         let stream = match BindAddr::parse(addr) {
-            BindAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
-            BindAddr::Tcp(spec) => Stream::Tcp(TcpStream::connect(spec)?),
+            BindAddr::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                s.set_read_timeout(timeout)?;
+                Stream::Unix(s)
+            }
+            BindAddr::Tcp(spec) => {
+                let s = TcpStream::connect(spec)?;
+                s.set_read_timeout(timeout)?;
+                Stream::Tcp(s)
+            }
         };
         let reader = BufReader::new(stream.reader()?);
         Ok(Client {
@@ -98,5 +214,54 @@ pub fn expect_ok(resp: Json) -> Result<Json, (String, String)> {
             .unwrap_or("runtime")
             .to_string();
         Err((msg, code))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(100),
+            max: Duration::from_secs(2),
+            seed: 7,
+        };
+        assert_eq!(p.backoff(1), Duration::ZERO);
+        for attempt in 2..=6 {
+            let nominal = Duration::from_millis(100 * (1 << (attempt - 2)) as u64);
+            let b = p.backoff(attempt);
+            assert!(
+                b >= nominal.mul_f64(0.5) && b <= nominal.mul_f64(1.5).min(p.max),
+                "attempt {attempt}: {b:?} outside jitter window around {nominal:?}"
+            );
+            // Deterministic: same policy, same attempt, same sleep.
+            assert_eq!(b, p.backoff(attempt));
+        }
+        // Different seeds jitter differently (with overwhelming probability).
+        let q = RetryPolicy {
+            seed: 8,
+            ..p.clone()
+        };
+        assert_ne!(p.backoff(3), q.backoff(3));
+        // The cap binds for large attempts.
+        assert!(p.backoff(20) <= Duration::from_secs(2));
+    }
+
+    #[test]
+    fn no_retry_policy_makes_one_attempt() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.attempts, 1);
+        // Connecting to a nonexistent socket fails once, immediately.
+        let err = request_retried(
+            "/nonexistent/jobd.sock",
+            &Json::Obj(vec![("cmd".into(), Json::Str("ping".into()))]),
+            &p,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 }

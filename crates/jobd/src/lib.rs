@@ -19,6 +19,12 @@
 //! - **Wire protocol** ([`json`], [`protocol`], [`server`], [`client`]):
 //!   line-delimited JSON over a Unix-domain socket or TCP, exposed by the
 //!   `pmaxt serve` / `submit` / `status` / `result` / `cancel` subcommands.
+//! - **Fault injection and recovery** ([`faults`]): a seeded registry
+//!   (`SPRINT_FAULTS=worker_panic:0.01,...`) injects worker panics, span I/O
+//!   errors, cache corruption, torn frames and slow peers; the hardening it
+//!   proves out — `catch_unwind` worker isolation, per-connection deadlines,
+//!   client retry with idempotent resubmit, cache quarantine, graceful
+//!   drain — keeps every fault inside the *job* failure domain.
 //!
 //! Every layer preserves the repo's core invariant: a jobd-served result is
 //! bitwise-identical to a direct `mt_maxt` call, whatever the scheduling,
@@ -26,14 +32,17 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod json;
 pub mod manager;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, CacheProbe, ResultCache};
+pub use client::{request_retried, Client, RetryPolicy};
+pub use faults::{FaultKind, Faults};
 pub use manager::{
     CacheDisposition, JobError, JobEvent, JobManager, JobSpec, JobState, JobStatus, ManagerConfig,
     SubmitInfo,
 };
-pub use server::{BindAddr, Server};
+pub use server::{BindAddr, Server, ServerConfig};

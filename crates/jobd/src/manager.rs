@@ -26,10 +26,21 @@
 //! between batches. A span interrupted mid-way is discarded — its partial
 //! counts are not an index prefix — so the job's durable state remains the
 //! last completed span's checkpoint, which a later submit resumes from.
+//!
+//! ## Failure domains
+//!
+//! A worker panic — real or injected via [`crate::faults`] — is caught at the
+//! span boundary and fails the *job* ([`JobState::Failed`] with the panic
+//! message in [`JobStatus::error`]), never the daemon: the worker thread
+//! survives and moves on to the next queued job. Because a failed job's
+//! durable state is still its last completed span's checkpoint, resubmitting
+//! the identical request resumes where the failure struck and the final
+//! counts stay bitwise-identical to an undisturbed run.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,6 +55,30 @@ use sprint_core::perm::resolve_permutation_count;
 use sprint_core::stats::prepare_matrix;
 
 use crate::cache::{CacheKey, CacheProbe, ResultCache};
+use crate::faults::{FaultKind, Faults};
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// Safe here by construction: panics in job-processing code are caught at the
+/// span boundary (see [`worker_loop`]) *before* they can unwind through a
+/// guarded section, and every critical section in this module leaves its
+/// guarded state consistent at each intermediate step — so a poisoned lock
+/// carries no torn data. Refusing to recover would escalate one panic into a
+/// dead daemon, the exact failure-domain leak this module exists to prevent.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort text of a panic payload, for [`JobStatus::error`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Configuration of a [`JobManager`].
 #[derive(Debug, Clone)]
@@ -63,6 +98,10 @@ pub struct ManagerConfig {
     pub job_threads: usize,
     /// Cache directory; `None` disables caching (every submit computes).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Fault-injection registry threaded through the span loop and the cache
+    /// (see [`crate::faults`]). Defaults to the `SPRINT_FAULTS` environment
+    /// configuration, which is disabled when the variable is unset.
+    pub faults: Faults,
 }
 
 impl Default for ManagerConfig {
@@ -73,6 +112,7 @@ impl Default for ManagerConfig {
             span: 4096,
             job_threads: 0,
             cache_dir: None,
+            faults: Faults::from_env(),
         }
     }
 }
@@ -242,8 +282,11 @@ pub enum JobError {
     Failed(String),
     /// A bounded wait elapsed.
     Timeout(u64),
-    /// The manager is shutting down.
+    /// The manager is shutting down (or draining).
     ShuttingDown,
+    /// An internal invariant broke — a bug, not a caller mistake. The daemon
+    /// stays up and reports it instead of panicking the request thread.
+    Internal(String),
 }
 
 impl std::fmt::Display for JobError {
@@ -257,6 +300,7 @@ impl std::fmt::Display for JobError {
             JobError::Failed(msg) => write!(f, "job failed: {msg}"),
             JobError::Timeout(id) => write!(f, "timed out waiting for job {id}"),
             JobError::ShuttingDown => write!(f, "job manager is shutting down"),
+            JobError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -317,6 +361,9 @@ struct Inner {
     queue: Mutex<VecDeque<Arc<Job>>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
+    /// Drain mode: reject new submissions but let queued/running jobs reach
+    /// a terminal state (see [`JobManager::drain`]).
+    draining: AtomicBool,
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
     /// (stream key hex, resolved B) → live job id, for submission dedup.
     dedup: Mutex<HashMap<(String, u64), u64>>,
@@ -358,7 +405,7 @@ impl JobManager {
             cfg.job_threads = (avail / cfg.workers).max(1);
         }
         let cache = match &cfg.cache_dir {
-            Some(dir) => Some(ResultCache::open(dir.clone())?),
+            Some(dir) => Some(ResultCache::open_with(dir.clone(), cfg.faults.clone())?),
             None => None,
         };
         let inner = Arc::new(Inner {
@@ -367,6 +414,7 @@ impl JobManager {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             jobs: Mutex::new(HashMap::new()),
             dedup: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
@@ -388,7 +436,9 @@ impl JobManager {
     /// Submit a run. Validates like `mt_maxt`, consults the cache, dedups
     /// against identical live jobs, and enqueues whatever remains to compute.
     pub fn submit(&self, spec: JobSpec) -> Result<SubmitInfo, JobError> {
-        if self.inner.shutdown.load(Ordering::Relaxed) {
+        if self.inner.shutdown.load(Ordering::Relaxed)
+            || self.inner.draining.load(Ordering::Relaxed)
+        {
             return Err(JobError::ShuttingDown);
         }
         let JobSpec {
@@ -417,10 +467,12 @@ impl JobManager {
         let key = CacheKey::new(&data, &classlabel, &opts);
         let key_hex = key.hex();
 
-        // Dedup: an identical live submission is the same job.
-        if let Some(&id) = self.inner.dedup.lock().unwrap().get(&(key_hex.clone(), b)) {
-            if let Some(job) = self.inner.jobs.lock().unwrap().get(&id) {
-                let prog = job.prog.lock().unwrap();
+        // Dedup: an identical live submission is the same job. Cancelled and
+        // failed jobs fall through — resubmitting one is the recovery path
+        // (it resumes from the last checkpoint via the cache probe below).
+        if let Some(&id) = plock(&self.inner.dedup).get(&(key_hex.clone(), b)) {
+            if let Some(job) = plock(&self.inner.jobs).get(&id) {
+                let prog = plock(&job.prog);
                 if !matches!(prog.state, JobState::Cancelled | JobState::Failed) {
                     return Ok(SubmitInfo {
                         id,
@@ -567,7 +619,7 @@ impl JobManager {
             subs: Mutex::new(Vec::new()),
         });
         if enqueue {
-            let mut queue = self.inner.queue.lock().unwrap();
+            let mut queue = plock(&self.inner.queue);
             if queue.len() >= self.inner.cfg.queue_cap {
                 return Err(JobError::QueueFull {
                     cap: self.inner.cfg.queue_cap,
@@ -576,16 +628,13 @@ impl JobManager {
             queue.push_back(Arc::clone(&job));
             self.inner.queue_cv.notify_one();
         }
-        self.inner.jobs.lock().unwrap().insert(id, Arc::clone(&job));
-        self.inner.dedup.lock().unwrap().insert((key_hex, b), id);
+        plock(&self.inner.jobs).insert(id, Arc::clone(&job));
+        plock(&self.inner.dedup).insert((key_hex, b), id);
         Ok(id)
     }
 
     fn get(&self, id: u64) -> Result<Arc<Job>, JobError> {
-        self.inner
-            .jobs
-            .lock()
-            .unwrap()
+        plock(&self.inner.jobs)
             .get(&id)
             .cloned()
             .ok_or(JobError::UnknownJob(id))
@@ -599,11 +648,7 @@ impl JobManager {
 
     /// Status of every known job, by ascending id.
     pub fn list(&self) -> Vec<JobStatus> {
-        let mut all: Vec<JobStatus> = self
-            .inner
-            .jobs
-            .lock()
-            .unwrap()
+        let mut all: Vec<JobStatus> = plock(&self.inner.jobs)
             .values()
             .map(|j| status_of(j))
             .collect();
@@ -615,9 +660,11 @@ impl JobManager {
     /// states map to their own errors).
     pub fn result(&self, id: u64) -> Result<MaxTResult, JobError> {
         let job = self.get(id)?;
-        let prog = job.prog.lock().unwrap();
+        let prog = plock(&job.prog);
         match prog.state {
-            JobState::Finished => Ok(prog.result.clone().expect("finished job has result")),
+            JobState::Finished => prog.result.clone().ok_or_else(|| {
+                JobError::Internal(format!("job {id} is finished but has no stored result"))
+            }),
             JobState::Cancelled => Err(JobError::Cancelled(id)),
             JobState::Failed => Err(JobError::Failed(
                 prog.error.clone().unwrap_or_else(|| "unknown".into()),
@@ -633,7 +680,7 @@ impl JobManager {
         loop {
             // Read the generation *before* checking state: any transition
             // after the check bumps it, so the wait below cannot miss it.
-            let seen = *self.inner.change.lock().unwrap();
+            let seen = *plock(&self.inner.change);
             match self.result(id) {
                 Err(JobError::NotFinished(_)) => {}
                 other => return other,
@@ -641,16 +688,26 @@ impl JobManager {
             if self.inner.shutdown.load(Ordering::Relaxed) {
                 return Err(JobError::ShuttingDown);
             }
-            let mut gen = self.inner.change.lock().unwrap();
+            let mut gen = plock(&self.inner.change);
             while *gen == seen {
                 match deadline {
-                    None => gen = self.inner.change_cv.wait(gen).unwrap(),
+                    None => {
+                        gen = self
+                            .inner
+                            .change_cv
+                            .wait(gen)
+                            .unwrap_or_else(PoisonError::into_inner)
+                    }
                     Some(d) => {
                         let now = Instant::now();
                         if now >= d {
                             return Err(JobError::Timeout(id));
                         }
-                        let (g, _) = self.inner.change_cv.wait_timeout(gen, d - now).unwrap();
+                        let (g, _) = self
+                            .inner
+                            .change_cv
+                            .wait_timeout(gen, d - now)
+                            .unwrap_or_else(PoisonError::into_inner);
                         gen = g;
                     }
                 }
@@ -665,7 +722,7 @@ impl JobManager {
         let job = self.get(id)?;
         job.cancel.store(true, Ordering::Relaxed);
         let became_terminal = {
-            let mut prog = job.prog.lock().unwrap();
+            let mut prog = plock(&job.prog);
             if prog.state == JobState::Queued {
                 prog.state = JobState::Cancelled;
                 true
@@ -690,9 +747,79 @@ impl JobManager {
         // Register before snapshotting delivery so no transition between the
         // two is lost; a duplicate event is harmless, a missing terminal one
         // would wedge watchers.
-        job.subs.lock().unwrap().push(tx.clone());
+        plock(&job.subs).push(tx.clone());
         let _ = tx.send(snapshot);
         Ok(rx)
+    }
+
+    /// Enter drain mode: reject further submissions with
+    /// [`JobError::ShuttingDown`] while letting every queued and running job
+    /// reach a terminal state. Pair with [`wait_idle`] then [`shutdown`] for
+    /// a graceful exit. Idempotent.
+    ///
+    /// [`wait_idle`]: JobManager::wait_idle
+    /// [`shutdown`]: JobManager::shutdown
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.bump_change();
+    }
+
+    /// True when no job can make further progress: the queue is empty and
+    /// every known job is terminal.
+    pub fn idle(&self) -> bool {
+        if !plock(&self.inner.queue).is_empty() {
+            return false;
+        }
+        plock(&self.inner.jobs)
+            .values()
+            .all(|job| plock(&job.prog).state.is_terminal())
+    }
+
+    /// Block until [`idle`] (or `timeout` elapses); returns whether the
+    /// manager is idle. Meaningful after [`drain`] — without it new
+    /// submissions can keep arriving and idleness is a race.
+    ///
+    /// [`idle`]: JobManager::idle
+    /// [`drain`]: JobManager::drain
+    pub fn wait_idle(&self, timeout: Option<Duration>) -> bool {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let seen = *plock(&self.inner.change);
+            if self.idle() {
+                return true;
+            }
+            let mut gen = plock(&self.inner.change);
+            while *gen == seen {
+                match deadline {
+                    None => {
+                        gen = self
+                            .inner
+                            .change_cv
+                            .wait(gen)
+                            .unwrap_or_else(PoisonError::into_inner)
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return self.idle();
+                        }
+                        let (g, _) = self
+                            .inner
+                            .change_cv
+                            .wait_timeout(gen, d - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        gen = g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault-class counters of this manager's injection registry (all zero
+    /// when injection is disabled). Soak tests use this to assert each fault
+    /// class actually exercised its recovery path.
+    pub fn fault_report(&self) -> Vec<(FaultKind, u64, u64)> {
+        self.inner.cfg.faults.report()
     }
 
     /// Stop the worker pool: no further spans are started (in-flight spans
@@ -704,7 +831,7 @@ impl JobManager {
         }
         self.inner.queue_cv.notify_all();
         self.bump_change();
-        for handle in self.workers.lock().unwrap().drain(..) {
+        for handle in plock(&self.workers).drain(..) {
             let _ = handle.join();
         }
     }
@@ -725,7 +852,7 @@ impl Drop for JobManager {
 }
 
 fn status_of(job: &Job) -> JobStatus {
-    let prog = job.prog.lock().unwrap();
+    let prog = plock(&job.prog);
     let done = job.live_done.load(Ordering::Relaxed).max(prog.cursor);
     let eta_secs = match prog.state {
         JobState::Queued | JobState::Running => prog
@@ -758,21 +885,34 @@ fn event_of(job: &Job) -> JobEvent {
 
 fn emit_event(job: &Job) {
     let event = event_of(job);
-    job.subs
-        .lock()
-        .unwrap()
-        .retain(|tx| tx.send(event.clone()).is_ok());
+    plock(&job.subs).retain(|tx| tx.send(event.clone()).is_ok());
 }
 
 fn bump_change(inner: &Inner) {
-    *inner.change.lock().unwrap() += 1;
+    *plock(&inner.change) += 1;
     inner.change_cv.notify_all();
+}
+
+/// Force `job` into `Failed` with `reason` (unless already terminal) and wake
+/// everyone. The recovery half of worker panic isolation.
+fn fail_job(inner: &Inner, job: &Arc<Job>, reason: String) {
+    {
+        let mut prog = plock(&job.prog);
+        if prog.state.is_terminal() {
+            return;
+        }
+        job.live_done.store(prog.cursor, Ordering::Relaxed);
+        prog.state = JobState::Failed;
+        prog.error = Some(reason);
+    }
+    emit_event(job);
+    bump_change(inner);
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let job = {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut queue = plock(&inner.queue);
             loop {
                 if inner.shutdown.load(Ordering::Relaxed) {
                     return;
@@ -780,13 +920,27 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
-                queue = inner.queue_cv.wait(queue).unwrap();
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        if run_span(inner, &job) {
-            let mut queue = inner.queue.lock().unwrap();
-            queue.push_back(job);
-            drop(queue);
+        // Panic isolation: a panic anywhere in span processing — engine code,
+        // scoring, checkpointing, or an injected `worker_panic` — fails the
+        // *job* and this worker moves on. The daemon's failure domain is
+        // never entered from job-processing code.
+        let requeue =
+            catch_unwind(AssertUnwindSafe(|| run_span(inner, &job))).unwrap_or_else(|payload| {
+                fail_job(
+                    inner,
+                    &job,
+                    format!("worker panicked: {}", panic_message(payload.as_ref())),
+                );
+                false
+            });
+        if requeue {
+            plock(&inner.queue).push_back(job);
             inner.queue_cv.notify_one();
         }
     }
@@ -798,7 +952,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
     let work = &job.work;
     // Claim the job; bail out if it was cancelled while queued.
     let start = {
-        let mut prog = job.prog.lock().unwrap();
+        let mut prog = plock(&job.prog);
         if prog.state != JobState::Queued {
             return false;
         }
@@ -812,6 +966,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
         prog.state = JobState::Running;
         prog.cursor
     };
+    let faults = &inner.cfg.faults;
     let take = inner.cfg.span.min(work.b - start);
     let ctx = MaxTContext::with_scorer(
         &work.prepared,
@@ -823,7 +978,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
     if take == 0 {
         // Degenerate B = cursor (e.g. resumed entry already complete but not
         // classified as a hit because caching raced): finalize in place.
-        let mut prog = job.prog.lock().unwrap();
+        let mut prog = plock(&job.prog);
         prog.result = Some(ctx.finalize(&prog.counts));
         prog.state = JobState::Finished;
         drop(prog);
@@ -838,19 +993,30 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
         cancel: Some(&job.cancel),
         progress: Some(&progress),
     };
-    let outcome = accumulate_chunk_hooked(
-        &ctx,
-        &work.labels,
-        &work.opts,
-        work.b,
-        start,
-        take,
-        work.cfg,
-        hooks,
-    );
+    // Injection points for the two in-span fault classes. The panic unwinds
+    // into `worker_loop`'s catch_unwind exactly as a real engine panic would;
+    // the I/O error takes the ordinary engine-error path. Either way the
+    // span's counts are discarded, so the job's durable state stays the last
+    // completed span and a resubmit resumes bitwise-identically.
+    let outcome = if faults.fire(FaultKind::WorkerPanic) {
+        panic!("injected worker panic (SPRINT_FAULTS worker_panic)");
+    } else if faults.fire(FaultKind::SpanIo) {
+        Err(CoreError::Comm("injected span I/O error".to_string()))
+    } else {
+        accumulate_chunk_hooked(
+            &ctx,
+            &work.labels,
+            &work.opts,
+            work.b,
+            start,
+            take,
+            work.cfg,
+            hooks,
+        )
+    };
     match outcome {
         Err(CoreError::Cancelled) => {
-            let mut prog = job.prog.lock().unwrap();
+            let mut prog = plock(&job.prog);
             // The interrupted span's partial counts were discarded; roll the
             // live counter back to the last durable cursor.
             job.live_done.store(prog.cursor, Ordering::Relaxed);
@@ -861,13 +1027,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
             false
         }
         Err(e) => {
-            let mut prog = job.prog.lock().unwrap();
-            job.live_done.store(prog.cursor, Ordering::Relaxed);
-            prog.state = JobState::Failed;
-            prog.error = Some(e.to_string());
-            drop(prog);
-            emit_event(job);
-            bump_change(inner);
+            fail_job(inner, job, e.to_string());
             false
         }
         Ok(run) => {
@@ -879,7 +1039,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
                 .map(|w| w.busy.as_secs_f64())
                 .fold(0.0_f64, f64::max);
             let per_perm = critical / take as f64;
-            let mut prog = job.prog.lock().unwrap();
+            let mut prog = plock(&job.prog);
             prog.counts.merge(&run.counts);
             prog.cursor += take;
             prog.computed += take;
@@ -1046,7 +1206,14 @@ mod tests {
                     assert_eq!(e.code(), "busy");
                     rejected += 1;
                 }
-                Err(other) => panic!("unexpected error {other}"),
+                Err(other) => panic!(
+                    "unexpected error {other:?} submitting seed {seed} \
+                     (accepted {accepted}, rejected {rejected}); job snapshot: {:?}",
+                    mgr.list()
+                        .iter()
+                        .map(|s| (s.id, s.state, s.done, s.total, s.error.clone()))
+                        .collect::<Vec<_>>()
+                ),
             }
         }
         assert!(accepted >= 1, "at least one job must be accepted");
@@ -1094,6 +1261,138 @@ mod tests {
             assert!(e.done >= last, "progress must be monotone");
             last = e.done;
         }
+    }
+
+    #[test]
+    fn worker_panic_fails_the_job_not_the_daemon() {
+        let (data, labels) = small_dataset();
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 16,
+            cache_dir: None,
+            faults: Faults::builder().prob(FaultKind::WorkerPanic, 1.0).build(),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let info = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: PmaxtOptions::default().permutations(97),
+            })
+            .unwrap();
+        let err = mgr
+            .wait_result(info.id, Some(Duration::from_secs(30)))
+            .unwrap_err();
+        let JobError::Failed(msg) = &err else {
+            panic!("expected Failed, got {err:?}");
+        };
+        assert!(
+            msg.contains("panic"),
+            "reason should mention the panic: {msg}"
+        );
+        let status = mgr.status(info.id).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert!(status.error.is_some());
+        // The daemon survived: the worker is alive and the API responsive.
+        assert_eq!(mgr.list().len(), 1);
+        let second = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts: PmaxtOptions::default().permutations(97).seed(9),
+            })
+            .unwrap();
+        assert!(matches!(
+            mgr.wait_result(second.id, Some(Duration::from_secs(30))),
+            Err(JobError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn injected_span_io_error_fails_job_and_resubmit_recovers() {
+        let (data, labels) = small_dataset();
+        let opts = PmaxtOptions::default().permutations(97);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("sprint-jobd-mgr-{}-spanio", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // First manager: every span errors, but completed spans checkpoint.
+        // (With probability 1 the very first span fails, so cursor stays 0 —
+        // the point is the terminal state and the recovery, not the prefix.)
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 16,
+            cache_dir: Some(dir.clone()),
+            faults: Faults::builder().prob(FaultKind::SpanIo, 1.0).build(),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let spec = JobSpec {
+            data: data.clone(),
+            classlabel: labels.clone(),
+            opts: opts.clone(),
+        };
+        let info = mgr.submit(spec.clone()).unwrap();
+        let err = mgr
+            .wait_result(info.id, Some(Duration::from_secs(30)))
+            .unwrap_err();
+        assert!(
+            matches!(&err, JobError::Failed(m) if m.contains("injected span I/O error")),
+            "got {err:?}"
+        );
+        drop(mgr);
+        // Fault-free manager over the same cache: resubmit must recover and
+        // match a direct serial run bitwise.
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 16,
+            cache_dir: Some(dir.clone()),
+            faults: Faults::disabled(),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let info = mgr.submit(spec).unwrap();
+        let served = mgr
+            .wait_result(info.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        let direct = mt_maxt(&data, &labels, &opts).unwrap();
+        assert_eq!(served, direct);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_waits_for_running_jobs() {
+        let (data, labels) = small_dataset();
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 32,
+            cache_dir: None,
+            faults: Faults::disabled(),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let info = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: PmaxtOptions::default().permutations(2_000),
+            })
+            .unwrap();
+        mgr.drain();
+        let err = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts: PmaxtOptions::default().permutations(50).seed(3),
+            })
+            .unwrap_err();
+        assert_eq!(err, JobError::ShuttingDown);
+        assert!(
+            mgr.wait_idle(Some(Duration::from_secs(60))),
+            "drain must let the in-flight job run to a terminal state"
+        );
+        assert_eq!(mgr.status(info.id).unwrap().state, JobState::Finished);
+        mgr.shutdown();
     }
 
     #[test]

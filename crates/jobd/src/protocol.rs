@@ -104,6 +104,17 @@ pub fn result_request(job: u64, wait: bool) -> Json {
     ])
 }
 
+/// Build a `shutdown` request. With `drain`, the server first refuses new
+/// submissions and lets every job reach a terminal state; the response
+/// arrives only once all work is durably settled.
+pub fn shutdown_request(drain: bool) -> Json {
+    let mut pairs = vec![("cmd", Json::str("shutdown"))];
+    if drain {
+        pairs.push(("drain", Json::Bool(true)));
+    }
+    Json::obj(pairs)
+}
+
 /// A successful response with extra fields.
 pub fn ok_response(mut fields: Vec<(&str, Json)>) -> Json {
     let mut pairs = vec![("ok", Json::Bool(true))];

@@ -7,7 +7,19 @@
 //! streaming `watch` events never stalls the others. The `shutdown` command
 //! stops the accept loop (a self-connection unblocks it) and then stops the
 //! worker pool; running spans finish and checkpoint first, so every
-//! unfinished job is resumable.
+//! unfinished job is resumable. With `"drain": true` it first stops
+//! accepting submissions and waits for every job to reach a terminal state.
+//!
+//! ## Hardening
+//!
+//! A connection can only hurt itself, never the daemon or its neighbours:
+//! request lines are read through a bounded reader (an oversized line or
+//! invalid UTF-8 earns a protocol error response, not a dead thread),
+//! malformed JSON and unknown commands get `usage` error responses, and
+//! per-connection read/write deadlines ([`ServerConfig`]) bound how long a
+//! stalled peer can pin a handler thread. The [`crate::faults`] registry
+//! injects torn frames and slow-peer stalls in [`respond`] to prove the
+//! client-side retry story out.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -15,13 +27,46 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use microarray::io::read_dataset;
 use sprint_core::options::PmaxtOptions;
 
+use crate::faults::{FaultKind, Faults};
 use crate::json::Json;
 use crate::manager::{JobManager, JobSpec};
 use crate::protocol;
+
+/// Upper bound on one request line. A well-formed request is well under 1 KiB
+/// (datasets travel by path, not inline), so 1 MiB is generous headroom while
+/// keeping a garbage-spewing peer from ballooning the handler's buffer.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Tunables of a [`Server`] beyond its address.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection read deadline: how long a handler thread waits for the
+    /// *next request byte* before giving the connection up. Does not limit
+    /// `result --wait`/`watch` (those block in the manager, not on reads).
+    /// `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline: how long one response write may block
+    /// on a peer that stopped draining its socket. `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// Fault-injection registry for the framing path (torn frames, slow-peer
+    /// stalls). Defaults to the `SPRINT_FAULTS` environment configuration.
+    pub faults: Faults,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: None,
+            write_timeout: None,
+            faults: Faults::from_env(),
+        }
+    }
+}
 
 /// A parsed listen/connect address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,13 +110,19 @@ pub struct Server {
     addr: BindAddr,
     manager: Arc<JobManager>,
     stop: Arc<AtomicBool>,
+    cfg: ServerConfig,
 }
 
 impl Server {
-    /// Bind to `addr` (removing a stale Unix socket file first). For TCP,
-    /// port 0 binds an ephemeral port — read the real one back with
-    /// [`Server::local_addr`].
+    /// Bind to `addr` (removing a stale Unix socket file first) with default
+    /// [`ServerConfig`]. For TCP, port 0 binds an ephemeral port — read the
+    /// real one back with [`Server::local_addr`].
     pub fn bind(addr: &str, manager: JobManager) -> io::Result<Server> {
+        Self::bind_with(addr, manager, ServerConfig::default())
+    }
+
+    /// Bind with explicit connection deadlines and fault injection.
+    pub fn bind_with(addr: &str, manager: JobManager, cfg: ServerConfig) -> io::Result<Server> {
         let parsed = BindAddr::parse(addr);
         let (listener, addr) = match &parsed {
             BindAddr::Unix(path) => {
@@ -91,6 +142,7 @@ impl Server {
             addr,
             manager: Arc::new(manager),
             stop: Arc::new(AtomicBool::new(false)),
+            cfg,
         })
     }
 
@@ -117,12 +169,20 @@ impl Server {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
+            if let Err(e) = conn.set_deadlines(self.cfg.read_timeout, self.cfg.write_timeout) {
+                eprintln!("jobd: cannot set connection deadlines: {e}");
+                continue;
+            }
             let manager = Arc::clone(&self.manager);
             let stop = Arc::clone(&self.stop);
             let addr = self.addr.clone();
+            let faults = self.cfg.faults.clone();
             std::thread::spawn(move || {
-                if let Err(e) = handle_connection(conn, &manager, &stop, &addr) {
-                    if e.kind() != io::ErrorKind::BrokenPipe {
+                if let Err(e) = handle_connection(conn, &manager, &stop, &addr, &faults) {
+                    // Peers vanishing mid-write and injected frame drops are
+                    // expected connection-level noise, not daemon trouble.
+                    let injected = faults.armed() && e.kind() == io::ErrorKind::ConnectionAborted;
+                    if e.kind() != io::ErrorKind::BrokenPipe && !injected {
                         eprintln!("jobd: connection error: {e}");
                     }
                 }
@@ -157,20 +217,90 @@ impl Conn for UnixStream {}
 impl Conn for TcpStream {}
 
 /// Object-safe clone-the-stream trait: the handler needs one reader and one
-/// writer over the same socket.
+/// writer over the same socket, plus the OS-level deadline knobs.
 trait Read2: io::Read + io::Write {
     fn split(&self) -> io::Result<Box<dyn io::Read + Send>>;
+    fn set_deadlines(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()>;
 }
 
 impl Read2 for UnixStream {
     fn split(&self) -> io::Result<Box<dyn io::Read + Send>> {
         Ok(Box::new(self.try_clone()?))
     }
+
+    fn set_deadlines(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
 }
 
 impl Read2 for TcpStream {
     fn split(&self) -> io::Result<Box<dyn io::Read + Send>> {
         Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_deadlines(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
+}
+
+/// Outcome of one bounded line read.
+enum ReadLine {
+    /// A complete UTF-8 line (newline stripped).
+    Line(String),
+    /// The line exceeded [`MAX_REQUEST_LINE`]; its bytes were discarded but
+    /// the stream was consumed through the newline, so the next read resyncs.
+    TooLong,
+    /// The line contained invalid UTF-8 (also consumed through the newline).
+    BadUtf8,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line without trusting its length or encoding.
+/// Unlike `BufRead::lines`, a hostile line costs at most [`MAX_REQUEST_LINE`]
+/// bytes of memory and never errors the stream: the caller can respond with
+/// a protocol error and keep serving the connection. A final unterminated
+/// line (peer died mid-frame) is returned as a normal line so the caller can
+/// still answer a half-open peer; the next call reports [`ReadLine::Eof`].
+fn read_bounded_line(reader: &mut impl BufRead) -> io::Result<ReadLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    let finish = |buf: Vec<u8>, overflow: bool| {
+        if overflow {
+            ReadLine::TooLong
+        } else {
+            match String::from_utf8(buf) {
+                Ok(s) => ReadLine::Line(s),
+                Err(_) => ReadLine::BadUtf8,
+            }
+        }
+    };
+    loop {
+        let (done, used) = {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                if buf.is_empty() && !overflow {
+                    return Ok(ReadLine::Eof);
+                }
+                return Ok(finish(buf, overflow));
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let take = newline.unwrap_or(chunk.len());
+            if !overflow {
+                if buf.len() + take <= MAX_REQUEST_LINE {
+                    buf.extend_from_slice(&chunk[..take]);
+                } else {
+                    overflow = true;
+                }
+            }
+            (newline.is_some(), take + usize::from(newline.is_some()))
+        };
+        reader.consume(used);
+        if done {
+            return Ok(finish(buf, overflow));
+        }
     }
 }
 
@@ -179,26 +309,40 @@ fn handle_connection(
     manager: &JobManager,
     stop: &AtomicBool,
     addr: &BindAddr,
+    faults: &Faults,
 ) -> io::Result<()> {
-    let reader = BufReader::new(conn.split()?);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(conn.split()?);
+    loop {
+        let line = match read_bounded_line(&mut reader)? {
+            ReadLine::Eof => return Ok(()),
+            ReadLine::TooLong => {
+                let msg = format!("request line exceeds {MAX_REQUEST_LINE} bytes");
+                respond(&mut conn, &protocol::err_response(&msg, "usage"), faults)?;
+                continue;
+            }
+            ReadLine::BadUtf8 => {
+                let msg = "request line is not valid UTF-8";
+                respond(&mut conn, &protocol::err_response(msg, "usage"), faults)?;
+                continue;
+            }
+            ReadLine::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
         let request = match Json::parse(&line) {
             Ok(v) => v,
             Err(e) => {
-                respond(&mut conn, &protocol::err_response(&e, "usage"))?;
+                respond(&mut conn, &protocol::err_response(&e, "usage"), faults)?;
                 continue;
             }
         };
         let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or("");
         match cmd {
-            "ping" => respond(&mut conn, &protocol::ok_response(vec![]))?,
+            "ping" => respond(&mut conn, &protocol::ok_response(vec![]), faults)?,
             "submit" => {
                 let resp = handle_submit(&request, manager);
-                respond(&mut conn, &resp)?;
+                respond(&mut conn, &resp, faults)?;
             }
             "status" => {
                 let resp = match job_id(&request) {
@@ -208,7 +352,7 @@ fn handle_connection(
                     },
                     Err(resp) => resp,
                 };
-                respond(&mut conn, &resp)?;
+                respond(&mut conn, &resp, faults)?;
             }
             "result" => {
                 let resp = match job_id(&request) {
@@ -226,7 +370,7 @@ fn handle_connection(
                     }
                     Err(resp) => resp,
                 };
-                respond(&mut conn, &resp)?;
+                respond(&mut conn, &resp, faults)?;
             }
             "cancel" => {
                 let resp = match job_id(&request) {
@@ -236,36 +380,47 @@ fn handle_connection(
                     },
                     Err(resp) => resp,
                 };
-                respond(&mut conn, &resp)?;
+                respond(&mut conn, &resp, faults)?;
             }
             "watch" => match job_id(&request) {
                 Ok(id) => match manager.subscribe(id) {
                     Ok(rx) => {
                         for event in rx {
                             let terminal = event.state.is_terminal();
-                            respond(&mut conn, &protocol::event_to_json(&event))?;
+                            respond(&mut conn, &protocol::event_to_json(&event), faults)?;
                             if terminal {
                                 break;
                             }
                         }
                     }
-                    Err(e) => respond(&mut conn, &protocol::err_from(&e))?,
+                    Err(e) => respond(&mut conn, &protocol::err_from(&e), faults)?,
                 },
-                Err(resp) => respond(&mut conn, &resp)?,
+                Err(resp) => respond(&mut conn, &resp, faults)?,
             },
             "shutdown" => {
-                respond(&mut conn, &protocol::ok_response(vec![]))?;
+                let drain = request
+                    .get("drain")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                if drain {
+                    // Graceful drain: refuse new submissions, let every
+                    // queued/running job reach a terminal state (checkpointing
+                    // as usual), and only then acknowledge and stop — so the
+                    // requester's ack means "all work is durably settled".
+                    manager.drain();
+                    manager.wait_idle(None);
+                }
+                respond(&mut conn, &protocol::ok_response(vec![]), faults)?;
                 stop.store(true, Ordering::SeqCst);
                 wake_acceptor(addr);
                 return Ok(());
             }
             other => {
                 let msg = format!("unknown command {other:?}");
-                respond(&mut conn, &protocol::err_response(&msg, "usage"))?;
+                respond(&mut conn, &protocol::err_response(&msg, "usage"), faults)?;
             }
         }
     }
-    Ok(())
 }
 
 fn handle_submit(request: &Json, manager: &JobManager) -> Json {
@@ -300,9 +455,26 @@ fn job_id(request: &Json) -> Result<u64, Json> {
         .ok_or_else(|| protocol::err_response("request requires a job id", "usage"))
 }
 
-fn respond(conn: &mut Box<dyn Conn>, resp: &Json) -> io::Result<()> {
+/// Write one response frame, with the two framing fault classes injected
+/// here: a `slow_peer` stall before the write, and a `frame_truncate` that
+/// sends only half the frame and then drops the connection (the injected
+/// error unwinds out of [`handle_connection`], closing the socket exactly as
+/// a mid-frame network drop would). Clients recover by retrying on a fresh
+/// connection; resubmits are idempotent through the content-digest dedup.
+fn respond(conn: &mut Box<dyn Conn>, resp: &Json, faults: &Faults) -> io::Result<()> {
     let mut line = resp.to_json();
     line.push('\n');
+    if faults.fire(FaultKind::SlowPeer) {
+        std::thread::sleep(faults.stall());
+    }
+    if faults.fire(FaultKind::FrameTruncate) {
+        conn.write_all(&line.as_bytes()[..line.len() / 2])?;
+        conn.flush()?;
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "injected frame truncation",
+        ));
+    }
     conn.write_all(line.as_bytes())?;
     conn.flush()
 }

@@ -1,0 +1,287 @@
+//! Fault-injection soak: with every fault class armed at a few percent, the
+//! daemon never dies, every job reaches a terminal state, and retried or
+//! resumed jobs land bitwise-identical to a fault-free serial run — for all
+//! six statistics.
+//!
+//! The CI fault leg runs exactly this binary under a fixed `SPRINT_FAULTS`
+//! spec; when the variable is unset the tests arm an equivalent programmatic
+//! spec, so the soak is exercised either way.
+
+use std::time::Duration;
+
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::serial::mt_maxt;
+use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_jobd::client::{expect_ok, request_retried, RetryPolicy};
+use sprint_jobd::json::Json;
+use sprint_jobd::{
+    protocol, FaultKind, Faults, JobError, JobManager, JobSpec, ManagerConfig, Server, ServerConfig,
+};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+/// Honor the CI-provided `SPRINT_FAULTS` spec when present; otherwise arm
+/// the given default so the soak always runs with faults on.
+fn soak_faults(default_spec: &str) -> Faults {
+    let seed = std::env::var("SPRINT_FAULTS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    match std::env::var("SPRINT_FAULTS") {
+        Ok(spec) => Faults::parse_spec(&spec, seed).expect("SPRINT_FAULTS must parse"),
+        Err(_) => Faults::parse_spec(default_spec, seed).unwrap(),
+    }
+}
+
+fn synth_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut v = Vec::with_capacity(rows * cols);
+    for g in 0..rows {
+        let shift = if g % 5 == 0 { 1.2 } else { 0.0 };
+        for c in 0..cols {
+            let bump = if c >= cols / 2 { shift } else { 0.0 };
+            v.push(next() * 4.0 - 2.0 + bump);
+        }
+    }
+    Matrix::from_vec(rows, cols, v).unwrap()
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("jobd-soak-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Submit and wait; on an injected failure, resubmit (idempotent by content
+/// digest — the dedup map falls through for failed jobs) until the job
+/// finishes. Returns the result plus how many attempts it took.
+fn run_to_completion(mgr: &JobManager, spec: &JobSpec) -> (sprint_core::maxt::MaxTResult, u32) {
+    for attempt in 1..=200u32 {
+        let info = mgr.submit(spec.clone()).expect("submit must not fail");
+        match mgr.wait_result(info.id, Some(WAIT)) {
+            Ok(r) => return (r, attempt),
+            Err(JobError::Failed(reason)) => {
+                assert!(
+                    reason.contains("injected") || reason.contains("panicked"),
+                    "only injected faults may fail a soak job, got: {reason}"
+                );
+            }
+            Err(other) => panic!("unexpected terminal error: {other}"),
+        }
+    }
+    panic!("job failed 200 consecutive times — fault rate runaway?");
+}
+
+/// Multi-job soak across all six statistics with worker panics, span I/O
+/// errors and cache corruption armed. Every job must settle, the manager
+/// must survive, and every final table must be bitwise-identical to the
+/// serial reference.
+#[test]
+fn soak_all_statistics_survive_faults_bitwise_identical() {
+    let faults = soak_faults("worker_panic:0.06,span_io:0.06,cache_corrupt:0.06,seed:42");
+    let cache = tmpdir("mgr");
+    let mgr = JobManager::new(ManagerConfig {
+        workers: 3,
+        span: 8,
+        cache_dir: Some(cache.clone()),
+        faults: faults.clone(),
+        ..ManagerConfig::default()
+    })
+    .unwrap();
+
+    let tests: [(TestMethod, Vec<u8>); 6] = [
+        (TestMethod::T, vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        (TestMethod::TEqualVar, vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        (TestMethod::Wilcoxon, vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        (TestMethod::F, vec![0, 0, 1, 1, 2, 2, 2, 2]),
+        (TestMethod::PairT, vec![0, 1, 0, 1, 1, 0, 0, 1]),
+        (TestMethod::BlockF, vec![0, 1, 1, 0, 0, 1, 1, 0]),
+    ];
+    let mut retried_any = false;
+    for (test, labels) in &tests {
+        let data = synth_matrix(40, labels.len(), 9000 + *test as u64);
+        let opts = PmaxtOptions::default()
+            .test(*test)
+            .permutations(240)
+            .seed(17)
+            .threads(2)
+            .batch(4);
+        let spec = JobSpec {
+            data: data.clone(),
+            classlabel: labels.clone(),
+            opts: opts.clone(),
+        };
+        let (served, attempts) = run_to_completion(&mgr, &spec);
+        retried_any |= attempts > 1;
+        let direct = mt_maxt(&data, labels, &opts).unwrap();
+        assert_eq!(
+            served,
+            direct,
+            "{}: faulted run must stay bitwise-identical",
+            test.as_str()
+        );
+    }
+
+    // The soak only proves something if the faults actually fired.
+    for kind in [
+        FaultKind::WorkerPanic,
+        FaultKind::SpanIo,
+        FaultKind::CacheCorrupt,
+    ] {
+        assert!(
+            faults.fired(kind) > 0,
+            "{} armed but never fired — soak too small for the spec {:?}",
+            kind.as_str(),
+            faults.report()
+        );
+    }
+    assert!(
+        retried_any,
+        "no job ever needed a retry — injection path untested"
+    );
+    // Every job is terminal and the manager still answers.
+    for st in mgr.list() {
+        assert!(st.state.is_terminal(), "job {} left live", st.id);
+    }
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+/// Kill-and-resume under faults: drop the manager mid-run (the process-death
+/// analogue), then a fresh manager over the same cache resumes from the last
+/// checkpoint and still matches the serial reference exactly.
+#[test]
+fn kill_and_resume_under_faults_is_bitwise_identical() {
+    let faults = soak_faults("worker_panic:0.04,span_io:0.04,cache_corrupt:0.04,seed:1234");
+    let cache = tmpdir("resume");
+    let data = synth_matrix(120, 16, 77);
+    let labels: Vec<u8> = [vec![0u8; 8], vec![1u8; 8]].concat();
+    let opts = PmaxtOptions::default()
+        .permutations(30_000)
+        .threads(1)
+        .seed(3);
+    let spec = JobSpec {
+        data: data.clone(),
+        classlabel: labels.clone(),
+        opts: opts.clone(),
+    };
+    let mk = |faults: Faults| {
+        JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 64,
+            cache_dir: Some(cache.clone()),
+            faults,
+            ..ManagerConfig::default()
+        })
+        .unwrap()
+    };
+
+    let mgr = mk(faults.clone());
+    let info = mgr.submit(spec.clone()).unwrap();
+    let rx = mgr.subscribe(info.id).unwrap();
+    for event in rx.iter() {
+        if event.done > 0 || event.state.is_terminal() {
+            break;
+        }
+    }
+    drop(mgr); // abrupt death: no drain, no cancel
+
+    let mgr2 = mk(faults);
+    let (served, _) = run_to_completion(&mgr2, &spec);
+    let direct = mt_maxt(&data, &labels, &opts).unwrap();
+    assert_eq!(
+        served, direct,
+        "resumed-after-kill result must be bitwise-identical"
+    );
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+/// Server-level soak: torn frames and slow peers on every response, clients
+/// answering with retry + idempotent resubmit. All served tables must match
+/// the serial reference; the daemon must stay up throughout.
+#[test]
+fn server_soak_torn_frames_and_slow_peers_with_retry() {
+    use microarray::io::write_dataset;
+
+    let faults = soak_faults("frame_truncate:0.15,slow_peer:0.10,stall_ms:10,seed:99");
+    let dir = tmpdir("server");
+    let sock = dir.join("jobd.sock");
+    let dataset = dir.join("data.tsv");
+    let data = synth_matrix(50, 10, 5);
+    let labels = vec![0u8, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+    write_dataset(&dataset, &data, &labels).unwrap();
+
+    // Worker-side faults off: this soak isolates the wire layer, so a job
+    // must never fail server-side (a failed job would surface as a wire
+    // error, not a retryable transport fault).
+    let manager = JobManager::new(ManagerConfig {
+        workers: 2,
+        span: 16,
+        cache_dir: Some(dir.join("cache")),
+        faults: Faults::disabled(),
+        ..ManagerConfig::default()
+    })
+    .unwrap();
+    let addr = format!("unix:{}", sock.display());
+    let server = Server::bind_with(
+        &addr,
+        manager,
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            faults: faults.clone(),
+        },
+    )
+    .unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    let policy = RetryPolicy {
+        attempts: 50,
+        base: Duration::from_millis(2),
+        max: Duration::from_millis(50),
+        seed: 11,
+    };
+    let retried = |req: &Json| -> Json {
+        let resp = request_retried(&addr, req, &policy, Some(WAIT)).expect("retries exhausted");
+        expect_ok(resp).expect("wire error")
+    };
+
+    for b in [50u64, 80, 120] {
+        let opts = PmaxtOptions::default().permutations(b).seed(21);
+        let resp = retried(&protocol::submit_request(dataset.to_str().unwrap(), &opts));
+        let job = resp.get("job").and_then(Json::as_u64).unwrap();
+        let resp = retried(&protocol::result_request(job, true));
+        let served = protocol::result_from_json(&resp).unwrap();
+        let direct = mt_maxt(&data, &labels, &opts).unwrap();
+        assert_eq!(served, direct, "B={b}: result must survive the torn wire");
+    }
+    assert!(
+        faults.fired(FaultKind::FrameTruncate) > 0,
+        "frame truncation armed but never fired: {:?}",
+        faults.report()
+    );
+
+    // Drain-shutdown through the same lossy wire: keep trying until the
+    // server actually exits. A torn ack after the daemon stopped shows up as
+    // connection-refused, which counts as "it shut down".
+    for _ in 0..50 {
+        let _ = request_retried(
+            &addr,
+            &protocol::shutdown_request(true),
+            &RetryPolicy::none(),
+            None,
+        );
+        if handle.is_finished() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

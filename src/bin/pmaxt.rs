@@ -27,8 +27,10 @@
 //! usage error (bad flags or option values), `3` resource-allocation error
 //! (`--ranks` exceeds the permutation count).
 
+use std::io;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use microarray::io::{read_dataset, write_dataset};
 use microarray::prelude::*;
@@ -40,9 +42,9 @@ use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod}
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::pmaxt::{chunk_for_rank, pmaxt};
 use sprint_core::side::Side;
-use sprint_jobd::client::{expect_ok, Client};
+use sprint_jobd::client::{expect_ok, request_retried, Client, RetryPolicy};
 use sprint_jobd::json::Json;
-use sprint_jobd::{protocol, JobManager, ManagerConfig, Server};
+use sprint_jobd::{protocol, Faults, JobManager, ManagerConfig, Server, ServerConfig};
 
 /// CLI failure, carrying the process exit code.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +119,10 @@ struct ServeConfig {
     queue: usize,
     job_threads: usize,
     cache: Option<PathBuf>,
+    /// Per-connection idle read deadline (`--idle-timeout SECS`).
+    idle_timeout: Option<Duration>,
+    /// Per-connection write deadline (`--write-timeout SECS`).
+    write_timeout: Option<Duration>,
 }
 
 /// Parsed command line for the client subcommands.
@@ -131,10 +137,16 @@ struct ClientConfig {
     wait: bool,
     out: Option<PathBuf>,
     top: usize,
+    /// Attempts per request (`--retries N`; 1 = fail fast).
+    retries: u32,
+    /// First retry backoff (`--retry-base-ms N`), doubling per attempt.
+    retry_base_ms: u64,
+    /// Per-read socket timeout (`--timeout SECS`); `None` waits forever.
+    timeout: Option<Duration>,
 }
 
 fn usage_text() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations."
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
 }
 
 /// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
@@ -283,6 +295,8 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
         queue: 64,
         job_threads: 0,
         cache: Some(PathBuf::from(".pmaxt-cache")),
+        idle_timeout: None,
+        write_timeout: None,
     };
     let mut have_addr = false;
     let mut it = args.iter();
@@ -296,6 +310,17 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
                 $field = v.parse().map_err(|e| format!("bad {}: {e}", $flag))?;
             }};
         }
+        macro_rules! secs {
+            ($flag:literal, $field:expr) => {{
+                let v: f64 = take($flag)?
+                    .parse()
+                    .map_err(|e| format!("bad {}: {e}", $flag))?;
+                if v.is_nan() || v <= 0.0 {
+                    return Err(format!("{} must be positive seconds", $flag));
+                }
+                $field = Some(Duration::from_secs_f64(v));
+            }};
+        }
         match a.as_str() {
             "--workers" => num!("--workers", cfg.workers),
             "--span" => num!("--span", cfg.span),
@@ -303,6 +328,8 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
             "--job-threads" => num!("--job-threads", cfg.job_threads),
             "--cache" => cfg.cache = Some(PathBuf::from(take("--cache")?)),
             "--no-cache" => cfg.cache = None,
+            "--idle-timeout" => secs!("--idle-timeout", cfg.idle_timeout),
+            "--write-timeout" => secs!("--write-timeout", cfg.write_timeout),
             other if !other.starts_with('-') && !have_addr => {
                 cfg.addr = other.to_string();
                 have_addr = true;
@@ -334,6 +361,9 @@ fn parse_client(
         wait: false,
         out: None,
         top: 10,
+        retries: 3,
+        retry_base_ms: 100,
+        timeout: None,
     };
     let mut positional = 0usize;
     let mut it = args.iter();
@@ -352,6 +382,28 @@ fn parse_client(
                 cfg.top = take("--top")?
                     .parse()
                     .map_err(|e| format!("bad --top: {e}"))?
+            }
+            "--retries" => {
+                cfg.retries = take("--retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries: {e}"))?;
+                if cfg.retries == 0 {
+                    return Err("--retries must be at least 1".into());
+                }
+            }
+            "--retry-base-ms" => {
+                cfg.retry_base_ms = take("--retry-base-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --retry-base-ms: {e}"))?
+            }
+            "--timeout" => {
+                let v: f64 = take("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                if v.is_nan() || v <= 0.0 {
+                    return Err("--timeout must be positive seconds".into());
+                }
+                cfg.timeout = Some(Duration::from_secs_f64(v));
             }
             other if !other.starts_with('-') || other.parse::<u64>().is_ok() => {
                 match positional {
@@ -466,16 +518,29 @@ fn cmd_generate(cfg: &GenerateConfig) -> Result<(), CliError> {
 }
 
 fn cmd_serve(cfg: &ServeConfig) -> Result<(), CliError> {
+    let faults = Faults::from_env();
+    if faults.armed() {
+        eprintln!("jobd: fault injection armed via SPRINT_FAULTS");
+    }
     let manager = JobManager::new(ManagerConfig {
         workers: cfg.workers,
         queue_cap: cfg.queue,
         span: cfg.span,
         job_threads: cfg.job_threads,
         cache_dir: cfg.cache.clone(),
+        faults: faults.clone(),
     })
     .map_err(|e| runtime(format!("starting job manager: {e}")))?;
-    let server = Server::bind(&cfg.addr, manager)
-        .map_err(|e| runtime(format!("binding {}: {e}", cfg.addr)))?;
+    let server = Server::bind_with(
+        &cfg.addr,
+        manager,
+        ServerConfig {
+            read_timeout: cfg.idle_timeout,
+            write_timeout: cfg.write_timeout,
+            faults,
+        },
+    )
+    .map_err(|e| runtime(format!("binding {}: {e}", cfg.addr)))?;
     eprintln!(
         "jobd: listening on {} ({} workers, span {}, cache {})",
         server.local_addr().to_addr_string(),
@@ -495,6 +560,23 @@ fn connect(addr: &str) -> Result<Client, CliError> {
 
 fn request(client: &mut Client, req: &Json) -> Result<Json, CliError> {
     let resp = client.request(req).map_err(runtime)?;
+    expect_ok(resp).map_err(CliError::from_wire)
+}
+
+fn retry_policy(cfg: &ClientConfig) -> RetryPolicy {
+    RetryPolicy {
+        attempts: cfg.retries,
+        base: Duration::from_millis(cfg.retry_base_ms),
+        ..RetryPolicy::default()
+    }
+}
+
+/// One idempotent request under the client's retry policy: a fresh
+/// connection per attempt, protocol envelope unwrapped. Wire-level errors
+/// (`ok: false`) are never retried — the daemon answered.
+fn request_retrying(cfg: &ClientConfig, req: &Json) -> Result<Json, CliError> {
+    let resp = request_retried(&cfg.addr, req, &retry_policy(cfg), cfg.timeout)
+        .map_err(|e| runtime(format!("request to {}: {e}", cfg.addr)))?;
     expect_ok(resp).map_err(CliError::from_wire)
 }
 
@@ -528,17 +610,13 @@ fn print_status_line(resp: &Json) {
     println!("{line}");
 }
 
-fn fetch_and_print_result(
-    client: &mut Client,
-    job: u64,
-    wait: bool,
-    top: usize,
-    out: Option<&PathBuf>,
-) -> Result<(), CliError> {
-    let resp = request(client, &protocol::result_request(job, wait))?;
+fn fetch_and_print_result(cfg: &ClientConfig, job: u64, wait: bool) -> Result<(), CliError> {
+    // Safe to retry even with `wait`: the result request is read-only and the
+    // daemon resolves it from the job table / cache on every attempt.
+    let resp = request_retrying(cfg, &protocol::result_request(job, wait))?;
     let result = protocol::result_from_json(&resp).map_err(usage)?;
     eprintln!("job {job}: B = {} permutations", result.b_used);
-    print_result(&result, top, out)
+    print_result(&result, cfg.top, cfg.out.as_ref())
 }
 
 fn cmd_submit(cfg: &ClientConfig) -> Result<(), CliError> {
@@ -547,9 +625,10 @@ fn cmd_submit(cfg: &ClientConfig) -> Result<(), CliError> {
     // path so client and server working directories need not agree.
     let path =
         std::fs::canonicalize(data).map_err(|e| runtime(format!("resolving {data:?}: {e}")))?;
-    let mut client = connect(&cfg.addr)?;
+    // Submission is idempotent (content-digest dedup), so a torn first
+    // attempt resubmits safely.
     let req = protocol::submit_request(&path.display().to_string(), &cfg.opts);
-    let resp = request(&mut client, &req)?;
+    let resp = request_retrying(cfg, &req)?;
     let job = resp
         .get("job")
         .and_then(Json::as_u64)
@@ -577,7 +656,7 @@ fn cmd_submit(cfg: &ClientConfig) -> Result<(), CliError> {
     note.push(')');
     eprintln!("{note}");
     if cfg.wait {
-        fetch_and_print_result(&mut client, job, true, cfg.top, cfg.out.as_ref())
+        fetch_and_print_result(cfg, job, true)
     } else {
         println!("{job}");
         Ok(())
@@ -585,43 +664,89 @@ fn cmd_submit(cfg: &ClientConfig) -> Result<(), CliError> {
 }
 
 fn cmd_status(cfg: &ClientConfig) -> Result<(), CliError> {
-    let mut client = connect(&cfg.addr)?;
     let job = cfg.job.expect("parser enforces job");
-    let resp = request(&mut client, &protocol::job_request("status", job))?;
+    let resp = request_retrying(cfg, &protocol::job_request("status", job))?;
     print_status_line(&resp);
     Ok(())
 }
 
 fn cmd_result(cfg: &ClientConfig) -> Result<(), CliError> {
-    let mut client = connect(&cfg.addr)?;
     let job = cfg.job.expect("parser enforces job");
-    fetch_and_print_result(&mut client, job, cfg.wait, cfg.top, cfg.out.as_ref())
+    fetch_and_print_result(cfg, job, cfg.wait)
 }
 
 fn cmd_cancel(cfg: &ClientConfig) -> Result<(), CliError> {
-    let mut client = connect(&cfg.addr)?;
     let job = cfg.job.expect("parser enforces job");
-    let resp = request(&mut client, &protocol::job_request("cancel", job))?;
+    // Cancelling an already-terminal job is a no-op status echo, so retrying
+    // a torn cancel is safe.
+    let resp = request_retrying(cfg, &protocol::job_request("cancel", job))?;
     print_status_line(&resp);
     Ok(())
 }
 
 fn cmd_watch(cfg: &ClientConfig) -> Result<(), CliError> {
-    let mut client = connect(&cfg.addr)?;
     let job = cfg.job.expect("parser enforces job");
-    // Send one request, then keep reading event lines until a terminal state.
-    let mut resp = client
-        .request(&protocol::job_request("watch", job))
-        .map_err(runtime)?;
+    let policy = retry_policy(cfg);
+    // Watching is idempotent: every (re)subscription starts with a status
+    // snapshot, so after a dropped stream we reconnect and resume. Only
+    // transport errors are retried; protocol errors surface immediately.
+    let mut attempt = 0u32;
     loop {
-        let ok = expect_ok(resp).map_err(CliError::from_wire)?;
-        print_status_line(&ok);
-        let state = ok.get("state").and_then(Json::as_str).unwrap_or("");
-        if matches!(state, "finished" | "cancelled" | "failed") {
-            return Ok(());
+        attempt += 1;
+        let stream = Client::connect_with(&cfg.addr, cfg.timeout).and_then(|mut client| {
+            let mut resp = client.request(&protocol::job_request("watch", job))?;
+            loop {
+                let ok = expect_ok(resp).map_err(|wire| {
+                    io::Error::new(io::ErrorKind::InvalidData, encode_wire(wire))
+                })?;
+                print_status_line(&ok);
+                let state = ok.get("state").and_then(Json::as_str).unwrap_or("");
+                if matches!(state, "finished" | "cancelled" | "failed") {
+                    return Ok(());
+                }
+                resp = client.read_response()?;
+            }
+        });
+        match stream {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData && e.get_ref().is_some() => {
+                // A daemon-delivered error (unknown job, usage) — not a
+                // transport fault, so never retried.
+                return Err(decode_wire(&e.to_string()));
+            }
+            Err(e) if attempt < policy.attempts.max(1) => {
+                eprintln!("watch: {e}; reconnecting (attempt {attempt})");
+                std::thread::sleep(policy.backoff(attempt + 1));
+            }
+            Err(e) => return Err(runtime(format!("watching job {job}: {e}"))),
         }
-        resp = client.read_response().map_err(runtime)?;
     }
+}
+
+/// Smuggle a wire error `(message, code)` through `io::Error` so the watch
+/// closure can stay `io::Result`.
+fn encode_wire((msg, code): (String, String)) -> String {
+    format!("{code}\u{1f}{msg}")
+}
+
+fn decode_wire(encoded: &str) -> CliError {
+    match encoded.split_once('\u{1f}') {
+        Some((code, msg)) => CliError::from_wire((msg.to_string(), code.to_string())),
+        None => runtime(encoded.to_string()),
+    }
+}
+
+fn cmd_shutdown(addr: &str, drain: bool) -> Result<(), CliError> {
+    // Deliberately not retried: with `--drain` the ack only arrives after the
+    // daemon settles all work, and retrying a torn ack against the now-dead
+    // server would misreport a successful shutdown as a failure.
+    let mut client = connect(addr)?;
+    request(&mut client, &protocol::shutdown_request(drain))?;
+    eprintln!(
+        "jobd at {addr}: shut down{}",
+        if drain { " (drained)" } else { "" }
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -658,6 +783,21 @@ fn main() -> ExitCode {
         Some("watch") => parse_client(&args[1..], false, true)
             .map_err(usage)
             .and_then(|cfg| cmd_watch(&cfg)),
+        Some("shutdown") => {
+            let rest = &args[1..];
+            let drain = rest.iter().any(|a| a == "--drain");
+            let extra: Vec<&String> = rest
+                .iter()
+                .filter(|a| a.as_str() != "--drain" && !a.starts_with("--"))
+                .collect();
+            match (
+                extra.as_slice(),
+                rest.iter().all(|a| !a.starts_with("--") || a == "--drain"),
+            ) {
+                ([addr], true) => cmd_shutdown(addr, drain),
+                _ => Err(usage("usage: pmaxt shutdown <addr> [--drain]")),
+            }
+        }
         _ => Err(usage(usage_text())),
     };
     match outcome {
