@@ -72,7 +72,14 @@ fn bench_kernel_strategies(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("kernel_strategy_6102x76_{}", method.as_str()));
         group.sample_size(10);
         for kernel in [KernelChoice::Scalar, KernelChoice::Fast] {
-            let ctx = MaxTContext::with_scorer(&prepared, &labels, method, opts.side, kernel);
+            let ctx = MaxTContext::with_scorer(
+                &prepared,
+                &labels,
+                method,
+                opts.side,
+                kernel,
+                opts.precision,
+            );
             group.throughput(Throughput::Elements(6_102 * B));
             group.bench_with_input(
                 BenchmarkId::from_parameter(kernel.as_str()),

@@ -7,7 +7,7 @@
 //! make_tables compare                              model vs paper, per cell
 //! make_tables whatif                               efficiency/crossover/network analysis
 //! make_tables local [GENES] [B] [MAXPROCS]         real run on this machine
-//! make_tables kernel [OUT.json]                    scalar vs fast kernel grid
+//! make_tables kernel [OUT.json] [--quick]                    scalar vs fast kernel grid
 //! make_tables threads [OUT.json]                   hybrid ranks x threads grid
 //! make_tables serve [JOBS] [B] [OUT.json]          jobd throughput + cache latency
 //! make_tables faults [JOBS] [B] [OUT.json]         fault-hook overhead + soak recovery
@@ -131,32 +131,62 @@ fn run_local(genes: usize, b: u64, max_procs: usize) {
     println!();
 }
 
-fn run_kernel(out: Option<&str>) {
+fn run_kernel(out: Option<&str>, quick: bool) {
     println!("=== Scorer ablation: scalar vs sufficient-statistic fast scorer ===");
     println!("(serial accumulate loop, 76-sample workloads, NA-free, all six statistics)");
     // The 6102-gene row is the paper's reference workload shape; B is kept
     // moderate so the grid completes in seconds — per-permutation cost is
-    // what's being compared, and it does not depend on B.
+    // what's being compared, and it does not depend on B. `--quick` shrinks
+    // the grid to one cell per statistic: a CI-sized smoke run whose only
+    // claim is "every fast path actually beats scalar" (exit 1 otherwise).
+    let (genes_grid, b_grid): (&[usize], &[u64]) = if quick {
+        (&[600], &[200])
+    } else {
+        (&[600, 2_000, 6_102], &[200, 1_000])
+    };
     let mut results = Vec::new();
+    let mut regressions = Vec::new();
     for test in TestMethod::ALL {
         println!("\n--- test = {} ---", test.as_str());
-        let cells = kernel_grid(&[600, 2_000, 6_102], &[200, 1_000], test);
+        let cells = kernel_grid(genes_grid, b_grid, test);
         println!(
-            "{:>6} {:>8} {:>6} {:>12} {:>12} {:>9}",
-            "genes", "samples", "B", "scalar(s)", "fast(s)", "speedup"
+            "{:>6} {:>8} {:>6} {:>12} {:>12} {:>9} {:>14}",
+            "genes", "samples", "B", "scalar(s)", "fast(s)", "speedup", "gene·perm/s"
         );
         for c in &cells {
             println!(
-                "{:>6} {:>8} {:>6} {:>12.4} {:>12.4} {:>8.2}x",
+                "{:>6} {:>8} {:>6} {:>12.4} {:>12.4} {:>8.2}x {:>14.3e}",
                 c.genes,
                 c.samples,
                 c.b,
                 c.scalar_secs,
                 c.fast_secs,
-                c.speedup()
+                c.speedup(),
+                c.throughput()
             );
+            if c.speedup() < 1.0 {
+                regressions.push(format!(
+                    "{} at {} genes, B={}: {:.2}x",
+                    test.as_str(),
+                    c.genes,
+                    c.b,
+                    c.speedup()
+                ));
+            }
         }
         results.push((test, cells));
+    }
+    if quick {
+        if regressions.is_empty() {
+            println!("\nquick gate: every fast path beats scalar");
+        } else {
+            eprintln!("\nquick gate FAILED — fast path slower than scalar:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        return;
     }
     let json = kernel_cells_to_json(&results);
     let path = out.unwrap_or("BENCH_kernel.json");
@@ -283,7 +313,11 @@ fn main() {
             let maxp = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
             run_local(genes, b, maxp);
         }
-        "kernel" => run_kernel(args.get(1).map(String::as_str)),
+        "kernel" => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let out = args[1..].iter().find(|a| !a.starts_with("--"));
+            run_kernel(out.map(String::as_str), quick);
+        }
         "threads" => run_threads(args.get(1).map(String::as_str)),
         "serve" => {
             let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -306,14 +340,14 @@ fn main() {
             run_compare();
             run_whatif();
             run_local(600, 2_000, 4);
-            run_kernel(None);
+            run_kernel(None, false);
             run_threads(None);
             run_serve(4, 400, None);
             run_faults(4, 400, None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|all]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|all]");
             std::process::exit(2);
         }
     }

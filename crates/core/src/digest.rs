@@ -91,6 +91,12 @@ fn eat_options(h: &mut Fnv1a, opts: &PmaxtOptions, canonical_b: u64) {
     }
     h.write(&[opts.nonpara as u8]);
     h.write_u64(opts.seed);
+    // f32 accumulation changes the statistics, so it must change the digest;
+    // the marker is absorbed only in that mode so every pre-existing f64
+    // digest (and the results cached under it) stays valid.
+    if opts.precision == crate::options::Precision::F32 {
+        h.write(b"precision=f32");
+    }
 }
 
 /// Digest of the result-relevant options, `B` included. Equal
@@ -154,6 +160,31 @@ mod tests {
             options_digest(&o.clone().kernel(KernelChoice::Scalar))
         );
         assert_eq!(base, options_digest(&o.clone().max_complete(42)));
+    }
+
+    #[test]
+    fn f32_precision_changes_digests_but_f64_stays_stable() {
+        use crate::options::Precision;
+        let o = PmaxtOptions::default();
+        // Explicit f64 is the default: digests (and cached results keyed by
+        // them) are unchanged by the field's introduction.
+        assert_eq!(
+            options_digest(&o),
+            options_digest(&o.clone().precision(Precision::F64))
+        );
+        assert_eq!(
+            stream_digest(&o),
+            stream_digest(&o.clone().precision(Precision::F64))
+        );
+        // f32 produces different statistics, so both digests must move.
+        assert_ne!(
+            options_digest(&o),
+            options_digest(&o.clone().precision(Precision::F32))
+        );
+        assert_ne!(
+            stream_digest(&o),
+            stream_digest(&o.clone().precision(Precision::F32))
+        );
     }
 
     #[test]

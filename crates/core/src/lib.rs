@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::maxt::serial::mt_maxt;
     pub use crate::maxt::{maxt_threaded, maxt_with_config, EngineConfig};
     pub use crate::maxt::{MaxTResult, MaxTRow};
-    pub use crate::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
+    pub use crate::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
     pub use crate::pmaxt::{pmaxt, PmaxtRun};
     pub use crate::side::Side;
 }

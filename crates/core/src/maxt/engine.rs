@@ -371,7 +371,14 @@ pub fn maxt_with_config(
     cfg: EngineConfig,
 ) -> Result<MaxTResult> {
     let (labels, b, prepared) = prepare_run(data, classlabel, opts)?;
-    let ctx = MaxTContext::with_scorer(&prepared, &labels, opts.test, opts.side, opts.kernel);
+    let ctx = MaxTContext::with_scorer(
+        &prepared,
+        &labels,
+        opts.test,
+        opts.side,
+        opts.kernel,
+        opts.precision,
+    );
     let run = accumulate_chunk(&ctx, &labels, opts, b, 0, b, cfg)?;
     debug_assert_eq!(run.counts.n_perm, b);
     Ok(ctx.finalize(&run.counts))
@@ -399,10 +406,13 @@ impl MaxTContext<'_> {
     /// arrangements per batch (`0` selects [`DEFAULT_BATCH`]).
     pub fn batch_buffers(&self, batch: usize) -> BatchBuffers {
         let batch = if batch == 0 { DEFAULT_BATCH } else { batch };
+        let mut scratch = self.scorer.make_scratch();
+        // Pre-size the lane accumulators so the first tile allocates nothing.
+        self.scorer.warm_scratch(&mut scratch, GENE_TILE);
         BatchBuffers {
             labels_bufs: vec![vec![0u8; self.cols]; batch],
             scores: vec![0.0f64; self.genes * batch],
-            scratch: self.scorer.make_scratch(),
+            scratch,
         }
     }
 
@@ -527,7 +537,7 @@ impl MaxTContext<'_> {
 mod tests {
     use super::*;
     use crate::maxt::serial::mt_maxt;
-    use crate::options::{KernelChoice, SamplingMode, TestMethod};
+    use crate::options::{KernelChoice, Precision, SamplingMode, TestMethod};
     use crate::side::Side;
     use crate::stats::prepare_matrix;
 
@@ -665,7 +675,14 @@ mod tests {
                 let labels = ClassLabels::new(classlabel.clone(), method).unwrap();
                 let opts = PmaxtOptions::default().test(method).permutations(40);
                 let prepared = prepare_matrix(&data, method, false);
-                let ctx = MaxTContext::with_scorer(&prepared, &labels, method, Side::Abs, choice);
+                let ctx = MaxTContext::with_scorer(
+                    &prepared,
+                    &labels,
+                    method,
+                    Side::Abs,
+                    choice,
+                    Precision::F64,
+                );
                 let mut reference = CountAccumulator::new(5);
                 let mut gen = build_generator(&labels, &opts, 40).unwrap();
                 ctx.accumulate(&mut *gen, u64::MAX, &mut reference);

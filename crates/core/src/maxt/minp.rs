@@ -81,7 +81,7 @@ pub fn mt_minp(
     }
 
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let scorer = build_scorer(&prepared, &labels, opts.test, opts.kernel);
+    let scorer = build_scorer(&prepared, &labels, opts.test, opts.kernel, opts.precision);
     let side = opts.side;
 
     // 1. Score matrix, gene-major: scores[g * b + j], filled batch by batch
@@ -271,7 +271,7 @@ pub fn pminp(
     let outputs = Universe::run(n_ranks, move |comm| {
         let (data, labels, opts, b) = &*input;
         let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-        let scorer = build_scorer(&prepared, labels, opts.test, opts.kernel);
+        let scorer = build_scorer(&prepared, labels, opts.test, opts.kernel, opts.precision);
         let genes = data.rows();
         // Contiguous permutation chunk for this rank (no identity special
         // case here: minP needs every column of the score matrix anyway).

@@ -23,7 +23,7 @@ pub use result::{MaxTResult, MaxTRow};
 
 use crate::labels::ClassLabels;
 use crate::matrix::Matrix;
-use crate::options::{KernelChoice, TestMethod};
+use crate::options::{KernelChoice, Precision, TestMethod};
 use crate::perm::PermutationGenerator;
 use crate::side::Side;
 use crate::stats::scorer::{build_scorer, Scorer};
@@ -70,22 +70,32 @@ impl<'a> MaxTContext<'a> {
     /// Build from a **prepared** matrix (see [`crate::stats::prepare_matrix`])
     /// and validated labels, with automatic scorer selection.
     pub fn new(data: &'a Matrix, labels: &ClassLabels, method: TestMethod, side: Side) -> Self {
-        Self::with_scorer(data, labels, method, side, KernelChoice::Auto)
+        Self::with_scorer(
+            data,
+            labels,
+            method,
+            side,
+            KernelChoice::Auto,
+            Precision::F64,
+        )
     }
 
     /// Build with an explicit scorer choice. `Auto` and `Fast` select the
     /// method's fast sufficient-statistic scorer; `Scalar` forces the
-    /// reference per-column scorer (the equivalence-testing override). The
-    /// `SPRINT_KERNEL` environment variable, when set to a valid choice,
-    /// takes precedence over `choice`.
+    /// reference per-column scorer (the equivalence-testing override).
+    /// `precision` selects the fast path's accumulation element (`f64` is
+    /// the bitwise-reproducible default). The `SPRINT_KERNEL` and
+    /// `SPRINT_PRECISION` environment variables, when set to valid choices,
+    /// take precedence over the arguments.
     pub fn with_scorer(
         data: &'a Matrix,
         labels: &ClassLabels,
         method: TestMethod,
         side: Side,
         choice: KernelChoice,
+        precision: Precision,
     ) -> Self {
-        let scorer = build_scorer(data, labels, method, choice);
+        let scorer = build_scorer(data, labels, method, choice, precision);
         let genes = data.rows();
         // Observed statistics go through the same scorer as the permuted
         // ones so the identity permutation always counts exactly once,
@@ -353,12 +363,24 @@ mod tests {
     fn scorer_dispatch_follows_choice_and_method() {
         let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let labels = ClassLabels::new(vec![0, 0, 1, 1], TestMethod::T).unwrap();
-        let auto =
-            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Auto);
+        let auto = MaxTContext::with_scorer(
+            &m,
+            &labels,
+            TestMethod::T,
+            Side::Abs,
+            KernelChoice::Auto,
+            Precision::F64,
+        );
         assert!(auto.uses_fast_scorer());
         assert_eq!(auto.scorer_path(), "two-sample");
-        let scalar =
-            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
+        let scalar = MaxTContext::with_scorer(
+            &m,
+            &labels,
+            TestMethod::T,
+            Side::Abs,
+            KernelChoice::Scalar,
+            Precision::F64,
+        );
         assert!(!scalar.uses_fast_scorer());
         assert_eq!(scalar.scorer_path(), "scalar");
         // Every method has a fast form now, paired t included.
@@ -369,6 +391,7 @@ mod tests {
             TestMethod::PairT,
             Side::Abs,
             KernelChoice::Fast,
+            Precision::F64,
         );
         assert!(pt.uses_fast_scorer());
         assert_eq!(pt.scorer_path(), "pairt");
@@ -416,14 +439,21 @@ mod tests {
             let opts = PmaxtOptions::default().permutations(64);
             let prepared = prepare_matrix(&m, method, false);
             for side in [Side::Abs, Side::Upper, Side::Lower] {
-                let fast =
-                    MaxTContext::with_scorer(&prepared, &labels, method, side, KernelChoice::Fast);
+                let fast = MaxTContext::with_scorer(
+                    &prepared,
+                    &labels,
+                    method,
+                    side,
+                    KernelChoice::Fast,
+                    Precision::F64,
+                );
                 let scalar = MaxTContext::with_scorer(
                     &prepared,
                     &labels,
                     method,
                     side,
                     KernelChoice::Scalar,
+                    Precision::F64,
                 );
                 assert!(fast.uses_fast_scorer());
                 assert!(!scalar.uses_fast_scorer());
@@ -474,10 +504,22 @@ mod tests {
         )
         .unwrap();
         let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], TestMethod::T).unwrap();
-        let fast =
-            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Fast);
-        let scalar =
-            MaxTContext::with_scorer(&m, &labels, TestMethod::T, Side::Abs, KernelChoice::Scalar);
+        let fast = MaxTContext::with_scorer(
+            &m,
+            &labels,
+            TestMethod::T,
+            Side::Abs,
+            KernelChoice::Fast,
+            Precision::F64,
+        );
+        let scalar = MaxTContext::with_scorer(
+            &m,
+            &labels,
+            TestMethod::T,
+            Side::Abs,
+            KernelChoice::Scalar,
+            Precision::F64,
+        );
         for (a, b) in fast.observed_stats().iter().zip(scalar.observed_stats()) {
             assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
         }

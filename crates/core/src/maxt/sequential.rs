@@ -92,7 +92,7 @@ pub fn sequential_rawp(
         ..opts.clone()
     };
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let scorer = build_scorer(&prepared, &labels, opts.test, opts.kernel);
+    let scorer = build_scorer(&prepared, &labels, opts.test, opts.kernel, opts.precision);
     let mut scratch = scorer.make_scratch();
     let genes = data.rows();
 

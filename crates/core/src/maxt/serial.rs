@@ -33,7 +33,14 @@ pub fn mt_maxt(data: &Matrix, classlabel: &[u8], opts: &PmaxtOptions) -> Result<
     // bit-identical results (see `crate::maxt::engine`), so this stays the
     // serial *reference* in the semantic sense while using the hardware.
     let (labels, b, prepared) = prepare_run(data, classlabel, opts)?;
-    let ctx = MaxTContext::with_scorer(&prepared, &labels, opts.test, opts.side, opts.kernel);
+    let ctx = MaxTContext::with_scorer(
+        &prepared,
+        &labels,
+        opts.test,
+        opts.side,
+        opts.kernel,
+        opts.precision,
+    );
     let run = engine::accumulate_chunk(&ctx, &labels, opts, b, 0, b, EngineConfig::resolve(opts))?;
     debug_assert_eq!(run.counts.n_perm, b);
     Ok(ctx.finalize(&run.counts))

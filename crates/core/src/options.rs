@@ -180,6 +180,66 @@ impl KernelChoice {
     }
 }
 
+/// Accumulation precision of the fast scorers' SoA kernels.
+///
+/// `F64` (the default) is the reference precision: fast-scorer sums are
+/// bitwise identical to the scalar path and exceedance counts are exact.
+/// `F32` halves the score-tile footprint and doubles SIMD lane width at the
+/// cost of rounding: statistics drift by a documented bound (see DESIGN.md
+/// §4.10) and counts are no longer guaranteed to match the f64 reference, so
+/// every bitwise-reproducibility surface (checkpoint resume, the jobd result
+/// cache) rejects it with a typed usage error. The scalar reference scorer
+/// always computes in f64 regardless of this knob. The `SPRINT_PRECISION`
+/// environment variable (`f64`/`f32`) overrides this option, mirroring
+/// `SPRINT_KERNEL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Accumulate in `f64` (bitwise-reproducible). Default.
+    #[default]
+    F64,
+    /// Accumulate in `f32` (opt-in, bounded-error, not reproducible vs f64).
+    F32,
+}
+
+impl Precision {
+    /// Parse the string form (`f64`/`f32`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "f64" => Ok(Precision::F64),
+            "f32" => Ok(Precision::F32),
+            other => Err(Error::BadOption {
+                param: "precision",
+                value: other.to_string(),
+            }),
+        }
+    }
+
+    /// The string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Apply the `SPRINT_PRECISION` environment override, if set to a valid
+    /// value. Consulted wherever a fast scorer is built *and* wherever f32
+    /// must be rejected, so the override cannot smuggle reduced precision
+    /// past a reproducibility gate. Invalid values warn once and are ignored.
+    pub fn env_override(self) -> Self {
+        match std::env::var("SPRINT_PRECISION") {
+            Ok(v) => match Self::parse(&v) {
+                Ok(p) => p,
+                Err(_) => {
+                    warn_bad_env("SPRINT_PRECISION", &v, "\"f64\" or \"f32\"");
+                    self
+                }
+            },
+            Err(_) => self,
+        }
+    }
+}
+
 /// Warn (once per variable per process) that an environment override is
 /// being ignored because its value does not parse. Silent swallowing made
 /// `SPRINT_KERNEL=Fast` or `SPRINT_THREADS=4x` run the default configuration
@@ -236,6 +296,12 @@ pub struct PmaxtOptions {
     /// batch size. The `SPRINT_BATCH` environment variable overrides this.
     /// Any value produces identical results.
     pub batch: usize,
+    /// Accumulation precision of the fast scorers (see [`Precision`]). Not
+    /// part of the R signature; `F64` (default) is exact, `F32` trades a
+    /// bounded statistic error for speed and is rejected by surfaces that
+    /// require bitwise reproducibility. The `SPRINT_PRECISION` environment
+    /// variable overrides this.
+    pub precision: Precision,
 }
 
 impl Default for PmaxtOptions {
@@ -252,6 +318,7 @@ impl Default for PmaxtOptions {
             kernel: KernelChoice::Auto,
             threads: 0,
             batch: 0,
+            precision: Precision::F64,
         }
     }
 }
@@ -345,6 +412,18 @@ impl PmaxtOptions {
         self.batch = batch;
         self
     }
+
+    /// Set the fast-scorer accumulation precision.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Set the fast-scorer accumulation precision from the string form.
+    pub fn precision_str(mut self, s: &str) -> Result<Self> {
+        self.precision = Precision::parse(s)?;
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +502,19 @@ mod tests {
         let o = PmaxtOptions::new().threads(4).batch(16);
         assert_eq!(o.threads, 4);
         assert_eq!(o.batch, 16);
+    }
+
+    #[test]
+    fn precision_round_trips_and_defaults_to_f64() {
+        assert_eq!(PmaxtOptions::default().precision, Precision::F64);
+        for p in [Precision::F64, Precision::F32] {
+            assert_eq!(Precision::parse(p.as_str()).unwrap(), p);
+        }
+        assert!(Precision::parse("f16").is_err());
+        assert!(Precision::parse("F32").is_err());
+        let o = PmaxtOptions::new().precision_str("f32").unwrap();
+        assert_eq!(o.precision, Precision::F32);
+        assert_eq!(o.precision(Precision::F64).precision, Precision::F64);
     }
 
     #[test]

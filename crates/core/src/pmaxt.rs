@@ -251,6 +251,7 @@ pub fn pmaxt_rank(
         params.opts.test,
         params.opts.side,
         params.opts.kernel,
+        params.opts.precision,
     );
     let local_counts = timer.time(sections::MAIN_KERNEL, || {
         let active = (comm.size() as u64).min(params.b);

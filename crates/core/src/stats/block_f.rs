@@ -17,9 +17,34 @@
 //! documented NA policy for this method (DESIGN.md).
 
 use super::moments::pivot_of;
+use super::soa::Real;
 
 /// Maximum number of treatments kept in the stack-allocated fast path.
 const STACK_TREATMENTS: usize = 8;
+
+/// Block F from the (already clamped) treatment/block/total decompositions,
+/// mirroring the final combine of [`block_f`] operation for operation. The
+/// caller handles the `m < 2` guard.
+#[inline]
+pub(crate) fn blockf_from_sums<R: Real>(
+    k: usize,
+    m: usize,
+    ss_treat: R,
+    ss_block: R,
+    ss_total: R,
+) -> R {
+    let kf = R::from_usize(k);
+    let mf = R::from_usize(m);
+    let one = R::from_f64(1.0);
+    let ss_err = (ss_total - ss_treat - ss_block).max(R::ZERO);
+    let df_treat = kf - one;
+    let df_err = (kf - one) * (mf - one);
+    let ms_err = ss_err / df_err;
+    if ms_err <= R::ZERO {
+        return R::nan();
+    }
+    (ss_treat / df_treat) / ms_err
+}
 
 /// Block F over consecutive complete blocks of `k` treatments.
 pub fn block_f(row: &[f64], labels: &[u8], k: usize) -> f64 {

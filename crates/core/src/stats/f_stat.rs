@@ -1,9 +1,24 @@
 //! One-way ANOVA F-statistic over k classes (`test = "f"`).
 
 use super::moments::{pivot_of, GroupSums};
+use super::soa::Real;
 
 /// Maximum number of classes kept in the stack-allocated fast path.
 const STACK_CLASSES: usize = 8;
+
+/// F from the between/within sums of squares, mirroring the final combine of
+/// [`oneway_f`] operation for operation. The caller handles the `n <= k` and
+/// empty-class guards.
+#[inline]
+pub(crate) fn f_from_sums<R: Real>(k: usize, n: usize, ss_between: R, ss_within: R) -> R {
+    let df_between = R::from_usize(k - 1);
+    let df_within = R::from_usize(n - k);
+    let ms_within = ss_within / df_within;
+    if ms_within <= R::ZERO {
+        return R::nan();
+    }
+    (ss_between / df_between) / ms_within
+}
 
 /// One-way F: `(SS_between/(k−1)) / (SS_within/(N−k))`, NA-aware.
 ///

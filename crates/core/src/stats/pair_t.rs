@@ -7,6 +7,22 @@
 //! sides).
 
 use super::moments::GroupSums;
+use super::soa::Real;
+
+/// Paired t from the complete-pair count, the signed difference sum and the
+/// (sign-invariant) square sum, mirroring [`paired_t`] +
+/// `GroupSums::variance` operation for operation. The caller handles the
+/// `n < 2` guard.
+#[inline]
+pub(crate) fn pairt_from_moments<R: Real>(n: usize, s: R, sumsq: R) -> R {
+    let nf = R::from_usize(n);
+    let one = R::from_f64(1.0);
+    let var = ((sumsq - s * s / nf) / (nf - one)).max(R::ZERO);
+    if var <= R::ZERO {
+        return R::nan();
+    }
+    (s / nf) / (var / nf).sqrt()
+}
 
 /// Paired t over consecutive pairs. `NaN` when fewer than two complete pairs
 /// remain or the differences have zero variance.

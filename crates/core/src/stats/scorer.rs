@@ -5,73 +5,104 @@
 //! A scorer has a two-phase contract:
 //!
 //! 1. **prepare** (the constructor): cache per-gene sufficient statistics
-//!    once — S = Σ(x−pivot), Q = Σ(x−pivot)², per-class/per-block partial
-//!    sums, per-row non-missing counts — everything that does not change
-//!    across permutations.
+//!    once — S = Σ(x−pivot), Q = Σ(x−pivot)², per-pair differences, per-block
+//!    partials, per-row non-missing counts — everything that does not change
+//!    across permutations. The cached values live in column-major
+//!    structure-of-arrays tiles ([`SoaColumns`]): one contiguous, cache-line
+//!    aligned gene lane per column.
 //! 2. **score** ([`Scorer::begin_batch`] + [`Scorer::score_tile`]): for a
 //!    K-permutation batch, derive the per-arrangement structures (group-1
-//!    column lists, class-major column lists, pair signs) once in
-//!    `begin_batch`, then score gene tiles gene-major so each cached row
-//!    stays hot in L1 across the whole batch.
+//!    column lists, class-major column lists, pair signs, selection bitsets)
+//!    once in `begin_batch`, then score gene tiles with the **selected
+//!    columns in the outer loop and a contiguous lane of genes in the inner
+//!    loop** — an independent-accumulator form the compiler autovectorizes
+//!    (see `stats::soa` for the kernels and DESIGN.md §4.10 for the layout).
 //!
 //! All six `mt.maxT` statistics have fast implementations here:
 //!
-//! - `t` / `t.equalvar`: group-1 gather s₁, q₁; group 0 recovered as S−s₁,
-//!   Q−q₁; statistic in O(1) from the four moments.
-//! - `wilcoxon`: rows are midranks, so the group-1 gather *is* the rank sum.
-//! - `f`: per-class gathers (n_c, s_c, q_c) give SS_between via
+//! - `t` / `t.equalvar`: per-arrangement lane sums s₁, q₁ over the group-1
+//!   columns; group 0 recovered as S−s₁, Q−q₁; statistic in O(1) from the
+//!   four moments.
+//! - `wilcoxon`: lanes hold midranks, so the group-1 lane sum *is* the rank
+//!   sum.
+//! - `f`: per-class lane sums (s_c, q_c) give SS_between via
 //!   Σ n_c·(s_c/n_c − x̄)² and SS_within via Σ (q_c − s_c²/n_c) — the exact
 //!   scalar decomposition, never the cancellation-prone SS_total − SS_between.
 //! - `pairt`: per-pair base differences d⁰_p = x_{2p+1} − x_{2p} and
 //!   Σ(d⁰)² are permutation-invariant; an arrangement only flips signs, so
-//!   the sum of differences is Σ ±d⁰_p and the variance follows from the
-//!   cached square sum.
-//! - `blockf`: block sums, the grand sum/square sum, the correction term and
+//!   scoring is **gather-free**: one ±1-broadcast scaled lane add per pair
+//!   ([`lane_add_scaled`]).
+//! - `blockf`: block sums, the grand totals, the correction term and
 //!   SS_block are permutation-invariant (complete-block exclusion depends
 //!   only on the data); a permutation only reshuffles which treatment each
-//!   cell feeds, so scoring is one add per cell into k treatment sums.
+//!   cell feeds, so scoring is one lane add per column into k treatment
+//!   lanes.
 //!
 //! ## Missing values
 //!
-//! NA rows stay on the fast path. The caches keep `NaN` cells in place and
-//! remember each row's non-missing count; dirty rows take a gather variant
-//! that skips `NaN` cells and adjusts the group counts per permutation
-//! (n₀ = n_row − n₁ for the two-sample family, per-class counts for F,
-//! complete-pair/complete-block exclusion for the paired designs — the
-//! latter two are permutation-invariant, so their corrections are cached).
-//! Degenerate arrangements (empty class, too few complete pairs/blocks,
-//! zero variance) hit the same guards as the scalar functions and yield
-//! `NaN`.
+//! NA rows stay on the fast path — without a scalar gather fallback. Missing
+//! cells are stored as `+0.0` in the lanes, which is **bitwise-neutral** in
+//! every running sum (an IEEE accumulator starting at `+0.0` can never
+//! become `-0.0` by adding finite values, and `x + ±0.0` then preserves
+//! `x`'s bits — see `stats::soa`). Only the *counts* need fixing: each dirty
+//! gene keeps a missing-column bitset ([`MissMask`]) that is ANDed with a
+//! per-arrangement selected-column bitset — one popcount per dirty gene, no
+//! per-cell branches. The paired designs need no correction at all: their
+//! exclusions (incomplete pairs/blocks) are permutation-invariant and
+//! cached. Degenerate arrangements (empty class, too few complete
+//! pairs/blocks, zero variance) hit the same guards as the scalar functions
+//! and yield `NaN`.
 //!
 //! ## Numerical-equivalence policy
 //!
 //! The fast path is constructed so that exceedance *counts* (the integers
 //! the p-values are made of) match the reference scalar scorer:
 //!
-//! - every gather walks columns in ascending order — the exact order the
-//!   scalar statistic pushes values into its accumulators — so the gathered
-//!   sums are **bitwise identical** to the scalar ones, and Wilcoxon,
-//!   paired t and block F are bitwise identical end to end;
+//! - every lane accumulation walks columns in ascending order — the exact
+//!   order the scalar statistic pushes values into its accumulators — and
+//!   zeroed missing cells are bitwise-neutral, so the per-gene `f64` sums
+//!   are **bitwise identical** to the scalar ones, and Wilcoxon, paired t
+//!   and block F are bitwise identical end to end;
 //! - only the two-sample subtraction S−s₁ / Q−q₁ re-associates a sum, an
 //!   error of a few ulps; the combining formulas mirror the scalar
 //!   operation sequence (same literals, clamps and guards) so the final
 //!   statistic differs by ulps at most;
+//! - per (gene, arrangement) the operation sequence is independent of the
+//!   tile/chunk geometry, so results are bitwise stable across any batch
+//!   shape;
 //! - the maxT count comparisons carry an absolute slack of
 //!   [`crate::maxt::EPSILON`] = 1e-10, orders of magnitude above ulp noise,
 //!   so the counts agree;
 //! - observed statistics are computed through the *same* scorer as the
 //!   permuted ones, so the identity permutation compares a value against
 //!   itself and always counts, whichever scorer is active.
+//!
+//! ## Precision
+//!
+//! The fast scorers are generic over the accumulation element
+//! ([`Real`]): `f64` is the default and the only mode with the bitwise
+//! guarantees above; `f32` (opt-in via [`Precision::F32`] /
+//! `SPRINT_PRECISION=f32`) halves the cached-tile footprint and doubles
+//! SIMD lane width at a documented relative-error cost (DESIGN.md §4.10).
+//! The scalar reference scorer is always `f64`.
 
 use crate::labels::ClassLabels;
 use crate::matrix::Matrix;
-use crate::options::{KernelChoice, TestMethod};
+use crate::options::{KernelChoice, Precision, TestMethod};
+use crate::stats::block_f::blockf_from_sums;
+use crate::stats::f_stat::f_from_sums;
 use crate::stats::moments::pivot_of;
+use crate::stats::pair_t::pairt_from_moments;
+use crate::stats::soa::{
+    lane_add, lane_add_scaled, lane_add_sq, push_sel_mask, MissMask, Real, SoaColumns, SOA_TILE,
+};
+use crate::stats::two_sample::{equalvar_from_moments, welch_from_moments};
+use crate::stats::wilcoxon::wilcoxon_from_counts;
 use crate::stats::StatComputer;
 
 /// Reusable per-thread scratch owned by the caller and shaped by the scorer:
-/// permutation-derived index lists, pair signs and treatment-sum temporaries
-/// live here so the batch loop performs no allocation.
+/// permutation-derived index lists, pair signs, selection bitsets and lane
+/// accumulators live here so the batch loop performs no allocation.
 #[derive(Debug, Default, Clone)]
 pub struct ScorerScratch {
     /// Flattened per-arrangement column-index lists (group-1 lists for the
@@ -82,8 +113,49 @@ pub struct ScorerScratch {
     offsets: Vec<usize>,
     /// Per-arrangement pair signs (±1.0) for paired t, `vals[j·pairs + p]`.
     vals: Vec<f64>,
-    /// Treatment-sum temporary for block F (≥ k slots).
-    tmp: Vec<f64>,
+    /// Per-arrangement selected-column bitsets (one per arrangement for the
+    /// two-sample family, class-major for F), only built when the data has
+    /// dirty genes.
+    sel: Vec<u64>,
+    /// `f64` lane accumulators (statistic sections × tile width).
+    lanes64: Vec<f64>,
+    /// `f32` lane accumulators for the reduced-precision mode.
+    lanes32: Vec<f32>,
+}
+
+/// Borrow-split view of [`ScorerScratch`]: the per-arrangement structures
+/// stay readable while one precision's lane buffer is written. Public only
+/// because [`crate::stats::soa::Real`] (a public bound of the fast scorers)
+/// returns it; the fields stay crate-private.
+#[doc(hidden)]
+pub struct ScratchParts<'s, R> {
+    pub(crate) idx: &'s [usize],
+    pub(crate) offsets: &'s [usize],
+    pub(crate) signs: &'s [f64],
+    pub(crate) sel: &'s [u64],
+    pub(crate) lanes: &'s mut Vec<R>,
+}
+
+impl ScorerScratch {
+    pub(crate) fn parts_f64(&mut self) -> ScratchParts<'_, f64> {
+        ScratchParts {
+            idx: &self.idx,
+            offsets: &self.offsets,
+            signs: &self.vals,
+            sel: &self.sel,
+            lanes: &mut self.lanes64,
+        }
+    }
+
+    pub(crate) fn parts_f32(&mut self) -> ScratchParts<'_, f32> {
+        ScratchParts {
+            idx: &self.idx,
+            offsets: &self.offsets,
+            signs: &self.vals,
+            sel: &self.sel,
+            lanes: &mut self.lanes32,
+        }
+    }
 }
 
 /// A prepared statistic evaluator: sufficient statistics cached at
@@ -91,13 +163,19 @@ pub struct ScorerScratch {
 /// [`Scorer::score_tile`], one-shot scoring through [`Scorer::stats_into`].
 pub trait Scorer: std::fmt::Debug + Send + Sync {
     /// Which implementation is active: `"scalar"` for the reference
-    /// per-column path, otherwise the statistic's fast path name.
+    /// per-column path, otherwise the statistic's fast path name (with a
+    /// `-f32` suffix in the reduced-precision mode).
     fn path(&self) -> &'static str;
 
     /// Allocate scratch for this scorer (callers keep one per thread).
     fn make_scratch(&self) -> ScorerScratch {
         ScorerScratch::default()
     }
+
+    /// Pre-size the lane accumulators for tiles up to `max_tile` genes, so
+    /// the first `score_tile` call performs no allocation. Optional — the
+    /// tiles size themselves on demand.
+    fn warm_scratch(&self, _scratch: &mut ScorerScratch, _max_tile: usize) {}
 
     /// Derive the per-arrangement structures for a batch of label buffers.
     /// Must be called before [`Scorer::score_tile`] whenever the batch
@@ -131,29 +209,40 @@ pub trait Scorer: std::fmt::Debug + Send + Sync {
 
 /// Build the scorer for a run: the method's fast sufficient-statistic
 /// implementation under `Auto`/`Fast`, the reference scalar scorer under
-/// `Scalar` (the `SPRINT_KERNEL` debug override is applied first). Emits a
-/// once-per-process stderr note naming the chosen path per method, so a
-/// forced scalar run is never silent.
+/// `Scalar` (the `SPRINT_KERNEL` and `SPRINT_PRECISION` debug overrides are
+/// applied first). `precision` selects the accumulation element of the fast
+/// path; the scalar scorer is always `f64`. Emits a once-per-process stderr
+/// note naming the chosen path per method, so a forced scalar or `f32` run
+/// is never silent.
 pub fn build_scorer<'a>(
     data: &'a Matrix,
     labels: &ClassLabels,
     method: TestMethod,
     choice: KernelChoice,
+    precision: Precision,
 ) -> Box<dyn Scorer + 'a> {
     let computer = StatComputer::new(method, labels);
     let scorer: Box<dyn Scorer + 'a> = match choice.env_override() {
         KernelChoice::Scalar => Box::new(ScalarScorer { data, computer }),
-        KernelChoice::Auto | KernelChoice::Fast => match method {
-            TestMethod::T => Box::new(TwoSampleScorer::new(data, true)),
-            TestMethod::TEqualVar => Box::new(TwoSampleScorer::new(data, false)),
-            TestMethod::Wilcoxon => Box::new(WilcoxonScorer::new(data)),
-            TestMethod::F => Box::new(FScorer::new(data, computer.classes())),
-            TestMethod::PairT => Box::new(PairTScorer::new(data)),
-            TestMethod::BlockF => Box::new(BlockFScorer::new(data, computer.classes())),
+        KernelChoice::Auto | KernelChoice::Fast => match precision.env_override() {
+            Precision::F64 => fast_scorer::<f64>(data, method, computer.classes()),
+            Precision::F32 => fast_scorer::<f32>(data, method, computer.classes()),
         },
     };
     note_scorer_path(method, scorer.path());
     scorer
+}
+
+/// Construct the method's fast scorer at one accumulation precision.
+fn fast_scorer<R: Real>(data: &Matrix, method: TestMethod, k: usize) -> Box<dyn Scorer> {
+    match method {
+        TestMethod::T => Box::new(TwoSampleScorer::<R>::new(data, true)),
+        TestMethod::TEqualVar => Box::new(TwoSampleScorer::<R>::new(data, false)),
+        TestMethod::Wilcoxon => Box::new(WilcoxonScorer::<R>::new(data)),
+        TestMethod::F => Box::new(FScorer::<R>::new(data, k)),
+        TestMethod::PairT => Box::new(PairTScorer::<R>::new(data)),
+        TestMethod::BlockF => Box::new(BlockFScorer::<R>::new(data, k)),
+    }
 }
 
 /// Note (once per method/path pair per process) which scorer a run uses.
@@ -239,46 +328,52 @@ impl Scorer for ScalarScorer<'_> {
     }
 }
 
-/// Fast scorer for `t` (Welch) and `t.equalvar`: cached pivot-shifted rows
-/// with per-row totals S, Q; each arrangement needs only the group-1 gather.
+/// Fast scorer for `t` (Welch) and `t.equalvar`: pivot-shifted values in
+/// column-major lanes with per-gene totals S, Q; each arrangement needs one
+/// fused sum/square-sum lane accumulation over its group-1 columns.
 #[derive(Debug)]
-pub struct TwoSampleScorer {
+pub struct TwoSampleScorer<R: Real> {
     welch: bool,
     cols: usize,
-    /// Pivot-shifted row values, row-major; `NaN` cells preserved.
-    values: Vec<f64>,
-    /// Per row: S = Σ shifted non-missing values (ascending column order).
-    total_sum: Vec<f64>,
-    /// Per row: Q = Σ shifted² non-missing values.
-    total_sumsq: Vec<f64>,
-    /// Per row: non-missing cell count.
+    /// Pivot-shifted values, column-major; missing cells hold `+0.0`.
+    vals: SoaColumns<R>,
+    /// Per gene: S = Σ shifted non-missing values (ascending column order).
+    total_sum: Vec<R>,
+    /// Per gene: Q = Σ shifted² non-missing values.
+    total_sumsq: Vec<R>,
+    /// Per gene: non-missing cell count.
     row_n: Vec<usize>,
-    /// Per row: no missing cells (enables the check-free gather).
+    /// Per gene: no missing cells (skips the popcount correction).
     clean: Vec<bool>,
+    /// Any gene dirty (enables the per-arrangement selection bitsets).
+    any_dirty: bool,
+    /// Per-gene missing-column bitsets.
+    miss: MissMask,
 }
 
-impl TwoSampleScorer {
+impl<R: Real> TwoSampleScorer<R> {
     /// Cache sufficient statistics for a prepared matrix.
     pub fn new(data: &Matrix, welch: bool) -> Self {
         let cols = data.cols();
         let rows = data.rows();
-        let mut values = Vec::with_capacity(rows * cols);
+        let mut vals = SoaColumns::new(rows, cols);
         let mut total_sum = Vec::with_capacity(rows);
         let mut total_sumsq = Vec::with_capacity(rows);
         let mut row_n = Vec::with_capacity(rows);
         let mut clean = Vec::with_capacity(rows);
+        let mut miss = MissMask::new(rows, cols);
         for g in 0..rows {
             let row = data.row(g);
             let pivot = pivot_of(row);
-            let mut s = 0.0;
-            let mut q = 0.0;
+            let mut s = R::ZERO;
+            let mut q = R::ZERO;
             let mut n = 0usize;
-            for &v in row {
+            for (c, &v) in row.iter().enumerate() {
                 if v.is_nan() {
-                    values.push(f64::NAN);
+                    miss.set(g, c); // cell stays +0.0 in the lane
                 } else {
-                    let x = v - pivot;
-                    values.push(x);
+                    let x = R::from_f64(v - pivot);
+                    vals.set(c, g, x);
                     s += x;
                     q += x * x;
                     n += 1;
@@ -289,25 +384,44 @@ impl TwoSampleScorer {
             row_n.push(n);
             clean.push(n == cols);
         }
+        let any_dirty = clean.iter().any(|&c| !c);
         TwoSampleScorer {
             welch,
             cols,
-            values,
+            vals,
             total_sum,
             total_sumsq,
             row_n,
             clean,
+            any_dirty,
+            miss,
         }
     }
 }
 
-impl Scorer for TwoSampleScorer {
+impl<R: Real> Scorer for TwoSampleScorer<R> {
     fn path(&self) -> &'static str {
-        "two-sample"
+        if R::IS_F32 {
+            "two-sample-f32"
+        } else {
+            "two-sample"
+        }
+    }
+
+    fn warm_scratch(&self, scratch: &mut ScorerScratch, max_tile: usize) {
+        R::parts(scratch)
+            .lanes
+            .resize(2 * max_tile.min(SOA_TILE), R::ZERO);
     }
 
     fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
         group1_lists(labels_bufs, scratch);
+        scratch.sel.clear();
+        if self.any_dirty {
+            for labels in labels_bufs {
+                push_sel_mask(&mut scratch.sel, self.miss.words(), labels, 1);
+            }
+        }
     }
 
     fn score_tile(
@@ -319,102 +433,136 @@ impl Scorer for TwoSampleScorer {
         stride: usize,
     ) {
         debug_assert!(labels_bufs.len() <= stride);
-        let cols = self.cols;
-        for g in genes {
-            let row = &self.values[g * cols..(g + 1) * cols];
-            let s = self.total_sum[g];
-            let q = self.total_sumsq[g];
-            let clean = self.clean[g];
-            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
-            for (j, slot) in slots.iter_mut().enumerate() {
-                let idx = &scratch.idx[scratch.offsets[j]..scratch.offsets[j + 1]];
-                let (n1, n0, s1, q1) = if clean {
-                    let n1 = idx.len();
-                    let mut s1 = 0.0;
-                    let mut q1 = 0.0;
-                    for &jc in idx {
-                        let v = row[jc];
-                        s1 += v;
-                        q1 += v * v;
-                    }
-                    (n1, cols - n1, s1, q1)
-                } else {
-                    let mut n1 = 0usize;
-                    let mut s1 = 0.0;
-                    let mut q1 = 0.0;
-                    for &jc in idx {
-                        let v = row[jc];
-                        if !v.is_nan() {
-                            n1 += 1;
-                            s1 += v;
-                            q1 += v * v;
-                        }
-                    }
-                    (n1, self.row_n[g] - n1, s1, q1)
-                };
-                // Mirrors the scalar guard `g0.n < 2 || g1.n < 2` on the
-                // post-NA-exclusion counts.
-                if n0 < 2 || n1 < 2 {
-                    *slot = f64::NAN;
-                    continue;
+        let parts = R::parts(scratch);
+        let words = self.miss.words();
+        let mut start = genes.start;
+        while start < genes.end {
+            let chunk = start..(start + SOA_TILE).min(genes.end);
+            let width = chunk.len();
+            parts.lanes.resize(2 * width, R::ZERO);
+            let (s1l, q1l) = parts.lanes.split_at_mut(width);
+            for j in 0..labels_bufs.len() {
+                let idx = &parts.idx[parts.offsets[j]..parts.offsets[j + 1]];
+                s1l.fill(R::ZERO);
+                q1l.fill(R::ZERO);
+                // Group-1 columns ascending (the scalar push order), genes
+                // inner: the autovectorized hot loop.
+                for &jc in idx {
+                    lane_add_sq(s1l, q1l, self.vals.col(jc, &chunk));
                 }
-                let s0 = s - s1;
-                let q0 = q - q1;
-                *slot = if self.welch {
-                    welch_from_moments(n0 as f64, s0, q0, n1 as f64, s1, q1)
+                let sel: &[u64] = if self.any_dirty {
+                    &parts.sel[j * words..(j + 1) * words]
                 } else {
-                    equalvar_from_moments(n0 as f64, s0, q0, n1 as f64, s1, q1)
+                    &[]
                 };
+                for (lane, g) in chunk.clone().enumerate() {
+                    let slot = &mut out[g * stride + j];
+                    let (n1, n0) = if self.clean[g] {
+                        (idx.len(), self.cols - idx.len())
+                    } else {
+                        let n1 = idx.len() - MissMask::overlap(sel, self.miss.gene(g));
+                        (n1, self.row_n[g] - n1)
+                    };
+                    // Mirrors the scalar guard `g0.n < 2 || g1.n < 2` on the
+                    // post-NA-exclusion counts.
+                    if n0 < 2 || n1 < 2 {
+                        *slot = f64::NAN;
+                        continue;
+                    }
+                    let s1 = s1l[lane];
+                    let q1 = q1l[lane];
+                    let s0 = self.total_sum[g] - s1;
+                    let q0 = self.total_sumsq[g] - q1;
+                    *slot = if self.welch {
+                        welch_from_moments(R::from_usize(n0), s0, q0, R::from_usize(n1), s1, q1)
+                            .to_f64()
+                    } else {
+                        equalvar_from_moments(R::from_usize(n0), s0, q0, R::from_usize(n1), s1, q1)
+                            .to_f64()
+                    };
+                }
             }
+            start = chunk.end;
         }
     }
 }
 
-/// Fast scorer for `wilcoxon`: rows are cached midranks, the group-1 gather
-/// is the rank sum W, and the statistic is a pure function of W and the
+/// Fast scorer for `wilcoxon`: lanes hold cached midranks, the group-1 lane
+/// sum is the rank sum W, and the statistic is a pure function of W and the
 /// group sizes — bitwise identical to the scalar path end to end.
 #[derive(Debug)]
-pub struct WilcoxonScorer {
+pub struct WilcoxonScorer<R: Real> {
     cols: usize,
-    /// Midrank rows, row-major; `NaN` cells preserved.
-    values: Vec<f64>,
-    /// Per row: non-missing cell count.
+    /// Midranks, column-major; missing cells hold `+0.0`.
+    vals: SoaColumns<R>,
+    /// Per gene: non-missing cell count.
     row_n: Vec<usize>,
-    /// Per row: no missing cells.
+    /// Per gene: no missing cells.
     clean: Vec<bool>,
+    /// Any gene dirty.
+    any_dirty: bool,
+    /// Per-gene missing-column bitsets.
+    miss: MissMask,
 }
 
-impl WilcoxonScorer {
+impl<R: Real> WilcoxonScorer<R> {
     /// Cache the (already rank-transformed) rows.
     pub fn new(data: &Matrix) -> Self {
         let cols = data.cols();
         let rows = data.rows();
-        let mut values = Vec::with_capacity(rows * cols);
+        let mut vals = SoaColumns::new(rows, cols);
         let mut row_n = Vec::with_capacity(rows);
         let mut clean = Vec::with_capacity(rows);
+        let mut miss = MissMask::new(rows, cols);
         for g in 0..rows {
             let row = data.row(g);
-            let n = row.iter().filter(|v| !v.is_nan()).count();
-            values.extend_from_slice(row);
+            let mut n = 0usize;
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_nan() {
+                    miss.set(g, c);
+                } else {
+                    vals.set(c, g, R::from_f64(v));
+                    n += 1;
+                }
+            }
             row_n.push(n);
             clean.push(n == cols);
         }
+        let any_dirty = clean.iter().any(|&c| !c);
         WilcoxonScorer {
             cols,
-            values,
+            vals,
             row_n,
             clean,
+            any_dirty,
+            miss,
         }
     }
 }
 
-impl Scorer for WilcoxonScorer {
+impl<R: Real> Scorer for WilcoxonScorer<R> {
     fn path(&self) -> &'static str {
-        "wilcoxon"
+        if R::IS_F32 {
+            "wilcoxon-f32"
+        } else {
+            "wilcoxon"
+        }
+    }
+
+    fn warm_scratch(&self, scratch: &mut ScorerScratch, max_tile: usize) {
+        R::parts(scratch)
+            .lanes
+            .resize(max_tile.min(SOA_TILE), R::ZERO);
     }
 
     fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
         group1_lists(labels_bufs, scratch);
+        scratch.sel.clear();
+        if self.any_dirty {
+            for labels in labels_bufs {
+                push_sel_mask(&mut scratch.sel, self.miss.words(), labels, 1);
+            }
+        }
     }
 
     fn score_tile(
@@ -426,107 +574,123 @@ impl Scorer for WilcoxonScorer {
         stride: usize,
     ) {
         debug_assert!(labels_bufs.len() <= stride);
-        let cols = self.cols;
-        for g in genes {
-            let row = &self.values[g * cols..(g + 1) * cols];
-            let clean = self.clean[g];
-            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
-            for (j, slot) in slots.iter_mut().enumerate() {
-                let idx = &scratch.idx[scratch.offsets[j]..scratch.offsets[j + 1]];
-                let (n1, n0, w) = if clean {
-                    let mut w = 0.0;
-                    for &jc in idx {
-                        w += row[jc];
-                    }
-                    (idx.len(), cols - idx.len(), w)
+        let parts = R::parts(scratch);
+        let words = self.miss.words();
+        let mut start = genes.start;
+        while start < genes.end {
+            let chunk = start..(start + SOA_TILE).min(genes.end);
+            let width = chunk.len();
+            parts.lanes.resize(width, R::ZERO);
+            let wl = &mut parts.lanes[..width];
+            for j in 0..labels_bufs.len() {
+                let idx = &parts.idx[parts.offsets[j]..parts.offsets[j + 1]];
+                wl.fill(R::ZERO);
+                for &jc in idx {
+                    lane_add(wl, self.vals.col(jc, &chunk));
+                }
+                let sel: &[u64] = if self.any_dirty {
+                    &parts.sel[j * words..(j + 1) * words]
                 } else {
-                    let mut n1 = 0usize;
-                    let mut w = 0.0;
-                    for &jc in idx {
-                        let v = row[jc];
-                        if !v.is_nan() {
-                            n1 += 1;
-                            w += v;
-                        }
-                    }
-                    (n1, self.row_n[g] - n1, w)
+                    &[]
                 };
-                if n0 == 0 || n1 == 0 {
-                    *slot = f64::NAN;
-                    continue;
+                for (lane, g) in chunk.clone().enumerate() {
+                    let slot = &mut out[g * stride + j];
+                    let (n1, n0) = if self.clean[g] {
+                        (idx.len(), self.cols - idx.len())
+                    } else {
+                        let n1 = idx.len() - MissMask::overlap(sel, self.miss.gene(g));
+                        (n1, self.row_n[g] - n1)
+                    };
+                    *slot = if n0 == 0 || n1 == 0 {
+                        f64::NAN
+                    } else {
+                        wilcoxon_from_counts(n0, n1, wl[lane]).to_f64()
+                    };
                 }
-                let n = (n0 + n1) as f64;
-                let expect = n1 as f64 * (n + 1.0) / 2.0;
-                let var = n0 as f64 * n1 as f64 * (n + 1.0) / 12.0;
-                if var <= 0.0 {
-                    *slot = f64::NAN;
-                    continue;
-                }
-                *slot = (w - expect) / var.sqrt();
             }
+            start = chunk.end;
         }
     }
 }
 
-/// Fast scorer for the one-way `f` statistic over k classes: per-class
-/// gathers (n_c, s_c, q_c) from cached pivot-shifted rows reproduce the
-/// scalar between/within decomposition bitwise.
+/// Fast scorer for the one-way `f` statistic over k classes: per-class lane
+/// sums (s_c, q_c) from pivot-shifted lanes reproduce the scalar
+/// between/within decomposition bitwise; the grand mean is
+/// permutation-invariant and cached.
 #[derive(Debug)]
-pub struct FScorer {
+pub struct FScorer<R: Real> {
     k: usize,
-    cols: usize,
-    /// Pivot-shifted rows, row-major; `NaN` cells preserved.
-    values: Vec<f64>,
-    /// Per row: Σ shifted non-missing values (= the scalar grand total).
-    total_sum: Vec<f64>,
-    /// Per row: non-missing cell count.
+    /// Pivot-shifted values, column-major; missing cells hold `+0.0`.
+    vals: SoaColumns<R>,
+    /// Per gene: grand mean S/n of the non-missing values
+    /// (permutation-invariant; garbage when `row_n == 0`, guarded by
+    /// `n <= k`).
+    grand_mean: Vec<R>,
+    /// Per gene: non-missing cell count.
     row_n: Vec<usize>,
-    /// Per row: no missing cells.
+    /// Per gene: no missing cells.
     clean: Vec<bool>,
+    /// Any gene dirty.
+    any_dirty: bool,
+    /// Per-gene missing-column bitsets.
+    miss: MissMask,
 }
 
-impl FScorer {
+impl<R: Real> FScorer<R> {
     /// Cache sufficient statistics; `k` is the class count of the design.
     pub fn new(data: &Matrix, k: usize) -> Self {
         let cols = data.cols();
         let rows = data.rows();
-        let mut values = Vec::with_capacity(rows * cols);
-        let mut total_sum = Vec::with_capacity(rows);
+        let mut vals = SoaColumns::new(rows, cols);
+        let mut grand_mean = Vec::with_capacity(rows);
         let mut row_n = Vec::with_capacity(rows);
         let mut clean = Vec::with_capacity(rows);
+        let mut miss = MissMask::new(rows, cols);
         for g in 0..rows {
             let row = data.row(g);
             let pivot = pivot_of(row);
-            let mut s = 0.0;
+            let mut s = R::ZERO;
             let mut n = 0usize;
-            for &v in row {
+            for (c, &v) in row.iter().enumerate() {
                 if v.is_nan() {
-                    values.push(f64::NAN);
+                    miss.set(g, c);
                 } else {
-                    let x = v - pivot;
-                    values.push(x);
+                    let x = R::from_f64(v - pivot);
+                    vals.set(c, g, x);
                     s += x;
                     n += 1;
                 }
             }
-            total_sum.push(s);
+            grand_mean.push(s / R::from_usize(n));
             row_n.push(n);
             clean.push(n == cols);
         }
+        let any_dirty = clean.iter().any(|&c| !c);
         FScorer {
             k,
-            cols,
-            values,
-            total_sum,
+            vals,
+            grand_mean,
             row_n,
             clean,
+            any_dirty,
+            miss,
         }
     }
 }
 
-impl Scorer for FScorer {
+impl<R: Real> Scorer for FScorer<R> {
     fn path(&self) -> &'static str {
-        "f"
+        if R::IS_F32 {
+            "f-f32"
+        } else {
+            "f"
+        }
+    }
+
+    fn warm_scratch(&self, scratch: &mut ScorerScratch, max_tile: usize) {
+        R::parts(scratch)
+            .lanes
+            .resize(4 * max_tile.min(SOA_TILE), R::ZERO);
     }
 
     fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
@@ -536,6 +700,7 @@ impl Scorer for FScorer {
         scratch.idx.clear();
         scratch.offsets.clear();
         scratch.offsets.push(0);
+        scratch.sel.clear();
         for labels in labels_bufs {
             for c in 0..self.k {
                 for (j, &l) in labels.iter().enumerate() {
@@ -544,6 +709,9 @@ impl Scorer for FScorer {
                     }
                 }
                 scratch.offsets.push(scratch.idx.len());
+                if self.any_dirty {
+                    push_sel_mask(&mut scratch.sel, self.miss.words(), labels, c as u8);
+                }
             }
         }
     }
@@ -557,138 +725,165 @@ impl Scorer for FScorer {
         stride: usize,
     ) {
         debug_assert!(labels_bufs.len() <= stride);
-        let cols = self.cols;
         let k = self.k;
-        for g in genes {
-            let row = &self.values[g * cols..(g + 1) * cols];
-            let n = self.row_n[g];
-            let clean = self.clean[g];
-            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
-            for (j, slot) in slots.iter_mut().enumerate() {
-                // Mirrors the scalar `n <= k` degrees-of-freedom guard; the
-                // non-missing count is permutation-invariant.
-                if n <= k {
-                    *slot = f64::NAN;
-                    continue;
-                }
-                let grand_mean = self.total_sum[g] / n as f64;
-                let mut ss_between = 0.0;
-                let mut ss_within = 0.0;
-                let mut empty_class = false;
+        let parts = R::parts(scratch);
+        let words = self.miss.words();
+        // Class sizes are permutation-invariant, so arrangement 0 tells all:
+        // an empty class plants NaN markers in every lane of every tile and
+        // the branch-free output sweep must stand down.
+        let has_empty_class = (0..k).any(|c| parts.offsets[c + 1] == parts.offsets[c]);
+        let mut start = genes.start;
+        while start < genes.end {
+            let chunk = start..(start + SOA_TILE).min(genes.end);
+            let width = chunk.len();
+            // A fully clean sub-tile runs the branch-free lane loops below:
+            // per-class counts are then tile-uniform (permutations preserve
+            // class sizes), so the finalization sweeps autovectorize. The
+            // arithmetic sequence per lane is the same either way — the
+            // split is a control-flow specialization, not a formula change.
+            let all_clean = !self.any_dirty || self.clean[chunk.clone()].iter().all(|&c| c);
+            let gm = &self.grand_mean[chunk.clone()];
+            parts.lanes.resize(4 * width, R::ZERO);
+            let (scl, rest) = parts.lanes.split_at_mut(width);
+            let (qcl, rest) = rest.split_at_mut(width);
+            let (ssb, ssw) = rest.split_at_mut(width);
+            for j in 0..labels_bufs.len() {
+                ssb.fill(R::ZERO);
+                ssw.fill(R::ZERO);
+                // Classes in ascending order (the scalar combine order);
+                // within a class, columns ascending (the scalar push order).
                 for c in 0..k {
-                    let cls =
-                        &scratch.idx[scratch.offsets[j * k + c]..scratch.offsets[j * k + c + 1]];
-                    let (nc, sc, qc) = if clean {
-                        let mut sc = 0.0;
-                        let mut qc = 0.0;
-                        for &jc in cls {
-                            let v = row[jc];
-                            sc += v;
-                            qc += v * v;
-                        }
-                        (cls.len(), sc, qc)
-                    } else {
-                        let mut nc = 0usize;
-                        let mut sc = 0.0;
-                        let mut qc = 0.0;
-                        for &jc in cls {
-                            let v = row[jc];
-                            if !v.is_nan() {
-                                nc += 1;
-                                sc += v;
-                                qc += v * v;
-                            }
-                        }
-                        (nc, sc, qc)
-                    };
-                    if nc == 0 {
-                        empty_class = true;
-                        break;
+                    let cls = &parts.idx[parts.offsets[j * k + c]..parts.offsets[j * k + c + 1]];
+                    scl.fill(R::ZERO);
+                    qcl.fill(R::ZERO);
+                    for &jc in cls {
+                        lane_add_sq(scl, qcl, self.vals.col(jc, &chunk));
                     }
-                    let ncf = nc as f64;
-                    // Scalar sequence: d = mean − grand_mean, SSB += n·d²,
-                    // SSW += (q − s²/n).max(0).
-                    let d = sc / ncf - grand_mean;
-                    ss_between += ncf * d * d;
-                    ss_within += (qc - sc * sc / ncf).max(0.0);
+                    if all_clean && !cls.is_empty() {
+                        let ncf = R::from_usize(cls.len());
+                        // Scalar sequence: d = mean − grand_mean,
+                        // SSB += n·d², SSW += (q − s²/n).max(0).
+                        for lane in 0..width {
+                            let d = scl[lane] / ncf - gm[lane];
+                            ssb[lane] += ncf * d * d;
+                            ssw[lane] += (qcl[lane] - scl[lane] * scl[lane] / ncf).max(R::ZERO);
+                        }
+                        continue;
+                    }
+                    let sel: &[u64] = if self.any_dirty {
+                        &parts.sel[(j * k + c) * words..(j * k + c + 1) * words]
+                    } else {
+                        &[]
+                    };
+                    for (lane, g) in chunk.clone().enumerate() {
+                        let nc = if self.clean[g] {
+                            cls.len()
+                        } else {
+                            cls.len() - MissMask::overlap(sel, self.miss.gene(g))
+                        };
+                        if nc == 0 {
+                            // Empty class ⇒ NaN; the marker survives later
+                            // classes because NaN + x = NaN.
+                            ssw[lane] = R::nan();
+                            continue;
+                        }
+                        let ncf = R::from_usize(nc);
+                        // Scalar sequence: d = mean − grand_mean, SSB += n·d²,
+                        // SSW += (q − s²/n).max(0).
+                        let d = scl[lane] / ncf - self.grand_mean[g];
+                        ssb[lane] += ncf * d * d;
+                        ssw[lane] += (qcl[lane] - scl[lane] * scl[lane] / ncf).max(R::ZERO);
+                    }
                 }
-                if empty_class {
-                    *slot = f64::NAN;
+                if all_clean && !has_empty_class && self.row_n[chunk.start] > k {
+                    // Clean tile: n is tile-uniform, no NaN markers can have
+                    // been set (class sizes are permutation-invariant and
+                    // non-zero), so the output sweep is branch-free too.
+                    let n = self.row_n[chunk.start];
+                    for (lane, g) in chunk.clone().enumerate() {
+                        out[g * stride + j] = f_from_sums(k, n, ssb[lane], ssw[lane]).to_f64();
+                    }
                     continue;
                 }
-                let df_between = (k - 1) as f64;
-                let df_within = (n - k) as f64;
-                let ms_within = ss_within / df_within;
-                *slot = if ms_within <= 0.0 {
-                    f64::NAN
-                } else {
-                    (ss_between / df_between) / ms_within
-                };
+                for (lane, g) in chunk.clone().enumerate() {
+                    let n = self.row_n[g];
+                    // Mirrors the scalar `n <= k` degrees-of-freedom guard;
+                    // the non-missing count is permutation-invariant.
+                    out[g * stride + j] = if n <= k || ssw[lane].is_nan() {
+                        f64::NAN
+                    } else {
+                        f_from_sums(k, n, ssb[lane], ssw[lane]).to_f64()
+                    };
+                }
             }
+            start = chunk.end;
         }
     }
 }
 
 /// Fast scorer for `pairt`: per-pair base differences d⁰ = x₂ₚ₊₁ − x₂ₚ and
-/// their square sum are cached; an arrangement only flips signs, so each
-/// (gene, arrangement) is one ±-signed sum over the complete pairs.
+/// their square sum are cached; an arrangement only flips signs, so scoring
+/// is **gather-free** — one ±1-broadcast scaled lane add per pair.
 #[derive(Debug)]
-pub struct PairTScorer {
+pub struct PairTScorer<R: Real> {
     pairs: usize,
-    /// Base differences, row-major (`pairs` per gene); `NaN` marks an
-    /// incomplete pair (excluded whatever the arrangement).
-    diffs: Vec<f64>,
-    /// Per row: Σ d⁰² over complete pairs (sign-invariant, so equal to the
+    /// Base differences, column-major (one column per pair); incomplete
+    /// pairs hold `+0.0` (±1·0.0 is bitwise-neutral in the signed sum).
+    diffs: SoaColumns<R>,
+    /// Per gene: Σ d⁰² over complete pairs (sign-invariant, so equal to the
     /// scalar accumulator's square sum bitwise).
-    sumsq: Vec<f64>,
-    /// Per row: complete-pair count (permutation-invariant).
+    sumsq: Vec<R>,
+    /// Per gene: complete-pair count (permutation-invariant).
     n: Vec<usize>,
-    /// Per row: every pair complete.
-    clean: Vec<bool>,
 }
 
-impl PairTScorer {
+impl<R: Real> PairTScorer<R> {
     /// Cache pair differences for a prepared matrix.
     pub fn new(data: &Matrix) -> Self {
         let pairs = data.cols() / 2;
         let rows = data.rows();
-        let mut diffs = Vec::with_capacity(rows * pairs);
+        let mut diffs = SoaColumns::new(rows, pairs);
         let mut sumsq = Vec::with_capacity(rows);
         let mut n_vec = Vec::with_capacity(rows);
-        let mut clean = Vec::with_capacity(rows);
         for g in 0..rows {
             let row = data.row(g);
-            let mut q = 0.0;
+            let mut q = R::ZERO;
             let mut n = 0usize;
             for p in 0..pairs {
                 let a = row[2 * p];
                 let b = row[2 * p + 1];
-                if a.is_nan() || b.is_nan() {
-                    diffs.push(f64::NAN);
-                } else {
-                    let d = b - a;
-                    diffs.push(d);
+                if !(a.is_nan() || b.is_nan()) {
+                    let d = R::from_f64(b - a);
+                    diffs.set(p, g, d);
                     q += d * d;
                     n += 1;
                 }
             }
             sumsq.push(q);
             n_vec.push(n);
-            clean.push(n == pairs);
         }
         PairTScorer {
             pairs,
             diffs,
             sumsq,
             n: n_vec,
-            clean,
         }
     }
 }
 
-impl Scorer for PairTScorer {
+impl<R: Real> Scorer for PairTScorer<R> {
     fn path(&self) -> &'static str {
-        "pairt"
+        if R::IS_F32 {
+            "pairt-f32"
+        } else {
+            "pairt"
+        }
+    }
+
+    fn warm_scratch(&self, scratch: &mut ScorerScratch, max_tile: usize) {
+        R::parts(scratch)
+            .lanes
+            .resize(max_tile.min(SOA_TILE), R::ZERO);
     }
 
     fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
@@ -715,40 +910,31 @@ impl Scorer for PairTScorer {
     ) {
         debug_assert!(labels_bufs.len() <= stride);
         let pairs = self.pairs;
-        for g in genes {
-            let drow = &self.diffs[g * pairs..(g + 1) * pairs];
-            let n = self.n[g];
-            let clean = self.clean[g];
-            let slots = &mut out[g * stride..g * stride + labels_bufs.len()];
-            for (j, slot) in slots.iter_mut().enumerate() {
-                if n < 2 {
-                    *slot = f64::NAN;
-                    continue;
-                }
-                let signs = &scratch.vals[j * pairs..(j + 1) * pairs];
+        let parts = R::parts(scratch);
+        let mut start = genes.start;
+        while start < genes.end {
+            let chunk = start..(start + SOA_TILE).min(genes.end);
+            let width = chunk.len();
+            parts.lanes.resize(width, R::ZERO);
+            let sl = &mut parts.lanes[..width];
+            for j in 0..labels_bufs.len() {
+                let signs = &parts.signs[j * pairs..(j + 1) * pairs];
+                sl.fill(R::ZERO);
                 // ±1·d⁰ is bitwise the scalar's per-pair difference, and the
                 // pair-order sum matches the scalar accumulator exactly.
-                let mut s = 0.0;
-                if clean {
-                    for p in 0..pairs {
-                        s += signs[p] * drow[p];
-                    }
-                } else {
-                    for p in 0..pairs {
-                        let d = drow[p];
-                        if !d.is_nan() {
-                            s += signs[p] * d;
-                        }
-                    }
+                for (p, &w) in signs.iter().enumerate() {
+                    lane_add_scaled(sl, self.diffs.col(p, &chunk), R::from_f64(w));
                 }
-                let nf = n as f64;
-                let var = ((self.sumsq[g] - s * s / nf) / (nf - 1.0)).max(0.0);
-                *slot = if var <= 0.0 {
-                    f64::NAN
-                } else {
-                    (s / nf) / (var / nf).sqrt()
-                };
+                for (lane, g) in chunk.clone().enumerate() {
+                    let n = self.n[g];
+                    out[g * stride + j] = if n < 2 {
+                        f64::NAN
+                    } else {
+                        pairt_from_moments(n, sl[lane], self.sumsq[g]).to_f64()
+                    };
+                }
             }
+            start = chunk.end;
         }
     }
 }
@@ -756,39 +942,32 @@ impl Scorer for PairTScorer {
 /// Fast scorer for `blockf`: block sums, the grand totals, the correction
 /// term, SS_total and SS_block depend only on the data (complete-block
 /// exclusion is label-free), so they are cached; scoring an arrangement is
-/// one add per cell into k treatment sums plus an O(k) combine.
+/// one lane add per column into k treatment lanes plus an O(k) combine.
 #[derive(Debug)]
-pub struct BlockFScorer {
+pub struct BlockFScorer<R: Real> {
     k: usize,
     cols: usize,
-    /// Pivot-shifted rows, row-major; `NaN` cells preserved (never read:
-    /// incomplete blocks are excluded below).
-    values: Vec<f64>,
-    /// Flattened complete-block indices per gene.
-    complete: Vec<usize>,
-    /// Boundaries into `complete` (`rows + 1` entries).
-    complete_off: Vec<usize>,
-    /// Per row: complete-block count m.
+    /// Pivot-shifted values, column-major; cells of incomplete blocks hold
+    /// `+0.0` so every column can be added unconditionally.
+    vals: SoaColumns<R>,
+    /// Per gene: complete-block count m.
     m_used: Vec<usize>,
-    /// Per row: C = (grand sum)²/(m·k). Garbage when `m_used == 0` — the
+    /// Per gene: C = (grand sum)²/(m·k). Garbage when `m_used == 0` — the
     /// `m_used < 2` guard keeps it unread.
-    correction: Vec<f64>,
-    /// Per row: SS_total = (grand Σx² − C).max(0).
-    ss_total: Vec<f64>,
-    /// Per row: SS_block = (Σ_b (block sum)²/k − C).max(0).
-    ss_block: Vec<f64>,
+    correction: Vec<R>,
+    /// Per gene: SS_total = (grand Σx² − C).max(0).
+    ss_total: Vec<R>,
+    /// Per gene: SS_block = (Σ_b (block sum)²/k − C).max(0).
+    ss_block: Vec<R>,
 }
 
-impl BlockFScorer {
+impl<R: Real> BlockFScorer<R> {
     /// Cache block partials; `k` is the treatment count of the design.
     pub fn new(data: &Matrix, k: usize) -> Self {
         let cols = data.cols();
         let rows = data.rows();
         let blocks = cols / k;
-        let mut values = Vec::with_capacity(rows * cols);
-        let mut complete = Vec::new();
-        let mut complete_off = Vec::with_capacity(rows + 1);
-        complete_off.push(0);
+        let mut vals = SoaColumns::new(rows, cols);
         let mut m_used = Vec::with_capacity(rows);
         let mut correction = Vec::with_capacity(rows);
         let mut ss_total = Vec::with_capacity(rows);
@@ -796,24 +975,21 @@ impl BlockFScorer {
         for g in 0..rows {
             let row = data.row(g);
             let pivot = pivot_of(row);
-            for &v in row {
-                values.push(if v.is_nan() { f64::NAN } else { v - pivot });
-            }
-            let shifted = &values[g * cols..(g + 1) * cols];
             let mut m = 0usize;
-            let mut grand_sum = 0.0;
-            let mut grand_sumsq = 0.0;
-            let mut block_sum_sq = 0.0;
+            let mut grand_sum = R::ZERO;
+            let mut grand_sumsq = R::ZERO;
+            let mut block_sum_sq = R::ZERO;
             for b in 0..blocks {
                 let cells = &row[b * k..(b + 1) * k];
                 if cells.iter().any(|v| v.is_nan()) {
                     continue;
                 }
-                complete.push(b);
-                let mut bsum = 0.0;
+                let mut bsum = R::ZERO;
                 // The scalar path accumulates per cell in block order; the
                 // shifted values here are the same fl(v − pivot) bits.
-                for &x in &shifted[b * k..(b + 1) * k] {
+                for (i, &v) in cells.iter().enumerate() {
+                    let x = R::from_f64(v - pivot);
+                    vals.set(b * k + i, g, x);
                     bsum += x;
                     grand_sum += x;
                     grand_sumsq += x * x;
@@ -821,22 +997,17 @@ impl BlockFScorer {
                 block_sum_sq += bsum * bsum;
                 m += 1;
             }
-            complete_off.push(complete.len());
             m_used.push(m);
-            let mf = m as f64;
-            let kf = k as f64;
-            let n = mf * kf;
+            let n = R::from_usize(m * k);
             let c = grand_sum * grand_sum / n;
             correction.push(c);
-            ss_total.push((grand_sumsq - c).max(0.0));
-            ss_block.push((block_sum_sq / kf - c).max(0.0));
+            ss_total.push((grand_sumsq - c).max(R::ZERO));
+            ss_block.push((block_sum_sq / R::from_usize(k) - c).max(R::ZERO));
         }
         BlockFScorer {
             k,
             cols,
-            values,
-            complete,
-            complete_off,
+            vals,
             m_used,
             correction,
             ss_total,
@@ -845,16 +1016,22 @@ impl BlockFScorer {
     }
 }
 
-impl Scorer for BlockFScorer {
+impl<R: Real> Scorer for BlockFScorer<R> {
     fn path(&self) -> &'static str {
-        "blockf"
-    }
-
-    fn begin_batch(&self, _labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
-        if scratch.tmp.len() < self.k {
-            scratch.tmp.resize(self.k, 0.0);
+        if R::IS_F32 {
+            "blockf-f32"
+        } else {
+            "blockf"
         }
     }
+
+    fn warm_scratch(&self, scratch: &mut ScorerScratch, max_tile: usize) {
+        R::parts(scratch)
+            .lanes
+            .resize(self.k * max_tile.min(SOA_TILE), R::ZERO);
+    }
+
+    fn begin_batch(&self, _labels_bufs: &[Vec<u8>], _scratch: &mut ScorerScratch) {}
 
     fn score_tile(
         &self,
@@ -865,73 +1042,47 @@ impl Scorer for BlockFScorer {
         stride: usize,
     ) {
         debug_assert!(labels_bufs.len() <= stride);
-        let cols = self.cols;
         let k = self.k;
-        let kf = k as f64;
-        let treat_sums = &mut scratch.tmp[..k];
-        for g in genes {
-            let m_used = self.m_used[g];
-            let slots_len = labels_bufs.len();
-            if m_used < 2 {
-                for slot in &mut out[g * stride..g * stride + slots_len] {
-                    *slot = f64::NAN;
-                }
-                continue;
-            }
-            let row = &self.values[g * cols..(g + 1) * cols];
-            let blocks = &self.complete[self.complete_off[g]..self.complete_off[g + 1]];
-            let m = m_used as f64;
+        let parts = R::parts(scratch);
+        let mut start = genes.start;
+        while start < genes.end {
+            let chunk = start..(start + SOA_TILE).min(genes.end);
+            let width = chunk.len();
+            parts.lanes.resize(k * width, R::ZERO);
             for (j, labels) in labels_bufs.iter().enumerate() {
-                treat_sums.fill(0.0);
-                // One add per cell, in the scalar's exact block-by-block cell
-                // order; each treatment accumulator sees the same sequence.
-                for &b in blocks {
-                    for col in b * k..(b + 1) * k {
-                        treat_sums[labels[col] as usize] += row[col];
-                    }
+                parts.lanes.fill(R::ZERO);
+                // One lane add per column, in the scalar's exact ascending
+                // cell order; excluded cells contribute a bitwise-neutral
+                // +0.0 to whatever treatment their label names.
+                for (col, &l) in labels.iter().enumerate().take(self.cols) {
+                    let t = l as usize;
+                    lane_add(
+                        &mut parts.lanes[t * width..(t + 1) * width],
+                        self.vals.col(col, &chunk),
+                    );
                 }
-                let ss_treat = (treat_sums.iter().map(|s| s * s).sum::<f64>() / m
-                    - self.correction[g])
-                    .max(0.0);
-                let ss_err = (self.ss_total[g] - ss_treat - self.ss_block[g]).max(0.0);
-                let df_treat = kf - 1.0;
-                let df_err = (kf - 1.0) * (m - 1.0);
-                let ms_err = ss_err / df_err;
-                out[g * stride + j] = if ms_err <= 0.0 {
-                    f64::NAN
-                } else {
-                    (ss_treat / df_treat) / ms_err
-                };
+                for (lane, g) in chunk.clone().enumerate() {
+                    let m = self.m_used[g];
+                    if m < 2 {
+                        out[g * stride + j] = f64::NAN;
+                        continue;
+                    }
+                    // Σ_t (treat sum)² in ascending treatment order — the
+                    // scalar iterator-sum sequence.
+                    let mut sq = R::ZERO;
+                    for t in 0..k {
+                        let s = parts.lanes[t * width + lane];
+                        sq += s * s;
+                    }
+                    let ss_treat = (sq / R::from_usize(m) - self.correction[g]).max(R::ZERO);
+                    out[g * stride + j] =
+                        blockf_from_sums(k, m, ss_treat, self.ss_block[g], self.ss_total[g])
+                            .to_f64();
+                }
             }
+            start = chunk.end;
         }
     }
-}
-
-/// Welch t from group moments, mirroring `two_sample::welch_t` +
-/// `GroupSums::variance` operation for operation (same clamps and guards).
-#[inline]
-fn welch_from_moments(n0: f64, s0: f64, q0: f64, n1: f64, s1: f64, q1: f64) -> f64 {
-    let v1 = ((q1 - s1 * s1 / n1) / (n1 - 1.0)).max(0.0);
-    let v0 = ((q0 - s0 * s0 / n0) / (n0 - 1.0)).max(0.0);
-    let se2 = v1 / n1 + v0 / n0;
-    if se2 <= 0.0 {
-        return f64::NAN;
-    }
-    (s1 / n1 - s0 / n0) / se2.sqrt()
-}
-
-/// Pooled-variance t from group moments, mirroring `two_sample::equalvar_t`
-/// + `GroupSums::ss` operation for operation.
-#[inline]
-fn equalvar_from_moments(n0: f64, s0: f64, q0: f64, n1: f64, s1: f64, q1: f64) -> f64 {
-    let ss0 = (q0 - s0 * s0 / n0).max(0.0);
-    let ss1 = (q1 - s1 * s1 / n1).max(0.0);
-    let pooled = (ss0 + ss1) / (n0 + n1 - 2.0);
-    let se2 = pooled * (1.0 / n0 + 1.0 / n1);
-    if se2 <= 0.0 {
-        return f64::NAN;
-    }
-    (s1 / n1 - s0 / n0) / se2.sqrt()
 }
 
 #[cfg(test)]
@@ -976,9 +1127,42 @@ mod tests {
         ];
         for (method, raw, path) in cases {
             let labels = labels_of(method, raw);
-            let fast = build_scorer(&m, &labels, method, KernelChoice::Auto);
+            let fast = build_scorer(&m, &labels, method, KernelChoice::Auto, Precision::F64);
             assert_eq!(fast.path(), path, "{method:?}");
-            let scalar = build_scorer(&m, &labels, method, KernelChoice::Scalar);
+            let scalar = build_scorer(&m, &labels, method, KernelChoice::Scalar, Precision::F64);
+            assert_eq!(scalar.path(), "scalar", "{method:?}");
+        }
+    }
+
+    #[test]
+    fn f32_precision_selects_the_f32_fast_paths() {
+        let m = Matrix::from_vec(1, 6, vec![1.0, 2.0, 3.0, 4.0, 5.0, 7.0]).unwrap();
+        let cases = [
+            (TestMethod::T, vec![0u8, 0, 0, 1, 1, 1], "two-sample-f32"),
+            (
+                TestMethod::TEqualVar,
+                vec![0, 0, 0, 1, 1, 1],
+                "two-sample-f32",
+            ),
+            (TestMethod::Wilcoxon, vec![0, 0, 0, 1, 1, 1], "wilcoxon-f32"),
+            (TestMethod::F, vec![0, 0, 1, 1, 2, 2], "f-f32"),
+            (TestMethod::PairT, vec![0, 1, 0, 1, 0, 1], "pairt-f32"),
+            (TestMethod::BlockF, vec![0, 1, 0, 1, 0, 1], "blockf-f32"),
+        ];
+        for (method, raw, path) in cases {
+            let labels = labels_of(method, raw.clone());
+            let fast = build_scorer(&m, &labels, method, KernelChoice::Auto, Precision::F32);
+            assert_eq!(fast.path(), path, "{method:?}");
+            // A statistic still comes out, close to the f64 one on benign data.
+            let f32_stat = stats_for(fast.as_ref(), &raw, 1)[0];
+            let f64_scorer = build_scorer(&m, &labels, method, KernelChoice::Auto, Precision::F64);
+            let f64_stat = stats_for(f64_scorer.as_ref(), &raw, 1)[0];
+            assert!(
+                (f32_stat - f64_stat).abs() <= 1e-3 * f64_stat.abs().max(1.0),
+                "{method:?}: f32 {f32_stat} vs f64 {f64_stat}"
+            );
+            // The scalar override wins over the precision request.
+            let scalar = build_scorer(&m, &labels, method, KernelChoice::Scalar, Precision::F32);
             assert_eq!(scalar.path(), "scalar", "{method:?}");
         }
     }
@@ -988,7 +1172,7 @@ mod tests {
         let row = vec![3.5, -1.25, 7.0, 0.5, 2.25, -4.0, 9.5, 1.0];
         let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
         for welch in [true, false] {
-            let scorer = TwoSampleScorer::new(&m, welch);
+            let scorer = TwoSampleScorer::<f64>::new(&m, welch);
             for labels in [
                 [0u8, 0, 0, 0, 1, 1, 1, 1],
                 [1, 0, 1, 0, 1, 0, 1, 0],
@@ -1010,7 +1194,7 @@ mod tests {
         let row = vec![3.5, f64::NAN, 7.0, 0.5, f64::NAN, -4.0, 9.5, 1.0];
         let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
         for welch in [true, false] {
-            let scorer = TwoSampleScorer::new(&m, welch);
+            let scorer = TwoSampleScorer::<f64>::new(&m, welch);
             for labels in [
                 [0u8, 0, 0, 0, 1, 1, 1, 1],
                 [1, 0, 1, 0, 1, 0, 1, 0],
@@ -1031,9 +1215,9 @@ mod tests {
     fn wilcoxon_is_bitwise_identical_to_scalar() {
         let data = [0.3, 2.0, -1.0, 7.0, 0.5, 4.0, 2.0, -3.5];
         let mut ranks = midranks(&data);
-        ranks[3] = f64::NAN; // a missing cell after ranking exercises the dirty gather
+        ranks[3] = f64::NAN; // a missing cell after ranking exercises the dirty path
         let m = Matrix::from_vec(1, 8, ranks.clone()).unwrap();
-        let scorer = WilcoxonScorer::new(&m);
+        let scorer = WilcoxonScorer::<f64>::new(&m);
         for labels in [
             [0u8, 0, 0, 0, 1, 1, 1, 1],
             [1, 0, 1, 0, 1, 0, 1, 0],
@@ -1055,7 +1239,7 @@ mod tests {
         ];
         for row in &rows {
             let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
-            let scorer = FScorer::new(&m, 3);
+            let scorer = FScorer::<f64>::new(&m, 3);
             for labels in [[0u8, 0, 1, 1, 2, 2], [2, 1, 0, 2, 1, 0], [0, 1, 2, 0, 1, 2]] {
                 let fast = stats_for(&scorer, &labels, 1)[0];
                 let scalar = oneway_f(row, &labels, 3);
@@ -1078,7 +1262,7 @@ mod tests {
         ];
         for row in &rows {
             let m = Matrix::from_vec(1, 8, row.clone()).unwrap();
-            let scorer = PairTScorer::new(&m);
+            let scorer = PairTScorer::<f64>::new(&m);
             for labels in [
                 [0u8, 1, 0, 1, 0, 1, 0, 1],
                 [1, 0, 1, 0, 1, 0, 1, 0],
@@ -1105,7 +1289,7 @@ mod tests {
         ];
         for row in &rows {
             let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
-            let scorer = BlockFScorer::new(&m, 2);
+            let scorer = BlockFScorer::<f64>::new(&m, 2);
             for labels in [[0u8, 1, 0, 1, 0, 1], [1, 0, 1, 0, 1, 0], [0, 1, 1, 0, 0, 1]] {
                 let fast = stats_for(&scorer, &labels, 1)[0];
                 let scalar = block_f(row, &labels, 2);
@@ -1154,17 +1338,18 @@ mod tests {
             [0, 1, 1, 0, 1, 0, 0, 1],
         ];
         let scorers: Vec<Box<dyn Scorer>> = vec![
-            Box::new(TwoSampleScorer::new(&m, true)),
-            Box::new(TwoSampleScorer::new(&m, false)),
-            Box::new(WilcoxonScorer::new(&m)),
-            Box::new(FScorer::new(&m, 2)),
-            Box::new(PairTScorer::new(&m)),
-            Box::new(BlockFScorer::new(&m, 2)),
+            Box::new(TwoSampleScorer::<f64>::new(&m, true)),
+            Box::new(TwoSampleScorer::<f64>::new(&m, false)),
+            Box::new(WilcoxonScorer::<f64>::new(&m)),
+            Box::new(FScorer::<f64>::new(&m, 2)),
+            Box::new(PairTScorer::<f64>::new(&m)),
+            Box::new(BlockFScorer::<f64>::new(&m, 2)),
         ];
         let bufs: Vec<Vec<u8>> = arrangements.iter().map(|a| a.to_vec()).collect();
         for scorer in &scorers {
             let stride = bufs.len();
             let mut scratch = scorer.make_scratch();
+            scorer.warm_scratch(&mut scratch, 3);
             scorer.begin_batch(&bufs, &mut scratch);
             let mut batched = vec![f64::NAN; 3 * stride];
             // Two tiles to exercise tile boundaries.
@@ -1188,7 +1373,7 @@ mod tests {
     fn constant_row_gives_nan_like_scalar() {
         let row = vec![5.0; 6];
         let m = Matrix::from_vec(1, 6, row.clone()).unwrap();
-        let scorer = TwoSampleScorer::new(&m, true);
+        let scorer = TwoSampleScorer::<f64>::new(&m, true);
         let labels = [0u8, 0, 0, 1, 1, 1];
         assert!(stats_for(&scorer, &labels, 1)[0].is_nan());
         assert!(welch_t(&row, &labels).is_nan());
@@ -1197,11 +1382,11 @@ mod tests {
     #[test]
     fn degenerate_group_sizes_give_nan() {
         let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let t = TwoSampleScorer::new(&m, true);
+        let t = TwoSampleScorer::<f64>::new(&m, true);
         // One group-1 column: t undefined.
         assert!(stats_for(&t, &[0, 0, 0, 1], 1)[0].is_nan());
         // Wilcoxon allows 1 but not 0.
-        let w = WilcoxonScorer::new(&m);
+        let w = WilcoxonScorer::<f64>::new(&m);
         assert!(stats_for(&w, &[0, 0, 0, 0], 1)[0].is_nan());
         assert!(stats_for(&w, &[0, 0, 0, 1], 1)[0].is_finite());
     }
@@ -1211,11 +1396,11 @@ mod tests {
         let m = Matrix::from_vec(1, 4, vec![f64::NAN; 4]).unwrap();
         let labels = [0u8, 0, 1, 1];
         for scorer in [
-            Box::new(TwoSampleScorer::new(&m, true)) as Box<dyn Scorer>,
-            Box::new(WilcoxonScorer::new(&m)),
-            Box::new(FScorer::new(&m, 2)),
-            Box::new(PairTScorer::new(&m)),
-            Box::new(BlockFScorer::new(&m, 2)),
+            Box::new(TwoSampleScorer::<f64>::new(&m, true)) as Box<dyn Scorer>,
+            Box::new(WilcoxonScorer::<f64>::new(&m)),
+            Box::new(FScorer::<f64>::new(&m, 2)),
+            Box::new(PairTScorer::<f64>::new(&m)),
+            Box::new(BlockFScorer::<f64>::new(&m, 2)),
         ] {
             assert!(
                 stats_for(scorer.as_ref(), &labels, 1)[0].is_nan(),
@@ -1234,10 +1419,37 @@ mod tests {
             .collect();
         let centered: Vec<f64> = row.iter().map(|v| v - base).collect();
         let m = Matrix::from_vec(1, 6, row).unwrap();
-        let scorer = TwoSampleScorer::new(&m, true);
+        let scorer = TwoSampleScorer::<f64>::new(&m, true);
         let labels = [0u8, 0, 0, 1, 1, 1];
         let fast = stats_for(&scorer, &labels, 1)[0];
         let reference = welch_t(&centered, &labels);
         assert!((fast - reference).abs() < 1e-9, "{fast} vs {reference}");
+    }
+
+    #[test]
+    fn tile_chunking_crosses_soa_tile_boundaries_bitwise() {
+        // More genes than SOA_TILE forces multiple lane chunks inside one
+        // score_tile call; results must match the per-gene path bitwise.
+        let genes = SOA_TILE + 17;
+        let cols = 6;
+        let mut data = Vec::with_capacity(genes * cols);
+        for g in 0..genes {
+            for c in 0..cols {
+                let v = ((g * 31 + c * 7) % 23) as f64 * 0.5 - 3.0;
+                data.push(if (g + c) % 29 == 0 { f64::NAN } else { v });
+            }
+        }
+        let m = Matrix::from_vec(genes, cols, data).unwrap();
+        let labels = vec![0u8, 1, 0, 1, 0, 1];
+        let scorer = TwoSampleScorer::<f64>::new(&m, true);
+        let bufs = [labels.clone()];
+        let mut scratch = scorer.make_scratch();
+        scorer.begin_batch(&bufs, &mut scratch);
+        let mut all = vec![f64::NAN; genes];
+        scorer.score_tile(&bufs, 0..genes, &mut scratch, &mut all, 1);
+        let single = stats_for(&scorer, &labels, genes);
+        for g in 0..genes {
+            assert_eq!(all[g].to_bits(), single[g].to_bits(), "gene {g}");
+        }
     }
 }

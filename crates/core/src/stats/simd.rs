@@ -1,0 +1,258 @@
+//! Explicit SIMD lane kernels (feature `explicit-simd`): the hand-written
+//! fallback the ISSUE keeps behind a flag in case autovectorization of the
+//! `chunks_exact` kernels in [`super::soa`] regresses.
+//!
+//! On x86-64 with AVX2 available at runtime these replace the portable loops
+//! with 256-bit intrinsics; everywhere else (or when AVX2 is absent) they
+//! return `false` and the portable kernels run. Lane accumulators are
+//! independent, and the per-element operation sequence (`acc[i] += src[i]`,
+//! no FMA contraction) is identical to the portable loops, so enabling the
+//! feature cannot change any f64 bit.
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    #[inline]
+    fn avx2() -> bool {
+        is_x86_feature_detected!("avx2")
+    }
+
+    pub fn add_f64(acc: &mut [f64], src: &[f64]) -> bool {
+        if !avx2() {
+            return false;
+        }
+        unsafe { add_f64_avx2(acc, src) }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_f64_avx2(acc: &mut [f64], src: &[f64]) {
+        let n = acc.len().min(src.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(a, s));
+            i += 4;
+        }
+        while i < n {
+            *acc.get_unchecked_mut(i) += *src.get_unchecked(i);
+            i += 1;
+        }
+    }
+
+    pub fn add_sq_f64(sums: &mut [f64], sqs: &mut [f64], src: &[f64]) -> bool {
+        if !avx2() {
+            return false;
+        }
+        unsafe { add_sq_f64_avx2(sums, sqs, src) }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_sq_f64_avx2(sums: &mut [f64], sqs: &mut [f64], src: &[f64]) {
+        let n = sums.len().min(sqs.len()).min(src.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(src.as_ptr().add(i));
+            let su = _mm256_loadu_pd(sums.as_ptr().add(i));
+            let sq = _mm256_loadu_pd(sqs.as_ptr().add(i));
+            _mm256_storeu_pd(sums.as_mut_ptr().add(i), _mm256_add_pd(su, v));
+            _mm256_storeu_pd(
+                sqs.as_mut_ptr().add(i),
+                _mm256_add_pd(sq, _mm256_mul_pd(v, v)),
+            );
+            i += 4;
+        }
+        while i < n {
+            let v = *src.get_unchecked(i);
+            *sums.get_unchecked_mut(i) += v;
+            *sqs.get_unchecked_mut(i) += v * v;
+            i += 1;
+        }
+    }
+
+    pub fn add_scaled_f64(acc: &mut [f64], src: &[f64], w: f64) -> bool {
+        if !avx2() {
+            return false;
+        }
+        unsafe { add_scaled_f64_avx2(acc, src, w) }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_scaled_f64_avx2(acc: &mut [f64], src: &[f64], w: f64) {
+        let n = acc.len().min(src.len());
+        let wv = _mm256_set1_pd(w);
+        let mut i = 0;
+        while i + 4 <= n {
+            let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            _mm256_storeu_pd(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_pd(a, _mm256_mul_pd(wv, s)),
+            );
+            i += 4;
+        }
+        while i < n {
+            *acc.get_unchecked_mut(i) += w * *src.get_unchecked(i);
+            i += 1;
+        }
+    }
+
+    pub fn add_f32(acc: &mut [f32], src: &[f32]) -> bool {
+        if !avx2() {
+            return false;
+        }
+        unsafe { add_f32_avx2(acc, src) }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_f32_avx2(acc: &mut [f32], src: &[f32]) {
+        let n = acc.len().min(src.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_add_ps(a, s));
+            i += 8;
+        }
+        while i < n {
+            *acc.get_unchecked_mut(i) += *src.get_unchecked(i);
+            i += 1;
+        }
+    }
+
+    pub fn add_sq_f32(sums: &mut [f32], sqs: &mut [f32], src: &[f32]) -> bool {
+        if !avx2() {
+            return false;
+        }
+        unsafe { add_sq_f32_avx2(sums, sqs, src) }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_sq_f32_avx2(sums: &mut [f32], sqs: &mut [f32], src: &[f32]) {
+        let n = sums.len().min(sqs.len()).min(src.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(src.as_ptr().add(i));
+            let su = _mm256_loadu_ps(sums.as_ptr().add(i));
+            let sq = _mm256_loadu_ps(sqs.as_ptr().add(i));
+            _mm256_storeu_ps(sums.as_mut_ptr().add(i), _mm256_add_ps(su, v));
+            _mm256_storeu_ps(
+                sqs.as_mut_ptr().add(i),
+                _mm256_add_ps(sq, _mm256_mul_ps(v, v)),
+            );
+            i += 8;
+        }
+        while i < n {
+            let v = *src.get_unchecked(i);
+            *sums.get_unchecked_mut(i) += v;
+            *sqs.get_unchecked_mut(i) += v * v;
+            i += 1;
+        }
+    }
+
+    pub fn add_scaled_f32(acc: &mut [f32], src: &[f32], w: f32) -> bool {
+        if !avx2() {
+            return false;
+        }
+        unsafe { add_scaled_f32_avx2(acc, src, w) }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_scaled_f32_avx2(acc: &mut [f32], src: &[f32], w: f32) {
+        let n = acc.len().min(src.len());
+        let wv = _mm256_set1_ps(w);
+        let mut i = 0;
+        while i + 8 <= n {
+            let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_ps(a, _mm256_mul_ps(wv, s)),
+            );
+            i += 8;
+        }
+        while i < n {
+            *acc.get_unchecked_mut(i) += w * *src.get_unchecked(i);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::{add_f32, add_f64, add_scaled_f32, add_scaled_f64, add_sq_f32, add_sq_f64};
+
+// Non-x86 targets: no explicit kernels; the portable chunks_exact loops run.
+#[cfg(not(target_arch = "x86_64"))]
+mod portable {
+    pub fn add_f64(_: &mut [f64], _: &[f64]) -> bool {
+        false
+    }
+    pub fn add_sq_f64(_: &mut [f64], _: &mut [f64], _: &[f64]) -> bool {
+        false
+    }
+    pub fn add_scaled_f64(_: &mut [f64], _: &[f64], _: f64) -> bool {
+        false
+    }
+    pub fn add_f32(_: &mut [f32], _: &[f32]) -> bool {
+        false
+    }
+    pub fn add_sq_f32(_: &mut [f32], _: &mut [f32], _: &[f32]) -> bool {
+        false
+    }
+    pub fn add_scaled_f32(_: &mut [f32], _: &[f32], _: f32) -> bool {
+        false
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) use portable::{
+    add_f32, add_f64, add_scaled_f32, add_scaled_f64, add_sq_f32, add_sq_f64,
+};
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_kernels_are_bitwise_identical_to_portable_loops() {
+        let src: Vec<f64> = (0..19).map(|i| (i as f64) * 0.37 - 2.0).collect();
+        let mut a = vec![0.5; 19];
+        let mut b = a.clone();
+        if add_f64(&mut a, &src) {
+            for (i, x) in b.iter_mut().enumerate() {
+                *x += src[i];
+            }
+            for i in 0..19 {
+                assert_eq!(a[i].to_bits(), b[i].to_bits());
+            }
+        }
+        let srcf: Vec<f32> = src.iter().map(|&v| v as f32).collect();
+        let mut sums = vec![0.0f32; 19];
+        let mut sqs = vec![0.0f32; 19];
+        if add_sq_f32(&mut sums, &mut sqs, &srcf) {
+            for i in 0..19 {
+                assert_eq!(sums[i].to_bits(), srcf[i].to_bits());
+                assert_eq!(sqs[i].to_bits(), (srcf[i] * srcf[i]).to_bits());
+            }
+        }
+        let mut acc = vec![1.0f64; 19];
+        if add_scaled_f64(&mut acc, &src, -1.0) {
+            for i in 0..19 {
+                // The asserted op sequence is exactly the kernel's fmadd-free
+                // `acc + scale * x`; spelling it `-src[i]` would assert a
+                // different expression tree.
+                #[allow(clippy::neg_multiply)]
+                let want = 1.0 + -1.0 * src[i];
+                assert_eq!(acc[i].to_bits(), want.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Structure-of-arrays score tiles: the data layout and lane kernels behind
+//! the fast scorers (DESIGN.md §4.10).
+//!
+//! The scalar layout is gene-major (`row[g][col]`): scoring one arrangement
+//! walks a gather list per gene, so every add depends on the previous one and
+//! the loop never vectorizes. This module transposes the cached sufficient
+//! statistics into **column-major lanes** (`col[c][g]`): scoring walks the
+//! selected columns in the *outer* loop and accumulates a contiguous lane of
+//! genes in the *inner* loop. Each gene still sees its values in ascending
+//! column order — the exact order the scalar accumulators push — so the f64
+//! sums are bitwise identical to the scalar path, while the lane loop is a
+//! pure independent-accumulator form the compiler autovectorizes.
+//!
+//! Missing cells are stored as `+0.0` in the lanes. That is bitwise-neutral:
+//! an IEEE accumulator that starts at `+0.0` can never become `-0.0` by
+//! adding finite values (`x + (-x) = +0.0`, `+0.0 + ±0.0 = +0.0`), so adding
+//! a zeroed cell leaves the running sum's bits untouched. Counts are fixed up
+//! separately via [`MissMask`]: a per-gene missing-column bitset ANDed with a
+//! per-arrangement selected-column bitset, one `popcount` per dirty gene.
+//!
+//! Everything is generic over [`Real`] (`f64`/`f32`): the same kernels serve
+//! the bitwise-exact default and the opt-in `SPRINT_PRECISION=f32` mode.
+
+use crate::stats::scorer::{ScorerScratch, ScratchParts};
+
+/// Lane width (elements) of the `chunks_exact` kernels. Eight elements is a
+/// full AVX-512 vector of `f64` / half a vector of `f32`, and small enough
+/// that the remainder loop is negligible for any tile shape.
+pub const LANE: usize = 8;
+
+/// Gene-lane sub-tile width of the SoA scorers: each `score_tile` call is cut
+/// into chunks of this many genes so the lane accumulators (a few KB) stay in
+/// L1 across the whole arrangement batch. Per-gene arithmetic is independent
+/// of the chunk geometry, so results are bitwise identical for any value.
+pub const SOA_TILE: usize = 128;
+
+/// An accumulation element type of the SoA kernels: `f64` (reference,
+/// bitwise-reproducible) or `f32` (opt-in, bounded error). The trait carries
+/// exactly the operations the statistic combines use, so the generic scorer
+/// code reads like the scalar formulas.
+pub trait Real:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::AddAssign
+    + 'static
+{
+    /// Positive zero.
+    const ZERO: Self;
+    /// True for the reduced-precision mode (selects the `-f32` path names).
+    const IS_F32: bool;
+
+    /// Round an `f64` into this precision.
+    fn from_f64(v: f64) -> Self;
+    /// Widen back to `f64` (exact).
+    fn to_f64(self) -> f64;
+    /// Convert a count.
+    fn from_usize(n: usize) -> Self;
+    /// Quiet NaN.
+    fn nan() -> Self;
+    /// NaN test.
+    fn is_nan(self) -> bool;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// IEEE max (NaN-discarding, like `f64::max`).
+    fn max(self, other: Self) -> Self;
+
+    /// Split the shared scratch into the per-arrangement views plus this
+    /// precision's lane buffer. A single borrow-splitting accessor, so the
+    /// index lists stay readable while the lanes are written.
+    fn parts(scratch: &mut ScorerScratch) -> ScratchParts<'_, Self>
+    where
+        Self: Sized;
+
+    /// Explicit-SIMD hook for [`lane_add`]; returns true when handled.
+    #[inline]
+    fn simd_add(_acc: &mut [Self], _src: &[Self]) -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+
+    /// Explicit-SIMD hook for [`lane_add_sq`]; returns true when handled.
+    #[inline]
+    fn simd_add_sq(_sums: &mut [Self], _sqs: &mut [Self], _src: &[Self]) -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+
+    /// Explicit-SIMD hook for [`lane_add_scaled`]; returns true when handled.
+    #[inline]
+    fn simd_add_scaled(_acc: &mut [Self], _src: &[Self], _w: Self) -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const IS_F32: bool = false;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_usize(n: usize) -> Self {
+        n as f64
+    }
+    #[inline]
+    fn nan() -> Self {
+        f64::NAN
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+
+    fn parts(scratch: &mut ScorerScratch) -> ScratchParts<'_, Self> {
+        scratch.parts_f64()
+    }
+
+    #[cfg(feature = "explicit-simd")]
+    #[inline]
+    fn simd_add(acc: &mut [Self], src: &[Self]) -> bool {
+        super::simd::add_f64(acc, src)
+    }
+    #[cfg(feature = "explicit-simd")]
+    #[inline]
+    fn simd_add_sq(sums: &mut [Self], sqs: &mut [Self], src: &[Self]) -> bool {
+        super::simd::add_sq_f64(sums, sqs, src)
+    }
+    #[cfg(feature = "explicit-simd")]
+    #[inline]
+    fn simd_add_scaled(acc: &mut [Self], src: &[Self], w: Self) -> bool {
+        super::simd::add_scaled_f64(acc, src, w)
+    }
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const IS_F32: bool = true;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_usize(n: usize) -> Self {
+        n as f32
+    }
+    #[inline]
+    fn nan() -> Self {
+        f32::NAN
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+
+    fn parts(scratch: &mut ScorerScratch) -> ScratchParts<'_, Self> {
+        scratch.parts_f32()
+    }
+
+    #[cfg(feature = "explicit-simd")]
+    #[inline]
+    fn simd_add(acc: &mut [Self], src: &[Self]) -> bool {
+        super::simd::add_f32(acc, src)
+    }
+    #[cfg(feature = "explicit-simd")]
+    #[inline]
+    fn simd_add_sq(sums: &mut [Self], sqs: &mut [Self], src: &[Self]) -> bool {
+        super::simd::add_sq_f32(sums, sqs, src)
+    }
+    #[cfg(feature = "explicit-simd")]
+    #[inline]
+    fn simd_add_scaled(acc: &mut [Self], src: &[Self], w: Self) -> bool {
+        super::simd::add_scaled_f32(acc, src, w)
+    }
+}
+
+/// A zero-initialized buffer whose payload starts on a 64-byte (cache-line)
+/// boundary, without any `unsafe`: the allocation is over-sized by one cache
+/// line and the slice starts at the first aligned element.
+pub(crate) struct AlignedBuf<R> {
+    v: Vec<R>,
+    off: usize,
+    len: usize,
+}
+
+impl<R: Real> AlignedBuf<R> {
+    /// Allocate `len` zeroed elements, 64-byte aligned.
+    pub fn zeroed(len: usize) -> Self {
+        let pad = 64 / std::mem::size_of::<R>();
+        let v = vec![R::ZERO; len + pad];
+        let off = v.as_ptr().align_offset(64);
+        // `align_offset` is allowed to bail with usize::MAX; fall back to the
+        // (correct, merely unaligned) start of the allocation.
+        let off = if off > pad { 0 } else { off };
+        AlignedBuf { v, off, len }
+    }
+
+    pub fn as_slice(&self) -> &[R] {
+        &self.v[self.off..self.off + self.len]
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [R] {
+        &mut self.v[self.off..self.off + self.len]
+    }
+}
+
+impl<R: Real> std::fmt::Debug for AlignedBuf<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf(len={})", self.len)
+    }
+}
+
+/// Column-major gene lanes: `cols` columns of `genes` values each, every
+/// column padded to a whole number of cache lines so `col(c, ..)` slices
+/// start aligned. Cells default to `+0.0` — the bitwise-neutral encoding of
+/// "missing" (see the module docs).
+#[derive(Debug)]
+pub(crate) struct SoaColumns<R: Real> {
+    lanes: usize,
+    buf: AlignedBuf<R>,
+}
+
+impl<R: Real> SoaColumns<R> {
+    /// Allocate zeroed lanes for `genes × cols` cells.
+    pub fn new(genes: usize, cols: usize) -> Self {
+        let pad = 64 / std::mem::size_of::<R>();
+        let lanes = genes.div_ceil(pad).max(1) * pad;
+        SoaColumns {
+            lanes,
+            buf: AlignedBuf::zeroed(lanes * cols),
+        }
+    }
+
+    /// Store one cell.
+    pub fn set(&mut self, col: usize, gene: usize, v: R) {
+        self.buf.as_mut_slice()[col * self.lanes + gene] = v;
+    }
+
+    /// The gene lane of one column, restricted to a gene range.
+    #[inline]
+    pub fn col(&self, col: usize, genes: &std::ops::Range<usize>) -> &[R] {
+        let base = col * self.lanes;
+        &self.buf.as_slice()[base + genes.start..base + genes.end]
+    }
+}
+
+/// Per-gene missing-column bitsets plus the popcount machinery that corrects
+/// group counts for dirty genes without touching the lane sums.
+#[derive(Debug, Default)]
+pub(crate) struct MissMask {
+    /// `u64` words per gene.
+    words: usize,
+    /// `genes × words` bitset, gene-major; bit `c` of word `c/64` set when
+    /// the gene's column `c` is missing.
+    bits: Vec<u64>,
+}
+
+impl MissMask {
+    /// Allocate an empty mask set.
+    pub fn new(genes: usize, cols: usize) -> Self {
+        let words = cols.div_ceil(64).max(1);
+        MissMask {
+            words,
+            bits: vec![0; genes * words],
+        }
+    }
+
+    /// Words per gene (= words per selection mask).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Mark column `col` of gene `gene` missing.
+    pub fn set(&mut self, gene: usize, col: usize) {
+        self.bits[gene * self.words + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// The bitset of one gene.
+    #[inline]
+    pub fn gene(&self, gene: usize) -> &[u64] {
+        &self.bits[gene * self.words..(gene + 1) * self.words]
+    }
+
+    /// How many selected columns (`sel`) are missing for a gene (`miss`).
+    #[inline]
+    pub fn overlap(sel: &[u64], miss: &[u64]) -> usize {
+        sel.iter()
+            .zip(miss)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Append one selected-column bitset (`labels[col] == class`) of `words`
+/// words to `out`. The scorers build one mask per arrangement (per class for
+/// F) in `begin_batch`, only when the data has any dirty gene.
+pub(crate) fn push_sel_mask(out: &mut Vec<u64>, words: usize, labels: &[u8], class: u8) {
+    let base = out.len();
+    out.resize(base + words, 0);
+    for (col, &l) in labels.iter().enumerate() {
+        if l == class {
+            out[base + col / 64] |= 1u64 << (col % 64);
+        }
+    }
+}
+
+/// `acc[i] += src[i]` over a gene lane.
+#[inline]
+pub(crate) fn lane_add<R: Real>(acc: &mut [R], src: &[R]) {
+    debug_assert_eq!(acc.len(), src.len());
+    #[cfg(feature = "explicit-simd")]
+    if R::simd_add(acc, src) {
+        return;
+    }
+    let mut a = acc.chunks_exact_mut(LANE);
+    let mut s = src.chunks_exact(LANE);
+    for (a, s) in (&mut a).zip(&mut s) {
+        for i in 0..LANE {
+            a[i] += s[i];
+        }
+    }
+    for (a, s) in a.into_remainder().iter_mut().zip(s.remainder()) {
+        *a += *s;
+    }
+}
+
+/// `sums[i] += src[i]; sqs[i] += src[i]²` over a gene lane — the fused
+/// moment gather of the two-sample and F scorers.
+#[inline]
+pub(crate) fn lane_add_sq<R: Real>(sums: &mut [R], sqs: &mut [R], src: &[R]) {
+    debug_assert_eq!(sums.len(), src.len());
+    debug_assert_eq!(sqs.len(), src.len());
+    #[cfg(feature = "explicit-simd")]
+    if R::simd_add_sq(sums, sqs, src) {
+        return;
+    }
+    let mut su = sums.chunks_exact_mut(LANE);
+    let mut sq = sqs.chunks_exact_mut(LANE);
+    let mut s = src.chunks_exact(LANE);
+    for ((su, sq), s) in (&mut su).zip(&mut sq).zip(&mut s) {
+        for i in 0..LANE {
+            let v = s[i];
+            su[i] += v;
+            sq[i] += v * v;
+        }
+    }
+    for ((su, sq), s) in su
+        .into_remainder()
+        .iter_mut()
+        .zip(sq.into_remainder())
+        .zip(s.remainder())
+    {
+        let v = *s;
+        *su += v;
+        *sq += v * v;
+    }
+}
+
+/// `acc[i] += w·src[i]` over a gene lane — the sign-broadcast kernel of the
+/// gather-free paired-t path (`w = ±1`).
+#[inline]
+pub(crate) fn lane_add_scaled<R: Real>(acc: &mut [R], src: &[R], w: R) {
+    debug_assert_eq!(acc.len(), src.len());
+    #[cfg(feature = "explicit-simd")]
+    if R::simd_add_scaled(acc, src, w) {
+        return;
+    }
+    let mut a = acc.chunks_exact_mut(LANE);
+    let mut s = src.chunks_exact(LANE);
+    for (a, s) in (&mut a).zip(&mut s) {
+        for i in 0..LANE {
+            a[i] += w * s[i];
+        }
+    }
+    for (a, s) in a.into_remainder().iter_mut().zip(s.remainder()) {
+        *a += w * *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_buf_is_cache_line_aligned_and_zeroed() {
+        for len in [0usize, 1, 7, 64, 129] {
+            let buf = AlignedBuf::<f64>::zeroed(len);
+            let s = buf.as_slice();
+            assert_eq!(s.len(), len);
+            assert!(s.iter().all(|v| v.to_bits() == 0));
+            if len > 0 {
+                assert_eq!(s.as_ptr() as usize % 64, 0, "len={len}");
+            }
+        }
+        let buf = AlignedBuf::<f32>::zeroed(33);
+        assert_eq!(buf.as_slice().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn soa_columns_round_trip_and_align() {
+        let mut soa = SoaColumns::<f64>::new(13, 3);
+        for c in 0..3 {
+            for g in 0..13 {
+                soa.set(c, g, (c * 100 + g) as f64);
+            }
+        }
+        for c in 0..3 {
+            let lane = soa.col(c, &(0..13));
+            assert_eq!(lane.len(), 13);
+            assert_eq!(lane.as_ptr() as usize % 64, 0, "col {c}");
+            for (g, &v) in lane.iter().enumerate() {
+                assert_eq!(v, (c * 100 + g) as f64);
+            }
+        }
+        // Sub-ranges slice the same lane.
+        assert_eq!(soa.col(1, &(5..8)), &[105.0, 106.0, 107.0]);
+    }
+
+    #[test]
+    fn miss_mask_popcounts_selected_missing_columns() {
+        let mut miss = MissMask::new(2, 70);
+        miss.set(0, 3);
+        miss.set(0, 65);
+        miss.set(1, 0);
+        let mut labels = vec![0u8; 70];
+        labels[3] = 1;
+        labels[64] = 1;
+        labels[65] = 1;
+        let mut sel = Vec::new();
+        push_sel_mask(&mut sel, miss.words(), &labels, 1);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(MissMask::overlap(&sel, miss.gene(0)), 2);
+        assert_eq!(MissMask::overlap(&sel, miss.gene(1)), 0);
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_loops_including_remainders() {
+        // Lengths straddling the chunks_exact boundary exercise remainders.
+        for len in [1usize, 7, 8, 9, 16, 19] {
+            let src: Vec<f64> = (0..len).map(|i| i as f64 * 0.5 - 3.0).collect();
+            let mut acc = vec![1.0; len];
+            lane_add(&mut acc, &src);
+            let mut sums = vec![0.25; len];
+            let mut sqs = vec![0.5; len];
+            lane_add_sq(&mut sums, &mut sqs, &src);
+            let mut scaled = vec![2.0; len];
+            lane_add_scaled(&mut scaled, &src, -1.0);
+            for i in 0..len {
+                assert_eq!(acc[i].to_bits(), (1.0 + src[i]).to_bits());
+                assert_eq!(sums[i].to_bits(), (0.25 + src[i]).to_bits());
+                assert_eq!(sqs[i].to_bits(), (0.5 + src[i] * src[i]).to_bits());
+                #[allow(clippy::neg_multiply)]
+                let want = 2.0 + -1.0 * src[i];
+                assert_eq!(scaled[i].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cells_are_bitwise_neutral_in_running_sums() {
+        // The lemma the SoA layout rests on: adding ±0.0 to an accumulator
+        // that started at +0.0 never flips it to -0.0, so zeroed missing
+        // cells cannot perturb any sum bit.
+        let mut acc = [0.0f64, 3.5, -3.5];
+        let zeros = [0.0f64, 0.0, -0.0];
+        lane_add(&mut acc, &zeros);
+        assert_eq!(acc[0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(acc[1].to_bits(), 3.5f64.to_bits());
+        assert_eq!(acc[2].to_bits(), (-3.5f64).to_bits());
+        // x + (-x) lands on +0.0, not -0.0.
+        let mut acc = [2.5f64];
+        lane_add(&mut acc, &[-2.5]);
+        assert_eq!(acc[0].to_bits(), 0.0f64.to_bits());
+    }
+}

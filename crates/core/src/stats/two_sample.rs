@@ -5,6 +5,7 @@
 //! part of the public result so it is fixed and documented here.
 
 use super::moments::{pivot_of, GroupSums};
+use super::soa::Real;
 
 /// Accumulate group sums for a row under the given labels, with NA exclusion
 /// and pivot shifting. Returns `(g0, g1)`.
@@ -50,6 +51,37 @@ pub fn equalvar_t(row: &[f64], labels: &[u8]) -> f64 {
         return f64::NAN;
     }
     (g1.mean() - g0.mean()) / se2.sqrt()
+}
+
+/// Welch t from group moments (n, Σx, Σx²), mirroring [`welch_t`] +
+/// `GroupSums::variance` operation for operation (same clamps and guards).
+/// Generic over the accumulation precision; at `f64` the sequence is
+/// bit-for-bit the scalar one.
+#[inline]
+pub(crate) fn welch_from_moments<R: Real>(n0: R, s0: R, q0: R, n1: R, s1: R, q1: R) -> R {
+    let one = R::from_f64(1.0);
+    let v1 = ((q1 - s1 * s1 / n1) / (n1 - one)).max(R::ZERO);
+    let v0 = ((q0 - s0 * s0 / n0) / (n0 - one)).max(R::ZERO);
+    let se2 = v1 / n1 + v0 / n0;
+    if se2 <= R::ZERO {
+        return R::nan();
+    }
+    (s1 / n1 - s0 / n0) / se2.sqrt()
+}
+
+/// Pooled-variance t from group moments, mirroring [`equalvar_t`] +
+/// `GroupSums::ss` operation for operation.
+#[inline]
+pub(crate) fn equalvar_from_moments<R: Real>(n0: R, s0: R, q0: R, n1: R, s1: R, q1: R) -> R {
+    let one = R::from_f64(1.0);
+    let ss0 = (q0 - s0 * s0 / n0).max(R::ZERO);
+    let ss1 = (q1 - s1 * s1 / n1).max(R::ZERO);
+    let pooled = (ss0 + ss1) / (n0 + n1 - R::from_f64(2.0));
+    let se2 = pooled * (one / n0 + one / n1);
+    if se2 <= R::ZERO {
+        return R::nan();
+    }
+    (s1 / n1 - s0 / n0) / se2.sqrt()
 }
 
 #[cfg(test)]

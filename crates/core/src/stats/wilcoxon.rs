@@ -10,6 +10,23 @@
 //! given midranks by the transform; the variance term uses the classic
 //! no-tie-correction form, matching `multtest`.
 
+use super::soa::Real;
+
+/// Standardized rank sum from the group counts and the group-1 rank sum,
+/// mirroring the combine of [`wilcoxon_from_ranks`] operation for operation.
+/// The caller handles the `n0 == 0 || n1 == 0` guard.
+#[inline]
+pub(crate) fn wilcoxon_from_counts<R: Real>(n0: usize, n1: usize, w: R) -> R {
+    let one = R::from_f64(1.0);
+    let n = R::from_usize(n0 + n1);
+    let expect = R::from_usize(n1) * (n + one) / R::from_f64(2.0);
+    let var = R::from_usize(n0) * R::from_usize(n1) * (n + one) / R::from_f64(12.0);
+    if var <= R::ZERO {
+        return R::nan();
+    }
+    (w - expect) / var.sqrt()
+}
+
 /// Compute the standardized rank sum from a rank-transformed row.
 pub fn wilcoxon_from_ranks(ranks: &[f64], labels: &[u8]) -> f64 {
     debug_assert_eq!(ranks.len(), labels.len());

@@ -67,7 +67,14 @@ fn accumulate_with(
     b: u64,
     kernel: KernelChoice,
 ) -> (bool, CountAccumulator) {
-    let ctx = MaxTContext::with_scorer(prepared, labels, opts.test, opts.side, kernel);
+    let ctx = MaxTContext::with_scorer(
+        prepared,
+        labels,
+        opts.test,
+        opts.side,
+        kernel,
+        opts.precision,
+    );
     let mut gen = build_generator(labels, opts, b).unwrap();
     let mut acc = CountAccumulator::new(prepared.rows());
     ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
@@ -118,6 +125,26 @@ proptest! {
                 prop_assert!(!scalar_active);
                 prop_assert!(fast_active);
             }
+        }
+
+        // Under `SPRINT_PRECISION=f32` (a dedicated CI leg) the fast path
+        // accumulates in f32 and may legitimately make different ordering
+        // decisions than the f64 reference, so exact count equality does not
+        // hold. What must hold instead: the f32 path is deterministic (same
+        // inputs → bitwise-identical counts on a second run), it consumes the
+        // same permutation stream, and every count is structurally valid.
+        if std::env::var("SPRINT_PRECISION").ok().as_deref() == Some("f32") {
+            let (_, fast2) = accumulate_with(&prepared, &labels, &opts, b, KernelChoice::Fast);
+            prop_assert_eq!(&fast.count_raw, &fast2.count_raw,
+                "f32 fast path is not deterministic: {:?} {:?} nonpara={} B={}",
+                method, side, nonpara, b);
+            prop_assert_eq!(&fast.count_adj, &fast2.count_adj);
+            prop_assert_eq!(scalar.n_perm, fast.n_perm);
+            prop_assert_eq!(fast.n_perm, fast2.n_perm);
+            for &c in fast.count_raw.iter().chain(&fast.count_adj) {
+                prop_assert!(c <= fast.n_perm, "count {} exceeds n_perm {}", c, fast.n_perm);
+            }
+            return Ok(());
         }
 
         prop_assert_eq!(&scalar.count_raw, &fast.count_raw,

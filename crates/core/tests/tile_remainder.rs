@@ -1,0 +1,132 @@
+//! Tile-geometry invariance of the fast scorers.
+//!
+//! The SoA fast path processes genes in `SOA_TILE`-wide sub-tiles and
+//! samples in `LANE`-wide SIMD chunks with scalar remainders. These tests
+//! pin the contract that makes every engine geometry interchangeable: the
+//! per-(gene, arrangement) operation sequence is independent of where tile
+//! boundaries fall, so splitting a gene range at **any** point — including
+//! gene counts that are not a multiple of either width, and odd sample
+//! counts that leave lane remainders — reproduces the unsplit result
+//! bitwise, NA cells included.
+
+use proptest::prelude::*;
+
+use sprint_core::labels::ClassLabels;
+use sprint_core::matrix::Matrix;
+use sprint_core::options::{KernelChoice, PmaxtOptions, Precision, TestMethod};
+use sprint_core::perm::build_generator;
+use sprint_core::stats::prepare_matrix;
+use sprint_core::stats::scorer::build_scorer;
+
+/// Valid labels per method. `a`/`b`/`c` are deliberately allowed to be odd
+/// so the two-sample and `f` cells exercise lane remainders; the paired and
+/// block designs have structural sample counts (pairs / complete blocks).
+fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
+    match method {
+        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+            let mut v = vec![0u8; a];
+            v.extend(std::iter::repeat_n(1u8, b));
+            v
+        }
+        TestMethod::F => {
+            let mut v = vec![0u8; a];
+            v.extend(std::iter::repeat_n(1u8, b));
+            v.extend(std::iter::repeat_n(2u8, c));
+            v
+        }
+        TestMethod::PairT => (0..a + b).flat_map(|_| [0u8, 1u8]).collect(),
+        TestMethod::BlockF => (0..a + b).flat_map(|_| [0u8, 1u8, 2u8]).collect(),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn geometry() -> impl Strategy<Value = (usize, usize, usize, Vec<f64>, Vec<bool>, Vec<u8>, u64)> {
+    // Gene counts straddle the SOA_TILE = 128 sub-tile boundary and are
+    // almost never a multiple of it; odd a/b/c leave LANE = 8 remainders.
+    (0usize..6, 3usize..8, 3usize..8, 2usize..5, 1usize..140).prop_flat_map(
+        |(method_sel, a, b, c, genes)| {
+            let labels = labels_for(TestMethod::ALL[method_sel], a, b, c);
+            let cells = genes * labels.len();
+            (
+                Just(method_sel),
+                Just(genes),
+                1usize..(genes + 1), // split point for the tile boundary
+                proptest::collection::vec(-40.0f64..120.0, cells),
+                proptest::collection::vec(proptest::bool::weighted(0.15), cells),
+                Just(labels),
+                4u64..12, // batch of arrangements
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting the gene range at an arbitrary point, and scoring one
+    /// arrangement at a time through `stats_into`, are both bitwise
+    /// identical to one full-width `score_tile` call.
+    #[test]
+    fn split_tiles_and_single_arrangements_match_full_tile_bitwise(
+        (method_sel, genes, split, mut values, na_mask, raw_labels, b) in geometry()
+    ) {
+        for (v, &is_na) in values.iter_mut().zip(&na_mask) {
+            if is_na {
+                *v = f64::NAN;
+            }
+        }
+        let method = TestMethod::ALL[method_sel];
+        let cols = raw_labels.len();
+        let m = Matrix::from_vec(genes, cols, values).unwrap();
+        let labels = ClassLabels::new(raw_labels, method).unwrap();
+        let opts = PmaxtOptions::default().test(method).permutations(b);
+        let prepared = prepare_matrix(&m, method, false);
+        let scorer = build_scorer(
+            &prepared,
+            &labels,
+            method,
+            KernelChoice::Fast,
+            Precision::F64,
+        );
+
+        // A batch of genuine permutations of the labels.
+        let mut gen = build_generator(&labels, &opts, b).unwrap();
+        let mut bufs = Vec::new();
+        let mut buf = vec![0u8; cols];
+        while gen.next_into(&mut buf) {
+            bufs.push(buf.clone());
+        }
+        prop_assert!(!bufs.is_empty());
+        let stride = bufs.len();
+
+        // Reference: one score_tile over the whole gene range.
+        let mut scratch = scorer.make_scratch();
+        scorer.begin_batch(&bufs, &mut scratch);
+        let mut full = vec![0.0f64; genes * stride];
+        scorer.score_tile(&bufs, 0..genes, &mut scratch, &mut full, stride);
+
+        // Same batch, gene range split at an arbitrary point.
+        let mut split_out = vec![0.0f64; genes * stride];
+        scorer.score_tile(&bufs, 0..split, &mut scratch, &mut split_out, stride);
+        scorer.score_tile(&bufs, split..genes, &mut scratch, &mut split_out, stride);
+        for (g, (f, s)) in full.iter().zip(&split_out).enumerate() {
+            prop_assert_eq!(
+                f.to_bits(), s.to_bits(),
+                "split at {} diverges at slot {} ({:?}, {} genes, {} cols)",
+                split, g, method, genes, cols
+            );
+        }
+
+        // Each arrangement scored alone matches its column of the batch.
+        let mut one = vec![0.0f64; genes];
+        for (j, labelling) in bufs.iter().enumerate() {
+            scorer.stats_into(labelling, &mut scratch, &mut one);
+            for g in 0..genes {
+                prop_assert_eq!(
+                    one[g].to_bits(), full[g * stride + j].to_bits(),
+                    "arrangement {} gene {} diverges ({:?})", j, g, method
+                );
+            }
+        }
+    }
+}

@@ -105,8 +105,7 @@ pub fn request_retried(
             Err(e) => last_err = Some(e),
         }
     }
-    Err(last_err
-        .unwrap_or_else(|| io::Error::other("retry policy made no attempts")))
+    Err(last_err.unwrap_or_else(|| io::Error::other("retry policy made no attempts")))
 }
 
 enum Stream {

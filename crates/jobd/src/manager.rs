@@ -50,7 +50,7 @@ use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
 use sprint_core::maxt::engine::{accumulate_chunk_hooked, ChunkHooks, EngineConfig};
 use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
-use sprint_core::options::PmaxtOptions;
+use sprint_core::options::{PmaxtOptions, Precision};
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::stats::prepare_matrix;
 
@@ -456,6 +456,16 @@ impl JobManager {
                 data.cols()
             ))));
         }
+        // The cache extends a B-permutation result to B′ > B by reusing its
+        // counts verbatim, which is only sound when counts are bitwise
+        // reproducible — so the f32 accumulation mode is refused at the door
+        // (env override included, so SPRINT_PRECISION can't smuggle it in).
+        if opts.precision.env_override() == Precision::F32 {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "precision",
+                value: "f32 (the job service requires bitwise-reproducible f64)".into(),
+            }));
+        }
         let data = match opts.na {
             Some(code) => {
                 Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)
@@ -505,6 +515,7 @@ impl JobManager {
                             opts.test,
                             opts.side,
                             opts.kernel,
+                            opts.precision,
                         );
                         ctx.finalize(&state.counts)
                     };
@@ -974,6 +985,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
         work.opts.test,
         work.opts.side,
         work.opts.kernel,
+        work.opts.precision,
     );
     if take == 0 {
         // Degenerate B = cursor (e.g. resumed entry already complete but not
@@ -1132,6 +1144,26 @@ mod tests {
         assert_eq!(status.state, JobState::Finished);
         assert_eq!(status.done, 97);
         assert_eq!(status.computed, 97);
+    }
+
+    #[test]
+    fn f32_precision_is_rejected_before_touching_queue_or_cache() {
+        let (data, labels) = small_dataset();
+        let mgr = manager(16);
+        let err = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts: PmaxtOptions::default().precision(Precision::F32),
+            })
+            .unwrap_err();
+        match err {
+            JobError::Invalid(CoreError::BadOption { param, .. }) => {
+                assert_eq!(param, "precision");
+            }
+            other => panic!("expected Invalid(BadOption), got {other:?}"),
+        }
+        assert!(mgr.list().is_empty(), "no job must be created");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   `null` and decode back to NaN.
 
 use sprint_core::maxt::MaxTResult;
-use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
+use sprint_core::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
 use sprint_core::side::Side;
 
 use crate::json::Json;
@@ -37,6 +37,7 @@ fn opts_to_pairs(opts: &PmaxtOptions) -> Vec<(String, Json)> {
         ("nonpara".to_string(), Json::Bool(opts.nonpara)),
         ("seed".to_string(), Json::u64_str(opts.seed)),
         ("kernel".to_string(), Json::str(opts.kernel.as_str())),
+        ("precision".to_string(), Json::str(opts.precision.as_str())),
         ("threads".to_string(), Json::Num(opts.threads as f64)),
         ("batch".to_string(), Json::Num(opts.batch as f64)),
     ];
@@ -74,6 +75,10 @@ pub fn opts_from_request(req: &Json) -> Result<PmaxtOptions, String> {
     if let Some(v) = req.get("kernel") {
         let s = v.as_str().ok_or("kernel must be a string")?;
         opts.kernel = KernelChoice::parse(s).map_err(|e| e.to_string())?;
+    }
+    if let Some(v) = req.get("precision") {
+        let s = v.as_str().ok_or("precision must be a string")?;
+        opts.precision = Precision::parse(s).map_err(|e| e.to_string())?;
     }
     if let Some(v) = req.get("threads") {
         opts.threads = v.as_u64().ok_or("threads must be a non-negative integer")? as usize;
@@ -251,6 +256,7 @@ mod tests {
             .nonpara(true)
             .seed(u64::MAX - 3)
             .kernel(KernelChoice::Scalar)
+            .precision(Precision::F32)
             .threads(3)
             .batch(17);
         let req = submit_request("/data/set.tsv", &opts);

@@ -20,7 +20,7 @@ use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
 use sprint_core::maxt::engine::{self, EngineConfig};
 use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
-use sprint_core::options::PmaxtOptions;
+use sprint_core::options::{PmaxtOptions, Precision};
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::stats::prepare_matrix;
 
@@ -162,6 +162,15 @@ pub fn run_with_checkpoints(
             data.cols()
         )));
     }
+    // Checkpoint resume depends on bitwise-reproducible counts across
+    // sessions; the f32 accumulation mode trades that away, so refuse it
+    // here (env override included — SPRINT_PRECISION must not smuggle it in).
+    if opts.precision.env_override() == Precision::F32 {
+        return Err(Error::BadOption {
+            param: "precision",
+            value: "f32 (checkpointed runs require bitwise-reproducible f64)".into(),
+        });
+    }
     let owned_na;
     let data = match opts.na {
         Some(code) => {
@@ -174,7 +183,14 @@ pub fn run_with_checkpoints(
     let digest = digest_run(data, classlabel, opts);
     let b = resolve_permutation_count(&labels, opts)?;
     let prepared = prepare_matrix(data, opts.test, opts.nonpara);
-    let ctx = MaxTContext::with_scorer(&prepared, &labels, opts.test, opts.side, opts.kernel);
+    let ctx = MaxTContext::with_scorer(
+        &prepared,
+        &labels,
+        opts.test,
+        opts.side,
+        opts.kernel,
+        opts.precision,
+    );
     let mut acc = CountAccumulator::new(data.rows());
     let mut cursor = 0u64;
 
@@ -261,6 +277,21 @@ mod tests {
         assert_eq!(info.resumed_from, 0);
         assert_eq!(info.checkpoints_written, 8); // ceil(50/7)
         assert!(!path.exists(), "checkpoint removed after completion");
+    }
+
+    #[test]
+    fn f32_precision_is_rejected_with_a_typed_usage_error() {
+        let (data, labels) = data_and_labels();
+        let opts = PmaxtOptions::default()
+            .permutations(50)
+            .precision(Precision::F32);
+        let path = tmp("f32-rejected");
+        let err = run_with_checkpoints(&data, &labels, &opts, &path, 7, None).unwrap_err();
+        match err {
+            Error::BadOption { param, .. } => assert_eq!(param, "precision"),
+            other => panic!("expected BadOption, got {other:?}"),
+        }
+        assert!(!path.exists(), "rejected run must not create a checkpoint");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!
 //! The `marshal_ablation` bench quantifies the difference.
 
-use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
+use sprint_core::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
 use sprint_core::side::Side;
 
 use crate::args::{Args, Value};
@@ -187,6 +187,7 @@ pub fn options_to_args(opts: &PmaxtOptions) -> Args {
         .with("seed", Value::Int(opts.seed as i64))
         .with("max.complete", Value::Int(opts.max_complete as i64))
         .with("kernel", Value::Str(opts.kernel.as_str().to_string()))
+        .with("precision", Value::Str(opts.precision.as_str().to_string()))
         .with("threads", Value::Int(opts.threads as i64))
         .with("batch", Value::Int(opts.batch as i64));
     if let Some(na) = opts.na {
@@ -221,6 +222,9 @@ pub fn args_to_options(args: &Args) -> sprint_core::error::Result<PmaxtOptions> 
     }
     if let Some(v) = args.get("kernel") {
         opts.kernel = KernelChoice::parse(v.as_str().unwrap_or_default())?;
+    }
+    if let Some(v) = args.get("precision") {
+        opts.precision = Precision::parse(v.as_str().unwrap_or_default())?;
     }
     if let Some(v) = args.get("threads") {
         opts.threads = v.as_int().unwrap_or(0) as usize;
@@ -298,7 +302,8 @@ mod tests {
             .na_code(-1.0)
             .seed(99)
             .threads(6)
-            .batch(48);
+            .batch(48)
+            .precision(Precision::F32);
         for codec in [Codec::StringCoded, Codec::IntCoded] {
             let wire = encode(&options_to_args(&opts), codec);
             let back = args_to_options(&decode(&wire)).unwrap();

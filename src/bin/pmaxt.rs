@@ -38,7 +38,7 @@ use sprint_core::error::Error as CoreError;
 use sprint_core::labels::ClassLabels;
 use sprint_core::maxt::minp::pminp;
 use sprint_core::maxt::MaxTResult;
-use sprint_core::options::{KernelChoice, PmaxtOptions, SamplingMode, TestMethod};
+use sprint_core::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::pmaxt::{chunk_for_rank, pmaxt};
 use sprint_core::side::Side;
@@ -146,7 +146,7 @@ struct ClientConfig {
 }
 
 fn usage_text() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
 }
 
 /// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
@@ -183,6 +183,9 @@ fn parse_opts_flag(
         }
         "--kernel" => {
             opts.kernel = KernelChoice::parse(take("--kernel")?).map_err(|e| e.to_string())?
+        }
+        "--precision" => {
+            opts.precision = Precision::parse(take("--precision")?).map_err(|e| e.to_string())?
         }
         "--threads" => {
             opts.threads = take("--threads")?
@@ -858,6 +861,8 @@ mod tests {
             "--minp",
             "--kernel",
             "scalar",
+            "--precision",
+            "f32",
             "--threads",
             "3",
             "--batch",
@@ -870,6 +875,7 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.opts.test, TestMethod::Wilcoxon);
         assert_eq!(cfg.opts.kernel, KernelChoice::Scalar);
+        assert_eq!(cfg.opts.precision, Precision::F32);
         assert_eq!(cfg.opts.side, Side::Upper);
         assert_eq!(cfg.opts.sampling, SamplingMode::Stored);
         assert_eq!(cfg.opts.b, 500);
