@@ -11,6 +11,7 @@
 //! make_tables threads [OUT.json]                   hybrid ranks x threads grid
 //! make_tables serve [JOBS] [B] [OUT.json]          jobd throughput + cache latency
 //! make_tables faults [JOBS] [B] [OUT.json]         fault-hook overhead + soak recovery
+//! make_tables cluster [JOBS] [B] [OUT.json]        cross-daemon sharding over TCP
 //! make_tables all                                  everything above
 //! ```
 
@@ -107,6 +108,26 @@ fn run_whatif() {
             simulate(&plat, REFERENCE, 32).total()
         );
     }
+    println!();
+    println!("model calibration vs measured localhost-TCP collectives (6102x76 payload):");
+    for procs in [2usize, 4] {
+        let m = sprint_bench::measure_collectives(procs, 6_102, 76, 5);
+        let model = simulate(&quad, REFERENCE, procs as u32).bcast;
+        let delta = 100.0 * (m.bcast_secs - model) / model;
+        println!(
+            "  p={procs}: bcast {:>6.1} KiB measured {:>8.4} s, quad-core model {:>7.4} s \
+             ({delta:+.0}%); count reduce measured {:>8.4} s",
+            m.payload_bytes as f64 / 1024.0,
+            m.bcast_secs,
+            model,
+            m.reduce_secs,
+        );
+    }
+    println!(
+        "  (the model's bcast section also folds in the paper platform's MPI \
+         stack and interconnect constants; localhost loopback TCP is the \
+         floor, so a measured value at or below the model is expected)"
+    );
     println!();
 }
 
@@ -294,6 +315,47 @@ fn run_faults(jobs: usize, b: u64, out: Option<&str>) {
     }
 }
 
+fn run_cluster(jobs: usize, b: u64, out: Option<&str>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== cross-daemon sharding: 1/2/4 daemons over localhost TCP ===");
+    println!(
+        "(reference workload shape 6102x76; {jobs} jobs at B = {b}; this machine \
+         has {cores} core(s), so speedup is the critical-path *kernel* model: \
+         each daemon computes 1/N of the permutations and reports its kernel \
+         seconds — wall rows serialize on the shared CPU)"
+    );
+    let r = sprint_bench::cluster_bench(6_102, 76, b, jobs, &[1, 2, 4]);
+    println!(
+        "  serial kernel baseline: {:.3} s/job; single process with {} engine \
+         threads: {:.3} s wall",
+        r.baseline_kernel_secs, r.single_process_threads, r.single_process_wall_secs
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>11} {:>13} {:>9} {:>7} {:>13}",
+        "daemons", "wall(s)", "jobs/s", "kernel(s)", "critical(s)", "speedup", "comm%", "spans l/r"
+    );
+    for row in &r.rows {
+        println!(
+            "{:>8} {:>9.3} {:>9.2} {:>11.3} {:>13.3} {:>8.2}x {:>6.1}% {:>8}/{}",
+            row.daemons,
+            row.wall_secs,
+            row.jobs_per_sec,
+            row.kernel_total_secs,
+            row.kernel_critical_secs,
+            row.kernel_speedup,
+            row.comm_overhead_share * 100.0,
+            row.spans_local,
+            row.spans_remote,
+        );
+    }
+    let json = sprint_bench::cluster_bench_to_json(&r);
+    let path = out.unwrap_or("BENCH_cluster.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -329,6 +391,11 @@ fn main() {
             let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
             run_faults(jobs, b, args.get(3).map(String::as_str));
         }
+        "cluster" => {
+            let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+            let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+            run_cluster(jobs, b, args.get(3).map(String::as_str));
+        }
         "all" => {
             platform_table(&hector(), "Table I");
             platform_table(&ecdf(), "Table II");
@@ -347,7 +414,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|all]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|cluster [JOBS B OUT.json]|all]");
             std::process::exit(2);
         }
     }

@@ -21,7 +21,7 @@
 
 use std::sync::Arc;
 
-use mpi_sim::{Communicator, SectionProfile, SectionTimer, Universe, MASTER};
+use mpi_sim::{Comm, SectionProfile, SectionTimer, Universe, MASTER};
 
 use crate::error::{Error, Result};
 use crate::labels::ClassLabels;
@@ -31,6 +31,7 @@ use crate::maxt::{CountAccumulator, MaxTContext, MaxTResult};
 use crate::options::PmaxtOptions;
 use crate::perm::resolve_permutation_count;
 use crate::stats::prepare_matrix;
+use crate::wire;
 
 /// Section names as they appear in the paper's Tables I–V.
 pub mod sections {
@@ -105,6 +106,30 @@ pub fn chunk_for_rank(b: u64, size: u64, rank: u64) -> Result<(u64, u64)> {
     Ok(crate::maxt::engine::split_evenly(b, size, rank))
 }
 
+/// The per-participant split of `b` permutations over `participants` workers,
+/// in participant order: `plan[i] = (start, take)`. Tolerant of surplus
+/// workers — the active count is clamped to `min(participants, b)` and the
+/// surplus get explicit empty spans `(b, 0)` — so a cluster coordinator can
+/// hand a roster of any size to any job. Participant 0's span starts at 0
+/// (it owns the identity permutation, Figure 2), and spans tile `0..b`
+/// contiguously in order, which is what lets a dead participant's span be
+/// re-run from a prefix checkpoint.
+pub fn span_plan(b: u64, participants: usize) -> Result<Vec<(u64, u64)>> {
+    if participants == 0 {
+        return Err(Error::Comm("at least one participant required".into()));
+    }
+    let active = (participants as u64).min(b);
+    (0..participants as u64)
+        .map(|idx| {
+            if idx < active {
+                chunk_for_rank(b, active, idx)
+            } else {
+                Ok((b, 0))
+            }
+        })
+        .collect()
+}
+
 /// Everything the master broadcasts in the "broadcast parameters" section.
 #[derive(Debug, Clone)]
 struct Params {
@@ -113,6 +138,37 @@ struct Params {
     labels: Vec<u8>,
     opts: PmaxtOptions,
     b: u64,
+}
+
+impl Params {
+    /// Wire form for the parameter broadcast (any [`Comm`] backend).
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_u64(&mut buf, self.rows as u64);
+        wire::put_u64(&mut buf, self.cols as u64);
+        wire::put_u64(&mut buf, self.labels.len() as u64);
+        buf.extend_from_slice(&self.labels);
+        wire::encode_options(&self.opts, &mut buf);
+        wire::put_u64(&mut buf, self.b);
+        buf
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Params> {
+        let mut r = wire::Reader::new(bytes);
+        let rows = r.u64()? as usize;
+        let cols = r.u64()? as usize;
+        let labels = r.bytes()?;
+        let opts = wire::decode_options(&mut r)?;
+        let b = r.u64()?;
+        r.finish()?;
+        Ok(Params {
+            rows,
+            cols,
+            labels,
+            opts,
+            b,
+        })
+    }
 }
 
 /// Run the parallel permutation test on `n_ranks` SPMD ranks.
@@ -178,10 +234,16 @@ pub fn pmaxt(
 /// `sprint` framework layer) can dispatch the same body over their own
 /// communicator.
 ///
+/// Generic over the transport: the body speaks only [`Comm`], so the same
+/// code runs over in-process channels (`Universe`) or real TCP
+/// (`mpi_sim::TcpFleet`) — broadcast payloads travel as explicit byte
+/// encodings (see [`crate::wire`]) whose float fields are bit patterns, so
+/// results stay bitwise-identical across backends.
+///
 /// Returns `Some((result, master profile, all rank profiles))` on the
 /// master, `None` on workers.
-pub fn pmaxt_rank(
-    comm: &Communicator,
+pub fn pmaxt_rank<C: Comm>(
+    comm: &C,
     master_input: Option<&Arc<(Matrix, Vec<u8>, PmaxtOptions)>>,
 ) -> Option<(MaxTResult, SectionProfile, Vec<SectionProfile>)> {
     let mut timer = SectionTimer::new();
@@ -207,7 +269,10 @@ pub fn pmaxt_rank(
 
     // Step 2 — broadcast parameters.
     let params = timer.time(sections::BROADCAST_PARAMETERS, || {
-        comm.bcast(MASTER, master_params).expect("param broadcast")
+        let payload = comm
+            .bcast_bytes(MASTER, master_params.as_ref().map(Params::encode))
+            .expect("param broadcast");
+        Params::decode(&payload).expect("param decode")
     });
 
     // Step 2/3 — create data: broadcast the (NA-canonicalized) matrix and
@@ -226,11 +291,14 @@ pub fn pmaxt_rank(
                 .expect("validated dimensions"),
                 None => data.clone(),
             };
-            Some(canonical.into_vec())
+            let mut buf = Vec::new();
+            wire::encode_f64_vec(&canonical.into_vec(), &mut buf);
+            Some(buf)
         } else {
             None
         };
-        let raw = comm.bcast(MASTER, payload).expect("data broadcast");
+        let bytes = comm.bcast_bytes(MASTER, payload).expect("data broadcast");
+        let raw = wire::decode_f64_vec(&mut wire::Reader::new(&bytes)).expect("data decode");
         let local = Matrix::from_vec(params.rows, params.cols, raw).expect("validated dims");
         let labels =
             ClassLabels::new(params.labels.clone(), params.opts.test).expect("validated by master");
@@ -238,8 +306,9 @@ pub fn pmaxt_rank(
         (prepared, labels)
     });
 
-    // Step 3 — global sum to synchronize after allocation.
-    comm.allreduce(1u64, |a, b| a + b).expect("sync reduction");
+    // Step 3 — global synchronization after allocation (the paper uses a
+    // trivial allreduce; a barrier is the transport-generic equivalent).
+    comm.barrier().expect("sync barrier");
 
     // Step 4 — main kernel: each rank processes its chunk of permutations
     // through the batched multi-threaded engine. Ranks beyond the number of
@@ -283,13 +352,17 @@ pub fn pmaxt_rank(
     // profile so the master can report load balance.
     let profile = timer.finish();
     let all_profiles = comm
-        .gather(MASTER, profile.clone())
+        .gather_bytes(MASTER, wire::encode_profile(&profile))
         .expect("profile gather");
     result.map(|r| {
         (
             r,
             profile,
-            all_profiles.expect("master holds the gathered profiles"),
+            all_profiles
+                .expect("master holds the gathered profiles")
+                .iter()
+                .map(|bytes| wire::decode_profile(bytes).expect("profile decode"))
+                .collect(),
         )
     })
 }

@@ -1,0 +1,284 @@
+//! Byte codecs for `pmaxt`'s broadcast and gather payloads.
+//!
+//! The transport-generic [`Comm`](mpi_sim::Comm) trait moves raw bytes, so
+//! everything a rank broadcasts (run parameters, the dataset) or gathers
+//! (section profiles) needs an explicit wire form. The encoding is a plain
+//! little-endian tag-free layout — fields in declaration order, strings and
+//! vectors length-prefixed — chosen over a self-describing format because
+//! both ends always run the same build (SPMD discipline) and the dataset
+//! broadcast is the bandwidth-critical path (paper §4.4: "create data" is
+//! the section that grows with the cluster).
+//!
+//! Floats travel as IEEE-754 bit patterns, never decimal round trips, so a
+//! broadcast dataset is bit-identical on every rank — the precondition for
+//! the bitwise-reproducibility contract to survive a real network.
+
+use std::time::Duration;
+
+use mpi_sim::SectionProfile;
+
+use crate::error::{Error, Result};
+use crate::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
+use crate::side::Side;
+
+/// Append a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its bit pattern.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential reader over an encoded payload, with typed errors instead of
+/// panics so a torn or corrupted frame surfaces as a [`Error::Comm`].
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Comm(format!(
+                "wire payload truncated: wanted {} bytes at offset {}, have {}",
+                n,
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Comm("wire payload holds invalid UTF-8".into()))
+    }
+
+    /// Read a length-prefixed byte vector.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u64()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Error unless the whole payload was consumed — trailing garbage means
+    /// the two ends disagree about the layout.
+    pub fn finish(self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::Comm(format!(
+                "wire payload has {} unread trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Encode a full [`PmaxtOptions`]: enums by their R string forms (stable
+/// across builds), numerics by value.
+pub fn encode_options(opts: &PmaxtOptions, buf: &mut Vec<u8>) {
+    put_str(buf, opts.test.as_str());
+    put_str(buf, opts.side.as_str());
+    put_str(buf, opts.sampling.as_str());
+    put_u64(buf, opts.b);
+    match opts.na {
+        Some(code) => {
+            put_u64(buf, 1);
+            put_f64(buf, code);
+        }
+        None => put_u64(buf, 0),
+    }
+    put_u64(buf, opts.nonpara as u64);
+    put_u64(buf, opts.seed);
+    put_u64(buf, opts.max_complete);
+    put_str(buf, opts.kernel.as_str());
+    put_u64(buf, opts.threads as u64);
+    put_u64(buf, opts.batch as u64);
+    put_str(buf, opts.precision.as_str());
+}
+
+/// Decode the options encoded by [`encode_options`].
+pub fn decode_options(r: &mut Reader<'_>) -> Result<PmaxtOptions> {
+    let test = TestMethod::parse(&r.str()?)?;
+    let side = Side::parse(&r.str()?)?;
+    let sampling = SamplingMode::parse(&r.str()?)?;
+    let b = r.u64()?;
+    let na = match r.u64()? {
+        0 => None,
+        _ => Some(r.f64()?),
+    };
+    let nonpara = r.u64()? != 0;
+    let seed = r.u64()?;
+    let max_complete = r.u64()?;
+    let kernel = KernelChoice::parse(&r.str()?)?;
+    let threads = r.u64()? as usize;
+    let batch = r.u64()? as usize;
+    let precision = Precision::parse(&r.str()?)?;
+    Ok(PmaxtOptions {
+        test,
+        side,
+        sampling,
+        b,
+        na,
+        nonpara,
+        seed,
+        max_complete,
+        kernel,
+        threads,
+        batch,
+        precision,
+    })
+}
+
+/// Encode an `f64` slice as bit patterns (the dataset broadcast).
+pub fn encode_f64_vec(values: &[f64], buf: &mut Vec<u8>) {
+    put_u64(buf, values.len() as u64);
+    for v in values {
+        put_f64(buf, *v);
+    }
+}
+
+/// Decode the vector encoded by [`encode_f64_vec`].
+pub fn decode_f64_vec(r: &mut Reader<'_>) -> Result<Vec<f64>> {
+    let len = r.u64()? as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 24));
+    for _ in 0..len {
+        out.push(r.f64()?);
+    }
+    Ok(out)
+}
+
+/// Encode a section profile as `(name, nanoseconds)` pairs in order.
+pub fn encode_profile(profile: &SectionProfile) -> Vec<u8> {
+    let sections: Vec<(&str, Duration)> = profile.iter().collect();
+    let mut buf = Vec::new();
+    put_u64(&mut buf, sections.len() as u64);
+    for (name, dur) in sections {
+        put_str(&mut buf, name);
+        put_u64(&mut buf, dur.as_nanos() as u64);
+    }
+    buf
+}
+
+/// Decode the profile encoded by [`encode_profile`].
+pub fn decode_profile(bytes: &[u8]) -> Result<SectionProfile> {
+    let mut r = Reader::new(bytes);
+    let n = r.u64()? as usize;
+    let mut sections = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let name = r.str()?;
+        let nanos = r.u64()?;
+        sections.push((name, Duration::from_nanos(nanos)));
+    }
+    r.finish()?;
+    Ok(SectionProfile::from_sections(sections))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_round_trip_every_enum_and_edge() {
+        for test in TestMethod::ALL {
+            for side in [Side::Abs, Side::Upper, Side::Lower] {
+                let opts = PmaxtOptions {
+                    test,
+                    side,
+                    sampling: SamplingMode::Stored,
+                    b: u64::MAX,
+                    na: Some(-99.5),
+                    nonpara: true,
+                    seed: 0,
+                    max_complete: 1,
+                    kernel: KernelChoice::Scalar,
+                    threads: 7,
+                    batch: 1024,
+                    precision: Precision::F32,
+                };
+                let mut buf = Vec::new();
+                encode_options(&opts, &mut buf);
+                let mut r = Reader::new(&buf);
+                let back = decode_options(&mut r).unwrap();
+                r.finish().unwrap();
+                assert_eq!(back, opts);
+            }
+        }
+        // Defaults round-trip too (na = None branch).
+        let opts = PmaxtOptions::default();
+        let mut buf = Vec::new();
+        encode_options(&opts, &mut buf);
+        assert_eq!(decode_options(&mut Reader::new(&buf)).unwrap(), opts);
+    }
+
+    #[test]
+    fn f64_vectors_survive_bitwise_including_nan() {
+        let v = vec![0.0, -0.0, 1.5, f64::NAN, f64::NEG_INFINITY, 1e-308];
+        let mut buf = Vec::new();
+        encode_f64_vec(&v, &mut buf);
+        let mut r = Reader::new(&buf);
+        let back = decode_f64_vec(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.len(), v.len());
+        for (a, b) in v.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn profiles_round_trip_in_order() {
+        let mut t = mpi_sim::SectionTimer::new();
+        t.time("alpha", || std::thread::sleep(Duration::from_millis(2)));
+        t.time("beta", || ());
+        let p = t.finish();
+        let back = decode_profile(&encode_profile(&p)).unwrap();
+        let names: Vec<_> = back.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        assert_eq!(back.get("alpha"), p.get("alpha"));
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let mut buf = Vec::new();
+        encode_options(&PmaxtOptions::default(), &mut buf);
+        for cut in [0, 1, 7, buf.len() - 1] {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(decode_options(&mut r).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected by finish().
+        buf.push(0);
+        let mut r = Reader::new(&buf);
+        decode_options(&mut r).unwrap();
+        assert!(r.finish().is_err());
+    }
+}

@@ -29,13 +29,19 @@
 //! | `cache_corrupt`  | cache entry write               | torn/bit-rotted cache file   |
 //! | `frame_truncate` | server response framing         | socket drop mid-frame        |
 //! | `slow_peer`      | server response framing         | stalled/slow peer            |
+//! | `peer_drop`      | shard coordinator dispatch      | a peer daemon dying mid-span |
+//! | `peer_stall`     | shard coordinator dispatch      | a slow/overloaded peer daemon|
+//! | `peer_torn`      | shard coordinator dispatch      | a request torn mid-frame     |
 //!
 //! Every class is survivable: panics and span errors fail the *job* (the
 //! daemon keeps serving), corrupt cache entries are quarantined or degrade
 //! to a miss, truncated frames and stalls are absorbed by client-side retry
-//! and per-connection deadlines. The `fault_soak` integration test drives
-//! all five classes at once and asserts the final adjusted p-values are
-//! bitwise-identical to a fault-free run.
+//! and per-connection deadlines, and the three `peer_*` classes exercise the
+//! cross-daemon sharding path ([`crate::shard`]): a dropped peer's spans are
+//! reassigned to the survivors, a stalled peer only delays its own spans,
+//! and a torn request resyncs on a fresh connection. The `fault_soak` and
+//! `peer_faults` integration tests drive the classes at once and assert the
+//! final adjusted p-values are bitwise-identical to a fault-free run.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -55,16 +61,28 @@ pub enum FaultKind {
     FrameTruncate,
     /// Stall before writing a response (a slow peer / overloaded server).
     SlowPeer,
+    /// A peer daemon dropping dead before a sharded span is dispatched to it
+    /// (the coordinator reassigns the peer's spans to the survivors).
+    PeerDrop,
+    /// A stall before dispatching a sharded span to a peer (a slow peer only
+    /// delays its own spans, never the survivors').
+    PeerStall,
+    /// A span-exec request torn mid-frame (half the line, then the socket
+    /// drops); the coordinator resends on a fresh connection.
+    PeerTorn,
 }
 
 impl FaultKind {
     /// Every class, in index order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::WorkerPanic,
         FaultKind::SpanIo,
         FaultKind::CacheCorrupt,
         FaultKind::FrameTruncate,
         FaultKind::SlowPeer,
+        FaultKind::PeerDrop,
+        FaultKind::PeerStall,
+        FaultKind::PeerTorn,
     ];
 
     /// Number of classes (array size in the registry).
@@ -78,6 +96,9 @@ impl FaultKind {
             FaultKind::CacheCorrupt => "cache_corrupt",
             FaultKind::FrameTruncate => "frame_truncate",
             FaultKind::SlowPeer => "slow_peer",
+            FaultKind::PeerDrop => "peer_drop",
+            FaultKind::PeerStall => "peer_stall",
+            FaultKind::PeerTorn => "peer_torn",
         }
     }
 

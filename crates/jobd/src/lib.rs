@@ -19,6 +19,12 @@
 //! - **Wire protocol** ([`json`], [`protocol`], [`server`], [`client`]):
 //!   line-delimited JSON over a Unix-domain socket or TCP, exposed by the
 //!   `pmaxt serve` / `submit` / `status` / `result` / `cancel` subcommands.
+//! - **Cross-daemon sharding** ([`shard`], [`manager`]): a daemon started
+//!   with `--peer` addresses coordinates one job across the roster — the
+//!   remaining permutation range is split with the same `span_plan`
+//!   arithmetic the SPMD ranks use, peers execute spans via `span_exec`
+//!   requests against their own copy of the dataset, and a dead peer's
+//!   spans are reassigned to survivors from the last merged frontier.
 //! - **Fault injection and recovery** ([`faults`]): a seeded registry
 //!   (`SPRINT_FAULTS=worker_panic:0.01,...`) injects worker panics, span I/O
 //!   errors, cache corruption, torn frames and slow peers; the hardening it
@@ -37,6 +43,7 @@ pub mod json;
 pub mod manager;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use cache::{CacheKey, CacheProbe, ResultCache};
 pub use client::{request_retried, Client, RetryPolicy};
@@ -46,3 +53,4 @@ pub use manager::{
     SubmitInfo,
 };
 pub use server::{BindAddr, Server, ServerConfig};
+pub use shard::{ShardSnapshot, ShardStats};

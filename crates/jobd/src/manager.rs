@@ -37,7 +37,7 @@
 //! the identical request resumes where the failure struck and the final
 //! counts stay bitwise-identical to an undisturbed run.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -48,14 +48,19 @@ use sprint::checkpoint::CheckpointState;
 use sprint_core::error::Error as CoreError;
 use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
-use sprint_core::maxt::engine::{accumulate_chunk_hooked, ChunkHooks, EngineConfig};
+use sprint_core::maxt::engine::{accumulate_chunk_hooked, ChunkHooks, ChunkRun, EngineConfig};
 use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
 use sprint_core::options::{PmaxtOptions, Precision};
 use sprint_core::perm::resolve_permutation_count;
+use sprint_core::pmaxt::span_plan;
 use sprint_core::stats::prepare_matrix;
 
 use crate::cache::{CacheKey, CacheProbe, ResultCache};
+use crate::client::RetryPolicy;
 use crate::faults::{FaultKind, Faults};
+use crate::protocol;
+use crate::shard;
+use crate::shard::{slice_spans, PeerError, PeerLink, ShardSnapshot, ShardStats, SpanQueue};
 
 /// Lock a mutex, recovering from poisoning.
 ///
@@ -98,6 +103,12 @@ pub struct ManagerConfig {
     pub job_threads: usize,
     /// Cache directory; `None` disables caching (every submit computes).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Peer daemon addresses (`pmaxt serve --peer`). When non-empty, a job
+    /// submitted with a dataset path is *sharded*: its permutation range is
+    /// split across this daemon and every peer via `span_exec` requests, and
+    /// the exceedance counts are merged bitwise-identically to a local run
+    /// (see [`crate::shard`]).
+    pub peers: Vec<String>,
     /// Fault-injection registry threaded through the span loop and the cache
     /// (see [`crate::faults`]). Defaults to the `SPRINT_FAULTS` environment
     /// configuration, which is disabled when the variable is unset.
@@ -112,6 +123,7 @@ impl Default for ManagerConfig {
             span: 4096,
             job_threads: 0,
             cache_dir: None,
+            peers: Vec::new(),
             faults: Faults::from_env(),
         }
     }
@@ -126,6 +138,11 @@ pub struct JobSpec {
     pub classlabel: Vec<u8>,
     /// Run options; `opts.threads`/`opts.batch` set this job's engine budget.
     pub opts: PmaxtOptions,
+    /// Filesystem path the dataset was read from, when it has one. Required
+    /// for cross-daemon sharding: peers re-read the dataset from this path on
+    /// their own filesystem instead of shipping the matrix inline. Jobs
+    /// submitted without a path always run locally.
+    pub source_path: Option<std::path::PathBuf>,
 }
 
 /// Lifecycle of a job.
@@ -227,6 +244,8 @@ pub struct JobStatus {
     pub eta_secs: Option<f64>,
     /// Failure message when `state == Failed`.
     pub error: Option<String>,
+    /// Cross-daemon wire counters, for sharded jobs only.
+    pub comm: Option<ShardSnapshot>,
 }
 
 /// Outcome of [`JobManager::submit`].
@@ -260,6 +279,8 @@ pub struct JobEvent {
     pub total: u64,
     /// ETA estimate, when one exists.
     pub eta_secs: Option<f64>,
+    /// Cross-daemon wire counters, for sharded jobs only.
+    pub comm: Option<ShardSnapshot>,
 }
 
 /// Errors surfaced by the manager API.
@@ -329,6 +350,8 @@ struct JobWork {
     cfg: EngineConfig,
     check_digest: u64,
     cached: bool,
+    /// Dataset path for sharded dispatch (peers read it themselves).
+    source: Option<std::path::PathBuf>,
 }
 
 /// Mutable per-job state, guarded by one mutex.
@@ -351,6 +374,8 @@ struct Job {
     /// Cursor plus live intra-span progress, updated lock-free by engine
     /// workers for cheap status/ETA reads.
     live_done: AtomicU64,
+    /// Wire counters when this job is sharded across peer daemons.
+    shard: Option<Arc<ShardStats>>,
     prog: Mutex<JobProgress>,
     subs: Mutex<Vec<mpsc::Sender<JobEvent>>>,
 }
@@ -445,6 +470,7 @@ impl JobManager {
             data,
             classlabel,
             opts,
+            source_path,
         } = spec;
         // Validation and NA canonicalization, exactly as `prepare_run` does —
         // inlined because the canonical matrix is also the digest input.
@@ -519,30 +545,34 @@ impl JobManager {
                         );
                         ctx.finalize(&state.counts)
                     };
-                    let id = self.register(
-                        key,
-                        key_hex.clone(),
-                        JobWork {
-                            prepared,
-                            labels,
-                            opts,
-                            b,
-                            cfg: EngineConfig::serial(),
-                            check_digest: key.check_digest(),
-                            cached: false,
-                        },
-                        JobProgress {
-                            state: JobState::Finished,
-                            cursor: b,
-                            counts: state.counts,
-                            computed: 0,
-                            cache: CacheDisposition::Hit,
-                            secs_per_perm: None,
-                            result: Some(result),
-                            error: None,
-                        },
-                        false,
-                    )?;
+                    let id = self
+                        .register(
+                            key,
+                            key_hex.clone(),
+                            JobWork {
+                                prepared,
+                                labels,
+                                opts,
+                                b,
+                                cfg: EngineConfig::serial(),
+                                check_digest: key.check_digest(),
+                                cached: false,
+                                source: None,
+                            },
+                            JobProgress {
+                                state: JobState::Finished,
+                                cursor: b,
+                                counts: state.counts,
+                                computed: 0,
+                                cache: CacheDisposition::Hit,
+                                secs_per_perm: None,
+                                result: Some(result),
+                                error: None,
+                            },
+                            false,
+                            None,
+                        )?
+                        .id;
                     self.bump_change();
                     return Ok(SubmitInfo {
                         id,
@@ -585,6 +615,7 @@ impl JobManager {
             cfg,
             check_digest: key.check_digest(),
             cached,
+            source: source_path,
         };
         let prog = JobProgress {
             state: JobState::Queued,
@@ -596,7 +627,30 @@ impl JobManager {
             result: None,
             error: None,
         };
-        let id = self.register(key, key_hex.clone(), work, prog, true)?;
+        // A job is sharded across peer daemons when a roster is configured
+        // and the dataset has a path peers can re-read. Sharded jobs bypass
+        // the local span queue: a dedicated coordinator drives them.
+        let sharded = !self.inner.cfg.peers.is_empty() && work.source.is_some();
+        let shard = sharded.then(|| Arc::new(ShardStats::default()));
+        let job = self.register(key, key_hex.clone(), work, prog, !sharded, shard)?;
+        let id = job.id;
+        if sharded {
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || {
+                // Same panic isolation as the worker loop: a coordinator
+                // panic fails the job, never the daemon.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_sharded(&inner, &job))) {
+                    fail_job(
+                        &inner,
+                        &job,
+                        format!(
+                            "shard coordinator panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    );
+                }
+            });
+        }
         Ok(SubmitInfo {
             id,
             state: JobState::Queued,
@@ -605,6 +659,93 @@ impl JobManager {
             deduped: false,
             key: key_hex,
         })
+    }
+
+    /// Execute one span `[start, start + take)` of a sharded run on behalf
+    /// of a peer coordinator and return the flat exceedance counts.
+    ///
+    /// Validation mirrors [`JobManager::submit`] exactly (label checks, f32
+    /// refusal, NA canonicalization) so a span computed here is drawn from
+    /// the same canonical matrix and skip-ahead permutation stream as the
+    /// coordinator's own spans. The daemon additionally re-resolves the
+    /// permutation count from its own copy of the dataset and refuses the
+    /// span on drift — a peer with a stale or divergent file must never
+    /// contribute counts.
+    pub fn exec_span(
+        &self,
+        data: Matrix,
+        classlabel: Vec<u8>,
+        opts: PmaxtOptions,
+        b: u64,
+        start: u64,
+        take: u64,
+    ) -> Result<(Vec<u64>, f64), JobError> {
+        if self.inner.shutdown.load(Ordering::Relaxed)
+            || self.inner.draining.load(Ordering::Relaxed)
+        {
+            return Err(JobError::ShuttingDown);
+        }
+        let labels = ClassLabels::new(classlabel, opts.test).map_err(JobError::Invalid)?;
+        if labels.len() != data.cols() {
+            return Err(JobError::Invalid(CoreError::BadLabels(format!(
+                "classlabel length {} does not match {} data columns",
+                labels.len(),
+                data.cols()
+            ))));
+        }
+        if opts.precision.env_override() == Precision::F32 {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "precision",
+                value: "f32 (the job service requires bitwise-reproducible f64)".into(),
+            }));
+        }
+        let data = match opts.na {
+            Some(code) => {
+                Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)
+                    .map_err(JobError::Invalid)?
+            }
+            None => data,
+        };
+        let resolved = resolve_permutation_count(&labels, &opts).map_err(JobError::Invalid)?;
+        if resolved != b {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "b",
+                value: format!(
+                    "coordinator resolved B={b} but this daemon resolves B={resolved} \
+                     (dataset or option drift between peers)"
+                ),
+            }));
+        }
+        if start.checked_add(take).is_none_or(|end| end > b) {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "span",
+                value: format!("[{start}, {start}+{take}) exceeds B={b}"),
+            }));
+        }
+        let prepared = prepare_matrix(&data, opts.test, opts.nonpara).into_owned();
+        let threads = if opts.threads == 0 {
+            self.inner.cfg.job_threads
+        } else {
+            opts.threads
+        };
+        let cfg = EngineConfig::explicit(threads, opts.batch);
+        let ctx = MaxTContext::with_scorer(
+            &prepared,
+            &labels,
+            opts.test,
+            opts.side,
+            opts.kernel,
+            opts.precision,
+        );
+        let hooks = ChunkHooks {
+            cancel: None,
+            progress: None,
+        };
+        let cpu0 = shard::thread_cpu_secs();
+        let run = accumulate_chunk_hooked(&ctx, &labels, &opts, b, start, take, cfg, hooks)
+            .map_err(JobError::Invalid)?;
+        let secs = kernel_secs(cpu0, &run);
+        Ok((run.counts.to_flat(), secs))
     }
 
     /// Insert a job into the maps (and, when `enqueue`, the run queue —
@@ -616,7 +757,8 @@ impl JobManager {
         work: JobWork,
         prog: JobProgress,
         enqueue: bool,
-    ) -> Result<u64, JobError> {
+        shard: Option<Arc<ShardStats>>,
+    ) -> Result<Arc<Job>, JobError> {
         let b = work.b;
         let live_done = prog.cursor;
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
@@ -626,6 +768,7 @@ impl JobManager {
             work,
             cancel: AtomicBool::new(false),
             live_done: AtomicU64::new(live_done),
+            shard,
             prog: Mutex::new(prog),
             subs: Mutex::new(Vec::new()),
         });
@@ -641,7 +784,7 @@ impl JobManager {
         }
         plock(&self.inner.jobs).insert(id, Arc::clone(&job));
         plock(&self.inner.dedup).insert((key_hex, b), id);
-        Ok(id)
+        Ok(job)
     }
 
     fn get(&self, id: u64) -> Result<Arc<Job>, JobError> {
@@ -880,6 +1023,7 @@ fn status_of(job: &Job) -> JobStatus {
         cache: prog.cache,
         eta_secs,
         error: prog.error.clone(),
+        comm: job.shard.as_ref().map(|s| s.snapshot()),
     }
 }
 
@@ -891,6 +1035,7 @@ fn event_of(job: &Job) -> JobEvent {
         done: st.done,
         total: st.total,
         eta_secs: st.eta_secs,
+        comm: st.comm,
     }
 }
 
@@ -1091,6 +1236,403 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
     }
 }
 
+/// One unit of sharded work reported to the merger.
+enum SpanOutcome {
+    /// A span's exact exceedance counts, from any participant.
+    Done {
+        start: u64,
+        take: u64,
+        counts: CountAccumulator,
+    },
+    /// The work itself is invalid everywhere (engine error, rejected
+    /// request): fail the job, reassignment cannot help.
+    JobFail(String),
+}
+
+/// Per-attempt socket deadline for peer span dispatch: long enough for a
+/// busy peer to grind a span, short enough that a hung peer is declared dead
+/// and its spans reassigned within one retry budget.
+const PEER_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Blocking next-work for one sharded participant: its own range first,
+/// then orphaned spans of dead peers. Polls the orphan queue until the job
+/// is complete so a late peer death never strands work — the merger flips
+/// `done` when the frontier reaches `B` (or on failure).
+fn next_span(
+    own: &mut VecDeque<(u64, u64)>,
+    orphans: &SpanQueue,
+    done: &AtomicBool,
+    cancel: &AtomicBool,
+    shutdown: &AtomicBool,
+) -> Option<(u64, u64)> {
+    loop {
+        if done.load(Ordering::Relaxed)
+            || cancel.load(Ordering::Relaxed)
+            || shutdown.load(Ordering::Relaxed)
+        {
+            return None;
+        }
+        if let Some(span) = own.pop_front().or_else(|| orphans.pop()) {
+            return Some(span);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Drive one sharded job to completion: split the remaining permutation
+/// range across the roster (this daemon plus every configured peer) with the
+/// same [`span_plan`] arithmetic the SPMD ranks use, dispatch remote spans
+/// as `span_exec` requests, run the local share on this thread's scope, and
+/// merge results in frontier order so every checkpoint is an exact prefix.
+///
+/// Counts are `u64` exceedance tallies and addition is commutative, so the
+/// merged result is bitwise-identical to a serial run whatever the roster,
+/// span size, completion order or failure history — provided each span is
+/// merged exactly once, which the frontier map enforces (duplicates from
+/// at-least-once dispatch are dropped by start index).
+/// Seconds of kernel work in one engine run, for the shard telemetry
+/// counters: the caller's thread-CPU delta when the run was inline (one
+/// worker — immune to CPU oversubscription across roster daemons), the
+/// engine's per-worker busy sum otherwise.
+fn kernel_secs(cpu0: Option<f64>, run: &ChunkRun) -> f64 {
+    if run.workers.len() <= 1 {
+        if let (Some(a), Some(b)) = (cpu0, shard::thread_cpu_secs()) {
+            return (b - a).max(0.0);
+        }
+    }
+    run.workers.iter().map(|w| w.busy.as_secs_f64()).sum()
+}
+
+fn run_sharded(inner: &Arc<Inner>, job: &Arc<Job>) {
+    let work = &job.work;
+    let stats = Arc::clone(job.shard.as_ref().expect("sharded job carries stats"));
+    // Claim the job; bail out if it was cancelled before we started.
+    let start_cursor = {
+        let mut prog = plock(&job.prog);
+        if prog.state != JobState::Queued {
+            return;
+        }
+        if job.cancel.load(Ordering::Relaxed) {
+            prog.state = JobState::Cancelled;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+            return;
+        }
+        prog.state = JobState::Running;
+        prog.cursor
+    };
+    let make_ctx = || {
+        MaxTContext::with_scorer(
+            &work.prepared,
+            &work.labels,
+            work.opts.test,
+            work.opts.side,
+            work.opts.kernel,
+            work.opts.precision,
+        )
+    };
+    let remaining = work.b - start_cursor;
+    if remaining == 0 {
+        let mut prog = plock(&job.prog);
+        prog.result = Some(make_ctx().finalize(&prog.counts));
+        prog.state = JobState::Finished;
+        drop(prog);
+        emit_event(job);
+        bump_change(inner);
+        return;
+    }
+    let roster = 1 + inner.cfg.peers.len();
+    // Participant 0 is the local executor, so the identity-permutation chunk
+    // (index 0) is always computed where the coordinator lives.
+    let plan = match span_plan(remaining, roster) {
+        Ok(plan) => plan,
+        Err(e) => {
+            fail_job(inner, job, e.to_string());
+            return;
+        }
+    };
+    let mut queues: Vec<VecDeque<(u64, u64)>> = plan
+        .iter()
+        .map(|&(s, t)| slice_spans(start_cursor + s, t, inner.cfg.span).into())
+        .collect();
+    stats.peers.store(roster as u64, Ordering::Relaxed);
+    stats.spans_total.store(
+        queues.iter().map(|q| q.len() as u64).sum(),
+        Ordering::Relaxed,
+    );
+    let genes = work.prepared.rows();
+    let flat_len = CountAccumulator::new(genes).to_flat().len();
+    let path = work
+        .source
+        .as_ref()
+        .expect("sharded job has a source path")
+        .display()
+        .to_string();
+    let faults = &inner.cfg.faults;
+    let orphans = SpanQueue::new();
+    let done = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<SpanOutcome>();
+    let mut failure: Option<String> = None;
+
+    std::thread::scope(|scope| {
+        let orphans = &orphans;
+        let done = &done;
+        let inner_ref: &Inner = inner;
+        let job_ref: &Job = job;
+
+        // Peer dispatchers: participants 1..roster, one thread per peer.
+        for (idx, addr) in inner_ref.cfg.peers.iter().enumerate() {
+            let mut own = std::mem::take(&mut queues[idx + 1]);
+            let tx = tx.clone();
+            let stats = Arc::clone(&stats);
+            let path = path.clone();
+            scope.spawn(move || {
+                let policy = RetryPolicy {
+                    attempts: 3,
+                    base: Duration::from_millis(50),
+                    max: Duration::from_secs(2),
+                    seed: 0x7065_6572 ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                };
+                let link = PeerLink {
+                    addr,
+                    policy,
+                    timeout: Some(PEER_TIMEOUT),
+                    stats: &stats,
+                    faults,
+                };
+                // Declare this peer dead: return its unfinished spans (the
+                // in-flight one included) to the orphan queue for survivors.
+                let die = |own: &mut VecDeque<(u64, u64)>, current: (u64, u64), why: &str| {
+                    let n = orphans.reassign(std::iter::once(current).chain(own.drain(..)));
+                    stats.peers_failed.fetch_add(1, Ordering::Relaxed);
+                    stats.spans_reassigned.fetch_add(n, Ordering::Relaxed);
+                    eprintln!("jobd: shard: peer {addr} lost ({why}); {n} span(s) reassigned");
+                };
+                while let Some((s, t)) = next_span(
+                    &mut own,
+                    orphans,
+                    done,
+                    &job_ref.cancel,
+                    &inner_ref.shutdown,
+                ) {
+                    if faults.fire(FaultKind::PeerDrop) {
+                        die(&mut own, (s, t), "injected peer_drop");
+                        return;
+                    }
+                    let req = protocol::span_exec_request(&path, &work.opts, work.b, s, t);
+                    match link.exec(&req) {
+                        Ok(resp) => match protocol::span_counts_from_json(&resp) {
+                            Ok((rs, rt, flat, secs))
+                                if rs == s && rt == t && flat.len() == flat_len =>
+                            {
+                                stats
+                                    .kernel_remote_micros
+                                    .fetch_add((secs.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+                                stats.spans_remote.fetch_add(1, Ordering::Relaxed);
+                                let counts = CountAccumulator::from_flat(&flat, genes);
+                                let _ = tx.send(SpanOutcome::Done {
+                                    start: s,
+                                    take: t,
+                                    counts,
+                                });
+                            }
+                            Ok(_) => {
+                                die(&mut own, (s, t), "span/shape mismatch in response");
+                                return;
+                            }
+                            Err(e) => {
+                                die(&mut own, (s, t), &format!("malformed span response: {e}"));
+                                return;
+                            }
+                        },
+                        Err(PeerError::Dead(why)) => {
+                            die(&mut own, (s, t), &why);
+                            return;
+                        }
+                        Err(PeerError::Rejected(why)) => {
+                            let _ = tx.send(SpanOutcome::JobFail(format!(
+                                "peer {addr} rejected span [{s}, {}): {why}",
+                                s + t
+                            )));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Local executor: participant 0, plus whatever the dead peers leave
+        // behind. Runs on this scope so a local engine panic fails the job,
+        // not the daemon.
+        {
+            let mut own = std::mem::take(&mut queues[0]);
+            let tx = tx.clone();
+            let stats = Arc::clone(&stats);
+            scope.spawn(move || {
+                let ctx = make_ctx();
+                while let Some((s, t)) = next_span(
+                    &mut own,
+                    orphans,
+                    done,
+                    &job_ref.cancel,
+                    &inner_ref.shutdown,
+                ) {
+                    let cpu0 = shard::thread_cpu_secs();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if faults.fire(FaultKind::WorkerPanic) {
+                            panic!("injected worker panic (SPRINT_FAULTS worker_panic)");
+                        }
+                        if faults.fire(FaultKind::SpanIo) {
+                            return Err(CoreError::Comm("injected span I/O error".to_string()));
+                        }
+                        let hooks = ChunkHooks {
+                            cancel: Some(&job_ref.cancel),
+                            progress: None,
+                        };
+                        accumulate_chunk_hooked(
+                            &ctx,
+                            &work.labels,
+                            &work.opts,
+                            work.b,
+                            s,
+                            t,
+                            work.cfg,
+                            hooks,
+                        )
+                    }));
+                    match outcome {
+                        Ok(Ok(run)) => {
+                            stats.kernel_local_micros.fetch_add(
+                                (kernel_secs(cpu0, &run) * 1e6) as u64,
+                                Ordering::Relaxed,
+                            );
+                            stats.spans_local.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send(SpanOutcome::Done {
+                                start: s,
+                                take: t,
+                                counts: run.counts,
+                            });
+                        }
+                        Ok(Err(CoreError::Cancelled)) => return,
+                        Ok(Err(e)) => {
+                            let _ = tx.send(SpanOutcome::JobFail(e.to_string()));
+                            return;
+                        }
+                        Err(payload) => {
+                            let _ = tx.send(SpanOutcome::JobFail(format!(
+                                "worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            )));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Merger: this thread. Spans may complete in any order; they are
+        // merged strictly in frontier order so `prog.counts` is always the
+        // exact accumulation of permutations `[0, cursor)` — the invariant
+        // the checkpoint format requires.
+        let mut pending: BTreeMap<u64, (u64, CountAccumulator)> = BTreeMap::new();
+        let mut frontier = start_cursor;
+        let t0 = Instant::now();
+        for outcome in rx {
+            match outcome {
+                SpanOutcome::Done {
+                    start,
+                    take,
+                    counts,
+                } => {
+                    if failure.is_some() {
+                        continue;
+                    }
+                    if start < frontier || pending.contains_key(&start) {
+                        // Duplicate under at-least-once dispatch (a peer was
+                        // declared dead after actually finishing the span).
+                        continue;
+                    }
+                    pending.insert(start, (take, counts));
+                    let mut advanced = false;
+                    while let Some((take, counts)) = pending.remove(&frontier) {
+                        let mut prog = plock(&job.prog);
+                        prog.counts.merge(&counts);
+                        prog.cursor += take;
+                        prog.computed += take;
+                        frontier = prog.cursor;
+                        job.live_done.store(frontier, Ordering::Relaxed);
+                        let done_perms = (frontier - start_cursor).max(1);
+                        prog.secs_per_perm = Some(t0.elapsed().as_secs_f64() / done_perms as f64);
+                        if work.cached {
+                            if let Some(cache) = &inner.cache {
+                                let state = CheckpointState {
+                                    digest: work.check_digest,
+                                    cursor: prog.cursor,
+                                    b: work.b,
+                                    counts: prog.counts.clone(),
+                                };
+                                if let Err(e) = cache.store(&job.key, &state) {
+                                    eprintln!(
+                                        "jobd: warning: failed to write cache entry {}: {e}",
+                                        job.key.hex()
+                                    );
+                                }
+                            }
+                        }
+                        advanced = true;
+                    }
+                    if advanced {
+                        emit_event(job);
+                        bump_change(inner);
+                        if frontier >= work.b {
+                            done.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                SpanOutcome::JobFail(msg) => {
+                    if failure.is_none() {
+                        failure = Some(msg);
+                    }
+                    done.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+
+    if let Some(msg) = failure {
+        fail_job(inner, job, msg);
+        return;
+    }
+    let mut prog = plock(&job.prog);
+    if prog.cursor >= work.b {
+        prog.result = Some(make_ctx().finalize(&prog.counts));
+        prog.state = JobState::Finished;
+        drop(prog);
+        emit_event(job);
+        bump_change(inner);
+    } else if job.cancel.load(Ordering::Relaxed) {
+        job.live_done.store(prog.cursor, Ordering::Relaxed);
+        prog.state = JobState::Cancelled;
+        drop(prog);
+        emit_event(job);
+        bump_change(inner);
+    } else if inner.shutdown.load(Ordering::Relaxed) {
+        // Resumable on restart: the checkpoint holds the merged frontier.
+        prog.state = JobState::Queued;
+        drop(prog);
+        bump_change(inner);
+    } else {
+        drop(prog);
+        fail_job(
+            inner,
+            job,
+            "sharded run stalled with spans unaccounted".to_string(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1131,6 +1673,7 @@ mod tests {
                 data: data.clone(),
                 classlabel: labels.clone(),
                 opts: opts.clone(),
+                source_path: None,
             })
             .unwrap();
         assert_eq!(info.total, 97);
@@ -1155,6 +1698,7 @@ mod tests {
                 data,
                 classlabel: labels,
                 opts: PmaxtOptions::default().precision(Precision::F32),
+                source_path: None,
             })
             .unwrap_err();
         match err {
@@ -1175,6 +1719,7 @@ mod tests {
                 data,
                 classlabel: vec![0, 1], // wrong length
                 opts: PmaxtOptions::default(),
+                source_path: None,
             })
             .unwrap_err();
         assert!(matches!(err, JobError::Invalid(_)));
@@ -1195,6 +1740,7 @@ mod tests {
                 data: data.clone(),
                 classlabel: labels.clone(),
                 opts: opts.clone(),
+                source_path: None,
             })
             .unwrap();
         let b = mgr
@@ -1202,6 +1748,7 @@ mod tests {
                 data,
                 classlabel: labels,
                 opts,
+                source_path: None,
             })
             .unwrap();
         assert_eq!(a.id, b.id);
@@ -1231,6 +1778,7 @@ mod tests {
                 data: data.clone(),
                 classlabel: labels.clone(),
                 opts: PmaxtOptions::default().permutations(50_000).seed(seed),
+                source_path: None,
             };
             match mgr.submit(spec) {
                 Ok(_) => accepted += 1,
@@ -1268,6 +1816,7 @@ mod tests {
                 data: data.clone(),
                 classlabel: labels.clone(),
                 opts: PmaxtOptions::default().permutations(256).seed(seed),
+                source_path: None,
             })
             .unwrap()
         };
@@ -1311,6 +1860,7 @@ mod tests {
                 data: data.clone(),
                 classlabel: labels.clone(),
                 opts: PmaxtOptions::default().permutations(97),
+                source_path: None,
             })
             .unwrap();
         let err = mgr
@@ -1333,6 +1883,7 @@ mod tests {
                 data,
                 classlabel: labels,
                 opts: PmaxtOptions::default().permutations(97).seed(9),
+                source_path: None,
             })
             .unwrap();
         assert!(matches!(
@@ -1363,6 +1914,7 @@ mod tests {
             data: data.clone(),
             classlabel: labels.clone(),
             opts: opts.clone(),
+            source_path: None,
         };
         let info = mgr.submit(spec.clone()).unwrap();
         let err = mgr
@@ -1408,6 +1960,7 @@ mod tests {
                 data: data.clone(),
                 classlabel: labels.clone(),
                 opts: PmaxtOptions::default().permutations(2_000),
+                source_path: None,
             })
             .unwrap();
         mgr.drain();
@@ -1416,6 +1969,7 @@ mod tests {
                 data,
                 classlabel: labels,
                 opts: PmaxtOptions::default().permutations(50).seed(3),
+                source_path: None,
             })
             .unwrap_err();
         assert_eq!(err, JobError::ShuttingDown);
@@ -1442,6 +1996,7 @@ mod tests {
                 data,
                 classlabel: labels,
                 opts: PmaxtOptions::default().permutations(100_000),
+                source_path: None,
             })
             .unwrap();
         let rx = mgr.subscribe(info.id).unwrap();

@@ -16,6 +16,7 @@ use sprint_core::side::Side;
 
 use crate::json::Json;
 use crate::manager::{JobError, JobEvent, JobStatus, SubmitInfo};
+use crate::shard::ShardSnapshot;
 
 /// Build a `submit` request for a dataset file on the server's filesystem.
 pub fn submit_request(path: &str, opts: &PmaxtOptions) -> Json {
@@ -90,6 +91,90 @@ pub fn opts_from_request(req: &Json) -> Result<PmaxtOptions, String> {
         opts.na = Some(v.as_f64().ok_or("na must be a number")?);
     }
     Ok(opts)
+}
+
+/// Build a `span_exec` request: run permutations `[start, start + take)` of
+/// the dataset at `path` (a path on the *peer's* filesystem) and return the
+/// raw exceedance counts. `b` is the coordinator's resolved permutation
+/// total; the executor re-resolves it from the options and refuses on
+/// mismatch, so two daemons can never silently shard different permutation
+/// streams.
+pub fn span_exec_request(path: &str, opts: &PmaxtOptions, b: u64, start: u64, take: u64) -> Json {
+    let mut pairs = vec![
+        ("cmd".to_string(), Json::str("span_exec")),
+        ("path".to_string(), Json::str(path)),
+        ("b_resolved".to_string(), Json::u64_str(b)),
+        ("start".to_string(), Json::u64_str(start)),
+        ("take".to_string(), Json::u64_str(take)),
+    ];
+    pairs.extend(opts_to_pairs(opts));
+    Json::Obj(pairs)
+}
+
+/// Span-exec outcome → response fields. Counts ride as decimal strings:
+/// exceedance counts are exact `u64`s and must survive the wire bit for bit
+/// (JSON numbers are f64 and lose integers past 2^53).
+pub fn span_counts_to_json(start: u64, take: u64, counts: &[u64], kernel_secs: f64) -> Json {
+    ok_response(vec![
+        ("start", Json::u64_str(start)),
+        ("take", Json::u64_str(take)),
+        // Seconds this daemon spent inside the permutation kernel for the
+        // span — the coordinator aggregates these to separate compute time
+        // from comm overhead in its status counters.
+        ("kernel_secs", Json::Num(kernel_secs)),
+        (
+            "counts",
+            Json::Arr(counts.iter().map(|&c| Json::u64_str(c)).collect()),
+        ),
+    ])
+}
+
+/// Response fields → `(start, take, counts, kernel_secs)`. The kernel time
+/// is advisory (0 when absent): counts are the contract, timing is telemetry.
+pub fn span_counts_from_json(resp: &Json) -> Result<(u64, u64, Vec<u64>, f64), String> {
+    let start = resp
+        .get("start")
+        .and_then(Json::as_u64)
+        .ok_or("missing start")?;
+    let take = resp
+        .get("take")
+        .and_then(Json::as_u64)
+        .ok_or("missing take")?;
+    let counts = resp
+        .get("counts")
+        .and_then(Json::as_arr)
+        .ok_or("missing counts array")?
+        .iter()
+        .map(|v| v.as_u64().ok_or("non-integer count"))
+        .collect::<Result<Vec<u64>, _>>()?;
+    let kernel_secs = resp
+        .get("kernel_secs")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    Ok((start, take, counts, kernel_secs))
+}
+
+/// Shard wire counters → the `comm` object embedded in status/progress
+/// responses of sharded jobs.
+pub fn shard_to_json(s: &ShardSnapshot) -> Json {
+    Json::obj(vec![
+        ("peers", Json::Num(s.peers as f64)),
+        ("peers_failed", Json::Num(s.peers_failed as f64)),
+        ("spans_total", Json::Num(s.spans_total as f64)),
+        ("spans_local", Json::Num(s.spans_local as f64)),
+        ("spans_remote", Json::Num(s.spans_remote as f64)),
+        ("spans_reassigned", Json::Num(s.spans_reassigned as f64)),
+        ("requests_sent", Json::Num(s.requests_sent as f64)),
+        ("responses_received", Json::Num(s.responses_received as f64)),
+        ("retries", Json::Num(s.retries as f64)),
+        ("bytes_sent", Json::u64_str(s.bytes_sent)),
+        ("bytes_received", Json::u64_str(s.bytes_received)),
+        ("kernel_local_micros", Json::u64_str(s.kernel_local_micros)),
+        (
+            "kernel_remote_micros",
+            Json::u64_str(s.kernel_remote_micros),
+        ),
+    ])
 }
 
 /// Build a request that addresses a job by id.
@@ -171,6 +256,9 @@ pub fn status_to_json(st: &JobStatus) -> Json {
     if let Some(err) = &st.error {
         fields.push(("error", Json::str(err.clone())));
     }
+    if let Some(comm) = &st.comm {
+        fields.push(("comm", shard_to_json(comm)));
+    }
     ok_response(fields)
 }
 
@@ -185,6 +273,9 @@ pub fn event_to_json(e: &JobEvent) -> Json {
     ];
     if let Some(eta) = e.eta_secs {
         fields.push(("eta_secs", Json::Num(eta)));
+    }
+    if let Some(comm) = &e.comm {
+        fields.push(("comm", shard_to_json(comm)));
     }
     ok_response(fields)
 }

@@ -344,6 +344,10 @@ fn handle_connection(
                 let resp = handle_submit(&request, manager);
                 respond(&mut conn, &resp, faults)?;
             }
+            "span_exec" => {
+                let resp = handle_span_exec(&request, manager);
+                respond(&mut conn, &resp, faults)?;
+            }
             "status" => {
                 let resp = match job_id(&request) {
                     Ok(id) => match manager.status(id) {
@@ -438,12 +442,56 @@ fn handle_submit(request: &Json, manager: &JobManager) -> Json {
             return protocol::err_response(&format!("cannot read dataset {path:?}: {e}"), "runtime")
         }
     };
+    // Record the canonical dataset path: if this daemon has peers, the
+    // coordinator sends it in `span_exec` requests so each peer re-reads
+    // its own copy instead of shipping the matrix inline.
+    let source_path = std::fs::canonicalize(path).unwrap_or_else(|_| PathBuf::from(path));
     match manager.submit(JobSpec {
         data,
         classlabel,
         opts,
+        source_path: Some(source_path),
     }) {
         Ok(info) => protocol::submit_to_json(&info),
+        Err(e) => protocol::err_from(&e),
+    }
+}
+
+/// Execute one span of a sharded job for a peer coordinator: re-read the
+/// dataset from this daemon's own filesystem, recompute the span's exact
+/// exceedance counts with the same skip-ahead stream the coordinator uses,
+/// and return them flat. Stateless by design — no job is registered, so a
+/// coordinator retry (or a second coordinator) is harmless.
+fn handle_span_exec(request: &Json, manager: &JobManager) -> Json {
+    let path = match request.get("path").and_then(Json::as_str) {
+        Some(p) => p,
+        None => return protocol::err_response("span_exec requires a path field", "usage"),
+    };
+    let opts: PmaxtOptions = match protocol::opts_from_request(request) {
+        Ok(o) => o,
+        Err(e) => return protocol::err_response(&e, "usage"),
+    };
+    let (b, start, take) = match (
+        request.get("b_resolved").and_then(Json::as_u64),
+        request.get("start").and_then(Json::as_u64),
+        request.get("take").and_then(Json::as_u64),
+    ) {
+        (Some(b), Some(start), Some(take)) => (b, start, take),
+        _ => {
+            return protocol::err_response(
+                "span_exec requires b_resolved, start and take fields",
+                "usage",
+            )
+        }
+    };
+    let (data, classlabel) = match read_dataset(std::path::Path::new(path)) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return protocol::err_response(&format!("cannot read dataset {path:?}: {e}"), "runtime")
+        }
+    };
+    match manager.exec_span(data, classlabel, opts, b, start, take) {
+        Ok((flat, kernel_secs)) => protocol::span_counts_to_json(start, take, &flat, kernel_secs),
         Err(e) => protocol::err_from(&e),
     }
 }

@@ -117,6 +117,7 @@ fn soak_all_statistics_survive_faults_bitwise_identical() {
             data: data.clone(),
             classlabel: labels.clone(),
             opts: opts.clone(),
+            source_path: None,
         };
         let (served, attempts) = run_to_completion(&mgr, &spec);
         retried_any |= attempts > 1;
@@ -170,6 +171,7 @@ fn kill_and_resume_under_faults_is_bitwise_identical() {
         data: data.clone(),
         classlabel: labels.clone(),
         opts: opts.clone(),
+        source_path: None,
     };
     let mk = |faults: Faults| {
         JobManager::new(ManagerConfig {

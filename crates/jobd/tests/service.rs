@@ -52,6 +52,7 @@ fn submit(mgr: &JobManager, data: &Matrix, labels: &[u8], opts: &PmaxtOptions) -
         data: data.clone(),
         classlabel: labels.to_vec(),
         opts: opts.clone(),
+        source_path: None,
     })
     .unwrap()
     .id
@@ -132,6 +133,7 @@ fn cancel_leaves_resumable_checkpoint() {
             data: data.clone(),
             classlabel: labels.clone(),
             opts: opts.clone(),
+            source_path: None,
         })
         .unwrap();
     assert_eq!(info.cache, CacheDisposition::Miss);
@@ -177,6 +179,7 @@ fn cancel_leaves_resumable_checkpoint() {
             data: data.clone(),
             classlabel: labels.clone(),
             opts: opts.clone(),
+            source_path: None,
         })
         .unwrap();
     match resumed.cache {
@@ -219,6 +222,7 @@ fn cache_hit_skips_computation() {
             data: data.clone(),
             classlabel: labels.clone(),
             opts: opts.clone(),
+            source_path: None,
         })
         .unwrap();
     assert_eq!(info.cache, CacheDisposition::Hit);
@@ -274,6 +278,7 @@ fn extension_is_bitwise_identical_for_all_statistics_and_sides() {
                     data: data.clone(),
                     classlabel: labels.clone(),
                     opts: extended.clone(),
+                    source_path: None,
                 })
                 .unwrap();
             assert_eq!(
@@ -324,6 +329,7 @@ fn progress_events_are_monotone_with_eta() {
             data,
             classlabel: labels,
             opts,
+            source_path: None,
         })
         .unwrap();
     let rx = mgr.subscribe(info.id).unwrap();

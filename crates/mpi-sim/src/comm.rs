@@ -423,6 +423,53 @@ impl Communicator {
     }
 }
 
+/// The in-process channel substrate as one backend of the transport-generic
+/// [`Comm`](crate::Comm) trait. Only the byte-level primitives are provided;
+/// the trait's default collectives reuse the exact binomial/dissemination
+/// topologies above, so generic rank bodies produce the same message counts
+/// as code written against the concrete type.
+impl crate::comm_trait::Comm for Communicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_bytes(&self, dst: usize, tag: u64, payload: Vec<u8>) -> CommResult<()> {
+        debug_assert_eq!(
+            tag & COLL_BIT,
+            0,
+            "trait-level tags must not enter the inherent collective space"
+        );
+        self.send_tagged(dst, tag, payload)
+    }
+
+    fn recv_bytes(&self, src: usize, tag: u64) -> CommResult<Vec<u8>> {
+        debug_assert_eq!(
+            tag & COLL_BIT,
+            0,
+            "trait-level tags must not enter the inherent collective space"
+        );
+        self.recv_tagged::<Vec<u8>>(src, tag)
+    }
+
+    fn next_collective(&self, kind: crate::comm_trait::CollectiveKind) -> u64 {
+        // Shares the sequence counter with the inherent collectives (SPMD
+        // discipline covers both), but stamps bit 62 instead of bit 63 so the
+        // two tag spaces stay disjoint.
+        self.collectives.set(self.collectives.get() + 1);
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        crate::comm_trait::TRAIT_COLL_BIT | (seq << 3) | kind as u64
+    }
+
+    fn message_stats(&self) -> MessageStats {
+        Communicator::message_stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::Universe;

@@ -1,0 +1,408 @@
+//! Transport-generic communicator trait.
+//!
+//! [`Comm`] captures the message-passing surface `pmaxT` needs — rank
+//! identity, tagged byte-level point-to-point transfer, and the collectives
+//! barrier / broadcast / gather / reduce-sum — as default methods over two
+//! required primitives (`send_bytes` / `recv_bytes`), so one SPMD rank body
+//! runs unmodified over the in-process channel substrate
+//! ([`Communicator`](crate::Communicator)) or a real network transport
+//! ([`TcpComm`](crate::TcpComm)).
+//!
+//! The default collective algorithms mirror the concrete `Communicator`'s
+//! inherent implementations message-for-message: binomial trees cost `p − 1`
+//! messages total, the dissemination barrier `p·⌈log₂ p⌉`, the flat gather
+//! funnel `p − 1`. The communication-complexity reasoning from the paper's
+//! §4.4 therefore carries to every backend, and message-count assertions
+//! written against one transport hold on the other.
+//!
+//! Collective tags live in a reserved tag space marked by bit 62
+//! ([`TRAIT_COLL_BIT`]), disjoint both from user point-to-point tags (top
+//! two bits clear) and from the concrete `Communicator`'s private bit-63
+//! collective space, so trait-level and inherent collectives can interleave
+//! on the same backend without matching each other's messages.
+
+use crate::error::{CommError, CommResult};
+use crate::MessageStats;
+
+/// Bit marking a tag as belonging to a trait-level collective operation.
+/// User point-to-point tags must keep the top two bits clear.
+pub const TRAIT_COLL_BIT: u64 = 1 << 62;
+
+/// Kind codes mixed into trait-level collective tags so different
+/// collectives can never match each other's messages even if a backend
+/// reorders delivery across tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Dissemination barrier.
+    Barrier = 0,
+    /// Binomial-tree broadcast.
+    Bcast = 1,
+    /// Flat gather funnel.
+    Gather = 2,
+    /// Binomial-tree reduction.
+    Reduce = 3,
+}
+
+/// Encode a `u64` slice little-endian for the wire.
+pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a little-endian `u64` payload; `src` only labels the error.
+pub fn decode_u64s(bytes: &[u8], src: usize) -> CommResult<Vec<u64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(CommError::Protocol {
+            peer: src,
+            detail: format!("u64 payload length {} not a multiple of 8", bytes.len()),
+        });
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect())
+}
+
+/// Encode an `f64` slice via its IEEE-754 bit pattern, little-endian. Using
+/// the bit pattern (not a decimal round trip) keeps wire transfer lossless,
+/// which the bitwise-reproducibility contract requires.
+pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decode a little-endian IEEE-754 `f64` payload; `src` only labels the error.
+pub fn decode_f64s(bytes: &[u8], src: usize) -> CommResult<Vec<f64>> {
+    Ok(decode_u64s(bytes, src)?
+        .into_iter()
+        .map(f64::from_bits)
+        .collect())
+}
+
+/// The transport-generic communicator: what a `pmaxT` rank needs from its
+/// message-passing substrate.
+///
+/// Backends provide identity, tagged byte transfer with per-(src, tag)
+/// ordering and out-of-order buffering, and a collective tag allocator; the
+/// collectives themselves are default methods shared by every backend.
+///
+/// ## Contract for implementors
+///
+/// - `send_bytes` is non-blocking or buffered: a send must not deadlock
+///   against the peer's own send (the collectives rely on this, as MPI
+///   implementations rely on eager small-message sends).
+/// - `recv_bytes(src, tag)` blocks for a message from exactly `src` with
+///   exactly `tag`; messages from `src` with other tags are buffered, and
+///   messages with the same tag arrive in send order.
+/// - `next_collective` returns a tag in the [`TRAIT_COLL_BIT`] space that is
+///   identical across ranks for the n-th collective call (SPMD discipline),
+///   and bumps the backend's collective counter.
+pub trait Comm {
+    /// This rank's id, in `0..size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the universe.
+    fn size(&self) -> usize;
+
+    /// Send `payload` to rank `dst` under `tag`.
+    fn send_bytes(&self, dst: usize, tag: u64, payload: Vec<u8>) -> CommResult<()>;
+
+    /// Receive the payload sent by `src` under `tag`, blocking until it
+    /// arrives.
+    fn recv_bytes(&self, src: usize, tag: u64) -> CommResult<Vec<u8>>;
+
+    /// Allocate the tag for the next collective operation (identical across
+    /// ranks by SPMD discipline) and count it.
+    fn next_collective(&self, kind: CollectiveKind) -> u64;
+
+    /// Snapshot of this rank's traffic counters.
+    fn message_stats(&self) -> MessageStats;
+
+    /// True for the SPRINT master (rank 0).
+    fn is_master(&self) -> bool {
+        self.rank() == crate::MASTER
+    }
+
+    /// Validate a peer rank against the communicator size.
+    fn check_peer(&self, rank: usize) -> CommResult<()> {
+        if rank >= self.size() {
+            Err(CommError::InvalidRank {
+                rank,
+                size: self.size(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Dissemination barrier: `⌈log₂ p⌉` rounds of shifted token passing.
+    /// No rank exits before every rank has entered.
+    fn barrier(&self) -> CommResult<()> {
+        let tag = self.next_collective(CollectiveKind::Barrier);
+        let (rank, size) = (self.rank(), self.size());
+        let mut dist = 1usize;
+        while dist < size {
+            let to = (rank + dist) % size;
+            let from = (rank + size - dist % size) % size;
+            self.send_bytes(to, tag | (dist as u64) << 32, Vec::new())?;
+            self.recv_bytes(from, tag | (dist as u64) << 32)?;
+            dist <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast from `root`. The root passes `Some(payload)`,
+    /// everyone else `None`; all ranks return the payload.
+    fn bcast_bytes(&self, root: usize, payload: Option<Vec<u8>>) -> CommResult<Vec<u8>> {
+        self.check_peer(root)?;
+        let tag = self.next_collective(CollectiveKind::Bcast);
+        let (rank, size) = (self.rank(), self.size());
+        let vr = (rank + size - root) % size; // virtual rank, root at 0
+        let payload = if vr == 0 {
+            payload.expect("broadcast root must supply a payload")
+        } else {
+            // Parent: clear the highest set bit of the virtual rank.
+            let msb = usize::BITS - 1 - vr.leading_zeros();
+            let parent_vr = vr & !(1usize << msb);
+            let parent = (parent_vr + root) % size;
+            self.recv_bytes(parent, tag)?
+        };
+        // Children: vr | 2^k for 2^k > vr (any k when vr == 0), child < size.
+        let first_k = if vr == 0 {
+            0
+        } else {
+            (usize::BITS - vr.leading_zeros()) as usize
+        };
+        for k in first_k..usize::BITS as usize {
+            let child_vr = vr | (1usize << k);
+            if child_vr == vr || child_vr >= size {
+                if child_vr >= size {
+                    break;
+                }
+                continue;
+            }
+            let child = (child_vr + root) % size;
+            self.send_bytes(child, tag, payload.clone())?;
+        }
+        Ok(payload)
+    }
+
+    /// Flat gather: every rank sends `payload` to `root`, which returns the
+    /// vector ordered by rank; non-roots return `None`.
+    fn gather_bytes(&self, root: usize, payload: Vec<u8>) -> CommResult<Option<Vec<Vec<u8>>>> {
+        self.check_peer(root)?;
+        let tag = self.next_collective(CollectiveKind::Gather);
+        let (rank, size) = (self.rank(), self.size());
+        if rank == root {
+            let mut out: Vec<Option<Vec<u8>>> = (0..size).map(|_| None).collect();
+            out[root] = Some(payload);
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = Some(self.recv_bytes(src, tag)?);
+                }
+            }
+            Ok(Some(out.into_iter().map(Option::unwrap).collect()))
+        } else {
+            self.send_bytes(root, tag, payload)?;
+            Ok(None)
+        }
+    }
+
+    /// Element-wise sum-reduce of equal-length `u64` vectors to `root` over a
+    /// binomial tree. This is the collective `pmaxT` uses to combine per-rank
+    /// permutation counts (paper §3.2 Step 5); partials combine in a fixed
+    /// tree order and integer summation is associative, so the result is
+    /// exact and bitwise-identical to serial for any rank count.
+    fn reduce_sum_u64(&self, root: usize, mut value: Vec<u64>) -> CommResult<Option<Vec<u64>>> {
+        self.check_peer(root)?;
+        let tag = self.next_collective(CollectiveKind::Reduce);
+        let (rank, size) = (self.rank(), self.size());
+        let vr = (rank + size - root) % size;
+        let mut mask = 1usize;
+        while mask < size {
+            if vr & mask != 0 {
+                // Send the partial to the subtree parent and drop out.
+                let dst_vr = vr & !mask;
+                let dst = (dst_vr + root) % size;
+                self.send_bytes(dst, tag, encode_u64s(&value))?;
+                return Ok(None);
+            }
+            let src_vr = vr | mask;
+            if src_vr < size {
+                let src = (src_vr + root) % size;
+                let other = decode_u64s(&self.recv_bytes(src, tag)?, src)?;
+                if other.len() != value.len() {
+                    return Err(CommError::Protocol {
+                        peer: src,
+                        detail: format!(
+                            "reduce partial has {} elements, expected {}",
+                            other.len(),
+                            value.len()
+                        ),
+                    });
+                }
+                for (x, y) in value.iter_mut().zip(&other) {
+                    *x += *y;
+                }
+            }
+            mask <<= 1;
+        }
+        Ok(Some(value))
+    }
+
+    /// Element-wise sum-reduce of equal-length `f64` vectors to `root` over
+    /// the same binomial tree: deterministic for a given rank count, though
+    /// floating-point addition order differs from serial left-to-right.
+    fn reduce_sum_f64(&self, root: usize, mut value: Vec<f64>) -> CommResult<Option<Vec<f64>>> {
+        self.check_peer(root)?;
+        let tag = self.next_collective(CollectiveKind::Reduce);
+        let (rank, size) = (self.rank(), self.size());
+        let vr = (rank + size - root) % size;
+        let mut mask = 1usize;
+        while mask < size {
+            if vr & mask != 0 {
+                let dst_vr = vr & !mask;
+                let dst = (dst_vr + root) % size;
+                self.send_bytes(dst, tag, encode_f64s(&value))?;
+                return Ok(None);
+            }
+            let src_vr = vr | mask;
+            if src_vr < size {
+                let src = (src_vr + root) % size;
+                let other = decode_f64s(&self.recv_bytes(src, tag)?, src)?;
+                if other.len() != value.len() {
+                    return Err(CommError::Protocol {
+                        peer: src,
+                        detail: format!(
+                            "reduce partial has {} elements, expected {}",
+                            other.len(),
+                            value.len()
+                        ),
+                    });
+                }
+                for (x, y) in value.iter_mut().zip(&other) {
+                    *x += *y;
+                }
+            }
+            mask <<= 1;
+        }
+        Ok(Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    // A generic rank body proves the call sites compile against the trait,
+    // not the concrete type — the same body the TCP backend tests reuse.
+    fn sum_ranks<C: Comm>(comm: &C) -> Option<Vec<u64>> {
+        let local = vec![comm.rank() as u64, 1];
+        comm.reduce_sum_u64(0, local).unwrap()
+    }
+
+    #[test]
+    fn trait_reduce_sum_matches_serial_over_channels() {
+        for p in 1..=5 {
+            let results = Universe::run(p, sum_ranks).unwrap();
+            let expect: u64 = (0..p as u64).sum();
+            assert_eq!(results[0], Some(vec![expect, p as u64]));
+            assert!(results[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn trait_bcast_delivers_to_every_rank() {
+        let results = Universe::run(5, |comm| {
+            let payload = if Comm::is_master(comm) {
+                Some(vec![7u8, 1, 9])
+            } else {
+                None
+            };
+            comm.bcast_bytes(0, payload).unwrap()
+        })
+        .unwrap();
+        assert!(results.iter().all(|r| r == &vec![7u8, 1, 9]));
+    }
+
+    #[test]
+    fn trait_gather_orders_by_rank() {
+        let results = Universe::run(4, |comm| {
+            comm.gather_bytes(0, vec![Comm::rank(comm) as u8; 2])
+                .unwrap()
+        })
+        .unwrap();
+        let gathered = results[0].clone().unwrap();
+        assert_eq!(
+            gathered,
+            vec![vec![0u8, 0], vec![1, 1], vec![2, 2], vec![3, 3]]
+        );
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn trait_barrier_synchronizes_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let entered = Arc::new(AtomicUsize::new(0));
+        let results = Universe::run(4, {
+            let entered = Arc::clone(&entered);
+            move |comm| {
+                entered.fetch_add(1, Ordering::SeqCst);
+                Comm::barrier(comm).unwrap();
+                // After the barrier, every rank must have entered.
+                entered.load(Ordering::SeqCst)
+            }
+        })
+        .unwrap();
+        assert!(results.iter().all(|&seen| seen == 4));
+    }
+
+    #[test]
+    fn trait_collectives_match_inherent_message_counts() {
+        // Binomial bcast and reduce both cost p − 1 messages in total; the
+        // trait defaults must match the concrete Communicator exactly.
+        for p in [2usize, 3, 4, 5, 8] {
+            let stats = Universe::run(p, |comm| {
+                let payload = if Comm::is_master(comm) {
+                    Some(vec![1u8; 16])
+                } else {
+                    None
+                };
+                comm.bcast_bytes(0, payload).unwrap();
+                comm.reduce_sum_u64(0, vec![1, 2, 3]).unwrap();
+                Comm::message_stats(comm)
+            })
+            .unwrap();
+            let sent: u64 = stats.iter().map(|s| s.sent).sum();
+            let received: u64 = stats.iter().map(|s| s.received).sum();
+            assert_eq!(sent, 2 * (p as u64 - 1), "p={p}");
+            assert_eq!(received, 2 * (p as u64 - 1), "p={p}");
+            assert!(stats.iter().all(|s| s.collectives == 2));
+        }
+    }
+
+    #[test]
+    fn u64_and_f64_codecs_round_trip() {
+        let u = vec![0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef];
+        assert_eq!(decode_u64s(&encode_u64s(&u), 0).unwrap(), u);
+        let f = vec![0.0f64, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE];
+        let back = decode_f64s(&encode_f64s(&f), 0).unwrap();
+        assert_eq!(back.len(), f.len());
+        for (a, b) in f.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // NaN survives bitwise.
+        let nan = decode_f64s(&encode_f64s(&[f64::NAN]), 0).unwrap();
+        assert!(nan[0].is_nan());
+        // Torn payloads are protocol errors, not panics.
+        assert!(decode_u64s(&[1, 2, 3], 7).is_err());
+    }
+}

@@ -29,14 +29,20 @@
 //! ```
 
 mod comm;
+mod comm_trait;
 mod envelope;
 mod error;
 mod mesh;
+mod tcp;
 mod timer;
 mod universe;
 
 pub use comm::{Communicator, MessageStats};
+pub use comm_trait::{
+    decode_f64s, decode_u64s, encode_f64s, encode_u64s, CollectiveKind, Comm, TRAIT_COLL_BIT,
+};
 pub use error::{CommError, CommResult};
+pub use tcp::{TcpComm, TcpConfig, TcpFleet, TcpStats};
 pub use timer::{SectionProfile, SectionTimer};
 pub use universe::{Universe, UniverseError};
 

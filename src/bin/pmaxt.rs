@@ -119,6 +119,9 @@ struct ServeConfig {
     queue: usize,
     job_threads: usize,
     cache: Option<PathBuf>,
+    /// Peer daemon addresses (`--peer ADDR`, repeatable): jobs submitted
+    /// here are sharded across the roster of this daemon plus every peer.
+    peers: Vec<String>,
     /// Per-connection idle read deadline (`--idle-timeout SECS`).
     idle_timeout: Option<Duration>,
     /// Per-connection write deadline (`--write-timeout SECS`).
@@ -146,7 +149,7 @@ struct ClientConfig {
 }
 
 fn usage_text() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--peer ADDR]... \n            [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
 }
 
 /// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
@@ -298,6 +301,7 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
         queue: 64,
         job_threads: 0,
         cache: Some(PathBuf::from(".pmaxt-cache")),
+        peers: Vec::new(),
         idle_timeout: None,
         write_timeout: None,
     };
@@ -331,6 +335,7 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
             "--job-threads" => num!("--job-threads", cfg.job_threads),
             "--cache" => cfg.cache = Some(PathBuf::from(take("--cache")?)),
             "--no-cache" => cfg.cache = None,
+            "--peer" => cfg.peers.push(take("--peer")?.clone()),
             "--idle-timeout" => secs!("--idle-timeout", cfg.idle_timeout),
             "--write-timeout" => secs!("--write-timeout", cfg.write_timeout),
             other if !other.starts_with('-') && !have_addr => {
@@ -531,6 +536,7 @@ fn cmd_serve(cfg: &ServeConfig) -> Result<(), CliError> {
         span: cfg.span,
         job_threads: cfg.job_threads,
         cache_dir: cfg.cache.clone(),
+        peers: cfg.peers.clone(),
         faults: faults.clone(),
     })
     .map_err(|e| runtime(format!("starting job manager: {e}")))?;
@@ -554,6 +560,13 @@ fn cmd_serve(cfg: &ServeConfig) -> Result<(), CliError> {
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "disabled".into()),
     );
+    if !cfg.peers.is_empty() {
+        eprintln!(
+            "jobd: sharding submissions across {} peer(s): {}",
+            cfg.peers.len(),
+            cfg.peers.join(", ")
+        );
+    }
     server.run().map_err(|e| runtime(format!("serving: {e}")))
 }
 
@@ -611,6 +624,33 @@ fn print_status_line(resp: &Json) {
         line.push_str(&format!(", error: {err}"));
     }
     println!("{line}");
+    // Sharded jobs carry a comm block: roster size, span accounting and
+    // wire-level counters from the coordinator's point of view.
+    if let Some(comm) = resp.get("comm") {
+        let c = |k: &str| comm.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let mut comm_line = format!(
+            "  comm: {} peer(s), spans {} total / {} local / {} remote",
+            c("peers"),
+            c("spans_total"),
+            c("spans_local"),
+            c("spans_remote"),
+        );
+        if c("peers_failed") > 0 {
+            comm_line.push_str(&format!(
+                ", {} peer(s) failed, {} span(s) reassigned",
+                c("peers_failed"),
+                c("spans_reassigned"),
+            ));
+        }
+        comm_line.push_str(&format!(
+            "; wire: {} request(s), {} retried, {} B out / {} B in",
+            c("requests_sent"),
+            c("retries"),
+            c("bytes_sent"),
+            c("bytes_received"),
+        ));
+        println!("{comm_line}");
+    }
 }
 
 fn fetch_and_print_result(cfg: &ClientConfig, job: u64, wait: bool) -> Result<(), CliError> {
