@@ -12,8 +12,13 @@
 //! make_tables serve [JOBS] [B] [OUT.json]          jobd throughput + cache latency
 //! make_tables faults [JOBS] [B] [OUT.json]         fault-hook overhead + soak recovery
 //! make_tables cluster [JOBS] [B] [OUT.json]        cross-daemon sharding over TCP
+//! make_tables adaptive [B] [--quick]               adaptive early stopping vs exact
 //! make_tables all                                  everything above
 //! ```
+//!
+//! Every JSON-writing subcommand also accepts `--out PATH`, which overrides
+//! both the positional OUT form and the `BENCH_*.json` default (the default
+//! silently overwrites any committed file of the same name).
 
 use cluster_sim::platform::{ec2, ecdf, hector, ness, quadcore, PlatformSpec};
 use cluster_sim::{compare, figure, tables, whatif};
@@ -356,8 +361,89 @@ fn run_cluster(jobs: usize, b: u64, out: Option<&str>) {
     }
 }
 
+fn run_adaptive(b: u64, quick: bool, out: Option<&str>) {
+    println!("=== adaptive early stopping vs the exact reference ===");
+    println!(
+        "(reference workload 6102x76 at B = {b}: exact scores genes x B \
+         gene-permutations; adaptive deactivates certifiably-null genes under \
+         an anytime-valid bound and reports deterministic p-value envelopes)"
+    );
+    let r = sprint_bench::adaptive_bench(6_102, 76, b, 20);
+    println!(
+        "  exact:    {:>8.3} s, {} gene-permutations",
+        r.exact_secs, r.gene_perms_exact
+    );
+    println!(
+        "  adaptive: {:>8.3} s, {} gene-permutations ({:.1}% of exact), \
+         {} of {} genes stopped, watermark {}",
+        r.adaptive_secs,
+        r.gene_perms_scored,
+        100.0 * r.budget_fraction(),
+        r.genes_stopped,
+        r.genes,
+        r.watermark
+    );
+    println!(
+        "  agreement: {} comparable genes, {} bound violations, mean envelope \
+         width {:.5}, max {:.5}, max point error {:.5}, {} tail fits",
+        r.comparable,
+        r.bound_violations,
+        r.mean_bound_width,
+        r.max_bound_width,
+        r.max_point_abs_err,
+        r.tail_fitted
+    );
+    // The envelope is deterministic — a violation is an implementation bug,
+    // so it fails the command in every mode, not just --quick.
+    if r.bound_violations > 0 {
+        eprintln!(
+            "\nFAILED — {} gene(s) whose envelope missed the exact p-value",
+            r.bound_violations
+        );
+        std::process::exit(1);
+    }
+    if quick {
+        if r.gene_perms_scored >= r.gene_perms_exact {
+            eprintln!(
+                "\nquick gate FAILED — adaptive scored {} gene-permutations, \
+                 exact scores {}",
+                r.gene_perms_scored, r.gene_perms_exact
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\nquick gate: adaptive scored {:.1}% of the exact budget with 0 \
+             bound violations",
+            100.0 * r.budget_fraction()
+        );
+        return;
+    }
+    let json = sprint_bench::adaptive_bench_to_json(&r);
+    let path = out.unwrap_or("BENCH_adaptive.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+/// Pull `--out PATH` (the explicit output-path form shared by every
+/// JSON-writing subcommand) out of the argument list, leaving the positional
+/// forms untouched.
+fn take_out_flag(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--out")?;
+    if i + 1 >= args.len() {
+        eprintln!("--out needs a value");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out_flag = take_out_flag(&mut args);
+    let args = args;
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
         "table1" => platform_table(&hector(), "Table I"),
@@ -378,23 +464,44 @@ fn main() {
         "kernel" => {
             let quick = args.iter().any(|a| a == "--quick");
             let out = args[1..].iter().find(|a| !a.starts_with("--"));
-            run_kernel(out.map(String::as_str), quick);
+            run_kernel(out_flag.as_deref().or(out.map(String::as_str)), quick);
         }
-        "threads" => run_threads(args.get(1).map(String::as_str)),
+        "threads" => run_threads(out_flag.as_deref().or(args.get(1).map(String::as_str))),
         "serve" => {
             let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
             let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
-            run_serve(jobs, b, args.get(3).map(String::as_str));
+            run_serve(
+                jobs,
+                b,
+                out_flag.as_deref().or(args.get(3).map(String::as_str)),
+            );
         }
         "faults" => {
             let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
             let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
-            run_faults(jobs, b, args.get(3).map(String::as_str));
+            run_faults(
+                jobs,
+                b,
+                out_flag.as_deref().or(args.get(3).map(String::as_str)),
+            );
         }
         "cluster" => {
             let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
             let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
-            run_cluster(jobs, b, args.get(3).map(String::as_str));
+            run_cluster(
+                jobs,
+                b,
+                out_flag.as_deref().or(args.get(3).map(String::as_str)),
+            );
+        }
+        "adaptive" => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let b = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(if quick { 500 } else { 5_000 });
+            run_adaptive(b, quick, out_flag.as_deref());
         }
         "all" => {
             platform_table(&hector(), "Table I");
@@ -411,10 +518,11 @@ fn main() {
             run_threads(None);
             run_serve(4, 400, None);
             run_faults(4, 400, None);
+            run_adaptive(5_000, false, None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|cluster [JOBS B OUT.json]|all]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|cluster [JOBS B OUT.json]|adaptive [B] [--quick]|all] [--out PATH]");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,218 @@
+//! Anytime-valid confidence sequences for Bernoulli proportions, and the
+//! deterministic p-value envelope the adaptive runner reports.
+//!
+//! Two distinct bounds live here, and the distinction carries the subsystem's
+//! correctness story:
+//!
+//! - [`cs_lower_bound`]/[`cs_upper_bound`]: a Robbins-mixture confidence
+//!   sequence over the per-gene exceedance process. Valid *at every sample
+//!   size simultaneously* (the anytime-valid property), so the runner may
+//!   peek after every chunk without inflating the error rate. These drive
+//!   the **stop decision only** — a gene is deactivated once the lower bound
+//!   on its raw p-value clears the non-significance threshold.
+//! - [`envelope`]: the deterministic interval `[k/B, (k + B - c)/B]` for a
+//!   gene whose exceedance count is `k` after scoring a `c`-permutation
+//!   prefix of the `B`-permutation stream. Each unscored permutation
+//!   contributes 0 or 1 exceedances, so the exact-mode p-value lies in this
+//!   interval **with certainty**, not merely with probability `1 - α`. This
+//!   is what adaptive results *report*, and what the proptest oracle checks.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, 9
+/// coefficients — accurate to ~15 significant digits for positive `x`).
+///
+/// Hand-rolled because `f64::ln_gamma` is unstable and the crate takes no
+/// numeric dependencies.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Canonical published Lanczos coefficients, kept verbatim even where
+    // they carry more digits than f64 resolves.
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_59,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const PI: f64 = std::f64::consts::PI;
+    if x < 0.5 {
+        // Reflection formula keeps the approximation in its accurate range.
+        PI.ln() - (PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// `ln C(n, k)` via [`ln_gamma`].
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Log of the Robbins confidence-sequence criterion at proportion `p`:
+/// `ln[(n+1) · C(n,k) · p^k · (1-p)^(n-k) / α]`. The level-`(1-α)` confidence
+/// set is `{p : criterion ≥ 0}`; by Robbins (1970) it covers the true `p` at
+/// **every** `n` simultaneously with probability at least `1 - α`.
+fn ln_criterion(k: u64, n: u64, alpha: f64, p: f64) -> f64 {
+    let mut v = ((n + 1) as f64).ln() + ln_choose(n, k) - alpha.ln();
+    if k > 0 {
+        v += k as f64 * p.ln();
+    }
+    if n > k {
+        v += (n - k) as f64 * (1.0 - p).ln();
+    }
+    v
+}
+
+/// Bisect `ln_criterion = 0` on `[lo, hi]`, where the criterion is negative
+/// at `lo` and non-negative at `hi` (or vice versa — the caller orients it).
+fn bisect(k: u64, n: u64, alpha: f64, mut lo: f64, mut hi: f64) -> f64 {
+    // The criterion is concave in p with its maximum at the MLE k/n, so a
+    // sign change between the endpoints pins a unique root.
+    let rising = ln_criterion(k, n, alpha, lo) < 0.0;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        let c = ln_criterion(k, n, alpha, mid);
+        if (c < 0.0) == rising {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Anytime-valid lower confidence bound on a Bernoulli proportion after
+/// observing `k` successes in `n` trials. Monotone non-decreasing in the
+/// evidence: more trials at the same rate tighten it toward `k/n`.
+pub fn cs_lower_bound(k: u64, n: u64, alpha: f64) -> f64 {
+    assert!(k <= n, "successes exceed trials");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let mle = k as f64 / n as f64;
+    // (n+1)·P(X = k) ≥ 1 at the MLE (the binomial mode is at least the
+    // uniform mass 1/(n+1)), so the confidence set is never empty and the
+    // criterion is non-negative at `mle`.
+    if ln_criterion(k, n, alpha, f64::MIN_POSITIVE) >= 0.0 {
+        return 0.0;
+    }
+    bisect(k, n, alpha, f64::MIN_POSITIVE, mle)
+}
+
+/// Anytime-valid upper confidence bound, the mirror of [`cs_lower_bound`].
+pub fn cs_upper_bound(k: u64, n: u64, alpha: f64) -> f64 {
+    assert!(k <= n, "successes exceed trials");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    if n == 0 || k == n {
+        return 1.0;
+    }
+    let mle = k as f64 / n as f64;
+    let hi = 1.0 - f64::EPSILON;
+    if ln_criterion(k, n, alpha, hi) >= 0.0 {
+        return 1.0;
+    }
+    bisect(k, n, alpha, mle, hi)
+}
+
+/// Deterministic envelope on the exact-mode raw p-value of a gene that
+/// counted `count` exceedances over a scored prefix of `scored` of the `B`
+/// total permutations: every unscored permutation adds 0 or 1, so
+/// `p_exact ∈ [count/B, (count + B - scored)/B]` with certainty.
+pub fn envelope(count: u64, scored: u64, b: u64) -> (f64, f64) {
+    assert!(scored <= b, "scored prefix longer than the run");
+    assert!(count <= scored, "count exceeds scored permutations");
+    let b_f = b as f64;
+    (count as f64 / b_f, (count + (b - scored)) as f64 / b_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-11);
+        // ln C(10, 3) = ln 120
+        assert!((ln_choose(10, 3) - 120.0f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(52, 5) - 2_598_960.0f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bounds_bracket_the_mle_and_tighten_with_evidence() {
+        let alpha = 0.05;
+        let mut last_width = f64::INFINITY;
+        for n in [40u64, 160, 640, 2560] {
+            let k = n / 2;
+            let lo = cs_lower_bound(k, n, alpha);
+            let hi = cs_upper_bound(k, n, alpha);
+            let mle = k as f64 / n as f64;
+            assert!(lo <= mle && mle <= hi, "n={n}: [{lo}, {hi}] vs {mle}");
+            assert!(lo > 0.0 && hi < 1.0, "n={n} should exclude the endpoints");
+            let width = hi - lo;
+            assert!(width < last_width, "n={n}: interval must shrink");
+            last_width = width;
+        }
+    }
+
+    #[test]
+    fn extreme_counts_hit_the_boundaries() {
+        assert_eq!(cs_lower_bound(0, 100, 0.05), 0.0);
+        assert_eq!(cs_upper_bound(100, 100, 0.05), 1.0);
+        assert_eq!(cs_lower_bound(0, 0, 0.05), 0.0);
+        assert_eq!(cs_upper_bound(0, 0, 0.05), 1.0);
+        // One success in many trials: lower bound positive but tiny.
+        let lo = cs_lower_bound(1, 10_000, 0.05);
+        assert!(lo > 0.0 && lo < 1e-3, "lo = {lo}");
+    }
+
+    #[test]
+    fn null_rate_clears_a_non_significance_threshold_quickly() {
+        // A gene with p ≈ 0.5 must be certifiably above 0.1 within a few
+        // hundred permutations — the workhorse of the deactivation sweep.
+        let lo = cs_lower_bound(64, 128, 0.05);
+        assert!(lo > 0.1, "n=128, k=64: lower bound {lo} should exceed 0.1");
+        // But a borderline gene must not be: k/n = 0.12 at n = 128 is too
+        // close to 0.1 to certify.
+        let lo = cs_lower_bound(15, 128, 0.05);
+        assert!(lo < 0.1, "borderline gene wrongly certified: {lo}");
+    }
+
+    #[test]
+    fn smaller_alpha_widens_the_sequence() {
+        let tight = cs_lower_bound(50, 100, 0.2);
+        let loose = cs_lower_bound(50, 100, 0.001);
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn envelope_is_exact_arithmetic() {
+        // Fully scored: collapses to the exact p-value.
+        assert_eq!(envelope(7, 100, 100), (0.07, 0.07));
+        // Half scored: the unscored half is the slack.
+        let (lo, hi) = envelope(10, 50, 100);
+        assert_eq!(lo, 0.10);
+        assert_eq!(hi, 0.60);
+        // Nothing counted yet.
+        assert_eq!(envelope(0, 0, 10), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scored prefix longer")]
+    fn envelope_rejects_inverted_prefix() {
+        envelope(0, 11, 10);
+    }
+}

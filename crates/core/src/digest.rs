@@ -105,6 +105,16 @@ fn eat_options(h: &mut Fnv1a, opts: &PmaxtOptions, canonical_b: u64) {
 pub fn options_digest(opts: &PmaxtOptions) -> u64 {
     let mut h = Fnv1a::new();
     eat_options(&mut h, opts, opts.b);
+    // Adaptive mode changes what a run *reports* (bounds and diagnostics
+    // instead of exact counts), so results must not be confused with exact
+    // ones — but it consumes a prefix of the same permutation stream and its
+    // exact-prefix checkpoints are valid exact state. The marker therefore
+    // lands here and NOT in `stream_digest`: adaptive and exact runs share a
+    // cache address, which is exactly what makes upgrade-to-exact a plain
+    // B-extension of the cached prefix.
+    if opts.mode == crate::options::Mode::Adaptive {
+        h.write(b"mode=adaptive");
+    }
     h.finish()
 }
 
@@ -184,6 +194,32 @@ mod tests {
         assert_ne!(
             stream_digest(&o),
             stream_digest(&o.clone().precision(Precision::F32))
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_marks_options_digest_but_not_stream_digest() {
+        use crate::options::Mode;
+        let o = PmaxtOptions::default();
+        // Explicit exact is the default: pre-existing digests stay valid.
+        assert_eq!(
+            options_digest(&o),
+            options_digest(&o.clone().mode(Mode::Exact))
+        );
+        assert_eq!(
+            stream_digest(&o),
+            stream_digest(&o.clone().mode(Mode::Exact))
+        );
+        // Adaptive results are not exact results: the checkpoint key moves.
+        assert_ne!(
+            options_digest(&o),
+            options_digest(&o.clone().mode(Mode::Adaptive))
+        );
+        // But the permutation stream is identical — the cache address must
+        // not move, or adaptive runs could never be upgraded to exact.
+        assert_eq!(
+            stream_digest(&o),
+            stream_digest(&o.clone().mode(Mode::Adaptive))
         );
     }
 

@@ -47,6 +47,7 @@
 //! assert!(serial.adjp[0] < serial.adjp[1]);
 //! ```
 
+pub mod adaptive;
 pub mod digest;
 pub mod error;
 pub mod labels;
@@ -62,13 +63,16 @@ pub mod wire;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::adaptive::{adaptive_maxt, AdaptiveConfig, AdaptiveOutcome, AdaptiveReport};
     pub use crate::error::{Error, Result};
     pub use crate::labels::{ClassLabels, Design};
     pub use crate::matrix::Matrix;
     pub use crate::maxt::serial::mt_maxt;
     pub use crate::maxt::{maxt_threaded, maxt_with_config, EngineConfig};
     pub use crate::maxt::{MaxTResult, MaxTRow};
-    pub use crate::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
+    pub use crate::options::{
+        KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod,
+    };
     pub use crate::pmaxt::{pmaxt, PmaxtRun};
     pub use crate::side::Side;
 }

@@ -240,6 +240,70 @@ impl Precision {
     }
 }
 
+/// How the permutation budget is spent.
+///
+/// `Exact` (the default) scores every gene against all `B` permutations —
+/// the paper's semantics, bitwise-reproducible across any engine geometry.
+/// `Adaptive` routes the run through the [`adaptive`](crate::adaptive)
+/// subsystem: genes whose raw p-value is clearly non-significant are
+/// deactivated early under an anytime-valid confidence-sequence bound, and
+/// the smallest p-values get a generalized-Pareto tail fit. Adaptive results
+/// carry deterministic per-gene p-value *bounds* instead of exact counts, so
+/// every surface that contracts bitwise reproducibility (checkpoint resume,
+/// jobd span execution) refuses the mode — an adaptive job can later be
+/// *upgraded* to exact by resubmitting in exact mode, which extends the
+/// cached exact prefix. The `SPRINT_MODE` environment variable
+/// (`exact`/`adaptive`) overrides this option, mirroring `SPRINT_KERNEL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Score all `B` permutations for every gene. Default.
+    #[default]
+    Exact,
+    /// Early-stop clearly non-significant genes; tail-fit the smallest
+    /// p-values. Reports bounds and diagnostics, not exact counts.
+    Adaptive,
+}
+
+impl Mode {
+    /// Parse the string form (`exact`/`adaptive`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "exact" => Ok(Mode::Exact),
+            "adaptive" => Ok(Mode::Adaptive),
+            other => Err(Error::BadOption {
+                param: "mode",
+                value: other.to_string(),
+            }),
+        }
+    }
+
+    /// The string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Exact => "exact",
+            Mode::Adaptive => "adaptive",
+        }
+    }
+
+    /// Apply the `SPRINT_MODE` environment override, if set to a valid
+    /// value. Consulted where a run dispatches on mode *and* wherever
+    /// adaptive must be rejected, so the override cannot smuggle an
+    /// approximate run past a reproducibility gate. Invalid values warn once
+    /// and are ignored.
+    pub fn env_override(self) -> Self {
+        match std::env::var("SPRINT_MODE") {
+            Ok(v) => match Self::parse(&v) {
+                Ok(m) => m,
+                Err(_) => {
+                    warn_bad_env("SPRINT_MODE", &v, "\"exact\" or \"adaptive\"");
+                    self
+                }
+            },
+            Err(_) => self,
+        }
+    }
+}
+
 /// Warn (once per variable per process) that an environment override is
 /// being ignored because its value does not parse. Silent swallowing made
 /// `SPRINT_KERNEL=Fast` or `SPRINT_THREADS=4x` run the default configuration
@@ -302,6 +366,11 @@ pub struct PmaxtOptions {
     /// require bitwise reproducibility. The `SPRINT_PRECISION` environment
     /// variable overrides this.
     pub precision: Precision,
+    /// Permutation-budget mode (see [`Mode`]). Not part of the R signature;
+    /// `Exact` (default) preserves the paper's semantics, `Adaptive` spends
+    /// the budget unevenly and reports per-gene bounds and diagnostics. The
+    /// `SPRINT_MODE` environment variable overrides this.
+    pub mode: Mode,
 }
 
 impl Default for PmaxtOptions {
@@ -319,6 +388,7 @@ impl Default for PmaxtOptions {
             threads: 0,
             batch: 0,
             precision: Precision::F64,
+            mode: Mode::Exact,
         }
     }
 }
@@ -424,6 +494,18 @@ impl PmaxtOptions {
         self.precision = Precision::parse(s)?;
         Ok(self)
     }
+
+    /// Set the permutation-budget mode.
+    pub fn mode(mut self, m: Mode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    /// Set the permutation-budget mode from the string form.
+    pub fn mode_str(mut self, s: &str) -> Result<Self> {
+        self.mode = Mode::parse(s)?;
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -515,6 +597,19 @@ mod tests {
         let o = PmaxtOptions::new().precision_str("f32").unwrap();
         assert_eq!(o.precision, Precision::F32);
         assert_eq!(o.precision(Precision::F64).precision, Precision::F64);
+    }
+
+    #[test]
+    fn mode_round_trips_and_defaults_to_exact() {
+        assert_eq!(PmaxtOptions::default().mode, Mode::Exact);
+        for m in [Mode::Exact, Mode::Adaptive] {
+            assert_eq!(Mode::parse(m.as_str()).unwrap(), m);
+        }
+        assert!(Mode::parse("approx").is_err());
+        assert!(Mode::parse("Adaptive").is_err());
+        let o = PmaxtOptions::new().mode_str("adaptive").unwrap();
+        assert_eq!(o.mode, Mode::Adaptive);
+        assert_eq!(o.mode(Mode::Exact).mode, Mode::Exact);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::time::Duration;
 use mpi_sim::SectionProfile;
 
 use crate::error::{Error, Result};
-use crate::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
+use crate::options::{KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod};
 use crate::side::Side;
 
 /// Append a `u64`, little-endian.
@@ -125,6 +125,7 @@ pub fn encode_options(opts: &PmaxtOptions, buf: &mut Vec<u8>) {
     put_u64(buf, opts.threads as u64);
     put_u64(buf, opts.batch as u64);
     put_str(buf, opts.precision.as_str());
+    put_str(buf, opts.mode.as_str());
 }
 
 /// Decode the options encoded by [`encode_options`].
@@ -144,6 +145,7 @@ pub fn decode_options(r: &mut Reader<'_>) -> Result<PmaxtOptions> {
     let threads = r.u64()? as usize;
     let batch = r.u64()? as usize;
     let precision = Precision::parse(&r.str()?)?;
+    let mode = Mode::parse(&r.str()?)?;
     Ok(PmaxtOptions {
         test,
         side,
@@ -157,6 +159,7 @@ pub fn decode_options(r: &mut Reader<'_>) -> Result<PmaxtOptions> {
         threads,
         batch,
         precision,
+        mode,
     })
 }
 
@@ -225,6 +228,7 @@ mod tests {
                     threads: 7,
                     batch: 1024,
                     precision: Precision::F32,
+                    mode: Mode::Adaptive,
                 };
                 let mut buf = Vec::new();
                 encode_options(&opts, &mut buf);

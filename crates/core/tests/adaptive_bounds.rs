@@ -1,0 +1,194 @@
+//! Safety contract of the adaptive subsystem.
+//!
+//! Two properties hold for *any* workload, not just friendly ones:
+//!
+//! 1. **Envelope containment.** When a gene deactivates after scoring a
+//!    prefix `c` of `B` with exceedance count `k`, its exact raw p-value is
+//!    deterministically inside `[k/B, (k + B − c)/B]` — the unscored
+//!    permutations can each either exceed or not, nothing else. This is a
+//!    certainty, independent of the confidence sequence that merely decides
+//!    *when* to stop, so it must survive every statistic, every sidedness
+//!    and NA-riddled data.
+//!
+//! 2. **Upgrade to exact.** The run's exact-prefix watermark is a bitwise
+//!    prefix of the exact permutation stream: extending it through the
+//!    ordinary engine to the full `B` reproduces `mt_maxt` exactly. This is
+//!    what lets jobd cache an adaptive run's watermark as an ordinary
+//!    checkpoint and later serve an exact submission from it.
+
+use proptest::prelude::*;
+
+use sprint_core::adaptive::{adaptive_maxt, AdaptiveConfig};
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::engine::{self, EngineConfig};
+use sprint_core::maxt::serial::{mt_maxt, prepare_run};
+use sprint_core::maxt::MaxTContext;
+use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_core::side::Side;
+
+const SIDES: [Side; 3] = [Side::Abs, Side::Upper, Side::Lower];
+
+fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
+    match method {
+        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+            let mut v = vec![0u8; a];
+            v.extend(std::iter::repeat_n(1u8, b));
+            v
+        }
+        TestMethod::F => {
+            let mut v = vec![0u8; a];
+            v.extend(std::iter::repeat_n(1u8, b));
+            v.extend(std::iter::repeat_n(2u8, c));
+            v
+        }
+        TestMethod::PairT => (0..a + b).flat_map(|_| [0u8, 1u8]).collect(),
+        TestMethod::BlockF => (0..a + b).flat_map(|_| [0u8, 1u8, 2u8]).collect(),
+    }
+}
+
+/// A workload drawn across all six statistics, all three sides, and an NA
+/// mask: `(method_sel, side_sel, genes, values, na_mask, labels)`.
+#[allow(clippy::type_complexity)]
+fn any_workload() -> impl Strategy<Value = (usize, usize, usize, Vec<f64>, Vec<bool>, Vec<u8>)> {
+    (
+        0usize..6,
+        0usize..3,
+        3usize..7,
+        3usize..7,
+        2usize..5,
+        2usize..24,
+    )
+        .prop_flat_map(|(method_sel, side_sel, a, b, c, genes)| {
+            let labels = labels_for(TestMethod::ALL[method_sel], a, b, c);
+            let cells = genes * labels.len();
+            (
+                Just(method_sel),
+                Just(side_sel),
+                Just(genes),
+                proptest::collection::vec(-8.0f64..8.0, cells),
+                proptest::collection::vec(proptest::bool::weighted(0.08), cells),
+                Just(labels),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every statistic x side x NA mask, every gene's adaptive envelope
+    /// contains the exact-mode raw p-value, NaN-ness agrees gene by gene,
+    /// and genes that ran to completion have collapsed bounds equal to it.
+    #[test]
+    fn adaptive_bounds_contain_the_exact_p_value(
+        (method_sel, side_sel, genes, mut values, na_mask, raw_labels) in any_workload()
+    ) {
+        for (v, &is_na) in values.iter_mut().zip(&na_mask) {
+            if is_na {
+                *v = f64::NAN;
+            }
+        }
+        let method = TestMethod::ALL[method_sel];
+        let m = Matrix::from_vec(genes, raw_labels.len(), values).unwrap();
+        let opts = PmaxtOptions::default()
+            .permutations(240)
+            .test(method)
+            .side(SIDES[side_sel]);
+        let exact = mt_maxt(&m, &raw_labels, &opts).unwrap();
+        // Aggressive stopping: sweep often, almost no evidence floor — the
+        // regime most likely to violate containment if it were violable.
+        let cfg = AdaptiveConfig {
+            check_every: 16,
+            min_perms: 8,
+            threshold: 0.05,
+            ..AdaptiveConfig::default()
+        };
+        let out = adaptive_maxt(&m, &raw_labels, &opts, &cfg).unwrap();
+        for g in 0..genes {
+            prop_assert_eq!(
+                exact.rawp[g].is_nan(), out.report.p_lower[g].is_nan(),
+                "NaN disagreement at gene {} ({:?}/{:?})", g, method, SIDES[side_sel]
+            );
+            if exact.rawp[g].is_nan() {
+                continue;
+            }
+            prop_assert!(
+                out.report.p_lower[g] <= exact.rawp[g] + 1e-12
+                    && exact.rawp[g] <= out.report.p_upper[g] + 1e-12,
+                "gene {} ({:?}/{:?}): exact {} outside [{}, {}] (stopped_at {:?})",
+                g, method, SIDES[side_sel], exact.rawp[g],
+                out.report.p_lower[g], out.report.p_upper[g],
+                out.report.stopped_at[g]
+            );
+            if out.report.stopped_at[g].is_none() {
+                prop_assert_eq!(out.report.scored[g], out.report.b);
+                prop_assert!((out.report.p_lower[g] - exact.rawp[g]).abs() < 1e-12);
+                prop_assert!((out.report.p_upper[g] - exact.rawp[g]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Extending an adaptive run's watermark accumulator through the exact
+    /// engine to the full `B` reproduces a fresh exact run bitwise — the
+    /// core property behind jobd's adaptive-to-exact upgrade path.
+    #[test]
+    fn upgrading_the_watermark_to_exact_is_bitwise_identical(
+        (method_sel, side_sel, genes, mut values, na_mask, raw_labels) in any_workload()
+    ) {
+        for (v, &is_na) in values.iter_mut().zip(&na_mask) {
+            if is_na {
+                *v = f64::NAN;
+            }
+        }
+        let method = TestMethod::ALL[method_sel];
+        let m = Matrix::from_vec(genes, raw_labels.len(), values).unwrap();
+        let opts = PmaxtOptions::default()
+            .permutations(200)
+            .test(method)
+            .side(SIDES[side_sel]);
+        let cfg = AdaptiveConfig {
+            check_every: 16,
+            min_perms: 8,
+            tail_top: 0,
+            ..AdaptiveConfig::default()
+        };
+        let out = adaptive_maxt(&m, &raw_labels, &opts, &cfg).unwrap();
+        let exact = mt_maxt(&m, &raw_labels, &opts).unwrap();
+
+        let (labels, b, prepared) = prepare_run(&m, &raw_labels, &opts).unwrap();
+        let ctx = MaxTContext::with_scorer(
+            &prepared,
+            &labels,
+            opts.test,
+            opts.side,
+            opts.kernel,
+            opts.precision,
+        );
+        let wm = out.report.watermark;
+        prop_assert_eq!(out.watermark.n_perm, wm);
+        let mut counts = out.watermark.clone();
+        if wm < b {
+            let rest = engine::accumulate_chunk(
+                &ctx, &labels, &opts, b, wm, b - wm, EngineConfig::serial(),
+            ).unwrap();
+            counts.merge(&rest.counts);
+        }
+        let upgraded = ctx.finalize(&counts);
+        // Bit-pattern comparison: `MaxTResult`'s derived PartialEq follows
+        // IEEE `NaN != NaN`, which would fail on non-computable genes even
+        // though the runs are byte-identical.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(upgraded.b_used, exact.b_used);
+        prop_assert_eq!(&upgraded.order, &exact.order);
+        for (name, got, want) in [
+            ("teststat", &upgraded.teststat, &exact.teststat),
+            ("rawp", &upgraded.rawp, &exact.rawp),
+            ("adjp", &upgraded.adjp, &exact.adjp),
+        ] {
+            prop_assert_eq!(
+                bits(got), bits(want),
+                "{} diverged upgrading watermark {} of B={} ({:?}/{:?})",
+                name, wm, b, method, SIDES[side_sel]
+            );
+        }
+    }
+}

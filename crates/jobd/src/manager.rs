@@ -45,12 +45,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sprint::checkpoint::CheckpointState;
+use sprint_core::adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveRunner};
 use sprint_core::error::Error as CoreError;
 use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
 use sprint_core::maxt::engine::{accumulate_chunk_hooked, ChunkHooks, ChunkRun, EngineConfig};
 use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
-use sprint_core::options::{PmaxtOptions, Precision};
+use sprint_core::options::{Mode, PmaxtOptions, Precision};
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::pmaxt::span_plan;
 use sprint_core::stats::prepare_matrix;
@@ -246,6 +247,23 @@ pub struct JobStatus {
     pub error: Option<String>,
     /// Cross-daemon wire counters, for sharded jobs only.
     pub comm: Option<ShardSnapshot>,
+    /// Summary of the adaptive run, for finished adaptive-mode jobs only.
+    pub adaptive: Option<AdaptiveBrief>,
+}
+
+/// Compact summary of a finished adaptive-mode run, embedded in
+/// [`JobStatus`]. The full per-gene report travels with the result
+/// (see [`JobManager::adaptive_report`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBrief {
+    /// Genes deactivated before the full permutation budget.
+    pub genes_stopped: u64,
+    /// Scored gene-permutations as a fraction of the exact-mode total.
+    pub budget_fraction: f64,
+    /// Cursor of the bitwise-exact full-gene prefix (the upgrade point).
+    pub watermark: u64,
+    /// True when >90% of eligible genes stopped within 10% of the budget.
+    pub mass_deactivation: bool,
 }
 
 /// Outcome of [`JobManager::submit`].
@@ -350,6 +368,8 @@ struct JobWork {
     cfg: EngineConfig,
     check_digest: u64,
     cached: bool,
+    /// Resolved run mode (env override folded in at submission time).
+    mode: Mode,
     /// Dataset path for sharded dispatch (peers read it themselves).
     source: Option<std::path::PathBuf>,
 }
@@ -363,6 +383,8 @@ struct JobProgress {
     cache: CacheDisposition,
     secs_per_perm: Option<f64>,
     result: Option<MaxTResult>,
+    /// Per-gene adaptive report, set when a Mode::Adaptive job finishes.
+    adaptive: Option<AdaptiveReport>,
     error: Option<String>,
 }
 
@@ -390,8 +412,11 @@ struct Inner {
     /// a terminal state (see [`JobManager::drain`]).
     draining: AtomicBool,
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
-    /// (stream key hex, resolved B) → live job id, for submission dedup.
-    dedup: Mutex<HashMap<(String, u64), u64>>,
+    /// (stream key hex, resolved B, mode) → live job id, for submission
+    /// dedup. Mode is part of the key: an adaptive and an exact submission
+    /// of the same stream are different jobs (they share a cache address —
+    /// the watermark — but not a result).
+    dedup: Mutex<HashMap<(String, u64, Mode), u64>>,
     next_id: AtomicU64,
     /// Generation counter bumped on every state change; waiters re-check
     /// after each bump. Never locked while holding a job's `prog` mutex.
@@ -492,6 +517,9 @@ impl JobManager {
                 value: "f32 (the job service requires bitwise-reproducible f64)".into(),
             }));
         }
+        // Resolve the run mode once (SPRINT_MODE folded in) so dedup, the
+        // runner choice and the cache story all agree for this job's life.
+        let mode = opts.mode.env_override();
         let data = match opts.na {
             Some(code) => {
                 Matrix::from_vec_with_na(data.rows(), data.cols(), data.as_slice().to_vec(), code)
@@ -506,7 +534,7 @@ impl JobManager {
         // Dedup: an identical live submission is the same job. Cancelled and
         // failed jobs fall through — resubmitting one is the recovery path
         // (it resumes from the last checkpoint via the cache probe below).
-        if let Some(&id) = plock(&self.inner.dedup).get(&(key_hex.clone(), b)) {
+        if let Some(&id) = plock(&self.inner.dedup).get(&(key_hex.clone(), b, mode)) {
             if let Some(job) = plock(&self.inner.jobs).get(&id) {
                 let prog = plock(&job.prog);
                 if !matches!(prog.state, JobState::Cancelled | JobState::Failed) {
@@ -533,8 +561,10 @@ impl JobManager {
             match cache.probe(&key, b) {
                 CacheProbe::Hit(state) => {
                     // The stored counts fully determine the result: finalize
-                    // without queueing.
-                    let result = {
+                    // without queueing. An adaptive submission served from a
+                    // full exact entry gets collapsed bounds — the cache had
+                    // already paid for certainty, so it is handed over.
+                    let (result, adaptive) = {
                         let ctx = MaxTContext::with_scorer(
                             &prepared,
                             &labels,
@@ -543,7 +573,9 @@ impl JobManager {
                             opts.kernel,
                             opts.precision,
                         );
-                        ctx.finalize(&state.counts)
+                        let rep = (mode == Mode::Adaptive)
+                            .then(|| collapsed_adaptive_report(&ctx, &state.counts, b));
+                        (ctx.finalize(&state.counts), rep)
                     };
                     let id = self
                         .register(
@@ -557,6 +589,7 @@ impl JobManager {
                                 cfg: EngineConfig::serial(),
                                 check_digest: key.check_digest(),
                                 cached: false,
+                                mode,
                                 source: None,
                             },
                             JobProgress {
@@ -567,6 +600,7 @@ impl JobManager {
                                 cache: CacheDisposition::Hit,
                                 secs_per_perm: None,
                                 result: Some(result),
+                                adaptive,
                                 error: None,
                             },
                             false,
@@ -615,6 +649,7 @@ impl JobManager {
             cfg,
             check_digest: key.check_digest(),
             cached,
+            mode,
             source: source_path,
         };
         let prog = JobProgress {
@@ -625,14 +660,20 @@ impl JobManager {
             cache: cache_note,
             secs_per_perm: None,
             result: None,
+            adaptive: None,
             error: None,
         };
         // A job is sharded across peer daemons when a roster is configured
         // and the dataset has a path peers can re-read. Sharded jobs bypass
         // the local span queue: a dedicated coordinator drives them.
-        let sharded = !self.inner.cfg.peers.is_empty() && work.source.is_some();
+        // Adaptive jobs always run locally on their own thread: the live
+        // gene set shrinks between chunks, which the span protocol cannot
+        // express.
+        let adaptive = mode == Mode::Adaptive;
+        let sharded = !adaptive && !self.inner.cfg.peers.is_empty() && work.source.is_some();
         let shard = sharded.then(|| Arc::new(ShardStats::default()));
-        let job = self.register(key, key_hex.clone(), work, prog, !sharded, shard)?;
+        let enqueue = !sharded && !adaptive;
+        let job = self.register(key, key_hex.clone(), work, prog, enqueue, shard)?;
         let id = job.id;
         if sharded {
             let inner = Arc::clone(&self.inner);
@@ -645,6 +686,23 @@ impl JobManager {
                         &job,
                         format!(
                             "shard coordinator panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    );
+                }
+            });
+        } else if adaptive {
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || {
+                // Same panic isolation as the worker loop: a runner panic
+                // fails the job, never the daemon.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_adaptive(&inner, &job)))
+                {
+                    fail_job(
+                        &inner,
+                        &job,
+                        format!(
+                            "adaptive runner panicked: {}",
                             panic_message(payload.as_ref())
                         ),
                     );
@@ -697,6 +755,14 @@ impl JobManager {
             return Err(JobError::Invalid(CoreError::BadOption {
                 param: "precision",
                 value: "f32 (the job service requires bitwise-reproducible f64)".into(),
+            }));
+        }
+        // A span is a fixed permutation range over *all* genes; the adaptive
+        // runner's shrinking live set has no place in the span protocol.
+        if opts.mode.env_override() == Mode::Adaptive {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "mode",
+                value: "adaptive (span execution serves bitwise-exact sharded runs only)".into(),
             }));
         }
         let data = match opts.na {
@@ -760,6 +826,7 @@ impl JobManager {
         shard: Option<Arc<ShardStats>>,
     ) -> Result<Arc<Job>, JobError> {
         let b = work.b;
+        let mode = work.mode;
         let live_done = prog.cursor;
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(Job {
@@ -783,7 +850,7 @@ impl JobManager {
             self.inner.queue_cv.notify_one();
         }
         plock(&self.inner.jobs).insert(id, Arc::clone(&job));
-        plock(&self.inner.dedup).insert((key_hex, b), id);
+        plock(&self.inner.dedup).insert((key_hex, b, mode), id);
         Ok(job)
     }
 
@@ -819,6 +886,21 @@ impl JobManager {
             JobState::Finished => prog.result.clone().ok_or_else(|| {
                 JobError::Internal(format!("job {id} is finished but has no stored result"))
             }),
+            JobState::Cancelled => Err(JobError::Cancelled(id)),
+            JobState::Failed => Err(JobError::Failed(
+                prog.error.clone().unwrap_or_else(|| "unknown".into()),
+            )),
+            _ => Err(JobError::NotFinished(id)),
+        }
+    }
+
+    /// The per-gene adaptive report of a finished adaptive-mode job; `None`
+    /// for exact jobs. Same terminal-state contract as [`JobManager::result`].
+    pub fn adaptive_report(&self, id: u64) -> Result<Option<AdaptiveReport>, JobError> {
+        let job = self.get(id)?;
+        let prog = plock(&job.prog);
+        match prog.state {
+            JobState::Finished => Ok(prog.adaptive.clone()),
             JobState::Cancelled => Err(JobError::Cancelled(id)),
             JobState::Failed => Err(JobError::Failed(
                 prog.error.clone().unwrap_or_else(|| "unknown".into()),
@@ -1024,6 +1106,12 @@ fn status_of(job: &Job) -> JobStatus {
         eta_secs,
         error: prog.error.clone(),
         comm: job.shard.as_ref().map(|s| s.snapshot()),
+        adaptive: prog.adaptive.as_ref().map(|r| AdaptiveBrief {
+            genes_stopped: r.genes_stopped() as u64,
+            budget_fraction: r.budget_fraction(),
+            watermark: r.watermark,
+            mass_deactivation: r.mass_deactivation,
+        }),
     }
 }
 
@@ -1232,6 +1320,163 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
             emit_event(job);
             bump_change(inner);
             !finished
+        }
+    }
+}
+
+/// Report for an adaptive submission served whole from a full exact cache
+/// entry: every gene was scored over the entire stream, so the envelope
+/// collapses to the exact p-value and nothing was spent.
+fn collapsed_adaptive_report(
+    ctx: &MaxTContext<'_>,
+    counts: &CountAccumulator,
+    b: u64,
+) -> AdaptiveReport {
+    let genes = ctx.genes();
+    let mut p_lower = vec![f64::NAN; genes];
+    let mut p_upper = vec![f64::NAN; genes];
+    let mut p_point = vec![f64::NAN; genes];
+    for g in 0..genes {
+        if ctx.observed_scores()[g] > f64::NEG_INFINITY {
+            let p = counts.count_raw[g] as f64 / b as f64;
+            p_lower[g] = p;
+            p_upper[g] = p;
+            p_point[g] = p;
+        }
+    }
+    AdaptiveReport {
+        b,
+        scored: vec![b; genes],
+        counts: counts.count_raw.clone(),
+        stopped_at: vec![None; genes],
+        p_lower,
+        p_upper,
+        p_point,
+        tail: vec![None; genes],
+        gene_perms_scored: 0,
+        gene_perms_exact: genes as u64 * b,
+        watermark: b,
+        mass_deactivation: false,
+    }
+}
+
+/// Drive one adaptive job to completion on its dedicated thread.
+///
+/// The runner alternates full-gene chunks (the bitwise-exact watermark
+/// prefix) with masked live-set chunks; on success the watermark is written
+/// to the cache as an ordinary exact checkpoint — but only when it improves
+/// on the stored cursor, so an adaptive run never clobbers a longer exact
+/// prefix some other job already paid for. A later exact submission of the
+/// same stream then probes `Partial` at the watermark and extends it through
+/// the incremental machinery, reproducing a fresh exact run bit for bit.
+fn run_adaptive(inner: &Arc<Inner>, job: &Arc<Job>) {
+    let work = &job.work;
+    // Claim the job; bail out if it was cancelled before we started.
+    let (resume_counts, resumed_from) = {
+        let mut prog = plock(&job.prog);
+        if prog.state != JobState::Queued {
+            return;
+        }
+        if job.cancel.load(Ordering::Relaxed) {
+            prog.state = JobState::Cancelled;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+            return;
+        }
+        prog.state = JobState::Running;
+        let resume = (prog.counts.n_perm > 0).then(|| prog.counts.clone());
+        (resume, prog.cursor)
+    };
+    let faults = &inner.cfg.faults;
+    let ctx = MaxTContext::with_scorer(
+        &work.prepared,
+        &work.labels,
+        work.opts.test,
+        work.opts.side,
+        work.opts.kernel,
+        work.opts.precision,
+    );
+    let mut runner = AdaptiveRunner::new(
+        &ctx,
+        &work.prepared,
+        &work.labels,
+        &work.opts,
+        work.b,
+        work.cfg,
+        AdaptiveConfig::default(),
+    );
+    if let Some(counts) = &resume_counts {
+        runner.resume_from(counts);
+    }
+    let progress = |n: u64| {
+        job.live_done.fetch_add(n, Ordering::Relaxed);
+    };
+    let hooks = ChunkHooks {
+        cancel: Some(&job.cancel),
+        progress: Some(&progress),
+    };
+    // Same injection points as the span loop: a panic unwinds into the
+    // catch_unwind wrapping this function; the I/O error takes the ordinary
+    // failure path. Either way the durable state stays whatever exact prefix
+    // the cache held at submission, so a resubmit recovers.
+    let outcome = if faults.fire(FaultKind::WorkerPanic) {
+        panic!("injected worker panic (SPRINT_FAULTS worker_panic)");
+    } else if faults.fire(FaultKind::SpanIo) {
+        Err(CoreError::Comm("injected span I/O error".to_string()))
+    } else {
+        runner.run(hooks)
+    };
+    match outcome {
+        Err(CoreError::Cancelled) => {
+            let mut prog = plock(&job.prog);
+            job.live_done.store(prog.cursor, Ordering::Relaxed);
+            prog.state = JobState::Cancelled;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+        }
+        Err(e) => {
+            fail_job(inner, job, e.to_string());
+        }
+        Ok(out) => {
+            if work.cached {
+                if let Some(cache) = &inner.cache {
+                    let improves = match cache.probe(&job.key, work.b) {
+                        CacheProbe::Miss => true,
+                        CacheProbe::Partial(s) => s.cursor < out.watermark.n_perm,
+                        CacheProbe::Hit(_) | CacheProbe::Beyond => false,
+                    };
+                    if improves && out.watermark.n_perm > 0 {
+                        let state = CheckpointState {
+                            digest: work.check_digest,
+                            cursor: out.watermark.n_perm,
+                            b: work.b,
+                            counts: out.watermark.clone(),
+                        };
+                        if let Err(e) = cache.store(&job.key, &state) {
+                            eprintln!(
+                                "jobd: warning: failed to write cache entry {}: {e}",
+                                job.key.hex()
+                            );
+                        }
+                    }
+                }
+            }
+            // Stream cursor the runner reached: genes live at the end were
+            // scored through it (all-stopped runs halt earlier).
+            let reached = out.report.scored.iter().copied().max().unwrap_or(0);
+            let mut prog = plock(&job.prog);
+            prog.computed = reached.saturating_sub(resumed_from);
+            prog.cursor = work.b;
+            job.live_done.store(work.b, Ordering::Relaxed);
+            prog.counts = out.watermark;
+            prog.result = Some(out.result);
+            prog.adaptive = Some(out.report);
+            prog.state = JobState::Finished;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
         }
     }
 }
@@ -2016,5 +2261,181 @@ mod tests {
         }
         assert!(saw_eta, "never observed a progress event with an ETA");
         mgr.cancel(info.id).unwrap();
+    }
+
+    /// Mostly-null dataset: adaptive mode deactivates most genes early, so
+    /// the watermark lands well before `B` and the upgrade path is exercised.
+    fn null_heavy_dataset() -> (Matrix, Vec<u8>) {
+        let genes = 16;
+        let cols = 10;
+        let mut v = Vec::with_capacity(genes * cols);
+        for g in 0..genes {
+            for c in 0..cols {
+                v.push(((g * 31 + c * 17) as f64 + 1.25).sin() * 3.0);
+            }
+        }
+        for cell in &mut v[5..10] {
+            *cell += 25.0; // gene 0 carries real signal
+        }
+        let labels = (0..cols).map(|c| (c >= cols / 2) as u8).collect();
+        (Matrix::from_vec(genes, cols, v).unwrap(), labels)
+    }
+
+    #[test]
+    fn adaptive_job_reports_bounds_that_contain_the_exact_p_values() {
+        let (data, labels) = null_heavy_dataset();
+        let opts = PmaxtOptions::default().permutations(4000);
+        let mgr = manager(64);
+        let info = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone().mode(Mode::Adaptive),
+                source_path: None,
+            })
+            .unwrap();
+        mgr.wait_result(info.id, Some(Duration::from_secs(60)))
+            .unwrap();
+        let report = mgr
+            .adaptive_report(info.id)
+            .unwrap()
+            .expect("adaptive job carries a report");
+        assert!(report.genes_stopped() > 0, "null genes should stop");
+        assert!(
+            report.gene_perms_scored < report.gene_perms_exact,
+            "adaptive must score fewer gene-permutations than exact"
+        );
+        let exact = mt_maxt(&data, &labels, &opts).unwrap();
+        for g in 0..16 {
+            if !exact.rawp[g].is_nan() {
+                assert!(report.p_lower[g] <= exact.rawp[g] + 1e-12);
+                assert!(exact.rawp[g] <= report.p_upper[g] + 1e-12);
+            }
+        }
+        let status = mgr.status(info.id).unwrap();
+        let brief = status.adaptive.expect("status carries adaptive summary");
+        assert_eq!(brief.genes_stopped, report.genes_stopped() as u64);
+        assert!(brief.budget_fraction < 1.0);
+    }
+
+    #[test]
+    fn adaptive_then_exact_upgrade_reproduces_a_fresh_exact_run_bitwise() {
+        let (data, labels) = null_heavy_dataset();
+        let opts = PmaxtOptions::default().permutations(4000);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("sprint-jobd-mgr-{}-upgrade", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 64,
+            cache_dir: Some(dir.clone()),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let adaptive = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone().mode(Mode::Adaptive),
+                source_path: None,
+            })
+            .unwrap();
+        mgr.wait_result(adaptive.id, Some(Duration::from_secs(60)))
+            .unwrap();
+        let report = mgr.adaptive_report(adaptive.id).unwrap().unwrap();
+        assert!(
+            report.watermark > 0 && report.watermark < 4000,
+            "watermark {} should be a strict prefix",
+            report.watermark
+        );
+        // Upgrade: an exact submission of the same stream resumes from the
+        // adaptive run's cached watermark and extends it to the full B.
+        let exact = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone(),
+                source_path: None,
+            })
+            .unwrap();
+        assert_eq!(
+            exact.cache,
+            CacheDisposition::Resume {
+                from: report.watermark
+            },
+            "exact upgrade must start from the adaptive watermark"
+        );
+        let served = mgr
+            .wait_result(exact.id, Some(Duration::from_secs(60)))
+            .unwrap();
+        let direct = mt_maxt(&data, &labels, &opts).unwrap();
+        assert_eq!(served, direct, "upgrade must be bitwise-exact");
+        assert!(
+            mgr.adaptive_report(exact.id).unwrap().is_none(),
+            "exact job carries no adaptive report"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adaptive_and_exact_submissions_never_dedup_together() {
+        let (data, labels) = null_heavy_dataset();
+        let opts = PmaxtOptions::default().permutations(2000);
+        let mgr = manager(64);
+        let a = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone().mode(Mode::Adaptive),
+                source_path: None,
+            })
+            .unwrap();
+        let b = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone(),
+                source_path: None,
+            })
+            .unwrap();
+        assert_ne!(a.id, b.id, "different modes must be different jobs");
+        assert!(!b.deduped);
+        // Same mode still dedups.
+        let c = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts: opts.mode(Mode::Adaptive),
+                source_path: None,
+            })
+            .unwrap();
+        assert_eq!(c.id, a.id);
+        assert!(c.deduped);
+        mgr.wait_result(a.id, Some(Duration::from_secs(60)))
+            .unwrap();
+        mgr.wait_result(b.id, Some(Duration::from_secs(60)))
+            .unwrap();
+    }
+
+    #[test]
+    fn exec_span_refuses_adaptive_mode() {
+        let (data, labels) = small_dataset();
+        let mgr = manager(16);
+        let err = mgr
+            .exec_span(
+                data,
+                labels,
+                PmaxtOptions::default()
+                    .permutations(97)
+                    .mode(Mode::Adaptive),
+                97,
+                0,
+                16,
+            )
+            .unwrap_err();
+        match err {
+            JobError::Invalid(CoreError::BadOption { param, .. }) => assert_eq!(param, "mode"),
+            other => panic!("expected Invalid(BadOption), got {other:?}"),
+        }
     }
 }

@@ -10,8 +10,9 @@
 //! - non-finite floats (NaN p-values of non-computable genes) ride as
 //!   `null` and decode back to NaN.
 
+use sprint_core::adaptive::AdaptiveReport;
 use sprint_core::maxt::MaxTResult;
-use sprint_core::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
+use sprint_core::options::{KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod};
 use sprint_core::side::Side;
 
 use crate::json::Json;
@@ -39,6 +40,7 @@ fn opts_to_pairs(opts: &PmaxtOptions) -> Vec<(String, Json)> {
         ("seed".to_string(), Json::u64_str(opts.seed)),
         ("kernel".to_string(), Json::str(opts.kernel.as_str())),
         ("precision".to_string(), Json::str(opts.precision.as_str())),
+        ("mode".to_string(), Json::str(opts.mode.as_str())),
         ("threads".to_string(), Json::Num(opts.threads as f64)),
         ("batch".to_string(), Json::Num(opts.batch as f64)),
     ];
@@ -80,6 +82,10 @@ pub fn opts_from_request(req: &Json) -> Result<PmaxtOptions, String> {
     if let Some(v) = req.get("precision") {
         let s = v.as_str().ok_or("precision must be a string")?;
         opts.precision = Precision::parse(s).map_err(|e| e.to_string())?;
+    }
+    if let Some(v) = req.get("mode") {
+        let s = v.as_str().ok_or("mode must be a string")?;
+        opts.mode = Mode::parse(s).map_err(|e| e.to_string())?;
     }
     if let Some(v) = req.get("threads") {
         opts.threads = v.as_u64().ok_or("threads must be a non-negative integer")? as usize;
@@ -259,6 +265,17 @@ pub fn status_to_json(st: &JobStatus) -> Json {
     if let Some(comm) = &st.comm {
         fields.push(("comm", shard_to_json(comm)));
     }
+    if let Some(a) = &st.adaptive {
+        fields.push((
+            "adaptive",
+            Json::obj(vec![
+                ("genes_stopped", Json::Num(a.genes_stopped as f64)),
+                ("budget_fraction", Json::Num(a.budget_fraction)),
+                ("watermark", Json::u64_str(a.watermark)),
+                ("mass_deactivation", Json::Bool(a.mass_deactivation)),
+            ]),
+        ));
+    }
     ok_response(fields)
 }
 
@@ -280,10 +297,65 @@ pub fn event_to_json(e: &JobEvent) -> Json {
     ok_response(fields)
 }
 
-/// Result → response fields. NaNs serialize as `null` (see module docs).
-pub fn result_to_json(job: u64, r: &MaxTResult) -> Json {
+/// Adaptive run report → the `adaptive` object embedded in result responses.
+/// Per-gene counters ride as decimal strings (exact `u64`s); the per-gene
+/// p-value envelope uses plain numbers (`null` for non-computable genes).
+pub fn adaptive_to_json(r: &AdaptiveReport) -> Json {
     let nums = |v: &[f64]| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect());
-    ok_response(vec![
+    let u64s = |v: &[u64]| Json::Arr(v.iter().map(|&c| Json::u64_str(c)).collect());
+    let tail_rows: Vec<Json> = r
+        .tail
+        .iter()
+        .enumerate()
+        .filter_map(|(g, fit)| fit.as_ref().map(|f| (g, f)))
+        .map(|(g, f)| {
+            Json::obj(vec![
+                ("gene", Json::Num(g as f64)),
+                ("threshold", Json::Num(f.threshold)),
+                ("shape", Json::Num(f.shape)),
+                ("scale", Json::Num(f.scale)),
+                ("exceedances", Json::Num(f.exceedances as f64)),
+                ("p_tail", Json::Num(f.p_tail)),
+                ("ad_stat", Json::Num(f.ad_stat)),
+                ("good", Json::Bool(f.good)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("b", Json::u64_str(r.b)),
+        ("watermark", Json::u64_str(r.watermark)),
+        ("gene_perms_scored", Json::u64_str(r.gene_perms_scored)),
+        ("gene_perms_exact", Json::u64_str(r.gene_perms_exact)),
+        ("budget_fraction", Json::Num(r.budget_fraction())),
+        ("genes_stopped", Json::Num(r.genes_stopped() as f64)),
+        ("mass_deactivation", Json::Bool(r.mass_deactivation)),
+        ("scored", u64s(&r.scored)),
+        ("counts", u64s(&r.counts)),
+        (
+            "stopped_at",
+            Json::Arr(
+                r.stopped_at
+                    .iter()
+                    .map(|s| s.map(Json::u64_str).unwrap_or(Json::Null))
+                    .collect(),
+            ),
+        ),
+        ("p_lower", nums(&r.p_lower)),
+        ("p_upper", nums(&r.p_upper)),
+        ("p_point", nums(&r.p_point)),
+        (
+            "tail_fitted",
+            Json::Arr(r.tail.iter().map(|f| Json::Bool(f.is_some())).collect()),
+        ),
+        ("tail", Json::Arr(tail_rows)),
+    ])
+}
+
+/// Result → response fields. NaNs serialize as `null` (see module docs).
+/// Adaptive jobs additionally carry their per-gene report (`adaptive`).
+pub fn result_to_json(job: u64, r: &MaxTResult, adaptive: Option<&AdaptiveReport>) -> Json {
+    let nums = |v: &[f64]| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect());
+    let mut fields = vec![
         ("job", Json::Num(job as f64)),
         ("b_used", Json::Num(r.b_used as f64)),
         ("teststat", nums(&r.teststat)),
@@ -293,7 +365,11 @@ pub fn result_to_json(job: u64, r: &MaxTResult) -> Json {
             "order",
             Json::Arr(r.order.iter().map(|&i| Json::Num(i as f64)).collect()),
         ),
-    ])
+    ];
+    if let Some(rep) = adaptive {
+        fields.push(("adaptive", adaptive_to_json(rep)));
+    }
+    ok_response(fields)
 }
 
 /// Response fields → result. `null` entries decode to NaN.
@@ -348,6 +424,7 @@ mod tests {
             .seed(u64::MAX - 3)
             .kernel(KernelChoice::Scalar)
             .precision(Precision::F32)
+            .mode(Mode::Adaptive)
             .threads(3)
             .batch(17);
         let req = submit_request("/data/set.tsv", &opts);
@@ -377,7 +454,7 @@ mod tests {
             order: vec![0, 2, 1],
             b_used: 1000,
         };
-        let wire = Json::parse(&result_to_json(7, &r).to_json()).unwrap();
+        let wire = Json::parse(&result_to_json(7, &r, None).to_json()).unwrap();
         assert_eq!(wire.get("ok").unwrap().as_bool(), Some(true));
         let back = result_from_json(&wire).unwrap();
         assert_eq!(back.order, r.order);
@@ -386,6 +463,65 @@ mod tests {
             assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()));
         }
         assert!(back.rawp[1].is_nan());
+    }
+
+    #[test]
+    fn adaptive_report_rides_the_result_response() {
+        use sprint_core::adaptive::TailFit;
+        let r = MaxTResult {
+            teststat: vec![2.5, -1.0],
+            rawp: vec![0.01, 0.5],
+            adjp: vec![0.02, 0.5],
+            order: vec![0, 1],
+            b_used: 1000,
+        };
+        let rep = AdaptiveReport {
+            b: 1000,
+            scored: vec![1000, 200],
+            counts: vec![10, 100],
+            stopped_at: vec![None, Some(200)],
+            p_lower: vec![0.01, 0.1],
+            p_upper: vec![0.01, 0.9],
+            p_point: vec![0.01, 0.5],
+            tail: vec![
+                Some(TailFit {
+                    threshold: 3.0,
+                    shape: 0.1,
+                    scale: 0.5,
+                    exceedances: 50,
+                    p_tail: 1e-6,
+                    ad_stat: 0.4,
+                    good: true,
+                }),
+                None,
+            ],
+            gene_perms_scored: 1200,
+            gene_perms_exact: 2000,
+            watermark: 200,
+            mass_deactivation: false,
+        };
+        let wire = Json::parse(&result_to_json(9, &r, Some(&rep)).to_json()).unwrap();
+        let a = wire.get("adaptive").expect("adaptive object present");
+        assert_eq!(a.get("watermark").unwrap().as_u64(), Some(200));
+        assert_eq!(a.get("genes_stopped").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            a.get("stopped_at").unwrap().as_arr().unwrap()[1].as_u64(),
+            Some(200)
+        );
+        assert!(matches!(
+            a.get("stopped_at").unwrap().as_arr().unwrap()[0],
+            Json::Null
+        ));
+        let fitted = a.get("tail_fitted").unwrap().as_arr().unwrap();
+        assert_eq!(fitted[0].as_bool(), Some(true));
+        assert_eq!(fitted[1].as_bool(), Some(false));
+        let tail = a.get("tail").unwrap().as_arr().unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].get("gene").unwrap().as_u64(), Some(0));
+        assert_eq!(tail[0].get("good").unwrap().as_bool(), Some(true));
+        // An exact result carries no adaptive object.
+        let plain = Json::parse(&result_to_json(9, &r, None).to_json()).unwrap();
+        assert!(plain.get("adaptive").is_none());
     }
 
     #[test]

@@ -368,7 +368,13 @@ fn handle_connection(
                             manager.result(id)
                         };
                         match outcome {
-                            Ok(result) => protocol::result_to_json(id, &result),
+                            Ok(result) => {
+                                // Adaptive jobs carry their per-gene report
+                                // (bounds, stop cursors, tail diagnostics)
+                                // alongside the finalized result.
+                                let report = manager.adaptive_report(id).ok().flatten();
+                                protocol::result_to_json(id, &result, report.as_ref())
+                            }
                             Err(e) => protocol::err_from(&e),
                         }
                     }

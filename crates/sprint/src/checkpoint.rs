@@ -20,7 +20,7 @@ use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
 use sprint_core::maxt::engine::{self, EngineConfig};
 use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
-use sprint_core::options::{PmaxtOptions, Precision};
+use sprint_core::options::{Mode, PmaxtOptions, Precision};
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::stats::prepare_matrix;
 
@@ -171,6 +171,15 @@ pub fn run_with_checkpoints(
             value: "f32 (checkpointed runs require bitwise-reproducible f64)".into(),
         });
     }
+    // Adaptive mode stops scoring genes early, so its counts are not a prefix
+    // of the exact stream for every gene — a later resume could not continue
+    // them. Refused for the same reason as f32 (SPRINT_MODE included).
+    if opts.mode.env_override() == Mode::Adaptive {
+        return Err(Error::BadOption {
+            param: "mode",
+            value: "adaptive (checkpointed runs require bitwise-reproducible exact mode)".into(),
+        });
+    }
     let owned_na;
     let data = match opts.na {
         Some(code) => {
@@ -289,6 +298,21 @@ mod tests {
         let err = run_with_checkpoints(&data, &labels, &opts, &path, 7, None).unwrap_err();
         match err {
             Error::BadOption { param, .. } => assert_eq!(param, "precision"),
+            other => panic!("expected BadOption, got {other:?}"),
+        }
+        assert!(!path.exists(), "rejected run must not create a checkpoint");
+    }
+
+    #[test]
+    fn adaptive_mode_is_rejected_with_a_typed_usage_error() {
+        let (data, labels) = data_and_labels();
+        let opts = PmaxtOptions::default()
+            .permutations(50)
+            .mode(Mode::Adaptive);
+        let path = tmp("adaptive-rejected");
+        let err = run_with_checkpoints(&data, &labels, &opts, &path, 7, None).unwrap_err();
+        match err {
+            Error::BadOption { param, .. } => assert_eq!(param, "mode"),
             other => panic!("expected BadOption, got {other:?}"),
         }
         assert!(!path.exists(), "rejected run must not create a checkpoint");

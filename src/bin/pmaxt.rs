@@ -34,11 +34,12 @@ use std::time::Duration;
 
 use microarray::io::{read_dataset, write_dataset};
 use microarray::prelude::*;
+use sprint_core::adaptive::{adaptive_maxt, AdaptiveConfig, AdaptiveOutcome};
 use sprint_core::error::Error as CoreError;
 use sprint_core::labels::ClassLabels;
 use sprint_core::maxt::minp::pminp;
 use sprint_core::maxt::MaxTResult;
-use sprint_core::options::{KernelChoice, PmaxtOptions, Precision, SamplingMode, TestMethod};
+use sprint_core::options::{KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod};
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::pmaxt::{chunk_for_rank, pmaxt};
 use sprint_core::side::Side;
@@ -149,7 +150,7 @@ struct ClientConfig {
 }
 
 fn usage_text() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--peer ADDR]... \n            [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--mode exact|adaptive (adaptive = early-stop null genes with\n             anytime-valid p-value bounds; SPRINT_MODE overrides)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--peer ADDR]... \n            [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
 }
 
 /// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
@@ -190,6 +191,7 @@ fn parse_opts_flag(
         "--precision" => {
             opts.precision = Precision::parse(take("--precision")?).map_err(|e| e.to_string())?
         }
+        "--mode" => opts.mode = Mode::parse(take("--mode")?).map_err(|e| e.to_string())?,
         "--threads" => {
             opts.threads = take("--threads")?
                 .parse()
@@ -480,16 +482,45 @@ fn cmd_run(cfg: &RunConfig) -> Result<(), CliError> {
     let class = ClassLabels::new(labels.clone(), cfg.opts.test).map_err(CliError::from_core)?;
     let b = resolve_permutation_count(&class, &cfg.opts).map_err(CliError::from_core)?;
     chunk_for_rank(b, cfg.ranks as u64, 0).map_err(CliError::from_core)?;
+    let mode = cfg.opts.mode.env_override();
     eprintln!(
-        "loaded {} genes x {} samples; test={} side={} B={} ranks={}{}",
+        "loaded {} genes x {} samples; test={} side={} B={} ranks={}{}{}",
         data.rows(),
         data.cols(),
         cfg.opts.test.as_str(),
         cfg.opts.side.as_str(),
         cfg.opts.b,
         cfg.ranks,
-        if cfg.minp { " (minP)" } else { "" }
+        if cfg.minp { " (minP)" } else { "" },
+        if mode == Mode::Adaptive {
+            " (adaptive)"
+        } else {
+            ""
+        }
     );
+    if mode == Mode::Adaptive {
+        if cfg.minp {
+            return Err(usage(
+                "--minp is exact-only; adaptive mode bounds maxT p-values",
+            ));
+        }
+        if cfg.ranks > 1 {
+            return Err(usage(
+                "adaptive mode shrinks the live gene set in-process; drop --ranks",
+            ));
+        }
+        let t0 = std::time::Instant::now();
+        let out = adaptive_maxt(&data, &labels, &cfg.opts, &AdaptiveConfig::default())
+            .map_err(CliError::from_core)?;
+        eprintln!(
+            "done: scored {} of {} gene-permutations ({:.1}%) in {:.2?}",
+            out.report.gene_perms_scored,
+            out.report.gene_perms_exact,
+            100.0 * out.report.budget_fraction(),
+            t0.elapsed()
+        );
+        return print_adaptive(&out, cfg.top, cfg.out.as_ref());
+    }
     let t0 = std::time::Instant::now();
     let result = if cfg.minp {
         pminp(&data, &labels, &cfg.opts, None, cfg.ranks).map_err(CliError::from_core)?
@@ -504,6 +535,103 @@ fn cmd_run(cfg: &RunConfig) -> Result<(), CliError> {
         t0.elapsed()
     );
     print_result(&result, cfg.top, cfg.out.as_ref())
+}
+
+/// Render one gene's adaptive row: deterministic p-value bounds, the scored
+/// prefix, where (if anywhere) the gene deactivated, and the GPD tail
+/// p-value when one was fitted.
+fn adaptive_row(out: &AdaptiveOutcome, g: usize) -> String {
+    let r = &out.report;
+    let stopped = r.stopped_at[g]
+        .map(|c| c.to_string())
+        .unwrap_or_else(|| "-".into());
+    let tail = r.tail[g]
+        .as_ref()
+        .map(|f| {
+            format!(
+                "{:.2e}{}",
+                f.p_tail,
+                if f.good { "" } else { " (poor fit)" }
+            )
+        })
+        .unwrap_or_else(|| "-".into());
+    format!(
+        "{:>6} {:>12.4} {:>9.5} {:>9.5} {:>9.5} {:>8} {:>8} {:>12}",
+        g,
+        out.result.teststat[g],
+        r.p_point[g],
+        r.p_lower[g],
+        r.p_upper[g],
+        r.scored[g],
+        stopped,
+        tail
+    )
+}
+
+fn print_adaptive(
+    out: &AdaptiveOutcome,
+    top: usize,
+    path: Option<&PathBuf>,
+) -> Result<(), CliError> {
+    let r = &out.report;
+    eprintln!(
+        "adaptive: {}/{} genes stopped early; exact-prefix watermark {} of B={}",
+        r.genes_stopped(),
+        r.scored.len(),
+        r.watermark,
+        r.b
+    );
+    let fitted = r.tail.iter().filter(|t| t.is_some()).count();
+    if fitted > 0 {
+        eprintln!(
+            "adaptive: GPD tail fit on {fitted} gene(s) ({} passed diagnostics)",
+            r.tail.iter().flatten().filter(|f| f.good).count()
+        );
+    }
+    println!(
+        "{:>6} {:>12} {:>9} {:>9} {:>9} {:>8} {:>8} {:>12}",
+        "index", "teststat", "p", "p_lower", "p_upper", "scored", "stopped", "tail_p"
+    );
+    for row in out.result.by_significance().take(top) {
+        println!("{}", adaptive_row(out, row.index));
+    }
+    if let Some(path) = path {
+        use std::io::Write as _;
+        let write = || -> std::io::Result<()> {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+            writeln!(
+                w,
+                "index\tteststat\tp_point\tp_lower\tp_upper\tscored\tstopped_at\ttail_p\ttail_good"
+            )?;
+            for row in out.result.by_significance() {
+                let g = row.index;
+                let stopped = r.stopped_at[g]
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "NA".into());
+                let (tail_p, tail_good) = match &r.tail[g] {
+                    Some(f) => (format!("{:.6e}", f.p_tail), f.good.to_string()),
+                    None => ("NA".into(), "NA".into()),
+                };
+                writeln!(
+                    w,
+                    "{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{}\t{}\t{}\t{}",
+                    g,
+                    out.result.teststat[g],
+                    r.p_point[g],
+                    r.p_lower[g],
+                    r.p_upper[g],
+                    r.scored[g],
+                    stopped,
+                    tail_p,
+                    tail_good
+                )?;
+            }
+            w.flush()
+        };
+        write().map_err(|e| runtime(format!("writing {path:?}: {e}")))?;
+        eprintln!("full adaptive table written to {path:?}");
+    }
+    Ok(())
 }
 
 fn cmd_generate(cfg: &GenerateConfig) -> Result<(), CliError> {
@@ -1095,6 +1223,69 @@ mod tests {
         let err = cmd_run(&cfg).unwrap_err();
         assert!(matches!(err, CliError::Ranks(_)), "got {err:?}");
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn parse_run_mode_flag() {
+        let cfg = parse_run(&strs(&["d.tsv", "--mode", "adaptive"])).unwrap();
+        assert_eq!(cfg.opts.mode, Mode::Adaptive);
+        assert!(parse_run(&strs(&["d.tsv", "--mode", "guess"])).is_err());
+        // The submit parser shares parse_opts_flag, so --mode rides along.
+        let cfg =
+            parse_client(&strs(&["a:1", "d.tsv", "--mode", "adaptive"]), true, false).unwrap();
+        assert_eq!(cfg.opts.mode, Mode::Adaptive);
+    }
+
+    #[test]
+    fn run_adaptive_mode_end_to_end() {
+        let dir = std::env::temp_dir();
+        let data = dir.join(format!("pmaxt-cli-adaptive-{}.tsv", std::process::id()));
+        let out = dir.join(format!(
+            "pmaxt-cli-adaptive-{}-result.tsv",
+            std::process::id()
+        ));
+        cmd_generate(&GenerateConfig {
+            output: data.clone(),
+            genes: 40,
+            n0: 5,
+            n1: 5,
+            diff: 0.05,
+            effect: 4.0,
+            na_rate: 0.0,
+            seed: 6,
+        })
+        .unwrap();
+        let mut opts = PmaxtOptions::default().permutations(2000);
+        opts.mode = Mode::Adaptive;
+        let cfg = RunConfig {
+            input: data.clone(),
+            opts,
+            ranks: 1,
+            minp: false,
+            out: Some(out.clone()),
+            top: 5,
+        };
+        cmd_run(&cfg).unwrap();
+        let table = std::fs::read_to_string(&out).unwrap();
+        assert!(table.starts_with(
+            "index\tteststat\tp_point\tp_lower\tp_upper\tscored\tstopped_at\ttail_p\ttail_good"
+        ));
+        assert_eq!(table.lines().count(), 41); // header + 40 genes
+
+        // Adaptive refuses the exact-only combinations with a usage error.
+        let mut minp_opts = PmaxtOptions::default().permutations(200);
+        minp_opts.mode = Mode::Adaptive;
+        let bad = RunConfig {
+            input: data.clone(),
+            opts: minp_opts,
+            ranks: 1,
+            minp: true,
+            out: None,
+            top: 5,
+        };
+        assert!(matches!(cmd_run(&bad).unwrap_err(), CliError::Usage(_)));
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]
