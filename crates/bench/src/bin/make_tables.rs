@@ -13,19 +13,22 @@
 //! make_tables faults [JOBS] [B] [OUT.json]         fault-hook overhead + soak recovery
 //! make_tables cluster [JOBS] [B] [OUT.json]        cross-daemon sharding over TCP
 //! make_tables adaptive [B] [--quick]               adaptive early stopping vs exact
+//! make_tables bootstrap [B] [--quick]              bootstrap CIs: serial/threaded/sharded
 //! make_tables all                                  everything above
 //! ```
 //!
 //! Every JSON-writing subcommand also accepts `--out PATH`, which overrides
 //! both the positional OUT form and the `BENCH_*.json` default (the default
-//! silently overwrites any committed file of the same name).
+//! silently overwrites any committed file of the same name). Every emitted
+//! document carries a `schema_version` / `subcommand` / `options` provenance
+//! header ([`sprint_bench::stamp_bench_json`]).
 
 use cluster_sim::platform::{ec2, ecdf, hector, ness, quadcore, PlatformSpec};
 use cluster_sim::{compare, figure, tables, whatif};
 use microarray::prelude::SynthConfig;
 use sprint_bench::{
-    format_local_rows, kernel_cells_to_json, kernel_grid, local_profile_rows, thread_cells_to_json,
-    thread_grid,
+    format_local_rows, kernel_cells_to_json, kernel_grid, local_profile_rows, stamp_bench_json,
+    thread_cells_to_json, thread_grid,
 };
 use sprint_core::options::{PmaxtOptions, TestMethod};
 
@@ -214,7 +217,11 @@ fn run_kernel(out: Option<&str>, quick: bool) {
         }
         return;
     }
-    let json = kernel_cells_to_json(&results);
+    let json = stamp_bench_json(
+        &kernel_cells_to_json(&results),
+        "kernel",
+        &[("quick", quick.to_string())],
+    );
     let path = out.unwrap_or("BENCH_kernel.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\ngrid written to {path}"),
@@ -255,7 +262,11 @@ fn run_threads(out: Option<&str>) {
             baseline / c.critical_path_secs
         );
     }
-    let json = thread_cells_to_json(ds.matrix.rows(), ds.matrix.cols(), &cells);
+    let json = stamp_bench_json(
+        &thread_cells_to_json(ds.matrix.rows(), ds.matrix.cols(), &cells),
+        "threads",
+        &[("B", "2000".to_string())],
+    );
     let path = out.unwrap_or("BENCH_threads.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\ngrid written to {path}"),
@@ -283,7 +294,11 @@ fn run_serve(jobs: usize, b: u64, out: Option<&str>) {
         "  extend: B -> 3B/2 in {:>8.3} s  (fresh 3B/2 run: {:.3} s)",
         r.extend_secs, r.fresh_secs
     );
-    let json = sprint_bench::serve_bench_to_json(&r);
+    let json = stamp_bench_json(
+        &sprint_bench::serve_bench_to_json(&r),
+        "serve",
+        &[("jobs", jobs.to_string()), ("B", b.to_string())],
+    );
     let path = out.unwrap_or("BENCH_serve.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nresults written to {path}"),
@@ -312,7 +327,11 @@ fn run_faults(jobs: usize, b: u64, out: Option<&str>) {
     for (class, checked, fired) in &r.soak_report {
         println!("    {class:>14}: {fired:>4} fired / {checked} drawn");
     }
-    let json = sprint_bench::faults_bench_to_json(&r);
+    let json = stamp_bench_json(
+        &sprint_bench::faults_bench_to_json(&r),
+        "faults",
+        &[("jobs", jobs.to_string()), ("B", b.to_string())],
+    );
     let path = out.unwrap_or("BENCH_faults.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nresults written to {path}"),
@@ -353,7 +372,11 @@ fn run_cluster(jobs: usize, b: u64, out: Option<&str>) {
             row.spans_remote,
         );
     }
-    let json = sprint_bench::cluster_bench_to_json(&r);
+    let json = stamp_bench_json(
+        &sprint_bench::cluster_bench_to_json(&r),
+        "cluster",
+        &[("jobs", jobs.to_string()), ("B", b.to_string())],
+    );
     let path = out.unwrap_or("BENCH_cluster.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nresults written to {path}"),
@@ -418,8 +441,102 @@ fn run_adaptive(b: u64, quick: bool, out: Option<&str>) {
         );
         return;
     }
-    let json = sprint_bench::adaptive_bench_to_json(&r);
+    let json = stamp_bench_json(
+        &sprint_bench::adaptive_bench_to_json(&r),
+        "adaptive",
+        &[("B", b.to_string()), ("quick", quick.to_string())],
+    );
     let path = out.unwrap_or("BENCH_adaptive.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+fn run_bootstrap(b: u64, quick: bool, out: Option<&str>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.clamp(2, 4);
+    // `--quick` is the CI smoke gate: a small workload proving (a) the two
+    // statistics this seam added still beat their scalar references, and
+    // (b) the three bootstrap drivers agree bitwise. It writes no JSON.
+    let (genes, b, ci_grid): (usize, u64, &[u64]) = if quick {
+        (600, b.min(300), &[100, 300])
+    } else {
+        (6_102, b, &[200, 500, 1_000, 2_000])
+    };
+    println!("=== bootstrap CIs: serial vs threaded vs 2-daemon sharded ===");
+    println!(
+        "(workload {genes}x76 at B = {b}: percentile + BCa intervals per gene; \
+         the threaded run uses {threads} engine threads, the sharded run splits \
+         gene bands across a coordinator and one TCP peer; all three must \
+         agree bitwise)"
+    );
+    let r = sprint_bench::boot_bench(genes, 76, b, threads, ci_grid);
+    println!(
+        "{:>9} {:>8} {:>8} {:>9} {:>9}",
+        "mode", "threads", "daemons", "wall(s)", "speedup"
+    );
+    for row in &r.rows {
+        println!(
+            "{:>9} {:>8} {:>8} {:>9.3} {:>8.2}x",
+            row.mode, row.threads, row.daemons, row.wall_secs, row.speedup
+        );
+    }
+    println!(
+        "{:>7} {:>11} {:>9} {:>15} {:>15}",
+        "B", "replicates", "wall(s)", "mean pct width", "mean BCa width"
+    );
+    for row in &r.ci {
+        println!(
+            "{:>7} {:>11} {:>9.3} {:>15.5} {:>15.5}",
+            row.b, row.replicates, row.wall_secs, row.mean_pct_width, row.mean_bca_width
+        );
+    }
+    // Bitwise agreement across the three drivers is a correctness invariant,
+    // not a statistic — fail in every mode, like adaptive bound violations.
+    if !r.bitwise_identical {
+        eprintln!("\nFAILED — threaded or sharded bootstrap differs from the serial reference");
+        std::process::exit(1);
+    }
+    if quick {
+        let mut regressions = Vec::new();
+        for test in [TestMethod::Corr, TestMethod::TMax] {
+            for c in kernel_grid(&[600], &[200], test) {
+                if c.speedup() < 1.0 {
+                    regressions.push(format!(
+                        "{} at {} genes, B={}: {:.2}x",
+                        test.as_str(),
+                        c.genes,
+                        c.b,
+                        c.speedup()
+                    ));
+                }
+            }
+        }
+        if regressions.is_empty() {
+            println!(
+                "\nquick gate: drivers agree bitwise and every fast path beats \
+                 scalar (corr, tmax)"
+            );
+        } else {
+            eprintln!("\nquick gate FAILED — fast path slower than scalar:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+    let json = stamp_bench_json(
+        &sprint_bench::boot_bench_to_json(&r),
+        "bootstrap",
+        &[
+            ("B", b.to_string()),
+            ("threads", threads.to_string()),
+            ("quick", quick.to_string()),
+        ],
+    );
+    let path = out.unwrap_or("BENCH_boot.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nresults written to {path}"),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
@@ -503,6 +620,15 @@ fn main() {
                 .unwrap_or(if quick { 500 } else { 5_000 });
             run_adaptive(b, quick, out_flag.as_deref());
         }
+        "bootstrap" => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let b = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(if quick { 300 } else { 2_000 });
+            run_bootstrap(b, quick, out_flag.as_deref());
+        }
         "all" => {
             platform_table(&hector(), "Table I");
             platform_table(&ecdf(), "Table II");
@@ -519,10 +645,11 @@ fn main() {
             run_serve(4, 400, None);
             run_faults(4, 400, None);
             run_adaptive(5_000, false, None);
+            run_bootstrap(2_000, false, None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|cluster [JOBS B OUT.json]|adaptive [B] [--quick]|all] [--out PATH]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|cluster [JOBS B OUT.json]|adaptive [B] [--quick]|bootstrap [B] [--quick]|all] [--out PATH]");
             std::process::exit(2);
         }
     }

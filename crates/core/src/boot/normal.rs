@@ -1,0 +1,114 @@
+//! Standard-normal CDF and quantile function for the BCa interval
+//! corrections — self-contained rational approximations, no libm beyond
+//! `exp`/`sqrt`/`ln`.
+
+use std::f64::consts::SQRT_2;
+
+/// Error function via Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5·10⁻⁷) — ample
+/// for mapping bias-correction counts to z-scores.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard-normal CDF Φ.
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / SQRT_2))
+}
+
+/// Standard-normal quantile Φ⁻¹ via Acklam's rational approximation
+/// (relative error < 1.15·10⁻⁹ over (0, 1)). Returns ±∞ at the endpoints
+/// and NaN outside [0, 1].
+pub fn inv_phi(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_known_points() {
+        assert!((phi(0.0) - 0.5).abs() < 3e-7);
+        assert!((phi(1.959_963_985) - 0.975).abs() < 1e-6);
+        assert!((phi(-1.959_963_985) - 0.025).abs() < 1e-6);
+        assert!(phi(8.0) > 0.999_999);
+        assert!(phi(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn inv_phi_known_points() {
+        assert!((inv_phi(0.5)).abs() < 1e-9);
+        assert!((inv_phi(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((inv_phi(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert_eq!(inv_phi(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_phi(1.0), f64::INFINITY);
+        assert!(inv_phi(-0.1).is_nan());
+    }
+
+    #[test]
+    fn phi_and_inv_phi_are_inverse() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((phi(inv_phi(p)) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+}

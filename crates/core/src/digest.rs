@@ -97,6 +97,12 @@ fn eat_options(h: &mut Fnv1a, opts: &PmaxtOptions, canonical_b: u64) {
     if opts.precision == crate::options::Precision::F32 {
         h.write(b"precision=f32");
     }
+    // Bootstrap draws a different stream and reports different results, so
+    // the marker lands in both digests — and only for the non-default
+    // workload, so every pre-existing permutation digest stays valid.
+    if opts.workload == crate::options::Workload::Bootstrap {
+        h.write(b"workload=bootstrap");
+    }
 }
 
 /// Digest of the result-relevant options, `B` included. Equal
@@ -221,6 +227,85 @@ mod tests {
             stream_digest(&o),
             stream_digest(&o.clone().mode(Mode::Adaptive))
         );
+    }
+
+    #[test]
+    fn bootstrap_workload_marks_both_digests_but_pmaxt_stays_stable() {
+        use crate::options::Workload;
+        let o = PmaxtOptions::default();
+        // Explicit pmaxt is the default: pre-existing digests stay valid.
+        assert_eq!(
+            options_digest(&o),
+            options_digest(&o.clone().workload(Workload::Pmaxt))
+        );
+        assert_eq!(
+            stream_digest(&o),
+            stream_digest(&o.clone().workload(Workload::Pmaxt))
+        );
+        // Bootstrap consumes a different stream and reports different
+        // results: both digests must move.
+        assert_ne!(
+            options_digest(&o),
+            options_digest(&o.clone().workload(Workload::Bootstrap))
+        );
+        assert_ne!(
+            stream_digest(&o),
+            stream_digest(&o.clone().workload(Workload::Bootstrap))
+        );
+    }
+
+    #[test]
+    fn permutation_digests_are_pinned_across_refactors() {
+        // Literal digests recorded before the resampling-stream refactor.
+        // Checkpoints and jobd cache entries on disk are addressed by these
+        // values; any drift silently orphans them. If this test fails, the
+        // change broke cache/checkpoint compatibility — fix the digest, do
+        // not update the constants.
+        let o = PmaxtOptions::default();
+        assert_eq!(options_digest(&o), 0xca038b58ed148b12);
+        assert_eq!(stream_digest(&o), 0x25fadd0c1a183e26);
+        let cases: [(PmaxtOptions, u64, u64); 8] = [
+            (
+                o.clone().test(TestMethod::Wilcoxon),
+                0xa283252c49696837,
+                0xcd754ac1d5d785ab,
+            ),
+            (
+                o.clone().test(TestMethod::F),
+                0xdecdf469881c2c80,
+                0xb574aa2f88c9a6a8,
+            ),
+            (
+                o.clone().test(TestMethod::PairT),
+                0x6bd83d8e2a36ad8e,
+                0x6bfd1786eae19f7a,
+            ),
+            (
+                o.clone().test(TestMethod::BlockF),
+                0x10eabc908ec0e679,
+                0xfdd956c60831d5d9,
+            ),
+            (
+                o.clone().side(Side::Upper),
+                0x28b239e83350d63a,
+                0x969a194515253a2e,
+            ),
+            (
+                o.clone().fixed_seed_sampling("n").unwrap(),
+                0x9b5953bf08d9dcbb,
+                0x4df6d75f35ace1c7,
+            ),
+            (
+                o.clone().permutations(0),
+                0xf4766257b496eb23,
+                0xf4766257b496eb23,
+            ),
+            (o.clone().seed(7), 0xff474955d1dd7d7e, 0x011ee843abef0d42),
+        ];
+        for (opts, opt_d, stream_d) in &cases {
+            assert_eq!(options_digest(opts), *opt_d, "{opts:?}");
+            assert_eq!(stream_digest(opts), *stream_d, "{opts:?}");
+        }
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub enum Error {
         /// Requested rank count.
         ranks: u64,
     },
+    /// A stored arrangement's width disagrees with the dataset's sample
+    /// count — a stored permutation matrix (e.g. one replayed from a file)
+    /// cannot be applied to this dataset.
+    ArrangementWidth {
+        /// Zero-based index of the offending arrangement row.
+        row: usize,
+        /// Expected width (the dataset's sample count).
+        expected: usize,
+        /// Actual width of the stored arrangement.
+        got: usize,
+    },
     /// The run was cancelled cooperatively (engine cancellation hook).
     Cancelled,
 }
@@ -66,6 +77,12 @@ impl fmt::Display for Error {
                 f,
                 "cannot distribute {b} permutation(s) over {ranks} ranks: every \
                  rank needs at least one permutation; use at most {b} ranks"
+            ),
+            Error::ArrangementWidth { row, expected, got } => write!(
+                f,
+                "stored arrangement {row} has {got} column(s) but the dataset \
+                 has {expected} sample(s); every arrangement must cover each \
+                 sample column exactly once"
             ),
             Error::Cancelled => write!(f, "run cancelled"),
         }

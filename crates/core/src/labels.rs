@@ -75,7 +75,7 @@ impl ClassLabels {
             return Err(Error::BadLabels("label vector is empty".into()));
         }
         match method {
-            TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+            TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon | TestMethod::TMax => {
                 let mut n = [0usize; 2];
                 for &l in labels {
                     if l > 1 {
@@ -117,6 +117,31 @@ impl ClassLabels {
                 if labels.len() <= k {
                     return Err(Error::BadLabels(
                         "f-test needs more observations than classes (error df ≥ 1)".into(),
+                    ));
+                }
+                Ok(Design::MultiClass { counts })
+            }
+            TestMethod::Corr => {
+                // Correlation against the numeric label values: any ordered
+                // class coding 0..k-1 with k ≥ 2; point-biserial when k = 2.
+                let k = labels.iter().copied().max().unwrap() as usize + 1;
+                if k < 2 {
+                    return Err(Error::BadLabels(
+                        "correlation requires at least two distinct label values".into(),
+                    ));
+                }
+                let mut counts = vec![0usize; k];
+                for &l in labels {
+                    counts[l as usize] += 1;
+                }
+                if counts.contains(&0) {
+                    return Err(Error::BadLabels(
+                        "correlation labels must use every value 0..k-1".into(),
+                    ));
+                }
+                if labels.len() < 3 {
+                    return Err(Error::BadLabels(
+                        "correlation needs at least three observations".into(),
                     ));
                 }
                 Ok(Design::MultiClass { counts })
@@ -290,6 +315,37 @@ mod tests {
         assert!(ClassLabels::new(vec![0, 1, 2, 0, 1], TestMethod::BlockF).is_err());
         // Single block.
         assert!(ClassLabels::new(vec![0, 1, 2], TestMethod::BlockF).is_err());
+    }
+
+    #[test]
+    fn corr_design_accepts_multilevel_and_binary() {
+        let l = ClassLabels::new(vec![0, 1, 2, 0, 1, 2], TestMethod::Corr).unwrap();
+        assert_eq!(
+            l.design(),
+            &Design::MultiClass {
+                counts: vec![2, 2, 2]
+            }
+        );
+        // Binary labels (point-biserial) are fine with only 3 observations.
+        assert!(ClassLabels::new(vec![0, 1, 1], TestMethod::Corr).is_ok());
+    }
+
+    #[test]
+    fn corr_rejects_degenerate() {
+        // Single value: zero label variance.
+        assert!(ClassLabels::new(vec![0, 0, 0], TestMethod::Corr).is_err());
+        // Gap in the coding.
+        assert!(ClassLabels::new(vec![0, 2, 0, 2], TestMethod::Corr).is_err());
+        // Too few observations.
+        assert!(ClassLabels::new(vec![0, 1], TestMethod::Corr).is_err());
+    }
+
+    #[test]
+    fn tmax_validates_like_two_sample_t() {
+        let l = ClassLabels::new(vec![0, 0, 1, 1, 1], TestMethod::TMax).unwrap();
+        assert_eq!(l.design(), &Design::TwoSample { n0: 2, n1: 3 });
+        assert!(ClassLabels::new(vec![0, 1, 2], TestMethod::TMax).is_err());
+        assert!(ClassLabels::new(vec![0, 1, 1], TestMethod::TMax).is_err());
     }
 
     #[test]

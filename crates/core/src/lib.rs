@@ -48,6 +48,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod boot;
 pub mod digest;
 pub mod error;
 pub mod labels;

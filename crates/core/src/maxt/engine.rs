@@ -517,6 +517,27 @@ impl MaxTContext<'_> {
                 }
             }
         }
+        if self.single_step() {
+            // Single-step (`tmax`): one global max per arrangement, compared
+            // against every ordered observed score — the batched twin of the
+            // branch in `MaxTContext::accumulate`.
+            for j in 0..k {
+                let mut gmax = f64::NEG_INFINITY;
+                for g in 0..genes {
+                    let s = scores[g * stride + j];
+                    if s > gmax {
+                        gmax = s;
+                    }
+                }
+                for i in 0..genes {
+                    if gmax >= self.obs_scores_ordered[i] - EPSILON {
+                        acc.count_adj[i] += 1;
+                    }
+                }
+            }
+            acc.n_perm += k as u64;
+            return;
+        }
         for j in 0..k {
             let mut running_max = f64::NEG_INFINITY;
             for i in (0..genes).rev() {

@@ -64,6 +64,10 @@ pub struct MaxTContext<'a> {
     order: Vec<usize>,
     /// Observed scores in `order` order.
     obs_scores_ordered: Vec<f64>,
+    /// Single-step max-statistic counting (`test = "tmax"`, per PERMUTOOLS):
+    /// every gene's adjusted count compares against the *global* per-
+    /// permutation maximum instead of the step-down successive maxima.
+    single_step: bool,
 }
 
 impl<'a> MaxTContext<'a> {
@@ -115,7 +119,14 @@ impl<'a> MaxTContext<'a> {
             obs_scores,
             order,
             obs_scores_ordered,
+            single_step: method.single_step_max(),
         }
+    }
+
+    /// Whether adjusted counts use the single-step global max (`tmax`)
+    /// instead of the Westfall–Young step-down successive maxima.
+    pub fn single_step(&self) -> bool {
+        self.single_step
     }
 
     /// Whether a fast sufficient-statistic scorer is active for this run.
@@ -181,15 +192,32 @@ impl<'a> MaxTContext<'a> {
                     acc.count_raw[g] += 1;
                 }
             }
-            // Successive maxima from the least extreme ordered gene upwards.
-            let mut running_max = f64::NEG_INFINITY;
-            for i in (0..genes).rev() {
-                let s = scores[self.order[i]];
-                if s > running_max {
-                    running_max = s;
+            if self.single_step {
+                // Single-step: one global max per permutation, compared
+                // against every ordered observed score.
+                let mut gmax = f64::NEG_INFINITY;
+                for &s in scores.iter() {
+                    if s > gmax {
+                        gmax = s;
+                    }
                 }
-                if running_max >= self.obs_scores_ordered[i] - EPSILON {
-                    acc.count_adj[i] += 1;
+                for i in 0..genes {
+                    if gmax >= self.obs_scores_ordered[i] - EPSILON {
+                        acc.count_adj[i] += 1;
+                    }
+                }
+            } else {
+                // Successive maxima from the least extreme ordered gene
+                // upwards (Westfall–Young step-down).
+                let mut running_max = f64::NEG_INFINITY;
+                for i in (0..genes).rev() {
+                    let s = scores[self.order[i]];
+                    if s > running_max {
+                        running_max = s;
+                    }
+                    if running_max >= self.obs_scores_ordered[i] - EPSILON {
+                        acc.count_adj[i] += 1;
+                    }
                 }
             }
             acc.n_perm += 1;
@@ -429,8 +457,10 @@ mod tests {
             TestMethod::F,
             TestMethod::PairT,
             TestMethod::BlockF,
+            TestMethod::Corr,
+            TestMethod::TMax,
         ] {
-            let raw = if method == TestMethod::F {
+            let raw = if method == TestMethod::F || method == TestMethod::Corr {
                 vec![0, 0, 1, 1, 2, 2]
             } else {
                 vec![0, 1, 0, 1, 0, 1]
@@ -524,6 +554,53 @@ mod tests {
             assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
         }
         assert_eq!(fast.order(), scalar.order());
+    }
+
+    #[test]
+    fn tmax_single_step_dominates_step_down() {
+        // Single-step adjusted p-values are >= the step-down ones gene by
+        // gene (the global max dominates every successive max), and both use
+        // the same per-gene Welch statistics.
+        let m = Matrix::from_vec(
+            3,
+            6,
+            vec![
+                1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 0.5, 0.4, 0.6, 0.55,
+                0.45, 0.62,
+            ],
+        )
+        .unwrap();
+        let run = |method: TestMethod| {
+            let labels = ClassLabels::new(vec![0, 1, 0, 1, 0, 1], method).unwrap();
+            let opts = PmaxtOptions::default().permutations(200);
+            let prepared = prepare_matrix(&m, method, false);
+            let ctx = MaxTContext::new(&prepared, &labels, method, Side::Abs);
+            assert_eq!(ctx.single_step(), method == TestMethod::TMax);
+            let mut gen = build_generator(&labels, &opts, 200).unwrap();
+            let mut acc = CountAccumulator::new(3);
+            ctx.accumulate(&mut *gen, u64::MAX, &mut acc);
+            ctx.finalize(&acc)
+        };
+        let step_down = run(TestMethod::T);
+        let single = run(TestMethod::TMax);
+        assert_eq!(step_down.order, single.order);
+        for g in 0..3 {
+            assert_eq!(
+                step_down.teststat[g].to_bits(),
+                single.teststat[g].to_bits()
+            );
+            assert_eq!(step_down.rawp[g].to_bits(), single.rawp[g].to_bits());
+            assert!(
+                single.adjp[g] >= step_down.adjp[g] - 1e-12,
+                "gene {g}: single-step {} < step-down {}",
+                single.adjp[g],
+                step_down.adjp[g]
+            );
+        }
+        // The most significant gene agrees exactly: its successive max IS the
+        // global max.
+        let top = step_down.order[0];
+        assert_eq!(step_down.adjp[top].to_bits(), single.adjp[top].to_bits());
     }
 
     #[test]

@@ -56,6 +56,18 @@ pub fn prepare_run(
     classlabel: &[u8],
     opts: &PmaxtOptions,
 ) -> Result<(ClassLabels, u64, Matrix)> {
+    // The maxT pipeline interprets draws as label vectors; bootstrap draws
+    // are index vectors and run through `crate::boot` instead. Refusing here
+    // covers every consumer that funnels through this front half: the serial
+    // path, the threaded engine, the adaptive runner, and jobd spans/ranks.
+    if opts.workload == crate::options::Workload::Bootstrap {
+        return Err(Error::BadOption {
+            param: "workload",
+            value: "bootstrap (maxT permutation entry points only run the pmaxt \
+                    workload; submit bootstrap runs through the bootstrap driver)"
+                .into(),
+        });
+    }
     let labels = ClassLabels::new(classlabel.to_vec(), opts.test)?;
     if labels.len() != data.cols() {
         return Err(Error::BadLabels(format!(

@@ -11,7 +11,8 @@
 use crate::error::{Error, Result};
 use crate::side::Side;
 
-/// The six supported test statistics (paper §3.1).
+/// The supported test statistics: the paper's six (§3.1) plus the
+/// PERMUTOOLS-style correlation and tmax max-statistic variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TestMethod {
     /// Two-sample Welch t-statistic, unequal variances (`"t"`).
@@ -26,17 +27,28 @@ pub enum TestMethod {
     PairT,
     /// Block F-statistic adjusting for block differences (`"blockf"`).
     BlockF,
+    /// Pearson correlation between each gene row and the numeric class
+    /// labels (`"corr"`; point-biserial for two classes). Association test
+    /// in the PERMUTOOLS style.
+    Corr,
+    /// Welch t-statistic with single-step tmax adjustment (`"tmax"`): the
+    /// adjusted counts compare every gene against the *global* permutation
+    /// maximum instead of the step-down successive maxima (PERMUTOOLS'
+    /// max-statistic multiple-comparison correction).
+    TMax,
 }
 
 impl TestMethod {
-    /// All methods, in the paper's order.
-    pub const ALL: [TestMethod; 6] = [
+    /// All methods: the paper's six in order, then the PERMUTOOLS additions.
+    pub const ALL: [TestMethod; 8] = [
         TestMethod::T,
         TestMethod::TEqualVar,
         TestMethod::Wilcoxon,
         TestMethod::F,
         TestMethod::PairT,
         TestMethod::BlockF,
+        TestMethod::Corr,
+        TestMethod::TMax,
     ];
 
     /// Parse the R string form.
@@ -48,6 +60,8 @@ impl TestMethod {
             "f" => Ok(TestMethod::F),
             "pairt" => Ok(TestMethod::PairT),
             "blockf" => Ok(TestMethod::BlockF),
+            "corr" => Ok(TestMethod::Corr),
+            "tmax" => Ok(TestMethod::TMax),
             other => Err(Error::BadOption {
                 param: "test",
                 value: other.to_string(),
@@ -64,14 +78,22 @@ impl TestMethod {
             TestMethod::F => "f",
             TestMethod::PairT => "pairt",
             TestMethod::BlockF => "blockf",
+            TestMethod::Corr => "corr",
+            TestMethod::TMax => "tmax",
         }
     }
 
-    /// True for the four "similar in nature" methods that share the
-    /// two-sample/multi-class shuffle generators (paper §3.1: t, t.equalvar,
-    /// wilcoxon, f).
+    /// True for the methods that share the two-sample/multi-class shuffle
+    /// generators (paper §3.1: t, t.equalvar, wilcoxon, f; plus corr and
+    /// tmax, whose designs are multi-class and two-sample respectively).
     pub fn uses_shuffle_generator(self) -> bool {
         !matches!(self, TestMethod::PairT | TestMethod::BlockF)
+    }
+
+    /// True for the tmax single-step variant: adjusted counts use the global
+    /// permutation maximum rather than step-down successive maxima.
+    pub fn single_step_max(self) -> bool {
+        matches!(self, TestMethod::TMax)
     }
 
     /// True for methods whose permutations are never stored in memory even if
@@ -304,6 +326,47 @@ impl Mode {
     }
 }
 
+/// Which resampling workload a run computes.
+///
+/// `Pmaxt` (the default) is the paper's permutation test: label arrangements
+/// drive the maxT step-down adjustment. `Bootstrap` draws samples *with
+/// replacement* over the same resampling-stream seam and reports percentile
+/// and BCa confidence intervals for each gene's group-mean difference instead
+/// of p-values. The workload selects the [`Arrangement`]
+/// (crate::perm::arrangement::Arrangement) semantics of the stream; digests
+/// absorb a marker only for non-default workloads so every pre-existing
+/// permutation digest (and the caches keyed by them) stays valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Workload {
+    /// Westfall–Young maxT permutation testing. Default.
+    #[default]
+    Pmaxt,
+    /// Case-resampling bootstrap with percentile + BCa confidence intervals.
+    Bootstrap,
+}
+
+impl Workload {
+    /// Parse the string form (`pmaxt`/`bootstrap`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "pmaxt" => Ok(Workload::Pmaxt),
+            "bootstrap" => Ok(Workload::Bootstrap),
+            other => Err(Error::BadOption {
+                param: "workload",
+                value: other.to_string(),
+            }),
+        }
+    }
+
+    /// The string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Workload::Pmaxt => "pmaxt",
+            Workload::Bootstrap => "bootstrap",
+        }
+    }
+}
+
 /// Warn (once per variable per process) that an environment override is
 /// being ignored because its value does not parse. Silent swallowing made
 /// `SPRINT_KERNEL=Fast` or `SPRINT_THREADS=4x` run the default configuration
@@ -371,6 +434,10 @@ pub struct PmaxtOptions {
     /// the budget unevenly and reports per-gene bounds and diagnostics. The
     /// `SPRINT_MODE` environment variable overrides this.
     pub mode: Mode,
+    /// Resampling workload (see [`Workload`]). Not part of the R signature;
+    /// `Pmaxt` (default) is the paper's permutation test, `Bootstrap` draws
+    /// with replacement and reports confidence intervals.
+    pub workload: Workload,
 }
 
 impl Default for PmaxtOptions {
@@ -389,6 +456,7 @@ impl Default for PmaxtOptions {
             batch: 0,
             precision: Precision::F64,
             mode: Mode::Exact,
+            workload: Workload::Pmaxt,
         }
     }
 }
@@ -506,6 +574,18 @@ impl PmaxtOptions {
         self.mode = Mode::parse(s)?;
         Ok(self)
     }
+
+    /// Set the resampling workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Set the resampling workload from the string form.
+    pub fn workload_str(mut self, s: &str) -> Result<Self> {
+        self.workload = Workload::parse(s)?;
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -618,9 +698,26 @@ mod tests {
         assert!(TestMethod::TEqualVar.uses_shuffle_generator());
         assert!(TestMethod::Wilcoxon.uses_shuffle_generator());
         assert!(TestMethod::F.uses_shuffle_generator());
+        assert!(TestMethod::Corr.uses_shuffle_generator());
+        assert!(TestMethod::TMax.uses_shuffle_generator());
         assert!(!TestMethod::PairT.uses_shuffle_generator());
         assert!(!TestMethod::BlockF.uses_shuffle_generator());
         assert!(TestMethod::BlockF.storage_forced_on_the_fly());
         assert!(!TestMethod::T.storage_forced_on_the_fly());
+        assert!(TestMethod::TMax.single_step_max());
+        assert!(!TestMethod::T.single_step_max());
+    }
+
+    #[test]
+    fn workload_round_trips_and_defaults_to_pmaxt() {
+        assert_eq!(PmaxtOptions::default().workload, Workload::Pmaxt);
+        for w in [Workload::Pmaxt, Workload::Bootstrap] {
+            assert_eq!(Workload::parse(w.as_str()).unwrap(), w);
+        }
+        assert!(Workload::parse("jackknife").is_err());
+        assert!(Workload::parse("Bootstrap").is_err());
+        let o = PmaxtOptions::new().workload_str("bootstrap").unwrap();
+        assert_eq!(o.workload, Workload::Bootstrap);
+        assert_eq!(o.workload(Workload::Pmaxt).workload, Workload::Pmaxt);
     }
 }

@@ -16,7 +16,9 @@
 //! at index 0** — the "first permutation" that only the master process counts
 //! (paper Figure 2).
 
+pub mod arrangement;
 pub mod block;
+pub mod bootstrap;
 pub mod count;
 pub mod iter;
 pub mod multiset;
@@ -28,21 +30,31 @@ use crate::error::{Error, Result};
 use crate::labels::{ClassLabels, Design};
 use crate::options::{PmaxtOptions, SamplingMode};
 
-/// A source of label arrangements.
+pub use arrangement::{build_stream, Arrangement, StreamPlan};
+
+/// A deterministic, skip-ahead-capable stream of resampling draws.
 ///
-/// The sequence has a definite length (identity at index 0, then `len()−1`
-/// permutations); `skip` forwards the generator, cheaply where the
-/// representation allows (O(1) for fixed-seed and complete generators). This
-/// is the "additional variable to the initialization function" interface of
+/// This is the seam the engine, checkpoint digests and cross-daemon span
+/// splitting depend on: the `j`-th draw is a pure function of the stream's
+/// construction inputs, never of how the positions before `j` were consumed.
+/// The sequence has a definite length (the observed arrangement at index 0,
+/// then `len()−1` draws); `skip` forwards the stream, cheaply where the
+/// representation allows (O(1) for fixed-seed and complete streams). This is
+/// the "additional variable to the initialization function" interface of
 /// paper §3.2.
-pub trait PermutationGenerator: Send {
-    /// Total sequence length, including the identity at index 0.
+///
+/// What a draw *means* — a label permutation, a pair-sign flip, a block
+/// shuffle, or a with-replacement bootstrap index draw — is the
+/// [`Arrangement`] semantics layer on top (see [`arrangement`]); the stream
+/// itself only promises deterministic bytes with skip-ahead.
+pub trait ResamplingStream: Send {
+    /// Total sequence length, including the observed arrangement at index 0.
     fn len(&self) -> u64;
 
-    /// Current position (number of permutations already produced/skipped).
+    /// Current position (number of draws already produced/skipped).
     fn position(&self) -> u64;
 
-    /// Write the next arrangement into `out`; `false` once exhausted.
+    /// Write the next draw into `out`; `false` once exhausted.
     fn next_into(&mut self, out: &mut [u8]) -> bool;
 
     /// Advance the position by `n` without producing output.
@@ -53,6 +65,11 @@ pub trait PermutationGenerator: Send {
         self.len() == 0
     }
 }
+
+/// Historical name of [`ResamplingStream`], kept so existing consumers and
+/// trait impls compile unchanged. The permutation families implement the
+/// same trait; only the name moved when the bootstrap workload landed.
+pub use ResamplingStream as PermutationGenerator;
 
 /// Resolve the effective permutation count for a run: `B` itself for random
 /// sampling, or the complete-arrangement count when `B = 0` (checked against

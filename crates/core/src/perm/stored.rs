@@ -2,10 +2,11 @@
 //! all label arrangements are materialized into a B×n matrix before the
 //! kernel runs.
 
-use super::PermutationGenerator;
+use super::ResamplingStream;
+use crate::error::{Error, Result};
 
-/// A fully materialized permutation sequence. Construction consumes another
-/// generator from its current position to exhaustion; `skip` is O(1)
+/// A fully materialized arrangement sequence. Construction consumes another
+/// stream from its current position to exhaustion; `skip` is O(1)
 /// afterwards.
 #[derive(Debug, Clone)]
 pub struct StoredMatrix {
@@ -16,9 +17,9 @@ pub struct StoredMatrix {
 }
 
 impl StoredMatrix {
-    /// Materialize `source` (typically a sequential on-the-fly generator) for
+    /// Materialize `source` (typically a sequential on-the-fly stream) for
     /// `cols` label columns.
-    pub fn materialize(source: &mut dyn PermutationGenerator, cols: usize) -> Self {
+    pub fn materialize(source: &mut dyn ResamplingStream, cols: usize) -> Self {
         let len = source.len() - source.position();
         let mut data = vec![0u8; len as usize * cols];
         let mut written = 0u64;
@@ -40,6 +41,47 @@ impl StoredMatrix {
         }
     }
 
+    /// Build a stored sequence from externally supplied rows (e.g. an
+    /// arrangement matrix replayed from a file), validating that every row
+    /// covers exactly `expected_cols` sample columns. Mismatched rows report
+    /// [`Error::ArrangementWidth`] instead of corrupting or panicking later.
+    pub fn try_from_rows(rows: &[Vec<u8>], expected_cols: usize) -> Result<Self> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != expected_cols {
+                return Err(Error::ArrangementWidth {
+                    row: i,
+                    expected: expected_cols,
+                    got: row.len(),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * expected_cols);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(StoredMatrix {
+            data,
+            cols: expected_cols,
+            cursor: 0,
+            len: rows.len() as u64,
+        })
+    }
+
+    /// Verify the stored width against a dataset's sample count, reporting
+    /// [`Error::ArrangementWidth`] on mismatch. Callers applying a stored
+    /// matrix to a dataset they did not materialize it from must check this
+    /// before iterating — `next_into` is infallible by contract.
+    pub fn check_width(&self, expected: usize) -> Result<()> {
+        if self.cols != expected {
+            return Err(Error::ArrangementWidth {
+                row: 0,
+                expected,
+                got: self.cols,
+            });
+        }
+        Ok(())
+    }
+
     /// Bytes held by the stored matrix (the memory the paper's on-the-fly
     /// mode avoids).
     pub fn memory_bytes(&self) -> usize {
@@ -47,7 +89,7 @@ impl StoredMatrix {
     }
 }
 
-impl PermutationGenerator for StoredMatrix {
+impl ResamplingStream for StoredMatrix {
     fn len(&self) -> u64 {
         self.len
     }
@@ -103,6 +145,37 @@ mod tests {
         let mut src = ShuffleSequential::new(base, 100, 0);
         let stored = StoredMatrix::materialize(&mut src, 10);
         assert_eq!(stored.memory_bytes(), 1000);
+    }
+
+    #[test]
+    fn try_from_rows_accepts_uniform_widths() {
+        let rows = vec![vec![0u8, 0, 1, 1], vec![1u8, 0, 1, 0], vec![1u8, 1, 0, 0]];
+        let mut stored = StoredMatrix::try_from_rows(&rows, 4).unwrap();
+        assert!(stored.check_width(4).is_ok());
+        assert_eq!(collect_all(&mut stored, 4), rows);
+    }
+
+    #[test]
+    fn try_from_rows_reports_offending_row_and_widths() {
+        let rows = vec![vec![0u8, 0, 1, 1], vec![1u8, 0, 1]];
+        match StoredMatrix::try_from_rows(&rows, 4) {
+            Err(Error::ArrangementWidth { row, expected, got }) => {
+                assert_eq!((row, expected, got), (1, 4, 3));
+            }
+            other => panic!("expected ArrangementWidth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_width_rejects_dataset_mismatch() {
+        let rows = vec![vec![0u8, 1, 0]];
+        let stored = StoredMatrix::try_from_rows(&rows, 3).unwrap();
+        match stored.check_width(8) {
+            Err(Error::ArrangementWidth { row, expected, got }) => {
+                assert_eq!((row, expected, got), (0, 8, 3));
+            }
+            other => panic!("expected ArrangementWidth, got {other:?}"),
+        }
     }
 
     #[test]

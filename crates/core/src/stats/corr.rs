@@ -1,0 +1,96 @@
+//! Correlation/association statistic (`test = "corr"`): Pearson correlation
+//! of a gene row against the numeric class codes, in the spirit of
+//! PERMUTOOLS' `permutest` correlation mode. Permuting the labels permutes
+//! the `y` vector, so the statistic slots straight into the maxT machinery:
+//! larger |r| means stronger association, and the null distribution comes
+//! from the same label-shuffle stream as the other methods.
+//!
+//! NA handling matches the rest of the statistics: NaN samples drop out of
+//! every accumulator (pairwise-complete), and degenerate rows (< 3 complete
+//! samples, or zero variance on either side) return NaN so the maxT layer
+//! can skip them.
+
+/// Pearson correlation of `row` against the class codes in `labels`.
+///
+/// Returns NaN when fewer than 3 complete samples remain or either side has
+/// zero variance.
+#[inline]
+pub fn pearson_corr(row: &[f64], labels: &[u8]) -> f64 {
+    debug_assert_eq!(row.len(), labels.len());
+    let mut n = 0u32;
+    let (mut sx, mut sxx, mut sy, mut syy, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (&x, &c) in row.iter().zip(labels) {
+        if x.is_nan() {
+            continue;
+        }
+        let y = c as f64;
+        n += 1;
+        sx += x;
+        sxx += x * x;
+        sy += y;
+        syy += y * y;
+        sxy += x * y;
+    }
+    if n < 3 {
+        return f64::NAN;
+    }
+    let nf = n as f64;
+    let cov = nf * sxy - sx * sy;
+    let vx = nf * sxx - sx * sx;
+    let vy = nf * syy - sy * sy;
+    if vx <= 0.0 || vy <= 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_association_is_unit() {
+        let labels = [0u8, 0, 1, 1, 2, 2];
+        let row: Vec<f64> = labels.iter().map(|&c| 2.0 * c as f64 + 1.0).collect();
+        assert!((pearson_corr(&row, &labels) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = labels.iter().map(|&c| -3.0 * c as f64).collect();
+        assert!((pearson_corr(&neg, &labels) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_textbook_formula() {
+        let row = [2.0, 4.0, 5.0, 4.0, 7.0, 8.0];
+        let labels = [0u8, 0, 0, 1, 1, 1];
+        let r = pearson_corr(&row, &labels);
+        // Hand computation: x̄=5, ȳ=0.5; Σ(x−x̄)(y−ȳ)=4; Σ(x−x̄)²=24; Σ(y−ȳ)²=1.5
+        let expect = 4.0 / (24.0f64 * 1.5).sqrt();
+        assert!((r - expect).abs() < 1e-12, "{r} vs {expect}");
+    }
+
+    #[test]
+    fn nan_samples_drop_out_pairwise() {
+        let full = pearson_corr(&[1.0, 2.0, 5.0, 6.0], &[0, 0, 1, 1]);
+        let with_nan = pearson_corr(&[1.0, 2.0, f64::NAN, 5.0, 6.0], &[0, 0, 0, 1, 1]);
+        let trimmed = pearson_corr(&[1.0, 2.0, 5.0, 6.0], &[0, 0, 1, 1]);
+        assert_eq!(with_nan.to_bits(), trimmed.to_bits());
+        assert!(full.is_finite());
+    }
+
+    #[test]
+    fn degenerate_rows_are_nan() {
+        // Too few complete samples.
+        assert!(pearson_corr(&[1.0, f64::NAN, 2.0, f64::NAN], &[0, 0, 1, 1]).is_nan());
+        // Constant row: zero variance.
+        assert!(pearson_corr(&[3.0, 3.0, 3.0, 3.0], &[0, 0, 1, 1]).is_nan());
+        // Constant labels after NA removal: zero variance on y.
+        assert!(pearson_corr(&[1.0, 2.0, 3.0, f64::NAN], &[0, 0, 0, 1]).is_nan());
+    }
+
+    #[test]
+    fn label_permutation_changes_only_y_pairing() {
+        let row = [1.0, 2.0, 3.0, 4.0];
+        let a = pearson_corr(&row, &[0, 0, 1, 1]);
+        let b = pearson_corr(&row, &[1, 1, 0, 0]);
+        assert!((a + b).abs() < 1e-12, "sign flips under label swap");
+    }
+}

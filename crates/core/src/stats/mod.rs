@@ -3,6 +3,7 @@
 //! transforms).
 
 pub mod block_f;
+pub mod corr;
 pub mod f_stat;
 pub mod moments;
 pub mod pair_t;
@@ -81,6 +82,10 @@ impl StatComputer {
             TestMethod::F => f_stat::oneway_f(row, labels, self.k),
             TestMethod::PairT => pair_t::paired_t(row, labels),
             TestMethod::BlockF => block_f::block_f(row, labels, self.k),
+            TestMethod::Corr => corr::pearson_corr(row, labels),
+            // tmax reuses the per-gene Welch t; it differs from `t` only in
+            // how the maxT layer counts (single-step global max).
+            TestMethod::TMax => two_sample::welch_t(row, labels),
         }
     }
 }

@@ -242,6 +242,10 @@ fn fast_scorer<R: Real>(data: &Matrix, method: TestMethod, k: usize) -> Box<dyn 
         TestMethod::F => Box::new(FScorer::<R>::new(data, k)),
         TestMethod::PairT => Box::new(PairTScorer::<R>::new(data)),
         TestMethod::BlockF => Box::new(BlockFScorer::<R>::new(data, k)),
+        TestMethod::Corr => Box::new(CorrScorer::<R>::new(data, k)),
+        // tmax scores per-gene Welch t; only the maxT counting layer differs
+        // (single-step global max), which is not the scorer's concern.
+        TestMethod::TMax => Box::new(TwoSampleScorer::<R>::new(data, true)),
     }
 }
 
@@ -813,6 +817,206 @@ impl<R: Real> Scorer for FScorer<R> {
                         f64::NAN
                     } else {
                         f_from_sums(k, n, ssb[lane], ssw[lane]).to_f64()
+                    };
+                }
+            }
+            start = chunk.end;
+        }
+    }
+}
+
+/// Fast scorer for `corr` (Pearson correlation of each gene row against the
+/// numeric class codes): the x-side moments Σx, Σx² and the non-missing
+/// count are permutation-invariant and cached; an arrangement only re-pairs
+/// the y codes, so scoring needs one lane sum per class (Σ_c c·s_c gives
+/// Σxy) plus, for clean tiles, two *scalar* class-size accumulators for the
+/// y-side moments (class sizes are permutation-invariant). Dirty genes fix
+/// the y moments with the same MissMask popcounts as the other scorers.
+#[derive(Debug)]
+pub struct CorrScorer<R: Real> {
+    k: usize,
+    /// Raw values, column-major; missing cells hold `+0.0` (bitwise-neutral
+    /// in the lane sums feeding Σxy).
+    vals: SoaColumns<R>,
+    /// Per gene: Σx over non-missing values (ascending column order).
+    total_sum: Vec<R>,
+    /// Per gene: Σx² over non-missing values.
+    total_sumsq: Vec<R>,
+    /// Per gene: non-missing cell count.
+    row_n: Vec<usize>,
+    /// Per gene: no missing cells.
+    clean: Vec<bool>,
+    /// Any gene dirty.
+    any_dirty: bool,
+    /// Per-gene missing-column bitsets.
+    miss: MissMask,
+}
+
+impl<R: Real> CorrScorer<R> {
+    /// Cache the x-side sufficient statistics; `k` is the class count.
+    pub fn new(data: &Matrix, k: usize) -> Self {
+        let cols = data.cols();
+        let rows = data.rows();
+        let mut vals = SoaColumns::new(rows, cols);
+        let mut total_sum = Vec::with_capacity(rows);
+        let mut total_sumsq = Vec::with_capacity(rows);
+        let mut row_n = Vec::with_capacity(rows);
+        let mut clean = Vec::with_capacity(rows);
+        let mut miss = MissMask::new(rows, cols);
+        for g in 0..rows {
+            let row = data.row(g);
+            let mut s = R::ZERO;
+            let mut q = R::ZERO;
+            let mut n = 0usize;
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_nan() {
+                    miss.set(g, c);
+                } else {
+                    let x = R::from_f64(v);
+                    vals.set(c, g, x);
+                    s += x;
+                    q += x * x;
+                    n += 1;
+                }
+            }
+            total_sum.push(s);
+            total_sumsq.push(q);
+            row_n.push(n);
+            clean.push(n == cols);
+        }
+        let any_dirty = clean.iter().any(|&c| !c);
+        CorrScorer {
+            k,
+            vals,
+            total_sum,
+            total_sumsq,
+            row_n,
+            clean,
+            any_dirty,
+            miss,
+        }
+    }
+}
+
+impl<R: Real> Scorer for CorrScorer<R> {
+    fn path(&self) -> &'static str {
+        if R::IS_F32 {
+            "corr-f32"
+        } else {
+            "corr"
+        }
+    }
+
+    fn warm_scratch(&self, scratch: &mut ScorerScratch, max_tile: usize) {
+        R::parts(scratch)
+            .lanes
+            .resize(4 * max_tile.min(SOA_TILE), R::ZERO);
+    }
+
+    fn begin_batch(&self, labels_bufs: &[Vec<u8>], scratch: &mut ScorerScratch) {
+        // Class-major column lists exactly as FScorer builds them.
+        scratch.idx.clear();
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
+        scratch.sel.clear();
+        for labels in labels_bufs {
+            for c in 0..self.k {
+                for (j, &l) in labels.iter().enumerate() {
+                    if l as usize == c {
+                        scratch.idx.push(j);
+                    }
+                }
+                scratch.offsets.push(scratch.idx.len());
+                if self.any_dirty {
+                    push_sel_mask(&mut scratch.sel, self.miss.words(), labels, c as u8);
+                }
+            }
+        }
+    }
+
+    fn score_tile(
+        &self,
+        labels_bufs: &[Vec<u8>],
+        genes: std::ops::Range<usize>,
+        scratch: &mut ScorerScratch,
+        out: &mut [f64],
+        stride: usize,
+    ) {
+        debug_assert!(labels_bufs.len() <= stride);
+        let k = self.k;
+        let parts = R::parts(scratch);
+        let words = self.miss.words();
+        let mut start = genes.start;
+        while start < genes.end {
+            let chunk = start..(start + SOA_TILE).min(genes.end);
+            let width = chunk.len();
+            let all_clean = !self.any_dirty || self.clean[chunk.clone()].iter().all(|&c| c);
+            parts.lanes.resize(4 * width, R::ZERO);
+            let (scl, rest) = parts.lanes.split_at_mut(width);
+            let (sxyl, rest) = rest.split_at_mut(width);
+            let (syl, syyl) = rest.split_at_mut(width);
+            for j in 0..labels_bufs.len() {
+                sxyl.fill(R::ZERO);
+                syl.fill(R::ZERO);
+                syyl.fill(R::ZERO);
+                // Class sizes are permutation-invariant, so for clean genes
+                // Σy and Σy² collapse to two scalars shared by every lane.
+                let mut sy_const = R::ZERO;
+                let mut syy_const = R::ZERO;
+                // Classes ascending; within a class, columns ascending.
+                for c in 0..k {
+                    let cls = &parts.idx[parts.offsets[j * k + c]..parts.offsets[j * k + c + 1]];
+                    scl.fill(R::ZERO);
+                    for &jc in cls {
+                        lane_add(scl, self.vals.col(jc, &chunk));
+                    }
+                    let cf = R::from_usize(c);
+                    for lane in 0..width {
+                        sxyl[lane] += cf * scl[lane];
+                    }
+                    if all_clean {
+                        let ncf = R::from_usize(cls.len());
+                        sy_const += cf * ncf;
+                        syy_const += cf * cf * ncf;
+                        continue;
+                    }
+                    let sel = &parts.sel[(j * k + c) * words..(j * k + c + 1) * words];
+                    for (lane, g) in chunk.clone().enumerate() {
+                        let nc = if self.clean[g] {
+                            cls.len()
+                        } else {
+                            cls.len() - MissMask::overlap(sel, self.miss.gene(g))
+                        };
+                        let ncf = R::from_usize(nc);
+                        syl[lane] += cf * ncf;
+                        syyl[lane] += cf * cf * ncf;
+                    }
+                }
+                for (lane, g) in chunk.clone().enumerate() {
+                    let slot = &mut out[g * stride + j];
+                    let n = self.row_n[g];
+                    // Mirrors the scalar guard: < 3 complete samples ⇒ NaN.
+                    if n < 3 {
+                        *slot = f64::NAN;
+                        continue;
+                    }
+                    let (sy, syy) = if all_clean {
+                        (sy_const, syy_const)
+                    } else {
+                        (syl[lane], syyl[lane])
+                    };
+                    let nf = R::from_usize(n);
+                    let sx = self.total_sum[g];
+                    let sxx = self.total_sumsq[g];
+                    // The scalar formula verbatim: cov/√(vx·vy) with the
+                    // same non-positive-variance guards.
+                    let cov = nf * sxyl[lane] - sx * sy;
+                    let vx = nf * sxx - sx * sx;
+                    let vy = nf * syy - sy * sy;
+                    *slot = if vx <= R::ZERO || vy <= R::ZERO {
+                        f64::NAN
+                    } else {
+                        (cov / (vx * vy).sqrt()).to_f64()
                     };
                 }
             }

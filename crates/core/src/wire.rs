@@ -18,7 +18,9 @@ use std::time::Duration;
 use mpi_sim::SectionProfile;
 
 use crate::error::{Error, Result};
-use crate::options::{KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod};
+use crate::options::{
+    KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod, Workload,
+};
 use crate::side::Side;
 
 /// Append a `u64`, little-endian.
@@ -126,6 +128,7 @@ pub fn encode_options(opts: &PmaxtOptions, buf: &mut Vec<u8>) {
     put_u64(buf, opts.batch as u64);
     put_str(buf, opts.precision.as_str());
     put_str(buf, opts.mode.as_str());
+    put_str(buf, opts.workload.as_str());
 }
 
 /// Decode the options encoded by [`encode_options`].
@@ -146,6 +149,7 @@ pub fn decode_options(r: &mut Reader<'_>) -> Result<PmaxtOptions> {
     let batch = r.u64()? as usize;
     let precision = Precision::parse(&r.str()?)?;
     let mode = Mode::parse(&r.str()?)?;
+    let workload = Workload::parse(&r.str()?)?;
     Ok(PmaxtOptions {
         test,
         side,
@@ -160,6 +164,7 @@ pub fn decode_options(r: &mut Reader<'_>) -> Result<PmaxtOptions> {
         batch,
         precision,
         mode,
+        workload,
     })
 }
 
@@ -229,6 +234,7 @@ mod tests {
                     batch: 1024,
                     precision: Precision::F32,
                     mode: Mode::Adaptive,
+                    workload: Workload::Bootstrap,
                 };
                 let mut buf = Vec::new();
                 encode_options(&opts, &mut buf);

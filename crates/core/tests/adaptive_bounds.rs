@@ -30,7 +30,11 @@ const SIDES: [Side; 3] = [Side::Abs, Side::Upper, Side::Lower];
 
 fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
     match method {
-        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+        TestMethod::T
+        | TestMethod::TEqualVar
+        | TestMethod::Wilcoxon
+        | TestMethod::Corr
+        | TestMethod::TMax => {
             let mut v = vec![0u8; a];
             v.extend(std::iter::repeat_n(1u8, b));
             v
@@ -46,12 +50,12 @@ fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
     }
 }
 
-/// A workload drawn across all six statistics, all three sides, and an NA
+/// A workload drawn across all eight statistics, all three sides, and an NA
 /// mask: `(method_sel, side_sel, genes, values, na_mask, labels)`.
 #[allow(clippy::type_complexity)]
 fn any_workload() -> impl Strategy<Value = (usize, usize, usize, Vec<f64>, Vec<bool>, Vec<u8>)> {
     (
-        0usize..6,
+        0usize..8,
         0usize..3,
         3usize..7,
         3usize..7,

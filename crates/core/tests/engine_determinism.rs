@@ -20,8 +20,13 @@ use sprint_core::side::Side;
 /// size knobs, returning `(labels, samples)`.
 fn labels_for(method: TestMethod, a: usize, b: usize) -> Vec<u8> {
     match method {
-        // Two-sample designs: a samples of class 0, b of class 1.
-        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+        // Two-sample designs (corr and tmax permute the same two-class
+        // labellings): a samples of class 0, b of class 1.
+        TestMethod::T
+        | TestMethod::TEqualVar
+        | TestMethod::Wilcoxon
+        | TestMethod::Corr
+        | TestMethod::TMax => {
             let mut l = vec![0u8; a];
             l.extend(std::iter::repeat_n(1u8, b));
             l
@@ -38,7 +43,7 @@ fn labels_for(method: TestMethod, a: usize, b: usize) -> Vec<u8> {
 /// Random workload: method/side selectors, design size knobs, a permutation
 /// count and enough cell values + NA mask for the largest possible design.
 fn workload() -> impl Strategy<Value = (u8, u8, usize, usize, usize, u64, Vec<f64>, Vec<bool>)> {
-    (0u8..6, 0u8..3, 2usize..5, 2usize..5, 2usize..6, 8u64..48).prop_flat_map(
+    (0u8..8, 0u8..3, 2usize..5, 2usize..5, 2usize..6, 8u64..48).prop_flat_map(
         |(method_sel, side_sel, a, b, genes, perms)| {
             let method = METHODS[method_sel as usize];
             let cells = genes * labels_for(method, a, b).len();
@@ -56,13 +61,15 @@ fn workload() -> impl Strategy<Value = (u8, u8, usize, usize, usize, u64, Vec<f6
     )
 }
 
-const METHODS: [TestMethod; 6] = [
+const METHODS: [TestMethod; 8] = [
     TestMethod::T,
     TestMethod::TEqualVar,
     TestMethod::Wilcoxon,
     TestMethod::F,
     TestMethod::PairT,
     TestMethod::BlockF,
+    TestMethod::Corr,
+    TestMethod::TMax,
 ];
 
 /// Bitwise equality of two results (`==` on floats would treat the NaN

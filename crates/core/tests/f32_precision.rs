@@ -28,7 +28,11 @@ const TOL: f64 = 1e-3;
 
 fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
     match method {
-        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+        TestMethod::T
+        | TestMethod::TEqualVar
+        | TestMethod::Wilcoxon
+        | TestMethod::Corr
+        | TestMethod::TMax => {
             let mut v = vec![0u8; a];
             v.extend(std::iter::repeat_n(1u8, b));
             v
@@ -46,7 +50,7 @@ fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
 
 #[allow(clippy::type_complexity)]
 fn well_conditioned() -> impl Strategy<Value = (usize, usize, Vec<f64>, Vec<bool>, Vec<u8>)> {
-    (0usize..6, 3usize..7, 3usize..7, 2usize..5, 2usize..40).prop_flat_map(
+    (0usize..8, 3usize..7, 3usize..7, 2usize..5, 2usize..40).prop_flat_map(
         |(method_sel, a, b, c, genes)| {
             let labels = labels_for(TestMethod::ALL[method_sel], a, b, c);
             let cells = genes * labels.len();
@@ -66,7 +70,7 @@ fn well_conditioned() -> impl Strategy<Value = (usize, usize, Vec<f64>, Vec<bool
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// For all six statistics, the f32 fast path's observed statistics are
+    /// For all eight statistics, the f32 fast path's observed statistics are
     /// within `TOL · (1 + |s64|)` of the f64 fast path's, NA cells included,
     /// and the selected path advertises its precision in its name.
     #[test]

@@ -1,5 +1,5 @@
 //! Property-based equivalence of every fast `Scorer` implementation and the
-//! reference scalar scorer: across all six test methods, all three sides,
+//! reference scalar scorer: across all eight test methods, all three sides,
 //! random matrices, random NA masks and the nonparametric rank transform on
 //! or off, the exceedance **counts** (`count_raw`/`count_adj` — the integers
 //! every p-value is built from) must be identical. The fast scorers are
@@ -16,12 +16,17 @@ use sprint_core::perm::build_generator;
 use sprint_core::side::Side;
 use sprint_core::stats::prepare_matrix;
 
-/// Identity labelling for a method: two groups for the two-sample family,
-/// three classes for `f`, alternating pairs for `pairt`, and three-treatment
+/// Identity labelling for a method: two groups for the two-sample family
+/// (`corr` and `tmax` included — both permute two-class labellings), three
+/// classes for `f`, alternating pairs for `pairt`, and three-treatment
 /// blocks for `blockf`.
 fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
     match method {
-        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+        TestMethod::T
+        | TestMethod::TEqualVar
+        | TestMethod::Wilcoxon
+        | TestMethod::Corr
+        | TestMethod::TMax => {
             let mut v = vec![0u8; a];
             v.extend(std::iter::repeat_n(1u8, b));
             v
@@ -42,7 +47,7 @@ fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
 /// independent NA mask sprinkled over the cells.
 #[allow(clippy::type_complexity)]
 fn dataset() -> impl Strategy<Value = (usize, usize, u8, bool, Vec<f64>, Vec<bool>, Vec<u8>, u64)> {
-    (0usize..6, 2usize..5, 2usize..5, 2usize..4, 2usize..6).prop_flat_map(
+    (0usize..8, 2usize..5, 2usize..5, 2usize..4, 2usize..6).prop_flat_map(
         |(method_sel, a, b, c, genes)| {
             let labels = labels_for(TestMethod::ALL[method_sel], a, b, c);
             let cells = genes * labels.len();

@@ -1,0 +1,207 @@
+//! Skip-ahead laws of every [`ResamplingStream`] kind, property-tested.
+//!
+//! The engine, jobd span sharding, and checkpoint resume all lean on one
+//! contract: the `j`-th draw of a stream is a pure function of its
+//! construction inputs, independent of how positions `0..j` were consumed.
+//! These properties pin that contract for **every** stream family the
+//! arrangement layer can build — shuffle, paired, block (random fixed-seed,
+//! random stored, complete) and the bootstrap index streams — by splitting
+//! the sequence at an arbitrary point and checking that head + skipped tail
+//! is bitwise-identical to one straight run.
+
+use proptest::prelude::*;
+use sprint_core::labels::ClassLabels;
+use sprint_core::options::{PmaxtOptions, SamplingMode, TestMethod, Workload};
+use sprint_core::perm::arrangement::{build_stream, resolve_draw_count};
+use sprint_core::perm::ResamplingStream;
+
+/// One buildable stream configuration: a test design plus the option knobs
+/// that select the stream family.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// Label multiset shuffle (t/t.equalvar/wilcoxon/f/corr/tmax designs).
+    Shuffle,
+    /// Within-pair sign flips (pairt).
+    Paired,
+    /// Within-block treatment shuffles (blockf).
+    Block,
+    /// With-replacement bootstrap index draws.
+    Bootstrap,
+}
+
+const KINDS: [Kind; 4] = [Kind::Shuffle, Kind::Paired, Kind::Block, Kind::Bootstrap];
+
+fn labels_for(kind: Kind) -> ClassLabels {
+    match kind {
+        Kind::Shuffle => ClassLabels::new(vec![0, 0, 0, 1, 1, 1], TestMethod::T).unwrap(),
+        Kind::Paired => ClassLabels::new(vec![0, 1, 0, 1, 0, 1], TestMethod::PairT).unwrap(),
+        Kind::Block => ClassLabels::new(vec![0, 1, 0, 1, 0, 1], TestMethod::BlockF).unwrap(),
+        Kind::Bootstrap => ClassLabels::new(vec![0, 0, 0, 1, 1, 1], TestMethod::T).unwrap(),
+    }
+}
+
+/// Resolve the selectors a case drew into a concrete configuration.
+/// `complete` requests `B = 0` (complete enumeration), which exists for the
+/// three permutation families but not for with-replacement bootstrap draws;
+/// ineligible combinations fall back to the random-`B` stream.
+fn config_for(
+    kind_sel: usize,
+    sampling_sel: usize,
+    complete: bool,
+    b: u64,
+    seed: u64,
+) -> (Kind, ClassLabels, PmaxtOptions) {
+    let kind = KINDS[kind_sel];
+    let sampling = if sampling_sel == 0 {
+        SamplingMode::FixedSeedOnTheFly
+    } else {
+        SamplingMode::Stored
+    };
+    let b = if complete && !matches!(kind, Kind::Bootstrap) {
+        0
+    } else {
+        b
+    };
+    let mut opts = PmaxtOptions::default().seed(seed).permutations(b);
+    opts.sampling = sampling;
+    match kind {
+        Kind::Shuffle => opts.test = TestMethod::T,
+        Kind::Paired => opts.test = TestMethod::PairT,
+        Kind::Block => opts.test = TestMethod::BlockF,
+        Kind::Bootstrap => {
+            opts.test = TestMethod::T;
+            opts.workload = Workload::Bootstrap;
+        }
+    }
+    (kind, labels_for(kind), opts)
+}
+
+fn collect(stream: &mut dyn ResamplingStream, cols: usize, take: u64) -> Vec<Vec<u8>> {
+    let mut buf = vec![0u8; cols];
+    let mut out = Vec::new();
+    for _ in 0..take {
+        if !stream.next_into(&mut buf) {
+            break;
+        }
+        out.push(buf.clone());
+    }
+    out
+}
+
+proptest! {
+    /// Split at any point k: the first k draws of one stream plus the
+    /// remainder of a fresh stream skipped to position k reproduce the
+    /// straight run byte-for-byte — for every stream family.
+    #[test]
+    fn split_anywhere_concatenates_to_straight_run(
+        kind_sel in 0usize..4,
+        sampling_sel in 0usize..2,
+        complete in proptest::bool::weighted(0.25),
+        b in 2u64..48,
+        seed in 0u64..1_000_000,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let (_kind, labels, opts) = config_for(kind_sel, sampling_sel, complete, b, seed);
+        let total = resolve_draw_count(&labels, &opts).unwrap();
+        let cols = labels.len();
+
+        let mut straight = build_stream(&labels, &opts, total).unwrap().stream;
+        prop_assert_eq!(straight.len(), total);
+        prop_assert_eq!(straight.position(), 0);
+        prop_assert!(!straight.is_empty());
+        let all = collect(&mut *straight, cols, total);
+        prop_assert_eq!(all.len() as u64, total);
+        prop_assert_eq!(straight.position(), total);
+
+        let k = ((split_frac * total as f64).floor() as u64).min(total);
+
+        let mut head = build_stream(&labels, &opts, total).unwrap().stream;
+        let head_draws = collect(&mut *head, cols, k);
+        prop_assert_eq!(head.position(), k);
+
+        let mut tail = build_stream(&labels, &opts, total).unwrap().stream;
+        tail.skip(k);
+        prop_assert_eq!(tail.position(), k);
+        let tail_draws = collect(&mut *tail, cols, total - k);
+
+        let mut joined = head_draws;
+        joined.extend(tail_draws);
+        prop_assert_eq!(joined, all);
+    }
+
+    /// Skipping in several hops lands on the same draws as one big skip —
+    /// the span-sharding pattern where a daemon forwards past every span
+    /// owned by other ranks.
+    #[test]
+    fn multi_hop_skip_equals_single_skip(
+        kind_sel in 0usize..4,
+        sampling_sel in 0usize..2,
+        complete in proptest::bool::weighted(0.25),
+        b in 2u64..48,
+        seed in 0u64..1_000_000,
+        cuts in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let (_kind, labels, opts) = config_for(kind_sel, sampling_sel, complete, b, seed);
+        let total = resolve_draw_count(&labels, &opts).unwrap();
+        let cols = labels.len();
+
+        // Turn the fractional cuts into skip hops summing to <= total.
+        let mut hops: Vec<u64> = Vec::new();
+        let mut left = total;
+        for c in cuts {
+            let h = ((c * left as f64).floor() as u64).min(left);
+            hops.push(h);
+            left -= h;
+        }
+        let skipped: u64 = hops.iter().sum();
+
+        let mut hopper = build_stream(&labels, &opts, total).unwrap().stream;
+        for h in &hops {
+            hopper.skip(*h);
+        }
+        prop_assert_eq!(hopper.position(), skipped);
+
+        let mut jumper = build_stream(&labels, &opts, total).unwrap().stream;
+        jumper.skip(skipped);
+
+        let rest = total - skipped;
+        prop_assert_eq!(
+            collect(&mut *hopper, cols, rest),
+            collect(&mut *jumper, cols, rest)
+        );
+    }
+
+    /// Draws never depend on the consumer's read history: reading one draw,
+    /// then skipping ahead, lands on exactly the draw a straight run sees at
+    /// that position.
+    #[test]
+    fn read_skip_interleaving_is_position_pure(
+        kind_sel in 0usize..4,
+        sampling_sel in 0usize..2,
+        complete in proptest::bool::weighted(0.25),
+        b in 2u64..48,
+        seed in 0u64..1_000_000,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let (_kind, labels, opts) = config_for(kind_sel, sampling_sel, complete, b, seed);
+        let total = resolve_draw_count(&labels, &opts).unwrap();
+        let cols = labels.len();
+        let k = ((split_frac * total as f64).floor() as u64).min(total - 1);
+
+        let mut reference = build_stream(&labels, &opts, total).unwrap().stream;
+        let all = collect(&mut *reference, cols, total);
+
+        // Read one draw, skip to k, read the k-th draw.
+        let mut mixed = build_stream(&labels, &opts, total).unwrap().stream;
+        let mut buf = vec![0u8; cols];
+        prop_assert!(mixed.next_into(&mut buf));
+        prop_assert_eq!(&buf, &all[0]);
+        if k > 1 {
+            mixed.skip(k - 1);
+        }
+        if k >= 1 {
+            prop_assert!(mixed.next_into(&mut buf));
+            prop_assert_eq!(&buf, &all[k as usize]);
+        }
+    }
+}

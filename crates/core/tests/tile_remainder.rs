@@ -23,7 +23,11 @@ use sprint_core::stats::scorer::build_scorer;
 /// block designs have structural sample counts (pairs / complete blocks).
 fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
     match method {
-        TestMethod::T | TestMethod::TEqualVar | TestMethod::Wilcoxon => {
+        TestMethod::T
+        | TestMethod::TEqualVar
+        | TestMethod::Wilcoxon
+        | TestMethod::Corr
+        | TestMethod::TMax => {
             let mut v = vec![0u8; a];
             v.extend(std::iter::repeat_n(1u8, b));
             v
@@ -43,7 +47,7 @@ fn labels_for(method: TestMethod, a: usize, b: usize, c: usize) -> Vec<u8> {
 fn geometry() -> impl Strategy<Value = (usize, usize, usize, Vec<f64>, Vec<bool>, Vec<u8>, u64)> {
     // Gene counts straddle the SOA_TILE = 128 sub-tile boundary and are
     // almost never a multiple of it; odd a/b/c leave LANE = 8 remainders.
-    (0usize..6, 3usize..8, 3usize..8, 2usize..5, 1usize..140).prop_flat_map(
+    (0usize..8, 3usize..8, 3usize..8, 2usize..5, 1usize..140).prop_flat_map(
         |(method_sel, a, b, c, genes)| {
             let labels = labels_for(TestMethod::ALL[method_sel], a, b, c);
             let cells = genes * labels.len();

@@ -25,11 +25,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use sprint::checkpoint::{self, CheckpointState};
+use sprint_core::boot::BootstrapResult;
 use sprint_core::digest::{self, Fnv1a};
 use sprint_core::matrix::Matrix;
 use sprint_core::options::PmaxtOptions;
 
 use crate::faults::{FaultKind, Faults};
+use crate::json::Json;
+use crate::protocol;
 
 /// Name of the subdirectory corrupt entries are moved into by the startup
 /// scan (see [`ResultCache::open_with`]).
@@ -192,6 +195,51 @@ impl ResultCache {
         }
     }
 
+    /// Path of the bootstrap entry for `key`.
+    pub fn boot_entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.boot", key.hex()))
+    }
+
+    /// Probe for a finished bootstrap run of exactly `b` draws. Unlike
+    /// permutation checkpoints, a bootstrap entry stores finalized interval
+    /// estimates — quantiles are order statistics of the *whole* replicate
+    /// set, so a shorter run is not a prefix of a longer one and only an
+    /// exact draw-count match is servable. Anything else (absent, corrupt,
+    /// digest-mismatched, different `b`) degrades to `None`.
+    pub fn probe_boot(&self, key: &CacheKey, b: u64) -> Option<BootstrapResult> {
+        let text = std::fs::read_to_string(self.boot_entry_path(key)).ok()?;
+        let entry = Json::parse(text.trim()).ok()?;
+        if entry.get("digest")?.as_u64()? != key.check_digest() {
+            return None;
+        }
+        if entry.get("b")?.as_u64()? != b {
+            return None;
+        }
+        protocol::boot_from_json(&entry).ok()
+    }
+
+    /// Write (atomically replace) the bootstrap entry for `key`: one JSON
+    /// line of bit-pattern arrays plus the self-check digest and the draw
+    /// count the run was requested with.
+    pub fn store_boot(&self, key: &CacheKey, b: u64, result: &BootstrapResult) -> io::Result<()> {
+        let mut fields = vec![
+            ("digest", Json::u64_str(key.check_digest())),
+            ("b", Json::u64_str(b)),
+        ];
+        fields.extend(protocol::boot_to_json(result));
+        let mut line = Json::obj(fields).to_json();
+        line.push('\n');
+        let path = self.boot_entry_path(key);
+        let tmp = path.with_extension("boot.tmp");
+        std::fs::write(&tmp, line.as_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        if self.faults.fire(FaultKind::CacheCorrupt) {
+            let bytes = std::fs::read(&path)?;
+            std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+        }
+        Ok(())
+    }
+
     /// Write (atomically replace) the entry for `key`.
     pub fn store(&self, key: &CacheKey, state: &CheckpointState) -> io::Result<()> {
         debug_assert_eq!(state.digest, key.check_digest(), "entry digest mismatch");
@@ -319,6 +367,40 @@ mod tests {
         assert!(!cache.entry_path(&key).exists());
         assert!(dir.join(QUARANTINE_DIR).read_dir().unwrap().count() >= 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn boot_entries_hit_only_on_exact_draw_count() {
+        let cache = tmp_cache("boot");
+        let key = sample_key();
+        let r = BootstrapResult {
+            offset: 0,
+            theta: vec![1.5, f64::NAN],
+            se: vec![0.2, f64::NAN],
+            pct_lo: vec![1.0, f64::NAN],
+            pct_hi: vec![2.0, f64::NAN],
+            bca_lo: vec![1.1, f64::NAN],
+            bca_hi: vec![2.1, f64::NAN],
+            replicates: 199,
+            level: 0.95,
+        };
+        assert!(cache.probe_boot(&key, 200).is_none());
+        cache.store_boot(&key, 200, &r).unwrap();
+        let back = cache.probe_boot(&key, 200).expect("exact-b probe hits");
+        assert_eq!(back.replicates, 199);
+        assert_eq!(back.theta[0].to_bits(), r.theta[0].to_bits());
+        assert!(back.theta[1].is_nan());
+        // A different draw count is a miss (no prefix semantics for order
+        // statistics), as is a corrupt entry.
+        assert!(cache.probe_boot(&key, 400).is_none());
+        std::fs::write(cache.boot_entry_path(&key), "torn").unwrap();
+        assert!(cache.probe_boot(&key, 200).is_none());
+        // Boot and checkpoint entries coexist under one key.
+        cache.store(&key, &state_at(&key, 30, 50)).unwrap();
+        cache.store_boot(&key, 200, &r).unwrap();
+        assert!(matches!(cache.probe(&key, 50), CacheProbe::Partial(_)));
+        assert!(cache.probe_boot(&key, 200).is_some());
+        std::fs::remove_dir_all(cache.dir()).ok();
     }
 
     #[test]

@@ -46,12 +46,15 @@ use std::time::{Duration, Instant};
 
 use sprint::checkpoint::CheckpointState;
 use sprint_core::adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveRunner};
+use sprint_core::boot::{self, BootstrapResult};
 use sprint_core::error::Error as CoreError;
 use sprint_core::labels::ClassLabels;
 use sprint_core::matrix::Matrix;
-use sprint_core::maxt::engine::{accumulate_chunk_hooked, ChunkHooks, ChunkRun, EngineConfig};
+use sprint_core::maxt::engine::{
+    accumulate_chunk_hooked, split_evenly, ChunkHooks, ChunkRun, EngineConfig,
+};
 use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
-use sprint_core::options::{Mode, PmaxtOptions, Precision};
+use sprint_core::options::{Mode, PmaxtOptions, Precision, Workload};
 use sprint_core::perm::resolve_permutation_count;
 use sprint_core::pmaxt::span_plan;
 use sprint_core::stats::prepare_matrix;
@@ -59,6 +62,7 @@ use sprint_core::stats::prepare_matrix;
 use crate::cache::{CacheKey, CacheProbe, ResultCache};
 use crate::client::RetryPolicy;
 use crate::faults::{FaultKind, Faults};
+use crate::json::Json;
 use crate::protocol;
 use crate::shard;
 use crate::shard::{slice_spans, PeerError, PeerLink, ShardSnapshot, ShardStats, SpanQueue};
@@ -383,6 +387,9 @@ struct JobProgress {
     cache: CacheDisposition,
     secs_per_perm: Option<f64>,
     result: Option<MaxTResult>,
+    /// Per-gene interval estimates, set when a bootstrap-workload job
+    /// finishes (such jobs never set `result`).
+    boot: Option<BootstrapResult>,
     /// Per-gene adaptive report, set when a Mode::Adaptive job finishes.
     adaptive: Option<AdaptiveReport>,
     error: Option<String>,
@@ -497,6 +504,11 @@ impl JobManager {
             opts,
             source_path,
         } = spec;
+        // The bootstrap workload runs on its own driver (no permutation
+        // counts, no span queue) — route it to its own submission path.
+        if opts.workload == Workload::Bootstrap {
+            return self.submit_boot(data, classlabel, opts, source_path);
+        }
         // Validation and NA canonicalization, exactly as `prepare_run` does —
         // inlined because the canonical matrix is also the digest input.
         let labels = ClassLabels::new(classlabel.clone(), opts.test).map_err(JobError::Invalid)?;
@@ -600,6 +612,7 @@ impl JobManager {
                                 cache: CacheDisposition::Hit,
                                 secs_per_perm: None,
                                 result: Some(result),
+                                boot: None,
                                 adaptive,
                                 error: None,
                             },
@@ -660,6 +673,7 @@ impl JobManager {
             cache: cache_note,
             secs_per_perm: None,
             result: None,
+            boot: None,
             adaptive: None,
             error: None,
         };
@@ -814,6 +828,233 @@ impl JobManager {
         Ok((run.counts.to_flat(), secs))
     }
 
+    /// Submit a bootstrap-workload run. Validation follows
+    /// [`sprint_core::boot::validate_boot`]; the cache is consulted for a
+    /// finished entry of exactly the requested draw count (interval
+    /// estimates are order statistics — there is no prefix state to resume
+    /// from); whatever remains to compute runs on a dedicated thread,
+    /// sharded by gene slices across peer daemons when a roster and a
+    /// dataset path are available.
+    fn submit_boot(
+        &self,
+        data: Matrix,
+        classlabel: Vec<u8>,
+        opts: PmaxtOptions,
+        source_path: Option<std::path::PathBuf>,
+    ) -> Result<SubmitInfo, JobError> {
+        let (labels, b, data) =
+            boot::validate_boot(&data, &classlabel, &opts).map_err(JobError::Invalid)?;
+        // Same env-override hardening as the permutation path: SPRINT_PRECISION
+        // must not smuggle f32 accumulation past the option check.
+        if opts.precision.env_override() == Precision::F32 {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "precision",
+                value: "f32 (the job service requires bitwise-reproducible f64)".into(),
+            }));
+        }
+        let genes = data.rows();
+        let key = CacheKey::new(&data, &classlabel, &opts);
+        let key_hex = key.hex();
+
+        // Dedup against an identical live bootstrap submission. The options
+        // digest carries the workload marker, so a permutation job of the
+        // same dataset/options can never alias this key.
+        if let Some(&id) = plock(&self.inner.dedup).get(&(key_hex.clone(), b, Mode::Exact)) {
+            if let Some(job) = plock(&self.inner.jobs).get(&id) {
+                let prog = plock(&job.prog);
+                if !matches!(prog.state, JobState::Cancelled | JobState::Failed) {
+                    return Ok(SubmitInfo {
+                        id,
+                        state: prog.state,
+                        cache: prog.cache,
+                        total: b,
+                        deduped: true,
+                        key: key_hex,
+                    });
+                }
+            }
+        }
+
+        let mut cache_note = CacheDisposition::Uncached;
+        let mut cached = false;
+        if let Some(cache) = &self.inner.cache {
+            cached = true;
+            cache_note = CacheDisposition::Miss;
+            if let Some(result) = cache.probe_boot(&key, b) {
+                if result.offset == 0 && result.genes() == genes {
+                    let id = self
+                        .register(
+                            key,
+                            key_hex.clone(),
+                            JobWork {
+                                prepared: data,
+                                labels,
+                                opts,
+                                b,
+                                cfg: EngineConfig::serial(),
+                                check_digest: key.check_digest(),
+                                cached: false,
+                                mode: Mode::Exact,
+                                source: None,
+                            },
+                            JobProgress {
+                                state: JobState::Finished,
+                                cursor: b,
+                                counts: CountAccumulator::new(genes),
+                                computed: 0,
+                                cache: CacheDisposition::Hit,
+                                secs_per_perm: None,
+                                result: None,
+                                boot: Some(result),
+                                adaptive: None,
+                                error: None,
+                            },
+                            false,
+                            None,
+                        )?
+                        .id;
+                    self.bump_change();
+                    return Ok(SubmitInfo {
+                        id,
+                        state: JobState::Finished,
+                        cache: CacheDisposition::Hit,
+                        total: b,
+                        deduped: false,
+                        key: key_hex,
+                    });
+                }
+            }
+        }
+
+        let threads = if opts.threads == 0 {
+            self.inner.cfg.job_threads
+        } else {
+            opts.threads
+        };
+        // Fold the manager's per-job thread budget into the options the
+        // driver sees: `boot_run_slice` resolves its own engine config.
+        let mut opts = opts;
+        opts.threads = threads;
+        let cfg = EngineConfig::explicit(threads, opts.batch);
+        let sharded = !self.inner.cfg.peers.is_empty() && source_path.is_some();
+        let shard = sharded.then(|| Arc::new(ShardStats::default()));
+        let work = JobWork {
+            prepared: data,
+            labels,
+            opts,
+            b,
+            cfg,
+            check_digest: key.check_digest(),
+            cached,
+            mode: Mode::Exact,
+            source: source_path,
+        };
+        let prog = JobProgress {
+            state: JobState::Queued,
+            cursor: 0,
+            counts: CountAccumulator::new(genes),
+            computed: 0,
+            cache: cache_note,
+            secs_per_perm: None,
+            result: None,
+            boot: None,
+            adaptive: None,
+            error: None,
+        };
+        // Bootstrap jobs never enter the span queue: like adaptive runs they
+        // get a dedicated thread (their unit of work is the whole replicate
+        // set, which the span protocol cannot slice).
+        let job = self.register(key, key_hex.clone(), work, prog, false, shard)?;
+        let id = job.id;
+        let inner = Arc::clone(&self.inner);
+        std::thread::spawn(move || {
+            // Same panic isolation as the worker loop: a runner panic fails
+            // the job, never the daemon.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_bootstrap(&inner, &job))) {
+                fail_job(
+                    &inner,
+                    &job,
+                    format!(
+                        "bootstrap runner panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                );
+            }
+        });
+        Ok(SubmitInfo {
+            id,
+            state: JobState::Queued,
+            cache: cache_note,
+            total: b,
+            deduped: false,
+            key: key_hex,
+        })
+    }
+
+    /// Execute one gene slice `[row_start, row_start + row_take)` of a
+    /// sharded bootstrap run on behalf of a peer coordinator.
+    ///
+    /// Validation mirrors [`JobManager::submit`]'s bootstrap path; the
+    /// daemon re-resolves the draw count from its own copy of the dataset
+    /// and refuses on drift, exactly like [`JobManager::exec_span`].
+    pub fn exec_boot(
+        &self,
+        data: Matrix,
+        classlabel: Vec<u8>,
+        opts: PmaxtOptions,
+        b: u64,
+        row_start: u64,
+        row_take: u64,
+    ) -> Result<(BootstrapResult, f64), JobError> {
+        if self.inner.shutdown.load(Ordering::Relaxed)
+            || self.inner.draining.load(Ordering::Relaxed)
+        {
+            return Err(JobError::ShuttingDown);
+        }
+        let (_labels, resolved, data) =
+            boot::validate_boot(&data, &classlabel, &opts).map_err(JobError::Invalid)?;
+        if opts.precision.env_override() == Precision::F32 {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "precision",
+                value: "f32 (the job service requires bitwise-reproducible f64)".into(),
+            }));
+        }
+        if resolved != b {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "b",
+                value: format!(
+                    "coordinator resolved B={b} but this daemon resolves B={resolved} \
+                     (dataset or option drift between peers)"
+                ),
+            }));
+        }
+        let rows = data.rows() as u64;
+        if row_start.checked_add(row_take).is_none_or(|end| end > rows) {
+            return Err(JobError::Invalid(CoreError::BadOption {
+                param: "rows",
+                value: format!("[{row_start}, {row_start}+{row_take}) exceeds {rows} gene rows"),
+            }));
+        }
+        let mut opts = opts;
+        if opts.threads == 0 {
+            opts.threads = self.inner.cfg.job_threads;
+        }
+        let cpu0 = shard::thread_cpu_secs();
+        let t0 = Instant::now();
+        let result = boot::boot_run_slice(
+            &data,
+            &classlabel,
+            &opts,
+            row_start as usize..(row_start + row_take) as usize,
+        )
+        .map_err(JobError::Invalid)?;
+        let secs = match (cpu0, shard::thread_cpu_secs()) {
+            (Some(a), Some(z)) if opts.threads <= 1 => (z - a).max(0.0),
+            _ => t0.elapsed().as_secs_f64(),
+        };
+        Ok((result, secs))
+    }
+
     /// Insert a job into the maps (and, when `enqueue`, the run queue —
     /// enforcing the queue cap).
     fn register(
@@ -883,6 +1124,15 @@ impl JobManager {
         let job = self.get(id)?;
         let prog = plock(&job.prog);
         match prog.state {
+            JobState::Finished if prog.boot.is_some() => {
+                Err(JobError::Invalid(CoreError::BadOption {
+                    param: "workload",
+                    value: format!(
+                        "bootstrap (job {id} is a bootstrap run; fetch its interval \
+                         estimates with the bootstrap result call)"
+                    ),
+                }))
+            }
             JobState::Finished => prog.result.clone().ok_or_else(|| {
                 JobError::Internal(format!("job {id} is finished but has no stored result"))
             }),
@@ -891,6 +1141,80 @@ impl JobManager {
                 prog.error.clone().unwrap_or_else(|| "unknown".into()),
             )),
             _ => Err(JobError::NotFinished(id)),
+        }
+    }
+
+    /// True when `id` is a bootstrap-workload job (its result travels as
+    /// interval estimates, not maxT p-values).
+    pub fn is_boot(&self, id: u64) -> Result<bool, JobError> {
+        Ok(self.get(id)?.work.opts.workload == Workload::Bootstrap)
+    }
+
+    /// The finished bootstrap estimates, or [`JobError::NotFinished`]. Same
+    /// terminal-state contract as [`JobManager::result`]; asking a
+    /// permutation job for bootstrap estimates is a usage error.
+    pub fn boot_result(&self, id: u64) -> Result<BootstrapResult, JobError> {
+        let job = self.get(id)?;
+        let prog = plock(&job.prog);
+        match prog.state {
+            JobState::Finished => prog.boot.clone().ok_or_else(|| {
+                JobError::Invalid(CoreError::BadOption {
+                    param: "workload",
+                    value: format!(
+                        "{} (job {id} is a permutation run; fetch its maxT result instead)",
+                        job.work.opts.workload.as_str()
+                    ),
+                })
+            }),
+            JobState::Cancelled => Err(JobError::Cancelled(id)),
+            JobState::Failed => Err(JobError::Failed(
+                prog.error.clone().unwrap_or_else(|| "unknown".into()),
+            )),
+            _ => Err(JobError::NotFinished(id)),
+        }
+    }
+
+    /// Block until the bootstrap job reaches a terminal state (or `timeout`
+    /// elapses) and return its estimates.
+    pub fn wait_boot_result(
+        &self,
+        id: u64,
+        timeout: Option<Duration>,
+    ) -> Result<BootstrapResult, JobError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let seen = *plock(&self.inner.change);
+            match self.boot_result(id) {
+                Err(JobError::NotFinished(_)) => {}
+                other => return other,
+            }
+            if self.inner.shutdown.load(Ordering::Relaxed) {
+                return Err(JobError::ShuttingDown);
+            }
+            let mut gen = plock(&self.inner.change);
+            while *gen == seen {
+                match deadline {
+                    None => {
+                        gen = self
+                            .inner
+                            .change_cv
+                            .wait(gen)
+                            .unwrap_or_else(PoisonError::into_inner)
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(JobError::Timeout(id));
+                        }
+                        let (g, _) = self
+                            .inner
+                            .change_cv
+                            .wait_timeout(gen, d - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        gen = g;
+                    }
+                }
+            }
         }
     }
 
@@ -1481,6 +1805,297 @@ fn run_adaptive(inner: &Arc<Inner>, job: &Arc<Job>) {
     }
 }
 
+/// Drive one bootstrap job to completion on its dedicated thread: run the
+/// whole replicate set locally, or shard it by gene slices across the peer
+/// roster when one is configured. On success the finished estimates are
+/// written to the cache as a `.boot` entry and stored on the job.
+fn run_bootstrap(inner: &Arc<Inner>, job: &Arc<Job>) {
+    let work = &job.work;
+    // Claim the job; bail out if it was cancelled while pending.
+    {
+        let mut prog = plock(&job.prog);
+        if prog.state != JobState::Queued {
+            return;
+        }
+        if job.cancel.load(Ordering::Relaxed) {
+            prog.state = JobState::Cancelled;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+            return;
+        }
+        prog.state = JobState::Running;
+    }
+    let faults = &inner.cfg.faults;
+    // Same injection points as the span loop: a panic unwinds into the
+    // catch_unwind wrapping this function, the I/O error takes the ordinary
+    // failure path, and a resubmit recovers either way (bootstrap jobs have
+    // no partial state — the cache entry is all-or-nothing).
+    let outcome = if faults.fire(FaultKind::WorkerPanic) {
+        panic!("injected worker panic (SPRINT_FAULTS worker_panic)");
+    } else if faults.fire(FaultKind::SpanIo) {
+        Err(CoreError::Comm("injected span I/O error".to_string()))
+    } else if job.shard.is_some() {
+        boot_sharded(inner, job)
+    } else {
+        boot::boot_run(&work.prepared, work.labels.as_slice(), &work.opts)
+    };
+    match outcome {
+        Err(CoreError::Cancelled) => {
+            let mut prog = plock(&job.prog);
+            job.live_done.store(prog.cursor, Ordering::Relaxed);
+            prog.state = JobState::Cancelled;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+        }
+        Err(e) => {
+            fail_job(inner, job, e.to_string());
+        }
+        Ok(result) => {
+            if work.cached {
+                if let Some(cache) = &inner.cache {
+                    if let Err(e) = cache.store_boot(&job.key, work.b, &result) {
+                        eprintln!(
+                            "jobd: warning: failed to write cache entry {}: {e}",
+                            job.key.hex()
+                        );
+                    }
+                }
+            }
+            // A cancel that raced the (uninterruptible) replicate run loses
+            // to completion: the work is done and durably cached, so serving
+            // it beats discarding it.
+            let mut prog = plock(&job.prog);
+            prog.cursor = work.b;
+            prog.computed = work.b;
+            job.live_done.store(work.b, Ordering::Relaxed);
+            prog.boot = Some(result);
+            prog.state = JobState::Finished;
+            drop(prog);
+            emit_event(job);
+            bump_change(inner);
+        }
+    }
+}
+
+/// How one peer's gene slice went.
+enum BootSliceOutcome {
+    /// The slice's estimates, shape-checked against the request.
+    Done(BootstrapResult),
+    /// Empty slice (more participants than genes): nothing to merge.
+    Empty,
+    /// Transport-level loss after retries: the coordinator recomputes the
+    /// slice locally.
+    Lost {
+        row_start: u64,
+        row_take: u64,
+        why: String,
+    },
+    /// The peer answered with a protocol error: the request itself is wrong
+    /// everywhere (drifted dataset, mismatched B), so the job fails.
+    Rejected(String),
+}
+
+/// Shard one bootstrap run by gene slices: each participant computes the
+/// *full* replicate set for a contiguous band of gene rows (per-gene
+/// finalization is independent, so a slice is bitwise-equal to the same rows
+/// of a full run), and the coordinator merges the bands in row order. A lost
+/// peer's band is recomputed locally — slower, never wrong.
+fn boot_sharded(inner: &Arc<Inner>, job: &Arc<Job>) -> Result<BootstrapResult, CoreError> {
+    let work = &job.work;
+    let stats = Arc::clone(job.shard.as_ref().expect("sharded job carries stats"));
+    let genes = work.prepared.rows() as u64;
+    let roster = 1 + inner.cfg.peers.len();
+    let plan: Vec<(u64, u64)> = (0..roster)
+        .map(|i| split_evenly(genes, roster as u64, i as u64))
+        .collect();
+    stats.peers.store(roster as u64, Ordering::Relaxed);
+    stats.spans_total.store(
+        plan.iter().filter(|&&(_, t)| t > 0).count() as u64,
+        Ordering::Relaxed,
+    );
+    let path = work
+        .source
+        .as_ref()
+        .expect("sharded job has a source path")
+        .display()
+        .to_string();
+    let faults = &inner.cfg.faults;
+    let run_local_slice = |start: u64, take: u64| -> Result<BootstrapResult, CoreError> {
+        let cpu0 = shard::thread_cpu_secs();
+        let t0 = Instant::now();
+        let r = boot::boot_run_slice(
+            &work.prepared,
+            work.labels.as_slice(),
+            &work.opts,
+            start as usize..(start + take) as usize,
+        )?;
+        let secs = match (cpu0, shard::thread_cpu_secs()) {
+            (Some(a), Some(z)) if work.cfg.threads <= 1 => (z - a).max(0.0),
+            _ => t0.elapsed().as_secs_f64(),
+        };
+        stats
+            .kernel_local_micros
+            .fetch_add((secs.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+        stats.spans_local.fetch_add(1, Ordering::Relaxed);
+        Ok(r)
+    };
+
+    let (local, peer_outcomes) = std::thread::scope(|scope| {
+        let stats_ref = &stats;
+        let handles: Vec<_> = inner
+            .cfg
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(idx, addr)| {
+                let (row_start, row_take) = plan[idx + 1];
+                let path = path.clone();
+                scope.spawn(move || {
+                    if row_take == 0 {
+                        return BootSliceOutcome::Empty;
+                    }
+                    if faults.fire(FaultKind::PeerDrop) {
+                        return BootSliceOutcome::Lost {
+                            row_start,
+                            row_take,
+                            why: "injected peer_drop".into(),
+                        };
+                    }
+                    let policy = RetryPolicy {
+                        attempts: 3,
+                        base: Duration::from_millis(50),
+                        max: Duration::from_secs(2),
+                        seed: 0x626f_6f74 ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    };
+                    let link = PeerLink {
+                        addr,
+                        policy,
+                        timeout: Some(PEER_TIMEOUT),
+                        stats: stats_ref,
+                        faults,
+                    };
+                    let req =
+                        protocol::boot_exec_request(&path, &work.opts, work.b, row_start, row_take);
+                    match link.exec(&req) {
+                        Ok(resp) => match protocol::boot_from_json(&resp) {
+                            Ok(r)
+                                if r.offset as u64 == row_start
+                                    && r.genes() as u64 == row_take
+                                    && r.replicates == work.b - 1 =>
+                            {
+                                let secs = resp
+                                    .get("kernel_secs")
+                                    .and_then(Json::as_f64)
+                                    .unwrap_or(0.0);
+                                stats_ref
+                                    .kernel_remote_micros
+                                    .fetch_add((secs.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+                                stats_ref.spans_remote.fetch_add(1, Ordering::Relaxed);
+                                BootSliceOutcome::Done(r)
+                            }
+                            Ok(_) => BootSliceOutcome::Lost {
+                                row_start,
+                                row_take,
+                                why: "slice shape mismatch in response".into(),
+                            },
+                            Err(e) => BootSliceOutcome::Lost {
+                                row_start,
+                                row_take,
+                                why: format!("malformed boot response: {e}"),
+                            },
+                        },
+                        Err(PeerError::Dead(why)) => BootSliceOutcome::Lost {
+                            row_start,
+                            row_take,
+                            why,
+                        },
+                        Err(PeerError::Rejected(why)) => BootSliceOutcome::Rejected(format!(
+                            "peer {addr} rejected gene slice [{row_start}, {}): {why}",
+                            row_start + row_take
+                        )),
+                    }
+                })
+            })
+            .collect();
+        // Participant 0 computes its own band on this thread while the
+        // dispatchers wait on their peers.
+        let (s0, t0) = plan[0];
+        let local = if t0 > 0 {
+            Some(run_local_slice(s0, t0))
+        } else {
+            None
+        };
+        let outcomes: Vec<BootSliceOutcome> = handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    BootSliceOutcome::Rejected(format!(
+                        "boot dispatcher panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))
+                })
+            })
+            .collect();
+        (local, outcomes)
+    });
+
+    // Assemble the bands in participant order (== row order). Lost slices
+    // are recomputed locally before merging; a rejection fails the job.
+    let mut bands: Vec<(u64, BootstrapResult)> = Vec::new();
+    if let Some(r) = local {
+        bands.push((plan[0].0, r?));
+    }
+    for outcome in peer_outcomes {
+        match outcome {
+            BootSliceOutcome::Done(r) => bands.push((r.offset as u64, r)),
+            BootSliceOutcome::Empty => {}
+            BootSliceOutcome::Lost {
+                row_start,
+                row_take,
+                why,
+            } => {
+                if job.cancel.load(Ordering::Relaxed) {
+                    return Err(CoreError::Cancelled);
+                }
+                stats.peers_failed.fetch_add(1, Ordering::Relaxed);
+                stats.spans_reassigned.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "jobd: boot: peer slice [{row_start}, {}) lost ({why}); recomputing locally",
+                    row_start + row_take
+                );
+                bands.push((row_start, run_local_slice(row_start, row_take)?));
+            }
+            BootSliceOutcome::Rejected(why) => {
+                return Err(CoreError::Comm(why));
+            }
+        }
+    }
+    bands.sort_by_key(|&(start, _)| start);
+    let mut merged = BootstrapResult {
+        offset: 0,
+        theta: Vec::new(),
+        se: Vec::new(),
+        pct_lo: Vec::new(),
+        pct_hi: Vec::new(),
+        bca_lo: Vec::new(),
+        bca_hi: Vec::new(),
+        replicates: work.b - 1,
+        level: boot::CI_LEVEL,
+    };
+    for (_, band) in &bands {
+        merged.extend(band)?;
+    }
+    if merged.genes() as u64 != genes {
+        return Err(CoreError::Comm(format!(
+            "sharded bootstrap covered {} of {genes} gene rows",
+            merged.genes()
+        )));
+    }
+    Ok(merged)
+}
+
 /// One unit of sharded work reported to the merger.
 enum SpanOutcome {
     /// A span's exact exceedance counts, from any participant.
@@ -1932,6 +2547,181 @@ mod tests {
         assert_eq!(status.state, JobState::Finished);
         assert_eq!(status.done, 97);
         assert_eq!(status.computed, 97);
+    }
+
+    #[test]
+    fn bootstrap_job_matches_boot_run_bitwise() {
+        let (data, labels) = small_dataset();
+        let opts = PmaxtOptions::default()
+            .workload(Workload::Bootstrap)
+            .permutations(150);
+        let mgr = manager(16);
+        let info = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone(),
+                source_path: None,
+            })
+            .unwrap();
+        assert_eq!(info.total, 150);
+        let served = mgr
+            .wait_boot_result(info.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        let direct = boot::boot_run(&data, &labels, &opts).unwrap();
+        assert_eq!(served, direct);
+        let status = mgr.status(info.id).unwrap();
+        assert_eq!(status.state, JobState::Finished);
+        assert_eq!(status.done, 150);
+        // The maxT accessor refuses a bootstrap job with a usage error, and
+        // vice versa.
+        assert!(matches!(
+            mgr.result(info.id).unwrap_err(),
+            JobError::Invalid(CoreError::BadOption {
+                param: "workload",
+                ..
+            })
+        ));
+        assert!(mgr.is_boot(info.id).unwrap());
+    }
+
+    #[test]
+    fn bootstrap_jobs_dedup_and_cache_separately_from_permutation_jobs() {
+        let (data, labels) = small_dataset();
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("sprint-jobd-bootcache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mgr = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 16,
+            cache_dir: Some(dir.clone()),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let boot_opts = PmaxtOptions::default()
+            .workload(Workload::Bootstrap)
+            .permutations(120);
+        let perm_opts = PmaxtOptions::default().permutations(120);
+        let a = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: boot_opts.clone(),
+                source_path: None,
+            })
+            .unwrap();
+        let perm = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: perm_opts,
+                source_path: None,
+            })
+            .unwrap();
+        // The workload marker keeps the two streams apart.
+        assert_ne!(a.key, perm.key);
+        assert_ne!(a.id, perm.id);
+        let first = mgr
+            .wait_boot_result(a.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        mgr.wait_result(perm.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        // The bootstrap accessor refuses a permutation job.
+        assert!(matches!(
+            mgr.boot_result(perm.id).unwrap_err(),
+            JobError::Invalid(CoreError::BadOption {
+                param: "workload",
+                ..
+            })
+        ));
+        // An identical live resubmission dedups onto the same job.
+        let b = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: boot_opts.clone(),
+                source_path: None,
+            })
+            .unwrap();
+        assert_eq!(b.id, a.id);
+        assert!(b.deduped);
+        // A fresh manager over the same cache dir (a daemon restart) serves
+        // the run whole from the `.boot` entry without recomputing.
+        let mgr2 = JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 16,
+            cache_dir: Some(dir.clone()),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let hit = mgr2
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: boot_opts.clone(),
+                source_path: None,
+            })
+            .unwrap();
+        assert_eq!(hit.state, JobState::Finished);
+        assert_eq!(hit.cache, CacheDisposition::Hit);
+        assert_eq!(mgr2.boot_result(hit.id).unwrap(), first);
+        let st = mgr2.status(hit.id).unwrap();
+        assert_eq!(st.computed, 0, "cache hit computes nothing");
+        // A different draw count misses (no prefix semantics) and recomputes.
+        let c = mgr2
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts: boot_opts.permutations(240),
+                source_path: None,
+            })
+            .unwrap();
+        assert_eq!(c.cache, CacheDisposition::Miss);
+        let longer = mgr2
+            .wait_boot_result(c.id, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(longer.replicates, 239);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bootstrap_rejects_env_smuggled_f32_and_wrong_designs() {
+        let (data, labels) = small_dataset();
+        let mgr = manager(16);
+        let err = mgr
+            .submit(JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: PmaxtOptions::default()
+                    .workload(Workload::Bootstrap)
+                    .permutations(100)
+                    .precision(Precision::F32),
+                source_path: None,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            JobError::Invalid(CoreError::BadOption {
+                param: "precision",
+                ..
+            })
+        ));
+        // B below the bootstrap floor is refused at the door.
+        let err = mgr
+            .submit(JobSpec {
+                data,
+                classlabel: labels,
+                opts: PmaxtOptions::default()
+                    .workload(Workload::Bootstrap)
+                    .permutations(1),
+                source_path: None,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            JobError::Invalid(CoreError::BadOption { param: "b", .. })
+        ));
+        assert!(mgr.list().is_empty(), "no job must be created");
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   `null` and decode back to NaN.
 
 use sprint_core::adaptive::AdaptiveReport;
+use sprint_core::boot::BootstrapResult;
 use sprint_core::maxt::MaxTResult;
-use sprint_core::options::{KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod};
+use sprint_core::options::{
+    KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod, Workload,
+};
 use sprint_core::side::Side;
 
 use crate::json::Json;
@@ -43,6 +46,7 @@ fn opts_to_pairs(opts: &PmaxtOptions) -> Vec<(String, Json)> {
         ("mode".to_string(), Json::str(opts.mode.as_str())),
         ("threads".to_string(), Json::Num(opts.threads as f64)),
         ("batch".to_string(), Json::Num(opts.batch as f64)),
+        ("workload".to_string(), Json::str(opts.workload.as_str())),
     ];
     if let Some(na) = opts.na {
         pairs.push(("na".to_string(), Json::Num(na)));
@@ -95,6 +99,10 @@ pub fn opts_from_request(req: &Json) -> Result<PmaxtOptions, String> {
     }
     if let Some(v) = req.get("na") {
         opts.na = Some(v.as_f64().ok_or("na must be a number")?);
+    }
+    if let Some(v) = req.get("workload") {
+        let s = v.as_str().ok_or("workload must be a string")?;
+        opts.workload = Workload::parse(s).map_err(|e| e.to_string())?;
     }
     Ok(opts)
 }
@@ -158,6 +166,116 @@ pub fn span_counts_from_json(resp: &Json) -> Result<(u64, u64, Vec<u64>, f64), S
         .and_then(Json::as_f64)
         .unwrap_or(0.0);
     Ok((start, take, counts, kernel_secs))
+}
+
+/// Build a `boot_exec` request: compute the bootstrap estimates of gene rows
+/// `[row_start, row_start + row_take)` of the dataset at `path` (a path on
+/// the *peer's* filesystem). `b` is the coordinator's resolved draw count;
+/// the executor re-resolves it and refuses on drift, exactly like
+/// [`span_exec_request`].
+pub fn boot_exec_request(
+    path: &str,
+    opts: &PmaxtOptions,
+    b: u64,
+    row_start: u64,
+    row_take: u64,
+) -> Json {
+    let mut pairs = vec![
+        ("cmd".to_string(), Json::str("boot_exec")),
+        ("path".to_string(), Json::str(path)),
+        ("b_resolved".to_string(), Json::u64_str(b)),
+        ("row_start".to_string(), Json::u64_str(row_start)),
+        ("row_take".to_string(), Json::u64_str(row_take)),
+    ];
+    pairs.extend(opts_to_pairs(opts));
+    Json::Obj(pairs)
+}
+
+/// f64 slice → array of IEEE-754 bit patterns as decimal strings. Interval
+/// endpoints must survive the wire bit for bit (the sharded-equals-serial
+/// contract is bitwise), and JSON's decimal float round-trip cannot promise
+/// that — the bit pattern can.
+fn f64_bits_arr(v: &[f64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::u64_str(x.to_bits())).collect())
+}
+
+/// Bit-pattern array → f64 slice (inverse of [`f64_bits_arr`]).
+fn f64_bits_from(resp: &Json, field: &str) -> Result<Vec<f64>, String> {
+    resp.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array {field}"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .map(f64::from_bits)
+                .ok_or_else(|| format!("non-integer bit pattern in {field}"))
+        })
+        .collect()
+}
+
+/// Bootstrap estimates → response fields, shared by `boot_exec` responses
+/// and `result` responses of bootstrap jobs. All float arrays ride as bit
+/// patterns (see [`f64_bits_arr`]).
+pub fn boot_to_json(r: &BootstrapResult) -> Vec<(&'static str, Json)> {
+    vec![
+        ("workload", Json::str("bootstrap")),
+        ("row_offset", Json::u64_str(r.offset as u64)),
+        ("replicates", Json::u64_str(r.replicates)),
+        ("level", Json::u64_str(r.level.to_bits())),
+        ("theta", f64_bits_arr(&r.theta)),
+        ("se", f64_bits_arr(&r.se)),
+        ("pct_lo", f64_bits_arr(&r.pct_lo)),
+        ("pct_hi", f64_bits_arr(&r.pct_hi)),
+        ("bca_lo", f64_bits_arr(&r.bca_lo)),
+        ("bca_hi", f64_bits_arr(&r.bca_hi)),
+    ]
+}
+
+/// Response fields → bootstrap estimates (inverse of [`boot_to_json`]).
+pub fn boot_from_json(resp: &Json) -> Result<BootstrapResult, String> {
+    let u64_field = |field: &str| -> Result<u64, String> {
+        resp.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing field {field}"))
+    };
+    let out = BootstrapResult {
+        offset: u64_field("row_offset")? as usize,
+        theta: f64_bits_from(resp, "theta")?,
+        se: f64_bits_from(resp, "se")?,
+        pct_lo: f64_bits_from(resp, "pct_lo")?,
+        pct_hi: f64_bits_from(resp, "pct_hi")?,
+        bca_lo: f64_bits_from(resp, "bca_lo")?,
+        bca_hi: f64_bits_from(resp, "bca_hi")?,
+        replicates: u64_field("replicates")?,
+        level: f64::from_bits(u64_field("level")?),
+    };
+    let n = out.theta.len();
+    for (name, len) in [
+        ("se", out.se.len()),
+        ("pct_lo", out.pct_lo.len()),
+        ("pct_hi", out.pct_hi.len()),
+        ("bca_lo", out.bca_lo.len()),
+        ("bca_hi", out.bca_hi.len()),
+    ] {
+        if len != n {
+            return Err(format!("array {name} has {len} entries, expected {n}"));
+        }
+    }
+    Ok(out)
+}
+
+/// Bootstrap job result → response fields (`result` of a bootstrap job).
+pub fn boot_result_to_json(job: u64, r: &BootstrapResult) -> Json {
+    let mut fields = vec![("job", Json::Num(job as f64))];
+    fields.extend(boot_to_json(r));
+    ok_response(fields)
+}
+
+/// Boot-exec outcome → response fields (one gene slice plus kernel time).
+pub fn boot_slice_to_json(r: &BootstrapResult, kernel_secs: f64) -> Json {
+    let mut fields = vec![("kernel_secs", Json::Num(kernel_secs))];
+    fields.extend(boot_to_json(r));
+    ok_response(fields)
 }
 
 /// Shard wire counters → the `comm` object embedded in status/progress
@@ -426,7 +544,8 @@ mod tests {
             .precision(Precision::F32)
             .mode(Mode::Adaptive)
             .threads(3)
-            .batch(17);
+            .batch(17)
+            .workload(Workload::Bootstrap);
         let req = submit_request("/data/set.tsv", &opts);
         let wire = Json::parse(&req.to_json()).unwrap();
         assert_eq!(wire.get("cmd").unwrap().as_str(), Some("submit"));
@@ -522,6 +641,56 @@ mod tests {
         // An exact result carries no adaptive object.
         let plain = Json::parse(&result_to_json(9, &r, None).to_json()).unwrap();
         assert!(plain.get("adaptive").is_none());
+    }
+
+    #[test]
+    fn bootstrap_results_round_trip_bit_for_bit() {
+        let r = BootstrapResult {
+            offset: 3,
+            theta: vec![8.0, -0.125, f64::NAN],
+            se: vec![0.5, 0.25, f64::NAN],
+            pct_lo: vec![7.0, -1.0, f64::NAN],
+            pct_hi: vec![9.0, 1.0, f64::NAN],
+            bca_lo: vec![7.1, f64::NAN, f64::NAN],
+            bca_hi: vec![9.1, f64::NAN, f64::NAN],
+            replicates: 399,
+            level: 0.95,
+        };
+        let wire = Json::parse(&boot_result_to_json(4, &r).to_json()).unwrap();
+        assert_eq!(wire.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(wire.get("workload").unwrap().as_str(), Some("bootstrap"));
+        let back = boot_from_json(&wire).unwrap();
+        assert_eq!(back.offset, 3);
+        assert_eq!(back.replicates, 399);
+        assert_eq!(back.level.to_bits(), r.level.to_bits());
+        for (a, b) in back.theta.iter().zip(&r.theta) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in back.bca_lo.iter().zip(&r.bca_lo) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Ragged arrays are rejected, not silently truncated.
+        let mut ragged = r.clone();
+        ragged.se.pop();
+        let wire = Json::parse(&boot_slice_to_json(&ragged, 0.1).to_json()).unwrap();
+        assert!(boot_from_json(&wire).is_err());
+        assert!((wire.get("kernel_secs").unwrap().as_f64().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boot_exec_request_carries_slice_and_options() {
+        let opts = PmaxtOptions::default()
+            .workload(Workload::Bootstrap)
+            .permutations(500)
+            .seed(11);
+        let req = boot_exec_request("/data/set.tsv", &opts, 500, 100, 50);
+        let wire = Json::parse(&req.to_json()).unwrap();
+        assert_eq!(wire.get("cmd").unwrap().as_str(), Some("boot_exec"));
+        assert_eq!(wire.get("b_resolved").unwrap().as_u64(), Some(500));
+        assert_eq!(wire.get("row_start").unwrap().as_u64(), Some(100));
+        assert_eq!(wire.get("row_take").unwrap().as_u64(), Some(50));
+        let decoded = opts_from_request(&wire).unwrap();
+        assert_eq!(decoded, opts);
     }
 
     #[test]

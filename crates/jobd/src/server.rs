@@ -348,6 +348,10 @@ fn handle_connection(
                 let resp = handle_span_exec(&request, manager);
                 respond(&mut conn, &resp, faults)?;
             }
+            "boot_exec" => {
+                let resp = handle_boot_exec(&request, manager);
+                respond(&mut conn, &resp, faults)?;
+            }
             "status" => {
                 let resp = match job_id(&request) {
                     Ok(id) => match manager.status(id) {
@@ -362,20 +366,36 @@ fn handle_connection(
                 let resp = match job_id(&request) {
                     Ok(id) => {
                         let wait = request.get("wait").and_then(Json::as_bool).unwrap_or(true);
-                        let outcome = if wait {
-                            manager.wait_result(id, None)
-                        } else {
-                            manager.result(id)
-                        };
-                        match outcome {
-                            Ok(result) => {
-                                // Adaptive jobs carry their per-gene report
-                                // (bounds, stop cursors, tail diagnostics)
-                                // alongside the finalized result.
-                                let report = manager.adaptive_report(id).ok().flatten();
-                                protocol::result_to_json(id, &result, report.as_ref())
+                        // Bootstrap jobs answer with interval estimates; the
+                        // job's workload (not a request field) decides the
+                        // response shape, so a generic client just gets the
+                        // right thing.
+                        if manager.is_boot(id).unwrap_or(false) {
+                            let outcome = if wait {
+                                manager.wait_boot_result(id, None)
+                            } else {
+                                manager.boot_result(id)
+                            };
+                            match outcome {
+                                Ok(result) => protocol::boot_result_to_json(id, &result),
+                                Err(e) => protocol::err_from(&e),
                             }
-                            Err(e) => protocol::err_from(&e),
+                        } else {
+                            let outcome = if wait {
+                                manager.wait_result(id, None)
+                            } else {
+                                manager.result(id)
+                            };
+                            match outcome {
+                                Ok(result) => {
+                                    // Adaptive jobs carry their per-gene report
+                                    // (bounds, stop cursors, tail diagnostics)
+                                    // alongside the finalized result.
+                                    let report = manager.adaptive_report(id).ok().flatten();
+                                    protocol::result_to_json(id, &result, report.as_ref())
+                                }
+                                Err(e) => protocol::err_from(&e),
+                            }
                         }
                     }
                     Err(resp) => resp,
@@ -498,6 +518,44 @@ fn handle_span_exec(request: &Json, manager: &JobManager) -> Json {
     };
     match manager.exec_span(data, classlabel, opts, b, start, take) {
         Ok((flat, kernel_secs)) => protocol::span_counts_to_json(start, take, &flat, kernel_secs),
+        Err(e) => protocol::err_from(&e),
+    }
+}
+
+/// Execute one gene slice of a sharded bootstrap run for a peer coordinator:
+/// re-read the dataset from this daemon's own filesystem, recompute the
+/// slice's interval estimates over the same deterministic draw stream, and
+/// return them as bit-pattern arrays. Stateless, like `span_exec`.
+fn handle_boot_exec(request: &Json, manager: &JobManager) -> Json {
+    let path = match request.get("path").and_then(Json::as_str) {
+        Some(p) => p,
+        None => return protocol::err_response("boot_exec requires a path field", "usage"),
+    };
+    let opts: PmaxtOptions = match protocol::opts_from_request(request) {
+        Ok(o) => o,
+        Err(e) => return protocol::err_response(&e, "usage"),
+    };
+    let (b, row_start, row_take) = match (
+        request.get("b_resolved").and_then(Json::as_u64),
+        request.get("row_start").and_then(Json::as_u64),
+        request.get("row_take").and_then(Json::as_u64),
+    ) {
+        (Some(b), Some(s), Some(t)) => (b, s, t),
+        _ => {
+            return protocol::err_response(
+                "boot_exec requires b_resolved, row_start and row_take fields",
+                "usage",
+            )
+        }
+    };
+    let (data, classlabel) = match read_dataset(std::path::Path::new(path)) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return protocol::err_response(&format!("cannot read dataset {path:?}: {e}"), "runtime")
+        }
+    };
+    match manager.exec_boot(data, classlabel, opts, b, row_start, row_take) {
+        Ok((result, kernel_secs)) => protocol::boot_slice_to_json(&result, kernel_secs),
         Err(e) => protocol::err_from(&e),
     }
 }

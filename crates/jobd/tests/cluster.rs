@@ -10,8 +10,9 @@ use std::time::Duration;
 use microarray::design::LabelDesign;
 use microarray::io::write_dataset;
 use microarray::prelude::*;
+use sprint_core::boot::boot_run;
 use sprint_core::maxt::serial::mt_maxt;
-use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_core::options::{PmaxtOptions, TestMethod, Workload};
 use sprint_jobd::client::{expect_ok, Client};
 use sprint_jobd::json::Json;
 use sprint_jobd::{protocol, JobManager, ManagerConfig, Server};
@@ -196,6 +197,118 @@ fn dead_peer_spans_reassigned_bitwise_identical() {
     assert!(
         c("retries") >= 1,
         "the dead peer was retried before being declared dead"
+    );
+
+    shutdown(&coord);
+    shutdown(&live_peer);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Bootstrap jobs shard by gene bands instead of permutation spans: two peer
+/// daemons each recompute their band's replicate draws from their own copy of
+/// the dataset, and the merged interval estimates are bitwise-identical to a
+/// serial `boot_run` — every theta, standard error, and CI bound.
+#[test]
+fn sharded_bootstrap_bitwise_identical_to_serial() {
+    let dir = std::env::temp_dir().join(format!("jobd-cluster-boot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let peer_a = spawn_peer(16);
+    let peer_b = spawn_peer(16);
+    let coord = spawn_coordinator(16, vec![peer_a.clone(), peer_b.clone()], None);
+
+    let ds = dataset_for(TestMethod::T, 40, 909);
+    let dataset = dir.join("data.tsv");
+    write_dataset(&dataset, &ds.matrix, &ds.labels).unwrap();
+
+    let opts = PmaxtOptions::default()
+        .workload(Workload::Bootstrap)
+        .permutations(500)
+        .seed(21);
+    let mut client = Client::connect(&coord).unwrap();
+    let resp = ok(client
+        .request(&protocol::submit_request(dataset.to_str().unwrap(), &opts))
+        .unwrap());
+    let job = u(&resp, "job");
+    let resp = ok(client
+        .request(&protocol::result_request(job, true))
+        .unwrap());
+    assert_eq!(
+        resp.get("workload").and_then(Json::as_str),
+        Some("bootstrap")
+    );
+    let served = protocol::boot_from_json(&resp).unwrap();
+    let serial = boot_run(&ds.matrix, &ds.labels, &opts).unwrap();
+    assert_eq!(
+        served, serial,
+        "sharded bootstrap must be bitwise-identical to serial"
+    );
+    assert_eq!(served.replicates, 499);
+
+    let st = ok(client
+        .request(&protocol::job_request("status", job))
+        .unwrap());
+    let comm = st
+        .get("comm")
+        .expect("sharded bootstrap job must expose comm counters");
+    let c = |k: &str| comm.get(k).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(c("peers"), 3, "roster is self + two peers");
+    assert!(
+        c("spans_remote") >= 2,
+        "each peer computes one gene band remotely"
+    );
+    assert!(c("spans_local") >= 1, "the coordinator keeps its own band");
+    assert!(c("bytes_sent") > 0 && c("bytes_received") > 0);
+
+    shutdown(&coord);
+    shutdown(&peer_a);
+    shutdown(&peer_b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A dead roster entry during a sharded bootstrap run: its gene band is
+/// recomputed locally and the merged estimates stay bitwise-identical.
+#[test]
+fn sharded_bootstrap_survives_dead_peer() {
+    let dir = std::env::temp_dir().join(format!("jobd-cluster-bootdead-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let live_peer = spawn_peer(16);
+    let coord = spawn_coordinator(16, vec![dead_addr, live_peer.clone()], None);
+
+    let ds = dataset_for(TestMethod::T, 31, 131);
+    let dataset = dir.join("data.tsv");
+    write_dataset(&dataset, &ds.matrix, &ds.labels).unwrap();
+
+    let opts = PmaxtOptions::default()
+        .workload(Workload::Bootstrap)
+        .permutations(300)
+        .seed(8);
+    let mut client = Client::connect(&coord).unwrap();
+    let resp = ok(client
+        .request(&protocol::submit_request(dataset.to_str().unwrap(), &opts))
+        .unwrap());
+    let job = u(&resp, "job");
+    let resp = ok(client
+        .request(&protocol::result_request(job, true))
+        .unwrap());
+    let served = protocol::boot_from_json(&resp).unwrap();
+    let serial = boot_run(&ds.matrix, &ds.labels, &opts).unwrap();
+    assert_eq!(served, serial, "peer death must not change the estimates");
+
+    let st = ok(client
+        .request(&protocol::job_request("status", job))
+        .unwrap());
+    let comm = st.get("comm").expect("comm counters");
+    let c = |k: &str| comm.get(k).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(c("peers_failed"), 1, "exactly one roster entry is dead");
+    assert!(
+        c("spans_reassigned") >= 1,
+        "the dead peer's band was recomputed locally"
     );
 
     shutdown(&coord);

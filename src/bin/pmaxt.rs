@@ -35,12 +35,16 @@ use std::time::Duration;
 use microarray::io::{read_dataset, write_dataset};
 use microarray::prelude::*;
 use sprint_core::adaptive::{adaptive_maxt, AdaptiveConfig, AdaptiveOutcome};
+use sprint_core::boot::{boot_run, BootstrapResult};
 use sprint_core::error::Error as CoreError;
 use sprint_core::labels::ClassLabels;
 use sprint_core::maxt::minp::pminp;
-use sprint_core::maxt::MaxTResult;
-use sprint_core::options::{KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod};
+use sprint_core::maxt::{CountAccumulator, MaxTContext, MaxTResult};
+use sprint_core::options::{
+    KernelChoice, Mode, PmaxtOptions, Precision, SamplingMode, TestMethod, Workload,
+};
 use sprint_core::perm::resolve_permutation_count;
+use sprint_core::perm::stored::StoredMatrix;
 use sprint_core::pmaxt::{chunk_for_rank, pmaxt};
 use sprint_core::side::Side;
 use sprint_jobd::client::{expect_ok, request_retried, Client, RetryPolicy};
@@ -65,6 +69,7 @@ impl CliError {
             CoreError::BadOption { .. }
             | CoreError::BadLabels(_)
             | CoreError::BadMatrix(_)
+            | CoreError::ArrangementWidth { .. }
             | CoreError::TooManyPermutations { .. } => CliError::Usage(e.to_string()),
             CoreError::Comm(_) | CoreError::Cancelled => CliError::Runtime(e.to_string()),
         }
@@ -96,6 +101,9 @@ struct RunConfig {
     minp: bool,
     out: Option<PathBuf>,
     top: usize,
+    /// Replay file (`--perm-file`): score exactly these stored label
+    /// arrangements instead of a generated stream.
+    perm_file: Option<PathBuf>,
 }
 
 /// Parsed command line for `pmaxt generate`.
@@ -150,7 +158,7 @@ struct ClientConfig {
 }
 
 fn usage_text() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--mode exact|adaptive (adaptive = early-stop null genes with\n             anytime-valid p-value bounds; SPRINT_MODE overrides)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--peer ADDR]... \n            [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf|corr|tmax]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--workload pmaxt|bootstrap (bootstrap = resample with replacement,\n             report percentile + BCa confidence intervals)]\n            [--perm-file FILE (replay stored label arrangements, one per line)]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--mode exact|adaptive (adaptive = early-stop null genes with\n             anytime-valid p-value bounds; SPRINT_MODE overrides)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--peer ADDR]... \n            [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
 }
 
 /// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
@@ -202,6 +210,9 @@ fn parse_opts_flag(
                 .parse()
                 .map_err(|e| format!("bad --batch: {e}"))?
         }
+        "--workload" => {
+            opts.workload = Workload::parse(take("--workload")?).map_err(|e| e.to_string())?
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -214,6 +225,7 @@ fn parse_run(args: &[String]) -> Result<RunConfig, String> {
     let mut minp = false;
     let mut out = None;
     let mut top = 10usize;
+    let mut perm_file = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if parse_opts_flag(&mut opts, a, &mut it)? {
@@ -229,6 +241,7 @@ fn parse_run(args: &[String]) -> Result<RunConfig, String> {
                     .map_err(|e| format!("bad --ranks: {e}"))?
             }
             "--minp" => minp = true,
+            "--perm-file" => perm_file = Some(PathBuf::from(take("--perm-file")?)),
             "--out" => out = Some(PathBuf::from(take("--out")?)),
             "--top" => {
                 top = take("--top")?
@@ -248,6 +261,7 @@ fn parse_run(args: &[String]) -> Result<RunConfig, String> {
         minp,
         out,
         top,
+        perm_file,
     })
 }
 
@@ -476,6 +490,52 @@ fn print_result(result: &MaxTResult, top: usize, out: Option<&PathBuf>) -> Resul
 fn cmd_run(cfg: &RunConfig) -> Result<(), CliError> {
     let (data, labels) =
         read_dataset(&cfg.input).map_err(|e| runtime(format!("reading {:?}: {e}", cfg.input)))?;
+    if cfg.opts.workload == Workload::Bootstrap {
+        if cfg.minp {
+            return Err(usage(
+                "--minp is a permutation procedure; drop it for --workload bootstrap",
+            ));
+        }
+        if cfg.ranks > 1 {
+            return Err(usage(
+                "bootstrap runs shard by gene through the job service; drop --ranks",
+            ));
+        }
+        if cfg.perm_file.is_some() {
+            return Err(usage(
+                "--perm-file replays label arrangements, not bootstrap draws",
+            ));
+        }
+        eprintln!(
+            "loaded {} genes x {} samples; workload=bootstrap B={} level={:.0}%",
+            data.rows(),
+            data.cols(),
+            cfg.opts.b,
+            100.0 * sprint_core::boot::CI_LEVEL,
+        );
+        let t0 = std::time::Instant::now();
+        let result = boot_run(&data, &labels, &cfg.opts).map_err(CliError::from_core)?;
+        eprintln!(
+            "done: {} bootstrap replicates in {:.2?}",
+            result.replicates,
+            t0.elapsed()
+        );
+        return print_boot(&result, cfg.top, cfg.out.as_ref());
+    }
+    if let Some(perm_file) = &cfg.perm_file {
+        if cfg.minp {
+            return Err(usage("--perm-file replay is maxT-only; drop --minp"));
+        }
+        if cfg.ranks > 1 {
+            return Err(usage("--perm-file replays one stored stream; drop --ranks"));
+        }
+        if cfg.opts.mode.env_override() == Mode::Adaptive {
+            return Err(usage(
+                "--perm-file replay is exact-only; drop --mode adaptive",
+            ));
+        }
+        return run_replay(cfg, &data, &labels, perm_file);
+    }
     // Validate the rank allocation up front: handing a rank zero permutations
     // is a resource-allocation mistake with its own exit code (3), distinct
     // from usage and runtime failures.
@@ -634,6 +694,136 @@ fn print_adaptive(
     Ok(())
 }
 
+/// Parse a `--perm-file`: one label arrangement per line, whitespace-separated
+/// class codes, `#` comments and blank lines ignored.
+fn read_perm_file(path: &std::path::Path) -> Result<Vec<Vec<u8>>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("reading {path:?}: {e}")))?;
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<u8>, _> = line.split_whitespace().map(str::parse).collect();
+        rows.push(row.map_err(|e| usage(format!("{path:?} line {}: {e}", lineno + 1)))?);
+    }
+    if rows.is_empty() {
+        return Err(usage(format!("{path:?} holds no arrangements")));
+    }
+    Ok(rows)
+}
+
+/// `pmaxt run --perm-file`: replay an explicit arrangement set through the
+/// maxT kernel via [`StoredMatrix`]. The observed labelling is scored first
+/// (every stream's index 0 is the identity draw), then the file's rows.
+fn run_replay(
+    cfg: &RunConfig,
+    data: &sprint_core::matrix::Matrix,
+    labels: &[u8],
+    path: &std::path::Path,
+) -> Result<(), CliError> {
+    let rows = read_perm_file(path)?;
+    // Width mismatches surface as the typed `ArrangementWidth` error → exit 2,
+    // with the row index matching the file's arrangement ordinal.
+    StoredMatrix::try_from_rows(&rows, data.cols()).map_err(CliError::from_core)?;
+    let (class, _b, prepared) = sprint_core::maxt::serial::prepare_run(data, labels, &cfg.opts)
+        .map_err(CliError::from_core)?;
+    let mut want = labels.to_vec();
+    want.sort_unstable();
+    for (i, row) in rows.iter().enumerate() {
+        let mut got = row.clone();
+        got.sort_unstable();
+        if got != want {
+            return Err(usage(format!(
+                "--perm-file row {i} is not a rearrangement of the dataset's class labels"
+            )));
+        }
+    }
+    let mut all = Vec::with_capacity(rows.len() + 1);
+    all.push(labels.to_vec());
+    all.extend(rows);
+    let b = all.len() as u64;
+    let mut stream = StoredMatrix::try_from_rows(&all, data.cols()).map_err(CliError::from_core)?;
+    let ctx = MaxTContext::with_scorer(
+        &prepared,
+        &class,
+        cfg.opts.test,
+        cfg.opts.side,
+        cfg.opts.kernel,
+        cfg.opts.precision,
+    );
+    let mut acc = CountAccumulator::new(ctx.genes());
+    let t0 = std::time::Instant::now();
+    let done = ctx.accumulate(&mut stream, b, &mut acc);
+    eprintln!(
+        "done: replayed {done} stored arrangement(s) (identity + {} from {path:?}) in {:.2?}",
+        done.saturating_sub(1),
+        t0.elapsed()
+    );
+    print_result(&ctx.finalize(&acc), cfg.top, cfg.out.as_ref())
+}
+
+/// Order genes for the bootstrap table: largest |θ̂/se| first (the
+/// strongest standardized effects), NaN-scored genes last.
+fn boot_order(result: &BootstrapResult) -> Vec<usize> {
+    let score = |g: usize| {
+        let z = (result.theta[g] / result.se[g]).abs();
+        if z.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            z
+        }
+    };
+    let mut order: Vec<usize> = (0..result.genes()).collect();
+    order.sort_by(|&a, &b| score(b).partial_cmp(&score(a)).unwrap().then(a.cmp(&b)));
+    order
+}
+
+fn write_boot_table(path: &std::path::Path, result: &BootstrapResult) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "index\ttheta\tse\tpct_lo\tpct_hi\tbca_lo\tbca_hi")?;
+    for g in boot_order(result) {
+        writeln!(
+            w,
+            "{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
+            result.offset + g,
+            result.theta[g],
+            result.se[g],
+            result.pct_lo[g],
+            result.pct_hi[g],
+            result.bca_lo[g],
+            result.bca_hi[g]
+        )?;
+    }
+    w.flush()
+}
+
+fn print_boot(result: &BootstrapResult, top: usize, out: Option<&PathBuf>) -> Result<(), CliError> {
+    println!(
+        "{:>6} {:>12} {:>10} {:>22} {:>22}",
+        "index", "theta", "se", "percentile CI", "BCa CI"
+    );
+    for g in boot_order(result).into_iter().take(top) {
+        println!(
+            "{:>6} {:>12.4} {:>10.4} [{:>9.4}, {:>9.4}] [{:>9.4}, {:>9.4}]",
+            result.offset + g,
+            result.theta[g],
+            result.se[g],
+            result.pct_lo[g],
+            result.pct_hi[g],
+            result.bca_lo[g],
+            result.bca_hi[g]
+        );
+    }
+    if let Some(out) = out {
+        write_boot_table(out, result).map_err(|e| runtime(format!("writing {out:?}: {e}")))?;
+        eprintln!("full bootstrap table written to {out:?}");
+    }
+    Ok(())
+}
+
 fn cmd_generate(cfg: &GenerateConfig) -> Result<(), CliError> {
     let ds = SynthConfig::two_class(cfg.genes, cfg.n0, cfg.n1)
         .diff_fraction(cfg.diff)
@@ -785,6 +975,15 @@ fn fetch_and_print_result(cfg: &ClientConfig, job: u64, wait: bool) -> Result<()
     // Safe to retry even with `wait`: the result request is read-only and the
     // daemon resolves it from the job table / cache on every attempt.
     let resp = request_retrying(cfg, &protocol::result_request(job, wait))?;
+    if resp.get("workload").and_then(Json::as_str) == Some("bootstrap") {
+        let result = protocol::boot_from_json(&resp).map_err(usage)?;
+        eprintln!(
+            "job {job}: {} bootstrap replicates, {:.0}% intervals",
+            result.replicates,
+            100.0 * result.level
+        );
+        return print_boot(&result, cfg.top, cfg.out.as_ref());
+    }
     let result = protocol::result_from_json(&resp).map_err(usage)?;
     eprintln!("job {job}: B = {} permutations", result.b_used);
     print_result(&result, cfg.top, cfg.out.as_ref())
@@ -1188,6 +1387,7 @@ mod tests {
             minp: false,
             out: Some(out.clone()),
             top: 5,
+            perm_file: None,
         };
         cmd_run(&cfg).unwrap();
         let table = std::fs::read_to_string(&out).unwrap();
@@ -1219,6 +1419,7 @@ mod tests {
             minp: false,
             out: None,
             top: 3,
+            perm_file: None,
         };
         let err = cmd_run(&cfg).unwrap_err();
         assert!(matches!(err, CliError::Ranks(_)), "got {err:?}");
@@ -1264,6 +1465,7 @@ mod tests {
             minp: false,
             out: Some(out.clone()),
             top: 5,
+            perm_file: None,
         };
         cmd_run(&cfg).unwrap();
         let table = std::fs::read_to_string(&out).unwrap();
@@ -1282,6 +1484,7 @@ mod tests {
             minp: true,
             out: None,
             top: 5,
+            perm_file: None,
         };
         assert!(matches!(cmd_run(&bad).unwrap_err(), CliError::Usage(_)));
         std::fs::remove_file(&data).ok();
@@ -1310,6 +1513,7 @@ mod tests {
             minp: true,
             out: None,
             top: 3,
+            perm_file: None,
         };
         cmd_run(&cfg).unwrap();
         std::fs::remove_file(&data).ok();

@@ -128,3 +128,104 @@ fn client_missing_job_id_is_usage_error() {
     let out = pmaxt(&["status", "unix:/nonexistent/jobd.sock"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn perm_file_width_mismatch_is_usage_error() {
+    let data = tmp("permwidth.tsv");
+    generate(&data, "10"); // 4 + 4 samples → 8 columns
+    let perms = tmp("permwidth-rows.txt");
+    // Second arrangement is one label short: the StoredMatrix width check
+    // must refuse it with a typed error → usage exit, naming the row.
+    std::fs::write(&perms, "1 1 0 0 1 0 1 0\n0 1 1 0 1 0 1\n").unwrap();
+    let out = pmaxt(&[
+        "run",
+        data.to_str().unwrap(),
+        "--perm-file",
+        perms.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "out: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("arrangement 1") && stderr.contains("8") && stderr.contains("7"),
+        "diagnostic should name the row and both widths: {stderr}"
+    );
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&perms).ok();
+}
+
+#[test]
+fn perm_file_replay_runs_clean() {
+    let data = tmp("permreplay.tsv");
+    generate(&data, "10");
+    let perms = tmp("permreplay-rows.txt");
+    std::fs::write(
+        &perms,
+        "# two rearrangements of the 4 + 4 labelling\n1 1 0 0 1 0 1 0\n0 1 1 0 1 0 1 0\n",
+    )
+    .unwrap();
+    let out = pmaxt(&[
+        "run",
+        data.to_str().unwrap(),
+        "--perm-file",
+        perms.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "out: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("replayed 3"),
+        "identity + 2 file rows: {stderr}"
+    );
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&perms).ok();
+}
+
+#[test]
+fn perm_file_foreign_labelling_is_usage_error() {
+    let data = tmp("permforeign.tsv");
+    generate(&data, "10");
+    let perms = tmp("permforeign-rows.txt");
+    // Right width, wrong multiset (five 1s): not a rearrangement.
+    std::fs::write(&perms, "1 1 1 1 1 0 0 0\n").unwrap();
+    let out = pmaxt(&[
+        "run",
+        data.to_str().unwrap(),
+        "--perm-file",
+        perms.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "out: {out:?}");
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&perms).ok();
+}
+
+#[test]
+fn bootstrap_workload_runs_and_minp_combo_is_usage_error() {
+    let data = tmp("bootcli.tsv");
+    generate(&data, "12");
+    let out = pmaxt(&[
+        "run",
+        data.to_str().unwrap(),
+        "--workload",
+        "bootstrap",
+        "-B",
+        "200",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "out: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("percentile CI") && stdout.contains("BCa CI"),
+        "stdout: {stdout}"
+    );
+    let out = pmaxt(&[
+        "run",
+        data.to_str().unwrap(),
+        "--workload",
+        "bootstrap",
+        "-B",
+        "200",
+        "--minp",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "out: {out:?}");
+    let out = pmaxt(&["run", data.to_str().unwrap(), "--workload", "jackknife"]);
+    assert_eq!(out.status.code(), Some(2), "out: {out:?}");
+    std::fs::remove_file(&data).ok();
+}

@@ -90,54 +90,33 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(state: u64) -> Self;
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Concrete generators.
 pub mod rngs {
-    use super::{splitmix64, Rng, SeedableRng};
+    use super::{Rng, SeedableRng};
+    use sprint_rng::Xoshiro256;
 
     /// Deterministic standard generator: xoshiro256** seeded via splitmix64.
+    ///
+    /// Delegates to the workspace's single shared implementation in
+    /// `sprint-rng` — the same seeding expansion and output function this
+    /// shim previously duplicated inline, so streams are bitwise-unchanged
+    /// (pinned by `seed_from_u64_sequence_is_pinned` below).
     #[derive(Debug, Clone)]
     pub struct StdRng {
-        s: [u64; 4],
+        inner: Xoshiro256,
     }
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
-            let mut sm = state;
-            let mut s = [0u64; 4];
-            for slot in &mut s {
-                *slot = splitmix64(&mut sm);
+            StdRng {
+                inner: Xoshiro256::seed_from(state),
             }
-            // All-zero state is the one forbidden xoshiro state; splitmix64
-            // cannot produce four zeros from any seed, but keep the guard.
-            if s == [0; 4] {
-                s[0] = 0x9E37_79B9_7F4A_7C15;
-            }
-            StdRng { s }
         }
     }
 
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
-            let [s0, s1, s2, s3] = self.s;
-            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-            let t = s1 << 17;
-            let mut n = [s0, s1, s2, s3];
-            n[2] ^= n[0];
-            n[3] ^= n[1];
-            n[1] ^= n[2];
-            n[0] ^= n[3];
-            n[2] ^= t;
-            n[3] = n[3].rotate_left(45);
-            self.s = n;
-            result
+            self.inner.next_u64()
         }
     }
 }
@@ -156,6 +135,23 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn seed_from_u64_sequence_is_pinned() {
+        // Synthetic datasets (and everything digested from them) depend on
+        // this exact stream; values recorded before the generator was
+        // deduplicated into sprint-rng.
+        let mut rng = StdRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 0x15780b2e0c2ec716);
+        assert_eq!(rng.next_u64(), 0x6104d9866d113a7e);
+        assert_eq!(rng.next_u64(), 0xae17533239e499a1);
+        assert_eq!(rng.next_u64(), 0xecb8ad4703b360a1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0x99ec5f36cb75f2b4);
+        assert_eq!(rng.next_u64(), 0xbf6e1f784956452a);
+        assert_eq!(rng.next_u64(), 0x1a5f849d4933e6e0);
+        assert_eq!(rng.next_u64(), 0x6aa594f1262d2d2c);
     }
 
     #[test]
