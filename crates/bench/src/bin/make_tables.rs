@@ -339,6 +339,42 @@ fn run_faults(jobs: usize, b: u64, out: Option<&str>) {
     }
 }
 
+fn run_recovery(jobs: usize, b: u64, out: Option<&str>) {
+    println!("=== durability: accept-path cost per journal mode, replay scaling ===");
+    println!(
+        "(reference workload shape 6102x76; {jobs} distinct jobs at B = {b} \
+         through a 2-worker pool under each durability mode, then cold journal \
+         replays at growing record counts)"
+    );
+    let r = sprint_bench::recovery_bench(6_102, 76, b, jobs);
+    for m in &r.modes {
+        println!(
+            "  {:>5}: {:>9.3} ms accept, {:>7.2} jobs/s  ({:+.2}% accept vs off)",
+            m.mode,
+            m.accept_secs * 1e3,
+            m.jobs_per_sec,
+            r.overhead_pct(&m.mode)
+        );
+    }
+    println!(
+        "  batch accept overhead: {:+.2}% (target <= 10%)",
+        r.overhead_pct("batch")
+    );
+    for (n, secs) in &r.replay {
+        println!("  replay {n:>6} records: {:>8.3} ms", secs * 1e3);
+    }
+    let json = stamp_bench_json(
+        &sprint_bench::recovery_bench_to_json(&r),
+        "recovery",
+        &[("jobs", jobs.to_string()), ("B", b.to_string())],
+    );
+    let path = out.unwrap_or("BENCH_recovery.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
 fn run_cluster(jobs: usize, b: u64, out: Option<&str>) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("=== cross-daemon sharding: 1/2/4 daemons over localhost TCP ===");
@@ -602,6 +638,15 @@ fn main() {
                 out_flag.as_deref().or(args.get(3).map(String::as_str)),
             );
         }
+        "recovery" => {
+            let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+            let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+            run_recovery(
+                jobs,
+                b,
+                out_flag.as_deref().or(args.get(3).map(String::as_str)),
+            );
+        }
         "cluster" => {
             let jobs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
             let b = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
@@ -644,12 +689,13 @@ fn main() {
             run_threads(None);
             run_serve(4, 400, None);
             run_faults(4, 400, None);
+            run_recovery(8, 400, None);
             run_adaptive(5_000, false, None);
             run_bootstrap(2_000, false, None);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|cluster [JOBS B OUT.json]|adaptive [B] [--quick]|bootstrap [B] [--quick]|all] [--out PATH]");
+            eprintln!("usage: make_tables [table1..table6|figure3|compare|whatif|local [GENES B MAXPROCS]|kernel [OUT.json] [--quick]|threads [OUT.json]|serve [JOBS B OUT.json]|faults [JOBS B OUT.json]|recovery [JOBS B OUT.json]|cluster [JOBS B OUT.json]|adaptive [B] [--quick]|bootstrap [B] [--quick]|all] [--out PATH]");
             std::process::exit(2);
         }
     }

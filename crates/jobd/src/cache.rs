@@ -30,9 +30,10 @@ use sprint_core::digest::{self, Fnv1a};
 use sprint_core::matrix::Matrix;
 use sprint_core::options::PmaxtOptions;
 
-use crate::faults::{FaultKind, Faults};
+use crate::faults::{crash_point, FaultKind, Faults};
 use crate::json::Json;
 use crate::protocol;
+use crate::storage;
 
 /// Name of the subdirectory corrupt entries are moved into by the startup
 /// scan (see [`ResultCache::open_with`]).
@@ -230,9 +231,10 @@ impl ResultCache {
         let mut line = Json::obj(fields).to_json();
         line.push('\n');
         let path = self.boot_entry_path(key);
-        let tmp = path.with_extension("boot.tmp");
-        std::fs::write(&tmp, line.as_bytes())?;
-        std::fs::rename(&tmp, &path)?;
+        // A unique tmp per write: the old fixed-name `.boot.tmp` let two
+        // concurrent writers of the same key tear each other's rename.
+        storage::atomic_write(&path, line.as_bytes(), &self.faults)?;
+        crash_point("cache.store");
         if self.faults.fire(FaultKind::CacheCorrupt) {
             let bytes = std::fs::read(&path)?;
             std::fs::write(&path, &bytes[..bytes.len() / 2])?;
@@ -245,6 +247,7 @@ impl ResultCache {
         debug_assert_eq!(state.digest, key.check_digest(), "entry digest mismatch");
         let path = self.entry_path(key);
         checkpoint::save(&path, state)?;
+        crash_point("cache.store");
         if self.faults.fire(FaultKind::CacheCorrupt) {
             // Injected torn write: truncate the just-written entry to half.
             // The parse then fails, so the next probe degrades the key to a

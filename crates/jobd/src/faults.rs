@@ -32,6 +32,9 @@
 //! | `peer_drop`      | shard coordinator dispatch      | a peer daemon dying mid-span |
 //! | `peer_stall`     | shard coordinator dispatch      | a slow/overloaded peer daemon|
 //! | `peer_torn`      | shard coordinator dispatch      | a request torn mid-frame     |
+//! | `journal_torn`   | journal record append           | a record torn mid-write      |
+//! | `fsync_fail`     | journal / atomic-write fsync    | EIO from a dying disk        |
+//! | `disk_full`      | journal / atomic-write payload  | ENOSPC                       |
 //!
 //! Every class is survivable: panics and span errors fail the *job* (the
 //! daemon keeps serving), corrupt cache entries are quarantined or degrade
@@ -39,9 +42,27 @@
 //! and per-connection deadlines, and the three `peer_*` classes exercise the
 //! cross-daemon sharding path ([`crate::shard`]): a dropped peer's spans are
 //! reassigned to the survivors, a stalled peer only delays its own spans,
-//! and a torn request resyncs on a fresh connection. The `fault_soak` and
-//! `peer_faults` integration tests drive the classes at once and assert the
-//! final adjusted p-values are bitwise-identical to a fault-free run.
+//! and a torn request resyncs on a fresh connection. The three disk classes
+//! exercise the durability layer ([`crate::journal`], [`crate::storage`]): a
+//! torn journal record is skipped by the replay resync scan, a failed fsync
+//! fails only the write it was guarding (the caller degrades or retries),
+//! and a full disk rejects the submission instead of acking an un-journaled
+//! job. The `fault_soak`, `peer_faults` and `disk_fault_soak` integration
+//! tests drive the classes at once and assert the final adjusted p-values
+//! are bitwise-identical to a fault-free run.
+//!
+//! ## Crash points
+//!
+//! Faults model a *surviving* process; the durability contract also has to
+//! hold when the process itself dies between two instructions. The named
+//! crash points in [`CRASH_POINTS`] mark exactly those in-between states
+//! (record written but not fsynced, rename done but directory not fsynced,
+//! result cached but terminal record not appended, ...). Setting
+//! `SPRINT_CRASH=<point>:<n>` makes the n-th arrival at that point
+//! [`std::process::abort`] — no unwinding, no destructors, the closest
+//! in-process stand-in for `kill -9`. The `crash_recovery` integration
+//! suite iterates the registry against the real binary and asserts recovery
+//! after every one.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -70,11 +91,20 @@ pub enum FaultKind {
     /// A span-exec request torn mid-frame (half the line, then the socket
     /// drops); the coordinator resends on a fresh connection.
     PeerTorn,
+    /// A journal record torn mid-append (half the frame reaches the disk,
+    /// then the write "stops"); replay must skip exactly that record.
+    JournalTorn,
+    /// `fsync` returning EIO — the write being guarded is not durable and
+    /// its caller must treat it as failed.
+    FsyncFail,
+    /// ENOSPC from a persistent payload write (journal append or
+    /// atomic-write temporary).
+    DiskFull,
 }
 
 impl FaultKind {
     /// Every class, in index order.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::WorkerPanic,
         FaultKind::SpanIo,
         FaultKind::CacheCorrupt,
@@ -83,6 +113,9 @@ impl FaultKind {
         FaultKind::PeerDrop,
         FaultKind::PeerStall,
         FaultKind::PeerTorn,
+        FaultKind::JournalTorn,
+        FaultKind::FsyncFail,
+        FaultKind::DiskFull,
     ];
 
     /// Number of classes (array size in the registry).
@@ -99,6 +132,9 @@ impl FaultKind {
             FaultKind::PeerDrop => "peer_drop",
             FaultKind::PeerStall => "peer_stall",
             FaultKind::PeerTorn => "peer_torn",
+            FaultKind::JournalTorn => "journal_torn",
+            FaultKind::FsyncFail => "fsync_fail",
+            FaultKind::DiskFull => "disk_full",
         }
     }
 
@@ -328,6 +364,78 @@ impl Faults {
     }
 }
 
+/// Every named crash point, in rough lifecycle order. Each entry marks an
+/// in-between state a real power cut could expose; the `crash_recovery`
+/// integration suite iterates this list, aborts the daemon at each point via
+/// `SPRINT_CRASH`, restarts it, and asserts the durability invariants.
+pub const CRASH_POINTS: &[&str] = &[
+    // Journal layer (crate::journal).
+    "journal.append",  // record written to the segment, not yet fsynced
+    "journal.fsync",   // record durable, accept ack not yet sent
+    "journal.compact", // compacted segment durable, old segments not yet removed
+    // Atomic-write primitive (crate::storage).
+    "storage.tmp",    // unique tmp durable, rename pending
+    "storage.rename", // rename done, parent directory fsync pending
+    // Manager lifecycle (crate::manager).
+    "manager.accept", // accept record durable, submit ack pending
+    "manager.start",  // start record appended
+    "manager.finish", // result checkpointed, terminal record pending
+    // Cache writes (crate::cache).
+    "cache.store", // span checkpoint written
+];
+
+/// The `SPRINT_CRASH=<point>:<n>` spec, parsed once per process.
+fn crash_spec() -> Option<&'static (String, u64)> {
+    static SPEC: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        let raw = match std::env::var("SPRINT_CRASH") {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => return None,
+        };
+        let (point, n) = match raw.trim().split_once(':') {
+            Some((p, n)) => (p.trim().to_string(), n.trim().parse::<u64>().ok()),
+            None => (raw.trim().to_string(), Some(1)),
+        };
+        let Some(n) = n.filter(|&n| n > 0) else {
+            eprintln!(
+                "jobd: warning: ignoring invalid SPRINT_CRASH={raw:?} (want point:n, n >= 1)"
+            );
+            return None;
+        };
+        if !CRASH_POINTS.contains(&point.as_str()) {
+            eprintln!(
+                "jobd: warning: SPRINT_CRASH names unknown point {point:?} (known: {})",
+                CRASH_POINTS.join(", ")
+            );
+            return None;
+        }
+        Some((point, n))
+    })
+    .as_ref()
+}
+
+/// Declare arrival at a named crash point. When `SPRINT_CRASH=<name>:<n>` is
+/// set and this is the n-th arrival at that point, the process aborts on the
+/// spot — no unwinding, no destructors, no flushes. Costs one `OnceLock`
+/// load when the variable is unset.
+pub fn crash_point(name: &str) {
+    debug_assert!(
+        CRASH_POINTS.contains(&name),
+        "crash point {name:?} is not in CRASH_POINTS"
+    );
+    let Some((target, n)) = crash_spec() else {
+        return;
+    };
+    if target != name {
+        return;
+    }
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    if HITS.fetch_add(1, Ordering::SeqCst) + 1 == *n {
+        eprintln!("jobd: SPRINT_CRASH={name}:{n} reached, aborting");
+        std::process::abort();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +513,31 @@ mod tests {
         assert!(Faults::parse_spec("seed:abc", None).is_err());
         // Empty entries are tolerated (trailing commas).
         assert!(Faults::parse_spec("worker_panic:0.1,", None).is_ok());
+    }
+
+    #[test]
+    fn disk_classes_parse_and_fire() {
+        let f = Faults::parse_spec("journal_torn:1,fsync_fail:1,disk_full:1", None).unwrap();
+        for kind in [
+            FaultKind::JournalTorn,
+            FaultKind::FsyncFail,
+            FaultKind::DiskFull,
+        ] {
+            assert!(f.fire(kind), "{} armed at p=1 must fire", kind.as_str());
+            assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn crash_points_are_distinct_and_unset_env_is_free() {
+        let mut sorted: Vec<&str> = CRASH_POINTS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), CRASH_POINTS.len(), "duplicate crash point");
+        // With SPRINT_CRASH unset (the test environment), arrival is a no-op.
+        for point in CRASH_POINTS {
+            crash_point(point);
+        }
     }
 
     #[test]

@@ -1,0 +1,903 @@
+//! Write-ahead job journal: accepted work survives daemon death.
+//!
+//! The manager's queue is memory; a `kill -9` of the daemon used to erase
+//! every queued and running job without a trace. The journal closes that
+//! hole: before a submission is acked, an *accept* record — carrying the
+//! content digest, the dataset path and the full request options — is
+//! appended to an on-disk log, and every later lifecycle transition
+//! (started, finished, failed, cancelled) appends a follow-up record keyed
+//! by the same `(digest, B, mode)` identity the dedup map uses. On restart
+//! the manager replays the log, folds the lifecycle records, and resubmits
+//! every job that never reached a terminal state; the checkpoint cache then
+//! resumes each one from its last completed span, so recovery recomputes at
+//! most one span per job.
+//!
+//! ## Record framing
+//!
+//! Each record is one frame: an 8-byte magic (`PMXJREC1`), a little-endian
+//! `u32` payload length, a little-endian `u64` FNV-1a checksum of the
+//! payload, then the payload itself (one JSON line, same dialect as the
+//! wire protocol). The magic makes frames self-delimiting under damage:
+//! replay decodes frames in order, and on a bad frame (wrong magic, absurd
+//! length, checksum mismatch, unparseable payload) it *resyncs* by scanning
+//! forward to the next magic — a record torn in the middle of the log loses
+//! exactly itself, never its neighbours. A torn **tail** (no further magic)
+//! is quarantined: the bytes are copied aside and the segment is truncated
+//! at the last valid frame boundary, mirroring the cache quarantine scan.
+//!
+//! ## Segments, rotation, compaction
+//!
+//! Records append to numbered segments (`seg-000001.wal`, ...) under
+//! `<cache>/journal/`; a segment over [`SEGMENT_ROTATE_BYTES`] is closed
+//! and a new one started, so no single file grows without bound.
+//! [`Journal::compact`] rewrites the live set (the accept records of jobs
+//! still in flight) into one fresh segment via the crash-consistent
+//! [`crate::storage::atomic_write`] and deletes the older segments — replay
+//! is idempotent over duplicate records, so a crash anywhere inside
+//! compaction is harmless. A drained shutdown compacts to an empty journal,
+//! making the next startup instant.
+//!
+//! ## Durability modes (`pmaxt serve --durability`)
+//!
+//! [`Durability::Full`] fsyncs after every record, so an acked submission
+//! is durable — at the price of one fsync on the accept path.
+//! [`Durability::Batch`] (the serve default) writes records immediately but
+//! group-commits: a flusher thread fsyncs every [`FLUSH_INTERVAL`], so a
+//! crash can lose at most the final interval's acks while the accept path
+//! stays at in-memory cost. [`Durability::Off`] keeps no journal at all —
+//! the pre-journal behaviour, still useful for embedded or throwaway runs.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use sprint_core::options::PmaxtOptions;
+
+use crate::faults::{crash_point, FaultKind, Faults};
+use crate::json::Json;
+use crate::protocol;
+use crate::storage;
+
+/// Frame magic; also the resync landmark after a torn record.
+pub const FRAME_MAGIC: [u8; 8] = *b"PMXJREC1";
+
+/// Frame header size: magic + u32 length + u64 checksum.
+const FRAME_HEADER: usize = 8 + 4 + 8;
+
+/// Largest payload a frame may claim; anything bigger is damage.
+const MAX_PAYLOAD: usize = 1 << 20;
+
+/// A segment at or past this size is rotated before the next append.
+pub const SEGMENT_ROTATE_BYTES: u64 = 1 << 20;
+
+/// Group-commit interval of [`Durability::Batch`].
+pub const FLUSH_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Subdirectory (inside the journal dir) where torn tails are kept.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Journal fsync policy — the `serve --durability` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// fsync per record: an acked submission is durable, at one fsync per
+    /// accept.
+    Full,
+    /// Group commit: records are written immediately and fsynced every
+    /// [`FLUSH_INTERVAL`]; a crash loses at most the last interval's acks.
+    Batch,
+    /// No journal. Daemon death loses queued and running jobs (checkpoints
+    /// still bound recomputation on manual resubmit). The default for
+    /// embedded [`crate::manager::JobManager`] use.
+    #[default]
+    Off,
+}
+
+impl Durability {
+    /// Parse the `--durability` spelling.
+    pub fn parse(s: &str) -> Option<Durability> {
+        match s {
+            "full" => Some(Durability::Full),
+            "batch" => Some(Durability::Batch),
+            "off" => Some(Durability::Off),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Durability::Full => "full",
+            Durability::Batch => "batch",
+            Durability::Off => "off",
+        }
+    }
+}
+
+/// Lifecycle stage a record asserts for its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Job validated and enqueued; the record carries everything needed to
+    /// resubmit (source path + options).
+    Accepted,
+    /// A worker claimed the job.
+    Started,
+    /// Terminal: result computed and checkpointed.
+    Finished,
+    /// Terminal: cancelled by a client.
+    Cancelled,
+    /// Terminal: failed (the record carries the error).
+    Failed,
+}
+
+impl RecordKind {
+    /// The payload spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordKind::Accepted => "accepted",
+            RecordKind::Started => "started",
+            RecordKind::Finished => "finished",
+            RecordKind::Cancelled => "cancelled",
+            RecordKind::Failed => "failed",
+        }
+    }
+
+    /// Parse the payload spelling.
+    pub fn parse(s: &str) -> Option<RecordKind> {
+        match s {
+            "accepted" => Some(RecordKind::Accepted),
+            "started" => Some(RecordKind::Started),
+            "finished" => Some(RecordKind::Finished),
+            "cancelled" => Some(RecordKind::Cancelled),
+            "failed" => Some(RecordKind::Failed),
+            _ => None,
+        }
+    }
+
+    /// True for the three states a job never leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            RecordKind::Finished | RecordKind::Cancelled | RecordKind::Failed
+        )
+    }
+}
+
+/// One journal record. Identity is `(key, b, mode)` — the same triple the
+/// manager's dedup map uses, so replayed records fold onto the jobs the
+/// clients actually see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Lifecycle stage.
+    pub kind: RecordKind,
+    /// Hex cache key (dataset digest + stream digest).
+    pub key: String,
+    /// Resolved permutation total.
+    pub b: u64,
+    /// Run-mode tag (`exact`/`adaptive`; bootstrap jobs ride as `exact`,
+    /// matching the dedup key, and are told apart by `opts.workload`).
+    pub mode: String,
+    /// Dataset path to re-read on recovery (accept records of file-backed
+    /// submissions; in-process submissions have none and are reported as
+    /// unrecoverable if still live at replay).
+    pub source: Option<String>,
+    /// Full request options (accept records only).
+    pub opts: Option<PmaxtOptions>,
+    /// Failure message (failed records only).
+    pub error: Option<String>,
+}
+
+impl JournalRecord {
+    /// A bare lifecycle record (started/terminal) for an identity.
+    pub fn transition(kind: RecordKind, key: &str, b: u64, mode: &str) -> JournalRecord {
+        JournalRecord {
+            kind,
+            key: key.to_string(),
+            b,
+            mode: mode.to_string(),
+            source: None,
+            opts: None,
+            error: None,
+        }
+    }
+}
+
+/// FNV-1a over the payload bytes — same family as the cache digests, cheap
+/// and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn record_to_json(rec: &JournalRecord) -> Json {
+    let mut pairs = vec![
+        ("rec".to_string(), Json::str(rec.kind.as_str())),
+        ("key".to_string(), Json::str(&rec.key)),
+        ("b".to_string(), Json::u64_str(rec.b)),
+        ("mode".to_string(), Json::str(&rec.mode)),
+    ];
+    if let Some(source) = &rec.source {
+        pairs.push(("source".to_string(), Json::str(source)));
+    }
+    if let Some(opts) = &rec.opts {
+        pairs.push(("opts".to_string(), Json::Obj(protocol::opts_to_pairs(opts))));
+    }
+    if let Some(error) = &rec.error {
+        pairs.push(("error".to_string(), Json::str(error)));
+    }
+    Json::Obj(pairs)
+}
+
+fn record_from_json(v: &Json) -> Option<JournalRecord> {
+    let kind = RecordKind::parse(v.get("rec")?.as_str()?)?;
+    let key = v.get("key")?.as_str()?.to_string();
+    let b = v.get("b")?.as_u64()?;
+    let mode = v.get("mode")?.as_str()?.to_string();
+    let source = match v.get("source") {
+        Some(s) => Some(s.as_str()?.to_string()),
+        None => None,
+    };
+    let opts = match v.get("opts") {
+        Some(o) => Some(protocol::opts_from_request(o).ok()?),
+        None => None,
+    };
+    let error = match v.get("error") {
+        Some(e) => Some(e.as_str()?.to_string()),
+        None => None,
+    };
+    Some(JournalRecord {
+        kind,
+        key,
+        b,
+        mode,
+        source,
+        opts,
+        error,
+    })
+}
+
+/// Encode one record as a framed byte sequence (magic + length + checksum +
+/// JSON payload).
+pub fn encode_record(rec: &JournalRecord) -> Vec<u8> {
+    let payload = record_to_json(rec).to_json();
+    let payload = payload.as_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// What [`decode_buffer`] recovered from a segment's bytes.
+#[derive(Debug, Default)]
+pub struct DecodeOutcome {
+    /// Every cleanly decoded record, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Byte offset just past the last cleanly decoded frame — the safe
+    /// truncation point for a torn tail.
+    pub valid_len: usize,
+    /// Bytes skipped by mid-buffer resyncs (torn records with intact
+    /// successors).
+    pub skipped: u64,
+    /// How many resync scans ran.
+    pub resyncs: u64,
+}
+
+/// Decode one frame at the start of `buf`. Returns the record and the frame
+/// length, or `None` for any damage (bad magic, absurd length, truncation,
+/// checksum mismatch, unparseable payload).
+fn decode_frame(buf: &[u8]) -> Option<(JournalRecord, usize)> {
+    if buf.len() < FRAME_HEADER || buf[..8] != FRAME_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD || buf.len() < FRAME_HEADER + len {
+        return None;
+    }
+    let sum = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
+    if fnv1a(payload) != sum {
+        return None;
+    }
+    let text = std::str::from_utf8(payload).ok()?;
+    let rec = record_from_json(&Json::parse(text).ok()?)?;
+    Some((rec, FRAME_HEADER + len))
+}
+
+/// Decode a whole segment buffer, resyncing past damaged frames. Records
+/// after a mid-buffer tear are still recovered (the magic is the landmark);
+/// only an unreadable tail is left behind `valid_len`.
+pub fn decode_buffer(buf: &[u8]) -> DecodeOutcome {
+    let mut out = DecodeOutcome::default();
+    let mut off = 0usize;
+    while off < buf.len() {
+        if let Some((rec, frame_len)) = decode_frame(&buf[off..]) {
+            out.records.push(rec);
+            off += frame_len;
+            out.valid_len = off;
+            continue;
+        }
+        // Damaged frame: scan forward for the next magic.
+        out.resyncs += 1;
+        let next = buf[off + 1..]
+            .windows(FRAME_MAGIC.len())
+            .position(|w| w == FRAME_MAGIC)
+            .map(|p| off + 1 + p);
+        match next {
+            Some(next) => {
+                out.skipped += (next - off) as u64;
+                off = next;
+            }
+            None => break, // torn tail — everything past valid_len is damage
+        }
+    }
+    out
+}
+
+/// What replay found across all segments at [`Journal::open`].
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every record, across segments, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Segments replayed.
+    pub segments: usize,
+    /// Torn-tail bytes truncated and quarantined.
+    pub torn_bytes: u64,
+    /// Mid-segment resyncs (torn records skipped without truncation).
+    pub resyncs: u64,
+}
+
+/// Fold a replayed record sequence down to the accept records of jobs that
+/// never reached a terminal state, in first-accept order. These are the
+/// jobs recovery must resubmit.
+pub fn fold_pending(records: &[JournalRecord]) -> Vec<JournalRecord> {
+    type Identity = (String, u64, String);
+    let mut order: Vec<Identity> = Vec::new();
+    let mut state: HashMap<Identity, (Option<JournalRecord>, bool)> = HashMap::new();
+    for rec in records {
+        let id = (rec.key.clone(), rec.b, rec.mode.clone());
+        let entry = state.entry(id.clone()).or_insert_with(|| {
+            order.push(id);
+            (None, false)
+        });
+        match rec.kind {
+            RecordKind::Accepted => {
+                entry.0 = Some(rec.clone());
+                entry.1 = true;
+            }
+            RecordKind::Started => {}
+            RecordKind::Finished | RecordKind::Cancelled | RecordKind::Failed => entry.1 = false,
+        }
+    }
+    order
+        .iter()
+        .filter_map(|id| {
+            let (accept, live) = &state[id];
+            if *live {
+                accept.clone()
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:06}.wal"))
+}
+
+/// `(index, path)` of every segment in `dir`, ascending.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .and_then(|num| num.parse::<u64>().ok())
+        {
+            segs.push((idx, entry.path()));
+        }
+    }
+    segs.sort_unstable_by_key(|(idx, _)| *idx);
+    Ok(segs)
+}
+
+/// The active segment writer.
+#[derive(Debug)]
+struct Writer {
+    file: std::fs::File,
+    index: u64,
+    len: u64,
+    /// Unsynced bytes pending a group commit (Batch mode).
+    dirty: bool,
+}
+
+impl Writer {
+    fn open(dir: &Path, index: u64) -> io::Result<Writer> {
+        let path = segment_path(dir, index);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Writer {
+            file,
+            index,
+            len,
+            dirty: false,
+        })
+    }
+}
+
+fn injected_eio() -> io::Error {
+    io::Error::other("injected fsync_fail (SPRINT_FAULTS): fsync: I/O error")
+}
+
+fn injected_enospc() -> io::Error {
+    io::Error::other("injected disk_full (SPRINT_FAULTS): no space left on device")
+}
+
+/// fsync the active segment if it has unsynced appends.
+fn flush_writer(w: &mut Writer, faults: &Faults) -> io::Result<()> {
+    if !w.dirty {
+        return Ok(());
+    }
+    if faults.fire(FaultKind::FsyncFail) {
+        return Err(injected_eio());
+    }
+    w.file.sync_data()?;
+    crash_point("journal.fsync");
+    w.dirty = false;
+    Ok(())
+}
+
+/// The write-ahead job journal (see the module docs for the format and the
+/// recovery contract). One per daemon, living under the cache directory.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    mode: Durability,
+    faults: Faults,
+    writer: Arc<Mutex<Writer>>,
+    stop: Arc<AtomicBool>,
+    flusher: Option<thread::JoinHandle<()>>,
+}
+
+impl Journal {
+    /// Open (or create) the journal under `dir`, replaying every existing
+    /// segment. Torn tails are truncated at the last valid frame and their
+    /// bytes quarantined under `dir/quarantine/`. `mode` must be `Full` or
+    /// `Batch` — `Off` means "no journal" and is the caller's branch.
+    pub fn open(dir: &Path, mode: Durability, faults: Faults) -> io::Result<(Journal, Replay)> {
+        if mode == Durability::Off {
+            return Err(io::Error::other("Durability::Off opens no journal"));
+        }
+        std::fs::create_dir_all(dir)?;
+        let segments = list_segments(dir)?;
+        let mut replay = Replay {
+            segments: segments.len(),
+            ..Replay::default()
+        };
+        for (index, path) in &segments {
+            let buf = std::fs::read(path)?;
+            let outcome = decode_buffer(&buf);
+            replay.resyncs += outcome.resyncs;
+            if outcome.valid_len < buf.len() {
+                // Torn tail: quarantine the damaged bytes, truncate the
+                // segment at the last valid frame boundary.
+                let torn = &buf[outcome.valid_len..];
+                replay.torn_bytes += torn.len() as u64;
+                let qdir = dir.join(QUARANTINE_DIR);
+                let _ = std::fs::create_dir_all(&qdir);
+                let _ = std::fs::write(qdir.join(format!("seg-{index:06}.torn")), torn);
+                let file = std::fs::OpenOptions::new().write(true).open(path)?;
+                file.set_len(outcome.valid_len as u64)?;
+                file.sync_all()?;
+            }
+            replay.records.extend(outcome.records);
+        }
+        let index = segments.last().map_or(1, |(idx, _)| *idx);
+        let writer = Arc::new(Mutex::new(Writer::open(dir, index)?));
+        let stop = Arc::new(AtomicBool::new(false));
+        let flusher = (mode == Durability::Batch).then(|| {
+            let writer = Arc::clone(&writer);
+            let stop = Arc::clone(&stop);
+            let faults = faults.clone();
+            thread::Builder::new()
+                .name("jobd-journal-flush".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        thread::sleep(FLUSH_INTERVAL);
+                        let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+                        if let Err(e) = flush_writer(&mut w, &faults) {
+                            // Group commit retries next tick; the bytes stay
+                            // dirty until a sync succeeds.
+                            eprintln!("jobd: warning: journal flush failed: {e}");
+                        }
+                    }
+                })
+                .expect("spawn journal flusher")
+        });
+        let journal = Journal {
+            dir: dir.to_path_buf(),
+            mode,
+            faults,
+            writer,
+            stop,
+            flusher,
+        };
+        Ok((journal, replay))
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The fsync policy this journal runs under.
+    pub fn mode(&self) -> Durability {
+        self.mode
+    }
+
+    /// Append one record. In `Full` mode the record is fsynced before this
+    /// returns; in `Batch` mode it is durable within [`FLUSH_INTERVAL`].
+    /// Injected disk faults surface as errors (the caller decides whether
+    /// the guarded operation may proceed); an injected `journal_torn`
+    /// leaves a half-written frame that replay will skip.
+    pub fn append(&self, rec: &JournalRecord) -> io::Result<()> {
+        let frame = encode_record(rec);
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        if w.len >= SEGMENT_ROTATE_BYTES {
+            flush_writer(&mut w, &self.faults)?;
+            *w = Writer::open(&self.dir, w.index + 1)?;
+        }
+        if self.faults.fire(FaultKind::DiskFull) {
+            return Err(injected_enospc());
+        }
+        if self.faults.fire(FaultKind::JournalTorn) {
+            // Model a tear: half the frame reaches the segment, the rest
+            // never arrives. Replay resyncs past it.
+            let half = frame.len() / 2;
+            w.file.write_all(&frame[..half])?;
+            w.len += half as u64;
+            w.dirty = true;
+            return Ok(());
+        }
+        w.file.write_all(&frame)?;
+        w.len += frame.len() as u64;
+        crash_point("journal.append");
+        match self.mode {
+            Durability::Full => {
+                w.dirty = true;
+                flush_writer(&mut w, &self.faults)?;
+            }
+            Durability::Batch | Durability::Off => w.dirty = true,
+        }
+        Ok(())
+    }
+
+    /// fsync any unsynced appends now (drain, shutdown).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        flush_writer(&mut w, &self.faults)
+    }
+
+    /// Rewrite the journal to exactly `live` (the accept records of jobs
+    /// still in flight) in one fresh segment and delete the older segments.
+    /// After a completed drain `live` is empty and the next startup replays
+    /// nothing. Crash-safe at every step: the new segment lands via
+    /// [`storage::atomic_write`], and replay over any mix of old and new
+    /// segments folds to the same pending set.
+    pub fn compact(&self, live: &[JournalRecord]) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = flush_writer(&mut w, &self.faults);
+        let next = w.index + 1;
+        let mut buf = Vec::new();
+        for rec in live {
+            buf.extend_from_slice(&encode_record(rec));
+        }
+        storage::atomic_write(&segment_path(&self.dir, next), &buf, &self.faults)?;
+        crash_point("journal.compact");
+        for (index, path) in list_segments(&self.dir)? {
+            if index < next {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        let _ = storage::fsync_dir(&self.dir);
+        *w = Writer::open(&self.dir, next)?;
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sprint-journal-{name}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn accept(key: &str, b: u64) -> JournalRecord {
+        JournalRecord {
+            kind: RecordKind::Accepted,
+            key: key.to_string(),
+            b,
+            mode: "exact".to_string(),
+            source: Some(format!("/data/{key}.tsv")),
+            opts: Some(PmaxtOptions {
+                b,
+                seed: 42,
+                ..PmaxtOptions::default()
+            }),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn durability_spellings_round_trip() {
+        for mode in [Durability::Full, Durability::Batch, Durability::Off] {
+            assert_eq!(Durability::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(Durability::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn record_encoding_round_trips_every_kind() {
+        let records = vec![
+            accept("aaaa", 1000),
+            JournalRecord::transition(RecordKind::Started, "aaaa", 1000, "exact"),
+            JournalRecord {
+                error: Some("worker panicked: boom".to_string()),
+                ..JournalRecord::transition(RecordKind::Failed, "aaaa", 1000, "exact")
+            },
+            JournalRecord::transition(RecordKind::Cancelled, "bbbb", 500, "adaptive"),
+            JournalRecord::transition(RecordKind::Finished, "cccc", 250, "exact"),
+        ];
+        let mut buf = Vec::new();
+        for rec in &records {
+            buf.extend_from_slice(&encode_record(rec));
+        }
+        let out = decode_buffer(&buf);
+        assert_eq!(out.records, records);
+        assert_eq!(out.valid_len, buf.len());
+        assert_eq!((out.skipped, out.resyncs), (0, 0));
+    }
+
+    #[test]
+    fn torn_middle_loses_exactly_one_record() {
+        let r1 = accept("aaaa", 100);
+        let r2 = accept("bbbb", 200);
+        let r3 = accept("cccc", 300);
+        let f1 = encode_record(&r1);
+        let f2 = encode_record(&r2);
+        let f3 = encode_record(&r3);
+        let mut buf = f1.clone();
+        buf.extend_from_slice(&f2[..f2.len() / 2]); // r2 torn mid-frame
+        buf.extend_from_slice(&f3);
+        let out = decode_buffer(&buf);
+        assert_eq!(out.records, vec![r1, r3], "neighbours must survive");
+        assert_eq!(out.resyncs, 1);
+        assert!(out.skipped > 0);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_by_checksum() {
+        let mut frame = encode_record(&accept("aaaa", 100));
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let out = decode_buffer(&frame);
+        assert!(out.records.is_empty());
+        assert_eq!(out.valid_len, 0);
+    }
+
+    #[test]
+    fn journal_round_trips_across_reopen() {
+        let dir = tmpdir("reopen");
+        let records = vec![
+            accept("aaaa", 100),
+            JournalRecord::transition(RecordKind::Started, "aaaa", 100, "exact"),
+            accept("bbbb", 200),
+        ];
+        {
+            let (journal, replay) =
+                Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+            assert!(replay.records.is_empty());
+            for rec in &records {
+                journal.append(rec).unwrap();
+            }
+        }
+        let (_journal, replay) =
+            Journal::open(&dir, Durability::Batch, Faults::disabled()).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_quarantined() {
+        let dir = tmpdir("torntail");
+        let r1 = accept("aaaa", 100);
+        let r2 = accept("bbbb", 200);
+        {
+            let (journal, _) = Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+            journal.append(&r1).unwrap();
+            journal.append(&r2).unwrap();
+        }
+        // Tear the tail by hand: chop the last segment mid-frame.
+        let (_, seg) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - 7).unwrap();
+        drop(file);
+
+        let (journal, replay) = Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![r1.clone()],
+            "r2's tear must not touch r1"
+        );
+        assert_eq!(replay.torn_bytes as usize, encode_record(&r2).len() - 7);
+        assert!(dir
+            .join(QUARANTINE_DIR)
+            .read_dir()
+            .unwrap()
+            .next()
+            .is_some());
+        // The journal stays appendable at the truncation boundary.
+        journal.append(&r2).unwrap();
+        drop(journal);
+        let (_journal, replay) = Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+        assert_eq!(replay.records, vec![r1, r2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let dir = tmpdir("rotate");
+        let n = (SEGMENT_ROTATE_BYTES / encode_record(&accept("aaaa", 0)).len() as u64) + 10;
+        {
+            let (journal, _) = Journal::open(&dir, Durability::Batch, Faults::disabled()).unwrap();
+            for i in 0..n {
+                journal.append(&accept("aaaa", i)).unwrap();
+            }
+        }
+        assert!(
+            list_segments(&dir).unwrap().len() >= 2,
+            "past the rotate size a second segment must exist"
+        );
+        let (_journal, replay) =
+            Journal::open(&dir, Durability::Batch, Faults::disabled()).unwrap();
+        assert_eq!(replay.records.len() as u64, n);
+        assert!(replay
+            .records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.b == i as u64));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_exactly_the_live_set() {
+        let dir = tmpdir("compact");
+        let live = accept("bbbb", 200);
+        {
+            let (journal, _) = Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+            journal.append(&accept("aaaa", 100)).unwrap();
+            journal
+                .append(&JournalRecord::transition(
+                    RecordKind::Finished,
+                    "aaaa",
+                    100,
+                    "exact",
+                ))
+                .unwrap();
+            journal.append(&live).unwrap();
+            journal.compact(std::slice::from_ref(&live)).unwrap();
+            // Appends after compaction land in the fresh segment.
+            journal
+                .append(&JournalRecord::transition(
+                    RecordKind::Started,
+                    "bbbb",
+                    200,
+                    "exact",
+                ))
+                .unwrap();
+        }
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        let (_journal, replay) = Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0], live);
+        let pending = fold_pending(&replay.records);
+        assert_eq!(pending, vec![live]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fold_pending_tracks_lifecycle_and_order() {
+        let a = accept("aaaa", 100);
+        let b = accept("bbbb", 200);
+        let c = accept("cccc", 300);
+        let records = vec![
+            a.clone(),
+            b.clone(),
+            JournalRecord::transition(RecordKind::Started, "aaaa", 100, "exact"),
+            c.clone(),
+            JournalRecord::transition(RecordKind::Finished, "bbbb", 200, "exact"),
+            JournalRecord::transition(RecordKind::Started, "cccc", 300, "exact"),
+            JournalRecord::transition(RecordKind::Failed, "cccc", 300, "exact"),
+        ];
+        // a: started, never terminal → pending. b: finished. c: failed.
+        assert_eq!(fold_pending(&records), vec![a.clone()]);
+        // A fresh accept after a terminal record revives the identity.
+        let mut records = records;
+        records.push(b.clone());
+        assert_eq!(fold_pending(&records), vec![a, b]);
+    }
+
+    #[test]
+    fn injected_tear_loses_only_the_torn_record() {
+        let dir = tmpdir("injtear");
+        let r1 = accept("aaaa", 100);
+        let r2 = accept("bbbb", 200);
+        {
+            let torn = Faults::builder().prob(FaultKind::JournalTorn, 1.0).build();
+            let (journal, _) = Journal::open(&dir, Durability::Batch, torn).unwrap();
+            journal.append(&r1).unwrap(); // torn on the way down
+        }
+        {
+            let (journal, replay) =
+                Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+            assert!(replay.records.is_empty());
+            assert!(replay.torn_bytes > 0, "the half-frame counts as torn");
+            journal.append(&r2).unwrap();
+        }
+        let (_journal, replay) = Journal::open(&dir, Durability::Full, Faults::disabled()).unwrap();
+        assert_eq!(replay.records, vec![r2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_faults_fail_the_append_loudly() {
+        let dir = tmpdir("diskfaults");
+        let full = Faults::builder().prob(FaultKind::DiskFull, 1.0).build();
+        let (journal, _) = Journal::open(&dir, Durability::Full, full).unwrap();
+        assert!(journal.append(&accept("aaaa", 100)).is_err());
+        drop(journal);
+
+        let eio = Faults::builder().prob(FaultKind::FsyncFail, 1.0).build();
+        let (journal, _) = Journal::open(&dir, Durability::Full, eio).unwrap();
+        let err = journal.append(&accept("aaaa", 100)).unwrap_err();
+        assert!(err.to_string().contains("fsync_fail"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -27,10 +27,18 @@
 //!   spans are reassigned to survivors from the last merged frontier.
 //! - **Fault injection and recovery** ([`faults`]): a seeded registry
 //!   (`SPRINT_FAULTS=worker_panic:0.01,...`) injects worker panics, span I/O
-//!   errors, cache corruption, torn frames and slow peers; the hardening it
-//!   proves out — `catch_unwind` worker isolation, per-connection deadlines,
-//!   client retry with idempotent resubmit, cache quarantine, graceful
-//!   drain — keeps every fault inside the *job* failure domain.
+//!   errors, cache corruption, torn frames, slow peers and disk faults; the
+//!   hardening it proves out — `catch_unwind` worker isolation,
+//!   per-connection deadlines, client retry with idempotent resubmit, cache
+//!   quarantine, graceful drain — keeps every fault inside the *job*
+//!   failure domain.
+//! - **Durability** ([`journal`], [`storage`]): a checksummed write-ahead
+//!   journal records each job's lifecycle before the accept ack
+//!   (`serve --durability full|batch|off`), every persistent file lands via
+//!   a crash-consistent atomic write, and on restart the manager replays
+//!   the journal and resubmits every non-terminal job — resuming from its
+//!   checkpoint cursor, so even daemon death (`kill -9`, power cut, the
+//!   `SPRINT_CRASH` crash points) loses no acked work.
 //!
 //! Every layer preserves the repo's core invariant: a jobd-served result is
 //! bitwise-identical to a direct `mt_maxt` call, whatever the scheduling,
@@ -39,18 +47,21 @@
 pub mod cache;
 pub mod client;
 pub mod faults;
+pub mod journal;
 pub mod json;
 pub mod manager;
 pub mod protocol;
 pub mod server;
 pub mod shard;
+pub mod storage;
 
 pub use cache::{CacheKey, CacheProbe, ResultCache};
 pub use client::{request_retried, Client, RetryPolicy};
-pub use faults::{FaultKind, Faults};
+pub use faults::{crash_point, FaultKind, Faults, CRASH_POINTS};
+pub use journal::{Durability, Journal, JournalRecord, RecordKind, Replay};
 pub use manager::{
     CacheDisposition, JobError, JobEvent, JobManager, JobSpec, JobState, JobStatus, ManagerConfig,
-    SubmitInfo,
+    RecoveryReport, SubmitInfo,
 };
 pub use server::{BindAddr, Server, ServerConfig};
 pub use shard::{ShardSnapshot, ShardStats};

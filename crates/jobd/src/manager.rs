@@ -61,7 +61,8 @@ use sprint_core::stats::prepare_matrix;
 
 use crate::cache::{CacheKey, CacheProbe, ResultCache};
 use crate::client::RetryPolicy;
-use crate::faults::{FaultKind, Faults};
+use crate::faults::{crash_point, FaultKind, Faults};
+use crate::journal::{self, Durability, Journal, JournalRecord, RecordKind};
 use crate::json::Json;
 use crate::protocol;
 use crate::shard;
@@ -118,6 +119,11 @@ pub struct ManagerConfig {
     /// (see [`crate::faults`]). Defaults to the `SPRINT_FAULTS` environment
     /// configuration, which is disabled when the variable is unset.
     pub faults: Faults,
+    /// Write-ahead journal fsync policy (`pmaxt serve --durability`; see
+    /// [`crate::journal`]). Requires a cache directory — the journal lives
+    /// under it. `Off` (the default, for embedded use) keeps no journal:
+    /// daemon death loses queued and running jobs, as before.
+    pub durability: Durability,
 }
 
 impl Default for ManagerConfig {
@@ -130,6 +136,7 @@ impl Default for ManagerConfig {
             cache_dir: None,
             peers: Vec::new(),
             faults: Faults::from_env(),
+            durability: Durability::Off,
         }
     }
 }
@@ -253,6 +260,9 @@ pub struct JobStatus {
     pub comm: Option<ShardSnapshot>,
     /// Summary of the adaptive run, for finished adaptive-mode jobs only.
     pub adaptive: Option<AdaptiveBrief>,
+    /// True when this job was re-enqueued from the journal after a daemon
+    /// restart (recovery provenance; see [`crate::journal`]).
+    pub recovered: bool,
 }
 
 /// Compact summary of a finished adaptive-mode run, embedded in
@@ -286,6 +296,9 @@ pub struct SubmitInfo {
     pub deduped: bool,
     /// Hex cache key of the run's permutation stream.
     pub key: String,
+    /// True when the (possibly deduped-onto) job was re-enqueued from the
+    /// journal after a daemon restart.
+    pub recovered: bool,
 }
 
 /// Progress/lifecycle event streamed to subscribers.
@@ -405,6 +418,14 @@ struct Job {
     live_done: AtomicU64,
     /// Wire counters when this job is sharded across peer daemons.
     shard: Option<Arc<ShardStats>>,
+    /// Recovery provenance: re-enqueued from the journal after a restart.
+    recovered: bool,
+    /// Journal bookkeeping: set once the accept record is appended (only
+    /// then do lifecycle records make sense), and once-guards for the
+    /// started/terminal records so retries and races stay idempotent.
+    jrn_accepted: AtomicBool,
+    jrn_started: AtomicBool,
+    jrn_closed: AtomicBool,
     prog: Mutex<JobProgress>,
     subs: Mutex<Vec<mpsc::Sender<JobEvent>>>,
 }
@@ -412,6 +433,9 @@ struct Job {
 struct Inner {
     cfg: ManagerConfig,
     cache: Option<ResultCache>,
+    /// Write-ahead job journal; `None` when durability is off or there is
+    /// no cache directory to host it.
+    journal: Option<Journal>,
     queue: Mutex<VecDeque<Arc<Job>>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -431,10 +455,36 @@ struct Inner {
     change_cv: Condvar,
 }
 
+/// What journal replay found and did at startup (see
+/// [`JobManager::recovery_report`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal segments scanned.
+    pub segments: usize,
+    /// Valid records replayed across all segments.
+    pub records: usize,
+    /// Bytes truncated from a torn tail (quarantined, not lost silently).
+    pub torn_bytes: u64,
+    /// Damaged mid-segment frames skipped by resynchronization.
+    pub resyncs: u64,
+    /// Jobs the fold found in a non-terminal state.
+    pub pending: usize,
+    /// Pending jobs re-enqueued to compute (possibly resuming mid-stream
+    /// from their checkpoint cursor).
+    pub requeued: usize,
+    /// Pending jobs that finalized straight from a completed cache entry.
+    pub from_cache: usize,
+    /// Pending jobs that could not be reconstructed (no dataset source
+    /// recorded, source unreadable, or resubmission refused).
+    pub unrecoverable: usize,
+}
+
 /// The job service: owns the queue, the worker pool and the cache.
 pub struct JobManager {
     inner: Arc<Inner>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Set once at startup when a journal was replayed.
+    recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl std::fmt::Debug for JobManager {
@@ -465,9 +515,28 @@ impl JobManager {
             Some(dir) => Some(ResultCache::open_with(dir.clone(), cfg.faults.clone())?),
             None => None,
         };
+        // The journal lives under the cache directory: durability without a
+        // cache has nothing to resume from, so it degrades to off (loudly).
+        let mut replay = None;
+        let journal = match (&cfg.cache_dir, cfg.durability) {
+            (_, Durability::Off) => None,
+            (None, mode) => {
+                eprintln!(
+                    "jobd: --durability {} requires a cache directory; journal disabled",
+                    mode.as_str()
+                );
+                None
+            }
+            (Some(dir), mode) => {
+                let (journal, rep) = Journal::open(&dir.join("journal"), mode, cfg.faults.clone())?;
+                replay = Some(rep);
+                Some(journal)
+            }
+        };
         let inner = Arc::new(Inner {
             cfg,
             cache,
+            journal,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -484,15 +553,31 @@ impl JobManager {
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
-        Ok(JobManager {
+        let mgr = JobManager {
             inner,
             workers: Mutex::new(workers),
-        })
+            recovery: Mutex::new(None),
+        };
+        if let Some(replay) = replay {
+            mgr.recover(replay);
+        }
+        Ok(mgr)
+    }
+
+    /// The startup journal-replay report, when this manager keeps a journal.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        plock(&self.recovery).clone()
     }
 
     /// Submit a run. Validates like `mt_maxt`, consults the cache, dedups
     /// against identical live jobs, and enqueues whatever remains to compute.
     pub fn submit(&self, spec: JobSpec) -> Result<SubmitInfo, JobError> {
+        self.submit_inner(spec, false)
+    }
+
+    /// [`JobManager::submit`] body, with recovery provenance threaded
+    /// through: journal replay re-enters here with `recovered = true`.
+    fn submit_inner(&self, spec: JobSpec, recovered: bool) -> Result<SubmitInfo, JobError> {
         if self.inner.shutdown.load(Ordering::Relaxed)
             || self.inner.draining.load(Ordering::Relaxed)
         {
@@ -507,7 +592,7 @@ impl JobManager {
         // The bootstrap workload runs on its own driver (no permutation
         // counts, no span queue) — route it to its own submission path.
         if opts.workload == Workload::Bootstrap {
-            return self.submit_boot(data, classlabel, opts, source_path);
+            return self.submit_boot(data, classlabel, opts, source_path, recovered);
         }
         // Validation and NA canonicalization, exactly as `prepare_run` does —
         // inlined because the canonical matrix is also the digest input.
@@ -557,6 +642,7 @@ impl JobManager {
                         total: b,
                         deduped: true,
                         key: key_hex,
+                        recovered: job.recovered,
                     });
                 }
             }
@@ -618,6 +704,7 @@ impl JobManager {
                             },
                             false,
                             None,
+                            recovered,
                         )?
                         .id;
                     self.bump_change();
@@ -628,6 +715,7 @@ impl JobManager {
                         total: b,
                         deduped: false,
                         key: key_hex,
+                        recovered,
                     });
                 }
                 CacheProbe::Partial(state) => {
@@ -687,7 +775,8 @@ impl JobManager {
         let sharded = !adaptive && !self.inner.cfg.peers.is_empty() && work.source.is_some();
         let shard = sharded.then(|| Arc::new(ShardStats::default()));
         let enqueue = !sharded && !adaptive;
-        let job = self.register(key, key_hex.clone(), work, prog, enqueue, shard)?;
+        let job = self.register(key, key_hex.clone(), work, prog, enqueue, shard, recovered)?;
+        self.journal_accept(&job, enqueue)?;
         let id = job.id;
         if sharded {
             let inner = Arc::clone(&self.inner);
@@ -730,6 +819,7 @@ impl JobManager {
             total: b,
             deduped: false,
             key: key_hex,
+            recovered,
         })
     }
 
@@ -841,6 +931,7 @@ impl JobManager {
         classlabel: Vec<u8>,
         opts: PmaxtOptions,
         source_path: Option<std::path::PathBuf>,
+        recovered: bool,
     ) -> Result<SubmitInfo, JobError> {
         let (labels, b, data) =
             boot::validate_boot(&data, &classlabel, &opts).map_err(JobError::Invalid)?;
@@ -870,6 +961,7 @@ impl JobManager {
                         total: b,
                         deduped: true,
                         key: key_hex,
+                        recovered: job.recovered,
                     });
                 }
             }
@@ -911,6 +1003,7 @@ impl JobManager {
                             },
                             false,
                             None,
+                            recovered,
                         )?
                         .id;
                     self.bump_change();
@@ -921,6 +1014,7 @@ impl JobManager {
                         total: b,
                         deduped: false,
                         key: key_hex,
+                        recovered,
                     });
                 }
             }
@@ -964,7 +1058,8 @@ impl JobManager {
         // Bootstrap jobs never enter the span queue: like adaptive runs they
         // get a dedicated thread (their unit of work is the whole replicate
         // set, which the span protocol cannot slice).
-        let job = self.register(key, key_hex.clone(), work, prog, false, shard)?;
+        let job = self.register(key, key_hex.clone(), work, prog, false, shard, recovered)?;
+        self.journal_accept(&job, false)?;
         let id = job.id;
         let inner = Arc::clone(&self.inner);
         std::thread::spawn(move || {
@@ -988,6 +1083,7 @@ impl JobManager {
             total: b,
             deduped: false,
             key: key_hex,
+            recovered,
         })
     }
 
@@ -1057,6 +1153,7 @@ impl JobManager {
 
     /// Insert a job into the maps (and, when `enqueue`, the run queue —
     /// enforcing the queue cap).
+    #[allow(clippy::too_many_arguments)]
     fn register(
         &self,
         key: CacheKey,
@@ -1065,6 +1162,7 @@ impl JobManager {
         prog: JobProgress,
         enqueue: bool,
         shard: Option<Arc<ShardStats>>,
+        recovered: bool,
     ) -> Result<Arc<Job>, JobError> {
         let b = work.b;
         let mode = work.mode;
@@ -1077,6 +1175,10 @@ impl JobManager {
             cancel: AtomicBool::new(false),
             live_done: AtomicU64::new(live_done),
             shard,
+            recovered,
+            jrn_accepted: AtomicBool::new(false),
+            jrn_started: AtomicBool::new(false),
+            jrn_closed: AtomicBool::new(false),
             prog: Mutex::new(prog),
             subs: Mutex::new(Vec::new()),
         });
@@ -1293,6 +1395,7 @@ impl JobManager {
         if became_terminal {
             self.emit(&job);
             self.bump_change();
+            journal_transition(&self.inner, &job);
         }
         Ok(status_of(&job))
     }
@@ -1396,6 +1499,119 @@ impl JobManager {
         }
     }
 
+    /// Append `job`'s accept record to the journal — the write that makes
+    /// the submission durable, so it happens before the ack is returned.
+    /// Under `--durability full` the append fsyncs; under `batch` the
+    /// group-commit flusher picks it up within one flush interval.
+    ///
+    /// On failure the registration is rolled back and the client gets an
+    /// error: acknowledging a job the journal never saw would break the
+    /// "no acked job is lost" contract this subsystem exists for.
+    fn journal_accept(&self, job: &Arc<Job>, enqueued: bool) -> Result<(), JobError> {
+        let Some(journal) = &self.inner.journal else {
+            return Ok(());
+        };
+        match journal.append(&accept_record_for(job)) {
+            Ok(()) => {
+                job.jrn_accepted.store(true, Ordering::SeqCst);
+                crash_point("manager.accept");
+                Ok(())
+            }
+            Err(e) => {
+                self.withdraw(job, enqueued);
+                Err(JobError::Internal(format!("journal append failed: {e}")))
+            }
+        }
+    }
+
+    /// Roll back a registration whose accept record could not be journaled:
+    /// the client is told the submission failed, so the job must neither run
+    /// nor serve as a dedup target.
+    fn withdraw(&self, job: &Job, enqueued: bool) {
+        job.cancel.store(true, Ordering::SeqCst);
+        if enqueued {
+            plock(&self.inner.queue).retain(|j| j.id != job.id);
+        }
+        plock(&self.inner.jobs).remove(&job.id);
+        plock(&self.inner.dedup).retain(|_, id| *id != job.id);
+    }
+
+    /// Rewrite the journal down to the accept records of still-live jobs.
+    /// After a completed drain that set is empty and the next startup
+    /// replays nothing. Called by `shutdown --drain` before the ack; errors
+    /// only warn — an uncompacted journal replays longer, never wrongly.
+    pub fn compact_journal(&self) {
+        let Some(journal) = &self.inner.journal else {
+            return;
+        };
+        let live: Vec<JournalRecord> = plock(&self.inner.jobs)
+            .values()
+            .filter(|job| {
+                job.jrn_accepted.load(Ordering::SeqCst) && !plock(&job.prog).state.is_terminal()
+            })
+            .map(|job| accept_record_for(job))
+            .collect();
+        if let Err(e) = journal.flush().and_then(|()| journal.compact(&live)) {
+            eprintln!("jobd: journal compaction failed: {e}");
+        }
+    }
+
+    /// Journal replay: fold the record stream to the set of jobs that were
+    /// accepted but never reached a terminal record, and resubmit each one.
+    /// Resubmission runs the normal path, so a job whose result actually
+    /// made it to the cache before the crash finalizes instantly (dedup
+    /// against completed work), and anything else resumes from its last
+    /// checkpoint cursor. Compaction afterwards folds the replayed segments
+    /// away; it runs after resubmission so a crash mid-recovery still finds
+    /// every pending job in some segment.
+    fn recover(&self, replay: journal::Replay) {
+        let pending = journal::fold_pending(&replay.records);
+        let mut report = RecoveryReport {
+            segments: replay.segments,
+            records: replay.records.len(),
+            torn_bytes: replay.torn_bytes,
+            resyncs: replay.resyncs,
+            pending: pending.len(),
+            ..RecoveryReport::default()
+        };
+        for rec in pending {
+            let Some(source) = rec.source.as_deref() else {
+                eprintln!(
+                    "jobd: recovery: job {}:{} was submitted in-process (no dataset path); \
+                     cannot reconstruct it",
+                    &rec.key[..rec.key.len().min(12)],
+                    rec.b
+                );
+                report.unrecoverable += 1;
+                continue;
+            };
+            let opts = rec.opts.clone().unwrap_or_default();
+            let spec = match microarray::io::read_dataset(std::path::Path::new(source)) {
+                Ok((data, classlabel)) => JobSpec {
+                    data,
+                    classlabel,
+                    opts,
+                    source_path: Some(std::path::PathBuf::from(source)),
+                },
+                Err(e) => {
+                    eprintln!("jobd: recovery: cannot re-read {source}: {e}");
+                    report.unrecoverable += 1;
+                    continue;
+                }
+            };
+            match self.submit_inner(spec, true) {
+                Ok(info) if info.state == JobState::Finished => report.from_cache += 1,
+                Ok(_) => report.requeued += 1,
+                Err(e) => {
+                    eprintln!("jobd: recovery: resubmission of {source} refused: {e}");
+                    report.unrecoverable += 1;
+                }
+            }
+        }
+        self.compact_journal();
+        *plock(&self.recovery) = Some(report);
+    }
+
     fn emit(&self, job: &Job) {
         emit_event(job);
     }
@@ -1436,6 +1652,7 @@ fn status_of(job: &Job) -> JobStatus {
             watermark: r.watermark,
             mass_deactivation: r.mass_deactivation,
         }),
+        recovered: job.recovered,
     }
 }
 
@@ -1461,6 +1678,77 @@ fn bump_change(inner: &Inner) {
     inner.change_cv.notify_all();
 }
 
+/// The journal accept record describing `job` — also the shape compaction
+/// re-emits for still-live jobs, so replay after any crash converges on the
+/// same pending set.
+fn accept_record_for(job: &Job) -> JournalRecord {
+    JournalRecord {
+        kind: RecordKind::Accepted,
+        key: job.key.hex(),
+        b: job.work.b,
+        mode: job.work.mode.as_str().to_string(),
+        source: job.work.source.as_ref().map(|p| p.display().to_string()),
+        opts: Some(job.work.opts.clone()),
+        error: None,
+    }
+}
+
+/// Append the journal record for `job`'s current state, if its accept record
+/// made it in. The started and terminal records are once-guarded so claim
+/// races and driver retries stay idempotent; append errors only warn — the
+/// in-memory outcome is already decided, and a missing lifecycle record
+/// costs at most a redundant (cache-served) replay after a crash.
+fn journal_transition(inner: &Inner, job: &Job) {
+    let Some(journal) = &inner.journal else {
+        return;
+    };
+    if !job.jrn_accepted.load(Ordering::SeqCst) {
+        return;
+    }
+    let (state, error) = {
+        let prog = plock(&job.prog);
+        (prog.state, prog.error.clone())
+    };
+    let kind = match state {
+        // Shutdown parks sharded jobs back to Queued; the accept record
+        // already covers that state.
+        JobState::Queued => return,
+        JobState::Running => {
+            if job.jrn_started.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            RecordKind::Started
+        }
+        JobState::Finished => RecordKind::Finished,
+        JobState::Cancelled => RecordKind::Cancelled,
+        JobState::Failed => RecordKind::Failed,
+    };
+    if kind.is_terminal() {
+        if job.jrn_closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The widest crash window the harness drills: outcome decided and
+        // (for finishes) the cache entry stored, terminal record not yet on
+        // disk. Replay must re-serve the job from the cache, not recompute.
+        crash_point("manager.finish");
+    }
+    let mut rec =
+        JournalRecord::transition(kind, &job.key.hex(), job.work.b, job.work.mode.as_str());
+    if kind == RecordKind::Failed {
+        rec.error = error;
+    }
+    if let Err(e) = journal.append(&rec) {
+        eprintln!(
+            "jobd: journal {} record for job {} failed: {e}",
+            kind.as_str(),
+            job.id
+        );
+    }
+    if kind == RecordKind::Started {
+        crash_point("manager.start");
+    }
+}
+
 /// Force `job` into `Failed` with `reason` (unless already terminal) and wake
 /// everyone. The recovery half of worker panic isolation.
 fn fail_job(inner: &Inner, job: &Arc<Job>, reason: String) {
@@ -1475,6 +1763,7 @@ fn fail_job(inner: &Inner, job: &Arc<Job>, reason: String) {
     }
     emit_event(job);
     bump_change(inner);
+    journal_transition(inner, job);
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
@@ -1529,11 +1818,13 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
             return false;
         }
         prog.state = JobState::Running;
         prog.cursor
     };
+    journal_transition(inner, job);
     let faults = &inner.cfg.faults;
     let take = inner.cfg.span.min(work.b - start);
     let ctx = MaxTContext::with_scorer(
@@ -1553,6 +1844,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
         drop(prog);
         emit_event(job);
         bump_change(inner);
+        journal_transition(inner, job);
         return false;
     }
     let progress = |n: u64| {
@@ -1593,6 +1885,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
             false
         }
         Err(e) => {
@@ -1643,6 +1936,7 @@ fn run_span(inner: &Inner, job: &Arc<Job>) -> bool {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
             !finished
         }
     }
@@ -1706,12 +2000,14 @@ fn run_adaptive(inner: &Arc<Inner>, job: &Arc<Job>) {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
             return;
         }
         prog.state = JobState::Running;
         let resume = (prog.counts.n_perm > 0).then(|| prog.counts.clone());
         (resume, prog.cursor)
     };
+    journal_transition(inner, job);
     let faults = &inner.cfg.faults;
     let ctx = MaxTContext::with_scorer(
         &work.prepared,
@@ -1759,6 +2055,7 @@ fn run_adaptive(inner: &Arc<Inner>, job: &Arc<Job>) {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
         }
         Err(e) => {
             fail_job(inner, job, e.to_string());
@@ -1801,6 +2098,7 @@ fn run_adaptive(inner: &Arc<Inner>, job: &Arc<Job>) {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
         }
     }
 }
@@ -1822,10 +2120,12 @@ fn run_bootstrap(inner: &Arc<Inner>, job: &Arc<Job>) {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
             return;
         }
         prog.state = JobState::Running;
     }
+    journal_transition(inner, job);
     let faults = &inner.cfg.faults;
     // Same injection points as the span loop: a panic unwinds into the
     // catch_unwind wrapping this function, the I/O error takes the ordinary
@@ -1848,6 +2148,7 @@ fn run_bootstrap(inner: &Arc<Inner>, job: &Arc<Job>) {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
         }
         Err(e) => {
             fail_job(inner, job, e.to_string());
@@ -1875,6 +2176,7 @@ fn run_bootstrap(inner: &Arc<Inner>, job: &Arc<Job>) {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
         }
     }
 }
@@ -2177,11 +2479,13 @@ fn run_sharded(inner: &Arc<Inner>, job: &Arc<Job>) {
             drop(prog);
             emit_event(job);
             bump_change(inner);
+            journal_transition(inner, job);
             return;
         }
         prog.state = JobState::Running;
         prog.cursor
     };
+    journal_transition(inner, job);
     let make_ctx = || {
         MaxTContext::with_scorer(
             &work.prepared,
@@ -2200,6 +2504,7 @@ fn run_sharded(inner: &Arc<Inner>, job: &Arc<Job>) {
         drop(prog);
         emit_event(job);
         bump_change(inner);
+        journal_transition(inner, job);
         return;
     }
     let roster = 1 + inner.cfg.peers.len();
@@ -2472,12 +2777,14 @@ fn run_sharded(inner: &Arc<Inner>, job: &Arc<Job>) {
         drop(prog);
         emit_event(job);
         bump_change(inner);
+        journal_transition(inner, job);
     } else if job.cancel.load(Ordering::Relaxed) {
         job.live_done.store(prog.cursor, Ordering::Relaxed);
         prog.state = JobState::Cancelled;
         drop(prog);
         emit_event(job);
         bump_change(inner);
+        journal_transition(inner, job);
     } else if inner.shutdown.load(Ordering::Relaxed) {
         // Resumable on restart: the checkpoint holds the merged frontier.
         prog.state = JobState::Queued;

@@ -32,8 +32,10 @@ pub fn submit_request(path: &str, opts: &PmaxtOptions) -> Json {
     Json::Obj(pairs)
 }
 
-/// Options → wire fields, mirroring the `pmaxt run` flag set.
-fn opts_to_pairs(opts: &PmaxtOptions) -> Vec<(String, Json)> {
+/// Options → wire fields, mirroring the `pmaxt run` flag set. Also reused
+/// by the journal's accept records ([`crate::journal`]), which must carry
+/// enough of the request to resubmit it after a crash.
+pub(crate) fn opts_to_pairs(opts: &PmaxtOptions) -> Vec<(String, Json)> {
     let mut pairs = vec![
         ("test".to_string(), Json::str(opts.test.as_str())),
         ("side".to_string(), Json::str(opts.side.as_str())),
@@ -360,6 +362,7 @@ pub fn submit_to_json(info: &SubmitInfo) -> Json {
         ("total", Json::Num(info.total as f64)),
         ("deduped", Json::Bool(info.deduped)),
         ("key", Json::str(info.key.clone())),
+        ("recovered", Json::Bool(info.recovered)),
     ])
 }
 
@@ -373,6 +376,7 @@ pub fn status_to_json(st: &JobStatus) -> Json {
         ("computed", Json::Num(st.computed as f64)),
         ("cache", Json::str(st.cache.as_str())),
         ("resumed_from", Json::Num(st.cache.resumed_from() as f64)),
+        ("recovered", Json::Bool(st.recovered)),
     ];
     if let Some(eta) = st.eta_secs {
         fields.push(("eta_secs", Json::Num(eta)));

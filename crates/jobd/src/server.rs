@@ -437,8 +437,12 @@ fn handle_connection(
                     // queued/running job reach a terminal state (checkpointing
                     // as usual), and only then acknowledge and stop — so the
                     // requester's ack means "all work is durably settled".
+                    // With everything terminal the journal's live set is
+                    // empty: compact it away so the next start replays
+                    // nothing.
                     manager.drain();
                     manager.wait_idle(None);
+                    manager.compact_journal();
                 }
                 respond(&mut conn, &protocol::ok_response(vec![]), faults)?;
                 stop.store(true, Ordering::SeqCst);

@@ -1,0 +1,194 @@
+//! Crash-consistent storage primitives for the job service.
+//!
+//! A durability claim is only as strong as its weakest write. A bare
+//! `fs::write` + `rename` — the idiom this tree used before the journal —
+//! has two crash holes: the rename can become durable *before* the data it
+//! points at (a power cut leaves a zero-length or torn file under the final
+//! name), and a fixed-name temporary lets two concurrent writers to the
+//! same key tear each other. [`atomic_write`] closes both:
+//!
+//! 1. write the full payload to a **unique** temporary sibling
+//!    (`.<name>.<pid>.<seq>.tmp` — pid plus a process-wide sequence number,
+//!    so concurrent writers never collide),
+//! 2. `fsync` the temporary (data durable before it becomes visible),
+//! 3. `rename` over the target (atomic replacement on POSIX),
+//! 4. `fsync` the parent directory (the rename itself durable).
+//!
+//! A crash between any two steps leaves either the old content or the new
+//! content under the target name — never a mix — plus at worst one stray
+//! `.*.tmp` sibling, which every reader in this tree ignores. Journal
+//! compaction ([`crate::journal`]) and bootstrap cache entries
+//! ([`crate::cache`]) write through this function. Checkpoint files take
+//! the same four steps inside `sprint::checkpoint::save`, which sits below
+//! this crate in the dependency order and carries its own copy of the
+//! sequence (without injection hooks).
+//!
+//! Fault injection: [`FaultKind::DiskFull`] rejects the write up front
+//! (ENOSPC from a full disk) and [`FaultKind::FsyncFail`] fails the
+//! temporary's fsync (EIO from a dying disk). Both leave the previous
+//! target content intact. The `storage.tmp` / `storage.rename` crash
+//! points mark the two in-between states a power cut could expose.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::faults::{crash_point, FaultKind, Faults};
+
+/// Process-wide temporary-name sequence; combined with the pid it makes
+/// every temporary unique even when two threads write the same target.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique hidden temporary sibling of `path`.
+pub fn unique_tmp(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()))
+}
+
+/// fsync a directory, making renames inside it durable. Some filesystems
+/// reject opening a directory for sync; those also don't need it, so
+/// NotFound/unsupported errors are the caller's to ignore — here we only
+/// surface real I/O errors.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// The injected ENOSPC stand-in.
+fn injected_enospc() -> io::Error {
+    io::Error::other("injected disk_full (SPRINT_FAULTS): no space left on device")
+}
+
+/// The injected EIO stand-in.
+fn injected_eio() -> io::Error {
+    io::Error::other("injected fsync_fail (SPRINT_FAULTS): fsync: I/O error")
+}
+
+/// Atomically replace `path` with `bytes`, crash-consistently: unique tmp →
+/// fsync file → rename → fsync parent dir. On any error (including injected
+/// disk faults) the previous content of `path` is untouched and the
+/// temporary is removed.
+pub fn atomic_write(path: &Path, bytes: &[u8], faults: &Faults) -> io::Result<()> {
+    if faults.fire(FaultKind::DiskFull) {
+        return Err(injected_enospc());
+    }
+    let tmp = unique_tmp(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        if faults.fire(FaultKind::FsyncFail) {
+            return Err(injected_eio());
+        }
+        file.sync_all()?;
+        crash_point("storage.tmp");
+        std::fs::rename(&tmp, path)?;
+        crash_point("storage.rename");
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sprint-storage-{name}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn stray_tmps(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".tmp")
+            })
+            .count()
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = tmpdir("replace");
+        let path = dir.join("target.txt");
+        atomic_write(&path, b"first", &Faults::disabled()).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second", &Faults::disabled()).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert_eq!(stray_tmps(&dir), 0, "no stray temporaries after success");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unique_tmp_names_never_collide() {
+        let path = Path::new("/tmp/some/file.bin");
+        let a = unique_tmp(path);
+        let b = unique_tmp(path);
+        assert_ne!(a, b);
+        assert!(a.file_name().unwrap().to_string_lossy().ends_with(".tmp"));
+        assert!(a.file_name().unwrap().to_string_lossy().starts_with('.'));
+        assert_eq!(a.parent(), path.parent());
+    }
+
+    #[test]
+    fn injected_disk_faults_fail_the_write_and_keep_old_content() {
+        let dir = tmpdir("faults");
+        let path = dir.join("target.txt");
+        atomic_write(&path, b"stable", &Faults::disabled()).unwrap();
+
+        let full = Faults::builder().prob(FaultKind::DiskFull, 1.0).build();
+        let err = atomic_write(&path, b"lost", &full).unwrap_err();
+        assert!(err.to_string().contains("disk_full"), "{err}");
+
+        let eio = Faults::builder().prob(FaultKind::FsyncFail, 1.0).build();
+        let err = atomic_write(&path, b"lost", &eio).unwrap_err();
+        assert!(err.to_string().contains("fsync_fail"), "{err}");
+
+        assert_eq!(std::fs::read(&path).unwrap(), b"stable");
+        assert_eq!(stray_tmps(&dir), 0, "failed writes clean their tmp");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_target_never_tear() {
+        let dir = tmpdir("concurrent");
+        let path = dir.join("target.txt");
+        let threads: Vec<_> = (0..8u8)
+            .map(|i| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let payload = vec![b'a' + i; 4096];
+                    for _ in 0..20 {
+                        atomic_write(&path, &payload, &Faults::disabled()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Whatever writer won, the file is one writer's payload in full.
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(got.len(), 4096);
+        assert!(got.windows(2).all(|w| w[0] == w[1]), "torn mix of writers");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,262 @@
+//! Disk-fault soak: with the storage fault classes armed — torn journal
+//! frames, fsync failures, ENOSPC — a durable manager refuses cleanly (never
+//! acks un-journaled work), survives every fault, and retried jobs land
+//! bitwise-identical to a fault-free serial run. A restart over the same
+//! damaged journal then recovers without inventing or losing jobs.
+//!
+//! The CI disk-fault leg runs exactly this binary under a fixed
+//! `SPRINT_FAULTS` spec; when the variable is unset the tests arm an
+//! equivalent programmatic spec, so the soak is exercised either way.
+
+use std::time::Duration;
+
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::serial::mt_maxt;
+use sprint_core::maxt::MaxTResult;
+use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_jobd::{Durability, FaultKind, Faults, JobError, JobManager, JobSpec, ManagerConfig};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+/// Honor the CI-provided `SPRINT_FAULTS` spec when present; otherwise arm
+/// the given default so the soak always runs with faults on.
+fn soak_faults(default_spec: &str) -> Faults {
+    let seed = std::env::var("SPRINT_FAULTS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    match std::env::var("SPRINT_FAULTS") {
+        Ok(spec) => Faults::parse_spec(&spec, seed).expect("SPRINT_FAULTS must parse"),
+        Err(_) => Faults::parse_spec(default_spec, seed).unwrap(),
+    }
+}
+
+fn synth_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut v = Vec::with_capacity(rows * cols);
+    for g in 0..rows {
+        let shift = if g % 5 == 0 { 1.2 } else { 0.0 };
+        for c in 0..cols {
+            let bump = if c >= cols / 2 { shift } else { 0.0 };
+            v.push(next() * 4.0 - 2.0 + bump);
+        }
+    }
+    Matrix::from_vec(rows, cols, v).unwrap()
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("jobd-disk-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Submit and wait, tolerating the two legal disk-fault outcomes: a refused
+/// submission (journal append hit an injected ENOSPC/EIO — the job was
+/// never acked, so retrying is correct) and an injected in-flight failure.
+fn run_tolerant(mgr: &JobManager, spec: &JobSpec) -> MaxTResult {
+    for _ in 0..300u32 {
+        let info = match mgr.submit(spec.clone()) {
+            Ok(info) => info,
+            Err(JobError::Internal(msg)) => {
+                assert!(
+                    msg.contains("injected"),
+                    "only injected disk faults may refuse a submission, got: {msg}"
+                );
+                continue;
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        };
+        match mgr.wait_result(info.id, Some(WAIT)) {
+            Ok(r) => return r,
+            Err(JobError::Failed(reason)) => {
+                assert!(
+                    reason.contains("injected") || reason.contains("panicked"),
+                    "only injected faults may fail a soak job, got: {reason}"
+                );
+            }
+            Err(other) => panic!("unexpected terminal error: {other}"),
+        }
+    }
+    panic!("job failed 300 consecutive times — fault rate runaway?");
+}
+
+/// All-statistics soak under `--durability full` with every disk class
+/// armed. Acks stay truthful (a refused submit means nothing was journaled),
+/// every job settles, and every final table is bitwise-identical to the
+/// serial reference. A clean restart over the battered journal then replays
+/// it without fabricating work.
+#[test]
+fn disk_faults_keep_acks_truthful_and_results_bitwise_identical() {
+    let faults = soak_faults("journal_torn:0.10,fsync_fail:0.10,disk_full:0.10,seed:77");
+    let cache = tmpdir("soak");
+    let mgr = JobManager::new(ManagerConfig {
+        workers: 3,
+        span: 8,
+        cache_dir: Some(cache.clone()),
+        faults: faults.clone(),
+        durability: Durability::Full,
+        ..ManagerConfig::default()
+    })
+    .unwrap();
+
+    let tests: [(TestMethod, Vec<u8>); 6] = [
+        (TestMethod::T, vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        (TestMethod::TEqualVar, vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        (TestMethod::Wilcoxon, vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        (TestMethod::F, vec![0, 0, 1, 1, 2, 2, 2, 2]),
+        (TestMethod::PairT, vec![0, 1, 0, 1, 1, 0, 0, 1]),
+        (TestMethod::BlockF, vec![0, 1, 1, 0, 0, 1, 1, 0]),
+    ];
+    for round in 0..3u64 {
+        for (test, labels) in &tests {
+            let data = synth_matrix(40, labels.len(), 4000 + *test as u64);
+            let opts = PmaxtOptions::default()
+                .test(*test)
+                .permutations(240)
+                .seed(31 + round)
+                .threads(2)
+                .batch(4);
+            let spec = JobSpec {
+                data: data.clone(),
+                classlabel: labels.clone(),
+                opts: opts.clone(),
+                source_path: None,
+            };
+            let served = run_tolerant(&mgr, &spec);
+            let direct = mt_maxt(&data, labels, &opts).unwrap();
+            assert_eq!(
+                served,
+                direct,
+                "{}: disk-faulted run must stay bitwise-identical",
+                test.as_str()
+            );
+        }
+    }
+
+    // The soak only proves something if every armed class actually fired.
+    for kind in [
+        FaultKind::JournalTorn,
+        FaultKind::FsyncFail,
+        FaultKind::DiskFull,
+    ] {
+        assert!(
+            faults.fired(kind) > 0,
+            "{} armed but never fired — soak too small for the spec {:?}",
+            kind.as_str(),
+            faults.report()
+        );
+    }
+    for st in mgr.list() {
+        assert!(st.state.is_terminal(), "job {} left live", st.id);
+    }
+    drop(mgr);
+
+    // Restart over the same cache with faults off: the journal carries torn
+    // frames from the soak, and replay must absorb them (resync or truncate)
+    // rather than refuse to start. In-process submissions record no dataset
+    // source, so whatever fold still finds pending is reported
+    // unrecoverable — counted, not silently dropped, and never duplicated
+    // into phantom jobs.
+    let mgr2 = JobManager::new(ManagerConfig {
+        workers: 1,
+        cache_dir: Some(cache.clone()),
+        faults: Faults::disabled(),
+        durability: Durability::Full,
+        ..ManagerConfig::default()
+    })
+    .unwrap();
+    let report = mgr2.recovery_report().expect("durable manager replays");
+    assert_eq!(
+        report.pending, report.unrecoverable,
+        "every pending in-process job must be reported unrecoverable: {report:?}"
+    );
+    assert_eq!(report.requeued, 0, "nothing requeueable was journaled");
+    assert!(mgr2.list().is_empty(), "replay must not fabricate jobs");
+    drop(mgr2);
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+/// Abrupt death and recovery: a file-backed job is killed mid-run (manager
+/// dropped, no drain), and a fresh durable manager over the same cache
+/// replays the journal, re-enqueues the job from its recorded dataset path,
+/// resumes from the checkpoint cursor, and finishes bitwise-identical to an
+/// uninterrupted serial run — with recovery provenance on the job.
+#[test]
+fn journal_replay_requeues_killed_job_and_matches_reference() {
+    use microarray::io::write_dataset;
+
+    let dir = tmpdir("replay");
+    let dataset = dir.join("data.tsv");
+    let cache = dir.join("cache");
+    let data = synth_matrix(120, 16, 77);
+    let labels: Vec<u8> = [vec![0u8; 8], vec![1u8; 8]].concat();
+    write_dataset(&dataset, &data, &labels).unwrap();
+    let opts = PmaxtOptions::default()
+        .permutations(30_000)
+        .threads(1)
+        .seed(3);
+    let spec = JobSpec {
+        data: data.clone(),
+        classlabel: labels.clone(),
+        opts: opts.clone(),
+        source_path: Some(dataset.clone()),
+    };
+    let mk = || {
+        JobManager::new(ManagerConfig {
+            workers: 1,
+            span: 64,
+            cache_dir: Some(cache.clone()),
+            faults: Faults::disabled(),
+            durability: Durability::Full,
+            ..ManagerConfig::default()
+        })
+        .unwrap()
+    };
+
+    let mgr = mk();
+    let info = mgr.submit(spec.clone()).unwrap();
+    assert!(!info.recovered, "a fresh submission carries no provenance");
+    let rx = mgr.subscribe(info.id).unwrap();
+    for event in rx.iter() {
+        if event.done > 0 || event.state.is_terminal() {
+            break;
+        }
+    }
+    drop(mgr); // abrupt death: no drain, no cancel, job left non-terminal
+
+    let mgr2 = mk();
+    let report = mgr2.recovery_report().expect("durable manager replays");
+    assert_eq!(report.pending, 1, "the killed job must fold as pending");
+    assert_eq!(
+        report.requeued + report.from_cache,
+        1,
+        "the killed job must be re-enqueued or served from cache: {report:?}"
+    );
+    assert_eq!(report.unrecoverable, 0, "{report:?}");
+
+    // The recovered job runs unprompted; find it, wait, and compare.
+    let jobs = mgr2.list();
+    assert_eq!(jobs.len(), 1, "exactly the one recovered job");
+    assert!(jobs[0].recovered, "recovery provenance must be surfaced");
+    let served = mgr2.wait_result(jobs[0].id, Some(WAIT)).unwrap();
+    let direct = mt_maxt(&data, &labels, &opts).unwrap();
+    assert_eq!(served, direct, "recovered run must be bitwise-identical");
+
+    // A client resubmitting after the restart dedups onto the recovered job
+    // and sees both flags — the "no duplicate accounting" half of recovery.
+    let again = mgr2.submit(spec).unwrap();
+    assert!(
+        again.deduped,
+        "resubmission must dedup onto the recovered job"
+    );
+    assert!(again.recovered, "dedup target carries recovery provenance");
+    drop(mgr2);
+    std::fs::remove_dir_all(&dir).ok();
+}

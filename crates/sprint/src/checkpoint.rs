@@ -11,7 +11,7 @@
 //! The file format is a self-describing text format with an input digest, so
 //! a checkpoint can never be resumed against different data or options.
 
-use std::io::{self, BufRead, BufWriter, Write};
+use std::io::{self, BufRead, Write};
 use std::path::Path;
 
 use sprint_core::digest;
@@ -50,30 +50,64 @@ pub fn digest_run(data: &Matrix, labels: &[u8], opts: &PmaxtOptions) -> u64 {
     h.finish()
 }
 
-/// Write a checkpoint atomically (write to `.tmp`, then rename).
+/// Write a checkpoint atomically and crash-consistently: serialize in
+/// memory, write a unique temporary sibling, fsync it, rename it over the
+/// target, fsync the parent directory. A crash at any instant leaves either
+/// the previous checkpoint or the new one — never a torn or empty file —
+/// which is what lets the jobd recovery path trust every `.ckpt` it finds.
 pub fn save(path: &Path, state: &CheckpointState) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-        writeln!(w, "pmaxt-checkpoint-v1")?;
-        writeln!(w, "digest {}", state.digest)?;
-        writeln!(w, "cursor {}", state.cursor)?;
-        writeln!(w, "b {}", state.b)?;
-        writeln!(w, "n_perm {}", state.counts.n_perm)?;
-        writeln!(w, "genes {}", state.counts.genes())?;
-        write!(w, "count_raw")?;
-        for c in &state.counts.count_raw {
-            write!(w, " {c}")?;
-        }
-        writeln!(w)?;
-        write!(w, "count_adj")?;
-        for c in &state.counts.count_adj {
-            write!(w, " {c}")?;
-        }
-        writeln!(w)?;
-        w.flush()?;
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = writeln!(text, "pmaxt-checkpoint-v1");
+    let _ = writeln!(text, "digest {}", state.digest);
+    let _ = writeln!(text, "cursor {}", state.cursor);
+    let _ = writeln!(text, "b {}", state.b);
+    let _ = writeln!(text, "n_perm {}", state.counts.n_perm);
+    let _ = writeln!(text, "genes {}", state.counts.genes());
+    let _ = write!(text, "count_raw");
+    for c in &state.counts.count_raw {
+        let _ = write!(text, " {c}");
     }
-    std::fs::rename(&tmp, path)
+    let _ = writeln!(text);
+    let _ = write!(text, "count_adj");
+    for c in &state.counts.count_adj {
+        let _ = write!(text, " {c}");
+    }
+    let _ = writeln!(text);
+    atomic_write(path, text.as_bytes())
+}
+
+/// Crash-consistent file replacement: unique tmp → fsync file → rename →
+/// fsync parent dir. The job service routes its own persistent writes
+/// through `jobd::storage::atomic_write`; that crate sits *above* this one,
+/// so the checkpoint path carries its own copy of the sequence (identical
+/// semantics, no fault-injection hooks).
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ckpt".to_string());
+    let tmp = path.with_file_name(format!(
+        ".{name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Load a checkpoint; `Ok(None)` when the file does not exist.

@@ -49,7 +49,7 @@ use sprint_core::pmaxt::{chunk_for_rank, pmaxt};
 use sprint_core::side::Side;
 use sprint_jobd::client::{expect_ok, request_retried, Client, RetryPolicy};
 use sprint_jobd::json::Json;
-use sprint_jobd::{protocol, Faults, JobManager, ManagerConfig, Server, ServerConfig};
+use sprint_jobd::{protocol, Durability, Faults, JobManager, ManagerConfig, Server, ServerConfig};
 
 /// CLI failure, carrying the process exit code.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +135,10 @@ struct ServeConfig {
     idle_timeout: Option<Duration>,
     /// Per-connection write deadline (`--write-timeout SECS`).
     write_timeout: Option<Duration>,
+    /// Journal fsync policy (`--durability full|batch|off`). Served daemons
+    /// default to `batch`: group-committed accept records survive `kill -9`
+    /// up to one flush interval, at a few percent accept-latency cost.
+    durability: Durability,
 }
 
 /// Parsed command line for the client subcommands.
@@ -158,7 +162,7 @@ struct ClientConfig {
 }
 
 fn usage_text() -> &'static str {
-    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf|corr|tmax]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--workload pmaxt|bootstrap (bootstrap = resample with replacement,\n             report percentile + BCa confidence intervals)]\n            [--perm-file FILE (replay stored label arrangements, one per line)]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--mode exact|adaptive (adaptive = early-stop null genes with\n             anytime-valid p-value bounds; SPRINT_MODE overrides)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--peer ADDR]... \n            [--idle-timeout SECS] [--write-timeout SECS]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
+    "usage:\n  pmaxt run <data.tsv> [--test t|t.equalvar|wilcoxon|f|pairt|blockf|corr|tmax]\n            [--side abs|upper|lower] [--fixed-seed y|n] [-B N (0=complete)]\n            [--nonpara y|n] [--na CODE] [--seed N] [--ranks N] [--minp]\n            [--workload pmaxt|bootstrap (bootstrap = resample with replacement,\n             report percentile + BCa confidence intervals)]\n            [--perm-file FILE (replay stored label arrangements, one per line)]\n            [--kernel auto|scalar|fast (scalar = reference-scorer debug override)]\n            [--precision f64|f32 (f32 = faster, not bitwise reproducible)]\n            [--mode exact|adaptive (adaptive = early-stop null genes with\n             anytime-valid p-value bounds; SPRINT_MODE overrides)]\n            [--threads N (0=auto)] [--batch N (0=auto)]\n            [--out result.tsv] [--top N]\n  pmaxt generate <out.tsv> [--genes N] [--n0 N] [--n1 N] [--diff F]\n            [--effect F] [--na-rate F] [--seed N]\n  pmaxt serve <addr> [--workers N] [--span N] [--queue N] [--job-threads N]\n            [--cache DIR | --no-cache] [--peer ADDR]... \n            [--idle-timeout SECS] [--write-timeout SECS]\n            [--durability full|batch|off (write-ahead job journal: full =\n             fsync per accept, batch = group commit, off = no journal;\n             default batch, degrades to off under --no-cache)]\n  pmaxt submit <addr> <data.tsv> [run options] [--wait] [--out f] [--top N]\n  pmaxt status <addr> <job>\n  pmaxt result <addr> <job> [--no-wait] [--out f] [--top N]\n  pmaxt cancel <addr> <job>\n  pmaxt watch  <addr> <job>\n  pmaxt shutdown <addr> [--drain]\n\n  client commands also take [--retries N] [--retry-base-ms N] [--timeout SECS]\n  (idempotent retry on torn connections; resubmits dedup onto the live job).\n  <addr> is unix:/path/to.sock or host:port; exit codes: 0 ok, 1 runtime,\n  2 usage, 3 ranks > permutations.\n  SPRINT_FAULTS=class:prob,... arms deterministic fault injection in serve."
 }
 
 /// Consume one shared `PmaxtOptions` flag from the argument stream. Returns
@@ -320,7 +324,9 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
         peers: Vec::new(),
         idle_timeout: None,
         write_timeout: None,
+        durability: Durability::Batch,
     };
+    let mut durability_explicit = false;
     let mut have_addr = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -354,6 +360,12 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
             "--peer" => cfg.peers.push(take("--peer")?.clone()),
             "--idle-timeout" => secs!("--idle-timeout", cfg.idle_timeout),
             "--write-timeout" => secs!("--write-timeout", cfg.write_timeout),
+            "--durability" => {
+                let v = take("--durability")?;
+                cfg.durability = Durability::parse(v)
+                    .ok_or_else(|| format!("bad --durability {v:?} (want full, batch or off)"))?;
+                durability_explicit = true;
+            }
             other if !other.starts_with('-') && !have_addr => {
                 cfg.addr = other.to_string();
                 have_addr = true;
@@ -366,6 +378,18 @@ fn parse_serve(args: &[String]) -> Result<ServeConfig, String> {
     }
     if cfg.span == 0 {
         return Err("--span must be positive".into());
+    }
+    if cfg.cache.is_none() && cfg.durability != Durability::Off {
+        // The journal lives under the cache directory, so a cacheless daemon
+        // cannot keep one. An explicit request for durability is a conflict;
+        // the default just degrades.
+        if durability_explicit {
+            return Err(format!(
+                "--no-cache cannot honour --durability {} (the journal lives in the cache)",
+                cfg.durability.as_str()
+            ));
+        }
+        cfg.durability = Durability::Off;
     }
     Ok(cfg)
 }
@@ -856,8 +880,22 @@ fn cmd_serve(cfg: &ServeConfig) -> Result<(), CliError> {
         cache_dir: cfg.cache.clone(),
         peers: cfg.peers.clone(),
         faults: faults.clone(),
+        durability: cfg.durability,
     })
     .map_err(|e| runtime(format!("starting job manager: {e}")))?;
+    if let Some(rep) = manager.recovery_report() {
+        eprintln!(
+            "jobd: journal replayed: {} record(s) in {} segment(s), {} pending \
+             ({} requeued, {} from cache, {} unrecoverable)",
+            rep.records, rep.segments, rep.pending, rep.requeued, rep.from_cache, rep.unrecoverable
+        );
+        if rep.torn_bytes > 0 || rep.resyncs > 0 {
+            eprintln!(
+                "jobd: journal damage handled: {} torn tail byte(s) quarantined, {} resync(s)",
+                rep.torn_bytes, rep.resyncs
+            );
+        }
+    }
     let server = Server::bind_with(
         &cfg.addr,
         manager,
@@ -869,7 +907,7 @@ fn cmd_serve(cfg: &ServeConfig) -> Result<(), CliError> {
     )
     .map_err(|e| runtime(format!("binding {}: {e}", cfg.addr)))?;
     eprintln!(
-        "jobd: listening on {} ({} workers, span {}, cache {})",
+        "jobd: listening on {} ({} workers, span {}, cache {}, durability {})",
         server.local_addr().to_addr_string(),
         cfg.workers,
         cfg.span,
@@ -877,6 +915,7 @@ fn cmd_serve(cfg: &ServeConfig) -> Result<(), CliError> {
             .as_ref()
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "disabled".into()),
+        cfg.durability.as_str(),
     );
     if !cfg.peers.is_empty() {
         eprintln!(
@@ -1317,8 +1356,16 @@ mod tests {
         assert_eq!(cfg.queue, 8);
         assert_eq!(cfg.job_threads, 2);
         assert_eq!(cfg.cache, Some(PathBuf::from("/tmp/cachedir")));
+        assert_eq!(cfg.durability, Durability::Batch);
         let no_cache = parse_serve(&strs(&["127.0.0.1:0", "--no-cache"])).unwrap();
         assert_eq!(no_cache.cache, None);
+        // The default durability degrades without a cache; an explicit
+        // request is a conflict.
+        assert_eq!(no_cache.durability, Durability::Off);
+        assert!(parse_serve(&strs(&["a:1", "--no-cache", "--durability", "full"])).is_err());
+        let full = parse_serve(&strs(&["a:1", "--durability", "full"])).unwrap();
+        assert_eq!(full.durability, Durability::Full);
+        assert!(parse_serve(&strs(&["a:1", "--durability", "sometimes"])).is_err());
         assert!(parse_serve(&strs(&[])).is_err());
         assert!(parse_serve(&strs(&["a:1", "--span", "0"])).is_err());
     }

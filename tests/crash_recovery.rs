@@ -1,0 +1,263 @@
+//! Crash-point recovery matrix over the real binary: arm `SPRINT_CRASH` so
+//! `pmaxt serve` aborts at each registered crash point, let it die with a job
+//! in flight, restart a clean server over the same cache directory, and
+//! assert the durability contract — no acked job is lost, accounting never
+//! duplicates, and the recovered table is bitwise-identical to an
+//! uninterrupted serial run. A second matrix drills the widest crash window
+//! (`manager.finish`, after compute but before the terminal journal record)
+//! across all eight statistics.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use microarray::io::write_dataset;
+use sprint_core::matrix::Matrix;
+use sprint_core::maxt::serial::mt_maxt;
+use sprint_core::options::{PmaxtOptions, TestMethod};
+use sprint_jobd::client::{expect_ok, request_retried, RetryPolicy};
+use sprint_jobd::json::Json;
+use sprint_jobd::{protocol, CRASH_POINTS};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn synth_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut v = Vec::with_capacity(rows * cols);
+    for g in 0..rows {
+        let shift = if g % 5 == 0 { 1.2 } else { 0.0 };
+        for c in 0..cols {
+            let bump = if c >= cols / 2 { shift } else { 0.0 };
+            v.push(next() * 4.0 - 2.0 + bump);
+        }
+    }
+    Matrix::from_vec(rows, cols, v).unwrap()
+}
+
+/// A label vector each statistic accepts: two groups for the t-family,
+/// three groups for F, pair/block structure for the paired tests, and a
+/// graded covariate for correlation.
+fn labels_for(test: TestMethod) -> Vec<u8> {
+    match test {
+        TestMethod::F => vec![0, 0, 1, 1, 2, 2, 2, 2],
+        TestMethod::PairT => vec![0, 1, 0, 1, 1, 0, 0, 1],
+        TestMethod::BlockF => vec![0, 1, 1, 0, 0, 1, 1, 0],
+        TestMethod::Corr => vec![0, 1, 2, 3, 0, 1, 2, 3],
+        _ => vec![0, 0, 0, 0, 1, 1, 1, 1],
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmaxt-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn the real `pmaxt serve` over a unix socket with full durability,
+/// optionally armed to abort at a crash point. Every SPRINT_* variable is
+/// cleared first so an outer CI environment cannot skew the run.
+fn spawn_serve(sock: &Path, cache: &Path, crash: Option<&str>) -> Child {
+    let addr = format!("unix:{}", sock.display());
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pmaxt"));
+    cmd.args([
+        "serve",
+        &addr,
+        "--workers",
+        "2",
+        "--span",
+        "16",
+        "--cache",
+        cache.to_str().unwrap(),
+        "--durability",
+        "full",
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    for var in [
+        "SPRINT_CRASH",
+        "SPRINT_FAULTS",
+        "SPRINT_FAULTS_SEED",
+        "SPRINT_KERNEL",
+        "SPRINT_MODE",
+        "SPRINT_PRECISION",
+        "SPRINT_THREADS",
+        "SPRINT_BATCH",
+    ] {
+        cmd.env_remove(var);
+    }
+    if let Some(spec) = crash {
+        cmd.env("SPRINT_CRASH", spec);
+    }
+    cmd.spawn().expect("spawn pmaxt serve")
+}
+
+/// Wait until the socket accepts connections. Returns false if the server
+/// died first — legal for crash points that fire during startup recovery
+/// (the empty-journal compaction already exercises the storage points).
+fn wait_socket(sock: &Path, child: &mut Child) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        if std::os::unix::net::UnixStream::connect(sock).is_ok() {
+            return true;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    panic!("server never came up at {}", sock.display());
+}
+
+/// Wait for the armed server to hit its crash point and abort.
+fn wait_death(child: &mut Child, point: &str) {
+    let deadline = Instant::now() + Duration::from_secs(90);
+    while Instant::now() < deadline {
+        if child.try_wait().expect("try_wait").is_some() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("server survived its crash point {point}");
+}
+
+/// One kill-and-recover round trip: submit against a server armed to abort
+/// at `point`, wait for the abort, restart clean over the same cache, and
+/// require the resubmitted job to come back bitwise-identical to the serial
+/// reference. Drain-shutdown at the end proves the recovered journal is
+/// still compactable.
+fn drill(point: &str, test: TestMethod, tag: &str) {
+    let dir = tmpdir(tag);
+    let sock = dir.join("jobd.sock");
+    let cache = dir.join("cache");
+    let dataset = dir.join("data.tsv");
+    let labels = labels_for(test);
+    let data = synth_matrix(40, labels.len(), 7000 + test as u64);
+    write_dataset(&dataset, &data, &labels).unwrap();
+    let opts = PmaxtOptions::default()
+        .test(test)
+        .permutations(4000)
+        .seed(9)
+        .threads(1);
+    let addr = format!("unix:{}", sock.display());
+    let spec = format!("{point}:1");
+
+    // Phase 1: the armed server. The submission may be acked, refused, or
+    // cut mid-flight depending on where the point sits relative to the
+    // journal append — all are legal; the contract is judged after restart.
+    let mut armed = spawn_serve(&sock, &cache, Some(&spec));
+    if wait_socket(&sock, &mut armed) {
+        let probe = RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(100),
+            seed: 7,
+        };
+        let _ = request_retried(
+            &addr,
+            &protocol::submit_request(dataset.to_str().unwrap(), &opts),
+            &probe,
+            Some(Duration::from_secs(30)),
+        );
+    }
+    wait_death(&mut armed, point);
+    let _ = std::fs::remove_file(&sock);
+
+    // Phase 2: clean restart over the battered cache — replay, quarantine
+    // any torn tail, re-enqueue what folds as pending — then resubmit. The
+    // resubmission either dedups onto the recovered job or starts fresh;
+    // either way the table must match the uninterrupted reference exactly.
+    let mut clean = spawn_serve(&sock, &cache, None);
+    assert!(
+        wait_socket(&sock, &mut clean),
+        "{point}: clean server died during recovery"
+    );
+    let policy = RetryPolicy {
+        attempts: 20,
+        base: Duration::from_millis(10),
+        max: Duration::from_millis(200),
+        seed: 13,
+    };
+    let retried = |req: &Json| -> Json {
+        let resp =
+            request_retried(&addr, req, &policy, Some(WAIT)).expect("request after recovery");
+        expect_ok(resp).expect("wire error after recovery")
+    };
+    let resp = retried(&protocol::submit_request(dataset.to_str().unwrap(), &opts));
+    let job = resp.get("job").and_then(Json::as_u64).expect("job id");
+    let resp = retried(&protocol::result_request(job, true));
+    let served = protocol::result_from_json(&resp).unwrap();
+    let direct = mt_maxt(&data, &labels, &opts).unwrap();
+    assert_eq!(
+        served,
+        direct,
+        "{point}/{}: post-crash result must be bitwise-identical",
+        test.as_str()
+    );
+
+    // No duplicate accounting: a second identical submission must dedup
+    // onto the job that just finished, never fork a twin.
+    let resp = retried(&protocol::submit_request(dataset.to_str().unwrap(), &opts));
+    assert_eq!(
+        resp.get("deduped").and_then(Json::as_bool),
+        Some(true),
+        "{point}: recovered server must dedup the resubmission"
+    );
+
+    // Graceful exit: drain flushes and compacts the journal before the ack.
+    let _ = request_retried(
+        &addr,
+        &protocol::shutdown_request(true),
+        &policy,
+        Some(WAIT),
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if clean.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if clean.try_wait().expect("try_wait").is_none() {
+        let _ = clean.kill();
+        let _ = clean.wait();
+        panic!("{point}: clean server ignored drain shutdown");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill the server at every registered crash point and recover.
+#[test]
+fn every_crash_point_recovers_with_identical_results() {
+    for point in CRASH_POINTS {
+        drill(
+            point,
+            TestMethod::T,
+            &format!("pt-{}", point.replace('.', "-")),
+        );
+    }
+}
+
+/// Drill the widest crash window — compute finished, terminal record not
+/// yet journaled — across all eight statistics.
+#[test]
+fn widest_crash_window_recovers_for_all_eight_statistics() {
+    for test in TestMethod::ALL {
+        drill(
+            "manager.finish",
+            test,
+            &format!("stat-{}", test.as_str().replace('.', "-")),
+        );
+    }
+}
